@@ -1,0 +1,38 @@
+//! # android-sim — the simulated Android platform
+//!
+//! Substrate crate standing in for the parts of Android 2.2 that the paper's
+//! evaluation relies on but that are not available to a Rust reproduction:
+//!
+//! * the system services involved in the §5 case study (the
+//!   `NotificationManagerService` / `StatusBarService` lock inversion, issue
+//!   7986) — [`NotificationScenario`];
+//! * the eight profiled applications of Table 1, replayed from their
+//!   published thread counts, synchronization rates, and memory footprints —
+//!   [`AppProfile`], [`TABLE1_PROFILES`];
+//! * the phone itself: installing applications, launching them, observing the
+//!   frozen interface, rebooting with persistent per-application histories —
+//!   [`Phone`];
+//! * the §3.2 static corpus statistic (1,050 `synchronized` sites vs 15
+//!   explicit lock sites) — [`ESSENTIAL_APPS_CORPUS`].
+//!
+//! Everything runs on the deterministic VM of [`dalvik_sim`], so every
+//! freeze, detection, and avoidance is replayable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod corpus;
+mod phone;
+mod profiles;
+mod services;
+
+pub use corpus::{
+    corpus_totals, ComponentSites, CorpusTotals, SyncConstruct, ESSENTIAL_APPS_CORPUS,
+};
+pub use phone::{AppRunReport, InstalledApp, Phone};
+pub use profiles::{profile_by_name, AppProfile, CYCLES_PER_SECOND, TABLE1_PROFILES};
+pub use services::{
+    notification_deadlock_program, NotificationScenario, NOTIFICATION_MANAGER_LOCK,
+    STATUS_BAR_LOCK,
+};

@@ -1,0 +1,150 @@
+//! Simulated Android system services, including the issue-7986 deadlock.
+//!
+//! The paper reproduces a real Android bug (issue id 7986): a thread posting
+//! a notification runs `NotificationManagerService.enqueueNotificationWithTag`,
+//! which takes the notification manager's monitor and then calls into the
+//! status bar (taking its monitor); concurrently the status-bar expansion
+//! handler `StatusBarService$H.handleMessage` takes the status bar monitor
+//! and calls back into the notification manager. Opposite acquisition order
+//! on the same two monitors — the whole system-UI freezes when the two
+//! threads interleave badly.
+//!
+//! This module builds that scenario as a [`Program`] for the simulated VM.
+
+use dalvik_sim::{MethodId, ObjRef, Program, ProgramBuilder};
+
+/// Monitor guarding `NotificationManagerService.mNotificationList`.
+pub const NOTIFICATION_MANAGER_LOCK: ObjRef = ObjRef(7001);
+/// Monitor guarding `StatusBarService.mBar` / the expanded dialog state.
+pub const STATUS_BAR_LOCK: ObjRef = ObjRef(7002);
+
+/// Parameters of the notification/status-bar scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct NotificationScenario {
+    /// How many notifications the app posts.
+    pub notifications: u32,
+    /// How many times the user expands the status bar.
+    pub expansions: u32,
+    /// Busy-work cycles inside each critical section.
+    pub work: u64,
+}
+
+impl Default for NotificationScenario {
+    fn default() -> Self {
+        NotificationScenario {
+            notifications: 3,
+            expansions: 3,
+            work: 5,
+        }
+    }
+}
+
+impl NotificationScenario {
+    /// Builds the scenario program. Returns the program and the entry method
+    /// (the "small Android application" of §5 whose two threads exercise the
+    /// two services concurrently).
+    pub fn build(&self) -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new("frameworks/base/services/java/StatusBar.java");
+
+        // NotificationManagerService.enqueueNotificationWithTag:
+        //   synchronized (mNotificationList) { ... mStatusBar: synchronized { addNotification } }
+        let enqueue = pb
+            .method("NotificationManagerService.enqueueNotificationWithTag")
+            .sync(NOTIFICATION_MANAGER_LOCK, |body| {
+                body.compute(self.work)
+                    .sync(STATUS_BAR_LOCK, |inner| {
+                        inner.compute(self.work);
+                    });
+            })
+            .finish();
+
+        // StatusBarService$H.handleMessage (expand):
+        //   synchronized (mBar) { ... mNotificationCallbacks: synchronized { ... } }
+        let handle_message = pb
+            .method("StatusBarService$H.handleMessage")
+            .sync(STATUS_BAR_LOCK, |body| {
+                body.compute(self.work)
+                    .sync(NOTIFICATION_MANAGER_LOCK, |inner| {
+                        inner.compute(self.work);
+                    });
+            })
+            .finish();
+
+        // The notifier thread of the test application: posts notifications.
+        let mut notifier = pb.method("TestApp.NotifierThread.run");
+        for _ in 0..self.notifications {
+            notifier = notifier.compute(1).call(enqueue);
+        }
+        let notifier = notifier.finish();
+
+        // The UI thread expanding the status bar.
+        let mut expander = pb.method("TestApp.StatusBarExpander.run");
+        for _ in 0..self.expansions {
+            expander = expander.compute(1).call(handle_message);
+        }
+        let expander = expander.finish();
+
+        let main = pb
+            .method("TestApp.main")
+            .spawn(notifier, "notifier")
+            .spawn(expander, "status-bar-expander")
+            .finish();
+        (pb.build(), main)
+    }
+}
+
+/// Convenience: the default scenario program.
+pub fn notification_deadlock_program() -> (Program, MethodId) {
+    NotificationScenario::default().build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalvik_sim::{ProcessBuilder, RunOutcome};
+
+    #[test]
+    fn scenario_has_four_synchronization_sites() {
+        let (program, _) = notification_deadlock_program();
+        assert_eq!(program.synchronization_site_count(), 4);
+        assert!(program
+            .method_by_name("NotificationManagerService.enqueueNotificationWithTag")
+            .is_some());
+        assert!(program
+            .method_by_name("StatusBarService$H.handleMessage")
+            .is_some());
+    }
+
+    #[test]
+    fn some_schedule_freezes_the_services() {
+        let mut froze = false;
+        for seed in 0..300u64 {
+            let (program, main) = notification_deadlock_program();
+            let mut p = ProcessBuilder::new("system_server", program)
+                .seed(seed)
+                .spawn_main(main);
+            let outcome = p.run(100_000);
+            if p.stats().deadlocks_detected > 0 {
+                assert_ne!(outcome, RunOutcome::Completed);
+                froze = true;
+                break;
+            }
+        }
+        assert!(froze, "the lock inversion must be reachable");
+    }
+
+    #[test]
+    fn benign_schedules_complete() {
+        let mut completed = 0;
+        for seed in 0..50u64 {
+            let (program, main) = notification_deadlock_program();
+            let mut p = ProcessBuilder::new("system_server", program)
+                .seed(seed)
+                .spawn_main(main);
+            if p.run(100_000) == RunOutcome::Completed {
+                completed += 1;
+            }
+        }
+        assert!(completed > 0, "not every interleaving deadlocks");
+    }
+}

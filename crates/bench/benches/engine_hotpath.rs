@@ -1,0 +1,56 @@
+//! Criterion bench for the engine hot path: how the per-acquisition cost
+//! scales with history size, thread count, and avoidance on/off. This backs
+//! the design discussion of §3.1/§4 (the global lock is acceptable because
+//! the three hooks are cheap) with concrete numbers from the reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dimmunix_core::{CallStack, Config, Dimmunix, Frame, LockId, ThreadId};
+use workloads::synthetic_history;
+
+/// Drives `threads` logical threads through one acquire/release each, round
+/// robin, against a single engine (the substrate's global lock is not part of
+/// the measurement).
+fn drive(engine: &mut Dimmunix, threads: u64, positions: &[dimmunix_core::PositionId]) {
+    for t in 0..threads {
+        let thread = ThreadId::new(t + 1);
+        let lock = LockId::new(t + 1);
+        let pos = positions[(t as usize) % positions.len()];
+        assert!(engine.request_at(thread, lock, pos).is_granted());
+        engine.acquired(thread, lock);
+    }
+    for t in 0..threads {
+        let thread = ThreadId::new(t + 1);
+        let lock = LockId::new(t + 1);
+        engine.released(thread, lock);
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_hotpath");
+    for &threads in &[2u64, 32, 128] {
+        for &history in &[0usize, 256] {
+            group.throughput(Throughput::Elements(threads));
+            group.bench_function(
+                BenchmarkId::new(format!("threads{threads}"), format!("history{history}")),
+                |b| {
+                    let mut engine =
+                        Dimmunix::with_history(Config::default(), synthetic_history(history));
+                    let positions: Vec<_> = (0..16)
+                        .map(|i| {
+                            engine.intern_position(&CallStack::single(Frame::new(
+                                format!("Worker.site{i}"),
+                                "hotpath.rs",
+                                i,
+                            )))
+                        })
+                        .collect();
+                    b.iter(|| drive(&mut engine, threads, &positions));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the §5 overhead microbenchmark (experiment E2).
+//!
+//! Measures the wall-clock time of a fixed batch of synchronized sections on
+//! real threads, with Dimmunix disabled (vanilla baseline) and enabled with a
+//! 64- and 256-signature synthetic history — the same factors the paper
+//! sweeps. The ratio of the medians is the reproduced overhead figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::{run_microbenchmark, MicrobenchConfig};
+
+fn base() -> MicrobenchConfig {
+    MicrobenchConfig {
+        threads: 8,
+        iterations: 400,
+        locks_per_thread: 8,
+        work_inside: 1_000,
+        work_outside: 3_000,
+        synthetic_signatures: 0,
+        dimmunix_enabled: false,
+    }
+}
+
+fn bench_microbenchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microbenchmark_syncs");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("vanilla", 8), |b| {
+        b.iter(|| run_microbenchmark(&base()))
+    });
+    for history in [64usize, 256] {
+        group.bench_function(BenchmarkId::new("dimmunix", history), |b| {
+            b.iter(|| {
+                run_microbenchmark(&MicrobenchConfig {
+                    dimmunix_enabled: true,
+                    synthetic_signatures: history,
+                    ..base()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_microbenchmark);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the Table 1 application replays (experiment E1).
+//!
+//! Each iteration replays one profiled application's synchronization
+//! behaviour on the simulated VM, with Dimmunix enabled and disabled; the
+//! comparison shows the simulation cost is dominated by the workload itself
+//! rather than by the immunity layer.
+
+use android_sim::profile_by_name;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dalvik_sim::ProcessBuilder;
+use dimmunix_core::Config;
+
+fn replay(app: &str, dimmunix: bool) -> u64 {
+    let profile = profile_by_name(app).expect("known app");
+    let (program, main) = profile.build_workload(30.0, 2_000);
+    let config = if dimmunix {
+        Config::default()
+    } else {
+        Config::disabled()
+    };
+    let mut p = ProcessBuilder::new(profile.package, program)
+        .config(config)
+        .baseline_bytes(profile.vanilla_bytes())
+        .spawn_main(main);
+    let _ = p.run(u64::MAX / 4);
+    p.stats().syncs
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_app_replay");
+    group.sample_size(10);
+    for app in ["Email", "Camera"] {
+        group.bench_function(BenchmarkId::new("vanilla", app), |b| {
+            b.iter(|| replay(app, false))
+        });
+        group.bench_function(BenchmarkId::new("dimmunix", app), |b| {
+            b.iter(|| replay(app, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

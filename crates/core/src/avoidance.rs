@@ -1,0 +1,309 @@
+//! Signature-instantiation checking — the avoidance module.
+//!
+//! §2.2: for a signature with outer call stacks `CS1 … CSn` to be
+//! instantiated, there must exist *distinct* threads `t1 … tn` that hold, or
+//! are allowed by Dimmunix to wait for, locks acquired at those call stacks.
+//! Before approving a request, the engine "pretends" the requesting thread
+//! already occupies its requesting position and asks whether any history
+//! signature could then be instantiated; if so, the thread must yield.
+//!
+//! The functions in this module are pure with respect to the engine: they
+//! only read the position table (which carries the per-position thread
+//! queues) and the history, which makes the matching logic easy to unit-test
+//! and property-test in isolation.
+
+use crate::history::History;
+use crate::position::{PositionId, PositionTable};
+use crate::signature::Signature;
+use crate::{SignatureId, ThreadId};
+
+/// Result of a successful instantiation check: the matched signature and the
+/// *other* threads (blockers) that cover its remaining outer positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instantiation {
+    /// The signature from the history that could be instantiated.
+    pub signature: SignatureId,
+    /// Threads other than the requester that cover outer positions.
+    pub blockers: Vec<ThreadId>,
+}
+
+/// Checks whether approving `thread` at `position` would make any history
+/// signature instantiable, pretending the thread already occupies that
+/// position. Returns the first matching signature (lowest id — i.e. oldest
+/// antibody) together with the blocking threads.
+pub fn find_instantiation(
+    history: &History,
+    positions: &PositionTable,
+    thread: ThreadId,
+    position: PositionId,
+) -> Option<Instantiation> {
+    for (id, sig) in history.iter() {
+        if let Some(blockers) = signature_instantiable(sig, positions, thread, position) {
+            return Some(Instantiation {
+                signature: id,
+                blockers,
+            });
+        }
+    }
+    None
+}
+
+/// Checks a single signature. Returns the blockers (distinct threads other
+/// than `thread` covering the remaining outer positions) if instantiation is
+/// possible, `None` otherwise.
+///
+/// The requester's pretended `(thread, position)` must itself be part of the
+/// instantiation: the request is only held back when *this* acquisition is
+/// the one that would complete the pattern. Pre-existing instantiations that
+/// do not involve the requester (e.g. the deadlocked threads of the very
+/// first occurrence, still blocked in the RAG) never penalize unrelated
+/// threads.
+pub fn signature_instantiable(
+    sig: &Signature,
+    positions: &PositionTable,
+    thread: ThreadId,
+    position: PositionId,
+) -> Option<Vec<ThreadId>> {
+    // Resolve each outer stack to an interned position. If an outer stack was
+    // never interned, no thread can possibly occupy it, so the signature
+    // cannot be instantiated at all.
+    let mut outer_positions = Vec::with_capacity(sig.arity());
+    for outer in sig.outer_stacks() {
+        match positions.lookup(outer) {
+            Some(pid) => outer_positions.push(pid),
+            None => return None,
+        }
+    }
+
+    // The requesting position must occur among the signature's outer
+    // positions, otherwise this acquisition cannot complete an instantiation.
+    if !outer_positions.contains(&position) {
+        return None;
+    }
+
+    // Candidate threads per outer position: the threads in that position's
+    // queue (they hold or were allowed to acquire locks there). The
+    // requester's own slot is pre-assigned below.
+    let candidates: Vec<Vec<ThreadId>> = outer_positions
+        .iter()
+        .map(|pid| {
+            positions
+                .get(*pid)
+                .map(|p| p.queue().distinct_threads())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Try pre-assigning the requester to each occurrence of its position,
+    // then search for an injective assignment of distinct threads to the
+    // remaining outer positions. Signatures involve two or three threads in
+    // practice, so the backtracking is cheap.
+    for (slot, pid) in outer_positions.iter().enumerate() {
+        if *pid != position {
+            continue;
+        }
+        let mut assignment: Vec<Option<ThreadId>> = vec![None; candidates.len()];
+        assignment[slot] = Some(thread);
+        if assign(&candidates, 0, &mut assignment) {
+            let mut blockers: Vec<ThreadId> = assignment
+                .into_iter()
+                .flatten()
+                .filter(|x| *x != thread)
+                .collect();
+            blockers.sort_unstable();
+            blockers.dedup();
+            return Some(blockers);
+        }
+    }
+    None
+}
+
+fn assign(
+    candidates: &[Vec<ThreadId>],
+    idx: usize,
+    assignment: &mut Vec<Option<ThreadId>>,
+) -> bool {
+    if idx == candidates.len() {
+        return true;
+    }
+    if assignment[idx].is_some() {
+        // Slot pre-assigned (the requester's pretended position).
+        return assign(candidates, idx + 1, assignment);
+    }
+    for &cand in &candidates[idx] {
+        if assignment.iter().any(|a| *a == Some(cand)) {
+            continue;
+        }
+        assignment[idx] = Some(cand);
+        if assign(candidates, idx + 1, assignment) {
+            return true;
+        }
+        assignment[idx] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callstack::{CallStack, Frame};
+    use crate::signature::{SignatureKind, SignaturePair};
+
+    fn stack(tag: u32) -> CallStack {
+        CallStack::single(Frame::new(format!("m{tag}"), "f.rs", tag))
+    }
+
+    fn two_pos_signature(a: u32, b: u32) -> Signature {
+        Signature::new(
+            SignatureKind::Deadlock,
+            vec![
+                SignaturePair::new(stack(a), stack(100 + a)),
+                SignaturePair::new(stack(b), stack(100 + b)),
+            ],
+        )
+    }
+
+    fn setup() -> (History, PositionTable) {
+        let mut history = History::new();
+        history.add(two_pos_signature(1, 2));
+        let mut positions = PositionTable::new(1);
+        positions.intern(&stack(1));
+        positions.intern(&stack(2));
+        (history, positions)
+    }
+
+    #[test]
+    fn empty_queues_mean_no_instantiation() {
+        let (history, positions) = setup();
+        let p1 = positions.lookup(&stack(1)).unwrap();
+        assert!(find_instantiation(&history, &positions, ThreadId::new(1), p1).is_none());
+    }
+
+    #[test]
+    fn pretend_plus_occupied_queue_instantiates() {
+        let (history, mut positions) = setup();
+        let p1 = positions.lookup(&stack(1)).unwrap();
+        let p2 = positions.lookup(&stack(2)).unwrap();
+        // Thread 7 holds a lock acquired at position 1.
+        positions
+            .get_mut(p1)
+            .unwrap()
+            .queue_mut()
+            .push(ThreadId::new(7));
+        // Thread 8 now requests at position 2: instantiation possible.
+        let inst = find_instantiation(&history, &positions, ThreadId::new(8), p2).expect("match");
+        assert_eq!(inst.signature, SignatureId::new(0));
+        assert_eq!(inst.blockers, vec![ThreadId::new(7)]);
+    }
+
+    #[test]
+    fn same_thread_cannot_cover_both_positions_via_pretend() {
+        let (history, mut positions) = setup();
+        let p1 = positions.lookup(&stack(1)).unwrap();
+        let p2 = positions.lookup(&stack(2)).unwrap();
+        // Thread 7 already occupies position 1 and now requests position 2:
+        // instantiation needs two distinct threads, so this must not match.
+        positions
+            .get_mut(p1)
+            .unwrap()
+            .queue_mut()
+            .push(ThreadId::new(7));
+        assert!(find_instantiation(&history, &positions, ThreadId::new(7), p2).is_none());
+    }
+
+    #[test]
+    fn duplicate_outer_positions_require_two_distinct_threads() {
+        let mut history = History::new();
+        // Both deadlocked threads acquired their lock at the same location
+        // (self-deadlock pattern through a shared helper).
+        history.add(Signature::new(
+            SignatureKind::Deadlock,
+            vec![
+                SignaturePair::new(stack(5), stack(105)),
+                SignaturePair::new(stack(5), stack(106)),
+            ],
+        ));
+        let mut positions = PositionTable::new(1);
+        let p5 = positions.intern(&stack(5));
+        // Only the requester occupies p5 -> not instantiable.
+        assert!(find_instantiation(&history, &positions, ThreadId::new(1), p5).is_none());
+        // A second, distinct thread occupies p5 -> instantiable.
+        positions
+            .get_mut(p5)
+            .unwrap()
+            .queue_mut()
+            .push(ThreadId::new(2));
+        let inst = find_instantiation(&history, &positions, ThreadId::new(1), p5).expect("match");
+        assert_eq!(inst.blockers, vec![ThreadId::new(2)]);
+    }
+
+    #[test]
+    fn unknown_outer_stack_disables_signature() {
+        let (mut history, positions) = setup();
+        // Add a signature whose outer stacks were never interned.
+        history.add(two_pos_signature(50, 51));
+        let p1 = positions.lookup(&stack(1)).unwrap();
+        assert!(find_instantiation(&history, &positions, ThreadId::new(3), p1).is_none());
+    }
+
+    #[test]
+    fn oldest_matching_signature_wins() {
+        let mut history = History::new();
+        history.add(two_pos_signature(1, 2));
+        history.add(two_pos_signature(1, 3));
+        let mut positions = PositionTable::new(1);
+        let p1 = positions.intern(&stack(1));
+        let p2 = positions.intern(&stack(2));
+        let p3 = positions.intern(&stack(3));
+        positions
+            .get_mut(p2)
+            .unwrap()
+            .queue_mut()
+            .push(ThreadId::new(9));
+        positions
+            .get_mut(p3)
+            .unwrap()
+            .queue_mut()
+            .push(ThreadId::new(9));
+        let _ = p1;
+        let inst =
+            find_instantiation(&history, &positions, ThreadId::new(4), p1).expect("match");
+        assert_eq!(inst.signature, SignatureId::new(0));
+    }
+
+    #[test]
+    fn three_way_signature_matching() {
+        let mut history = History::new();
+        history.add(Signature::new(
+            SignatureKind::Deadlock,
+            vec![
+                SignaturePair::new(stack(1), stack(101)),
+                SignaturePair::new(stack(2), stack(102)),
+                SignaturePair::new(stack(3), stack(103)),
+            ],
+        ));
+        let mut positions = PositionTable::new(1);
+        let p1 = positions.intern(&stack(1));
+        let p2 = positions.intern(&stack(2));
+        let p3 = positions.intern(&stack(3));
+        positions
+            .get_mut(p1)
+            .unwrap()
+            .queue_mut()
+            .push(ThreadId::new(11));
+        positions
+            .get_mut(p2)
+            .unwrap()
+            .queue_mut()
+            .push(ThreadId::new(12));
+        // Only two of three covered -> no instantiation.
+        assert!(find_instantiation(&history, &positions, ThreadId::new(11), p1).is_none());
+        // Third position covered by the requester -> instantiation.
+        let inst =
+            find_instantiation(&history, &positions, ThreadId::new(13), p3).expect("match");
+        assert_eq!(
+            inst.blockers,
+            vec![ThreadId::new(11), ThreadId::new(12)]
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Call stacks and stack frames.
+//!
+//! A deadlock signature is built from call stacks: the *outer* call stack a
+//! thread had when it acquired a lock involved in the deadlock, and the
+//! *inner* call stack it had at the moment of the deadlock (§2.1). A frame is
+//! a program location; the top frame of an outer (inner) stack is the outer
+//! (inner) *position*. Android Dimmunix truncates outer stacks to depth 1 to
+//! keep `dvmGetCallStack` cheap (§3.2).
+
+use crate::SiteId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One program location: a method plus a source position.
+///
+/// The Dalvik implementation stores the method and bytecode pc of the frame;
+/// for the Rust substrates we keep a method (or function) name, a file and a
+/// line, which is exactly the information the `acquire_site!()` macro in
+/// `dimmunix-rt` and the simulated frames in `dalvik-sim` can provide.
+///
+/// ```
+/// use dimmunix_core::Frame;
+/// let f = Frame::new("NotificationManagerService.enqueueNotificationWithTag", "nms.java", 310);
+/// assert_eq!(f.line(), 310);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Frame {
+    method: String,
+    file: String,
+    line: u32,
+}
+
+impl Frame {
+    /// Creates a frame from a method name, file and line.
+    pub fn new(method: impl Into<String>, file: impl Into<String>, line: u32) -> Self {
+        Frame {
+            method: method.into(),
+            file: file.into(),
+            line,
+        }
+    }
+
+    /// Creates a frame from a statically assigned synchronization-site id
+    /// (the compiler-id optimization proposed in §4).
+    pub fn from_site(site: SiteId) -> Self {
+        Frame {
+            method: format!("site#{}", site.index()),
+            file: String::from("<static-site>"),
+            line: 0,
+        }
+    }
+
+    /// The method (or function) name of this frame.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The source file of this frame.
+    pub fn file(&self) -> &str {
+        &self.file
+    }
+
+    /// The source line of this frame.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}:{})", self.method, self.file, self.line)
+    }
+}
+
+/// A captured call stack, top frame first.
+///
+/// Equality and hashing are structural, so two acquisitions from the same
+/// program location produce equal call stacks and therefore the same interned
+/// [`PositionId`](crate::position::PositionId).
+///
+/// ```
+/// use dimmunix_core::{CallStack, Frame};
+/// let cs = CallStack::from_frames(vec![
+///     Frame::new("Service.lock", "service.rs", 10),
+///     Frame::new("Service.handle", "service.rs", 55),
+/// ]);
+/// assert_eq!(cs.depth(), 2);
+/// assert_eq!(cs.truncated(1).depth(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct CallStack {
+    frames: Vec<Frame>,
+}
+
+impl CallStack {
+    /// Creates an empty call stack (used for threads with no frames yet).
+    pub fn new() -> Self {
+        CallStack { frames: Vec::new() }
+    }
+
+    /// Creates a call stack from frames (top frame first).
+    pub fn from_frames(frames: Vec<Frame>) -> Self {
+        CallStack { frames }
+    }
+
+    /// Creates a depth-1 stack from a single frame.
+    pub fn single(frame: Frame) -> Self {
+        CallStack {
+            frames: vec![frame],
+        }
+    }
+
+    /// Creates a depth-1 stack for a static synchronization-site id.
+    pub fn from_site(site: SiteId) -> Self {
+        CallStack::single(Frame::from_site(site))
+    }
+
+    /// Number of frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the stack has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The top (innermost) frame, i.e. the paper's *position*.
+    pub fn top(&self) -> Option<&Frame> {
+        self.frames.first()
+    }
+
+    /// All frames, top first.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Returns a copy truncated to at most `depth` frames (top frames kept).
+    ///
+    /// This is what Android Dimmunix does with depth 1 before interning the
+    /// stack as a position.
+    #[must_use]
+    pub fn truncated(&self, depth: usize) -> CallStack {
+        CallStack {
+            frames: self.frames.iter().take(depth.max(1)).cloned().collect(),
+        }
+    }
+
+    /// Pushes a frame on top of the stack (used by simulated interpreters).
+    pub fn push(&mut self, frame: Frame) {
+        self.frames.insert(0, frame);
+    }
+
+    /// Pops the top frame.
+    pub fn pop(&mut self) -> Option<Frame> {
+        if self.frames.is_empty() {
+            None
+        } else {
+            Some(self.frames.remove(0))
+        }
+    }
+
+    /// Serializes the stack into the compact one-line textual form used by
+    /// the persistent history file: `method@file:line;method@file:line;...`.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        for (i, f) in self.frames.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            out.push_str(&format!("{}@{}:{}", f.method, f.file, f.line));
+        }
+        out
+    }
+
+    /// Parses the compact textual form produced by [`to_compact`].
+    ///
+    /// # Errors
+    /// Returns a human-readable message for malformed input.
+    ///
+    /// [`to_compact`]: CallStack::to_compact
+    pub fn parse_compact(s: &str) -> std::result::Result<CallStack, String> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(CallStack::new());
+        }
+        let mut frames = Vec::new();
+        for part in s.split(';') {
+            let (method, rest) = part
+                .rsplit_once('@')
+                .ok_or_else(|| format!("frame `{part}` is missing `@`"))?;
+            let (file, line) = rest
+                .rsplit_once(':')
+                .ok_or_else(|| format!("frame `{part}` is missing `:line`"))?;
+            let line: u32 = line
+                .parse()
+                .map_err(|_| format!("frame `{part}` has a non-numeric line"))?;
+            frames.push(Frame::new(method, file, line));
+        }
+        Ok(CallStack { frames })
+    }
+}
+
+impl fmt::Display for CallStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.frames.is_empty() {
+            return write!(f, "<empty stack>");
+        }
+        for (i, frame) in self.frames.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "  at {frame}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Frame> for CallStack {
+    fn from_iter<T: IntoIterator<Item = Frame>>(iter: T) -> Self {
+        CallStack {
+            frames: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CallStack {
+        CallStack::from_frames(vec![
+            Frame::new("A.lock", "a.rs", 10),
+            Frame::new("A.outer", "a.rs", 42),
+            Frame::new("main", "main.rs", 3),
+        ])
+    }
+
+    #[test]
+    fn truncation_keeps_top_frames() {
+        let cs = sample();
+        let t = cs.truncated(1);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.top().unwrap().method(), "A.lock");
+        // truncation never drops below one frame
+        assert_eq!(cs.truncated(0).depth(), 1);
+    }
+
+    #[test]
+    fn equal_locations_are_equal_stacks() {
+        let a = CallStack::single(Frame::new("f", "x.rs", 1));
+        let b = CallStack::single(Frame::new("f", "x.rs", 1));
+        assert_eq!(a, b);
+        let c = CallStack::single(Frame::new("f", "x.rs", 2));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let cs = sample();
+        let text = cs.to_compact();
+        let parsed = CallStack::parse_compact(&text).unwrap();
+        assert_eq!(cs, parsed);
+    }
+
+    #[test]
+    fn compact_roundtrip_empty() {
+        let cs = CallStack::new();
+        assert_eq!(CallStack::parse_compact(&cs.to_compact()).unwrap(), cs);
+    }
+
+    #[test]
+    fn parse_compact_rejects_garbage() {
+        assert!(CallStack::parse_compact("no-at-sign").is_err());
+        assert!(CallStack::parse_compact("m@file").is_err());
+        assert!(CallStack::parse_compact("m@file:abc").is_err());
+    }
+
+    #[test]
+    fn push_pop_behaves_like_a_stack() {
+        let mut cs = CallStack::new();
+        cs.push(Frame::new("outer", "x.rs", 1));
+        cs.push(Frame::new("inner", "x.rs", 2));
+        assert_eq!(cs.top().unwrap().method(), "inner");
+        assert_eq!(cs.pop().unwrap().method(), "inner");
+        assert_eq!(cs.pop().unwrap().method(), "outer");
+        assert!(cs.pop().is_none());
+    }
+
+    #[test]
+    fn site_id_stacks_are_stable() {
+        let a = CallStack::from_site(SiteId::new(17));
+        let b = CallStack::from_site(SiteId::new(17));
+        assert_eq!(a, b);
+        assert_eq!(a.depth(), 1);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        assert!(!format!("{}", CallStack::new()).is_empty());
+        assert!(!format!("{}", sample()).is_empty());
+        assert!(format!("{}", sample()).contains("A.lock"));
+    }
+
+    #[test]
+    fn method_names_with_at_and_colon_roundtrip() {
+        // rsplit-based parsing keeps methods containing '@' or ':' intact.
+        let cs = CallStack::single(Frame::new("weird@method:name", "f.rs", 9));
+        let parsed = CallStack::parse_compact(&cs.to_compact()).unwrap();
+        assert_eq!(parsed, cs);
+    }
+}

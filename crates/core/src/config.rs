@@ -1,0 +1,187 @@
+//! Engine configuration.
+//!
+//! The defaults mirror the choices made for Android Dimmunix in §3.2/§4 of
+//! the paper: outer call stacks of depth 1, detection and avoidance both
+//! enabled, and an optional persistent history file.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// How many stack frames are kept when interning an acquisition position.
+///
+/// The paper uses depth 1 on the phone (cheap, but coarser matching, §3.2);
+/// the depth-ablation experiment (`A1` in `DESIGN.md`) sweeps this value.
+pub const DEFAULT_STACK_DEPTH: usize = 1;
+
+/// Upper bound on signatures kept in memory; old histories on real phones are
+/// small (one entry per distinct deadlock bug), so this is simply a safety
+/// valve for synthetic-history experiments.
+pub const DEFAULT_MAX_SIGNATURES: usize = 4096;
+
+/// Configuration of a [`Dimmunix`](crate::engine::Dimmunix) engine instance.
+///
+/// ```
+/// use dimmunix_core::Config;
+/// let cfg = Config::builder().stack_depth(2).detection(true).build();
+/// assert_eq!(cfg.stack_depth, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Config {
+    /// Number of call-stack frames retained per acquisition position.
+    pub stack_depth: usize,
+    /// Whether the detection module (RAG cycle search on every request) runs.
+    pub detection: bool,
+    /// Whether the avoidance module (signature-instantiation check) runs.
+    pub avoidance: bool,
+    /// Whether avoidance-induced starvation is detected and converted into
+    /// starvation signatures (§2.2).
+    pub starvation_handling: bool,
+    /// Optional path of the persistent deadlock history.
+    pub history_path: Option<PathBuf>,
+    /// Maximum number of signatures retained in the in-memory history.
+    pub max_signatures: usize,
+    /// Capacity of the in-memory event log (0 disables event logging).
+    pub event_log_capacity: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            stack_depth: DEFAULT_STACK_DEPTH,
+            detection: true,
+            avoidance: true,
+            starvation_handling: true,
+            history_path: None,
+            max_signatures: DEFAULT_MAX_SIGNATURES,
+            event_log_capacity: 0,
+        }
+    }
+}
+
+impl Config {
+    /// Creates the default configuration (paper defaults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a builder for incremental configuration.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+
+    /// Configuration equivalent to running the vanilla platform: Dimmunix is
+    /// a pure pass-through (used for overhead baselines).
+    pub fn disabled() -> Self {
+        Config {
+            detection: false,
+            avoidance: false,
+            starvation_handling: false,
+            ..Self::default()
+        }
+    }
+
+    /// Returns true if neither detection nor avoidance is active.
+    pub fn is_disabled(&self) -> bool {
+        !self.detection && !self.avoidance
+    }
+}
+
+/// Builder for [`Config`].
+#[derive(Debug, Clone, Default)]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+impl ConfigBuilder {
+    /// Sets the retained call-stack depth (clamped to at least 1).
+    pub fn stack_depth(mut self, depth: usize) -> Self {
+        self.config.stack_depth = depth.max(1);
+        self
+    }
+
+    /// Enables or disables deadlock detection.
+    pub fn detection(mut self, enabled: bool) -> Self {
+        self.config.detection = enabled;
+        self
+    }
+
+    /// Enables or disables deadlock avoidance.
+    pub fn avoidance(mut self, enabled: bool) -> Self {
+        self.config.avoidance = enabled;
+        self
+    }
+
+    /// Enables or disables starvation (avoidance-induced deadlock) handling.
+    pub fn starvation_handling(mut self, enabled: bool) -> Self {
+        self.config.starvation_handling = enabled;
+        self
+    }
+
+    /// Sets the persistent history path.
+    pub fn history_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.history_path = Some(path.into());
+        self
+    }
+
+    /// Sets the maximum number of in-memory signatures.
+    pub fn max_signatures(mut self, max: usize) -> Self {
+        self.config.max_signatures = max;
+        self
+    }
+
+    /// Sets the in-memory event log capacity (0 disables logging).
+    pub fn event_log_capacity(mut self, cap: usize) -> Self {
+        self.config.event_log_capacity = cap;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Config {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_choices() {
+        let cfg = Config::default();
+        assert_eq!(cfg.stack_depth, 1);
+        assert!(cfg.detection);
+        assert!(cfg.avoidance);
+        assert!(cfg.starvation_handling);
+        assert!(cfg.history_path.is_none());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = Config::builder()
+            .stack_depth(3)
+            .detection(false)
+            .avoidance(false)
+            .starvation_handling(false)
+            .history_path("/tmp/h.dimmu")
+            .max_signatures(12)
+            .event_log_capacity(128)
+            .build();
+        assert_eq!(cfg.stack_depth, 3);
+        assert!(cfg.is_disabled());
+        assert_eq!(cfg.max_signatures, 12);
+        assert_eq!(cfg.event_log_capacity, 128);
+        assert!(cfg.history_path.is_some());
+    }
+
+    #[test]
+    fn stack_depth_is_clamped_to_one() {
+        let cfg = Config::builder().stack_depth(0).build();
+        assert_eq!(cfg.stack_depth, 1);
+    }
+
+    #[test]
+    fn disabled_config_is_pass_through() {
+        assert!(Config::disabled().is_disabled());
+        assert!(!Config::default().is_disabled());
+    }
+}

@@ -1,0 +1,213 @@
+//! Deadlock detection — turning RAG cycles into signatures.
+//!
+//! When a request creates a cycle in the wait-for relation, the deadlock (or,
+//! if parked threads are involved, the avoidance-induced starvation) is
+//! materialized as a [`Signature`]: one (outer, inner) call-stack pair per
+//! thread in the cycle, where the outer stack is the stack at which the
+//! thread acquired the lock it contributes to the cycle and the inner stack
+//! is the stack of its pending request (§2.1, §2.2).
+
+use crate::position::{PositionId, PositionTable};
+use crate::rag::{CycleStep, Rag, WaitEdge};
+use crate::signature::{Signature, SignatureKind, SignaturePair};
+use crate::ThreadId;
+
+/// Classification of a detected wait-for cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectedCycle {
+    /// The threads participating in the cycle, in wait order.
+    pub threads: Vec<ThreadId>,
+    /// True if at least one participant is parked by the avoidance module, in
+    /// which case the cycle is an avoidance-induced deadlock (starvation)
+    /// rather than a genuine program deadlock.
+    pub involves_yield: bool,
+    /// The extracted signature.
+    pub signature: Signature,
+}
+
+/// Builds a [`DetectedCycle`] from the steps returned by
+/// [`Rag::find_cycle_from`].
+///
+/// For every step `i`, `steps[i].thread` waits on `steps[(i + 1) % n].thread`
+/// through `steps[i].edge`. The waited-on thread's *outer* stack is the
+/// acquisition position of the lock on that edge (for lock edges) or its own
+/// requesting position (for yield edges, where no specific lock is held); its
+/// *inner* stack is the position of its pending request.
+pub fn classify_cycle(
+    rag: &Rag,
+    positions: &PositionTable,
+    steps: &[CycleStep],
+) -> DetectedCycle {
+    let n = steps.len();
+    let mut pairs = Vec::with_capacity(n);
+    let mut involves_yield = false;
+    let threads: Vec<ThreadId> = steps.iter().map(|s| s.thread).collect();
+
+    for i in 0..n {
+        let waited_on = steps[(i + 1) % n].thread;
+        // Inner stack: the waited-on thread's own pending request (every
+        // participant of a cycle has one, whether blocked or parked).
+        let inner_pos = rag
+            .requesting(waited_on)
+            .map(|(_, p)| p)
+            .or_else(|| rag.yielding(waited_on).map(|y| y.position));
+        let outer_pos: Option<PositionId> = match &steps[i].edge {
+            WaitEdge::Lock(lock) => rag.acq_pos(*lock),
+            WaitEdge::Yield(_) => {
+                involves_yield = true;
+                // The parked predecessor waits on `waited_on` because it
+                // covers one of the signature's outer positions; the most
+                // informative stable stack we have for it is the acquisition
+                // position of the last lock it acquired at a history
+                // position, falling back to its latest held lock.
+                last_history_hold(rag, positions, waited_on)
+                    .or_else(|| rag.held_locks(waited_on).last().map(|(_, p)| *p))
+                    .or(inner_pos)
+            }
+        };
+        let lookup = |pos: Option<PositionId>| {
+            pos.and_then(|p| positions.get(p))
+                .map(|p| p.stack().clone())
+                .unwrap_or_default()
+        };
+        pairs.push(SignaturePair::new(lookup(outer_pos), lookup(inner_pos)));
+    }
+
+    // A yield edge anywhere makes the whole cycle an avoidance artifact.
+    if steps.iter().any(|s| matches!(s.edge, WaitEdge::Yield(_))) {
+        involves_yield = true;
+    }
+
+    let kind = if involves_yield {
+        SignatureKind::Starvation
+    } else {
+        SignatureKind::Deadlock
+    };
+    DetectedCycle {
+        threads,
+        involves_yield,
+        signature: Signature::new(kind, pairs),
+    }
+}
+
+/// Latest lock held by `t` whose acquisition position is flagged as being in
+/// the history.
+pub(crate) fn last_history_hold(
+    rag: &Rag,
+    positions: &PositionTable,
+    t: ThreadId,
+) -> Option<PositionId> {
+    rag.held_locks(t)
+        .iter()
+        .rev()
+        .map(|(_, p)| *p)
+        .find(|p| positions.get(*p).map(|d| d.in_history()).unwrap_or(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callstack::{CallStack, Frame};
+    use crate::rag::YieldRecord;
+    use crate::{LockId, SignatureId};
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn l(i: u64) -> LockId {
+        LockId::new(i)
+    }
+    fn stack(tag: u32) -> CallStack {
+        CallStack::single(Frame::new(format!("m{tag}"), "f.rs", tag))
+    }
+
+    /// Builds the canonical two-thread deadlock and checks the extracted
+    /// signature has the acquisition stacks as outer and the blocked request
+    /// stacks as inner.
+    #[test]
+    fn two_thread_deadlock_signature() {
+        let mut positions = PositionTable::new(1);
+        let p_a1 = positions.intern(&stack(1)); // t1 acquires l1 here
+        let p_a2 = positions.intern(&stack(2)); // t2 acquires l2 here
+        let p_r1 = positions.intern(&stack(3)); // t1 requests l2 here
+        let p_r2 = positions.intern(&stack(4)); // t2 requests l1 here
+
+        let mut rag = Rag::new();
+        rag.acquire(t(1), l(1), p_a1);
+        rag.acquire(t(2), l(2), p_a2);
+        rag.set_request(t(1), l(2), p_r1);
+        rag.set_request(t(2), l(1), p_r2);
+
+        let steps = rag.find_cycle_from(t(2), false).expect("cycle");
+        let detected = classify_cycle(&rag, &positions, &steps);
+        assert!(!detected.involves_yield);
+        assert_eq!(detected.signature.kind(), SignatureKind::Deadlock);
+        assert_eq!(detected.signature.arity(), 2);
+
+        let outers: Vec<String> = detected
+            .signature
+            .outer_stacks()
+            .map(|s| s.to_compact())
+            .collect();
+        assert!(outers.contains(&stack(1).to_compact()));
+        assert!(outers.contains(&stack(2).to_compact()));
+        let inners: Vec<String> = detected
+            .signature
+            .inner_stacks()
+            .map(|s| s.to_compact())
+            .collect();
+        assert!(inners.contains(&stack(3).to_compact()));
+        assert!(inners.contains(&stack(4).to_compact()));
+    }
+
+    #[test]
+    fn cycle_through_parked_thread_is_starvation() {
+        let mut positions = PositionTable::new(1);
+        let p_a1 = positions.intern(&stack(1));
+        let p_a2 = positions.intern(&stack(2));
+        let p_r1 = positions.intern(&stack(3));
+        let p_r2 = positions.intern(&stack(4));
+
+        let mut rag = Rag::new();
+        // t1 holds l1 and requests l2 (held by t2); t2 is parked by avoidance
+        // waiting on t1.
+        rag.acquire(t(1), l(1), p_a1);
+        rag.acquire(t(2), l(2), p_a2);
+        rag.set_request(t(1), l(2), p_r1);
+        rag.set_request(t(2), l(3), p_r2);
+        rag.register_lock(l(3));
+        rag.set_yield(
+            t(2),
+            YieldRecord {
+                signature: SignatureId::new(0),
+                position: p_r2,
+                lock: l(3),
+                blockers: vec![t(1)],
+            },
+        );
+
+        let steps = rag.find_cycle_from(t(1), true).expect("cycle");
+        let detected = classify_cycle(&rag, &positions, &steps);
+        assert!(detected.involves_yield);
+        assert_eq!(detected.signature.kind(), SignatureKind::Starvation);
+        assert_eq!(detected.threads.len(), 2);
+    }
+
+    #[test]
+    fn three_thread_cycle_has_three_pairs() {
+        let mut positions = PositionTable::new(1);
+        let pa: Vec<_> = (0..3).map(|i| positions.intern(&stack(10 + i))).collect();
+        let pr: Vec<_> = (0..3).map(|i| positions.intern(&stack(20 + i))).collect();
+        let mut rag = Rag::new();
+        for i in 0..3u64 {
+            rag.acquire(t(i + 1), l(i + 1), pa[i as usize]);
+        }
+        rag.set_request(t(1), l(2), pr[0]);
+        rag.set_request(t(2), l(3), pr[1]);
+        rag.set_request(t(3), l(1), pr[2]);
+        let steps = rag.find_cycle_from(t(3), false).expect("cycle");
+        let detected = classify_cycle(&rag, &positions, &steps);
+        assert_eq!(detected.signature.arity(), 3);
+        assert_eq!(detected.threads.len(), 3);
+    }
+}

@@ -1,0 +1,607 @@
+//! The Dimmunix engine: detection + avoidance behind three hook points.
+//!
+//! The engine mirrors the structure of the paper's Dimmunix core (§4): the
+//! substrate (a VM, or a set of wrapper lock types) calls
+//! [`Dimmunix::request`] before a monitor acquisition, [`Dimmunix::acquired`]
+//! right after the acquisition succeeds, and [`Dimmunix::released`] right
+//! before the monitor is released. `request` answers with a
+//! [`RequestOutcome`]: proceed, park on a signature's condition variable and
+//! retry, or "a deadlock is happening right now" (the signature has already
+//! been saved for the next run).
+//!
+//! The engine is deliberately single-threaded: the paper serializes the three
+//! hooks with a global lock inside the VM, and the substrates here do the
+//! same (`Mutex<Dimmunix>` in `dimmunix-rt`, naturally serialized execution in
+//! `dalvik-sim`). Keeping the engine free of interior locking makes it
+//! deterministic and property-testable.
+
+use crate::avoidance::find_instantiation;
+use crate::callstack::CallStack;
+use crate::config::Config;
+use crate::detection::{classify_cycle, last_history_hold};
+use crate::error::Result;
+use crate::events::{EventKind, EventLog};
+use crate::history::History;
+use crate::position::{PositionId, PositionTable};
+use crate::rag::{Rag, YieldRecord};
+use crate::signature::{Signature, SignatureKind, SignaturePair};
+use crate::stats::Stats;
+use crate::{LockId, LogicalTime, SignatureId, ThreadId};
+
+/// The engine's answer to a lock request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// The thread may proceed to acquire the lock.
+    Granted,
+    /// The thread already owns the monitor; proceed (reentrant acquisition).
+    GrantedReentrant,
+    /// Granting now could instantiate the given history signature: the thread
+    /// must wait (on the signature's condition variable, in the substrates)
+    /// and then call `request` again.
+    Yield {
+        /// The signature whose instantiation is being avoided.
+        signature: SignatureId,
+    },
+    /// A genuine deadlock cycle was detected; its signature has been added to
+    /// the history (and persisted if a history path is configured). The
+    /// caller decides whether to block anyway (paper-faithful: the phone
+    /// freezes once) or to fail the acquisition.
+    DeadlockDetected {
+        /// The signature extracted from the cycle.
+        signature: SignatureId,
+        /// True if this is the first time the bug is observed.
+        new_signature: bool,
+        /// The threads participating in the cycle.
+        threads: Vec<ThreadId>,
+    },
+}
+
+impl RequestOutcome {
+    /// True if the caller may proceed with the acquisition.
+    pub fn is_granted(&self) -> bool {
+        matches!(
+            self,
+            RequestOutcome::Granted | RequestOutcome::GrantedReentrant
+        )
+    }
+}
+
+/// A per-process Dimmunix instance.
+///
+/// ```
+/// use dimmunix_core::{CallStack, Config, Dimmunix, Frame, LockId, ThreadId};
+///
+/// let mut dimmunix = Dimmunix::new(Config::default());
+/// let t = ThreadId::new(1);
+/// let l = LockId::new(1);
+/// let site = CallStack::single(Frame::new("worker", "app.rs", 42));
+/// let outcome = dimmunix.request(t, l, &site);
+/// assert!(outcome.is_granted());
+/// dimmunix.acquired(t, l);
+/// let _wake = dimmunix.released(t, l);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dimmunix {
+    config: Config,
+    positions: PositionTable,
+    rag: Rag,
+    history: History,
+    stats: Stats,
+    events: EventLog,
+    clock: LogicalTime,
+    pending_wakeups: Vec<SignatureId>,
+}
+
+impl Default for Dimmunix {
+    fn default() -> Self {
+        Dimmunix::new(Config::default())
+    }
+}
+
+impl Dimmunix {
+    /// Creates an engine with the given configuration. If the configuration
+    /// names a history file, it is loaded (a missing file is an empty
+    /// history, i.e. a phone that has not deadlocked yet).
+    pub fn new(config: Config) -> Self {
+        let history = config
+            .history_path
+            .as_ref()
+            .and_then(|p| History::load_text(p).ok())
+            .unwrap_or_default();
+        Self::with_history(config, history)
+    }
+
+    /// Creates an engine with an explicit starting history (e.g. antibodies
+    /// shipped by a vendor, or synthetic signatures for benchmarking).
+    pub fn with_history(config: Config, history: History) -> Self {
+        let mut engine = Dimmunix {
+            positions: PositionTable::new(config.stack_depth),
+            rag: Rag::new(),
+            stats: Stats::new(),
+            events: EventLog::new(config.event_log_capacity),
+            clock: LogicalTime::ZERO,
+            pending_wakeups: Vec::new(),
+            history: History::new(),
+            config,
+        };
+        for (_, sig) in history.iter() {
+            engine.insert_signature(sig.clone());
+        }
+        engine
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The engine configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The deadlock history (the process's antibodies).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The interned position table.
+    pub fn positions(&self) -> &PositionTable {
+        &self.positions
+    }
+
+    /// The resource allocation graph.
+    pub fn rag(&self) -> &Rag {
+        &self.rag
+    }
+
+    /// The event log (empty unless enabled in the configuration).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> LogicalTime {
+        self.clock
+    }
+
+    /// Estimated resident memory added by Dimmunix to the process, in bytes.
+    /// This is what the Table 1 memory-overhead experiment charges to
+    /// Dimmunix: positions and their queues, the RAG, the history, and the
+    /// per-thread stack buffers modelled by the substrates.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.positions.memory_footprint_bytes()
+            + self.rag.memory_footprint_bytes()
+            + self.history.memory_footprint_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Registers a thread (the analogue of `initNode` on Dalvik's
+    /// `allocThread`, §4). Idempotent.
+    pub fn register_thread(&mut self, t: ThreadId) {
+        self.rag.register_thread(t);
+    }
+
+    /// Unregisters a terminated thread: any monitors it still owned are
+    /// force-released and the corresponding position-queue entries removed.
+    /// Returns the signatures whose parked threads should be woken as a
+    /// result of those releases.
+    pub fn unregister_thread(&mut self, t: ThreadId) -> Vec<SignatureId> {
+        self.rag.clear_yield(t);
+        let held = self.rag.unregister_thread(t);
+        let mut wake = Vec::new();
+        for (_, pos) in held {
+            if let Some(p) = self.positions.get_mut(pos) {
+                p.queue_mut().remove_one(t);
+            }
+            wake.extend(self.wakeups_for_position(pos));
+        }
+        wake.sort_unstable_by_key(|s| s.index());
+        wake.dedup();
+        wake
+    }
+
+    /// Registers a lock (the analogue of inflating a thin lock into a fat
+    /// monitor carrying a RAG node, §4). Idempotent.
+    pub fn register_lock(&mut self, l: LockId) {
+        self.rag.register_lock(l);
+    }
+
+    /// Unregisters a lock (monitor deflation / collection).
+    pub fn unregister_lock(&mut self, l: LockId) {
+        self.rag.unregister_lock(l);
+    }
+
+    /// Interns a call stack as a position without issuing a request; exposed
+    /// so substrates can pre-compute position ids for static sites (§4's
+    /// compiler-id optimization).
+    pub fn intern_position(&mut self, stack: &CallStack) -> PositionId {
+        self.positions.intern(stack)
+    }
+
+    /// Adds a signature directly to the history (vendor-shipped antibodies or
+    /// synthetic signatures for the §5 microbenchmark). Returns its id and
+    /// whether it was new.
+    pub fn add_signature(&mut self, sig: Signature) -> (SignatureId, bool) {
+        self.insert_signature(sig)
+    }
+
+    // ------------------------------------------------------------------
+    // The three hook points
+    // ------------------------------------------------------------------
+
+    /// Called before a monitor acquisition, with the acquiring call stack.
+    /// The stack is truncated and interned; see [`request_at`] for the
+    /// behaviour.
+    ///
+    /// [`request_at`]: Dimmunix::request_at
+    pub fn request(&mut self, t: ThreadId, l: LockId, stack: &CallStack) -> RequestOutcome {
+        let pos = self.positions.intern(stack);
+        self.request_at(t, l, pos)
+    }
+
+    /// Called before a monitor acquisition, with a pre-interned position.
+    ///
+    /// Performs deadlock detection (RAG cycle search) and avoidance
+    /// (signature-instantiation check) and answers with a
+    /// [`RequestOutcome`]. When the outcome is [`RequestOutcome::Yield`] the
+    /// caller must park the thread until the signature is notified (see
+    /// [`released`]) and then call `request_at` again — the paper's
+    /// `do { … } while (sigId >= 0)` loop in `lockMonitor`.
+    ///
+    /// [`released`]: Dimmunix::released
+    pub fn request_at(&mut self, t: ThreadId, l: LockId, pos: PositionId) -> RequestOutcome {
+        self.clock = self.clock.next();
+        self.stats.requests += 1;
+        self.events.push(
+            self.clock,
+            EventKind::Request {
+                thread: t,
+                lock: l,
+                position: pos,
+            },
+        );
+
+        if self.config.is_disabled() {
+            self.stats.grants += 1;
+            self.rag.register_thread(t);
+            self.rag.register_lock(l);
+            self.rag.set_pending_grant(t, l, pos);
+            return RequestOutcome::Granted;
+        }
+
+        // If the thread is retrying after a yield, it is no longer parked.
+        self.rag.clear_yield(t);
+
+        // Reentrant fast path: a thread never deadlocks against itself on a
+        // monitor it already owns.
+        if self.rag.owner(l) == Some(t) {
+            self.stats.reentrant_grants += 1;
+            self.events
+                .push(self.clock, EventKind::ReentrantGrant { thread: t, lock: l });
+            return RequestOutcome::GrantedReentrant;
+        }
+
+        self.rag.set_request(t, l, pos);
+
+        // --- Detection -------------------------------------------------
+        if self.config.detection {
+            let include_yields = self.config.starvation_handling;
+            if let Some(steps) = self.rag.find_cycle_from(t, include_yields) {
+                let detected = classify_cycle(&self.rag, &self.positions, &steps);
+                let is_starvation = detected.involves_yield;
+                let (sig_id, new) = self.insert_signature(detected.signature.clone());
+                if is_starvation {
+                    self.stats.starvations_detected += 1;
+                    if new {
+                        self.stats.new_starvation_signatures += 1;
+                    }
+                    self.events.push(
+                        self.clock,
+                        EventKind::StarvationDetected {
+                            thread: t,
+                            signature: sig_id,
+                            new_signature: new,
+                        },
+                    );
+                    // Resume every parked participant (§2.2): clear its yield
+                    // and schedule a wake-up of its signature.
+                    for th in &detected.threads {
+                        if let Some(y) = self.rag.clear_yield(*th) {
+                            self.pending_wakeups.push(y.signature);
+                            self.stats.wakeups += 1;
+                            self.events
+                                .push(self.clock, EventKind::Wakeup { signature: y.signature });
+                        }
+                    }
+                    self.persist_history_best_effort();
+                    // Fall through: the requester itself is then treated by
+                    // the avoidance logic below.
+                } else {
+                    self.stats.deadlocks_detected += 1;
+                    if new {
+                        self.stats.new_deadlock_signatures += 1;
+                    }
+                    self.events.push(
+                        self.clock,
+                        EventKind::DeadlockDetected {
+                            thread: t,
+                            signature: sig_id,
+                            new_signature: new,
+                        },
+                    );
+                    self.persist_history_best_effort();
+                    return RequestOutcome::DeadlockDetected {
+                        signature: sig_id,
+                        new_signature: new,
+                        threads: detected.threads,
+                    };
+                }
+            }
+        }
+
+        // --- Avoidance ---------------------------------------------------
+        if self.config.avoidance && !self.history.is_empty() {
+            self.stats.instantiation_checks += 1;
+            if let Some(inst) = find_instantiation(&self.history, &self.positions, t, pos) {
+                let mut park = true;
+                if self.config.starvation_handling && self.would_starve(t, &inst.blockers) {
+                    // Parking would itself create a wait-for cycle: record
+                    // the avoidance-induced deadlock and let the thread
+                    // proceed instead (§2.2).
+                    let sig = self.starvation_signature(t, pos, &inst.blockers);
+                    let (s_id, new) = self.insert_signature(sig);
+                    self.stats.starvations_detected += 1;
+                    if new {
+                        self.stats.new_starvation_signatures += 1;
+                    }
+                    self.events.push(
+                        self.clock,
+                        EventKind::StarvationDetected {
+                            thread: t,
+                            signature: s_id,
+                            new_signature: new,
+                        },
+                    );
+                    self.persist_history_best_effort();
+                    park = false;
+                }
+                if park {
+                    self.stats.yields += 1;
+                    self.rag.set_yield(
+                        t,
+                        YieldRecord {
+                            signature: inst.signature,
+                            position: pos,
+                            lock: l,
+                            blockers: inst.blockers,
+                        },
+                    );
+                    self.events.push(
+                        self.clock,
+                        EventKind::Yield {
+                            thread: t,
+                            lock: l,
+                            signature: inst.signature,
+                        },
+                    );
+                    return RequestOutcome::Yield {
+                        signature: inst.signature,
+                    };
+                }
+            }
+        }
+
+        // --- Grant --------------------------------------------------------
+        self.stats.grants += 1;
+        if let Some(p) = self.positions.get_mut(pos) {
+            p.queue_mut().push(t);
+        }
+        self.rag.set_pending_grant(t, l, pos);
+        self.events
+            .push(self.clock, EventKind::Grant { thread: t, lock: l });
+        RequestOutcome::Granted
+    }
+
+    /// Called right after the monitor acquisition succeeded.
+    pub fn acquired(&mut self, t: ThreadId, l: LockId) {
+        self.clock = self.clock.next();
+        self.stats.acquisitions += 1;
+        if self.config.is_disabled() {
+            return;
+        }
+        if self.rag.owner(l) == Some(t) {
+            self.rag.acquire_recursive(t, l);
+            self.events
+                .push(self.clock, EventKind::Acquired { thread: t, lock: l });
+            return;
+        }
+        let pos = match self.rag.pending_grant(t) {
+            Some((granted_lock, p)) if granted_lock == l => p,
+            _ => {
+                // The acquisition was not announced through `request` (or the
+                // grant was for a different lock). Account it under an
+                // anonymous position so release bookkeeping stays balanced.
+                let p = self.positions.intern(&CallStack::new());
+                if let Some(pd) = self.positions.get_mut(p) {
+                    pd.queue_mut().push(t);
+                }
+                p
+            }
+        };
+        self.rag.acquire(t, l, pos);
+        self.events
+            .push(self.clock, EventKind::Acquired { thread: t, lock: l });
+    }
+
+    /// Called right before the monitor is released (including the implicit
+    /// release performed by `Object.wait()`). Returns the signatures whose
+    /// parked threads must be woken because a lock acquired at one of their
+    /// outer positions was just released (§4's release path).
+    pub fn released(&mut self, t: ThreadId, l: LockId) -> Vec<SignatureId> {
+        self.clock = self.clock.next();
+        if self.config.is_disabled() {
+            self.stats.releases += 1;
+            return Vec::new();
+        }
+        let Some(pos) = self.rag.release(t, l) else {
+            // Nested monitor exit, or a release the engine never saw the
+            // acquisition of; nothing to wake.
+            self.events
+                .push(self.clock, EventKind::Released { thread: t, lock: l });
+            return Vec::new();
+        };
+        self.stats.releases += 1;
+        if let Some(p) = self.positions.get_mut(pos) {
+            p.queue_mut().remove_one(t);
+        }
+        self.events
+            .push(self.clock, EventKind::Released { thread: t, lock: l });
+        let wake = self.wakeups_for_position(pos);
+        for sig in &wake {
+            self.stats.wakeups += 1;
+            self.events
+                .push(self.clock, EventKind::Wakeup { signature: *sig });
+        }
+        wake
+    }
+
+    /// Abandons a granted-but-never-completed acquisition (e.g. the substrate
+    /// timed out or the thread was interrupted between `request` and
+    /// `acquired`). Reverses the queue entry created by the grant.
+    pub fn cancel_request(&mut self, t: ThreadId, l: LockId) {
+        self.clock = self.clock.next();
+        self.rag.clear_yield(t);
+        if let Some((granted_lock, pos)) = self.rag.take_pending_grant(t) {
+            if granted_lock == l {
+                if let Some(p) = self.positions.get_mut(pos) {
+                    p.queue_mut().remove_one(t);
+                }
+            } else {
+                // The grant was for a different lock; keep it.
+                self.rag.set_pending_grant(t, granted_lock, pos);
+            }
+        }
+        self.rag.clear_request(t);
+    }
+
+    /// Wake-ups scheduled outside the release path (starvation resolution).
+    /// Substrates should drain these after every `request` call and notify
+    /// the corresponding signature condition variables.
+    pub fn take_pending_wakeups(&mut self) -> Vec<SignatureId> {
+        std::mem::take(&mut self.pending_wakeups)
+    }
+
+    /// Persists the history to the configured path.
+    ///
+    /// # Errors
+    /// Returns an error if no path is configured or the write fails.
+    pub fn save_history(&self) -> Result<()> {
+        match &self.config.history_path {
+            Some(path) => self.history.save_text(path),
+            None => Err(crate::error::DimmunixError::ProtocolViolation(
+                "no history path configured".into(),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn wakeups_for_position(&self, pos: PositionId) -> Vec<SignatureId> {
+        let Some(p) = self.positions.get(pos) else {
+            return Vec::new();
+        };
+        if !p.in_history() {
+            return Vec::new();
+        }
+        self.history.signatures_with_outer(p.stack())
+    }
+
+    fn insert_signature(&mut self, sig: Signature) -> (SignatureId, bool) {
+        if self.history.len() >= self.config.max_signatures {
+            if let Some(existing) = self.history.find(&sig) {
+                return (existing, false);
+            }
+            // History is full: keep the engine functional by refusing new
+            // antibodies rather than evicting old ones (old ones are proven
+            // bugs; new ones can be re-learned on the next occurrence).
+            return (SignatureId::new(self.history.len().saturating_sub(1)), false);
+        }
+        let (id, new) = self.history.add(sig);
+        if new {
+            let sig = self.history.get(id).cloned().expect("just inserted");
+            for outer in sig.outer_stacks() {
+                let pid = self.positions.intern(outer);
+                if let Some(p) = self.positions.get_mut(pid) {
+                    p.set_in_history(true);
+                }
+            }
+        }
+        (id, new)
+    }
+
+    fn persist_history_best_effort(&self) {
+        if self.config.history_path.is_some() {
+            let _ = self.save_history();
+        }
+    }
+
+    /// True if parking `t` (with the given blockers) would close a wait-for
+    /// cycle, i.e. some blocker transitively waits on `t`.
+    fn would_starve(&self, t: ThreadId, blockers: &[ThreadId]) -> bool {
+        let mut stack: Vec<ThreadId> = blockers.to_vec();
+        let mut visited: Vec<ThreadId> = Vec::new();
+        while let Some(current) = stack.pop() {
+            if current == t {
+                return true;
+            }
+            if visited.contains(&current) {
+                continue;
+            }
+            visited.push(current);
+            for (next, _) in self.rag.successors(current, true) {
+                stack.push(next);
+            }
+        }
+        false
+    }
+
+    /// Builds the signature of an avoidance-induced deadlock: one pair per
+    /// participant (the would-be parked thread plus its blockers), using the
+    /// most informative stable position for each.
+    fn starvation_signature(
+        &self,
+        _requester: ThreadId,
+        pos: PositionId,
+        blockers: &[ThreadId],
+    ) -> Signature {
+        let stack_of = |p: Option<PositionId>| {
+            p.and_then(|p| self.positions.get(p))
+                .map(|d| d.stack().clone())
+                .unwrap_or_default()
+        };
+        let mut pairs = Vec::with_capacity(1 + blockers.len());
+        pairs.push(SignaturePair::new(
+            stack_of(Some(pos)),
+            stack_of(Some(pos)),
+        ));
+        for b in blockers {
+            let outer = last_history_hold(&self.rag, &self.positions, *b)
+                .or_else(|| self.rag.held_locks(*b).last().map(|(_, p)| *p))
+                .or_else(|| self.rag.requesting(*b).map(|(_, p)| p));
+            let inner = self.rag.requesting(*b).map(|(_, p)| p).or(outer);
+            pairs.push(SignaturePair::new(stack_of(outer), stack_of(inner)));
+        }
+        Signature::new(SignatureKind::Starvation, pairs)
+    }
+}

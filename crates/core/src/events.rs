@@ -1,0 +1,201 @@
+//! In-memory event log.
+//!
+//! When enabled (see [`Config::event_log_capacity`]), the engine appends one
+//! entry per significant decision. The log is a bounded ring buffer so it can
+//! stay enabled on a memory-constrained device; it exists for debugging,
+//! tests and the reproduction harness, not for the hot path.
+//!
+//! [`Config::event_log_capacity`]: crate::Config::event_log_capacity
+
+use crate::position::PositionId;
+use crate::{LockId, LogicalTime, SignatureId, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One engine decision.
+///
+/// Field meanings are uniform across variants: `thread` is the acting
+/// thread, `lock` the monitor involved, `position` the interned acquisition
+/// site, and `signature` the history entry concerned.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A thread asked to acquire a lock.
+    Request {
+        thread: ThreadId,
+        lock: LockId,
+        position: PositionId,
+    },
+    /// The request was approved.
+    Grant { thread: ThreadId, lock: LockId },
+    /// The request was approved on the reentrant fast path.
+    ReentrantGrant { thread: ThreadId, lock: LockId },
+    /// The thread must park because a signature would be instantiated.
+    Yield {
+        thread: ThreadId,
+        lock: LockId,
+        signature: SignatureId,
+    },
+    /// The thread finished acquiring the lock.
+    Acquired { thread: ThreadId, lock: LockId },
+    /// The thread released the lock.
+    Released { thread: ThreadId, lock: LockId },
+    /// A real deadlock cycle was detected.
+    DeadlockDetected {
+        thread: ThreadId,
+        signature: SignatureId,
+        new_signature: bool,
+    },
+    /// An avoidance-induced deadlock (starvation) was detected.
+    StarvationDetected {
+        thread: ThreadId,
+        signature: SignatureId,
+        new_signature: bool,
+    },
+    /// Threads parked on the signature should be woken.
+    Wakeup { signature: SignatureId },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Logical time at which the engine recorded the event.
+    pub at: LogicalTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:?}", self.at, self.kind)
+    }
+}
+
+/// Bounded ring buffer of engine events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log with the given capacity; capacity 0 disables recording.
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an event, evicting the oldest entry when full.
+    pub fn push(&mut self, at: LogicalTime, kind: EventKind) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event { at, kind });
+    }
+
+    /// Iterates over retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Removes and returns all retained events.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.events.drain(..).collect()
+    }
+
+    /// Counts retained events matching a predicate.
+    pub fn count_matching(&self, mut pred: impl FnMut(&EventKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> EventKind {
+        EventKind::Grant {
+            thread: ThreadId::new(i),
+            lock: LockId::new(i),
+        }
+    }
+
+    #[test]
+    fn capacity_zero_records_nothing() {
+        let mut log = EventLog::new(0);
+        log.push(LogicalTime(1), ev(1));
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut log = EventLog::new(3);
+        for i in 0..5 {
+            log.push(LogicalTime(i), ev(i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let first = log.iter().next().unwrap();
+        assert_eq!(first.at, LogicalTime(2));
+    }
+
+    #[test]
+    fn count_and_drain() {
+        let mut log = EventLog::new(10);
+        log.push(LogicalTime(0), ev(0));
+        log.push(
+            LogicalTime(1),
+            EventKind::Yield {
+                thread: ThreadId::new(1),
+                lock: LockId::new(2),
+                signature: SignatureId::new(0),
+            },
+        );
+        assert_eq!(
+            log.count_matching(|k| matches!(k, EventKind::Yield { .. })),
+            1
+        );
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn display_contains_time() {
+        let e = Event {
+            at: LogicalTime(7),
+            kind: ev(1),
+        };
+        assert!(e.to_string().contains("t7"));
+    }
+}

@@ -1,0 +1,448 @@
+//! The persistent deadlock history.
+//!
+//! The history is the set of antibodies a process has developed: every
+//! signature that was ever detected (deadlock or starvation). It is persisted
+//! across process restarts — on the phone, across reboots — which is what
+//! turns a one-time hang into permanent immunity (§2.1, §5 case study).
+//!
+//! Two codecs are provided:
+//! * a line-oriented text format close in spirit to the original Dimmunix
+//!   history files, and
+//! * a JSON format (serde) convenient for tooling.
+
+use crate::callstack::CallStack;
+use crate::error::{DimmunixError, Result};
+use crate::signature::{Signature, SignatureKind, SignaturePair};
+use crate::SignatureId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A persistent collection of deadlock/starvation signatures.
+///
+/// ```
+/// use dimmunix_core::{CallStack, Frame, History, Signature, SignatureKind, SignaturePair};
+/// let mut h = History::new();
+/// let sig = Signature::new(SignatureKind::Deadlock, vec![SignaturePair::new(
+///     CallStack::single(Frame::new("a", "a.rs", 1)),
+///     CallStack::single(Frame::new("b", "b.rs", 2)),
+/// )]);
+/// let (id, added) = h.add(sig.clone());
+/// assert!(added);
+/// let (id2, added2) = h.add(sig);
+/// assert_eq!(id, id2);
+/// assert!(!added2);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct History {
+    signatures: Vec<Signature>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History {
+            signatures: Vec::new(),
+        }
+    }
+
+    /// Number of stored signatures.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// True if the history holds no signatures.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Adds a signature unless an identical one (same bug) is already stored.
+    /// Returns the signature's id and whether it was newly inserted.
+    pub fn add(&mut self, sig: Signature) -> (SignatureId, bool) {
+        if let Some(existing) = self.find(&sig) {
+            return (existing, false);
+        }
+        let id = SignatureId::new(self.signatures.len());
+        self.signatures.push(sig);
+        (id, true)
+    }
+
+    /// Finds the id of a signature describing the same bug, if present.
+    pub fn find(&self, sig: &Signature) -> Option<SignatureId> {
+        self.signatures
+            .iter()
+            .position(|s| s.same_bug(sig))
+            .map(SignatureId::new)
+    }
+
+    /// Returns the signature with the given id.
+    pub fn get(&self, id: SignatureId) -> Option<&Signature> {
+        self.signatures.get(id.index())
+    }
+
+    /// Iterates over `(id, signature)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SignatureId, &Signature)> {
+        self.signatures
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SignatureId::new(i), s))
+    }
+
+    /// Ids of signatures whose outer stacks include `stack`. Used on the
+    /// release path: when a lock acquired at a history position is released,
+    /// every thread parked on a signature containing that position must be
+    /// woken (§4).
+    pub fn signatures_with_outer(&self, stack: &CallStack) -> Vec<SignatureId> {
+        self.iter()
+            .filter(|(_, s)| s.outer_stacks().any(|o| o == stack))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Merges another history into this one, deduplicating; returns the
+    /// number of newly added signatures. Useful when a vendor ships
+    /// pre-seeded antibodies with an application update.
+    pub fn merge(&mut self, other: &History) -> usize {
+        let mut added = 0;
+        for (_, sig) in other.iter() {
+            if self.add(sig.clone()).1 {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Estimated resident memory of the history in bytes (memory-overhead
+    /// accounting for Table 1).
+    pub fn memory_footprint_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for sig in &self.signatures {
+            total += std::mem::size_of::<Signature>();
+            for p in sig.pairs() {
+                for s in [&p.outer, &p.inner] {
+                    total += std::mem::size_of::<CallStack>();
+                    for f in s.frames() {
+                        total += std::mem::size_of_val(f) + f.method().len() + f.file().len();
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    // ------------------------------------------------------------------
+    // Text codec
+    // ------------------------------------------------------------------
+
+    /// Serializes the history into the line-oriented text format.
+    ///
+    /// Format, one signature per block:
+    /// ```text
+    /// #sig <kind> <arity>
+    /// <outer compact stack>
+    /// <inner compact stack>
+    /// ...
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (_, sig) in self.iter() {
+            let kind = match sig.kind() {
+                SignatureKind::Deadlock => "deadlock",
+                SignatureKind::Starvation => "starvation",
+            };
+            out.push_str(&format!("#sig {kind} {}\n", sig.arity()));
+            for pair in sig.pairs() {
+                out.push_str(&pair.outer.to_compact());
+                out.push('\n');
+                out.push_str(&pair.inner.to_compact());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`to_text`].
+    ///
+    /// # Errors
+    /// Returns [`DimmunixError::Parse`] for malformed input.
+    ///
+    /// [`to_text`]: History::to_text
+    pub fn from_text(text: &str) -> Result<History> {
+        let mut history = History::new();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut i = 0;
+        while i < lines.len() {
+            let line = lines[i].trim();
+            if line.is_empty() {
+                i += 1;
+                continue;
+            }
+            let rest = line.strip_prefix("#sig ").ok_or(DimmunixError::Parse {
+                line: i + 1,
+                message: format!("expected `#sig`, found `{line}`"),
+            })?;
+            let mut parts = rest.split_whitespace();
+            let kind = match parts.next() {
+                Some("deadlock") => SignatureKind::Deadlock,
+                Some("starvation") => SignatureKind::Starvation,
+                other => {
+                    return Err(DimmunixError::Parse {
+                        line: i + 1,
+                        message: format!("unknown signature kind {other:?}"),
+                    })
+                }
+            };
+            let arity: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(DimmunixError::Parse {
+                    line: i + 1,
+                    message: "missing or invalid arity".into(),
+                })?;
+            i += 1;
+            let mut pairs = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                if i + 1 >= lines.len() + 1 && i >= lines.len() {
+                    return Err(DimmunixError::Parse {
+                        line: i,
+                        message: "truncated signature block".into(),
+                    });
+                }
+                let outer_line = lines.get(i).ok_or(DimmunixError::Parse {
+                    line: i,
+                    message: "missing outer stack line".into(),
+                })?;
+                let inner_line = lines.get(i + 1).ok_or(DimmunixError::Parse {
+                    line: i + 1,
+                    message: "missing inner stack line".into(),
+                })?;
+                let outer =
+                    CallStack::parse_compact(outer_line).map_err(|m| DimmunixError::Parse {
+                        line: i + 1,
+                        message: m,
+                    })?;
+                let inner =
+                    CallStack::parse_compact(inner_line).map_err(|m| DimmunixError::Parse {
+                        line: i + 2,
+                        message: m,
+                    })?;
+                pairs.push(SignaturePair::new(outer, inner));
+                i += 2;
+            }
+            history.add(Signature::new(kind, pairs));
+        }
+        Ok(history)
+    }
+
+    // ------------------------------------------------------------------
+    // File persistence
+    // ------------------------------------------------------------------
+
+    /// Writes the history to `path` in the text format, atomically
+    /// (write-then-rename) so a crash cannot corrupt the antibody store.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_text(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a text-format history from `path`; an absent file yields an
+    /// empty history (a fresh phone has no antibodies yet).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors other than "not found" and parse errors.
+    pub fn load_text(path: impl AsRef<Path>) -> Result<History> {
+        match fs::read_to_string(path.as_ref()) {
+            Ok(text) => History::from_text(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(History::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Serializes the history as pretty JSON.
+    ///
+    /// # Errors
+    /// Never fails in practice; any serde error is reported as a protocol
+    /// violation.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| DimmunixError::ProtocolViolation(format!("json encode: {e}")))
+    }
+
+    /// Parses a JSON history produced by [`to_json`](History::to_json).
+    ///
+    /// # Errors
+    /// Returns a parse error for malformed JSON.
+    pub fn from_json(json: &str) -> Result<History> {
+        serde_json::from_str(json).map_err(|e| DimmunixError::Parse {
+            line: 0,
+            message: format!("json decode: {e}"),
+        })
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "history with {} signature(s)", self.len())?;
+        for (id, sig) in self.iter() {
+            write!(f, "\n[{id}] {sig}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Signature> for History {
+    fn from_iter<T: IntoIterator<Item = Signature>>(iter: T) -> Self {
+        let mut h = History::new();
+        for sig in iter {
+            h.add(sig);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Frame;
+
+    fn sig(kind: SignatureKind, a: u32, b: u32) -> Signature {
+        Signature::new(
+            kind,
+            vec![
+                SignaturePair::new(
+                    CallStack::single(Frame::new("m1", "f1.rs", a)),
+                    CallStack::single(Frame::new("m2", "f2.rs", a + 1)),
+                ),
+                SignaturePair::new(
+                    CallStack::single(Frame::new("m3", "f3.rs", b)),
+                    CallStack::single(Frame::new("m4", "f4.rs", b + 1)),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn add_deduplicates_same_bug() {
+        let mut h = History::new();
+        let (id1, added1) = h.add(sig(SignatureKind::Deadlock, 1, 2));
+        let (id2, added2) = h.add(sig(SignatureKind::Deadlock, 1, 2));
+        assert!(added1);
+        assert!(!added2);
+        assert_eq!(id1, id2);
+        assert_eq!(h.len(), 1);
+        let (_, added3) = h.add(sig(SignatureKind::Deadlock, 1, 3));
+        assert!(added3);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_signatures() {
+        let mut h = History::new();
+        h.add(sig(SignatureKind::Deadlock, 1, 2));
+        h.add(sig(SignatureKind::Starvation, 5, 9));
+        let text = h.to_text();
+        let parsed = History::from_text(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        for (id, s) in h.iter() {
+            assert!(parsed.get(id).unwrap().same_bug(s));
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_signatures() {
+        let mut h = History::new();
+        h.add(sig(SignatureKind::Deadlock, 1, 2));
+        let json = h.to_json().unwrap();
+        let parsed = History::from_json(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed.get(SignatureId::new(0)).unwrap().same_bug(
+            h.get(SignatureId::new(0)).unwrap()
+        ));
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(History::from_text("nonsense").is_err());
+        assert!(History::from_text("#sig deadlock x").is_err());
+        assert!(History::from_text("#sig weird 2").is_err());
+        // truncated block
+        assert!(History::from_text("#sig deadlock 2\na@f:1\nb@f:2\n").is_err());
+    }
+
+    #[test]
+    fn empty_text_is_empty_history() {
+        assert!(History::from_text("").unwrap().is_empty());
+        assert!(History::from_text("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip_and_missing_file() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-hist-{}", std::process::id()));
+        let path = dir.join("history.dimmu");
+        let mut h = History::new();
+        h.add(sig(SignatureKind::Deadlock, 10, 20));
+        h.save_text(&path).unwrap();
+        let loaded = History::load_text(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let missing = History::load_text(dir.join("nope.dimmu")).unwrap();
+        assert!(missing.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn signatures_with_outer_finds_matching() {
+        let mut h = History::new();
+        h.add(sig(SignatureKind::Deadlock, 1, 2));
+        let outer = CallStack::single(Frame::new("m1", "f1.rs", 1));
+        assert_eq!(h.signatures_with_outer(&outer).len(), 1);
+        let unrelated = CallStack::single(Frame::new("zzz", "f.rs", 1));
+        assert!(h.signatures_with_outer(&unrelated).is_empty());
+    }
+
+    #[test]
+    fn merge_deduplicates() {
+        let mut a = History::new();
+        a.add(sig(SignatureKind::Deadlock, 1, 2));
+        let mut b = History::new();
+        b.add(sig(SignatureKind::Deadlock, 1, 2));
+        b.add(sig(SignatureKind::Deadlock, 7, 8));
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn memory_footprint_is_positive_and_grows() {
+        let mut h = History::new();
+        let base = h.memory_footprint_bytes();
+        h.add(sig(SignatureKind::Deadlock, 1, 2));
+        assert!(h.memory_footprint_bytes() > base);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let h: History = vec![
+            sig(SignatureKind::Deadlock, 1, 2),
+            sig(SignatureKind::Deadlock, 1, 2),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(h.len(), 1);
+    }
+}

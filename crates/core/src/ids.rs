@@ -1,0 +1,176 @@
+//! Strongly-typed identifiers used throughout the Dimmunix engine.
+//!
+//! The engine is substrate-agnostic: it never touches OS threads or real
+//! mutexes. Substrates (the Dalvik-like simulator in `dalvik-sim`, or the
+//! real-thread runtime in `dimmunix-rt`) map their own notion of threads and
+//! monitors onto these dense identifiers and feed synchronization events to
+//! the engine.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a thread, as seen by the Dimmunix engine.
+///
+/// In the paper this corresponds to a Dalvik `Thread*` carrying an embedded
+/// RAG `Node`; here it is an opaque dense id assigned by the substrate.
+///
+/// ```
+/// use dimmunix_core::ThreadId;
+/// let t = ThreadId::new(3);
+/// assert_eq!(t.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(u64);
+
+/// Identifier of a lock (Dalvik monitor / fat lock), as seen by the engine.
+///
+/// ```
+/// use dimmunix_core::LockId;
+/// let l = LockId::new(7);
+/// assert_eq!(l.index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LockId(u64);
+
+/// Identifier of a process (an Android application forked from Zygote).
+///
+/// Dimmunix state is strictly per-process (§3.1 of the paper); the id exists
+/// so multi-process substrates can label histories and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(u32);
+
+/// A statically-assigned synchronization-site identifier.
+///
+/// §4 of the paper proposes eliminating call-stack retrieval overhead by
+/// having the compiler emit a constant id per synchronization statement.
+/// `SiteId` is that optimization: substrates may pass a `SiteId` instead of a
+/// captured call stack, and the engine interns it exactly like a depth-1
+/// stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(u64);
+
+/// Index of a deadlock/starvation signature within a [`History`].
+///
+/// [`History`]: crate::history::History
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SignatureId(pub(crate) usize);
+
+macro_rules! impl_id {
+    ($name:ident, $repr:ty) => {
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub const fn new(raw: $repr) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index backing this identifier.
+            pub const fn index(self) -> $repr {
+                self.0
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(ThreadId, u64);
+impl_id!(LockId, u64);
+impl_id!(ProcessId, u32);
+impl_id!(SiteId, u64);
+
+impl SignatureId {
+    /// Creates a signature id from a raw history index.
+    pub const fn new(raw: usize) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw history index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SignatureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SignatureId({})", self.0)
+    }
+}
+
+/// Monotonic logical clock used to order engine events.
+///
+/// One tick per engine entry point (request / acquire / release); it is not
+/// wall-clock time, which keeps replays deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LogicalTime(pub u64);
+
+impl LogicalTime {
+    /// The zero instant.
+    pub const ZERO: LogicalTime = LogicalTime(0);
+
+    /// Returns the next instant.
+    #[must_use]
+    pub fn next(self) -> LogicalTime {
+        LogicalTime(self.0 + 1)
+    }
+}
+
+impl fmt::Display for LogicalTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_roundtrip_raw_values() {
+        assert_eq!(ThreadId::new(42).index(), 42);
+        assert_eq!(LockId::new(7).index(), 7);
+        assert_eq!(ProcessId::new(3).index(), 3);
+        assert_eq!(SiteId::new(99).index(), 99);
+        assert_eq!(SignatureId::new(5).index(), 5);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let mut set = HashSet::new();
+        for i in 0..10 {
+            set.insert(ThreadId::new(i));
+        }
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", ThreadId::new(1)).is_empty());
+        assert!(!format!("{}", LockId::new(1)).is_empty());
+        assert!(!format!("{}", SignatureId::new(1)).is_empty());
+        assert!(!format!("{}", LogicalTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn logical_time_advances() {
+        let t = LogicalTime::ZERO;
+        assert_eq!(t.next(), LogicalTime(1));
+        assert!(t < t.next());
+    }
+
+    #[test]
+    fn from_raw_conversion() {
+        let t: ThreadId = 9u64.into();
+        assert_eq!(t, ThreadId::new(9));
+    }
+}

@@ -1,0 +1,382 @@
+//! # dimmunix-core — deadlock immunity engine
+//!
+//! This crate is a from-scratch Rust implementation of the Dimmunix deadlock
+//! immunity core, as deployed platform-wide inside Android's Dalvik VM in
+//! *"Platform-wide Deadlock Immunity for Mobile Phones"* (Jula, Rensch,
+//! Candea; HotDep 2011). Dimmunix lets a process develop *antibodies*
+//! (deadlock signatures) for every deadlock it encounters: the first
+//! occurrence is detected and recorded in a persistent history; every later
+//! execution avoids re-instantiating the signature, so the same deadlock bug
+//! never bites twice.
+//!
+//! The crate contains only the engine — the paper's "Dimmunix core"
+//! (§4) — as a deterministic, single-threaded state machine driven through
+//! three hook points:
+//!
+//! * [`Dimmunix::request`] — before a monitor acquisition (detection +
+//!   avoidance decision),
+//! * [`Dimmunix::acquired`] — right after the acquisition,
+//! * [`Dimmunix::released`] — right before the release (wakes threads parked
+//!   on signatures).
+//!
+//! Substrates integrate it the way the paper integrates with the Dalvik VM:
+//! `dimmunix-rt` wraps real `parking_lot` mutexes into `ImmuneMutex` /
+//! `ImmuneMonitor` types (Rust has no lock interposition point, so wrapper
+//! types play the role of the modified `lockMonitor`/`unlockMonitor`
+//! routines), and `dalvik-sim` is a deterministic VM simulator whose
+//! `monitorenter`/`monitorexit`/`wait` opcodes call the same hooks.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dimmunix_core::{CallStack, Config, Dimmunix, Frame, LockId, RequestOutcome, ThreadId};
+//!
+//! let mut engine = Dimmunix::new(Config::default());
+//! let (t1, t2) = (ThreadId::new(1), ThreadId::new(2));
+//! let (la, lb) = (LockId::new(1), LockId::new(2));
+//! let site = |m: &str, line| CallStack::single(Frame::new(m, "app.rs", line));
+//!
+//! // t1 takes A then asks for B; t2 takes B then asks for A -> deadlock.
+//! assert!(engine.request(t1, la, &site("t1.outer", 10)).is_granted());
+//! engine.acquired(t1, la);
+//! assert!(engine.request(t2, lb, &site("t2.outer", 20)).is_granted());
+//! engine.acquired(t2, lb);
+//! assert!(engine.request(t1, lb, &site("t1.inner", 11)).is_granted());
+//! let outcome = engine.request(t2, la, &site("t2.inner", 21));
+//! assert!(matches!(outcome, RequestOutcome::DeadlockDetected { .. }));
+//! // The signature is now in the history; a fresh run of the same program
+//! // through the same engine state would be steered away from the deadlock.
+//! assert_eq!(engine.history().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod avoidance;
+mod callstack;
+mod config;
+mod detection;
+mod engine;
+mod error;
+mod events;
+mod history;
+mod ids;
+mod position;
+mod rag;
+mod signature;
+mod stats;
+
+pub use avoidance::{find_instantiation, signature_instantiable, Instantiation};
+pub use callstack::{CallStack, Frame};
+pub use config::{Config, ConfigBuilder, DEFAULT_MAX_SIGNATURES, DEFAULT_STACK_DEPTH};
+pub use detection::{classify_cycle, DetectedCycle};
+pub use engine::{Dimmunix, RequestOutcome};
+pub use error::{DimmunixError, Result};
+pub use events::{Event, EventKind, EventLog};
+pub use history::History;
+pub use ids::{LockId, LogicalTime, ProcessId, SignatureId, SiteId, ThreadId};
+pub use position::{Position, PositionId, PositionTable, ThreadQueue};
+pub use rag::{CycleStep, Rag, WaitEdge, YieldRecord};
+pub use signature::{Signature, SignatureKind, SignaturePair};
+pub use stats::Stats;
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+
+    fn site(m: &str, line: u32) -> CallStack {
+        CallStack::single(Frame::new(m, "app.rs", line))
+    }
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn l(i: u64) -> LockId {
+        LockId::new(i)
+    }
+
+    /// Drives the canonical AB/BA deadlock to detection and returns the
+    /// engine (with one signature in its history).
+    fn detect_ab_ba() -> Dimmunix {
+        let mut e = Dimmunix::new(Config::builder().event_log_capacity(256).build());
+        assert!(e.request(t(1), l(1), &site("t1.outer", 10)).is_granted());
+        e.acquired(t(1), l(1));
+        assert!(e.request(t(2), l(2), &site("t2.outer", 20)).is_granted());
+        e.acquired(t(2), l(2));
+        assert!(e.request(t(1), l(2), &site("t1.inner", 11)).is_granted());
+        let outcome = e.request(t(2), l(1), &site("t2.inner", 21));
+        assert!(matches!(outcome, RequestOutcome::DeadlockDetected { .. }));
+        e
+    }
+
+    #[test]
+    fn detects_ab_ba_deadlock_once() {
+        let e = detect_ab_ba();
+        assert_eq!(e.history().len(), 1);
+        assert_eq!(e.stats().deadlocks_detected, 1);
+        assert_eq!(e.stats().new_deadlock_signatures, 1);
+        let sig = e.history().get(SignatureId::new(0)).unwrap();
+        assert_eq!(sig.kind(), SignatureKind::Deadlock);
+        assert_eq!(sig.arity(), 2);
+    }
+
+    /// Replays the same interleaving against an engine that already carries
+    /// the signature: the second thread must yield instead of deadlocking,
+    /// and after the first thread finishes, the parked thread proceeds.
+    #[test]
+    fn avoids_known_deadlock_on_replay() {
+        let trained = detect_ab_ba();
+        let mut e = Dimmunix::with_history(Config::default(), trained.history().clone());
+
+        // Same schedule as the deadlocking run.
+        assert!(e.request(t(1), l(1), &site("t1.outer", 10)).is_granted());
+        e.acquired(t(1), l(1));
+        // t2 wants B at its outer position: granting would cover both outer
+        // positions of the signature, so it must yield.
+        let outcome = e.request(t(2), l(2), &site("t2.outer", 20));
+        let parked_on = match outcome {
+            RequestOutcome::Yield { signature } => signature,
+            other => panic!("expected yield, got {other:?}"),
+        };
+        assert_eq!(e.stats().yields, 1);
+
+        // t1 proceeds through its critical sections unhindered.
+        assert!(e.request(t(1), l(2), &site("t1.inner", 11)).is_granted());
+        e.acquired(t(1), l(2));
+        assert!(e.released(t(1), l(2)).is_empty());
+        // Releasing A (acquired at a history position) wakes the signature.
+        let wake = e.released(t(1), l(1));
+        assert!(wake.contains(&parked_on));
+
+        // t2 retries and is now granted; no deadlock, no new signature.
+        assert!(e.request(t(2), l(2), &site("t2.outer", 20)).is_granted());
+        e.acquired(t(2), l(2));
+        assert!(e.request(t(2), l(1), &site("t2.inner", 21)).is_granted());
+        e.acquired(t(2), l(1));
+        e.released(t(2), l(1));
+        e.released(t(2), l(2));
+        assert_eq!(e.stats().deadlocks_detected, 0);
+        assert_eq!(e.history().len(), 1);
+    }
+
+    #[test]
+    fn reentrant_acquisitions_take_fast_path() {
+        let mut e = Dimmunix::default();
+        assert!(e.request(t(1), l(1), &site("outer", 1)).is_granted());
+        e.acquired(t(1), l(1));
+        let again = e.request(t(1), l(1), &site("inner", 2));
+        assert_eq!(again, RequestOutcome::GrantedReentrant);
+        e.acquired(t(1), l(1));
+        assert_eq!(e.stats().reentrant_grants, 1);
+        // Inner release does not give up the monitor or wake anyone.
+        assert!(e.released(t(1), l(1)).is_empty());
+        assert_eq!(e.rag().owner(l(1)), Some(t(1)));
+        assert!(e.released(t(1), l(1)).is_empty());
+        assert_eq!(e.rag().owner(l(1)), None);
+    }
+
+    #[test]
+    fn disabled_engine_is_pass_through() {
+        let mut e = Dimmunix::new(Config::disabled());
+        for round in 0..3u64 {
+            assert!(e.request(t(1), l(1), &site("a", 1)).is_granted());
+            e.acquired(t(1), l(1));
+            assert!(e.request(t(2), l(2), &site("b", 2)).is_granted());
+            e.acquired(t(2), l(2));
+            assert!(e.request(t(1), l(2), &site("c", 3)).is_granted());
+            assert!(e.request(t(2), l(1), &site("d", 4)).is_granted());
+            // No detection happens; clean up for the next round.
+            e.released(t(1), l(1));
+            e.released(t(2), l(2));
+            let _ = round;
+        }
+        assert!(e.history().is_empty());
+        assert_eq!(e.stats().deadlocks_detected, 0);
+    }
+
+    #[test]
+    fn starvation_is_detected_and_thread_released() {
+        // Train the engine with the AB/BA signature, then create the
+        // avoidance-induced deadlock of §2.2: the blocker (t1) ends up
+        // waiting on a lock held by the parked thread (t2).
+        let trained = detect_ab_ba();
+        let mut e = Dimmunix::with_history(Config::default(), trained.history().clone());
+
+        // t2 takes an unrelated lock C first.
+        assert!(e.request(t(2), l(3), &site("t2.helper", 30)).is_granted());
+        e.acquired(t(2), l(3));
+        // t1 acquires A at the history position.
+        assert!(e.request(t(1), l(1), &site("t1.outer", 10)).is_granted());
+        e.acquired(t(1), l(1));
+        // t2 asks for B at the history position -> instantiation -> parked.
+        let outcome = e.request(t(2), l(2), &site("t2.outer", 20));
+        assert!(matches!(outcome, RequestOutcome::Yield { .. }));
+        // t1 now asks for C, which t2 holds: parking t2 has created a cycle
+        // through the yield edge. The engine must classify this as
+        // starvation, record a starvation signature and schedule a wake-up
+        // for the parked thread rather than reporting a real deadlock.
+        let outcome = e.request(t(1), l(3), &site("t1.helper", 12));
+        assert!(
+            outcome.is_granted() || matches!(outcome, RequestOutcome::Yield { .. }),
+            "starvation must not be reported as a deadlock, got {outcome:?}"
+        );
+        assert_eq!(e.stats().deadlocks_detected, 0);
+        assert!(e.stats().starvations_detected >= 1);
+        let wakeups = e.take_pending_wakeups();
+        assert!(!wakeups.is_empty(), "parked thread must be resumed");
+        // The parked thread retries and is now allowed to proceed (the
+        // starvation check sees the same cycle and refuses to park again).
+        let retry = e.request(t(2), l(2), &site("t2.outer", 20));
+        assert!(retry.is_granted(), "retry after starvation, got {retry:?}");
+    }
+
+    #[test]
+    fn starvation_detected_at_yield_time() {
+        // Opposite ordering: the blocker is already waiting on a lock the
+        // requester holds when the yield decision is about to be taken.
+        let trained = detect_ab_ba();
+        let mut e = Dimmunix::with_history(Config::default(), trained.history().clone());
+
+        // t2 holds C; t1 holds A (history position) and then blocks on C.
+        assert!(e.request(t(2), l(3), &site("t2.helper", 30)).is_granted());
+        e.acquired(t(2), l(3));
+        assert!(e.request(t(1), l(1), &site("t1.outer", 10)).is_granted());
+        e.acquired(t(1), l(1));
+        assert!(e.request(t(1), l(3), &site("t1.helper", 12)).is_granted());
+        // t1 is now blocked on C (granted but not acquired). t2 requests B at
+        // the history position: parking t2 would starve t1 forever, so the
+        // engine must let t2 through and record a starvation signature.
+        let outcome = e.request(t(2), l(2), &site("t2.outer", 20));
+        assert!(outcome.is_granted(), "expected grant, got {outcome:?}");
+        assert!(e.stats().starvations_detected >= 1);
+        assert!(e
+            .history()
+            .iter()
+            .any(|(_, s)| s.kind() == SignatureKind::Starvation));
+    }
+
+    #[test]
+    fn unregister_thread_releases_locks_and_wakes() {
+        let trained = detect_ab_ba();
+        let mut e = Dimmunix::with_history(Config::default(), trained.history().clone());
+        assert!(e.request(t(1), l(1), &site("t1.outer", 10)).is_granted());
+        e.acquired(t(1), l(1));
+        let outcome = e.request(t(2), l(2), &site("t2.outer", 20));
+        assert!(matches!(outcome, RequestOutcome::Yield { .. }));
+        // t1 dies while holding A; the parked thread must be woken.
+        let wake = e.unregister_thread(t(1));
+        assert!(!wake.is_empty());
+        assert!(e.request(t(2), l(2), &site("t2.outer", 20)).is_granted());
+    }
+
+    #[test]
+    fn cancel_request_undoes_queue_entry() {
+        let trained = detect_ab_ba();
+        let mut e = Dimmunix::with_history(Config::default(), trained.history().clone());
+        assert!(e.request(t(1), l(1), &site("t1.outer", 10)).is_granted());
+        e.cancel_request(t(1), l(1));
+        // Because t1 backed out, t2 requesting at the other history position
+        // must not see an instantiation.
+        assert!(e.request(t(2), l(2), &site("t2.outer", 20)).is_granted());
+    }
+
+    #[test]
+    fn history_persists_across_engine_restarts() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-engine-{}", std::process::id()));
+        let path = dir.join("history.dimmu");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        let cfg = Config::builder().history_path(&path).build();
+        {
+            let mut e = Dimmunix::new(cfg.clone());
+            assert!(e.request(t(1), l(1), &site("t1.outer", 10)).is_granted());
+            e.acquired(t(1), l(1));
+            assert!(e.request(t(2), l(2), &site("t2.outer", 20)).is_granted());
+            e.acquired(t(2), l(2));
+            assert!(e.request(t(1), l(2), &site("t1.inner", 11)).is_granted());
+            let outcome = e.request(t(2), l(1), &site("t2.inner", 21));
+            assert!(matches!(outcome, RequestOutcome::DeadlockDetected { .. }));
+        }
+        // "Reboot": a new engine loads the persisted antibody.
+        let e2 = Dimmunix::new(cfg);
+        assert_eq!(e2.history().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn event_log_records_decisions_when_enabled() {
+        let e = detect_ab_ba();
+        assert!(e.events().is_enabled());
+        assert!(e
+            .events()
+            .iter()
+            .any(|ev| matches!(ev.kind, EventKind::DeadlockDetected { .. })));
+        assert!(e
+            .events()
+            .iter()
+            .any(|ev| matches!(ev.kind, EventKind::Grant { .. })));
+    }
+
+    #[test]
+    fn memory_footprint_increases_with_history() {
+        let empty = Dimmunix::default().memory_footprint_bytes();
+        let trained = detect_ab_ba();
+        assert!(trained.memory_footprint_bytes() > empty);
+    }
+
+    #[test]
+    fn max_signatures_caps_history_growth() {
+        let mut e = Dimmunix::new(Config::builder().max_signatures(1).build());
+        // First deadlock is recorded.
+        assert!(e.request(t(1), l(1), &site("a", 1)).is_granted());
+        e.acquired(t(1), l(1));
+        assert!(e.request(t(2), l(2), &site("b", 2)).is_granted());
+        e.acquired(t(2), l(2));
+        assert!(e.request(t(1), l(2), &site("c", 3)).is_granted());
+        let first = e.request(t(2), l(1), &site("d", 4));
+        assert!(matches!(first, RequestOutcome::DeadlockDetected { .. }));
+        assert_eq!(e.history().len(), 1);
+        // A different deadlock between other locks/positions is not added.
+        assert!(e.request(t(3), l(5), &site("e", 5)).is_granted());
+        e.acquired(t(3), l(5));
+        assert!(e.request(t(4), l(6), &site("f", 6)).is_granted());
+        e.acquired(t(4), l(6));
+        assert!(e.request(t(3), l(6), &site("g", 7)).is_granted());
+        let second = e.request(t(4), l(5), &site("h", 8));
+        assert!(matches!(second, RequestOutcome::DeadlockDetected { .. }));
+        assert_eq!(e.history().len(), 1);
+    }
+
+    #[test]
+    fn acquired_without_request_is_tolerated() {
+        let mut e = Dimmunix::default();
+        // A substrate bug (or native code) acquired a monitor the engine was
+        // never told about; the engine must keep functioning.
+        e.acquired(t(9), l(9));
+        assert_eq!(e.rag().owner(l(9)), Some(t(9)));
+        assert!(e.released(t(9), l(9)).is_empty());
+        assert_eq!(e.rag().owner(l(9)), None);
+    }
+
+    #[test]
+    fn three_thread_cycle_is_detected() {
+        let mut e = Dimmunix::default();
+        for i in 1..=3u64 {
+            assert!(e
+                .request(t(i), l(i), &site(&format!("outer{i}"), i as u32))
+                .is_granted());
+            e.acquired(t(i), l(i));
+        }
+        assert!(e.request(t(1), l(2), &site("r1", 11)).is_granted());
+        assert!(e.request(t(2), l(3), &site("r2", 12)).is_granted());
+        let outcome = e.request(t(3), l(1), &site("r3", 13));
+        match outcome {
+            RequestOutcome::DeadlockDetected { threads, .. } => assert_eq!(threads.len(), 3),
+            other => panic!("expected detection, got {other:?}"),
+        }
+        let sig = e.history().get(SignatureId::new(0)).unwrap();
+        assert_eq!(sig.arity(), 3);
+    }
+}

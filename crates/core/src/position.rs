@@ -1,0 +1,393 @@
+//! Positions: interned acquisition call stacks with per-position thread
+//! queues.
+//!
+//! §4 of the paper: *"The struct Position stores the program location of a
+//! monitorenter operation and the set of threads that hold (or are allowed by
+//! Dimmunix to acquire) locks at that location"*, plus a second queue used as
+//! a free list so queue nodes are reused instead of reallocated. The
+//! [`PositionTable`] is the `positions` global map that assigns a unique
+//! `Position` object to each program location.
+
+use crate::callstack::CallStack;
+use crate::ThreadId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an interned position (acquisition call stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PositionId(u32);
+
+impl PositionId {
+    /// Creates a position id from a raw index (mainly for tests and codecs).
+    pub const fn new(raw: u32) -> Self {
+        PositionId(raw)
+    }
+
+    /// The raw dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PositionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A queue of threads that hold, or were allowed by Dimmunix to acquire,
+/// locks at one position.
+///
+/// Mirrors the main-queue + free-list scheme of §4: elements removed from the
+/// main queue go to the free list and are reused for later insertions, so
+/// steady-state operation performs no allocation. The same thread may appear
+/// more than once (it may hold several locks acquired at the same program
+/// location).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThreadQueue {
+    /// Slot arena; `None` slots are free.
+    slots: Vec<Option<ThreadId>>,
+    /// Indices of free slots (the paper's second queue).
+    free: Vec<usize>,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+impl ThreadQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no thread occupies the queue.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity of the backing arena (occupied + reusable slots).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adds one occurrence of `thread`, reusing a free slot when available.
+    pub fn push(&mut self, thread: ThreadId) {
+        if let Some(idx) = self.free.pop() {
+            debug_assert!(self.slots[idx].is_none());
+            self.slots[idx] = Some(thread);
+        } else {
+            self.slots.push(Some(thread));
+        }
+        self.len += 1;
+    }
+
+    /// Removes one occurrence of `thread`; returns true if an occurrence was
+    /// present. The vacated slot is pushed onto the free list.
+    pub fn remove_one(&mut self, thread: ThreadId) -> bool {
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if *slot == Some(thread) {
+                *slot = None;
+                self.free.push(idx);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes every occurrence of `thread`, returning how many were removed.
+    pub fn remove_all(&mut self, thread: ThreadId) -> usize {
+        let mut removed = 0;
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if *slot == Some(thread) {
+                *slot = None;
+                self.free.push(idx);
+                self.len -= 1;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Number of occurrences of `thread`.
+    pub fn count(&self, thread: ThreadId) -> usize {
+        self.slots.iter().filter(|s| **s == Some(thread)).count()
+    }
+
+    /// True if `thread` occupies at least one slot.
+    pub fn contains(&self, thread: ThreadId) -> bool {
+        self.count(thread) > 0
+    }
+
+    /// Iterates over the occupying threads (occurrences, not deduplicated).
+    pub fn iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.slots.iter().filter_map(|s| *s)
+    }
+
+    /// Distinct threads currently occupying the queue.
+    pub fn distinct_threads(&self) -> Vec<ThreadId> {
+        let mut v: Vec<ThreadId> = self.iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Data stored per interned position.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Position {
+    id: PositionId,
+    stack: CallStack,
+    /// True if at least one history signature mentions this position as an
+    /// outer position — the `inHistory` flag the release path checks (§4).
+    in_history: bool,
+    /// Threads holding, or allowed to acquire, locks at this position.
+    queue: ThreadQueue,
+}
+
+impl Position {
+    fn new(id: PositionId, stack: CallStack) -> Self {
+        Position {
+            id,
+            stack,
+            in_history: false,
+            queue: ThreadQueue::new(),
+        }
+    }
+
+    /// The interned id.
+    pub fn id(&self) -> PositionId {
+        self.id
+    }
+
+    /// The (truncated) acquisition call stack.
+    pub fn stack(&self) -> &CallStack {
+        &self.stack
+    }
+
+    /// Whether this position appears in a history signature.
+    pub fn in_history(&self) -> bool {
+        self.in_history
+    }
+
+    /// Marks the position as appearing (or not) in the history.
+    pub fn set_in_history(&mut self, value: bool) {
+        self.in_history = value;
+    }
+
+    /// The thread queue of this position.
+    pub fn queue(&self) -> &ThreadQueue {
+        &self.queue
+    }
+
+    /// Mutable access to the thread queue.
+    pub fn queue_mut(&mut self) -> &mut ThreadQueue {
+        &mut self.queue
+    }
+}
+
+/// Interning table mapping call stacks to dense [`PositionId`]s.
+///
+/// ```
+/// use dimmunix_core::{CallStack, Frame, PositionTable};
+/// let mut table = PositionTable::new(1);
+/// let a = table.intern(&CallStack::single(Frame::new("f", "x.rs", 1)));
+/// let b = table.intern(&CallStack::single(Frame::new("f", "x.rs", 1)));
+/// assert_eq!(a, b);
+/// assert_eq!(table.len(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PositionTable {
+    depth: usize,
+    by_stack: HashMap<CallStack, PositionId>,
+    positions: Vec<Position>,
+}
+
+impl PositionTable {
+    /// Creates an empty table that truncates interned stacks to `depth`.
+    pub fn new(depth: usize) -> Self {
+        PositionTable {
+            depth: depth.max(1),
+            by_stack: HashMap::new(),
+            positions: Vec::new(),
+        }
+    }
+
+    /// The configured truncation depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of distinct interned positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if no position has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Interns `stack` (after truncation) and returns its id.
+    pub fn intern(&mut self, stack: &CallStack) -> PositionId {
+        let truncated = stack.truncated(self.depth);
+        if let Some(id) = self.by_stack.get(&truncated) {
+            return *id;
+        }
+        let id = PositionId(self.positions.len() as u32);
+        self.positions.push(Position::new(id, truncated.clone()));
+        self.by_stack.insert(truncated, id);
+        id
+    }
+
+    /// Looks up the id of an already-interned stack without inserting.
+    pub fn lookup(&self, stack: &CallStack) -> Option<PositionId> {
+        self.by_stack.get(&stack.truncated(self.depth)).copied()
+    }
+
+    /// Returns the position data for `id`, if it exists.
+    pub fn get(&self, id: PositionId) -> Option<&Position> {
+        self.positions.get(id.index())
+    }
+
+    /// Returns mutable position data for `id`, if it exists.
+    pub fn get_mut(&mut self, id: PositionId) -> Option<&mut Position> {
+        self.positions.get_mut(id.index())
+    }
+
+    /// Iterates over every interned position.
+    pub fn iter(&self) -> impl Iterator<Item = &Position> {
+        self.positions.iter()
+    }
+
+    /// Estimated resident memory of the table in bytes, used by the memory
+    /// overhead experiments (Table 1).
+    pub fn memory_footprint_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for p in &self.positions {
+            total += std::mem::size_of::<Position>();
+            total += p.queue.capacity() * std::mem::size_of::<Option<ThreadId>>();
+            for f in p.stack.frames() {
+                total += std::mem::size_of_val(f) + f.method().len() + f.file().len();
+            }
+        }
+        // HashMap side of the interning (key stacks are clones of the stored ones).
+        total += self.by_stack.len()
+            * (std::mem::size_of::<CallStack>() + std::mem::size_of::<PositionId>());
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Frame;
+
+    fn stack(line: u32) -> CallStack {
+        CallStack::from_frames(vec![
+            Frame::new("lock", "wrapper.rs", line),
+            Frame::new("caller", "app.rs", 100 + line),
+        ])
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = PositionTable::new(1);
+        let a = t.intern(&stack(1));
+        let b = t.intern(&stack(1));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&stack(1)), Some(a));
+        assert_eq!(t.lookup(&stack(2)), None);
+    }
+
+    #[test]
+    fn depth_one_conflates_wrapper_callers() {
+        // The MyLock wrapper pathology of §3.2: with depth 1 two different
+        // callers of the same wrapper collapse to the same position.
+        let mut t = PositionTable::new(1);
+        let a = t.intern(&CallStack::from_frames(vec![
+            Frame::new("MyLock.lock", "mylock.rs", 5),
+            Frame::new("callerA", "a.rs", 10),
+        ]));
+        let b = t.intern(&CallStack::from_frames(vec![
+            Frame::new("MyLock.lock", "mylock.rs", 5),
+            Frame::new("callerB", "b.rs", 20),
+        ]));
+        assert_eq!(a, b);
+
+        // With depth 2 they stay distinct.
+        let mut t2 = PositionTable::new(2);
+        let a2 = t2.intern(&CallStack::from_frames(vec![
+            Frame::new("MyLock.lock", "mylock.rs", 5),
+            Frame::new("callerA", "a.rs", 10),
+        ]));
+        let b2 = t2.intern(&CallStack::from_frames(vec![
+            Frame::new("MyLock.lock", "mylock.rs", 5),
+            Frame::new("callerB", "b.rs", 20),
+        ]));
+        assert_ne!(a2, b2);
+    }
+
+    #[test]
+    fn queue_push_remove_counts() {
+        let mut q = ThreadQueue::new();
+        let t1 = ThreadId::new(1);
+        let t2 = ThreadId::new(2);
+        q.push(t1);
+        q.push(t2);
+        q.push(t1);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.count(t1), 2);
+        assert!(q.contains(t2));
+        assert!(q.remove_one(t1));
+        assert_eq!(q.count(t1), 1);
+        assert_eq!(q.remove_all(t1), 1);
+        assert!(!q.contains(t1));
+        assert_eq!(q.distinct_threads(), vec![t2]);
+        assert!(!q.remove_one(ThreadId::new(99)));
+    }
+
+    #[test]
+    fn queue_reuses_free_slots() {
+        let mut q = ThreadQueue::new();
+        for i in 0..8 {
+            q.push(ThreadId::new(i));
+        }
+        let cap_before = q.capacity();
+        for i in 0..8 {
+            assert!(q.remove_one(ThreadId::new(i)));
+        }
+        assert!(q.is_empty());
+        // New insertions must reuse the freed slots, not grow the arena.
+        for i in 0..8 {
+            q.push(ThreadId::new(100 + i));
+        }
+        assert_eq!(q.capacity(), cap_before);
+        assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn in_history_flag_roundtrips() {
+        let mut t = PositionTable::new(1);
+        let id = t.intern(&stack(9));
+        assert!(!t.get(id).unwrap().in_history());
+        t.get_mut(id).unwrap().set_in_history(true);
+        assert!(t.get(id).unwrap().in_history());
+    }
+
+    #[test]
+    fn memory_footprint_grows_with_positions() {
+        let mut t = PositionTable::new(1);
+        let empty = t.memory_footprint_bytes();
+        for i in 0..64 {
+            t.intern(&stack(i));
+        }
+        assert!(t.memory_footprint_bytes() > empty);
+    }
+}

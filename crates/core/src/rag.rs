@@ -1,0 +1,531 @@
+//! The resource allocation graph (RAG).
+//!
+//! Dimmunix maintains the synchronization state of the process in a RAG
+//! (§2.2): lock nodes point to the thread owning them (annotated with the
+//! call stack of the acquisition, `acqPos`), and thread nodes point to the
+//! lock they are currently requesting (annotated with the requesting call
+//! stack). A cycle through a requesting thread means a deadlock is about to
+//! occur. Threads parked by the avoidance module add *yield* edges towards
+//! the threads blocking the matched signature; cycles through yield edges are
+//! avoidance-induced deadlocks (starvation).
+
+use crate::position::PositionId;
+use crate::{LockId, SignatureId, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Why a thread is waiting on another thread in the wait-for relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaitEdge {
+    /// The thread requests this lock, owned by the successor thread.
+    Lock(LockId),
+    /// The thread was parked by avoidance and waits for the successor thread
+    /// (one of the blockers of the matched signature) to make progress.
+    Yield(SignatureId),
+}
+
+/// Record attached to a thread parked by the avoidance module.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct YieldRecord {
+    /// The history signature whose instantiation is being avoided.
+    pub signature: SignatureId,
+    /// The position the parked thread was requesting at.
+    pub position: PositionId,
+    /// The lock the parked thread wanted to acquire.
+    pub lock: LockId,
+    /// The other threads currently covering the signature's outer positions.
+    pub blockers: Vec<ThreadId>,
+}
+
+/// Per-thread RAG node.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThreadNode {
+    /// Outstanding lock request, if any, with the requesting position.
+    requesting: Option<(LockId, PositionId)>,
+    /// Locks currently held, in acquisition order, with their `acqPos`.
+    held: Vec<(LockId, PositionId)>,
+    /// Present while the thread is parked by avoidance.
+    yielding: Option<YieldRecord>,
+    /// Position approved by the last `request` grant, consumed by `acquire`.
+    pending_grant: Option<(LockId, PositionId)>,
+}
+
+/// Per-lock RAG node.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LockNode {
+    /// Current owner thread.
+    owner: Option<ThreadId>,
+    /// Call-stack position of the owner's acquisition (`acqPos` in §3.2).
+    acq_pos: Option<PositionId>,
+    /// Monitor recursion depth (Java monitors are reentrant).
+    recursion: u32,
+}
+
+/// One step of a wait-for cycle: `thread` waits on the *next* entry's thread
+/// through `edge`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleStep {
+    /// The waiting thread.
+    pub thread: ThreadId,
+    /// Why it waits on the next thread in the cycle.
+    pub edge: WaitEdge,
+}
+
+/// The resource allocation graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Rag {
+    threads: HashMap<ThreadId, ThreadNode>,
+    locks: HashMap<LockId, LockNode>,
+}
+
+impl Rag {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Number of registered locks.
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Registers a thread node (idempotent).
+    pub fn register_thread(&mut self, t: ThreadId) {
+        self.threads.entry(t).or_default();
+    }
+
+    /// Removes a thread node, returning the locks it still held (with their
+    /// acquisition positions) so the caller can clean up position queues.
+    pub fn unregister_thread(&mut self, t: ThreadId) -> Vec<(LockId, PositionId)> {
+        let node = self.threads.remove(&t).unwrap_or_default();
+        for (lock, _) in &node.held {
+            if let Some(l) = self.locks.get_mut(lock) {
+                if l.owner == Some(t) {
+                    l.owner = None;
+                    l.acq_pos = None;
+                    l.recursion = 0;
+                }
+            }
+        }
+        node.held
+    }
+
+    /// Registers a lock node (idempotent). This is the analogue of inflating
+    /// a thin lock into a fat `Monitor` that can carry a RAG node (§4).
+    pub fn register_lock(&mut self, l: LockId) {
+        self.locks.entry(l).or_default();
+    }
+
+    /// Removes a lock node (e.g. the monitor object was garbage collected).
+    pub fn unregister_lock(&mut self, l: LockId) -> Option<LockNode> {
+        self.locks.remove(&l)
+    }
+
+    /// True if the thread is registered.
+    pub fn has_thread(&self, t: ThreadId) -> bool {
+        self.threads.contains_key(&t)
+    }
+
+    /// True if the lock is registered.
+    pub fn has_lock(&self, l: LockId) -> bool {
+        self.locks.contains_key(&l)
+    }
+
+    /// Current owner of `l`, if any.
+    pub fn owner(&self, l: LockId) -> Option<ThreadId> {
+        self.locks.get(&l).and_then(|n| n.owner)
+    }
+
+    /// Acquisition position (`acqPos`) of `l`'s current ownership.
+    pub fn acq_pos(&self, l: LockId) -> Option<PositionId> {
+        self.locks.get(&l).and_then(|n| n.acq_pos)
+    }
+
+    /// Monitor recursion depth of `l`.
+    pub fn recursion(&self, l: LockId) -> u32 {
+        self.locks.get(&l).map(|n| n.recursion).unwrap_or(0)
+    }
+
+    /// Locks held by `t` with their acquisition positions.
+    pub fn held_locks(&self, t: ThreadId) -> &[(LockId, PositionId)] {
+        self.threads
+            .get(&t)
+            .map(|n| n.held.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The lock and position `t` is currently requesting, if any.
+    pub fn requesting(&self, t: ThreadId) -> Option<(LockId, PositionId)> {
+        self.threads.get(&t).and_then(|n| n.requesting)
+    }
+
+    /// The yield record of `t`, if it is parked by avoidance.
+    pub fn yielding(&self, t: ThreadId) -> Option<&YieldRecord> {
+        self.threads.get(&t).and_then(|n| n.yielding.as_ref())
+    }
+
+    /// Threads currently parked by avoidance.
+    pub fn yielding_threads(&self) -> Vec<ThreadId> {
+        let mut v: Vec<ThreadId> = self
+            .threads
+            .iter()
+            .filter(|(_, n)| n.yielding.is_some())
+            .map(|(t, _)| *t)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Records that `t` requests `l` at position `pos`.
+    pub fn set_request(&mut self, t: ThreadId, l: LockId, pos: PositionId) {
+        self.register_thread(t);
+        self.register_lock(l);
+        if let Some(n) = self.threads.get_mut(&t) {
+            n.requesting = Some((l, pos));
+        }
+    }
+
+    /// Clears the outstanding request of `t`.
+    pub fn clear_request(&mut self, t: ThreadId) {
+        if let Some(n) = self.threads.get_mut(&t) {
+            n.requesting = None;
+        }
+    }
+
+    /// Marks `t` as parked by avoidance.
+    pub fn set_yield(&mut self, t: ThreadId, record: YieldRecord) {
+        self.register_thread(t);
+        if let Some(n) = self.threads.get_mut(&t) {
+            n.yielding = Some(record);
+        }
+    }
+
+    /// Clears the parked state of `t`; returns the record if one was set.
+    pub fn clear_yield(&mut self, t: ThreadId) -> Option<YieldRecord> {
+        self.threads.get_mut(&t).and_then(|n| n.yielding.take())
+    }
+
+    /// Stores the position approved by a grant, consumed by [`acquire`].
+    ///
+    /// [`acquire`]: Rag::acquire
+    pub fn set_pending_grant(&mut self, t: ThreadId, l: LockId, pos: PositionId) {
+        self.register_thread(t);
+        if let Some(n) = self.threads.get_mut(&t) {
+            n.pending_grant = Some((l, pos));
+        }
+    }
+
+    /// The position approved by the last grant for `t`, if any.
+    pub fn pending_grant(&self, t: ThreadId) -> Option<(LockId, PositionId)> {
+        self.threads.get(&t).and_then(|n| n.pending_grant)
+    }
+
+    /// Removes and returns the pending grant of `t`, if any.
+    pub fn take_pending_grant(&mut self, t: ThreadId) -> Option<(LockId, PositionId)> {
+        self.threads.get_mut(&t).and_then(|n| n.pending_grant.take())
+    }
+
+    /// Records that `t` acquired `l` at position `pos` (first, non-recursive
+    /// acquisition): sets the hold edge and `acqPos`, clears the request.
+    pub fn acquire(&mut self, t: ThreadId, l: LockId, pos: PositionId) {
+        self.register_thread(t);
+        self.register_lock(l);
+        if let Some(n) = self.threads.get_mut(&t) {
+            n.requesting = None;
+            n.pending_grant = None;
+            n.held.push((l, pos));
+        }
+        if let Some(ln) = self.locks.get_mut(&l) {
+            ln.owner = Some(t);
+            ln.acq_pos = Some(pos);
+            ln.recursion = 1;
+        }
+    }
+
+    /// Records a recursive (reentrant) acquisition of a monitor `t` already
+    /// owns.
+    pub fn acquire_recursive(&mut self, t: ThreadId, l: LockId) {
+        if let Some(n) = self.threads.get_mut(&t) {
+            n.requesting = None;
+            n.pending_grant = None;
+        }
+        if let Some(ln) = self.locks.get_mut(&l) {
+            debug_assert_eq!(ln.owner, Some(t));
+            ln.recursion = ln.recursion.saturating_add(1);
+        }
+    }
+
+    /// Records that `t` releases `l`. For recursive monitors the hold edge is
+    /// only removed when the recursion count drops to zero; the return value
+    /// is the acquisition position when the monitor is actually released, or
+    /// `None` for a nested exit or a release of an un-owned lock.
+    pub fn release(&mut self, t: ThreadId, l: LockId) -> Option<PositionId> {
+        let ln = self.locks.get_mut(&l)?;
+        if ln.owner != Some(t) {
+            return None;
+        }
+        if ln.recursion > 1 {
+            ln.recursion -= 1;
+            return None;
+        }
+        let pos = ln.acq_pos.take();
+        ln.owner = None;
+        ln.recursion = 0;
+        if let Some(n) = self.threads.get_mut(&t) {
+            if let Some(idx) = n.held.iter().rposition(|(held, _)| *held == l) {
+                n.held.remove(idx);
+            }
+        }
+        pos
+    }
+
+    /// Successor threads of `t` in the wait-for relation, together with the
+    /// edge kind. `include_yields` selects whether avoidance-parked threads
+    /// contribute edges (needed for starvation detection).
+    pub fn successors(&self, t: ThreadId, include_yields: bool) -> Vec<(ThreadId, WaitEdge)> {
+        let mut out = Vec::new();
+        if let Some(node) = self.threads.get(&t) {
+            if let Some((lock, _)) = node.requesting {
+                if let Some(owner) = self.owner(lock) {
+                    if owner != t {
+                        out.push((owner, WaitEdge::Lock(lock)));
+                    }
+                }
+            }
+            if include_yields {
+                if let Some(y) = &node.yielding {
+                    for b in &y.blockers {
+                        if *b != t {
+                            out.push((*b, WaitEdge::Yield(y.signature)));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Searches for a wait-for cycle containing `start`.
+    ///
+    /// Returns the cycle as an ordered list of steps: entry `i` waits on the
+    /// thread of entry `(i + 1) % len` through the given edge. Returns `None`
+    /// if `start` is not part of any cycle.
+    pub fn find_cycle_from(&self, start: ThreadId, include_yields: bool) -> Option<Vec<CycleStep>> {
+        // Depth-first search over the wait-for relation, recording the path.
+        // Out-degree per thread is 1 (the requested lock's owner) plus the
+        // blockers of a yield record, so the graph is tiny in practice.
+        let mut path: Vec<CycleStep> = Vec::new();
+        let mut on_path: Vec<ThreadId> = Vec::new();
+        let mut visited: Vec<ThreadId> = Vec::new();
+        self.dfs_cycle(start, start, include_yields, &mut path, &mut on_path, &mut visited)
+            .then_some(path)
+    }
+
+    fn dfs_cycle(
+        &self,
+        current: ThreadId,
+        target: ThreadId,
+        include_yields: bool,
+        path: &mut Vec<CycleStep>,
+        on_path: &mut Vec<ThreadId>,
+        visited: &mut Vec<ThreadId>,
+    ) -> bool {
+        on_path.push(current);
+        for (next, edge) in self.successors(current, include_yields) {
+            if next == target && !path.is_empty() || (next == target && current != target) {
+                path.push(CycleStep {
+                    thread: current,
+                    edge,
+                });
+                on_path.pop();
+                return true;
+            }
+            if next == target && path.is_empty() && current == target {
+                // self-loop; ignore (reentrant acquisitions never produce one)
+                continue;
+            }
+            if on_path.contains(&next) || visited.contains(&next) {
+                continue;
+            }
+            path.push(CycleStep {
+                thread: current,
+                edge,
+            });
+            if self.dfs_cycle(next, target, include_yields, path, on_path, visited) {
+                on_path.pop();
+                return true;
+            }
+            path.pop();
+        }
+        on_path.pop();
+        visited.push(current);
+        false
+    }
+
+    /// Estimated resident memory of the graph in bytes.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for (_, n) in &self.threads {
+            total += std::mem::size_of::<ThreadId>() + std::mem::size_of::<ThreadNode>();
+            total += n.held.capacity() * std::mem::size_of::<(LockId, PositionId)>();
+            if let Some(y) = &n.yielding {
+                total += y.blockers.capacity() * std::mem::size_of::<ThreadId>();
+            }
+        }
+        total += self.locks.len() * (std::mem::size_of::<LockId>() + std::mem::size_of::<LockNode>());
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId::new(i)
+    }
+    fn l(i: u64) -> LockId {
+        LockId::new(i)
+    }
+    fn p(i: u32) -> PositionId {
+        PositionId::new(i)
+    }
+
+    #[test]
+    fn acquire_release_updates_ownership() {
+        let mut rag = Rag::new();
+        rag.acquire(t(1), l(1), p(0));
+        assert_eq!(rag.owner(l(1)), Some(t(1)));
+        assert_eq!(rag.acq_pos(l(1)), Some(p(0)));
+        assert_eq!(rag.held_locks(t(1)).len(), 1);
+        assert_eq!(rag.release(t(1), l(1)), Some(p(0)));
+        assert_eq!(rag.owner(l(1)), None);
+        assert!(rag.held_locks(t(1)).is_empty());
+    }
+
+    #[test]
+    fn recursive_acquisition_releases_only_at_depth_zero() {
+        let mut rag = Rag::new();
+        rag.acquire(t(1), l(1), p(0));
+        rag.acquire_recursive(t(1), l(1));
+        assert_eq!(rag.recursion(l(1)), 2);
+        assert_eq!(rag.release(t(1), l(1)), None);
+        assert_eq!(rag.owner(l(1)), Some(t(1)));
+        assert_eq!(rag.release(t(1), l(1)), Some(p(0)));
+        assert_eq!(rag.owner(l(1)), None);
+    }
+
+    #[test]
+    fn release_by_non_owner_is_ignored() {
+        let mut rag = Rag::new();
+        rag.acquire(t(1), l(1), p(0));
+        assert_eq!(rag.release(t(2), l(1)), None);
+        assert_eq!(rag.owner(l(1)), Some(t(1)));
+    }
+
+    #[test]
+    fn two_thread_cycle_is_found() {
+        let mut rag = Rag::new();
+        // t1 holds l1, t2 holds l2, t1 requests l2, t2 requests l1.
+        rag.acquire(t(1), l(1), p(0));
+        rag.acquire(t(2), l(2), p(1));
+        rag.set_request(t(1), l(2), p(2));
+        assert!(rag.find_cycle_from(t(1), false).is_none());
+        rag.set_request(t(2), l(1), p(3));
+        let cycle = rag.find_cycle_from(t(2), false).expect("cycle");
+        assert_eq!(cycle.len(), 2);
+        let threads: Vec<ThreadId> = cycle.iter().map(|s| s.thread).collect();
+        assert!(threads.contains(&t(1)));
+        assert!(threads.contains(&t(2)));
+    }
+
+    #[test]
+    fn three_thread_cycle_is_found() {
+        let mut rag = Rag::new();
+        rag.acquire(t(1), l(1), p(0));
+        rag.acquire(t(2), l(2), p(1));
+        rag.acquire(t(3), l(3), p(2));
+        rag.set_request(t(1), l(2), p(3));
+        rag.set_request(t(2), l(3), p(4));
+        rag.set_request(t(3), l(1), p(5));
+        let cycle = rag.find_cycle_from(t(3), false).expect("cycle");
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn no_cycle_for_chain() {
+        let mut rag = Rag::new();
+        rag.acquire(t(1), l(1), p(0));
+        rag.acquire(t(2), l(2), p(1));
+        rag.set_request(t(2), l(1), p(2));
+        assert!(rag.find_cycle_from(t(2), false).is_none());
+    }
+
+    #[test]
+    fn yield_edges_participate_only_when_requested() {
+        let mut rag = Rag::new();
+        // t1 holds l1 and requests l2 owned by t2; t2 is parked yielding on t1.
+        rag.acquire(t(1), l(1), p(0));
+        rag.acquire(t(2), l(2), p(1));
+        rag.set_request(t(1), l(2), p(2));
+        rag.set_request(t(2), l(3), p(3));
+        rag.register_lock(l(3));
+        rag.set_yield(
+            t(2),
+            YieldRecord {
+                signature: SignatureId::new(0),
+                position: p(3),
+                lock: l(3),
+                blockers: vec![t(1)],
+            },
+        );
+        assert!(rag.find_cycle_from(t(1), false).is_none());
+        let cycle = rag.find_cycle_from(t(1), true).expect("starvation cycle");
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.iter().any(|s| matches!(s.edge, WaitEdge::Yield(_))));
+    }
+
+    #[test]
+    fn unregister_thread_frees_owned_locks() {
+        let mut rag = Rag::new();
+        rag.acquire(t(1), l(1), p(0));
+        rag.acquire(t(1), l(2), p(1));
+        let held = rag.unregister_thread(t(1));
+        assert_eq!(held.len(), 2);
+        assert_eq!(rag.owner(l(1)), None);
+        assert_eq!(rag.owner(l(2)), None);
+        assert!(!rag.has_thread(t(1)));
+    }
+
+    #[test]
+    fn pending_grant_roundtrip() {
+        let mut rag = Rag::new();
+        rag.set_pending_grant(t(1), l(5), p(7));
+        assert_eq!(rag.pending_grant(t(1)), Some((l(5), p(7))));
+        rag.acquire(t(1), l(5), p(7));
+        assert_eq!(rag.pending_grant(t(1)), None);
+    }
+
+    #[test]
+    fn successors_skip_self_edges() {
+        let mut rag = Rag::new();
+        rag.acquire(t(1), l(1), p(0));
+        rag.set_request(t(1), l(1), p(1));
+        assert!(rag.successors(t(1), true).is_empty());
+    }
+
+    #[test]
+    fn memory_footprint_grows() {
+        let mut rag = Rag::new();
+        let base = rag.memory_footprint_bytes();
+        for i in 0..32 {
+            rag.acquire(t(i), l(i), p(0));
+        }
+        assert!(rag.memory_footprint_bytes() > base);
+    }
+}

@@ -1,0 +1,188 @@
+//! Deadlock and starvation signatures.
+//!
+//! A deadlock signature (§2.1) approximates the execution flow that led to a
+//! deadlock: for each deadlocked thread it records the call stack the thread
+//! had when it acquired the lock it holds in the cycle (the *outer* stack)
+//! and the call stack it had at the moment of the deadlock (the *inner*
+//! stack). Only outer stacks matter for avoidance; inner stacks are retained
+//! for diagnosis. A deadlock bug is identified by its set of outer and inner
+//! positions; occurrences at different positions are different bugs.
+
+use crate::callstack::CallStack;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One (outer, inner) call-stack pair of a signature: the contribution of one
+/// deadlocked thread.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SignaturePair {
+    /// Call stack at the acquisition of the lock held in the cycle.
+    pub outer: CallStack,
+    /// Call stack at the moment of the deadlock (the blocked request).
+    pub inner: CallStack,
+}
+
+impl SignaturePair {
+    /// Creates a pair from its outer and inner stacks.
+    pub fn new(outer: CallStack, inner: CallStack) -> Self {
+        SignaturePair { outer, inner }
+    }
+}
+
+impl fmt::Display for SignaturePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "outer [{}] / inner [{}]",
+            self.outer.to_compact(),
+            self.inner.to_compact()
+        )
+    }
+}
+
+/// Whether a signature records a real deadlock or an avoidance-induced
+/// deadlock (starvation, §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SignatureKind {
+    /// A mutual-exclusion deadlock detected as a RAG cycle.
+    Deadlock,
+    /// A starvation condition created by Dimmunix's own avoidance decisions.
+    Starvation,
+}
+
+impl fmt::Display for SignatureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureKind::Deadlock => write!(f, "deadlock"),
+            SignatureKind::Starvation => write!(f, "starvation"),
+        }
+    }
+}
+
+/// A persistent antibody: the signature of one previously observed deadlock
+/// or starvation.
+///
+/// ```
+/// use dimmunix_core::{CallStack, Frame, Signature, SignatureKind, SignaturePair};
+/// let sig = Signature::new(
+///     SignatureKind::Deadlock,
+///     vec![
+///         SignaturePair::new(
+///             CallStack::single(Frame::new("Nms.enqueue", "nms.java", 310)),
+///             CallStack::single(Frame::new("Nms.cancel", "nms.java", 402)),
+///         ),
+///         SignaturePair::new(
+///             CallStack::single(Frame::new("SbS.handleMessage", "sbs.java", 120)),
+///             CallStack::single(Frame::new("SbS.expand", "sbs.java", 88)),
+///         ),
+///     ],
+/// );
+/// assert_eq!(sig.arity(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    kind: SignatureKind,
+    pairs: Vec<SignaturePair>,
+}
+
+impl Signature {
+    /// Creates a signature. Pairs are kept in a canonical (sorted) order so
+    /// that the same deadlock observed from different threads' perspectives
+    /// produces an identical signature, which is what history deduplication
+    /// relies on.
+    pub fn new(kind: SignatureKind, mut pairs: Vec<SignaturePair>) -> Self {
+        pairs.sort();
+        Signature { kind, pairs }
+    }
+
+    /// The signature kind.
+    pub fn kind(&self) -> SignatureKind {
+        self.kind
+    }
+
+    /// The (outer, inner) pairs, in canonical order.
+    pub fn pairs(&self) -> &[SignaturePair] {
+        &self.pairs
+    }
+
+    /// Number of threads involved in the recorded deadlock.
+    pub fn arity(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Outer call stacks only — the part relevant for avoidance.
+    pub fn outer_stacks(&self) -> impl Iterator<Item = &CallStack> {
+        self.pairs.iter().map(|p| &p.outer)
+    }
+
+    /// Inner call stacks only — kept for diagnosis.
+    pub fn inner_stacks(&self) -> impl Iterator<Item = &CallStack> {
+        self.pairs.iter().map(|p| &p.inner)
+    }
+
+    /// True if two signatures describe the same bug: same kind and the same
+    /// multiset of (outer, inner) position pairs.
+    pub fn same_bug(&self, other: &Signature) -> bool {
+        self.kind == other.kind && self.pairs == other.pairs
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} signature ({} threads):", self.kind, self.arity())?;
+        for (i, p) in self.pairs.iter().enumerate() {
+            writeln!(f, "  thread#{i}: {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Frame;
+
+    fn pair(o: u32, i: u32) -> SignaturePair {
+        SignaturePair::new(
+            CallStack::single(Frame::new("outer", "o.rs", o)),
+            CallStack::single(Frame::new("inner", "i.rs", i)),
+        )
+    }
+
+    #[test]
+    fn pair_order_does_not_matter() {
+        let a = Signature::new(SignatureKind::Deadlock, vec![pair(1, 2), pair(3, 4)]);
+        let b = Signature::new(SignatureKind::Deadlock, vec![pair(3, 4), pair(1, 2)]);
+        assert_eq!(a, b);
+        assert!(a.same_bug(&b));
+    }
+
+    #[test]
+    fn different_positions_are_different_bugs() {
+        let a = Signature::new(SignatureKind::Deadlock, vec![pair(1, 2), pair(3, 4)]);
+        let b = Signature::new(SignatureKind::Deadlock, vec![pair(1, 2), pair(3, 5)]);
+        assert!(!a.same_bug(&b));
+    }
+
+    #[test]
+    fn kind_distinguishes_bugs() {
+        let a = Signature::new(SignatureKind::Deadlock, vec![pair(1, 2)]);
+        let b = Signature::new(SignatureKind::Starvation, vec![pair(1, 2)]);
+        assert!(!a.same_bug(&b));
+    }
+
+    #[test]
+    fn accessors_expose_outer_and_inner() {
+        let s = Signature::new(SignatureKind::Deadlock, vec![pair(1, 2), pair(3, 4)]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.outer_stacks().count(), 2);
+        assert_eq!(s.inner_stacks().count(), 2);
+        assert!(format!("{s}").contains("deadlock"));
+    }
+
+    #[test]
+    fn display_mentions_kind() {
+        assert_eq!(SignatureKind::Deadlock.to_string(), "deadlock");
+        assert_eq!(SignatureKind::Starvation.to_string(), "starvation");
+    }
+}

@@ -1,0 +1,142 @@
+//! Runtime counters kept by the engine.
+//!
+//! These back the evaluation harness: synchronization throughput (Table 1 and
+//! the §5 microbenchmark), avoidance activity, and memory accounting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Monotonic counters describing one engine instance's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Calls to `request` (one per monitorenter attempt).
+    pub requests: u64,
+    /// Requests approved immediately or after retries.
+    pub grants: u64,
+    /// Recursive (reentrant) acquisitions granted on the fast path.
+    pub reentrant_grants: u64,
+    /// `acquired` notifications.
+    pub acquisitions: u64,
+    /// `released` notifications that actually released the monitor.
+    pub releases: u64,
+    /// Requests answered with a yield (the thread had to park).
+    pub yields: u64,
+    /// Distinct times a real deadlock cycle was detected.
+    pub deadlocks_detected: u64,
+    /// New deadlock signatures added to the history.
+    pub new_deadlock_signatures: u64,
+    /// Avoidance-induced deadlocks (starvation) detected.
+    pub starvations_detected: u64,
+    /// New starvation signatures added to the history.
+    pub new_starvation_signatures: u64,
+    /// Instantiation checks performed by the avoidance module.
+    pub instantiation_checks: u64,
+    /// Wake-ups issued on the release path (threads resumed from signature
+    /// condition variables).
+    pub wakeups: u64,
+}
+
+impl Stats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total synchronizations completed (acquire/release pairs observed).
+    pub fn synchronizations(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Fraction of requests that had to yield (a rough false-positive proxy:
+    /// on deadlock-free runs every yield is conservative serialization).
+    pub fn yield_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.yields as f64 / self.requests as f64
+        }
+    }
+
+    /// Adds another set of counters to this one (used to aggregate
+    /// per-process stats into platform-wide numbers).
+    pub fn merge(&mut self, other: &Stats) {
+        self.requests += other.requests;
+        self.grants += other.grants;
+        self.reentrant_grants += other.reentrant_grants;
+        self.acquisitions += other.acquisitions;
+        self.releases += other.releases;
+        self.yields += other.yields;
+        self.deadlocks_detected += other.deadlocks_detected;
+        self.new_deadlock_signatures += other.new_deadlock_signatures;
+        self.starvations_detected += other.starvations_detected;
+        self.new_starvation_signatures += other.new_starvation_signatures;
+        self.instantiation_checks += other.instantiation_checks;
+        self.wakeups += other.wakeups;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requests={} grants={} reentrant={} acquisitions={} releases={} yields={} \
+             deadlocks={} (new sigs {}) starvations={} (new sigs {}) checks={} wakeups={}",
+            self.requests,
+            self.grants,
+            self.reentrant_grants,
+            self.acquisitions,
+            self.releases,
+            self.yields,
+            self.deadlocks_detected,
+            self.new_deadlock_signatures,
+            self.starvations_detected,
+            self.new_starvation_signatures,
+            self.instantiation_checks,
+            self.wakeups
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let mut a = Stats {
+            requests: 1,
+            grants: 2,
+            reentrant_grants: 3,
+            acquisitions: 4,
+            releases: 5,
+            yields: 6,
+            deadlocks_detected: 7,
+            new_deadlock_signatures: 8,
+            starvations_detected: 9,
+            new_starvation_signatures: 10,
+            instantiation_checks: 11,
+            wakeups: 12,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.wakeups, 24);
+        assert_eq!(a.synchronizations(), 8);
+    }
+
+    #[test]
+    fn yield_rate_handles_zero_requests() {
+        assert_eq!(Stats::new().yield_rate(), 0.0);
+        let s = Stats {
+            requests: 10,
+            yields: 5,
+            ..Stats::new()
+        };
+        assert!((s.yield_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(Stats::new().to_string().contains("requests=0"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # dalvik-sim — a deterministic Dalvik-VM-like substrate
+//!
+//! The paper deploys Dimmunix inside Android 2.2's Dalvik VM on a Nexus One
+//! phone. Neither the VM nor the phone is available to a Rust reproduction,
+//! so this crate provides the substitute substrate: a small, deterministic
+//! virtual machine with exactly the synchronization surface the paper needs —
+//! `monitorenter` / `monitorexit` bytecodes, reentrant monitors with
+//! `Object.wait()` / `notify()` semantics (including the wait-reacquisition
+//! path §3.2 relies on), thread spawning, busy computation, a seeded
+//! scheduler, and a Zygote-style process factory so that every application
+//! process carries its own Dimmunix instance (Figure 1).
+//!
+//! Determinism is the point: a given program + seed always produces the same
+//! interleaving, so the case-study deadlock can be reproduced, the antibody
+//! recorded, and the avoidance demonstrated on the *same* schedule — the
+//! moral equivalent of the paper's "reproduce the freeze, reboot, never see
+//! it again".
+//!
+//! ```
+//! use dalvik_sim::{ObjRef, ProcessBuilder, ProgramBuilder, RunOutcome};
+//!
+//! let mut pb = ProgramBuilder::new("hello.java");
+//! let main = pb
+//!     .method("Main.main")
+//!     .sync(ObjRef(1), |body| {
+//!         body.compute(10);
+//!     })
+//!     .finish();
+//! let mut process = ProcessBuilder::new("com.example.hello", pb.build()).spawn_main(main);
+//! assert_eq!(process.run(1_000), RunOutcome::Completed);
+//! assert_eq!(process.stats().syncs, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod energy;
+mod memory;
+mod process;
+mod program;
+mod thread;
+mod zygote;
+
+pub use energy::{EnergyModel, EnergyReport};
+pub use memory::{AppMemory, PlatformMemory, DEVICE_RAM_BYTES};
+pub use process::{
+    Process, ProcessBuilder, ProcessStats, RunOutcome, MONITOR_NODE_BYTES, STACK_BUFFER_BYTES,
+};
+pub use program::{Method, MethodBuilder, MethodId, ObjRef, Op, Program, ProgramBuilder, SyncBody};
+pub use thread::{FrameState, ResumeTarget, ThreadState, VmThread};
+
+pub use zygote::Zygote;

@@ -1,0 +1,151 @@
+//! Simulated VM threads.
+
+use crate::program::{MethodId, ObjRef};
+use dimmunix_core::{SignatureId, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// One frame of a simulated thread's call stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameState {
+    /// Method being executed.
+    pub method: MethodId,
+    /// Index of the next operation to execute within the method.
+    pub pc: usize,
+}
+
+/// What a parked thread should do once it is resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResumeTarget {
+    /// Retry the `monitorenter` at the current pc.
+    Enter(ObjRef),
+    /// Retry the post-`wait()` monitor reacquisition, restoring the given
+    /// recursion depth.
+    Reacquire {
+        /// Object whose monitor must be reacquired.
+        obj: ObjRef,
+        /// Recursion depth to restore once reacquired.
+        recursion: u32,
+    },
+}
+
+/// Execution state of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Ready to execute its next operation.
+    Runnable,
+    /// Approved by Dimmunix but the monitor is currently owned by another
+    /// thread (ordinary lock contention).
+    BlockedOnMonitor {
+        /// The contended object.
+        obj: ObjRef,
+        /// Recursion depth to restore if this acquisition is the
+        /// reacquisition performed at the end of `Object.wait()`.
+        restore_recursion: Option<u32>,
+    },
+    /// Parked by Dimmunix's avoidance on a signature's condition variable.
+    YieldingOnSignature {
+        /// Signature whose instantiation is being avoided.
+        signature: SignatureId,
+        /// What to retry once woken.
+        resume: ResumeTarget,
+    },
+    /// Inside `Object.wait()`, waiting to be notified (or for the timeout).
+    WaitingOnObject {
+        /// The object being waited on.
+        obj: ObjRef,
+        /// Monitor recursion depth to restore after reacquisition.
+        recursion: u32,
+        /// Virtual time at which the wait times out, if any.
+        deadline: Option<u64>,
+    },
+    /// Notified (or timed out); must reacquire the monitor before resuming.
+    ReacquiringAfterWait {
+        /// The object whose monitor must be reacquired.
+        obj: ObjRef,
+        /// Monitor recursion depth to restore.
+        recursion: u32,
+    },
+    /// Blocked forever in a detected deadlock (the paper's "phone freezes
+    /// once" behaviour).
+    Deadlocked {
+        /// The object the thread was trying to acquire when the cycle closed.
+        obj: ObjRef,
+    },
+    /// Finished executing.
+    Terminated,
+}
+
+/// A simulated Dalvik thread.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmThread {
+    /// Engine-level identifier.
+    pub id: ThreadId,
+    /// Human-readable name.
+    pub name: String,
+    /// Call stack (innermost frame last).
+    pub frames: Vec<FrameState>,
+    /// Current execution state.
+    pub state: ThreadState,
+    /// Busy cycles executed so far (drives the energy model).
+    pub cycles: u64,
+    /// Completed monitor acquisitions.
+    pub syncs: u64,
+    /// Times this thread was parked by avoidance.
+    pub yields: u64,
+}
+
+impl VmThread {
+    /// Creates a runnable thread starting at `entry`.
+    pub fn new(id: ThreadId, name: impl Into<String>, entry: MethodId) -> Self {
+        VmThread {
+            id,
+            name: name.into(),
+            frames: vec![FrameState {
+                method: entry,
+                pc: 0,
+            }],
+            state: ThreadState::Runnable,
+            cycles: 0,
+            syncs: 0,
+            yields: 0,
+        }
+    }
+
+    /// True once the thread has finished.
+    pub fn is_terminated(&self) -> bool {
+        matches!(self.state, ThreadState::Terminated)
+    }
+
+    /// True if the thread is permanently stuck in a detected deadlock.
+    pub fn is_deadlocked(&self) -> bool {
+        matches!(self.state, ThreadState::Deadlocked { .. })
+    }
+
+    /// The innermost frame, if the thread still has one.
+    pub fn current_frame(&self) -> Option<FrameState> {
+        self.frames.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_thread_is_runnable_at_entry() {
+        let t = VmThread::new(ThreadId::new(1), "main", MethodId(0));
+        assert_eq!(t.state, ThreadState::Runnable);
+        assert_eq!(t.current_frame(), Some(FrameState { method: MethodId(0), pc: 0 }));
+        assert!(!t.is_terminated());
+        assert!(!t.is_deadlocked());
+    }
+
+    #[test]
+    fn state_predicates() {
+        let mut t = VmThread::new(ThreadId::new(1), "main", MethodId(0));
+        t.state = ThreadState::Deadlocked { obj: ObjRef(1) };
+        assert!(t.is_deadlocked());
+        t.state = ThreadState::Terminated;
+        assert!(t.is_terminated());
+    }
+}

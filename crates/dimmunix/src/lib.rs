@@ -1,0 +1,76 @@
+//! # dimmunix — platform-wide deadlock immunity (facade crate)
+//!
+//! Reproduction of *"Platform-wide Deadlock Immunity for Mobile Phones"*
+//! (Jula, Rensch, Candea; HotDep 2011). This crate re-exports the public API
+//! of the whole workspace so applications and the repository-level examples
+//! and integration tests can depend on a single crate:
+//!
+//! * [`core`] — the Dimmunix engine (signatures, history, RAG, detection,
+//!   avoidance, starvation handling);
+//! * [`rt`] — deadlock-immune lock types for real Rust threads
+//!   (`ImmuneMutex`, `ImmuneMonitor`, `DimmunixRuntime`);
+//! * [`vm`] — the deterministic Dalvik-like VM substrate;
+//! * [`android`] — the simulated Android platform (services, app profiles,
+//!   phone lifecycle);
+//! * [`workloads`] — benchmark workload generators.
+//!
+//! ## Which layer should I use?
+//!
+//! *To protect a Rust program*: use [`rt`] — create one [`rt::DimmunixRuntime`]
+//! per process and replace `Mutex` with [`rt::ImmuneMutex`].
+//!
+//! *To study the algorithm or reproduce the paper*: use [`vm`] and
+//! [`android`] — deterministic, seed-replayable, and able to model the
+//! phone's reboot/persistence lifecycle.
+//!
+//! ```
+//! use dimmunix::rt::{acquire_site, DimmunixRuntime, ImmuneMutex};
+//!
+//! let runtime = DimmunixRuntime::new();
+//! let data = ImmuneMutex::new(&runtime, vec![1, 2, 3]);
+//! data.lock(acquire_site!())?.push(4);
+//! assert_eq!(data.lock(acquire_site!())?.len(), 4);
+//! # Ok::<(), dimmunix::rt::LockError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The Dimmunix engine (re-export of `dimmunix-core`).
+pub mod core {
+    pub use ::dimmunix_core::*;
+}
+
+/// Deadlock-immune lock types for real threads (re-export of `dimmunix-rt`).
+pub mod rt {
+    pub use ::dimmunix_rt::*;
+    /// Captures the current source location as an acquisition site.
+    pub use ::dimmunix_rt::acquire_site;
+}
+
+/// The deterministic VM substrate (re-export of `dalvik-sim`).
+pub mod vm {
+    pub use ::dalvik_sim::*;
+}
+
+/// The simulated Android platform (re-export of `android-sim`).
+pub mod android {
+    pub use ::android_sim::*;
+}
+
+/// Workload generators (re-export of `workloads`).
+pub mod workloads {
+    pub use ::workloads::*;
+}
+
+#[cfg(test)]
+mod facade_tests {
+    #[test]
+    fn layers_are_reachable_through_the_facade() {
+        let engine = crate::core::Dimmunix::default();
+        assert!(engine.history().is_empty());
+        let runtime = crate::rt::DimmunixRuntime::new();
+        assert_eq!(runtime.stats().requests, 0);
+        assert_eq!(crate::android::TABLE1_PROFILES.len(), 8);
+    }
+}

@@ -1,0 +1,147 @@
+//! # dimmunix-rt — deadlock immunity for real Rust threads
+//!
+//! The paper injects Dimmunix into the Dalvik VM so that *every* monitor
+//! operation on the platform is screened. Rust has no such interposition
+//! point (there is no way to hook `std::sync::Mutex` from a library), so this
+//! crate provides the closest practical substitute: **wrapper lock types**.
+//! [`ImmuneMutex`] and [`ImmuneMonitor`] behave like their `parking_lot`
+//! counterparts but route every acquisition and release through a shared
+//! [`DimmunixRuntime`] — one instance per process, mirroring the per-process
+//! Dimmunix data of Figure 1. Call-stack retrieval is replaced by the static
+//! acquisition-site ids the paper itself proposes as an optimization (§4):
+//! the [`acquire_site!`] macro captures `file!()`/`line!()` at compile time.
+//!
+//! With that in place the behaviour matches the paper: the first occurrence
+//! of a deadlock is detected and its signature persisted; subsequent runs
+//! park one of the threads just long enough that the signature can no longer
+//! be instantiated.
+//!
+//! ```
+//! use dimmunix_rt::{acquire_site, DimmunixRuntime, ImmuneMutex};
+//! use std::sync::Arc;
+//!
+//! let runtime = DimmunixRuntime::new();
+//! let balance = Arc::new(ImmuneMutex::new(&runtime, 100i64));
+//! let b = balance.clone();
+//! let t = std::thread::spawn(move || {
+//!     *b.lock(acquire_site!()).unwrap() -= 30;
+//! });
+//! t.join().unwrap();
+//! assert_eq!(*balance.lock(acquire_site!())?, 70);
+//! # Ok::<(), dimmunix_rt::LockError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod monitor;
+mod mutex;
+mod runtime;
+mod site;
+
+pub use monitor::{ImmuneMonitor, MonitorGuard};
+pub use mutex::{ImmuneMutex, ImmuneMutexGuard};
+pub use runtime::{DeadlockPolicy, DimmunixRuntime, LockError, RuntimeOptions};
+pub use site::AcquisitionSite;
+
+#[cfg(test)]
+mod integration_tests {
+    use super::*;
+    use dimmunix_core::{Config, SignatureKind};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// End-to-end "immunity develops" test on real threads: run 1 produces a
+    /// deadlock (detected, recorded); run 2 with the recorded history
+    /// completes.
+    #[test]
+    fn real_threads_learn_and_avoid_ab_ba() {
+        let site_a_outer = AcquisitionSite::new("transfer.a_to_b", "bank.rs", 10);
+        let site_a_inner = AcquisitionSite::new("transfer.a_to_b.inner", "bank.rs", 11);
+        let site_b_outer = AcquisitionSite::new("transfer.b_to_a", "bank.rs", 20);
+        let site_b_inner = AcquisitionSite::new("transfer.b_to_a.inner", "bank.rs", 21);
+
+        // --- Run 1: provoke the deadlock deterministically. ---------------
+        let rt = DimmunixRuntime::with_options(RuntimeOptions {
+            config: Config::default(),
+            deadlock_policy: DeadlockPolicy::Error,
+        });
+        let a = Arc::new(ImmuneMutex::new(&rt, 0i64));
+        let b = Arc::new(ImmuneMutex::new(&rt, 0i64));
+
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let (a1, b1, bar1) = (a.clone(), b.clone(), barrier.clone());
+        let t1 = std::thread::spawn(move || -> Result<(), LockError> {
+            let _ga = a1.lock(site_a_outer)?;
+            bar1.wait();
+            std::thread::sleep(Duration::from_millis(30));
+            let _gb = b1.lock(site_a_inner)?;
+            Ok(())
+        });
+        let (a2, b2, bar2) = (a.clone(), b.clone(), barrier.clone());
+        let t2 = std::thread::spawn(move || -> Result<(), LockError> {
+            let _gb = b2.lock(site_b_outer)?;
+            bar2.wait();
+            std::thread::sleep(Duration::from_millis(30));
+            let _ga = a2.lock(site_b_inner)?;
+            Ok(())
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "the adversarial schedule must produce a detected deadlock"
+        );
+        let history = rt.history();
+        assert_eq!(history.len(), 1);
+        assert_eq!(
+            history.iter().next().unwrap().1.kind(),
+            SignatureKind::Deadlock
+        );
+
+        // --- Run 2: same lock order, antibody loaded -> completes. --------
+        // (No barrier here: with immunity one thread may legitimately be
+        // parked before reaching a barrier, so the threads are staggered by
+        // sleeps instead; whichever reaches its outer position second is
+        // parked until the first finishes.)
+        let rt = DimmunixRuntime::with_history(
+            RuntimeOptions {
+                config: Config::default(),
+                deadlock_policy: DeadlockPolicy::Error,
+            },
+            history,
+        );
+        let a = Arc::new(ImmuneMutex::new(&rt, 0i64));
+        let b = Arc::new(ImmuneMutex::new(&rt, 0i64));
+        let (a1, b1) = (a.clone(), b.clone());
+        let t1 = std::thread::spawn(move || -> Result<(), LockError> {
+            let _ga = a1.lock(site_a_outer)?;
+            std::thread::sleep(Duration::from_millis(80));
+            let _gb = b1.lock(site_a_inner)?;
+            Ok(())
+        });
+        let (a2, b2) = (a.clone(), b.clone());
+        let t2 = std::thread::spawn(move || -> Result<(), LockError> {
+            std::thread::sleep(Duration::from_millis(20));
+            let _gb = b2.lock(site_b_outer)?;
+            std::thread::sleep(Duration::from_millis(10));
+            let _ga = a2.lock(site_b_inner)?;
+            Ok(())
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(r1.is_ok() && r2.is_ok(), "replay must complete: {r1:?} {r2:?}");
+        assert_eq!(rt.stats().deadlocks_detected, 0);
+        assert_eq!(rt.history().len(), 1, "no new signature on the replay");
+    }
+
+    #[test]
+    fn send_sync_bounds() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DimmunixRuntime>();
+        assert_send_sync::<ImmuneMutex<Vec<u8>>>();
+        assert_send_sync::<ImmuneMonitor<Vec<u8>>>();
+        assert_send_sync::<LockError>();
+    }
+}

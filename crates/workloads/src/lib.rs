@@ -1,0 +1,27 @@
+//! # workloads — benchmark and test workload generators
+//!
+//! Three families of workloads drive the evaluation harness:
+//!
+//! * [`microbench`] — the §5 performance microbenchmark on real OS threads
+//!   (2–512 threads, random uncontended lock objects, busy-waits, 64–256
+//!   synthetic signatures), used to regenerate the 4–5% overhead result;
+//! * [`synthetic`] — generators for the synthetic deadlock histories the
+//!   microbenchmark loads;
+//! * [`patterns`] — simulated-VM workloads: dining philosophers, the §3.2
+//!   `MyLock` wrapper pathology (depth-1 ablation), and a forced
+//!   avoidance-starvation scenario.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod microbench;
+pub mod patterns;
+pub mod synthetic;
+
+pub use microbench::{
+    busy_work, run_microbenchmark, run_overhead_pair, MicrobenchConfig, MicrobenchResult,
+    OverheadRow,
+};
+pub use patterns::{dining_philosophers, starvation_workload, wrapper_workload};
+pub use synthetic::{colliding_history, synthetic_history};

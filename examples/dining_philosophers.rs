@@ -1,0 +1,52 @@
+//! Dining philosophers on the simulated VM: a canonical multi-way deadlock
+//! and how immunity develops for it.
+//!
+//! Run with: `cargo run --example dining_philosophers`
+
+use dimmunix::vm::{ProcessBuilder, RunOutcome};
+use dimmunix::workloads::dining_philosophers;
+
+fn main() {
+    let philosophers = 4;
+    let rounds = 3;
+
+    // Phase 1: find an interleaving where the philosophers starve to death.
+    let mut trained = None;
+    for seed in 0..500u64 {
+        let (program, main) = dining_philosophers(philosophers, rounds);
+        let mut table = ProcessBuilder::new("philosophers", program)
+            .seed(seed)
+            .spawn_main(main);
+        let outcome = table.run(500_000);
+        if table.stats().deadlocks_detected > 0 {
+            println!(
+                "seed {seed}: deadlock among {} philosophers detected ({:?}); signature recorded",
+                philosophers, outcome
+            );
+            trained = Some((seed, table.engine().history().clone()));
+            break;
+        }
+    }
+    let (seed, history) = trained.expect("some schedule must deadlock");
+    println!(
+        "history now holds {} signature(s):\n{}",
+        history.len(),
+        history.to_text()
+    );
+
+    // Phase 2: replay the same schedule with the antibodies loaded.
+    let (program, main) = dining_philosophers(philosophers, rounds);
+    let mut table = ProcessBuilder::new("philosophers", program)
+        .seed(seed)
+        .history(history)
+        .spawn_main(main);
+    let outcome = table.run(5_000_000);
+    let stats = table.stats();
+    println!(
+        "replay with immunity: {:?}; {} syncs completed, {} avoidance parks, {} deadlocks",
+        outcome, stats.syncs, stats.yields, stats.deadlocks_detected
+    );
+    assert_eq!(outcome, RunOutcome::Completed);
+    assert_eq!(stats.deadlocks_detected, 0);
+    println!("All philosophers finished dinner.");
+}

@@ -1,0 +1,58 @@
+//! The §5 case study: the NotificationManagerService / StatusBarService
+//! deadlock (Android issue 7986) on the simulated phone.
+//!
+//! The example searches for a scheduler seed under which the test
+//! application freezes the (simulated) phone's interface, then reboots the
+//! phone and shows that the deadlock is deterministically avoided on every
+//! subsequent launch — exactly the behaviour the paper demonstrates on the
+//! Nexus One.
+//!
+//! Run with: `cargo run --example notification_deadlock`
+
+use dimmunix::android::{NotificationScenario, Phone};
+use dimmunix::core::Config;
+
+fn main() {
+    let history_dir = std::env::temp_dir().join("dimmunix-example-notification");
+    let _ = std::fs::remove_dir_all(&history_dir);
+
+    for seed in 0..500u64 {
+        let dir = history_dir.join(format!("seed{seed}"));
+        let mut phone = Phone::new(Config::default(), &dir);
+        phone.set_scheduler_seed(seed);
+        phone.install_notification_test_app(NotificationScenario::default());
+
+        let first = phone
+            .launch("com.example.notificationtest", 300_000)
+            .expect("app is installed");
+        if !first.frozen {
+            continue; // benign interleaving; try another seed
+        }
+
+        println!("scheduler seed {seed}: the phone's interface froze (issue 7986 reproduced)");
+        println!(
+            "  Dimmunix detected {} deadlock(s) and persisted the signature",
+            first.deadlocks_detected
+        );
+
+        println!("rebooting the phone ...");
+        phone.reboot();
+
+        for launch in 1..=3 {
+            let report = phone
+                .launch("com.example.notificationtest", 600_000)
+                .expect("app is installed");
+            println!(
+                "  launch {launch} after reboot: {} ({} syncs, {} deadlocks)",
+                if report.frozen { "FROZEN" } else { "completed" },
+                report.syncs,
+                report.deadlocks_detected
+            );
+            assert!(!report.frozen, "the deadlock must never reoccur");
+        }
+        println!("\nThe deadlock hit once, was remembered, and never happened again.");
+        let _ = std::fs::remove_dir_all(&history_dir);
+        return;
+    }
+    panic!("no freezing interleaving found (unexpected)");
+}

@@ -1,0 +1,83 @@
+//! Quickstart: protect a real Rust program with deadlock immunity.
+//!
+//! Two worker threads transfer money between two accounts, locking the
+//! accounts in opposite order — the classic AB/BA deadlock. The first run
+//! detects the deadlock (one acquisition is refused, the signature is
+//! recorded); a second run with the recorded history avoids it entirely.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dimmunix::core::Config;
+use dimmunix::rt::{AcquisitionSite, DeadlockPolicy, DimmunixRuntime, ImmuneMutex, RuntimeOptions};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SITE_T1_OUTER: AcquisitionSite = AcquisitionSite::new("transfer.a_to_b", "quickstart.rs", 1);
+const SITE_T1_INNER: AcquisitionSite =
+    AcquisitionSite::new("transfer.a_to_b.inner", "quickstart.rs", 2);
+const SITE_T2_OUTER: AcquisitionSite = AcquisitionSite::new("transfer.b_to_a", "quickstart.rs", 3);
+const SITE_T2_INNER: AcquisitionSite =
+    AcquisitionSite::new("transfer.b_to_a.inner", "quickstart.rs", 4);
+
+fn run_once(runtime: Arc<DimmunixRuntime>) -> (bool, bool) {
+    let account_a = Arc::new(ImmuneMutex::new(&runtime, 1000i64));
+    let account_b = Arc::new(ImmuneMutex::new(&runtime, 1000i64));
+
+    // The two transfers are staggered with sleeps so that, without immunity,
+    // the outer locks are both held before either inner acquisition starts —
+    // the adversarial interleaving that deadlocks.
+    let (a1, b1) = (account_a.clone(), account_b.clone());
+    let t1 = std::thread::spawn(move || -> Result<(), dimmunix::rt::LockError> {
+        let mut from = a1.lock(SITE_T1_OUTER)?;
+        std::thread::sleep(Duration::from_millis(60));
+        let mut to = b1.lock(SITE_T1_INNER)?;
+        *from -= 100;
+        *to += 100;
+        Ok(())
+    });
+    let (a2, b2) = (account_a, account_b);
+    let t2 = std::thread::spawn(move || -> Result<(), dimmunix::rt::LockError> {
+        std::thread::sleep(Duration::from_millis(20));
+        let mut from = b2.lock(SITE_T2_OUTER)?;
+        std::thread::sleep(Duration::from_millis(60));
+        let mut to = a2.lock(SITE_T2_INNER)?;
+        *from -= 50;
+        *to += 50;
+        Ok(())
+    });
+    let r1 = t1.join().unwrap();
+    let r2 = t2.join().unwrap();
+    let deadlock_refused = r1.is_err() || r2.is_err();
+    (deadlock_refused, r1.is_ok() && r2.is_ok())
+}
+
+fn main() {
+    println!("== run 1: no antibodies, adversarial schedule ==");
+    let runtime = DimmunixRuntime::with_options(RuntimeOptions {
+        config: Config::default(),
+        deadlock_policy: DeadlockPolicy::Error,
+    });
+    let (refused, _) = run_once(runtime.clone());
+    println!(
+        "deadlock detected and refused: {refused}; signatures recorded: {}",
+        runtime.history().len()
+    );
+    let history = runtime.history();
+
+    println!("\n== run 2: same program, antibody loaded ==");
+    let immune = DimmunixRuntime::with_history(
+        RuntimeOptions {
+            config: Config::default(),
+            deadlock_policy: DeadlockPolicy::Error,
+        },
+        history,
+    );
+    let (_, completed) = run_once(immune.clone());
+    println!(
+        "both transfers completed: {completed}; deadlocks detected: {}; threads parked by avoidance: {}",
+        immune.stats().deadlocks_detected,
+        immune.stats().yields
+    );
+    assert!(completed, "the replay must complete with the antibody loaded");
+    println!("\nDeadlock immunity developed: the same bug can never bite twice.");
+}

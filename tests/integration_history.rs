@@ -1,0 +1,113 @@
+//! Integration tests for the persistent history: cross-codec round trips,
+//! vendor merging, and compatibility between signatures produced by the VM
+//! substrate and consumed by the real-thread runtime (they share the
+//! engine's representation).
+
+use dimmunix::core::{
+    CallStack, Config, Frame, History, Signature, SignatureKind, SignaturePair,
+};
+use dimmunix::vm::{ProcessBuilder, RunOutcome};
+use dimmunix::workloads::dining_philosophers;
+
+fn train_philosophers() -> History {
+    for seed in 0..400u64 {
+        let (program, main) = dining_philosophers(3, 2);
+        let mut p = ProcessBuilder::new("philosophers", program)
+            .seed(seed)
+            .spawn_main(main);
+        let _ = p.run(300_000);
+        if !p.engine().history().is_empty() {
+            return p.engine().history().clone();
+        }
+    }
+    panic!("philosophers never deadlocked");
+}
+
+#[test]
+fn vm_produced_history_round_trips_through_both_codecs() {
+    let history = train_philosophers();
+    let text = history.to_text();
+    let json = history.to_json().unwrap();
+    let from_text = History::from_text(&text).unwrap();
+    let from_json = History::from_json(&json).unwrap();
+    assert_eq!(from_text.len(), history.len());
+    assert_eq!(from_json.len(), history.len());
+    for (id, sig) in history.iter() {
+        assert!(from_text.get(id).unwrap().same_bug(sig));
+        assert!(from_json.get(id).unwrap().same_bug(sig));
+    }
+}
+
+#[test]
+fn history_file_written_by_one_process_protects_another() {
+    let dir = std::env::temp_dir().join(format!("dimmunix-it-hist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("philosophers.history");
+
+    // Process 1 (simulated): deadlocks and persists its antibody.
+    let mut seed_used = None;
+    for seed in 0..400u64 {
+        let (program, main) = dining_philosophers(3, 2);
+        let mut p = ProcessBuilder::new("philosophers", program)
+            .seed(seed)
+            .config(Config::builder().history_path(&path).build())
+            .spawn_main(main);
+        let _ = p.run(300_000);
+        if !p.engine().history().is_empty() {
+            seed_used = Some(seed);
+            break;
+        }
+    }
+    let seed = seed_used.expect("a deadlocking seed exists");
+    assert!(path.exists());
+
+    // Process 2: a fresh simulated process reads the same file and completes
+    // the same schedule.
+    let (program, main) = dining_philosophers(3, 2);
+    let mut p = ProcessBuilder::new("philosophers", program)
+        .seed(seed)
+        .config(Config::builder().history_path(&path).build())
+        .spawn_main(main);
+    let outcome = p.run(5_000_000);
+    assert_eq!(outcome, RunOutcome::Completed);
+    assert_eq!(p.stats().deadlocks_detected, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merging_vendor_histories_deduplicates() {
+    let mut local = train_philosophers();
+    let vendor: History = vec![
+        Signature::new(
+            SignatureKind::Deadlock,
+            vec![
+                SignaturePair::new(
+                    CallStack::single(Frame::new("Vendor.lockA", "vendor.java", 1)),
+                    CallStack::single(Frame::new("Vendor.waitB", "vendor.java", 2)),
+                ),
+                SignaturePair::new(
+                    CallStack::single(Frame::new("Vendor.lockB", "vendor.java", 3)),
+                    CallStack::single(Frame::new("Vendor.waitA", "vendor.java", 4)),
+                ),
+            ],
+        ),
+    ]
+    .into_iter()
+    .collect();
+
+    let before = local.len();
+    assert_eq!(local.merge(&vendor), 1);
+    assert_eq!(local.len(), before + 1);
+    // Merging again adds nothing.
+    assert_eq!(local.merge(&vendor), 0);
+}
+
+#[test]
+fn corrupted_history_files_are_rejected_not_misread() {
+    assert!(History::from_text("#sig deadlock two\n").is_err());
+    assert!(History::from_text("#sig deadlock 1\nonly-one-line@f:1\n").is_err());
+    assert!(History::from_json("{ not json").is_err());
+    // An empty file is a valid, empty history (fresh phone).
+    assert!(History::from_text("").unwrap().is_empty());
+}

@@ -1,0 +1,87 @@
+//! Integration tests for platform-wide properties (Figure 1 / experiments E1,
+//! E5, E6): per-process isolation, Table 1 replay shape, and the static
+//! corpus statistic.
+
+use dimmunix::android::{corpus_totals, profile_by_name, ESSENTIAL_APPS_CORPUS, TABLE1_PROFILES};
+use dimmunix::core::Config;
+use dimmunix::vm::{ProcessBuilder, RunOutcome, Zygote};
+
+#[test]
+fn every_forked_process_gets_an_isolated_engine() {
+    let mut zygote = Zygote::new(Config::default());
+    // Fork a buggy app until it records a signature.
+    let mut buggy_history = 0;
+    for seed in 0..300u64 {
+        let (program, main) = dimmunix::workloads::dining_philosophers(2, 2);
+        let mut zy = zygote.clone().with_seed(seed);
+        let mut p = zy.fork("com.example.buggy", program, main);
+        let _ = p.run(200_000);
+        if !p.engine().history().is_empty() {
+            buggy_history = p.engine().history().len();
+            break;
+        }
+    }
+    assert!(buggy_history >= 1, "the buggy app must record an antibody");
+
+    // Healthy apps forked from the same zygote see nothing of it.
+    for profile in TABLE1_PROFILES.iter().take(3) {
+        let (program, main) = profile.build_workload(30.0, 5_000);
+        let mut p = zygote.fork(profile.package, program, main);
+        assert_eq!(p.run(u64::MAX / 4), RunOutcome::Completed);
+        assert!(p.engine().history().is_empty(), "{} polluted", profile.name);
+        assert_eq!(p.engine().stats().deadlocks_detected, 0);
+    }
+}
+
+#[test]
+fn table1_replay_has_paper_shape_for_two_apps() {
+    for name in ["Camera", "Calendar"] {
+        let profile = profile_by_name(name).unwrap();
+        let (program, main) = profile.build_workload(30.0, 1_000);
+        let mut with = ProcessBuilder::new(profile.package, program)
+            .baseline_bytes(profile.vanilla_bytes())
+            .spawn_main(main);
+        assert_eq!(with.run(u64::MAX / 4), RunOutcome::Completed);
+
+        let (program, main) = profile.build_workload(30.0, 1_000);
+        let mut without = ProcessBuilder::new(profile.package, program)
+            .config(Config::disabled())
+            .baseline_bytes(profile.vanilla_bytes())
+            .spawn_main(main);
+        assert_eq!(without.run(u64::MAX / 4), RunOutcome::Completed);
+
+        // Same workload completed either way, no deadlocks, and the memory
+        // overhead attributable to Dimmunix is a few percent — the shape of
+        // Table 1 (the paper reports 1.3%-5.3% per app, 4% overall).
+        assert_eq!(with.stats().syncs, without.stats().syncs);
+        let overhead = (with.memory_dimmunix_bytes() as f64
+            - without.memory_vanilla_bytes() as f64)
+            / without.memory_vanilla_bytes() as f64;
+        assert!(
+            overhead > 0.0 && overhead < 0.10,
+            "{name}: overhead {overhead}"
+        );
+    }
+}
+
+#[test]
+fn corpus_statistic_matches_section_3_2() {
+    let totals = corpus_totals(&ESSENTIAL_APPS_CORPUS);
+    assert_eq!(totals.synchronized_sites, 1050);
+    assert_eq!(totals.explicit_lock_sites, 15);
+    assert!(totals.coverage() > 0.98);
+}
+
+#[test]
+fn thread_counts_and_rates_match_the_published_profiles() {
+    let email = profile_by_name("Email").unwrap();
+    assert_eq!(email.threads, 46);
+    assert_eq!(email.syncs_per_sec, 1952);
+    let camera = profile_by_name("Camera").unwrap();
+    assert_eq!(camera.threads, 26);
+    assert_eq!(camera.syncs_per_sec, 309);
+    // The table spans 23-119 threads and 309-1952 syncs/sec.
+    let min_threads = TABLE1_PROFILES.iter().map(|p| p.threads).min().unwrap();
+    let max_threads = TABLE1_PROFILES.iter().map(|p| p.threads).max().unwrap();
+    assert_eq!((min_threads, max_threads), (23, 119));
+}

@@ -1,0 +1,153 @@
+//! Integration tests for the real-thread runtime (dimmunix-rt on
+//! dimmunix-core): detect-then-avoid across runtime instances, history
+//! persistence to disk, and a many-thread stress run that must never hang.
+
+use dimmunix::core::{Config, SignatureKind};
+use dimmunix::rt::{
+    AcquisitionSite, DeadlockPolicy, DimmunixRuntime, ImmuneMutex, LockError, RuntimeOptions,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const OUTER_A: AcquisitionSite = AcquisitionSite::new("it.outerA", "it_rt.rs", 1);
+const INNER_A: AcquisitionSite = AcquisitionSite::new("it.innerA", "it_rt.rs", 2);
+const OUTER_B: AcquisitionSite = AcquisitionSite::new("it.outerB", "it_rt.rs", 3);
+const INNER_B: AcquisitionSite = AcquisitionSite::new("it.innerB", "it_rt.rs", 4);
+
+fn adversarial_run(runtime: &Arc<DimmunixRuntime>) -> (Result<(), LockError>, Result<(), LockError>) {
+    let a = Arc::new(ImmuneMutex::new(runtime, 0u32));
+    let b = Arc::new(ImmuneMutex::new(runtime, 0u32));
+    let (a1, b1) = (a.clone(), b.clone());
+    let t1 = std::thread::spawn(move || -> Result<(), LockError> {
+        let _g = a1.lock(OUTER_A)?;
+        std::thread::sleep(Duration::from_millis(60));
+        let _h = b1.lock(INNER_A)?;
+        Ok(())
+    });
+    let (a2, b2) = (a, b);
+    let t2 = std::thread::spawn(move || -> Result<(), LockError> {
+        std::thread::sleep(Duration::from_millis(20));
+        let _g = b2.lock(OUTER_B)?;
+        std::thread::sleep(Duration::from_millis(60));
+        let _h = a2.lock(INNER_B)?;
+        Ok(())
+    });
+    (t1.join().unwrap(), t2.join().unwrap())
+}
+
+#[test]
+fn immunity_persists_across_runtime_restarts_via_history_file() {
+    let dir = std::env::temp_dir().join(format!("dimmunix-it-rt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let history_path = dir.join("app.history");
+
+    let options = || RuntimeOptions {
+        config: Config::builder().history_path(&history_path).build(),
+        deadlock_policy: DeadlockPolicy::Error,
+    };
+
+    // Run 1: the deadlock is detected, refused, and persisted to disk.
+    {
+        let rt = DimmunixRuntime::with_options(options());
+        let (r1, r2) = adversarial_run(&rt);
+        assert!(r1.is_err() || r2.is_err(), "run 1 must detect the deadlock");
+        assert_eq!(rt.history().len(), 1);
+        assert_eq!(
+            rt.history().iter().next().unwrap().1.kind(),
+            SignatureKind::Deadlock
+        );
+    }
+    assert!(history_path.exists(), "history must be persisted");
+
+    // Run 2: a *fresh* runtime (new process, conceptually) loads the file
+    // and the same schedule completes.
+    {
+        let rt = DimmunixRuntime::with_options(options());
+        assert_eq!(rt.history().len(), 1, "antibody loaded from disk");
+        let (r1, r2) = adversarial_run(&rt);
+        assert!(r1.is_ok() && r2.is_ok(), "run 2 must complete: {r1:?} {r2:?}");
+        assert_eq!(rt.stats().deadlocks_detected, 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn many_threads_with_random_transfers_never_hang() {
+    // A stress run in the spirit of the bank example: 8 tellers, 6 accounts,
+    // random lock ordering, error policy. The invariants: the run finishes
+    // (no hang), money is conserved, and every refused transfer corresponds
+    // to a detected deadlock cycle.
+    let rt = DimmunixRuntime::with_options(RuntimeOptions {
+        config: Config::default(),
+        deadlock_policy: DeadlockPolicy::Error,
+    });
+    let accounts: Arc<Vec<ImmuneMutex<i64>>> =
+        Arc::new((0..6).map(|_| ImmuneMutex::new(&rt, 100)).collect());
+    let mut handles = Vec::new();
+    for teller in 0..8u64 {
+        let accounts = accounts.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = teller.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+            let mut refused = 0u64;
+            for _ in 0..200 {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let from = (rng % 6) as usize;
+                let to = ((rng >> 8) % 6) as usize;
+                if from == to {
+                    continue;
+                }
+                let res = (|| -> Result<(), LockError> {
+                    let mut src = accounts[from]
+                        .lock(AcquisitionSite::new("stress.from", "it_rt.rs", 10))?;
+                    let mut dst =
+                        accounts[to].lock(AcquisitionSite::new("stress.to", "it_rt.rs", 11))?;
+                    *src -= 1;
+                    *dst += 1;
+                    Ok(())
+                })();
+                if res.is_err() {
+                    refused += 1;
+                }
+            }
+            refused
+        }));
+    }
+    let refused: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let total: i64 = (0..6)
+        .map(|i| *accounts[i].lock(AcquisitionSite::new("stress.sum", "it_rt.rs", 12)).unwrap())
+        .sum();
+    assert_eq!(total, 600, "money conserved");
+    let stats = rt.stats();
+    assert!(refused <= stats.deadlocks_detected + stats.yields + 1_000);
+    // Once recorded, the two-site pattern is avoided, so the history stays
+    // tiny even under stress.
+    assert!(rt.history().len() <= 8, "history: {}", rt.history().len());
+}
+
+#[test]
+fn vendor_shipped_antibodies_protect_from_the_first_run() {
+    // "Software vendors can use Dimmunix as a safety net": pre-seed the
+    // runtime with the signature and the adversarial schedule never
+    // deadlocks, even on its very first execution.
+    let trained = DimmunixRuntime::with_options(RuntimeOptions {
+        config: Config::default(),
+        deadlock_policy: DeadlockPolicy::Error,
+    });
+    let (r1, r2) = adversarial_run(&trained);
+    assert!(r1.is_err() || r2.is_err());
+    let shipped = trained.history();
+
+    let rt = DimmunixRuntime::with_history(
+        RuntimeOptions {
+            config: Config::default(),
+            deadlock_policy: DeadlockPolicy::Error,
+        },
+        shipped,
+    );
+    let (r1, r2) = adversarial_run(&rt);
+    assert!(r1.is_ok() && r2.is_ok());
+    assert_eq!(rt.stats().deadlocks_detected, 0);
+}

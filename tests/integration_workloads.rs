@@ -1,0 +1,141 @@
+//! Integration tests for the evaluation workloads and the experiment
+//! harness: the microbenchmark structure, the depth ablation, and the
+//! starvation experiment (experiments E2, A1, A3).
+
+use dimmunix::workloads::{
+    run_microbenchmark, synthetic_history, wrapper_workload, MicrobenchConfig,
+};
+use dimmunix::core::Config;
+use dimmunix::vm::{ProcessBuilder, RunOutcome};
+
+#[test]
+fn microbenchmark_matches_paper_structure() {
+    // 2-512 threads in the paper; here a slice of that range, with the
+    // synthetic history sizes the paper uses (64-256).
+    for &(threads, history) in &[(2usize, 64usize), (8, 256)] {
+        let cfg = MicrobenchConfig {
+            threads,
+            iterations: 200,
+            locks_per_thread: 4,
+            work_inside: 500,
+            work_outside: 1_000,
+            synthetic_signatures: history,
+            dimmunix_enabled: true,
+        };
+        let result = run_microbenchmark(&cfg);
+        assert_eq!(result.synchronizations, (threads * 200) as u64);
+        // Random, per-thread lock objects: no contention, no yields, and
+        // certainly no deadlocks — the overhead being measured is pure hook
+        // cost, as in the paper.
+        assert_eq!(result.yields, 0);
+        assert_eq!(result.deadlocks, 0);
+    }
+}
+
+#[test]
+fn synthetic_histories_have_paper_sizes_and_never_match() {
+    for &n in &[64usize, 128, 256] {
+        assert_eq!(synthetic_history(n).len(), n);
+    }
+}
+
+#[test]
+fn depth_one_serializes_wrapper_workload_more_than_depth_two() {
+    // Train a depth-1 history on the MyLock wrapper workload.
+    let mut trained = None;
+    for seed in 0..400u64 {
+        let (program, main) = wrapper_workload(2, 2);
+        let mut p = ProcessBuilder::new("wrapper", program)
+            .seed(seed)
+            .config(Config::builder().stack_depth(1).build())
+            .spawn_main(main);
+        let _ = p.run(500_000);
+        if p.stats().deadlocks_detected > 0 {
+            trained = Some((seed, p.engine().history().clone()));
+            break;
+        }
+    }
+    let (seed, history) = trained.expect("the wrapper workload must deadlock");
+    let replay = |depth: usize| {
+        let (program, main) = wrapper_workload(2, 2);
+        let mut p = ProcessBuilder::new("wrapper", program)
+            .seed(seed)
+            .config(Config::builder().stack_depth(depth).build())
+            .history(history.clone())
+            .spawn_main(main);
+        let outcome = p.run(5_000_000);
+        (outcome, p.stats().yields, p.engine().positions().len())
+    };
+    let (o1, yields_depth1, positions_depth1) = replay(1);
+    let (o2, yields_depth2, positions_depth2) = replay(2);
+    // Neither replay may spin forever: the run either completes or reaches a
+    // quiescent stuck state that the harness can observe and report.
+    assert!(matches!(o1, RunOutcome::Completed | RunOutcome::Stuck));
+    assert!(matches!(o2, RunOutcome::Completed | RunOutcome::Stuck));
+    // Depth 1 funnels every wrapper acquisition through one position: the
+    // §3.2 pathology. Replayed at the same depth it was trained at, the
+    // antibody serializes the wrapper program aggressively (up to blocking
+    // the pathological program entirely — the "deserves to be entirely
+    // serialized" case); replayed at depth 2 the one-frame outer stacks no
+    // longer match the two-frame positions, so the coarse antibody stops
+    // firing. Either way depth 1 yields at least as often and interns no
+    // more positions than depth 2.
+    assert!(yields_depth1 >= yields_depth2);
+    assert!(positions_depth1 <= positions_depth2);
+}
+
+#[test]
+fn starvation_experiment_never_hangs() {
+    let result = dimmunix_bench_shim::starvation();
+    assert_eq!(result.hung, 0);
+    assert_eq!(result.completed, result.replays);
+}
+
+/// Minimal local copy of the bench harness call so this test does not need a
+/// dev-dependency on the bench crate (which lives outside the facade).
+mod dimmunix_bench_shim {
+    use dimmunix::core::Config;
+    use dimmunix::vm::{ProcessBuilder, RunOutcome};
+    use dimmunix::workloads::starvation_workload;
+
+    pub struct Shim {
+        pub replays: u32,
+        pub completed: u32,
+        pub hung: u32,
+    }
+
+    pub fn starvation() -> Shim {
+        let mut history = None;
+        for seed in 0..400u64 {
+            let (program, main) = starvation_workload();
+            let mut p = ProcessBuilder::new("starvation", program)
+                .seed(seed)
+                .spawn_main(main);
+            let _ = p.run(500_000);
+            if p.stats().deadlocks_detected > 0 {
+                history = Some(p.engine().history().clone());
+                break;
+            }
+        }
+        let history = history.unwrap_or_default();
+        let mut shim = Shim {
+            replays: 0,
+            completed: 0,
+            hung: 0,
+        };
+        for seed in 0..20u64 {
+            let (program, main) = starvation_workload();
+            let mut builder = ProcessBuilder::new("starvation", program).seed(seed);
+            builder = builder.history(history.clone());
+            let mut p = builder.config(Config::default()).spawn_main(main);
+            let outcome = p.run(3_000_000);
+            shim.replays += 1;
+            if outcome == RunOutcome::Completed {
+                shim.completed += 1;
+            } else {
+                shim.hung += 1;
+            }
+        }
+        shim
+    }
+}
