@@ -8,10 +8,8 @@
 //! that sum to the paper's totals); experiment E5 regenerates the headline
 //! ratio from it.
 
-use serde::{Deserialize, Serialize};
-
 /// Kind of synchronization construct found at a site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncConstruct {
     /// A `synchronized (obj) { … }` block.
     SynchronizedBlock,
@@ -22,7 +20,7 @@ pub enum SyncConstruct {
 }
 
 /// Synchronization-site counts for one platform component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ComponentSites {
     /// Component (essential application or framework service) name.
     pub component: &'static str,
@@ -37,22 +35,82 @@ pub struct ComponentSites {
 /// Inventory of the essential applications shipped with Android 2.2.
 /// Per-component numbers are estimates; the totals match §3.2.
 pub const ESSENTIAL_APPS_CORPUS: [ComponentSites; 12] = [
-    ComponentSites { component: "framework/services", synchronized_blocks: 180, synchronized_methods: 75, explicit_locks: 6 },
-    ComponentSites { component: "Email", synchronized_blocks: 70, synchronized_methods: 38, explicit_locks: 2 },
-    ComponentSites { component: "Browser", synchronized_blocks: 88, synchronized_methods: 41, explicit_locks: 3 },
-    ComponentSites { component: "Contacts", synchronized_blocks: 38, synchronized_methods: 22, explicit_locks: 0 },
-    ComponentSites { component: "Phone/Telephony", synchronized_blocks: 92, synchronized_methods: 47, explicit_locks: 1 },
-    ComponentSites { component: "Calendar", synchronized_blocks: 33, synchronized_methods: 19, explicit_locks: 0 },
-    ComponentSites { component: "Camera", synchronized_blocks: 28, synchronized_methods: 15, explicit_locks: 1 },
-    ComponentSites { component: "Media/Gallery", synchronized_blocks: 54, synchronized_methods: 30, explicit_locks: 1 },
-    ComponentSites { component: "Settings", synchronized_blocks: 24, synchronized_methods: 12, explicit_locks: 0 },
-    ComponentSites { component: "Launcher", synchronized_blocks: 31, synchronized_methods: 16, explicit_locks: 0 },
-    ComponentSites { component: "Market", synchronized_blocks: 42, synchronized_methods: 23, explicit_locks: 1 },
-    ComponentSites { component: "Mms/Talk", synchronized_blocks: 20, synchronized_methods: 12, explicit_locks: 0 },
+    ComponentSites {
+        component: "framework/services",
+        synchronized_blocks: 180,
+        synchronized_methods: 75,
+        explicit_locks: 6,
+    },
+    ComponentSites {
+        component: "Email",
+        synchronized_blocks: 70,
+        synchronized_methods: 38,
+        explicit_locks: 2,
+    },
+    ComponentSites {
+        component: "Browser",
+        synchronized_blocks: 88,
+        synchronized_methods: 41,
+        explicit_locks: 3,
+    },
+    ComponentSites {
+        component: "Contacts",
+        synchronized_blocks: 38,
+        synchronized_methods: 22,
+        explicit_locks: 0,
+    },
+    ComponentSites {
+        component: "Phone/Telephony",
+        synchronized_blocks: 92,
+        synchronized_methods: 47,
+        explicit_locks: 1,
+    },
+    ComponentSites {
+        component: "Calendar",
+        synchronized_blocks: 33,
+        synchronized_methods: 19,
+        explicit_locks: 0,
+    },
+    ComponentSites {
+        component: "Camera",
+        synchronized_blocks: 28,
+        synchronized_methods: 15,
+        explicit_locks: 1,
+    },
+    ComponentSites {
+        component: "Media/Gallery",
+        synchronized_blocks: 54,
+        synchronized_methods: 30,
+        explicit_locks: 1,
+    },
+    ComponentSites {
+        component: "Settings",
+        synchronized_blocks: 24,
+        synchronized_methods: 12,
+        explicit_locks: 0,
+    },
+    ComponentSites {
+        component: "Launcher",
+        synchronized_blocks: 31,
+        synchronized_methods: 16,
+        explicit_locks: 0,
+    },
+    ComponentSites {
+        component: "Market",
+        synchronized_blocks: 42,
+        synchronized_methods: 23,
+        explicit_locks: 1,
+    },
+    ComponentSites {
+        component: "Mms/Talk",
+        synchronized_blocks: 20,
+        synchronized_methods: 12,
+        explicit_locks: 0,
+    },
 ];
 
 /// Totals over a corpus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CorpusTotals {
     /// `synchronized` blocks plus `synchronized` methods.
     pub synchronized_sites: u32,

@@ -33,6 +33,5 @@ pub use corpus::{
 pub use phone::{AppRunReport, InstalledApp, Phone};
 pub use profiles::{profile_by_name, AppProfile, CYCLES_PER_SECOND, TABLE1_PROFILES};
 pub use services::{
-    notification_deadlock_program, NotificationScenario, NOTIFICATION_MANAGER_LOCK,
-    STATUS_BAR_LOCK,
+    notification_deadlock_program, NotificationScenario, NOTIFICATION_MANAGER_LOCK, STATUS_BAR_LOCK,
 };

@@ -274,8 +274,7 @@ mod tests {
             let mut phone = Phone::new(Config::default(), dir.join(format!("s{seed}")));
             phone.set_scheduler_seed(seed);
             phone.install_notification_test_app(NotificationScenario::default());
-            let reports =
-                phone.launch_until_immune("com.example.notificationtest", 6, 300_000);
+            let reports = phone.launch_until_immune("com.example.notificationtest", 6, 300_000);
             let freezes = reports.iter().filter(|r| r.frozen).count();
             if freezes == 0 {
                 continue;

@@ -8,7 +8,6 @@
 //! without Dimmunix.
 
 use dalvik_sim::{MethodId, ObjRef, Program, ProgramBuilder};
-use serde::{Deserialize, Serialize};
 
 /// Virtual cycles per simulated second (the Nexus One has a 1 GHz single
 /// core; one virtual cycle stands for ~1 µs of work at the simulator's
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 pub const CYCLES_PER_SECOND: u64 = 1_000_000;
 
 /// The profile of one application from Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppProfile {
     /// Application name as it appears in the paper.
     pub name: &'static str,
@@ -185,7 +184,11 @@ mod tests {
         assert_eq!(TABLE1_PROFILES.len(), 8);
         for p in &TABLE1_PROFILES {
             assert!(p.threads >= 23 && p.threads <= 119, "{}", p.name);
-            assert!(p.syncs_per_sec >= 309 && p.syncs_per_sec <= 1952, "{}", p.name);
+            assert!(
+                p.syncs_per_sec >= 309 && p.syncs_per_sec <= 1952,
+                "{}",
+                p.name
+            );
             // 1.3% - 5.3% memory overhead reported by the paper.
             assert!(
                 p.paper_overhead() > 0.012 && p.paper_overhead() < 0.055,

@@ -51,10 +51,9 @@ impl NotificationScenario {
         let enqueue = pb
             .method("NotificationManagerService.enqueueNotificationWithTag")
             .sync(NOTIFICATION_MANAGER_LOCK, |body| {
-                body.compute(self.work)
-                    .sync(STATUS_BAR_LOCK, |inner| {
-                        inner.compute(self.work);
-                    });
+                body.compute(self.work).sync(STATUS_BAR_LOCK, |inner| {
+                    inner.compute(self.work);
+                });
             })
             .finish();
 

@@ -1,9 +1,15 @@
-//! Criterion bench for the engine hot path: how the per-acquisition cost
-//! scales with history size, thread count, and avoidance on/off. This backs
-//! the design discussion of §3.1/§4 (the global lock is acceptable because
-//! the three hooks are cheap) with concrete numbers from the reproduction.
+//! Bench for the engine hot path: how the per-acquisition cost scales with
+//! history size, thread count, and avoidance on/off. This backs the design
+//! discussion of §3.1/§4 (the global lock is acceptable because the three
+//! hooks are cheap) with concrete numbers from the reproduction.
+//!
+//! Beyond timing, the run prints the engine's own accounting of the
+//! avoidance hot path: `signatures examined / instantiation checks`. With the
+//! inverted position index this ratio stays at zero for positions no
+//! signature mentions — a linear scan would examine the *entire* history
+//! (e.g. 256 signatures) on every single check.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dimmunix_bench::harness::bench;
 use dimmunix_core::{CallStack, Config, Dimmunix, Frame, LockId, ThreadId};
 use workloads::synthetic_history;
 
@@ -25,32 +31,39 @@ fn drive(engine: &mut Dimmunix, threads: u64, positions: &[dimmunix_core::Positi
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_hotpath");
+fn main() {
+    println!("engine_hotpath: per-batch cost of request_at/acquired/released");
     for &threads in &[2u64, 32, 128] {
         for &history in &[0usize, 256] {
-            group.throughput(Throughput::Elements(threads));
-            group.bench_function(
-                BenchmarkId::new(format!("threads{threads}"), format!("history{history}")),
-                |b| {
-                    let mut engine =
-                        Dimmunix::with_history(Config::default(), synthetic_history(history));
-                    let positions: Vec<_> = (0..16)
-                        .map(|i| {
-                            engine.intern_position(&CallStack::single(Frame::new(
-                                format!("Worker.site{i}"),
-                                "hotpath.rs",
-                                i,
-                            )))
-                        })
-                        .collect();
-                    b.iter(|| drive(&mut engine, threads, &positions));
-                },
+            let mut engine = Dimmunix::with_history(Config::default(), synthetic_history(history));
+            let positions: Vec<_> = (0..16)
+                .map(|i| {
+                    engine.intern_position(&CallStack::single(Frame::new(
+                        format!("Worker.site{i}"),
+                        "hotpath.rs",
+                        i,
+                    )))
+                })
+                .collect();
+            let name = format!("threads{threads}/history{history}");
+            bench(&name, 20, 15, 200, || {
+                drive(&mut engine, threads, &positions)
+            });
+            let stats = *engine.stats();
+            let per_check = if stats.instantiation_checks == 0 {
+                0.0
+            } else {
+                stats.signatures_examined as f64 / stats.instantiation_checks as f64
+            };
+            println!(
+                "    avoidance accounting: {} checks, {} signatures examined \
+                 ({per_check:.2} per check; a linear scan would examine {history} per check)",
+                stats.instantiation_checks, stats.signatures_examined
+            );
+            assert!(
+                history == 0 || (per_check as usize) < history,
+                "indexed avoidance must not scan the full history per acquisition"
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion bench for the §5 overhead microbenchmark (experiment E2).
+//! Bench for the §5 overhead microbenchmark (experiment E2).
 //!
 //! Measures the wall-clock time of a fixed batch of synchronized sections on
 //! real threads, with Dimmunix disabled (vanilla baseline) and enabled with a
 //! 64- and 256-signature synthetic history — the same factors the paper
 //! sweeps. The ratio of the medians is the reproduced overhead figure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dimmunix_bench::harness::bench;
 use workloads::{run_microbenchmark, MicrobenchConfig};
 
 fn base() -> MicrobenchConfig {
@@ -20,25 +20,22 @@ fn base() -> MicrobenchConfig {
     }
 }
 
-fn bench_microbenchmark(c: &mut Criterion) {
-    let mut group = c.benchmark_group("microbenchmark_syncs");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::new("vanilla", 8), |b| {
-        b.iter(|| run_microbenchmark(&base()))
-    });
+fn main() {
+    println!("microbenchmark_syncs: one batch = 8 threads x 400 synchronized sections");
+    let vanilla = bench("vanilla", 1, 5, 1, || run_microbenchmark(&base()));
     for history in [64usize, 256] {
-        group.bench_function(BenchmarkId::new("dimmunix", history), |b| {
-            b.iter(|| {
-                run_microbenchmark(&MicrobenchConfig {
-                    dimmunix_enabled: true,
-                    synthetic_signatures: history,
-                    ..base()
-                })
+        let name = format!("dimmunix/history{history}");
+        let with = bench(&name, 1, 5, 1, || {
+            run_microbenchmark(&MicrobenchConfig {
+                dimmunix_enabled: true,
+                synthetic_signatures: history,
+                ..base()
             })
         });
+        let overhead = with.median_nanos() / vanilla.median_nanos() - 1.0;
+        println!(
+            "    overhead vs vanilla: {:.1}% (paper: 4-5%)",
+            overhead * 100.0
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_microbenchmark);
-criterion_main!(benches);

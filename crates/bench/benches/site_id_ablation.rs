@@ -1,12 +1,12 @@
-//! Criterion bench for ablation A2: call-stack capture versus the
-//! compiler-assigned static site id the paper proposes in §4.
+//! Bench for ablation A2: call-stack capture versus the compiler-assigned
+//! static site id the paper proposes in §4.
 //!
 //! The engine is driven directly (no real locking) so the measured quantity
 //! is the per-acquisition Dimmunix cost only: `request` + `acquired` +
 //! `released`, identified either by a freshly-built call stack (what
 //! `dvmGetCallStack` would produce) or by a pre-interned static position id.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dimmunix_bench::harness::bench;
 use dimmunix_core::{CallStack, Config, Dimmunix, Frame, LockId, ThreadId};
 use workloads::synthetic_history;
 
@@ -14,39 +14,50 @@ fn engine_with_history(signatures: usize) -> Dimmunix {
     Dimmunix::with_history(Config::default(), synthetic_history(signatures))
 }
 
-fn bench_site_id(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hook_cost_per_acquisition");
+fn main() {
+    println!("hook_cost_per_acquisition: request + acquired + released");
     for history in [0usize, 64, 256] {
         // Variant 1: build and intern a call stack on every acquisition
         // (depth 1, like Android Dimmunix's dvmGetCallStack).
-        group.bench_function(BenchmarkId::new("call_stack", history), |b| {
+        {
             let mut engine = engine_with_history(history);
             let t = ThreadId::new(1);
             let l = LockId::new(1);
-            b.iter(|| {
-                let stack = CallStack::single(Frame::new("Bench.worker", "bench.rs", 42));
-                assert!(engine.request(t, l, &stack).is_granted());
-                engine.acquired(t, l);
-                engine.released(t, l)
-            })
-        });
+            bench(
+                &format!("call_stack/history{history}"),
+                100,
+                15,
+                2_000,
+                || {
+                    let stack = CallStack::single(Frame::new("Bench.worker", "bench.rs", 42));
+                    assert!(engine.request(t, l, &stack).is_granted());
+                    engine.acquired(t, l);
+                    engine.released(t, l)
+                },
+            );
+        }
         // Variant 2: the static-id optimization — the position is interned
         // once and passed by id.
-        group.bench_function(BenchmarkId::new("static_site_id", history), |b| {
+        {
             let mut engine = engine_with_history(history);
             let t = ThreadId::new(1);
             let l = LockId::new(1);
-            let pos =
-                engine.intern_position(&CallStack::single(Frame::new("Bench.worker", "bench.rs", 42)));
-            b.iter(|| {
-                assert!(engine.request_at(t, l, pos).is_granted());
-                engine.acquired(t, l);
-                engine.released(t, l)
-            })
-        });
+            let pos = engine.intern_position(&CallStack::single(Frame::new(
+                "Bench.worker",
+                "bench.rs",
+                42,
+            )));
+            bench(
+                &format!("static_site_id/history{history}"),
+                100,
+                15,
+                2_000,
+                || {
+                    assert!(engine.request_at(t, l, pos).is_granted());
+                    engine.acquired(t, l);
+                    engine.released(t, l)
+                },
+            );
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_site_id);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Criterion bench for the Table 1 application replays (experiment E1).
+//! Bench for the Table 1 application replays (experiment E1).
 //!
 //! Each iteration replays one profiled application's synchronization
 //! behaviour on the simulated VM, with Dimmunix enabled and disabled; the
@@ -6,8 +6,8 @@
 //! rather than by the immunity layer.
 
 use android_sim::profile_by_name;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dalvik_sim::ProcessBuilder;
+use dimmunix_bench::harness::bench;
 use dimmunix_core::Config;
 
 fn replay(app: &str, dimmunix: bool) -> u64 {
@@ -26,19 +26,14 @@ fn replay(app: &str, dimmunix: bool) -> u64 {
     p.stats().syncs
 }
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_app_replay");
-    group.sample_size(10);
+fn main() {
+    println!("table1_app_replay: one profiled application replay per iteration");
     for app in ["Email", "Camera"] {
-        group.bench_function(BenchmarkId::new("vanilla", app), |b| {
-            b.iter(|| replay(app, false))
-        });
-        group.bench_function(BenchmarkId::new("dimmunix", app), |b| {
-            b.iter(|| replay(app, true))
-        });
+        let vanilla = bench(&format!("vanilla/{app}"), 1, 5, 1, || replay(app, false));
+        let with = bench(&format!("dimmunix/{app}"), 1, 5, 1, || replay(app, true));
+        println!(
+            "    dimmunix/vanilla ratio: {:.3}",
+            with.median_nanos() / vanilla.median_nanos()
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

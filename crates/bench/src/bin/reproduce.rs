@@ -38,6 +38,25 @@ fn main() {
         i += 1;
     }
 
+    const KNOWN: &[&str] = &[
+        "all",
+        "table1",
+        "overhead",
+        "case-study",
+        "power",
+        "corpus",
+        "isolation",
+        "depth-ablation",
+        "starvation",
+    ];
+    if !KNOWN.contains(&exp.as_str()) {
+        eprintln!(
+            "unknown experiment `{exp}`; expected one of {}",
+            KNOWN.join("|")
+        );
+        std::process::exit(2);
+    }
+
     let run_all = exp == "all";
     if run_all || exp == "corpus" {
         print_corpus();
@@ -123,7 +142,9 @@ fn print_overhead(quick: bool) {
 }
 
 fn print_case_study() {
-    println!("== §5 case study: NotificationManagerService / StatusBarService deadlock (issue 7986) ==");
+    println!(
+        "== §5 case study: NotificationManagerService / StatusBarService deadlock (issue 7986) =="
+    );
     let dir = std::env::temp_dir().join("dimmunix-reproduce-case-study");
     let result = bench::case_study(&dir);
     println!("freezing scheduler seed: {}", result.seed);

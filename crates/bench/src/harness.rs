@@ -1,0 +1,84 @@
+//! Minimal benchmark harness.
+//!
+//! The build environment has no crates.io access, so the `[[bench]]` targets
+//! cannot use `criterion`; they are `harness = false` binaries driving this
+//! module instead. The shape mirrors what the criterion benches measured:
+//! warm-up, a fixed number of timed samples, and a median-of-samples report
+//! (median, not mean, so one preempted sample cannot skew a run).
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: median, minimum and maximum per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median per-iteration time across samples.
+    pub median: Duration,
+    /// Fastest sample's per-iteration time.
+    pub min: Duration,
+    /// Slowest sample's per-iteration time.
+    pub max: Duration,
+    /// Iterations executed per sample.
+    pub iters_per_sample: u32,
+}
+
+impl Measurement {
+    /// Median nanoseconds per iteration.
+    pub fn median_nanos(&self) -> f64 {
+        self.median.as_secs_f64() * 1e9
+    }
+}
+
+/// Times `f`, running `samples` batches of `iters` calls each after
+/// `warmup` untimed calls, and returns the per-iteration statistics.
+pub fn measure<R>(warmup: u32, samples: u32, iters: u32, mut f: impl FnMut() -> R) -> Measurement {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut per_iter: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters.max(1) {
+                std::hint::black_box(f());
+            }
+            start.elapsed() / iters.max(1)
+        })
+        .collect();
+    per_iter.sort_unstable();
+    Measurement {
+        median: per_iter[per_iter.len() / 2],
+        min: per_iter[0],
+        max: per_iter[per_iter.len() - 1],
+        iters_per_sample: iters.max(1),
+    }
+}
+
+/// Runs [`measure`] and prints one aligned report line for `name`.
+pub fn bench<R>(
+    name: &str,
+    warmup: u32,
+    samples: u32,
+    iters: u32,
+    f: impl FnMut() -> R,
+) -> Measurement {
+    let m = measure(warmup, samples, iters, f);
+    println!(
+        "{name:<48} {:>12.0} ns/iter  (min {:>10.0}, max {:>10.0}, {} iters/sample)",
+        m.median_nanos(),
+        m.min.as_secs_f64() * 1e9,
+        m.max.as_secs_f64() * 1e9,
+        m.iters_per_sample
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_ordered_statistics() {
+        let m = measure(1, 5, 10, || std::hint::black_box(1 + 1));
+        assert!(m.min <= m.median && m.median <= m.max);
+        assert_eq!(m.iters_per_sample, 10);
+    }
+}

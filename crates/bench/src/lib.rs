@@ -8,17 +8,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use android_sim::{
     corpus_totals, AppProfile, NotificationScenario, Phone, CYCLES_PER_SECOND,
     ESSENTIAL_APPS_CORPUS, TABLE1_PROFILES,
 };
 use dalvik_sim::{EnergyModel, PlatformMemory, ProcessBuilder, RunOutcome};
 use dimmunix_core::Config;
-use serde::Serialize;
 use workloads::{run_overhead_pair, starvation_workload, wrapper_workload, MicrobenchConfig};
 
 /// One row of the reproduced Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Application name.
     pub app: &'static str,
@@ -101,7 +102,11 @@ pub use workloads::OverheadRow;
 /// Runs the §5 microbenchmark sweep on real threads. `quick` shrinks the
 /// sweep for CI-style runs.
 pub fn overhead_sweep(quick: bool) -> Vec<OverheadRow> {
-    let thread_counts: &[usize] = if quick { &[2, 8] } else { &[2, 8, 32, 128, 512] };
+    let thread_counts: &[usize] = if quick {
+        &[2, 8]
+    } else {
+        &[2, 8, 32, 128, 512]
+    };
     let history_sizes: &[usize] = if quick { &[64] } else { &[64, 256] };
     let iterations = if quick { 2_000 } else { 5_000 };
     let mut rows = Vec::new();
@@ -127,7 +132,7 @@ pub fn overhead_sweep(quick: bool) -> Vec<OverheadRow> {
 }
 
 /// Result of the §5 case study (experiment E3).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CaseStudyResult {
     /// Scheduler seed that exhibited the freeze.
     pub seed: u64,
@@ -178,7 +183,7 @@ pub fn case_study(history_dir: &std::path::Path) -> CaseStudyResult {
 }
 
 /// Result of the power experiment (E4).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PowerResult {
     /// Application+OS share of energy without Dimmunix, in whole percent.
     pub vanilla_percent: u32,
@@ -205,7 +210,7 @@ pub fn power() -> PowerResult {
 }
 
 /// Result of the §3.2 static-corpus experiment (E5).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CorpusResult {
     /// `synchronized` blocks/methods in the essential applications.
     pub synchronized_sites: u32,
@@ -226,7 +231,7 @@ pub fn corpus() -> CorpusResult {
 }
 
 /// Result of the per-process isolation experiment (E6, Figure 1).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IsolationResult {
     /// Number of processes forked.
     pub processes: usize,
@@ -268,7 +273,7 @@ pub fn isolation() -> IsolationResult {
 }
 
 /// Result of the depth-1 ablation (A1).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DepthAblationRow {
     /// Outer call-stack depth used for positions.
     pub depth: usize,
@@ -320,7 +325,7 @@ pub fn depth_ablation() -> Vec<DepthAblationRow> {
 }
 
 /// Result of the starvation-handling experiment (A3).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct StarvationResult {
     /// Replays executed with the antibody loaded.
     pub replays: u32,

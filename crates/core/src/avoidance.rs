@@ -11,6 +11,23 @@
 //! only read the position table (which carries the per-position thread
 //! queues) and the history, which makes the matching logic easy to unit-test
 //! and property-test in isolation.
+//!
+//! ## Two implementations
+//!
+//! [`find_instantiation`] is the straightforward reference: it walks the
+//! *entire* history on every request and re-resolves every outer stack
+//! through [`PositionTable::lookup`]. That is O(|history| × arity) per
+//! acquisition — fine for unit tests, unacceptable on the hot path of a
+//! platform-wide deployment.
+//!
+//! [`SignatureIndex`] is what the engine actually uses: an inverted index
+//! from interned [`PositionId`]s to the signatures whose outer positions
+//! include them, with each signature's outer stacks resolved to position ids
+//! *once*, at insertion time. A request then only examines the signatures
+//! indexed at the requesting position — O(signatures-at-this-position), which
+//! is zero for the overwhelming majority of positions (deadlock histories are
+//! small and touch few sites). The linear reference is retained so
+//! equivalence can be property-checked (`tests/proptests.rs`).
 
 use crate::history::History;
 use crate::position::{PositionId, PositionTable};
@@ -31,6 +48,11 @@ pub struct Instantiation {
 /// signature instantiable, pretending the thread already occupies that
 /// position. Returns the first matching signature (lowest id — i.e. oldest
 /// antibody) together with the blocking threads.
+///
+/// This is the **linear-scan reference implementation**: it examines every
+/// signature in the history on every call. The engine's hot path uses
+/// [`SignatureIndex::find_instantiation`] instead; this function is kept as
+/// the oracle the indexed implementation is property-tested against.
 pub fn find_instantiation(
     history: &History,
     positions: &PositionTable,
@@ -46,6 +68,121 @@ pub fn find_instantiation(
         }
     }
     None
+}
+
+/// Inverted avoidance index: for each interned position, the history
+/// signatures whose outer positions include it.
+///
+/// Maintained incrementally by the engine as signatures enter the history
+/// (each outer stack is interned and resolved exactly once); the per-request
+/// check then touches only `signatures_at(position)` instead of the whole
+/// history, and never calls [`PositionTable::lookup`] again.
+///
+/// Invariants:
+/// * signature ids are inserted in ascending order, so every per-position
+///   list is sorted ascending and the "oldest antibody wins" tie-break of the
+///   linear scan is preserved;
+/// * `outer_positions_of(sig)` keeps one entry per signature pair
+///   (duplicates included), mirroring the arity-sensitive matching of
+///   [`signature_instantiable`].
+#[derive(Debug, Clone, Default)]
+pub struct SignatureIndex {
+    /// PositionId index -> ids of signatures with that outer position.
+    by_position: Vec<Vec<SignatureId>>,
+    /// SignatureId index -> resolved outer positions (one per pair).
+    outer_positions: Vec<Vec<PositionId>>,
+}
+
+impl SignatureIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed signatures.
+    pub fn len(&self) -> usize {
+        self.outer_positions.len()
+    }
+
+    /// True if no signature has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.outer_positions.is_empty()
+    }
+
+    /// Indexes `sig` under its resolved outer positions. Ids must arrive in
+    /// ascending order (the engine inserts signatures as the history grows);
+    /// re-inserting an already-indexed id is a no-op.
+    pub fn insert(&mut self, sig: SignatureId, outer: Vec<PositionId>) {
+        if sig.index() < self.outer_positions.len() {
+            return;
+        }
+        debug_assert_eq!(
+            sig.index(),
+            self.outer_positions.len(),
+            "signature ids must be indexed in ascending order without gaps"
+        );
+        for pid in &outer {
+            if self.by_position.len() <= pid.index() {
+                self.by_position.resize_with(pid.index() + 1, Vec::new);
+            }
+            let ids = &mut self.by_position[pid.index()];
+            if ids.last() != Some(&sig) {
+                ids.push(sig);
+            }
+        }
+        self.outer_positions.push(outer);
+    }
+
+    /// Signatures whose outer positions include `pos`, ascending by id.
+    pub fn signatures_at(&self, pos: PositionId) -> &[SignatureId] {
+        self.by_position
+            .get(pos.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The resolved outer positions of `sig` (one per signature pair).
+    pub fn outer_positions_of(&self, sig: SignatureId) -> &[PositionId] {
+        self.outer_positions
+            .get(sig.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Indexed equivalent of [`find_instantiation`]: only signatures whose
+    /// outer positions include `position` are examined, and their outer
+    /// stacks are never re-resolved.
+    pub fn find_instantiation(
+        &self,
+        positions: &PositionTable,
+        thread: ThreadId,
+        position: PositionId,
+    ) -> Option<Instantiation> {
+        for &sig in self.signatures_at(position) {
+            let outer = self.outer_positions_of(sig);
+            if let Some(blockers) = instantiable_at(outer, positions, thread, position) {
+                return Some(Instantiation {
+                    signature: sig,
+                    blockers,
+                });
+            }
+        }
+        None
+    }
+
+    /// Estimated resident memory of the index in bytes.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        total += self.by_position.capacity() * std::mem::size_of::<Vec<SignatureId>>();
+        for ids in &self.by_position {
+            total += ids.capacity() * std::mem::size_of::<SignatureId>();
+        }
+        total += self.outer_positions.capacity() * std::mem::size_of::<Vec<PositionId>>();
+        for pids in &self.outer_positions {
+            total += pids.capacity() * std::mem::size_of::<PositionId>();
+        }
+        total
+    }
 }
 
 /// Checks a single signature. Returns the blockers (distinct threads other
@@ -74,7 +211,18 @@ pub fn signature_instantiable(
             None => return None,
         }
     }
+    instantiable_at(&outer_positions, positions, thread, position)
+}
 
+/// Core of the instantiation check, on already-resolved outer positions:
+/// searches for an injective assignment of distinct threads to the outer
+/// positions with the requester pre-assigned to `position`.
+fn instantiable_at(
+    outer_positions: &[PositionId],
+    positions: &PositionTable,
+    thread: ThreadId,
+    position: PositionId,
+) -> Option<Vec<ThreadId>> {
     // The requesting position must occur among the signature's outer
     // positions, otherwise this acquisition cannot complete an instantiation.
     if !outer_positions.contains(&position) {
@@ -131,7 +279,7 @@ fn assign(
         return assign(candidates, idx + 1, assignment);
     }
     for &cand in &candidates[idx] {
-        if assignment.iter().any(|a| *a == Some(cand)) {
+        if assignment.contains(&Some(cand)) {
             continue;
         }
         assignment[idx] = Some(cand);
@@ -266,9 +414,108 @@ mod tests {
             .queue_mut()
             .push(ThreadId::new(9));
         let _ = p1;
-        let inst =
-            find_instantiation(&history, &positions, ThreadId::new(4), p1).expect("match");
+        let inst = find_instantiation(&history, &positions, ThreadId::new(4), p1).expect("match");
         assert_eq!(inst.signature, SignatureId::new(0));
+    }
+
+    /// Builds an index the way the engine does: intern every outer stack and
+    /// insert the signature under the resolved ids.
+    fn build_index(history: &History, positions: &mut PositionTable) -> SignatureIndex {
+        let mut idx = SignatureIndex::new();
+        for (id, sig) in history.iter() {
+            let outer: Vec<_> = sig.outer_stacks().map(|o| positions.intern(o)).collect();
+            idx.insert(id, outer);
+        }
+        idx
+    }
+
+    #[test]
+    fn index_agrees_with_linear_scan_on_basic_scenarios() {
+        let (history, mut positions) = setup();
+        let idx = build_index(&history, &mut positions);
+        let p1 = positions.lookup(&stack(1)).unwrap();
+        let p2 = positions.lookup(&stack(2)).unwrap();
+        // Empty queues: both report no instantiation.
+        for (t, p) in [(1u64, p1), (2, p2)] {
+            let thread = ThreadId::new(t);
+            assert_eq!(
+                idx.find_instantiation(&positions, thread, p),
+                find_instantiation(&history, &positions, thread, p)
+            );
+        }
+        // Occupied queue: both report the same signature and blockers.
+        positions
+            .get_mut(p1)
+            .unwrap()
+            .queue_mut()
+            .push(ThreadId::new(7));
+        let linear = find_instantiation(&history, &positions, ThreadId::new(8), p2);
+        let indexed = idx.find_instantiation(&positions, ThreadId::new(8), p2);
+        assert!(linear.is_some());
+        assert_eq!(indexed, linear);
+    }
+
+    #[test]
+    fn index_only_examines_signatures_at_the_position() {
+        let mut history = History::new();
+        history.add(two_pos_signature(1, 2));
+        history.add(two_pos_signature(3, 4));
+        history.add(two_pos_signature(5, 6));
+        let mut positions = PositionTable::new(1);
+        let idx = build_index(&history, &mut positions);
+        let unrelated = positions.intern(&stack(99));
+        assert!(idx.signatures_at(unrelated).is_empty());
+        let p3 = positions.lookup(&stack(3)).unwrap();
+        assert_eq!(idx.signatures_at(p3), &[SignatureId::new(1)]);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.outer_positions_of(SignatureId::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn index_preserves_oldest_antibody_tie_break() {
+        let mut history = History::new();
+        history.add(two_pos_signature(1, 2));
+        history.add(two_pos_signature(1, 3));
+        let mut positions = PositionTable::new(1);
+        let idx = build_index(&history, &mut positions);
+        let p1 = positions.lookup(&stack(1)).unwrap();
+        let p2 = positions.lookup(&stack(2)).unwrap();
+        let p3 = positions.lookup(&stack(3)).unwrap();
+        // Both signatures are instantiable from p1; the older must win, as in
+        // the linear scan.
+        assert_eq!(
+            idx.signatures_at(p1),
+            &[SignatureId::new(0), SignatureId::new(1)]
+        );
+        for (p, t) in [(p2, 9u64), (p3, 9)] {
+            positions
+                .get_mut(p)
+                .unwrap()
+                .queue_mut()
+                .push(ThreadId::new(t));
+        }
+        let inst = idx
+            .find_instantiation(&positions, ThreadId::new(4), p1)
+            .expect("match");
+        assert_eq!(inst.signature, SignatureId::new(0));
+        assert_eq!(
+            Some(inst),
+            find_instantiation(&history, &positions, ThreadId::new(4), p1)
+        );
+    }
+
+    #[test]
+    fn index_reinsertion_is_idempotent() {
+        let mut idx = SignatureIndex::new();
+        let pid = PositionId::new(0);
+        idx.insert(SignatureId::new(0), vec![pid, pid]);
+        idx.insert(SignatureId::new(0), vec![pid]);
+        assert_eq!(idx.len(), 1);
+        // Duplicate outer positions index the signature once but keep both
+        // slots in the arity-sensitive outer list.
+        assert_eq!(idx.signatures_at(pid), &[SignatureId::new(0)]);
+        assert_eq!(idx.outer_positions_of(SignatureId::new(0)).len(), 2);
+        assert!(idx.memory_footprint_bytes() > 0);
     }
 
     #[test]
@@ -299,11 +546,7 @@ mod tests {
         // Only two of three covered -> no instantiation.
         assert!(find_instantiation(&history, &positions, ThreadId::new(11), p1).is_none());
         // Third position covered by the requester -> instantiation.
-        let inst =
-            find_instantiation(&history, &positions, ThreadId::new(13), p3).expect("match");
-        assert_eq!(
-            inst.blockers,
-            vec![ThreadId::new(11), ThreadId::new(12)]
-        );
+        let inst = find_instantiation(&history, &positions, ThreadId::new(13), p3).expect("match");
+        assert_eq!(inst.blockers, vec![ThreadId::new(11), ThreadId::new(12)]);
     }
 }

@@ -8,7 +8,6 @@
 //! keep `dvmGetCallStack` cheap (§3.2).
 
 use crate::SiteId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One program location: a method plus a source position.
@@ -23,7 +22,7 @@ use std::fmt;
 /// let f = Frame::new("NotificationManagerService.enqueueNotificationWithTag", "nms.java", 310);
 /// assert_eq!(f.line(), 310);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Frame {
     method: String,
     file: String,
@@ -87,7 +86,7 @@ impl fmt::Display for Frame {
 /// assert_eq!(cs.depth(), 2);
 /// assert_eq!(cs.truncated(1).depth(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CallStack {
     frames: Vec<Frame>,
 }

@@ -4,7 +4,6 @@
 //! the paper: outer call stacks of depth 1, detection and avoidance both
 //! enabled, and an optional persistent history file.
 
-use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
 /// How many stack frames are kept when interning an acquisition position.
@@ -25,7 +24,7 @@ pub const DEFAULT_MAX_SIGNATURES: usize = 4096;
 /// let cfg = Config::builder().stack_depth(2).detection(true).build();
 /// assert_eq!(cfg.stack_depth, 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Config {
     /// Number of call-stack frames retained per acquisition position.
     pub stack_depth: usize,

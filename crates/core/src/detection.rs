@@ -33,11 +33,7 @@ pub struct DetectedCycle {
 /// acquisition position of the lock on that edge (for lock edges) or its own
 /// requesting position (for yield edges, where no specific lock is held); its
 /// *inner* stack is the position of its pending request.
-pub fn classify_cycle(
-    rag: &Rag,
-    positions: &PositionTable,
-    steps: &[CycleStep],
-) -> DetectedCycle {
+pub fn classify_cycle(rag: &Rag, positions: &PositionTable, steps: &[CycleStep]) -> DetectedCycle {
     let n = steps.len();
     let mut pairs = Vec::with_capacity(n);
     let mut involves_yield = false;

@@ -15,7 +15,7 @@
 //! `dalvik-sim`). Keeping the engine free of interior locking makes it
 //! deterministic and property-testable.
 
-use crate::avoidance::find_instantiation;
+use crate::avoidance::SignatureIndex;
 use crate::callstack::CallStack;
 use crate::config::Config;
 use crate::detection::{classify_cycle, last_history_hold};
@@ -86,6 +86,9 @@ pub struct Dimmunix {
     positions: PositionTable,
     rag: Rag,
     history: History,
+    /// Inverted avoidance index over the history, keyed by interned outer
+    /// position; kept in lockstep with `history` by `insert_signature`.
+    sig_index: SignatureIndex,
     stats: Stats,
     events: EventLog,
     clock: LogicalTime,
@@ -117,6 +120,7 @@ impl Dimmunix {
         let mut engine = Dimmunix {
             positions: PositionTable::new(config.stack_depth),
             rag: Rag::new(),
+            sig_index: SignatureIndex::new(),
             stats: Stats::new(),
             events: EventLog::new(config.event_log_capacity),
             clock: LogicalTime::ZERO,
@@ -159,6 +163,11 @@ impl Dimmunix {
         &self.rag
     }
 
+    /// The inverted avoidance index (PositionId -> signature ids).
+    pub fn signature_index(&self) -> &SignatureIndex {
+        &self.sig_index
+    }
+
     /// The event log (empty unless enabled in the configuration).
     pub fn events(&self) -> &EventLog {
         &self.events
@@ -178,6 +187,7 @@ impl Dimmunix {
             + self.positions.memory_footprint_bytes()
             + self.rag.memory_footprint_bytes()
             + self.history.memory_footprint_bytes()
+            + self.sig_index.memory_footprint_bytes()
     }
 
     // ------------------------------------------------------------------
@@ -318,8 +328,12 @@ impl Dimmunix {
                         if let Some(y) = self.rag.clear_yield(*th) {
                             self.pending_wakeups.push(y.signature);
                             self.stats.wakeups += 1;
-                            self.events
-                                .push(self.clock, EventKind::Wakeup { signature: y.signature });
+                            self.events.push(
+                                self.clock,
+                                EventKind::Wakeup {
+                                    signature: y.signature,
+                                },
+                            );
                         }
                     }
                     self.persist_history_best_effort();
@@ -351,7 +365,11 @@ impl Dimmunix {
         // --- Avoidance ---------------------------------------------------
         if self.config.avoidance && !self.history.is_empty() {
             self.stats.instantiation_checks += 1;
-            if let Some(inst) = find_instantiation(&self.history, &self.positions, t, pos) {
+            // Hot path: only signatures indexed at this position are examined
+            // (O(signatures-at-this-position), not O(|history|)); the linear
+            // `avoidance::find_instantiation` is the property-tested oracle.
+            self.stats.signatures_examined += self.sig_index.signatures_at(pos).len() as u64;
+            if let Some(inst) = self.sig_index.find_instantiation(&self.positions, t, pos) {
                 let mut park = true;
                 if self.config.starvation_handling && self.would_starve(t, &inst.blockers) {
                     // Parking would itself create a wait-for cycle: record
@@ -524,7 +542,9 @@ impl Dimmunix {
         if !p.in_history() {
             return Vec::new();
         }
-        self.history.signatures_with_outer(p.stack())
+        // Same inverted index as the request path: the signatures whose outer
+        // positions include the released acquisition's position.
+        self.sig_index.signatures_at(pos).to_vec()
     }
 
     fn insert_signature(&mut self, sig: Signature) -> (SignatureId, bool) {
@@ -535,17 +555,26 @@ impl Dimmunix {
             // History is full: keep the engine functional by refusing new
             // antibodies rather than evicting old ones (old ones are proven
             // bugs; new ones can be re-learned on the next occurrence).
-            return (SignatureId::new(self.history.len().saturating_sub(1)), false);
+            return (
+                SignatureId::new(self.history.len().saturating_sub(1)),
+                false,
+            );
         }
         let (id, new) = self.history.add(sig);
         if new {
+            // Position-interning hook: resolve every outer stack once, flag
+            // the positions as history members, and index the signature under
+            // them so the avoidance hot path never re-resolves a stack.
             let sig = self.history.get(id).cloned().expect("just inserted");
+            let mut outer_pids = Vec::with_capacity(sig.arity());
             for outer in sig.outer_stacks() {
                 let pid = self.positions.intern(outer);
                 if let Some(p) = self.positions.get_mut(pid) {
                     p.set_in_history(true);
                 }
+                outer_pids.push(pid);
             }
+            self.sig_index.insert(id, outer_pids);
         }
         (id, new)
     }
@@ -591,10 +620,7 @@ impl Dimmunix {
                 .unwrap_or_default()
         };
         let mut pairs = Vec::with_capacity(1 + blockers.len());
-        pairs.push(SignaturePair::new(
-            stack_of(Some(pos)),
-            stack_of(Some(pos)),
-        ));
+        pairs.push(SignaturePair::new(stack_of(Some(pos)), stack_of(Some(pos))));
         for b in blockers {
             let outer = last_history_hold(&self.rag, &self.positions, *b)
                 .or_else(|| self.rag.held_locks(*b).last().map(|(_, p)| *p))

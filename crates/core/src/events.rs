@@ -9,7 +9,6 @@
 
 use crate::position::PositionId;
 use crate::{LockId, LogicalTime, SignatureId, ThreadId};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -19,7 +18,7 @@ use std::fmt;
 /// thread, `lock` the monitor involved, `position` the interned acquisition
 /// site, and `signature` the history entry concerned.
 #[allow(missing_docs)]
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EventKind {
     /// A thread asked to acquire a lock.
     Request {
@@ -58,7 +57,7 @@ pub enum EventKind {
 }
 
 /// A timestamped event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// Logical time at which the engine recorded the event.
     pub at: LogicalTime,
@@ -73,7 +72,7 @@ impl fmt::Display for Event {
 }
 
 /// Bounded ring buffer of engine events.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EventLog {
     capacity: usize,
     events: VecDeque<Event>,

@@ -8,13 +8,19 @@
 //! Two codecs are provided:
 //! * a line-oriented text format close in spirit to the original Dimmunix
 //!   history files, and
-//! * a JSON format (serde) convenient for tooling.
+//! * a self-contained JSON format convenient for tooling (hand-rolled: the
+//!   build environment has no crates.io access, so `serde` is unavailable).
+//!
+//! Position-indexed queries over the history (the avoidance and release hot
+//! paths) live in [`SignatureIndex`](crate::SignatureIndex), which the engine
+//! keeps in lockstep with its history; `History` itself stays a plain
+//! signature store.
 
 use crate::callstack::CallStack;
 use crate::error::{DimmunixError, Result};
+use crate::json::{self, JsonValue};
 use crate::signature::{Signature, SignatureKind, SignaturePair};
 use crate::SignatureId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
@@ -35,7 +41,7 @@ use std::path::Path;
 /// assert_eq!(id, id2);
 /// assert!(!added2);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct History {
     signatures: Vec<Signature>,
 }
@@ -95,6 +101,9 @@ impl History {
     /// every thread parked on a signature containing that position must be
     /// woken (§4).
     pub fn signatures_with_outer(&self, stack: &CallStack) -> Vec<SignatureId> {
+        // Cold path: the engine answers this query from its position-keyed
+        // `SignatureIndex`; this stack-keyed form exists for tooling and
+        // substrates that hold a bare history.
         self.iter()
             .filter(|(_, s)| s.outer_stacks().any(|o| o == stack))
             .map(|(id, _)| id)
@@ -194,17 +203,18 @@ impl History {
                     })
                 }
             };
-            let arity: usize = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or(DimmunixError::Parse {
-                    line: i + 1,
-                    message: "missing or invalid arity".into(),
-                })?;
+            let arity: usize =
+                parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(DimmunixError::Parse {
+                        line: i + 1,
+                        message: "missing or invalid arity".into(),
+                    })?;
             i += 1;
             let mut pairs = Vec::with_capacity(arity);
             for _ in 0..arity {
-                if i + 1 >= lines.len() + 1 && i >= lines.len() {
+                if i >= lines.len() {
                     return Err(DimmunixError::Parse {
                         line: i,
                         message: "truncated signature block".into(),
@@ -275,25 +285,73 @@ impl History {
         }
     }
 
-    /// Serializes the history as pretty JSON.
+    /// Serializes the history as pretty JSON. Stacks are encoded in the same
+    /// compact `method@file:line;…` form the text codec uses, so the two
+    /// codecs share one stack grammar.
     ///
     /// # Errors
-    /// Never fails in practice; any serde error is reported as a protocol
-    /// violation.
+    /// Never fails; the signature is kept for API stability.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| DimmunixError::ProtocolViolation(format!("json encode: {e}")))
+        let mut out = String::from("{\n  \"signatures\": [");
+        for (i, (_, sig)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"kind\": ");
+            json::write_escaped(&mut out, &sig.kind().to_string());
+            out.push_str(",\n      \"pairs\": [");
+            for (j, pair) in sig.pairs().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        {\"outer\": ");
+                json::write_escaped(&mut out, &pair.outer.to_compact());
+                out.push_str(", \"inner\": ");
+                json::write_escaped(&mut out, &pair.inner.to_compact());
+                out.push('}');
+            }
+            out.push_str("\n      ]\n    }");
+        }
+        out.push_str("\n  ]\n}");
+        Ok(out)
     }
 
     /// Parses a JSON history produced by [`to_json`](History::to_json).
     ///
     /// # Errors
     /// Returns a parse error for malformed JSON.
-    pub fn from_json(json: &str) -> Result<History> {
-        serde_json::from_str(json).map_err(|e| DimmunixError::Parse {
-            line: 0,
-            message: format!("json decode: {e}"),
-        })
+    pub fn from_json(text: &str) -> Result<History> {
+        let parse_err = |message: String| DimmunixError::Parse { line: 0, message };
+        let doc = json::parse(text).map_err(|e| parse_err(format!("json decode: {e}")))?;
+        let sigs = doc
+            .get("signatures")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| parse_err("missing `signatures` array".into()))?;
+        let mut history = History::new();
+        for sig in sigs {
+            let kind = match sig.get("kind").and_then(JsonValue::as_str) {
+                Some("deadlock") => SignatureKind::Deadlock,
+                Some("starvation") => SignatureKind::Starvation,
+                other => return Err(parse_err(format!("unknown signature kind {other:?}"))),
+            };
+            let raw_pairs = sig
+                .get("pairs")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| parse_err("missing `pairs` array".into()))?;
+            let mut pairs = Vec::with_capacity(raw_pairs.len());
+            for p in raw_pairs {
+                let stack = |key: &str| -> Result<CallStack> {
+                    let compact = p
+                        .get(key)
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| parse_err(format!("pair is missing `{key}`")))?;
+                    CallStack::parse_compact(compact).map_err(parse_err)
+                };
+                pairs.push(SignaturePair::new(stack("outer")?, stack("inner")?));
+            }
+            history.add(Signature::new(kind, pairs));
+        }
+        Ok(history)
     }
 }
 
@@ -372,9 +430,10 @@ mod tests {
         let json = h.to_json().unwrap();
         let parsed = History::from_json(&json).unwrap();
         assert_eq!(parsed.len(), 1);
-        assert!(parsed.get(SignatureId::new(0)).unwrap().same_bug(
-            h.get(SignatureId::new(0)).unwrap()
-        ));
+        assert!(parsed
+            .get(SignatureId::new(0))
+            .unwrap()
+            .same_bug(h.get(SignatureId::new(0)).unwrap()));
     }
 
     #[test]

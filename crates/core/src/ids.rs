@@ -6,7 +6,6 @@
 //! monitors onto these dense identifiers and feed synchronization events to
 //! the engine.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a thread, as seen by the Dimmunix engine.
@@ -19,7 +18,7 @@ use std::fmt;
 /// let t = ThreadId::new(3);
 /// assert_eq!(t.index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(u64);
 
 /// Identifier of a lock (Dalvik monitor / fat lock), as seen by the engine.
@@ -29,14 +28,14 @@ pub struct ThreadId(u64);
 /// let l = LockId::new(7);
 /// assert_eq!(l.index(), 7);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LockId(u64);
 
 /// Identifier of a process (an Android application forked from Zygote).
 ///
 /// Dimmunix state is strictly per-process (§3.1 of the paper); the id exists
 /// so multi-process substrates can label histories and statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(u32);
 
 /// A statically-assigned synchronization-site identifier.
@@ -46,13 +45,13 @@ pub struct ProcessId(u32);
 /// `SiteId` is that optimization: substrates may pass a `SiteId` instead of a
 /// captured call stack, and the engine interns it exactly like a depth-1
 /// stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteId(u64);
 
 /// Index of a deadlock/starvation signature within a [`History`].
 ///
 /// [`History`]: crate::history::History
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SignatureId(pub(crate) usize);
 
 macro_rules! impl_id {
@@ -110,7 +109,7 @@ impl fmt::Display for SignatureId {
 ///
 /// One tick per engine entry point (request / acquire / release); it is not
 /// wall-clock time, which keeps replays deterministic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LogicalTime(pub u64);
 
 impl LogicalTime {

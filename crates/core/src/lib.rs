@@ -62,12 +62,13 @@ mod error;
 mod events;
 mod history;
 mod ids;
+mod json;
 mod position;
 mod rag;
 mod signature;
 mod stats;
 
-pub use avoidance::{find_instantiation, signature_instantiable, Instantiation};
+pub use avoidance::{find_instantiation, signature_instantiable, Instantiation, SignatureIndex};
 pub use callstack::{CallStack, Frame};
 pub use config::{Config, ConfigBuilder, DEFAULT_MAX_SIGNATURES, DEFAULT_STACK_DEPTH};
 pub use detection::{classify_cycle, DetectedCycle};

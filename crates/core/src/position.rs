@@ -10,12 +10,11 @@
 
 use crate::callstack::CallStack;
 use crate::ThreadId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Dense identifier of an interned position (acquisition call stack).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PositionId(u32);
 
 impl PositionId {
@@ -44,7 +43,7 @@ impl fmt::Display for PositionId {
 /// steady-state operation performs no allocation. The same thread may appear
 /// more than once (it may hold several locks acquired at the same program
 /// location).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ThreadQueue {
     /// Slot arena; `None` slots are free.
     slots: Vec<Option<ThreadId>>,
@@ -139,7 +138,7 @@ impl ThreadQueue {
 }
 
 /// Data stored per interned position.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Position {
     id: PositionId,
     stack: CallStack,
@@ -201,7 +200,7 @@ impl Position {
 /// assert_eq!(a, b);
 /// assert_eq!(table.len(), 1);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PositionTable {
     depth: usize,
     by_stack: HashMap<CallStack, PositionId>,

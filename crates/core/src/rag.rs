@@ -11,11 +11,10 @@
 
 use crate::position::PositionId;
 use crate::{LockId, SignatureId, ThreadId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Why a thread is waiting on another thread in the wait-for relation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WaitEdge {
     /// The thread requests this lock, owned by the successor thread.
     Lock(LockId),
@@ -25,7 +24,7 @@ pub enum WaitEdge {
 }
 
 /// Record attached to a thread parked by the avoidance module.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct YieldRecord {
     /// The history signature whose instantiation is being avoided.
     pub signature: SignatureId,
@@ -38,7 +37,7 @@ pub struct YieldRecord {
 }
 
 /// Per-thread RAG node.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ThreadNode {
     /// Outstanding lock request, if any, with the requesting position.
     requesting: Option<(LockId, PositionId)>,
@@ -51,7 +50,7 @@ pub struct ThreadNode {
 }
 
 /// Per-lock RAG node.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LockNode {
     /// Current owner thread.
     owner: Option<ThreadId>,
@@ -72,7 +71,7 @@ pub struct CycleStep {
 }
 
 /// The resource allocation graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Rag {
     threads: HashMap<ThreadId, ThreadNode>,
     locks: HashMap<LockId, LockNode>,
@@ -227,7 +226,9 @@ impl Rag {
 
     /// Removes and returns the pending grant of `t`, if any.
     pub fn take_pending_grant(&mut self, t: ThreadId) -> Option<(LockId, PositionId)> {
-        self.threads.get_mut(&t).and_then(|n| n.pending_grant.take())
+        self.threads
+            .get_mut(&t)
+            .and_then(|n| n.pending_grant.take())
     }
 
     /// Records that `t` acquired `l` at position `pos` (first, non-recursive
@@ -322,8 +323,15 @@ impl Rag {
         let mut path: Vec<CycleStep> = Vec::new();
         let mut on_path: Vec<ThreadId> = Vec::new();
         let mut visited: Vec<ThreadId> = Vec::new();
-        self.dfs_cycle(start, start, include_yields, &mut path, &mut on_path, &mut visited)
-            .then_some(path)
+        self.dfs_cycle(
+            start,
+            start,
+            include_yields,
+            &mut path,
+            &mut on_path,
+            &mut visited,
+        )
+        .then_some(path)
     }
 
     fn dfs_cycle(
@@ -337,7 +345,7 @@ impl Rag {
     ) -> bool {
         on_path.push(current);
         for (next, edge) in self.successors(current, include_yields) {
-            if next == target && !path.is_empty() || (next == target && current != target) {
+            if next == target && (!path.is_empty() || current != target) {
                 path.push(CycleStep {
                     thread: current,
                     edge,
@@ -370,14 +378,15 @@ impl Rag {
     /// Estimated resident memory of the graph in bytes.
     pub fn memory_footprint_bytes(&self) -> usize {
         let mut total = std::mem::size_of::<Self>();
-        for (_, n) in &self.threads {
+        for n in self.threads.values() {
             total += std::mem::size_of::<ThreadId>() + std::mem::size_of::<ThreadNode>();
             total += n.held.capacity() * std::mem::size_of::<(LockId, PositionId)>();
             if let Some(y) = &n.yielding {
                 total += y.blockers.capacity() * std::mem::size_of::<ThreadId>();
             }
         }
-        total += self.locks.len() * (std::mem::size_of::<LockId>() + std::mem::size_of::<LockNode>());
+        total +=
+            self.locks.len() * (std::mem::size_of::<LockId>() + std::mem::size_of::<LockNode>());
         total
     }
 }

@@ -9,12 +9,11 @@
 //! positions; occurrences at different positions are different bugs.
 
 use crate::callstack::CallStack;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One (outer, inner) call-stack pair of a signature: the contribution of one
 /// deadlocked thread.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SignaturePair {
     /// Call stack at the acquisition of the lock held in the cycle.
     pub outer: CallStack,
@@ -42,7 +41,7 @@ impl fmt::Display for SignaturePair {
 
 /// Whether a signature records a real deadlock or an avoidance-induced
 /// deadlock (starvation, §2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SignatureKind {
     /// A mutual-exclusion deadlock detected as a RAG cycle.
     Deadlock,
@@ -79,7 +78,7 @@ impl fmt::Display for SignatureKind {
 /// );
 /// assert_eq!(sig.arity(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Signature {
     kind: SignatureKind,
     pairs: Vec<SignaturePair>,

@@ -3,11 +3,10 @@
 //! These back the evaluation harness: synchronization throughput (Table 1 and
 //! the §5 microbenchmark), avoidance activity, and memory accounting.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Monotonic counters describing one engine instance's activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Calls to `request` (one per monitorenter attempt).
     pub requests: u64,
@@ -31,6 +30,12 @@ pub struct Stats {
     pub new_starvation_signatures: u64,
     /// Instantiation checks performed by the avoidance module.
     pub instantiation_checks: u64,
+    /// Candidate signatures actually examined across all instantiation
+    /// checks. With the inverted avoidance index this stays near zero on
+    /// deadlock-free workloads (only signatures indexed at the requesting
+    /// position are touched); a linear scan would grow it by |history| per
+    /// check.
+    pub signatures_examined: u64,
     /// Wake-ups issued on the release path (threads resumed from signature
     /// condition variables).
     pub wakeups: u64,
@@ -71,6 +76,7 @@ impl Stats {
         self.starvations_detected += other.starvations_detected;
         self.new_starvation_signatures += other.new_starvation_signatures;
         self.instantiation_checks += other.instantiation_checks;
+        self.signatures_examined += other.signatures_examined;
         self.wakeups += other.wakeups;
     }
 }
@@ -80,7 +86,8 @@ impl fmt::Display for Stats {
         write!(
             f,
             "requests={} grants={} reentrant={} acquisitions={} releases={} yields={} \
-             deadlocks={} (new sigs {}) starvations={} (new sigs {}) checks={} wakeups={}",
+             deadlocks={} (new sigs {}) starvations={} (new sigs {}) checks={} examined={} \
+             wakeups={}",
             self.requests,
             self.grants,
             self.reentrant_grants,
@@ -92,6 +99,7 @@ impl fmt::Display for Stats {
             self.starvations_detected,
             self.new_starvation_signatures,
             self.instantiation_checks,
+            self.signatures_examined,
             self.wakeups
         )
     }
@@ -115,12 +123,14 @@ mod tests {
             starvations_detected: 9,
             new_starvation_signatures: 10,
             instantiation_checks: 11,
+            signatures_examined: 13,
             wakeups: 12,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.requests, 2);
         assert_eq!(a.wakeups, 24);
+        assert_eq!(a.signatures_examined, 26);
         assert_eq!(a.synchronizations(), 8);
     }
 

@@ -1,140 +1,284 @@
 //! Property-based tests for the core data structures and the engine.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these properties run on a self-contained deterministic harness: a
+//! SplitMix64 generator drives several hundred random cases per property and
+//! every failure message carries the case seed, so a reported failure is
+//! reproducible by construction.
 
 use dimmunix_core::{
-    CallStack, Config, Dimmunix, Frame, History, LockId, PositionTable, RequestOutcome, Signature,
-    SignatureKind, SignaturePair, ThreadId, ThreadQueue,
+    find_instantiation, CallStack, Config, Dimmunix, Frame, History, LockId, PositionTable,
+    RequestOutcome, Signature, SignatureId, SignatureIndex, SignatureKind, SignaturePair, ThreadId,
+    ThreadQueue,
 };
-use proptest::prelude::*;
 
-fn arb_frame() -> impl Strategy<Value = Frame> {
-    ("[a-zA-Z][a-zA-Z0-9_.]{0,12}", "[a-z]{1,8}\\.rs", 0u32..5000)
-        .prop_map(|(m, f, l)| Frame::new(m, f, l))
+/// Deterministic PRNG (SplitMix64) for generating random cases.
+struct Gen {
+    state: u64,
 }
 
-fn arb_stack(max_depth: usize) -> impl Strategy<Value = CallStack> {
-    prop::collection::vec(arb_frame(), 1..=max_depth).prop_map(CallStack::from_frames)
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `lo..hi` (`hi > lo`).
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
 }
 
-fn arb_signature() -> impl Strategy<Value = Signature> {
-    (
-        prop::bool::ANY,
-        prop::collection::vec((arb_stack(3), arb_stack(3)), 1..4),
+/// Number of random cases per property.
+const CASES: u64 = 250;
+
+fn frame(g: &mut Gen) -> Frame {
+    // Names include characters the codecs must escape or split around.
+    let methods = ["lock", "Service.enqueue", "weird@m:ethod", "wait_päth", "m"];
+    let files = ["a.rs", "svc.java", "deep/dir/f.rs"];
+    Frame::new(
+        methods[g.range(0, methods.len())],
+        files[g.range(0, files.len())],
+        g.range(0, 5000) as u32,
     )
-        .prop_map(|(starv, pairs)| {
-            let kind = if starv {
-                SignatureKind::Starvation
-            } else {
-                SignatureKind::Deadlock
-            };
-            Signature::new(
-                kind,
-                pairs
-                    .into_iter()
-                    .map(|(o, i)| SignaturePair::new(o, i))
-                    .collect(),
-            )
-        })
 }
 
-proptest! {
-    /// The compact call-stack codec is lossless for arbitrary stacks.
-    #[test]
-    fn callstack_compact_roundtrip(stack in arb_stack(5)) {
-        let text = stack.to_compact();
-        let parsed = CallStack::parse_compact(&text).unwrap();
-        prop_assert_eq!(parsed, stack);
-    }
+fn stack(g: &mut Gen, max_depth: usize) -> CallStack {
+    let depth = g.range(1, max_depth + 1);
+    CallStack::from_frames((0..depth).map(|_| frame(g)).collect())
+}
 
-    /// The history text codec is lossless: every signature survives a
-    /// save/load cycle and deduplication never invents new entries.
-    #[test]
-    fn history_text_roundtrip(sigs in prop::collection::vec(arb_signature(), 0..8)) {
+fn signature(g: &mut Gen) -> Signature {
+    let kind = if g.flip() {
+        SignatureKind::Starvation
+    } else {
+        SignatureKind::Deadlock
+    };
+    let arity = g.range(1, 4);
+    Signature::new(
+        kind,
+        (0..arity)
+            .map(|_| SignaturePair::new(stack(g, 3), stack(g, 3)))
+            .collect(),
+    )
+}
+
+#[test]
+fn prop_callstack_compact_roundtrip() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let cs = stack(&mut g, 5);
+        let parsed = CallStack::parse_compact(&cs.to_compact())
+            .unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}"));
+        assert_eq!(parsed, cs, "seed {seed}");
+    }
+}
+
+#[test]
+fn prop_history_text_roundtrip() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
         let mut h = History::new();
-        for s in &sigs {
-            h.add(s.clone());
+        for _ in 0..g.range(0, 8) {
+            h.add(signature(&mut g));
         }
-        let reparsed = History::from_text(&h.to_text()).unwrap();
-        prop_assert_eq!(reparsed.len(), h.len());
+        let reparsed = History::from_text(&h.to_text())
+            .unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}"));
+        assert_eq!(reparsed.len(), h.len(), "seed {seed}");
         for (id, s) in h.iter() {
-            prop_assert!(reparsed.get(id).unwrap().same_bug(s));
+            assert!(reparsed.get(id).unwrap().same_bug(s), "seed {seed}");
         }
     }
+}
 
-    /// The JSON codec agrees with the text codec.
-    #[test]
-    fn history_json_roundtrip(sigs in prop::collection::vec(arb_signature(), 0..6)) {
+#[test]
+fn prop_history_json_roundtrip() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
         let mut h = History::new();
-        for s in &sigs {
-            h.add(s.clone());
+        for _ in 0..g.range(0, 6) {
+            h.add(signature(&mut g));
         }
-        let reparsed = History::from_json(&h.to_json().unwrap()).unwrap();
-        prop_assert_eq!(reparsed.len(), h.len());
+        let json = h.to_json().unwrap();
+        let reparsed = History::from_json(&json)
+            .unwrap_or_else(|e| panic!("seed {seed}: json decode failed: {e}\n{json}"));
+        assert_eq!(reparsed.len(), h.len(), "seed {seed}");
+        for (id, s) in h.iter() {
+            assert!(reparsed.get(id).unwrap().same_bug(s), "seed {seed}");
+        }
     }
+}
 
-    /// Interning is a function of the truncated stack: equal truncations map
-    /// to equal ids, different truncations to different ids, and the table
-    /// size equals the number of distinct truncations.
-    #[test]
-    fn position_interning_is_consistent(
-        stacks in prop::collection::vec(arb_stack(4), 1..40),
-        depth in 1usize..4,
-    ) {
+#[test]
+fn prop_position_interning_is_consistent() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let depth = g.range(1, 4);
+        let stacks: Vec<CallStack> = (0..g.range(1, 40)).map(|_| stack(&mut g, 4)).collect();
         let mut table = PositionTable::new(depth);
         let ids: Vec<_> = stacks.iter().map(|s| table.intern(s)).collect();
-        let mut distinct = std::collections::HashSet::new();
-        for s in &stacks {
-            distinct.insert(s.truncated(depth));
-        }
-        prop_assert_eq!(table.len(), distinct.len());
+        let distinct: std::collections::HashSet<_> =
+            stacks.iter().map(|s| s.truncated(depth)).collect();
+        assert_eq!(table.len(), distinct.len(), "seed {seed}");
         for (s, id) in stacks.iter().zip(&ids) {
-            prop_assert_eq!(table.lookup(s), Some(*id));
-            prop_assert_eq!(table.get(*id).unwrap().stack(), &s.truncated(depth));
+            assert_eq!(table.lookup(s), Some(*id), "seed {seed}");
+            assert_eq!(
+                table.get(*id).unwrap().stack(),
+                &s.truncated(depth),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// The per-position thread queue honours multiset semantics and reuses
-    /// freed slots (its arena never exceeds the high-water mark of live
-    /// entries).
-    #[test]
-    fn thread_queue_multiset_semantics(ops in prop::collection::vec((0u64..6, prop::bool::ANY), 1..200)) {
+#[test]
+fn prop_thread_queue_multiset_semantics() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
         let mut q = ThreadQueue::new();
         let mut model: Vec<u64> = Vec::new();
         let mut high_water = 0usize;
-        for (tid, is_push) in ops {
+        for _ in 0..g.range(1, 200) {
+            let tid = g.range(0, 6) as u64;
             let t = ThreadId::new(tid);
-            if is_push {
+            if g.flip() {
                 q.push(t);
                 model.push(tid);
             } else {
                 let removed = q.remove_one(t);
-                let model_had = model.iter().position(|x| *x == tid).map(|i| { model.remove(i); }).is_some();
-                prop_assert_eq!(removed, model_had);
+                let model_had = model
+                    .iter()
+                    .position(|x| *x == tid)
+                    .map(|i| {
+                        model.remove(i);
+                    })
+                    .is_some();
+                assert_eq!(removed, model_had, "seed {seed}");
             }
             high_water = high_water.max(model.len());
-            prop_assert_eq!(q.len(), model.len());
+            assert_eq!(q.len(), model.len(), "seed {seed}");
             for id in 0u64..6 {
-                prop_assert_eq!(q.count(ThreadId::new(id)), model.iter().filter(|x| **x == id).count());
+                assert_eq!(
+                    q.count(ThreadId::new(id)),
+                    model.iter().filter(|x| **x == id).count(),
+                    "seed {seed}"
+                );
             }
         }
-        prop_assert!(q.capacity() <= high_water);
+        assert!(q.capacity() <= high_water, "seed {seed}");
     }
+}
 
-    /// Engine consistency under random well-formed workloads: threads
-    /// acquire a random subset of locks in a fixed global order (so no
-    /// deadlock is possible) and release them in reverse order. The engine
-    /// must grant everything, never report a deadlock, and end with an empty
-    /// RAG ownership and empty position queues.
-    #[test]
-    fn engine_consistent_on_ordered_workloads(
-        plan in prop::collection::vec(prop::collection::vec(0u64..8, 1..5), 1..6),
-        depth in 1usize..3,
-    ) {
+/// **Indexed avoidance ≡ linear scan.** Random histories over a small site
+/// universe, random interning depth, random extra (noise) positions, random
+/// thread queues: for every thread/position pair, the engine's inverted
+/// [`SignatureIndex`] must return exactly what the linear-scan reference
+/// oracle returns — same matched signature, same blockers.
+#[test]
+fn prop_indexed_find_instantiation_equals_linear_scan() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let depth = g.range(1, 3);
+        let mut positions = PositionTable::new(depth);
+
+        // A compact universe of sites so outer positions collide often and
+        // queue coverage actually triggers matches.
+        let universe: Vec<CallStack> = (0..8)
+            .map(|i| CallStack::single(Frame::new(format!("site{i}"), "univ.rs", i as u32)))
+            .collect();
+        let mut history = History::new();
+        for _ in 0..g.range(0, 6) {
+            let arity = g.range(1, 4);
+            let pairs = (0..arity)
+                .map(|_| {
+                    SignaturePair::new(
+                        universe[g.range(0, universe.len())].clone(),
+                        universe[g.range(0, universe.len())].clone(),
+                    )
+                })
+                .collect();
+            history.add(Signature::new(SignatureKind::Deadlock, pairs));
+        }
+
+        // Build the index the way the engine's position-interning hook does.
+        let mut index = SignatureIndex::new();
+        for (id, sig) in history.iter() {
+            let outer: Vec<_> = sig.outer_stacks().map(|o| positions.intern(o)).collect();
+            index.insert(id, outer);
+        }
+        // Noise positions not mentioned by any signature.
+        for i in 0..g.range(0, 5) {
+            positions.intern(&CallStack::single(Frame::new(
+                format!("noise{i}"),
+                "noise.rs",
+                i as u32,
+            )));
+        }
+
+        // Random queue occupancy.
+        let table_len = positions.len();
+        for _ in 0..g.range(0, 16) {
+            if table_len == 0 {
+                break;
+            }
+            let pid = positions.iter().nth(g.range(0, table_len)).unwrap().id();
+            let t = ThreadId::new(g.range(1, 6) as u64);
+            positions.get_mut(pid).unwrap().queue_mut().push(t);
+        }
+
+        // Exhaustive comparison over threads × positions.
+        let pids: Vec<_> = positions.iter().map(|p| p.id()).collect();
+        for t in 1..6u64 {
+            let thread = ThreadId::new(t);
+            for &pid in &pids {
+                let linear = find_instantiation(&history, &positions, thread, pid);
+                let indexed = index.find_instantiation(&positions, thread, pid);
+                assert_eq!(
+                    indexed, linear,
+                    "seed {seed}: divergence for thread {t} at {pid}"
+                );
+            }
+        }
+
+        // The index must also be structurally consistent: a signature is
+        // listed exactly at its resolved outer positions.
+        for (id, sig) in history.iter() {
+            let outs = index.outer_positions_of(id);
+            assert_eq!(outs.len(), sig.arity(), "seed {seed}");
+            for pid in outs {
+                assert!(index.signatures_at(*pid).contains(&id), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn prop_engine_consistent_on_ordered_workloads() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed);
+        let depth = g.range(1, 3);
         let cfg = Config::builder().stack_depth(depth).build();
         let mut engine = Dimmunix::new(cfg);
+        let plan: Vec<Vec<u64>> = (0..g.range(1, 6))
+            .map(|_| (0..g.range(1, 5)).map(|_| g.range(0, 8) as u64).collect())
+            .collect();
         for (tidx, locks) in plan.iter().enumerate() {
             let t = ThreadId::new(tidx as u64);
             // Deduplicate and sort: a global acquisition order prevents deadlock.
-            let mut locks: Vec<u64> = locks.clone();
+            let mut locks = locks.clone();
             locks.sort_unstable();
             locks.dedup();
             for (k, lraw) in locks.iter().enumerate() {
@@ -145,33 +289,34 @@ proptest! {
                     *lraw as u32,
                 ));
                 let outcome = engine.request(t, l, &site);
-                prop_assert!(outcome.is_granted(), "unexpected outcome {:?}", outcome);
+                assert!(outcome.is_granted(), "seed {seed}: {outcome:?}");
                 engine.acquired(t, l);
             }
             for lraw in locks.iter().rev() {
-                let l = LockId::new(*lraw);
-                engine.released(t, l);
+                engine.released(t, LockId::new(*lraw));
             }
         }
-        prop_assert_eq!(engine.stats().deadlocks_detected, 0);
-        prop_assert_eq!(engine.stats().yields, 0);
-        // All monitors are free again.
+        assert_eq!(engine.stats().deadlocks_detected, 0, "seed {seed}");
+        assert_eq!(engine.stats().yields, 0, "seed {seed}");
+        // An empty history means the index examined no signature at all.
+        assert_eq!(engine.stats().signatures_examined, 0, "seed {seed}");
         for lraw in 0u64..8 {
-            prop_assert_eq!(engine.rag().owner(LockId::new(lraw)), None);
+            assert_eq!(engine.rag().owner(LockId::new(lraw)), None, "seed {seed}");
         }
-        // All position queues drained.
         for p in engine.positions().iter() {
-            prop_assert!(p.queue().is_empty());
+            assert!(p.queue().is_empty(), "seed {seed}");
         }
-        prop_assert_eq!(engine.stats().acquisitions, engine.stats().releases);
+        assert_eq!(
+            engine.stats().acquisitions,
+            engine.stats().releases,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Avoidance ends deterministically for the trained AB/BA pattern under
-    /// any choice of which thread reaches its outer position first: either
-    /// the second thread yields or the schedule is already safe; a deadlock
-    /// is never detected on the replay.
-    #[test]
-    fn trained_engine_never_deadlocks_on_ab_ba(first_is_t1 in prop::bool::ANY) {
+#[test]
+fn prop_trained_engine_never_deadlocks_on_ab_ba() {
+    for first_is_t1 in [false, true] {
         // Train.
         let mut trainer = Dimmunix::default();
         let site = |m: &str, line| CallStack::single(Frame::new(m, "app.rs", line));
@@ -186,6 +331,15 @@ proptest! {
             trainer.request(t2, la, &site("t2.inner", 21)),
             RequestOutcome::DeadlockDetected { .. }
         ));
+        // The trained engine's index covers exactly the recorded signature.
+        assert_eq!(trainer.signature_index().len(), 1);
+        assert_eq!(
+            trainer
+                .signature_index()
+                .outer_positions_of(SignatureId::new(0))
+                .len(),
+            2
+        );
 
         // Replay with the antibody, varying which thread starts first.
         let mut e = Dimmunix::with_history(Config::default(), trainer.history().clone());
@@ -204,8 +358,8 @@ proptest! {
         // deadlock is detected afterwards.
         match outcome {
             RequestOutcome::Yield { .. } | RequestOutcome::Granted => {}
-            other => prop_assert!(false, "unexpected outcome {:?}", other),
+            other => panic!("unexpected outcome {other:?}"),
         }
-        prop_assert_eq!(e.stats().deadlocks_detected, 0);
+        assert_eq!(e.stats().deadlocks_detected, 0);
     }
 }

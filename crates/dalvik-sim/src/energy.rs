@@ -10,10 +10,8 @@
 //! platform energy is unchanged at the reporting granularity (whole
 //! percents), matching the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Energy cost parameters, in arbitrary "energy units".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Cost of one busy cycle of application work.
     pub per_cycle: f64,
@@ -41,7 +39,7 @@ impl Default for EnergyModel {
 }
 
 /// Energy report for one measurement window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// Energy consumed by applications and the OS runtime.
     pub app_energy: f64,

@@ -7,13 +7,11 @@
 //! history, per-thread stack buffers and per-monitor nodes — and this module
 //! turns those byte counts into the megabyte/percent figures of the table.
 
-use serde::{Deserialize, Serialize};
-
 /// Total RAM of the reference device (Nexus One, §5).
 pub const DEVICE_RAM_BYTES: usize = 512 * 1024 * 1024;
 
 /// Memory report for one application.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppMemory {
     /// Resident bytes on the vanilla platform.
     pub vanilla_bytes: usize,
@@ -52,7 +50,7 @@ impl AppMemory {
 
 /// Platform-wide memory utilization, aggregating every running application
 /// plus a fixed system share (the OS itself and native services).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlatformMemory {
     /// Bytes used by the OS outside the profiled applications.
     pub system_bytes: usize,
@@ -119,7 +117,10 @@ mod tests {
     fn platform_utilization_tracks_apps() {
         let mut p = PlatformMemory::new(150 * 1024 * 1024);
         for _ in 0..8 {
-            p.add_app(AppMemory::new(12 * 1024 * 1024, 12 * 1024 * 1024 + 500 * 1024));
+            p.add_app(AppMemory::new(
+                12 * 1024 * 1024,
+                12 * 1024 * 1024 + 500 * 1024,
+            ));
         }
         assert!(p.utilization_dimmunix() > p.utilization_vanilla());
         assert!(p.overall_overhead() > 0.0 && p.overall_overhead() < 0.1);

@@ -8,14 +8,13 @@
 //! lists of [`Op`]s, programs are collections of methods, and
 //! [`ProgramBuilder`] offers `synchronized`-block sugar.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Reference to a heap object used as a monitor.
 ///
 /// The simulator gives every distinct `ObjRef` in a process its own monitor
 /// (thin locks are inflated on first `monitorenter`, as in §4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjRef(pub u32);
 
 impl fmt::Display for ObjRef {
@@ -25,11 +24,11 @@ impl fmt::Display for ObjRef {
 }
 
 /// Index of a method within a [`Program`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MethodId(pub usize);
 
 /// One simulated operation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
     /// `monitorenter` on the given object.
     MonitorEnter(ObjRef),
@@ -64,7 +63,7 @@ pub enum Op {
 }
 
 /// A method: a name, a source file, and a flat list of operations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Method {
     /// Fully-qualified method name (e.g. `StatusBarService.handleMessage`).
     pub name: String,
@@ -75,7 +74,7 @@ pub struct Method {
 }
 
 /// A whole simulated application.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     methods: Vec<Method>,
 }
@@ -113,7 +112,10 @@ impl Program {
 
     /// Iterates over all methods.
     pub fn methods(&self) -> impl Iterator<Item = (MethodId, &Method)> {
-        self.methods.iter().enumerate().map(|(i, m)| (MethodId(i), m))
+        self.methods
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MethodId(i), m))
     }
 
     /// Counts synchronization sites (`MonitorEnter` plus `Wait`) across the

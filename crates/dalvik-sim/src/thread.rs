@@ -2,10 +2,9 @@
 
 use crate::program::{MethodId, ObjRef};
 use dimmunix_core::{SignatureId, ThreadId};
-use serde::{Deserialize, Serialize};
 
 /// One frame of a simulated thread's call stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameState {
     /// Method being executed.
     pub method: MethodId,
@@ -14,7 +13,7 @@ pub struct FrameState {
 }
 
 /// What a parked thread should do once it is resumed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResumeTarget {
     /// Retry the `monitorenter` at the current pc.
     Enter(ObjRef),
@@ -29,7 +28,7 @@ pub enum ResumeTarget {
 }
 
 /// Execution state of a simulated thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadState {
     /// Ready to execute its next operation.
     Runnable,
@@ -76,7 +75,7 @@ pub enum ThreadState {
 }
 
 /// A simulated Dalvik thread.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VmThread {
     /// Engine-level identifier.
     pub id: ThreadId,
@@ -135,7 +134,13 @@ mod tests {
     fn new_thread_is_runnable_at_entry() {
         let t = VmThread::new(ThreadId::new(1), "main", MethodId(0));
         assert_eq!(t.state, ThreadState::Runnable);
-        assert_eq!(t.current_frame(), Some(FrameState { method: MethodId(0), pc: 0 }));
+        assert_eq!(
+            t.current_frame(),
+            Some(FrameState {
+                method: MethodId(0),
+                pc: 0
+            })
+        );
         assert!(!t.is_terminated());
         assert!(!t.is_deadlocked());
     }

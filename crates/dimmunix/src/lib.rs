@@ -43,9 +43,9 @@ pub mod core {
 
 /// Deadlock-immune lock types for real threads (re-export of `dimmunix-rt`).
 pub mod rt {
-    pub use ::dimmunix_rt::*;
     /// Captures the current source location as an acquisition site.
     pub use ::dimmunix_rt::acquire_site;
+    pub use ::dimmunix_rt::*;
 }
 
 /// The deterministic VM substrate (re-export of `dalvik-sim`).

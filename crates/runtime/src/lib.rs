@@ -39,6 +39,7 @@ mod monitor;
 mod mutex;
 mod runtime;
 mod site;
+mod sync;
 
 pub use monitor::{ImmuneMonitor, MonitorGuard};
 pub use mutex::{ImmuneMutex, ImmuneMutexGuard};
@@ -131,7 +132,10 @@ mod integration_tests {
         });
         let r1 = t1.join().unwrap();
         let r2 = t2.join().unwrap();
-        assert!(r1.is_ok() && r2.is_ok(), "replay must complete: {r1:?} {r2:?}");
+        assert!(
+            r1.is_ok() && r2.is_ok(),
+            "replay must complete: {r1:?} {r2:?}"
+        );
         assert_eq!(rt.stats().deadlocks_detected, 0);
         assert_eq!(rt.history().len(), 1, "no new signature on the replay");
     }

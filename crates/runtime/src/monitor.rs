@@ -10,11 +10,12 @@
 
 use crate::runtime::{DimmunixRuntime, LockError};
 use crate::site::AcquisitionSite;
+use crate::sync;
 use dimmunix_core::LockId;
-use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// A monitor: mutual exclusion plus `wait` / `notify`, screened by Dimmunix.
@@ -67,7 +68,7 @@ impl<T> ImmuneMonitor<T> {
 
     /// Consumes the monitor and returns the protected value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner()
+        sync::into_inner(self.inner)
     }
 }
 
@@ -84,7 +85,7 @@ impl<T: ?Sized> ImmuneMonitor<T> {
     /// acquisition would complete a deadlock cycle.
     pub fn enter(&self, site: AcquisitionSite) -> Result<MonitorGuard<'_, T>, LockError> {
         self.runtime.before_acquire(self.lock_id, site)?;
-        let guard = self.inner.lock();
+        let guard = sync::lock(&self.inner);
         self.runtime.after_acquire(self.lock_id);
         Ok(MonitorGuard {
             monitor: self,
@@ -143,7 +144,7 @@ impl<'a, T: ?Sized> MonitorGuard<'a, T> {
         // Sample the notification generation while still inside the monitor:
         // only a notifier that runs *after* we release can bump it, so the
         // wake-up cannot be lost.
-        let observed = *monitor.wait_gate.lock();
+        let observed = *sync::lock(&monitor.wait_gate);
         // Release through Dimmunix, then really release the monitor. The
         // guard's Drop is bypassed because we already take the inner guard.
         monitor.runtime.before_release(monitor.lock_id);
@@ -154,16 +155,22 @@ impl<'a, T: ?Sized> MonitorGuard<'a, T> {
         // Wait for a notification or the timeout, without holding the
         // monitor (Java wait-set semantics).
         {
-            let mut gen = monitor.wait_gate.lock();
+            let mut gen = sync::lock(&monitor.wait_gate);
             let deadline = timeout.map(|t| std::time::Instant::now() + t);
             while *gen == observed {
                 match deadline {
                     Some(d) => {
-                        if monitor.wait_cv.wait_until(&mut gen, d).timed_out() {
+                        let remaining = d.saturating_duration_since(std::time::Instant::now());
+                        if remaining.is_zero() {
+                            break;
+                        }
+                        let (g, timed_out) = sync::wait_timeout(&monitor.wait_cv, gen, remaining);
+                        gen = g;
+                        if timed_out {
                             break;
                         }
                     }
-                    None => monitor.wait_cv.wait(&mut gen),
+                    None => gen = sync::wait(&monitor.wait_cv, gen),
                 }
             }
         }
@@ -173,7 +180,7 @@ impl<'a, T: ?Sized> MonitorGuard<'a, T> {
         monitor
             .runtime
             .before_acquire(monitor.lock_id, reacquire_site)?;
-        let guard = monitor.inner.lock();
+        let guard = sync::lock(&monitor.inner);
         monitor.runtime.after_acquire(monitor.lock_id);
         Ok(MonitorGuard {
             monitor,
@@ -185,14 +192,14 @@ impl<'a, T: ?Sized> MonitorGuard<'a, T> {
     /// JVM, waiters may also wake spuriously; callers re-check their
     /// condition in a loop.)
     pub fn notify_one(&self) {
-        let mut gen = self.monitor.wait_gate.lock();
+        let mut gen = sync::lock(&self.monitor.wait_gate);
         *gen += 1;
         self.monitor.wait_cv.notify_one();
     }
 
     /// `Object.notifyAll()`: wakes every thread waiting on this monitor.
     pub fn notify_all(&self) {
-        let mut gen = self.monitor.wait_gate.lock();
+        let mut gen = sync::lock(&self.monitor.wait_gate);
         *gen += 1;
         self.monitor.wait_cv.notify_all();
     }

@@ -8,11 +8,12 @@
 
 use crate::runtime::{DimmunixRuntime, LockError};
 use crate::site::AcquisitionSite;
+use crate::sync;
 use dimmunix_core::LockId;
-use parking_lot::{Mutex, MutexGuard};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
+use std::sync::{Mutex, MutexGuard};
 
 /// A mutex whose acquisitions are screened by Dimmunix.
 ///
@@ -46,7 +47,7 @@ impl<T> ImmuneMutex<T> {
 
     /// Consumes the mutex and returns the protected value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner()
+        sync::into_inner(self.inner)
     }
 }
 
@@ -68,7 +69,7 @@ impl<T: ?Sized> ImmuneMutex<T> {
     /// [`DeadlockPolicy::Error`](crate::DeadlockPolicy::Error).
     pub fn lock(&self, site: AcquisitionSite) -> Result<ImmuneMutexGuard<'_, T>, LockError> {
         self.runtime.before_acquire(self.lock_id, site)?;
-        let guard = self.inner.lock();
+        let guard = sync::lock(&self.inner);
         self.runtime.after_acquire(self.lock_id);
         Ok(ImmuneMutexGuard {
             runtime: &self.runtime,
@@ -88,7 +89,14 @@ impl<T: ?Sized> ImmuneMutex<T> {
         site: AcquisitionSite,
     ) -> Result<Option<ImmuneMutexGuard<'_, T>>, LockError> {
         self.runtime.before_acquire(self.lock_id, site)?;
-        match self.inner.try_lock() {
+        // Recover from poisoning like every other acquisition path (see
+        // crate::sync); only genuine contention yields `None`.
+        let attempt = match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        };
+        match attempt {
             Some(guard) => {
                 self.runtime.after_acquire(self.lock_id);
                 Ok(Some(ImmuneMutexGuard {

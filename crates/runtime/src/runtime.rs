@@ -14,15 +14,16 @@
 //! from the release path.
 
 use crate::site::AcquisitionSite;
+use crate::sync;
 use dimmunix_core::{
     CallStack, Config, Dimmunix, History, LockId, RequestOutcome, Signature, SignatureId, Stats,
     ThreadId,
 };
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// What the wrapper types should do when the engine reports that the
@@ -166,7 +167,7 @@ impl DimmunixRuntime {
             }
             let id = ThreadId::new(self.next_thread.fetch_add(1, Ordering::Relaxed));
             cell.borrow_mut().insert(self.instance, id);
-            self.state.lock().engine.register_thread(id);
+            sync::lock(&self.state).engine.register_thread(id);
             id
         })
     }
@@ -175,28 +176,28 @@ impl DimmunixRuntime {
     /// monitor and embedding a RAG node).
     pub fn allocate_lock(&self) -> LockId {
         let id = LockId::new(self.next_lock.fetch_add(1, Ordering::Relaxed));
-        self.state.lock().engine.register_lock(id);
+        sync::lock(&self.state).engine.register_lock(id);
         id
     }
 
     /// Snapshot of the engine counters.
     pub fn stats(&self) -> Stats {
-        *self.state.lock().engine.stats()
+        *sync::lock(&self.state).engine.stats()
     }
 
     /// Snapshot of the current history.
     pub fn history(&self) -> History {
-        self.state.lock().engine.history().clone()
+        sync::lock(&self.state).engine.history().clone()
     }
 
     /// Adds a signature (vendor antibody or synthetic benchmark signature).
     pub fn add_signature(&self, sig: Signature) -> SignatureId {
-        self.state.lock().engine.add_signature(sig).0
+        sync::lock(&self.state).engine.add_signature(sig).0
     }
 
     /// Estimated bytes of memory the runtime adds to the process.
     pub fn memory_footprint_bytes(&self) -> usize {
-        self.state.lock().engine.memory_footprint_bytes()
+        sync::lock(&self.state).engine.memory_footprint_bytes()
     }
 
     /// Persists the history to the configured path.
@@ -204,7 +205,7 @@ impl DimmunixRuntime {
     /// # Errors
     /// Fails if no path is configured or the write fails.
     pub fn save_history(&self) -> dimmunix_core::Result<()> {
-        self.state.lock().engine.save_history()
+        sync::lock(&self.state).engine.save_history()
     }
 
     fn gate(state: &mut EngineState, sig: SignatureId) -> Arc<SignatureGate> {
@@ -221,12 +222,12 @@ impl DimmunixRuntime {
         let thread = self.current_thread();
         let stack: CallStack = site.to_call_stack();
         loop {
-            let mut state = self.state.lock();
+            let mut state = sync::lock(&self.state);
             let outcome = state.engine.request(thread, lock, &stack);
             let pending = state.engine.take_pending_wakeups();
             for sig in &pending {
                 let gate = Self::gate(&mut state, *sig);
-                let mut gen = gate.lock.lock();
+                let mut gen = sync::lock(&gate.lock);
                 *gen += 1;
                 gate.cv.notify_all();
             }
@@ -243,17 +244,16 @@ impl DimmunixRuntime {
                     // read while still holding the engine lock, so a release
                     // that happens right after we drop it cannot be lost.
                     let gate = Self::gate(&mut state, signature);
-                    let mut gen = gate.lock.lock();
+                    let mut gen = sync::lock(&gate.lock);
                     let observed = *gen;
                     drop(state);
                     while *gen == observed {
                         // The timeout is a belt-and-braces guard against a
                         // wake-up that raced with gate creation; correctness
                         // does not depend on its value.
-                        let timed_out = gate
-                            .cv
-                            .wait_for(&mut gen, Duration::from_millis(50))
-                            .timed_out();
+                        let (g, timed_out) =
+                            sync::wait_timeout(&gate.cv, gen, Duration::from_millis(50));
+                        gen = g;
                         if timed_out {
                             break;
                         }
@@ -267,25 +267,25 @@ impl DimmunixRuntime {
     /// The `lockMonitor` epilogue.
     pub fn after_acquire(&self, lock: LockId) {
         let thread = self.current_thread();
-        self.state.lock().engine.acquired(thread, lock);
+        sync::lock(&self.state).engine.acquired(thread, lock);
     }
 
     /// Backs out of an approved acquisition that will not be completed
     /// (e.g. a failed `try_lock` on the underlying mutex).
     pub fn cancel_acquire(&self, lock: LockId) {
         let thread = self.current_thread();
-        self.state.lock().engine.cancel_request(thread, lock);
+        sync::lock(&self.state).engine.cancel_request(thread, lock);
     }
 
     /// The `unlockMonitor` prologue: releases in the engine and wakes every
     /// signature gate the engine says must be notified.
     pub fn before_release(&self, lock: LockId) {
         let thread = self.current_thread();
-        let mut state = self.state.lock();
+        let mut state = sync::lock(&self.state);
         let wake = state.engine.released(thread, lock);
         for sig in wake {
             let gate = Self::gate(&mut state, sig);
-            let mut gen = gate.lock.lock();
+            let mut gen = sync::lock(&gate.lock);
             *gen += 1;
             gate.cv.notify_all();
         }
@@ -295,11 +295,11 @@ impl DimmunixRuntime {
     /// force-releasing anything it still holds.
     pub fn retire_current_thread(&self) {
         let thread = self.current_thread();
-        let mut state = self.state.lock();
+        let mut state = sync::lock(&self.state);
         let wake = state.engine.unregister_thread(thread);
         for sig in wake {
             let gate = Self::gate(&mut state, sig);
-            let mut gen = gate.lock.lock();
+            let mut gen = sync::lock(&gate.lock);
             *gen += 1;
             gate.cv.notify_all();
         }
@@ -318,7 +318,9 @@ mod tests {
         let rt = DimmunixRuntime::new();
         let main_id = rt.current_thread();
         let rt2 = rt.clone();
-        let other = std::thread::spawn(move || rt2.current_thread()).join().unwrap();
+        let other = std::thread::spawn(move || rt2.current_thread())
+            .join()
+            .unwrap();
         assert_ne!(main_id, other);
         // Repeated calls on the same thread return the same id.
         assert_eq!(rt.current_thread(), main_id);
@@ -424,14 +426,8 @@ mod tests {
         let sig = Signature::new(
             dimmunix_core::SignatureKind::Deadlock,
             vec![
-                dimmunix_core::SignaturePair::new(
-                    site_a.to_call_stack(),
-                    site_a.to_call_stack(),
-                ),
-                dimmunix_core::SignaturePair::new(
-                    site_b.to_call_stack(),
-                    site_b.to_call_stack(),
-                ),
+                dimmunix_core::SignaturePair::new(site_a.to_call_stack(), site_a.to_call_stack()),
+                dimmunix_core::SignaturePair::new(site_b.to_call_stack(), site_b.to_call_stack()),
             ],
         );
         let rt = DimmunixRuntime::new();

@@ -100,7 +100,10 @@ mod tests {
         let s = AcquisitionSite::new("scope", "file.rs", 10);
         let cs = s.to_call_stack();
         assert_eq!(cs.depth(), 1);
-        assert_eq!(cs, AcquisitionSite::new("scope", "file.rs", 10).to_call_stack());
+        assert_eq!(
+            cs,
+            AcquisitionSite::new("scope", "file.rs", 10).to_call_stack()
+        );
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Poison-transparent helpers over `std::sync` primitives.
+//!
+//! The build environment has no crates.io access, so the runtime uses the
+//! standard library's `Mutex`/`Condvar` instead of `parking_lot`. Lock
+//! poisoning is deliberately ignored (matching `parking_lot` semantics): a
+//! panic in one application thread must not take down the process-wide
+//! immunity runtime, whose invariants are re-established on every engine
+//! entry anyway.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard from a poisoned state.
+pub(crate) fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Consumes `m` and returns the protected value, ignoring poisoning.
+pub(crate) fn into_inner<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cv`, recovering the guard from a poisoned state.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cv` with a timeout; returns the guard and whether it timed out.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, timeout) {
+        Ok((g, result)) => (g, result.timed_out()),
+        Err(poisoned) => {
+            let (g, result) = poisoned.into_inner();
+            (g, result.timed_out())
+        }
+    }
+}

@@ -133,7 +133,11 @@ pub fn run_microbenchmark(config: &MicrobenchConfig) -> MicrobenchResult {
                 let lock = &pool[(rng_state as usize) % pool.len()];
                 {
                     let mut guard = lock
-                        .lock(AcquisitionSite::new("Microbench.worker", "microbench.rs", 1))
+                        .lock(AcquisitionSite::new(
+                            "Microbench.worker",
+                            "microbench.rs",
+                            1,
+                        ))
                         .expect("benchmark never deadlocks");
                     *guard = guard.wrapping_add(busy_work(cfg.work_inside));
                 }

@@ -17,16 +17,24 @@ pub fn dining_philosophers(n: u32, rounds: u32) -> (Program, MethodId) {
     for p in 0..n {
         let left = ObjRef(100 + p);
         let right = ObjRef(100 + (p + 1) % n);
+        // One round lives in its own method, called `rounds` times: like a
+        // real Java loop body, every iteration then reuses the *same*
+        // acquisition positions, so an antibody learned in any round shields
+        // all the others. (Unrolling the rounds inline would give each one
+        // distinct positions and make every round a distinct "bug".)
+        let round = pb
+            .method(format!("Philosopher{p}.round"))
+            .compute(1)
+            .sync(left, |body| {
+                body.compute(2).sync(right, |inner| {
+                    inner.compute(3);
+                });
+            })
+            .compute(1)
+            .finish();
         let mut m = pb.method(format!("Philosopher{p}.dine"));
         for _ in 0..rounds {
-            m = m
-                .compute(1)
-                .sync(left, |body| {
-                    body.compute(2).sync(right, |inner| {
-                        inner.compute(3);
-                    });
-                })
-                .compute(1);
+            m = m.call(round);
         }
         phil_methods.push(m.finish());
     }

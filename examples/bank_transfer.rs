@@ -20,7 +20,8 @@ const TRANSFERS_PER_TELLER: usize = 400;
 const TELLERS: usize = 6;
 const INITIAL_BALANCE: i64 = 1_000;
 
-const SITE_FROM: AcquisitionSite = AcquisitionSite::new("Bank.transfer.from", "bank_transfer.rs", 1);
+const SITE_FROM: AcquisitionSite =
+    AcquisitionSite::new("Bank.transfer.from", "bank_transfer.rs", 1);
 const SITE_TO: AcquisitionSite = AcquisitionSite::new("Bank.transfer.to", "bank_transfer.rs", 2);
 
 fn main() {
@@ -83,7 +84,10 @@ fn main() {
         runtime.history().len(),
         stats.yields
     );
-    println!("total balance: {balance_sum} (expected {})", ACCOUNTS as i64 * INITIAL_BALANCE);
+    println!(
+        "total balance: {balance_sum} (expected {})",
+        ACCOUNTS as i64 * INITIAL_BALANCE
+    );
     assert_eq!(balance_sum, ACCOUNTS as i64 * INITIAL_BALANCE);
     println!("Money conserved; the bank never hung.");
 }

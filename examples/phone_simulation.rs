@@ -17,9 +17,7 @@ fn main() {
     // Scale down the 30-second profiling window so the example runs in
     // seconds even in debug builds.
     let scale = 500;
-    println!(
-        "Replaying the Table 1 application profiles at 1/{scale} of the 30 s window\n"
-    );
+    println!("Replaying the Table 1 application profiles at 1/{scale} of the 30 s window\n");
     println!(
         "{:<12} {:>8} {:>14} {:>14} {:>13} {:>12}",
         "Application", "Threads", "Paper sync/s", "Meas. sync/s", "Dimmunix MB", "Vanilla MB"
@@ -56,7 +54,10 @@ fn main() {
             dimmunix_mb,
             vanilla.memory_vanilla_bytes() as f64 / (1024.0 * 1024.0)
         );
-        assert!(process.engine().history().is_empty(), "healthy apps stay clean");
+        assert!(
+            process.engine().history().is_empty(),
+            "healthy apps stay clean"
+        );
     }
 
     // The buggy app develops an antibody without affecting anyone else.

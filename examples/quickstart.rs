@@ -78,6 +78,9 @@ fn main() {
         immune.stats().deadlocks_detected,
         immune.stats().yields
     );
-    assert!(completed, "the replay must complete with the antibody loaded");
+    assert!(
+        completed,
+        "the replay must complete with the antibody loaded"
+    );
     println!("\nDeadlock immunity developed: the same bug can never bite twice.");
 }

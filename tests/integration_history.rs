@@ -3,9 +3,7 @@
 //! substrate and consumed by the real-thread runtime (they share the
 //! engine's representation).
 
-use dimmunix::core::{
-    CallStack, Config, Frame, History, Signature, SignatureKind, SignaturePair,
-};
+use dimmunix::core::{CallStack, Config, Frame, History, Signature, SignatureKind, SignaturePair};
 use dimmunix::vm::{ProcessBuilder, RunOutcome};
 use dimmunix::workloads::dining_philosophers;
 
@@ -78,21 +76,19 @@ fn history_file_written_by_one_process_protects_another() {
 #[test]
 fn merging_vendor_histories_deduplicates() {
     let mut local = train_philosophers();
-    let vendor: History = vec![
-        Signature::new(
-            SignatureKind::Deadlock,
-            vec![
-                SignaturePair::new(
-                    CallStack::single(Frame::new("Vendor.lockA", "vendor.java", 1)),
-                    CallStack::single(Frame::new("Vendor.waitB", "vendor.java", 2)),
-                ),
-                SignaturePair::new(
-                    CallStack::single(Frame::new("Vendor.lockB", "vendor.java", 3)),
-                    CallStack::single(Frame::new("Vendor.waitA", "vendor.java", 4)),
-                ),
-            ],
-        ),
-    ]
+    let vendor: History = vec![Signature::new(
+        SignatureKind::Deadlock,
+        vec![
+            SignaturePair::new(
+                CallStack::single(Frame::new("Vendor.lockA", "vendor.java", 1)),
+                CallStack::single(Frame::new("Vendor.waitB", "vendor.java", 2)),
+            ),
+            SignaturePair::new(
+                CallStack::single(Frame::new("Vendor.lockB", "vendor.java", 3)),
+                CallStack::single(Frame::new("Vendor.waitA", "vendor.java", 4)),
+            ),
+        ],
+    )]
     .into_iter()
     .collect();
 

@@ -14,7 +14,9 @@ const INNER_A: AcquisitionSite = AcquisitionSite::new("it.innerA", "it_rt.rs", 2
 const OUTER_B: AcquisitionSite = AcquisitionSite::new("it.outerB", "it_rt.rs", 3);
 const INNER_B: AcquisitionSite = AcquisitionSite::new("it.innerB", "it_rt.rs", 4);
 
-fn adversarial_run(runtime: &Arc<DimmunixRuntime>) -> (Result<(), LockError>, Result<(), LockError>) {
+fn adversarial_run(
+    runtime: &Arc<DimmunixRuntime>,
+) -> (Result<(), LockError>, Result<(), LockError>) {
     let a = Arc::new(ImmuneMutex::new(runtime, 0u32));
     let b = Arc::new(ImmuneMutex::new(runtime, 0u32));
     let (a1, b1) = (a.clone(), b.clone());
@@ -66,7 +68,10 @@ fn immunity_persists_across_runtime_restarts_via_history_file() {
         let rt = DimmunixRuntime::with_options(options());
         assert_eq!(rt.history().len(), 1, "antibody loaded from disk");
         let (r1, r2) = adversarial_run(&rt);
-        assert!(r1.is_ok() && r2.is_ok(), "run 2 must complete: {r1:?} {r2:?}");
+        assert!(
+            r1.is_ok() && r2.is_ok(),
+            "run 2 must complete: {r1:?} {r2:?}"
+        );
         assert_eq!(rt.stats().deadlocks_detected, 0);
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -100,8 +105,8 @@ fn many_threads_with_random_transfers_never_hang() {
                     continue;
                 }
                 let res = (|| -> Result<(), LockError> {
-                    let mut src = accounts[from]
-                        .lock(AcquisitionSite::new("stress.from", "it_rt.rs", 10))?;
+                    let mut src =
+                        accounts[from].lock(AcquisitionSite::new("stress.from", "it_rt.rs", 10))?;
                     let mut dst =
                         accounts[to].lock(AcquisitionSite::new("stress.to", "it_rt.rs", 11))?;
                     *src -= 1;
@@ -117,7 +122,11 @@ fn many_threads_with_random_transfers_never_hang() {
     }
     let refused: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     let total: i64 = (0..6)
-        .map(|i| *accounts[i].lock(AcquisitionSite::new("stress.sum", "it_rt.rs", 12)).unwrap())
+        .map(|i| {
+            *accounts[i]
+                .lock(AcquisitionSite::new("stress.sum", "it_rt.rs", 12))
+                .unwrap()
+        })
         .sum();
     assert_eq!(total, 600, "money conserved");
     let stats = rt.stats();

@@ -2,11 +2,11 @@
 //! harness: the microbenchmark structure, the depth ablation, and the
 //! starvation experiment (experiments E2, A1, A3).
 
+use dimmunix::core::Config;
+use dimmunix::vm::{ProcessBuilder, RunOutcome};
 use dimmunix::workloads::{
     run_microbenchmark, synthetic_history, wrapper_workload, MicrobenchConfig,
 };
-use dimmunix::core::Config;
-use dimmunix::vm::{ProcessBuilder, RunOutcome};
 
 #[test]
 fn microbenchmark_matches_paper_structure() {
