@@ -124,6 +124,7 @@ pub fn overhead_sweep(quick: bool) -> Vec<OverheadRow> {
                 work_outside: 6_000,
                 synthetic_signatures: history,
                 dimmunix_enabled: true,
+                shards: 1,
             };
             rows.push(run_overhead_pair(&cfg));
         }

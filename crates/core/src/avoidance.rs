@@ -242,17 +242,33 @@ fn instantiable_at(
         })
         .collect();
 
-    // Try pre-assigning the requester to each occurrence of its position,
-    // then search for an injective assignment of distinct threads to the
-    // remaining outer positions. Signatures involve two or three threads in
-    // practice, so the backtracking is cheap.
+    instantiable_with_candidates(outer_positions, &candidates, thread, position)
+}
+
+/// Instantiation search on pre-computed per-slot candidate threads.
+///
+/// `candidates[k]` must be the sorted, de-duplicated set of threads covering
+/// `outer_positions[k]`. The sharded engine computes these sets as the union
+/// of every shard's local queue at that slot (queue entries are distributed
+/// across shards, one sub-queue per shard that granted a lock there), which
+/// makes this search — pre-assigning the requester to each occurrence of its
+/// position, then looking for an injective assignment of distinct threads to
+/// the remaining slots — identical to the monolithic engine's.
+pub(crate) fn instantiable_with_candidates(
+    outer_positions: &[PositionId],
+    candidates: &[Vec<ThreadId>],
+    thread: ThreadId,
+    position: PositionId,
+) -> Option<Vec<ThreadId>> {
+    // Signatures involve two or three threads in practice, so the
+    // backtracking is cheap.
     for (slot, pid) in outer_positions.iter().enumerate() {
         if *pid != position {
             continue;
         }
         let mut assignment: Vec<Option<ThreadId>> = vec![None; candidates.len()];
         assignment[slot] = Some(thread);
-        if assign(&candidates, 0, &mut assignment) {
+        if assign(candidates, 0, &mut assignment) {
             let mut blockers: Vec<ThreadId> = assignment
                 .into_iter()
                 .flatten()

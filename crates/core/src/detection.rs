@@ -57,7 +57,7 @@ pub fn classify_cycle(rag: &Rag, positions: &PositionTable, steps: &[CycleStep])
                 // position of the last lock it acquired at a history
                 // position, falling back to its latest held lock.
                 last_history_hold(rag, positions, waited_on)
-                    .or_else(|| rag.held_locks(waited_on).last().map(|(_, p)| *p))
+                    .or_else(|| rag.held_locks(waited_on).last().map(|e| e.pos))
                     .or(inner_pos)
             }
         };
@@ -96,7 +96,7 @@ pub(crate) fn last_history_hold(
     rag.held_locks(t)
         .iter()
         .rev()
-        .map(|(_, p)| *p)
+        .map(|e| e.pos)
         .find(|p| positions.get(*p).map(|d| d.in_history()).unwrap_or(false))
 }
 

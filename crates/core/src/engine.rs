@@ -208,11 +208,11 @@ impl Dimmunix {
         self.rag.clear_yield(t);
         let held = self.rag.unregister_thread(t);
         let mut wake = Vec::new();
-        for (_, pos) in held {
-            if let Some(p) = self.positions.get_mut(pos) {
+        for entry in held {
+            if let Some(p) = self.positions.get_mut(entry.pos) {
                 p.queue_mut().remove_one(t);
             }
-            wake.extend(self.wakeups_for_position(pos));
+            self.extend_wakeups_for_position(entry.pos, &mut wake);
         }
         wake.sort_unstable_by_key(|s| s.index());
         wake.dedup();
@@ -431,6 +431,15 @@ impl Dimmunix {
 
     /// Called right after the monitor acquisition succeeded.
     pub fn acquired(&mut self, t: ThreadId, l: LockId) {
+        let seq = self.rag.next_acquire_seq();
+        self.acquired_with_seq(t, l, seq);
+    }
+
+    /// [`acquired`](Dimmunix::acquired) with an explicit acquisition sequence
+    /// number, used by the sharded engine to stamp holds distributed over
+    /// several shards from one global counter (see
+    /// [`Rag::acquire_with_seq`]).
+    pub fn acquired_with_seq(&mut self, t: ThreadId, l: LockId, seq: u64) {
         self.clock = self.clock.next();
         self.stats.acquisitions += 1;
         if self.config.is_disabled() {
@@ -455,7 +464,7 @@ impl Dimmunix {
                 p
             }
         };
-        self.rag.acquire(t, l, pos);
+        self.rag.acquire_with_seq(t, l, pos, seq);
         self.events
             .push(self.clock, EventKind::Acquired { thread: t, lock: l });
     }
@@ -464,18 +473,34 @@ impl Dimmunix {
     /// release performed by `Object.wait()`). Returns the signatures whose
     /// parked threads must be woken because a lock acquired at one of their
     /// outer positions was just released (§4's release path).
+    ///
+    /// Allocates the returned vector; hot callers should prefer
+    /// [`released_into`](Dimmunix::released_into) with a reused scratch
+    /// buffer.
     pub fn released(&mut self, t: ThreadId, l: LockId) -> Vec<SignatureId> {
+        let mut wake = Vec::new();
+        self.released_into(t, l, &mut wake);
+        wake
+    }
+
+    /// Allocation-free variant of [`released`](Dimmunix::released): clears
+    /// `wake` and fills it with the signatures whose parked threads must be
+    /// woken. Substrates keep one scratch buffer per engine (or per shard)
+    /// so steady-state releases of in-history positions perform no
+    /// allocation (the §4 release path runs on every monitor exit).
+    pub fn released_into(&mut self, t: ThreadId, l: LockId, wake: &mut Vec<SignatureId>) {
+        wake.clear();
         self.clock = self.clock.next();
         if self.config.is_disabled() {
             self.stats.releases += 1;
-            return Vec::new();
+            return;
         }
         let Some(pos) = self.rag.release(t, l) else {
             // Nested monitor exit, or a release the engine never saw the
             // acquisition of; nothing to wake.
             self.events
                 .push(self.clock, EventKind::Released { thread: t, lock: l });
-            return Vec::new();
+            return;
         };
         self.stats.releases += 1;
         if let Some(p) = self.positions.get_mut(pos) {
@@ -483,13 +508,12 @@ impl Dimmunix {
         }
         self.events
             .push(self.clock, EventKind::Released { thread: t, lock: l });
-        let wake = self.wakeups_for_position(pos);
-        for sig in &wake {
+        self.extend_wakeups_for_position(pos, wake);
+        for sig in wake.iter() {
             self.stats.wakeups += 1;
             self.events
                 .push(self.clock, EventKind::Wakeup { signature: *sig });
         }
-        wake
     }
 
     /// Abandons a granted-but-never-completed acquisition (e.g. the substrate
@@ -532,22 +556,66 @@ impl Dimmunix {
     }
 
     // ------------------------------------------------------------------
+    // Crate-internal surface for the sharded orchestrator (sharded.rs)
+    // ------------------------------------------------------------------
+
+    /// Mutable access to the RAG (cross-shard request orchestration).
+    pub(crate) fn rag_mut(&mut self) -> &mut Rag {
+        &mut self.rag
+    }
+
+    /// Mutable access to the position table (cross-shard orchestration).
+    pub(crate) fn positions_mut(&mut self) -> &mut PositionTable {
+        &mut self.positions
+    }
+
+    /// Mutable access to the counters (cross-shard orchestration).
+    pub(crate) fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Advances the logical clock by one tick (one tick per hook call).
+    pub(crate) fn tick(&mut self) {
+        self.clock = self.clock.next();
+    }
+
+    /// Records an event at the current logical time.
+    pub(crate) fn push_event(&mut self, kind: EventKind) {
+        self.events.push(self.clock, kind);
+    }
+
+    /// Schedules a wake-up to be drained by [`take_pending_wakeups`].
+    ///
+    /// [`take_pending_wakeups`]: Dimmunix::take_pending_wakeups
+    pub(crate) fn push_pending_wakeup(&mut self, sig: SignatureId) {
+        self.pending_wakeups.push(sig);
+    }
+
+    /// Best-effort history persistence (crate-internal; the public entry
+    /// point is [`save_history`](Dimmunix::save_history)).
+    pub(crate) fn persist_history_best_effort(&self) {
+        if self.config.history_path.is_some() {
+            let _ = self.save_history();
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
-    fn wakeups_for_position(&self, pos: PositionId) -> Vec<SignatureId> {
+    fn extend_wakeups_for_position(&self, pos: PositionId, wake: &mut Vec<SignatureId>) {
         let Some(p) = self.positions.get(pos) else {
-            return Vec::new();
+            return;
         };
         if !p.in_history() {
-            return Vec::new();
+            return;
         }
         // Same inverted index as the request path: the signatures whose outer
         // positions include the released acquisition's position.
-        self.sig_index.signatures_at(pos).to_vec()
+        wake.extend_from_slice(self.sig_index.signatures_at(pos));
     }
 
-    fn insert_signature(&mut self, sig: Signature) -> (SignatureId, bool) {
+    pub(crate) fn insert_signature(&mut self, sig: Signature) -> (SignatureId, bool) {
         if self.history.len() >= self.config.max_signatures {
             if let Some(existing) = self.history.find(&sig) {
                 return (existing, false);
@@ -577,12 +645,6 @@ impl Dimmunix {
             self.sig_index.insert(id, outer_pids);
         }
         (id, new)
-    }
-
-    fn persist_history_best_effort(&self) {
-        if self.config.history_path.is_some() {
-            let _ = self.save_history();
-        }
     }
 
     /// True if parking `t` (with the given blockers) would close a wait-for
@@ -623,7 +685,7 @@ impl Dimmunix {
         pairs.push(SignaturePair::new(stack_of(Some(pos)), stack_of(Some(pos))));
         for b in blockers {
             let outer = last_history_hold(&self.rag, &self.positions, *b)
-                .or_else(|| self.rag.held_locks(*b).last().map(|(_, p)| *p))
+                .or_else(|| self.rag.held_locks(*b).last().map(|e| e.pos))
                 .or_else(|| self.rag.requesting(*b).map(|(_, p)| p));
             let inner = self.rag.requesting(*b).map(|(_, p)| p).or(outer);
             pairs.push(SignaturePair::new(stack_of(outer), stack_of(inner)));

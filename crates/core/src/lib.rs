@@ -50,7 +50,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod avoidance;
@@ -65,6 +65,7 @@ mod ids;
 mod json;
 mod position;
 mod rag;
+mod sharded;
 mod signature;
 mod stats;
 
@@ -78,7 +79,12 @@ pub use events::{Event, EventKind, EventLog};
 pub use history::History;
 pub use ids::{LockId, LogicalTime, ProcessId, SignatureId, SiteId, ThreadId};
 pub use position::{Position, PositionId, PositionTable, ThreadQueue};
-pub use rag::{CycleStep, Rag, WaitEdge, YieldRecord};
+pub use rag::{find_cycle_with, CycleStep, HeldEntry, Rag, WaitEdge, YieldRecord};
+pub use sharded::{
+    fast_path_eligible, holds_mask_with, request_cross_shard, stale_shard_after,
+    stale_shard_consumed, try_request_local, LocalDecision, ShardRouter, ShardedDimmunix,
+    MAX_SHARDS,
+};
 pub use signature::{Signature, SignatureKind, SignaturePair};
 pub use stats::Stats;
 

@@ -36,13 +36,32 @@ pub struct YieldRecord {
     pub blockers: Vec<ThreadId>,
 }
 
+/// One lock currently held by a thread: the lock, its acquisition position
+/// (`acqPos`), and the acquisition sequence number.
+///
+/// The sequence number is what keeps "latest hold" queries meaningful when
+/// the engine state is sharded by lock id: each shard's RAG only sees the
+/// holds of its own locks, so a merged view re-establishes the global
+/// acquisition order by sorting on `seq` (the sharded engine feeds every
+/// shard from one monotonic counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeldEntry {
+    /// The held lock.
+    pub lock: LockId,
+    /// Call-stack position of the acquisition.
+    pub pos: PositionId,
+    /// Monotonic acquisition sequence number (engine-global in the sharded
+    /// configuration, per-RAG otherwise).
+    pub seq: u64,
+}
+
 /// Per-thread RAG node.
 #[derive(Debug, Clone, Default)]
 pub struct ThreadNode {
     /// Outstanding lock request, if any, with the requesting position.
     requesting: Option<(LockId, PositionId)>,
     /// Locks currently held, in acquisition order, with their `acqPos`.
-    held: Vec<(LockId, PositionId)>,
+    held: Vec<HeldEntry>,
     /// Present while the thread is parked by avoidance.
     yielding: Option<YieldRecord>,
     /// Position approved by the last `request` grant, consumed by `acquire`.
@@ -75,6 +94,14 @@ pub struct CycleStep {
 pub struct Rag {
     threads: HashMap<ThreadId, ThreadNode>,
     locks: HashMap<LockId, LockNode>,
+    /// Fallback acquisition counter used when the caller does not supply a
+    /// sequence number (single-engine configuration).
+    next_seq: u64,
+    /// Number of threads currently parked by avoidance (with a yield
+    /// record). The sharded engine's fast path is only sound while this is
+    /// zero on every shard: a yield record's blocker list is a snapshot, so
+    /// a wait-for cycle can run through a thread that holds no lock at all.
+    yield_records: usize,
 }
 
 impl Rag {
@@ -100,10 +127,13 @@ impl Rag {
 
     /// Removes a thread node, returning the locks it still held (with their
     /// acquisition positions) so the caller can clean up position queues.
-    pub fn unregister_thread(&mut self, t: ThreadId) -> Vec<(LockId, PositionId)> {
+    pub fn unregister_thread(&mut self, t: ThreadId) -> Vec<HeldEntry> {
         let node = self.threads.remove(&t).unwrap_or_default();
-        for (lock, _) in &node.held {
-            if let Some(l) = self.locks.get_mut(lock) {
+        if node.yielding.is_some() {
+            self.yield_records -= 1;
+        }
+        for entry in &node.held {
+            if let Some(l) = self.locks.get_mut(&entry.lock) {
                 if l.owner == Some(t) {
                     l.owner = None;
                     l.acq_pos = None;
@@ -150,8 +180,9 @@ impl Rag {
         self.locks.get(&l).map(|n| n.recursion).unwrap_or(0)
     }
 
-    /// Locks held by `t` with their acquisition positions.
-    pub fn held_locks(&self, t: ThreadId) -> &[(LockId, PositionId)] {
+    /// Locks held by `t` with their acquisition positions, in acquisition
+    /// order (ascending [`HeldEntry::seq`]).
+    pub fn held_locks(&self, t: ThreadId) -> &[HeldEntry] {
         self.threads
             .get(&t)
             .map(|n| n.held.as_slice())
@@ -200,13 +231,25 @@ impl Rag {
     pub fn set_yield(&mut self, t: ThreadId, record: YieldRecord) {
         self.register_thread(t);
         if let Some(n) = self.threads.get_mut(&t) {
+            if n.yielding.is_none() {
+                self.yield_records += 1;
+            }
             n.yielding = Some(record);
         }
     }
 
     /// Clears the parked state of `t`; returns the record if one was set.
     pub fn clear_yield(&mut self, t: ThreadId) -> Option<YieldRecord> {
-        self.threads.get_mut(&t).and_then(|n| n.yielding.take())
+        let taken = self.threads.get_mut(&t).and_then(|n| n.yielding.take());
+        if taken.is_some() {
+            self.yield_records -= 1;
+        }
+        taken
+    }
+
+    /// Number of threads currently parked by avoidance in this graph.
+    pub fn yield_count(&self) -> usize {
+        self.yield_records
     }
 
     /// Stores the position approved by a grant, consumed by [`acquire`].
@@ -233,19 +276,36 @@ impl Rag {
 
     /// Records that `t` acquired `l` at position `pos` (first, non-recursive
     /// acquisition): sets the hold edge and `acqPos`, clears the request.
+    /// The acquisition is stamped from this RAG's own monotonic counter.
     pub fn acquire(&mut self, t: ThreadId, l: LockId, pos: PositionId) {
+        let seq = self.next_seq;
+        self.acquire_with_seq(t, l, pos, seq);
+    }
+
+    /// [`acquire`](Rag::acquire) with an explicit acquisition sequence
+    /// number. The sharded engine calls this with a globally monotonic
+    /// counter so holds distributed over several shard RAGs can be merged
+    /// back into acquisition order.
+    pub fn acquire_with_seq(&mut self, t: ThreadId, l: LockId, pos: PositionId, seq: u64) {
+        self.next_seq = self.next_seq.max(seq).saturating_add(1);
         self.register_thread(t);
         self.register_lock(l);
         if let Some(n) = self.threads.get_mut(&t) {
             n.requesting = None;
             n.pending_grant = None;
-            n.held.push((l, pos));
+            n.held.push(HeldEntry { lock: l, pos, seq });
         }
         if let Some(ln) = self.locks.get_mut(&l) {
             ln.owner = Some(t);
             ln.acq_pos = Some(pos);
             ln.recursion = 1;
         }
+    }
+
+    /// The sequence number the next un-stamped [`acquire`](Rag::acquire)
+    /// would use.
+    pub fn next_acquire_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Records a recursive (reentrant) acquisition of a monitor `t` already
@@ -278,7 +338,7 @@ impl Rag {
         ln.owner = None;
         ln.recursion = 0;
         if let Some(n) = self.threads.get_mut(&t) {
-            if let Some(idx) = n.held.iter().rposition(|(held, _)| *held == l) {
+            if let Some(idx) = n.held.iter().rposition(|e| e.lock == l) {
                 n.held.remove(idx);
             }
         }
@@ -317,62 +377,7 @@ impl Rag {
     /// thread of entry `(i + 1) % len` through the given edge. Returns `None`
     /// if `start` is not part of any cycle.
     pub fn find_cycle_from(&self, start: ThreadId, include_yields: bool) -> Option<Vec<CycleStep>> {
-        // Depth-first search over the wait-for relation, recording the path.
-        // Out-degree per thread is 1 (the requested lock's owner) plus the
-        // blockers of a yield record, so the graph is tiny in practice.
-        let mut path: Vec<CycleStep> = Vec::new();
-        let mut on_path: Vec<ThreadId> = Vec::new();
-        let mut visited: Vec<ThreadId> = Vec::new();
-        self.dfs_cycle(
-            start,
-            start,
-            include_yields,
-            &mut path,
-            &mut on_path,
-            &mut visited,
-        )
-        .then_some(path)
-    }
-
-    fn dfs_cycle(
-        &self,
-        current: ThreadId,
-        target: ThreadId,
-        include_yields: bool,
-        path: &mut Vec<CycleStep>,
-        on_path: &mut Vec<ThreadId>,
-        visited: &mut Vec<ThreadId>,
-    ) -> bool {
-        on_path.push(current);
-        for (next, edge) in self.successors(current, include_yields) {
-            if next == target && (!path.is_empty() || current != target) {
-                path.push(CycleStep {
-                    thread: current,
-                    edge,
-                });
-                on_path.pop();
-                return true;
-            }
-            if next == target && path.is_empty() && current == target {
-                // self-loop; ignore (reentrant acquisitions never produce one)
-                continue;
-            }
-            if on_path.contains(&next) || visited.contains(&next) {
-                continue;
-            }
-            path.push(CycleStep {
-                thread: current,
-                edge,
-            });
-            if self.dfs_cycle(next, target, include_yields, path, on_path, visited) {
-                on_path.pop();
-                return true;
-            }
-            path.pop();
-        }
-        on_path.pop();
-        visited.push(current);
-        false
+        find_cycle_with(start, |t| self.successors(t, include_yields))
     }
 
     /// Estimated resident memory of the graph in bytes.
@@ -380,7 +385,7 @@ impl Rag {
         let mut total = std::mem::size_of::<Self>();
         for n in self.threads.values() {
             total += std::mem::size_of::<ThreadId>() + std::mem::size_of::<ThreadNode>();
-            total += n.held.capacity() * std::mem::size_of::<(LockId, PositionId)>();
+            total += n.held.capacity() * std::mem::size_of::<HeldEntry>();
             if let Some(y) = &n.yielding {
                 total += y.blockers.capacity() * std::mem::size_of::<ThreadId>();
             }
@@ -389,6 +394,78 @@ impl Rag {
             self.locks.len() * (std::mem::size_of::<LockId>() + std::mem::size_of::<LockNode>());
         total
     }
+}
+
+/// Searches for a wait-for cycle containing `start` over an arbitrary
+/// successor function.
+///
+/// This is [`Rag::find_cycle_from`] with the graph abstracted away: the
+/// sharded engine calls it with a closure that concatenates the successor
+/// edges of every shard's RAG, which yields exactly the wait-for relation a
+/// single monolithic RAG would contain (a thread's out-edges all live in the
+/// shard that handled its outstanding request).
+pub fn find_cycle_with<F>(start: ThreadId, mut successors: F) -> Option<Vec<CycleStep>>
+where
+    F: FnMut(ThreadId) -> Vec<(ThreadId, WaitEdge)>,
+{
+    // Depth-first search over the wait-for relation, recording the path.
+    // Out-degree per thread is 1 (the requested lock's owner) plus the
+    // blockers of a yield record, so the graph is tiny in practice.
+    let mut path: Vec<CycleStep> = Vec::new();
+    let mut on_path: Vec<ThreadId> = Vec::new();
+    let mut visited: Vec<ThreadId> = Vec::new();
+    dfs_cycle(
+        start,
+        start,
+        &mut successors,
+        &mut path,
+        &mut on_path,
+        &mut visited,
+    )
+    .then_some(path)
+}
+
+fn dfs_cycle<F>(
+    current: ThreadId,
+    target: ThreadId,
+    successors: &mut F,
+    path: &mut Vec<CycleStep>,
+    on_path: &mut Vec<ThreadId>,
+    visited: &mut Vec<ThreadId>,
+) -> bool
+where
+    F: FnMut(ThreadId) -> Vec<(ThreadId, WaitEdge)>,
+{
+    on_path.push(current);
+    for (next, edge) in successors(current) {
+        if next == target && (!path.is_empty() || current != target) {
+            path.push(CycleStep {
+                thread: current,
+                edge,
+            });
+            on_path.pop();
+            return true;
+        }
+        if next == target && path.is_empty() && current == target {
+            // self-loop; ignore (reentrant acquisitions never produce one)
+            continue;
+        }
+        if on_path.contains(&next) || visited.contains(&next) {
+            continue;
+        }
+        path.push(CycleStep {
+            thread: current,
+            edge,
+        });
+        if dfs_cycle(next, target, successors, path, on_path, visited) {
+            on_path.pop();
+            return true;
+        }
+        path.pop();
+    }
+    on_path.pop();
+    visited.push(current);
+    false
 }
 
 #[cfg(test)]

@@ -1,0 +1,908 @@
+//! The sharded Dimmunix engine: lock-id partitioning with a cross-shard
+//! detection path.
+//!
+//! The paper serializes the three Dimmunix hooks behind one global VM lock
+//! (§4), which is fine on a 2007 phone but makes every acquisition in a
+//! heavily threaded process serialize through a single mutex. This module
+//! splits the engine state into `N` shards keyed by lock id, so uncontended
+//! acquisitions of locks on different shards never touch the same state:
+//!
+//! * **A shard owns the locks that hash to it**: their RAG lock nodes, the
+//!   request/yield/pending-grant edges of threads whose outstanding request
+//!   targets one of its locks, the position-queue entries created by grants
+//!   of its locks, and its own [`Stats`] (rolled up on read).
+//! * **Every shard carries a full replica of the history** (and therefore of
+//!   the [`SignatureIndex`](crate::SignatureIndex) and the `in_history`
+//!   position flags). Histories are small — one signature per distinct
+//!   deadlock bug — and are only appended to under the all-shard lock, in
+//!   shard order, so the replicas stay in lockstep and assign identical
+//!   [`SignatureId`]s.
+//!
+//! ## Fast path vs cross-shard path
+//!
+//! A request can be decided entirely inside its home shard
+//! ([`try_request_local`]) when neither detection nor avoidance can possibly
+//! need another shard's state:
+//!
+//! * the requester holds no lock on any shard (so no wait-for cycle can run
+//!   through it — cycles need an edge *into* the requester, i.e. a lock it
+//!   holds), and
+//! * no history signature mentions the requesting position (so the
+//!   avoidance instantiation check is vacuous — the common case, since
+//!   deadlock histories touch few sites).
+//!
+//! Otherwise the request takes the cross-shard path
+//! ([`request_cross_shard`]): the caller acquires **all shards in ascending
+//! index order** (a total order, so two concurrent cross-shard requests
+//! cannot deadlock the engine itself) and the decision is computed against
+//! the merged view:
+//!
+//! * the merged wait-for relation is the concatenation of the per-shard
+//!   relations (a thread's out-edges all live in the shard of its
+//!   outstanding request, so concatenation introduces neither duplicates nor
+//!   order changes);
+//! * the merged occupancy of a signature's outer position is the union of
+//!   every shard's local queue at that slot;
+//! * hold-recency queries (`last_history_hold`) merge per-shard holds by the
+//!   global acquisition sequence number stamped through
+//!   [`Dimmunix::acquired_with_seq`].
+//!
+//! Detection results flow back through the owning shards: the signature is
+//! appended to every replica, the yield/queue bookkeeping is written to the
+//! shard that owns the affected lock, and counters/events land on the home
+//! shard.
+//!
+//! ## Determinism and the single-shard oracle
+//!
+//! [`ShardedDimmunix`] is, like [`Dimmunix`], a deterministic state machine
+//! with no interior locking; `dimmunix-rt` supplies the actual per-shard
+//! mutexes. `ShardedDimmunix` with `shards = 1` routes *everything* through
+//! one shard and is observably equivalent to a plain [`Dimmunix`], which is
+//! what the property tests exploit: the same random workload is driven
+//! through a monolithic engine and through sharded engines with several
+//! shard counts, asserting identical outcomes, counters, and histories
+//! (`tests/proptests.rs`).
+
+use crate::avoidance::{instantiable_with_candidates, Instantiation};
+use crate::callstack::CallStack;
+use crate::config::Config;
+use crate::engine::{Dimmunix, RequestOutcome};
+use crate::events::EventKind;
+use crate::history::History;
+use crate::position::PositionId;
+use crate::rag::{find_cycle_with, CycleStep, WaitEdge, YieldRecord};
+use crate::signature::{Signature, SignatureKind, SignaturePair};
+use crate::stats::Stats;
+use crate::{LockId, SignatureId, ThreadId};
+use std::collections::HashMap;
+
+/// Upper bound on the number of shards (holds-per-shard bookkeeping is a
+/// 64-bit mask).
+pub const MAX_SHARDS: usize = 64;
+
+/// Maps lock ids to shard indices.
+///
+/// The mapping is a Fibonacci multiplicative hash of the raw lock id, so
+/// substrates that allocate sequential ids (like `dimmunix-rt`) spread their
+/// locks evenly even when allocation patterns are strided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Creates a router over `shards` shards, clamped to `1..=MAX_SHARDS`.
+    pub fn new(shards: usize) -> Self {
+        ShardRouter {
+            shards: shards.clamp(1, MAX_SHARDS),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `lock`.
+    pub fn shard_of(&self, lock: LockId) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        let mixed = lock.index().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // High bits of the product are the well-mixed ones.
+        ((mixed >> 32) % self.shards as u64) as usize
+    }
+}
+
+/// The fast-path eligibility predicate, shared by [`ShardedDimmunix`] and
+/// the `dimmunix-rt` runtime so the two routing layers cannot drift.
+///
+/// A request may be decided inside its home shard alone iff the requester
+/// holds no lock on any shard (`holds_mask == 0`), any leftover request
+/// edge from an abandoned acquisition lives in the home shard itself, and
+/// no thread is parked by avoidance anywhere (`any_parked == false` — the
+/// caller must evaluate this under a lock that a parking operation would
+/// also need, e.g. the home shard's mutex, so a concurrent park cannot be
+/// missed). [`try_request_local`] documents why these conditions make the
+/// shard-local decision identical to the monolithic one.
+pub fn fast_path_eligible(
+    holds_mask: u64,
+    stale_shard: Option<usize>,
+    any_parked: bool,
+    home: usize,
+) -> bool {
+    holds_mask == 0 && stale_shard.map_or(true, |s| s == home) && !any_parked
+}
+
+/// The stale-request-edge transition after a request, shared by
+/// [`ShardedDimmunix`] and the `dimmunix-rt` runtime.
+///
+/// `Yield` and `DeadlockDetected` leave the request edge (and, for yields,
+/// the park record) behind in the home shard until the thread retries,
+/// completes, or cancels; a grant's edge is consumed by the following
+/// `acquired`; the reentrant fast path and a disabled engine touch no
+/// edges, so the previous value stands.
+pub fn stale_shard_after(
+    outcome: &RequestOutcome,
+    prev: Option<usize>,
+    home: usize,
+    disabled: bool,
+) -> Option<usize> {
+    if disabled {
+        return prev;
+    }
+    match outcome {
+        RequestOutcome::Yield { .. } | RequestOutcome::DeadlockDetected { .. } => Some(home),
+        RequestOutcome::Granted => None,
+        RequestOutcome::GrantedReentrant => prev,
+    }
+}
+
+/// The stale-edge transition when an acquisition or cancellation touches
+/// `home`: both consume the request edge the home shard was carrying, so a
+/// stale marker pointing at `home` is cleared; a marker pointing elsewhere
+/// is untouched (the consumed edge was a different one). Shared by
+/// [`ShardedDimmunix`] and the `dimmunix-rt` runtime.
+pub fn stale_shard_consumed(prev: Option<usize>, home: usize) -> Option<usize> {
+    if prev == Some(home) {
+        None
+    } else {
+        prev
+    }
+}
+
+/// The holds-mask transition after an engine call on `shard` changed (or
+/// may have changed) the thread's holds there: bit `shard` reflects whether
+/// the shard's RAG still records any hold for the thread. Re-derived from
+/// the RAG rather than counted, so the mask can never drift. Shared by
+/// [`ShardedDimmunix`] and the `dimmunix-rt` runtime.
+pub fn holds_mask_with(mask: u64, shard: usize, holds_here: bool) -> u64 {
+    if holds_here {
+        mask | (1 << shard)
+    } else {
+        mask & !(1 << shard)
+    }
+}
+
+/// Outcome of the shard-local fast path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalDecision {
+    /// The request was fully decided inside the home shard.
+    Decided(RequestOutcome),
+    /// The request may need another shard's state (the requesting position
+    /// appears in the history); the caller must take the cross-shard path.
+    /// No engine state was modified beyond interning the position.
+    NeedsCrossShard,
+}
+
+/// Attempts to decide a request entirely inside its home shard.
+///
+/// Precondition (enforced by the callers, [`ShardedDimmunix`] and the
+/// `dimmunix-rt` runtime): the requesting thread holds no lock on **any**
+/// shard, has no outstanding request or yield record on a *different*
+/// shard, and **no thread is currently parked by avoidance on any shard**
+/// ([`Rag::yield_count`](crate::Rag::yield_count) is zero everywhere — a
+/// yield record's blocker list is a snapshot, so a starvation cycle can run
+/// through a thread that holds no lock at all). Under that precondition no
+/// wait-for cycle can pass through the requester, so shard-local detection
+/// and an empty per-position signature list make the shard-local decision
+/// identical to the monolithic one.
+pub fn try_request_local(
+    shard: &mut Dimmunix,
+    t: ThreadId,
+    l: LockId,
+    stack: &CallStack,
+) -> LocalDecision {
+    if shard.config().is_disabled() {
+        return LocalDecision::Decided(shard.request(t, l, stack));
+    }
+    let pos = shard.intern_position(stack);
+    if !shard.signature_index().signatures_at(pos).is_empty() {
+        return LocalDecision::NeedsCrossShard;
+    }
+    LocalDecision::Decided(shard.request_at(t, l, pos))
+}
+
+/// Decides a request against the full multi-shard view.
+///
+/// `shards` must contain **every** shard (the caller holds all of them, in
+/// ascending index order when the shards live behind locks), `home` is the
+/// index owning `l`, and `prev_request_shard` is the shard still carrying
+/// the thread's previous request edge or yield record, if any (the request
+/// edge moves to `home`, mirroring the monolithic engine's overwrite).
+///
+/// The decision logic mirrors [`Dimmunix::request_at`] step for step; only
+/// the state accessors are merged across shards as described in the module
+/// docs.
+pub fn request_cross_shard(
+    shards: &mut [&mut Dimmunix],
+    router: &ShardRouter,
+    t: ThreadId,
+    l: LockId,
+    stack: &CallStack,
+    prev_request_shard: Option<usize>,
+) -> RequestOutcome {
+    let home = router.shard_of(l);
+    let pos = shards[home].intern_position(stack);
+
+    shards[home].tick();
+    shards[home].stats_mut().requests += 1;
+    shards[home].push_event(EventKind::Request {
+        thread: t,
+        lock: l,
+        position: pos,
+    });
+
+    if shards[home].config().is_disabled() {
+        shards[home].stats_mut().grants += 1;
+        shards[home].rag_mut().register_thread(t);
+        shards[home].rag_mut().register_lock(l);
+        shards[home].rag_mut().set_pending_grant(t, l, pos);
+        return RequestOutcome::Granted;
+    }
+
+    // If the thread is retrying after a yield, it is no longer parked; the
+    // record lives in the shard that answered the yielded request.
+    shards[home].rag_mut().clear_yield(t);
+    if let Some(prev) = prev_request_shard {
+        if prev != home {
+            shards[prev].rag_mut().clear_yield(t);
+        }
+    }
+
+    // Reentrant fast path: a thread never deadlocks against itself on a
+    // monitor it already owns.
+    if shards[home].rag().owner(l) == Some(t) {
+        shards[home].stats_mut().reentrant_grants += 1;
+        shards[home].push_event(EventKind::ReentrantGrant { thread: t, lock: l });
+        return RequestOutcome::GrantedReentrant;
+    }
+
+    // The request edge moves to the home shard (the monolithic engine's
+    // `set_request` overwrite, split across shards).
+    if let Some(prev) = prev_request_shard {
+        if prev != home {
+            shards[prev].rag_mut().clear_request(t);
+        }
+    }
+    shards[home].rag_mut().set_request(t, l, pos);
+
+    let detection = shards[home].config().detection;
+    let avoidance = shards[home].config().avoidance;
+    let starvation_handling = shards[home].config().starvation_handling;
+
+    // --- Detection (merged wait-for relation) --------------------------
+    if detection {
+        let include_yields = starvation_handling;
+        // One read-only snapshot serves cycle search and classification.
+        let detected = {
+            let ro: Vec<&Dimmunix> = shards.iter().map(|s| &**s).collect();
+            find_cycle_with(t, |th| merged_successors(&ro, th, include_yields))
+                .map(|steps| classify_cycle_merged(&ro, router, &steps))
+        };
+        if let Some(detected) = detected {
+            let is_starvation = detected.involves_yield;
+            let (sig_id, new) = broadcast_signature(shards, detected.signature.clone());
+            if is_starvation {
+                shards[home].stats_mut().starvations_detected += 1;
+                if new {
+                    shards[home].stats_mut().new_starvation_signatures += 1;
+                }
+                shards[home].push_event(EventKind::StarvationDetected {
+                    thread: t,
+                    signature: sig_id,
+                    new_signature: new,
+                });
+                // Resume every parked participant (§2.2): clear its yield
+                // (wherever it lives) and schedule a wake-up.
+                for th in &detected.threads {
+                    if let Some(y) = clear_yield_any(shards, *th) {
+                        shards[home].push_pending_wakeup(y.signature);
+                        shards[home].stats_mut().wakeups += 1;
+                        shards[home].push_event(EventKind::Wakeup {
+                            signature: y.signature,
+                        });
+                    }
+                }
+                shards[home].persist_history_best_effort();
+                // Fall through: the requester itself is then treated by the
+                // avoidance logic below.
+            } else {
+                shards[home].stats_mut().deadlocks_detected += 1;
+                if new {
+                    shards[home].stats_mut().new_deadlock_signatures += 1;
+                }
+                shards[home].push_event(EventKind::DeadlockDetected {
+                    thread: t,
+                    signature: sig_id,
+                    new_signature: new,
+                });
+                shards[home].persist_history_best_effort();
+                return RequestOutcome::DeadlockDetected {
+                    signature: sig_id,
+                    new_signature: new,
+                    threads: detected.threads,
+                };
+            }
+        }
+    }
+
+    // --- Avoidance (merged queue occupancy) ----------------------------
+    if avoidance && !shards[home].history().is_empty() {
+        shards[home].stats_mut().instantiation_checks += 1;
+        let examined = shards[home].signature_index().signatures_at(pos).len() as u64;
+        shards[home].stats_mut().signatures_examined += examined;
+        // One read-only snapshot serves the instantiation check and, when it
+        // matches, the starvation probe over the same state.
+        let (inst, starvation_sig) = {
+            let ro: Vec<&Dimmunix> = shards.iter().map(|s| &**s).collect();
+            match find_instantiation_merged(&ro, home, t, pos) {
+                Some(inst) => {
+                    let sig = (starvation_handling && would_starve_merged(&ro, t, &inst.blockers))
+                        .then(|| starvation_signature_merged(&ro, home, pos, &inst.blockers));
+                    (Some(inst), sig)
+                }
+                None => (None, None),
+            }
+        };
+        if let Some(inst) = inst {
+            let mut park = true;
+            if let Some(sig) = starvation_sig {
+                // Parking would itself create a wait-for cycle: record
+                // the avoidance-induced deadlock and let the thread
+                // proceed instead (§2.2).
+                let (s_id, new) = broadcast_signature(shards, sig);
+                shards[home].stats_mut().starvations_detected += 1;
+                if new {
+                    shards[home].stats_mut().new_starvation_signatures += 1;
+                }
+                shards[home].push_event(EventKind::StarvationDetected {
+                    thread: t,
+                    signature: s_id,
+                    new_signature: new,
+                });
+                shards[home].persist_history_best_effort();
+                park = false;
+            }
+            if park {
+                shards[home].stats_mut().yields += 1;
+                shards[home].rag_mut().set_yield(
+                    t,
+                    YieldRecord {
+                        signature: inst.signature,
+                        position: pos,
+                        lock: l,
+                        blockers: inst.blockers,
+                    },
+                );
+                shards[home].push_event(EventKind::Yield {
+                    thread: t,
+                    lock: l,
+                    signature: inst.signature,
+                });
+                return RequestOutcome::Yield {
+                    signature: inst.signature,
+                };
+            }
+        }
+    }
+
+    // --- Grant ----------------------------------------------------------
+    shards[home].stats_mut().grants += 1;
+    if let Some(p) = shards[home].positions_mut().get_mut(pos) {
+        p.queue_mut().push(t);
+    }
+    shards[home].rag_mut().set_pending_grant(t, l, pos);
+    shards[home].push_event(EventKind::Grant { thread: t, lock: l });
+    RequestOutcome::Granted
+}
+
+// ----------------------------------------------------------------------
+// Merged-view helpers
+// ----------------------------------------------------------------------
+
+/// The merged wait-for successors of `t`: concatenation of the per-shard
+/// relations. A thread's out-edges (its outstanding request and its yield
+/// blockers) all live in the shard of its outstanding request, so
+/// concatenation yields exactly the monolithic successor list.
+fn merged_successors(
+    shards: &[&Dimmunix],
+    t: ThreadId,
+    include_yields: bool,
+) -> Vec<(ThreadId, WaitEdge)> {
+    let mut out = Vec::new();
+    for s in shards {
+        out.extend(s.rag().successors(t, include_yields));
+    }
+    out
+}
+
+/// A position pinned to the shard whose table interned it.
+type ShardPos = (usize, PositionId);
+
+fn stack_at(shards: &[&Dimmunix], loc: Option<ShardPos>) -> CallStack {
+    loc.and_then(|(s, p)| shards[s].positions().get(p))
+        .map(|p| p.stack().clone())
+        .unwrap_or_default()
+}
+
+/// The shard and record of `t`'s outstanding request, if any.
+fn requesting_any(shards: &[&Dimmunix], t: ThreadId) -> Option<(usize, LockId, PositionId)> {
+    shards
+        .iter()
+        .enumerate()
+        .find_map(|(i, s)| s.rag().requesting(t).map(|(l, p)| (i, l, p)))
+}
+
+/// The shard and yield record of `t`, if it is parked by avoidance.
+fn yielding_any<'a>(shards: &'a [&Dimmunix], t: ThreadId) -> Option<(usize, &'a YieldRecord)> {
+    shards
+        .iter()
+        .enumerate()
+        .find_map(|(i, s)| s.rag().yielding(t).map(|y| (i, y)))
+}
+
+/// Clears `t`'s yield record in whichever shard carries it.
+fn clear_yield_any(shards: &mut [&mut Dimmunix], t: ThreadId) -> Option<YieldRecord> {
+    shards.iter_mut().find_map(|s| s.rag_mut().clear_yield(t))
+}
+
+/// Latest lock held by `t` (by global acquisition sequence) whose
+/// acquisition position is flagged as in-history — the merged equivalent of
+/// `detection::last_history_hold`.
+fn last_history_hold_merged(shards: &[&Dimmunix], t: ThreadId) -> Option<ShardPos> {
+    shards
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| {
+            s.rag()
+                .held_locks(t)
+                .iter()
+                .filter(|e| {
+                    s.positions()
+                        .get(e.pos)
+                        .map(|d| d.in_history())
+                        .unwrap_or(false)
+                })
+                .map(move |e| (e.seq, (i, e.pos)))
+        })
+        .max_by_key(|(seq, _)| *seq)
+        .map(|(_, loc)| loc)
+}
+
+/// Latest lock held by `t` across all shards, by global acquisition
+/// sequence — the merged equivalent of `held_locks(t).last()`.
+fn last_hold_merged(shards: &[&Dimmunix], t: ThreadId) -> Option<ShardPos> {
+    shards
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| {
+            s.rag()
+                .held_locks(t)
+                .iter()
+                .map(move |e| (e.seq, (i, e.pos)))
+        })
+        .max_by_key(|(seq, _)| *seq)
+        .map(|(_, loc)| loc)
+}
+
+/// The merged equivalent of [`classify_cycle`](crate::classify_cycle):
+/// resolves positions through the shard that interned them and hold recency
+/// through the global acquisition sequence.
+fn classify_cycle_merged(
+    shards: &[&Dimmunix],
+    router: &ShardRouter,
+    steps: &[CycleStep],
+) -> crate::detection::DetectedCycle {
+    let n = steps.len();
+    let mut pairs = Vec::with_capacity(n);
+    let mut involves_yield = false;
+    let threads: Vec<ThreadId> = steps.iter().map(|s| s.thread).collect();
+
+    for i in 0..n {
+        let waited_on = steps[(i + 1) % n].thread;
+        let inner: Option<ShardPos> = requesting_any(shards, waited_on)
+            .map(|(s, _, p)| (s, p))
+            .or_else(|| yielding_any(shards, waited_on).map(|(s, y)| (s, y.position)));
+        let outer: Option<ShardPos> = match &steps[i].edge {
+            WaitEdge::Lock(lock) => {
+                let s = router.shard_of(*lock);
+                shards[s].rag().acq_pos(*lock).map(|p| (s, p))
+            }
+            WaitEdge::Yield(_) => {
+                involves_yield = true;
+                last_history_hold_merged(shards, waited_on)
+                    .or_else(|| last_hold_merged(shards, waited_on))
+                    .or(inner)
+            }
+        };
+        pairs.push(SignaturePair::new(
+            stack_at(shards, outer),
+            stack_at(shards, inner),
+        ));
+    }
+
+    if steps.iter().any(|s| matches!(s.edge, WaitEdge::Yield(_))) {
+        involves_yield = true;
+    }
+
+    let kind = if involves_yield {
+        SignatureKind::Starvation
+    } else {
+        SignatureKind::Deadlock
+    };
+    crate::detection::DetectedCycle {
+        threads,
+        involves_yield,
+        signature: Signature::new(kind, pairs),
+    }
+}
+
+/// The merged instantiation check: candidate threads per outer slot are the
+/// union of every shard's local queue at that slot (queue entries for one
+/// program location are distributed across the shards whose locks were
+/// granted there). History replicas assign identical signature ids and slot
+/// layouts, so signature ids are the common coordinate system.
+fn find_instantiation_merged(
+    shards: &[&Dimmunix],
+    home: usize,
+    thread: ThreadId,
+    position: PositionId,
+) -> Option<Instantiation> {
+    for &sig in shards[home].signature_index().signatures_at(position) {
+        let outer_home = shards[home].signature_index().outer_positions_of(sig);
+        let candidates: Vec<Vec<ThreadId>> = (0..outer_home.len())
+            .map(|slot| {
+                let mut set: Vec<ThreadId> = Vec::new();
+                for s in shards {
+                    let pid = s.signature_index().outer_positions_of(sig)[slot];
+                    if let Some(p) = s.positions().get(pid) {
+                        set.extend(p.queue().iter());
+                    }
+                }
+                set.sort_unstable();
+                set.dedup();
+                set
+            })
+            .collect();
+        if let Some(blockers) =
+            instantiable_with_candidates(outer_home, &candidates, thread, position)
+        {
+            return Some(Instantiation {
+                signature: sig,
+                blockers,
+            });
+        }
+    }
+    None
+}
+
+/// Merged equivalent of the engine's `would_starve`: true if parking `t`
+/// would close a wait-for cycle through one of its blockers.
+fn would_starve_merged(shards: &[&Dimmunix], t: ThreadId, blockers: &[ThreadId]) -> bool {
+    let mut stack: Vec<ThreadId> = blockers.to_vec();
+    let mut visited: Vec<ThreadId> = Vec::new();
+    while let Some(current) = stack.pop() {
+        if current == t {
+            return true;
+        }
+        if visited.contains(&current) {
+            continue;
+        }
+        visited.push(current);
+        for (next, _) in merged_successors(shards, current, true) {
+            stack.push(next);
+        }
+    }
+    false
+}
+
+/// Merged equivalent of the engine's `starvation_signature`.
+fn starvation_signature_merged(
+    shards: &[&Dimmunix],
+    home: usize,
+    pos: PositionId,
+    blockers: &[ThreadId],
+) -> Signature {
+    let mut pairs = Vec::with_capacity(1 + blockers.len());
+    let requester_stack = stack_at(shards, Some((home, pos)));
+    pairs.push(SignaturePair::new(requester_stack.clone(), requester_stack));
+    for b in blockers {
+        let requesting = requesting_any(shards, *b).map(|(s, _, p)| (s, p));
+        let outer = last_history_hold_merged(shards, *b)
+            .or_else(|| last_hold_merged(shards, *b))
+            .or(requesting);
+        let inner = requesting.or(outer);
+        pairs.push(SignaturePair::new(
+            stack_at(shards, outer),
+            stack_at(shards, inner),
+        ));
+    }
+    Signature::new(SignatureKind::Starvation, pairs)
+}
+
+/// Appends `sig` to every shard's history replica, in shard order, and
+/// returns the (identical) id assigned by the replicas.
+fn broadcast_signature(shards: &mut [&mut Dimmunix], sig: Signature) -> (SignatureId, bool) {
+    let mut result = (SignatureId::new(0), false);
+    for (i, s) in shards.iter_mut().enumerate() {
+        let r = s.insert_signature(sig.clone());
+        if i == 0 {
+            result = r;
+        } else {
+            debug_assert_eq!(result, r, "shard history replicas diverged");
+        }
+    }
+    result
+}
+
+// ----------------------------------------------------------------------
+// The deterministic sharded engine
+// ----------------------------------------------------------------------
+
+/// Per-thread routing bookkeeping kept outside the shards.
+#[derive(Debug, Clone, Copy, Default)]
+struct ThreadRoute {
+    /// Bit `s` set while the thread holds at least one lock on shard `s`.
+    holds_mask: u64,
+    /// Shard still carrying the thread's request edge or yield record from a
+    /// request that was answered with `Yield` or `DeadlockDetected` (the
+    /// substrate may never complete those acquisitions).
+    stale_shard: Option<usize>,
+}
+
+/// A sharded, deterministic Dimmunix engine.
+///
+/// Semantically a [`Dimmunix`] whose state is partitioned by lock id across
+/// `N` internal shards (see the module docs for the ownership model). Like
+/// the monolithic engine it contains no interior locking: `dimmunix-rt`
+/// wraps each shard in its own mutex, while tests and simulators drive this
+/// type directly and rely on its determinism.
+///
+/// ```
+/// use dimmunix_core::{CallStack, Config, Frame, LockId, ShardedDimmunix, ThreadId};
+///
+/// let mut engine = ShardedDimmunix::new(Config::default(), 8);
+/// let t = ThreadId::new(1);
+/// let l = LockId::new(1);
+/// let site = CallStack::single(Frame::new("worker", "app.rs", 42));
+/// assert!(engine.request(t, l, &site).is_granted());
+/// engine.acquired(t, l);
+/// let _wake = engine.released(t, l);
+/// assert_eq!(engine.stats().grants, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedDimmunix {
+    shards: Vec<Dimmunix>,
+    router: ShardRouter,
+    /// Global acquisition counter stamped into every shard's RAG holds.
+    next_seq: u64,
+    threads: HashMap<ThreadId, ThreadRoute>,
+}
+
+impl ShardedDimmunix {
+    /// Creates a sharded engine with `shards` shards (clamped to
+    /// `1..=`[`MAX_SHARDS`]). If the configuration names a history file,
+    /// every shard loads the same replica from it.
+    pub fn new(config: Config, shards: usize) -> Self {
+        let router = ShardRouter::new(shards);
+        ShardedDimmunix {
+            shards: (0..router.shard_count())
+                .map(|_| Dimmunix::new(config.clone()))
+                .collect(),
+            router,
+            next_seq: 1,
+            threads: HashMap::new(),
+        }
+    }
+
+    /// Creates a sharded engine with an explicit starting history, replicated
+    /// into every shard.
+    pub fn with_history(config: Config, shards: usize, history: History) -> Self {
+        let router = ShardRouter::new(shards);
+        ShardedDimmunix {
+            shards: (0..router.shard_count())
+                .map(|_| Dimmunix::with_history(config.clone(), history.clone()))
+                .collect(),
+            router,
+            next_seq: 1,
+            threads: HashMap::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The lock-id router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The shard owning `lock`.
+    pub fn shard_of(&self, lock: LockId) -> usize {
+        self.router.shard_of(lock)
+    }
+
+    /// Read access to one shard (tests and diagnostics).
+    pub fn shard(&self, index: usize) -> &Dimmunix {
+        &self.shards[index]
+    }
+
+    /// The engine configuration (identical across shards).
+    pub fn config(&self) -> &Config {
+        self.shards[0].config()
+    }
+
+    /// The deadlock history (shard 0's replica; all replicas are identical).
+    pub fn history(&self) -> &History {
+        self.shards[0].history()
+    }
+
+    /// Rolled-up activity counters: the sum of every shard's [`Stats`].
+    pub fn stats(&self) -> Stats {
+        Stats::merged(self.shards.iter().map(|s| s.stats()))
+    }
+
+    /// Estimated resident memory added by the sharded engine, in bytes.
+    /// Note that the history (and its index) is replicated per shard, so
+    /// this grows with the shard count; deadlock histories are small.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.memory_footprint_bytes()).sum()
+    }
+
+    /// Registers a thread on every shard. Idempotent.
+    pub fn register_thread(&mut self, t: ThreadId) {
+        for s in &mut self.shards {
+            s.register_thread(t);
+        }
+    }
+
+    /// Unregisters a terminated thread on every shard, force-releasing
+    /// anything it still held; returns the merged wake-up list.
+    pub fn unregister_thread(&mut self, t: ThreadId) -> Vec<SignatureId> {
+        let mut wake = Vec::new();
+        for s in &mut self.shards {
+            wake.extend(s.unregister_thread(t));
+        }
+        wake.sort_unstable_by_key(|s| s.index());
+        wake.dedup();
+        self.threads.remove(&t);
+        wake
+    }
+
+    /// Registers a lock on its home shard. Idempotent.
+    pub fn register_lock(&mut self, l: LockId) {
+        let home = self.router.shard_of(l);
+        self.shards[home].register_lock(l);
+    }
+
+    /// Unregisters a lock from its home shard.
+    pub fn unregister_lock(&mut self, l: LockId) {
+        let home = self.router.shard_of(l);
+        self.shards[home].unregister_lock(l);
+    }
+
+    /// Adds a signature to every history replica; returns its id and whether
+    /// it was new.
+    pub fn add_signature(&mut self, sig: Signature) -> (SignatureId, bool) {
+        let mut refs: Vec<&mut Dimmunix> = self.shards.iter_mut().collect();
+        broadcast_signature(&mut refs, sig)
+    }
+
+    /// Called before a monitor acquisition; see [`Dimmunix::request`].
+    ///
+    /// Requests that cannot touch another shard's state are decided inside
+    /// the home shard; the rest take the cross-shard snapshot path.
+    pub fn request(&mut self, t: ThreadId, l: LockId, stack: &CallStack) -> RequestOutcome {
+        let home = self.router.shard_of(l);
+        let route = self.threads.entry(t).or_default();
+        let stale = route.stale_shard;
+        let any_parked = self.shards.iter().any(|s| s.rag().yield_count() > 0);
+        let fast_ok = fast_path_eligible(route.holds_mask, stale, any_parked, home);
+
+        let outcome = if fast_ok {
+            match try_request_local(&mut self.shards[home], t, l, stack) {
+                LocalDecision::Decided(outcome) => outcome,
+                LocalDecision::NeedsCrossShard => {
+                    let mut refs: Vec<&mut Dimmunix> = self.shards.iter_mut().collect();
+                    request_cross_shard(&mut refs, &self.router, t, l, stack, stale)
+                }
+            }
+        } else {
+            let mut refs: Vec<&mut Dimmunix> = self.shards.iter_mut().collect();
+            request_cross_shard(&mut refs, &self.router, t, l, stack, stale)
+        };
+
+        let disabled = self.shards[home].config().is_disabled();
+        let route = self.threads.entry(t).or_default();
+        route.stale_shard = stale_shard_after(&outcome, stale, home, disabled);
+        outcome
+    }
+
+    /// Called right after the monitor acquisition succeeded; see
+    /// [`Dimmunix::acquired`]. Stamps the hold with the engine-global
+    /// acquisition sequence.
+    pub fn acquired(&mut self, t: ThreadId, l: LockId) {
+        let home = self.router.shard_of(l);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.shards[home].acquired_with_seq(t, l, seq);
+        self.refresh_route(t, home);
+        let route = self.threads.entry(t).or_default();
+        // The acquisition consumed the home shard's request edge.
+        route.stale_shard = stale_shard_consumed(route.stale_shard, home);
+    }
+
+    /// Called right before the monitor is released; see
+    /// [`Dimmunix::released`].
+    pub fn released(&mut self, t: ThreadId, l: LockId) -> Vec<SignatureId> {
+        let mut wake = Vec::new();
+        self.released_into(t, l, &mut wake);
+        wake
+    }
+
+    /// Allocation-free release path; see [`Dimmunix::released_into`].
+    pub fn released_into(&mut self, t: ThreadId, l: LockId, wake: &mut Vec<SignatureId>) {
+        let home = self.router.shard_of(l);
+        self.shards[home].released_into(t, l, wake);
+        self.refresh_route(t, home);
+    }
+
+    /// Abandons a granted-but-never-completed acquisition; see
+    /// [`Dimmunix::cancel_request`].
+    pub fn cancel_request(&mut self, t: ThreadId, l: LockId) {
+        let home = self.router.shard_of(l);
+        self.shards[home].cancel_request(t, l);
+        let route = self.threads.entry(t).or_default();
+        route.stale_shard = stale_shard_consumed(route.stale_shard, home);
+    }
+
+    /// Drains wake-ups scheduled outside the release path (starvation
+    /// resolution) from every shard; see
+    /// [`Dimmunix::take_pending_wakeups`].
+    pub fn take_pending_wakeups(&mut self) -> Vec<SignatureId> {
+        let mut out = Vec::new();
+        for s in &mut self.shards {
+            out.extend(s.take_pending_wakeups());
+        }
+        out
+    }
+
+    /// Persists the (shard 0) history replica to the configured path.
+    ///
+    /// # Errors
+    /// Returns an error if no path is configured or the write fails.
+    pub fn save_history(&self) -> crate::error::Result<()> {
+        self.shards[0].save_history()
+    }
+
+    /// Re-derives the thread's holds-mask bit for `shard` from that shard's
+    /// RAG (exact, so the fast-path precondition can never drift).
+    fn refresh_route(&mut self, t: ThreadId, shard: usize) {
+        let holds = !self.shards[shard].rag().held_locks(t).is_empty();
+        let route = self.threads.entry(t).or_default();
+        route.holds_mask = holds_mask_with(route.holds_mask, shard, holds);
+    }
+}

@@ -62,6 +62,18 @@ impl Stats {
         }
     }
 
+    /// Rolls a collection of counters (per-shard, or per-process) up into
+    /// one aggregate view. The sharded engine keeps one `Stats` per shard so
+    /// the hot path never contends on a shared counter; observers read the
+    /// sum.
+    pub fn merged<'a>(stats: impl IntoIterator<Item = &'a Stats>) -> Stats {
+        let mut total = Stats::new();
+        for s in stats {
+            total.merge(s);
+        }
+        total
+    }
+
     /// Adds another set of counters to this one (used to aggregate
     /// per-process stats into platform-wide numbers).
     pub fn merge(&mut self, other: &Stats) {

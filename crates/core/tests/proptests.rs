@@ -8,8 +8,8 @@
 
 use dimmunix_core::{
     find_instantiation, CallStack, Config, Dimmunix, Frame, History, LockId, PositionTable,
-    RequestOutcome, Signature, SignatureId, SignatureIndex, SignatureKind, SignaturePair, ThreadId,
-    ThreadQueue,
+    RequestOutcome, ShardedDimmunix, Signature, SignatureId, SignatureIndex, SignatureKind,
+    SignaturePair, ThreadId, ThreadQueue,
 };
 
 /// Deterministic PRNG (SplitMix64) for generating random cases.
@@ -311,6 +311,187 @@ fn prop_engine_consistent_on_ordered_workloads() {
             engine.stats().releases,
             "seed {seed}"
         );
+    }
+}
+
+/// **Sharded engine ≡ monolithic engine.** Drives the same randomly
+/// scheduled lock workload — random nesting, contention, deadlock cycles,
+/// yield/park/retry, pre-trained histories — through a monolithic
+/// [`Dimmunix`] (the oracle) and through [`ShardedDimmunix`] instances with
+/// several shard counts (including the `shards = 1` reference
+/// configuration). Every hook call must produce the identical outcome, the
+/// rolled-up per-shard counters must equal the oracle's, and the history
+/// replicas must record the same antibodies.
+#[test]
+fn prop_sharded_engine_equals_monolithic_oracle() {
+    /// What the simulated substrate is doing with one logical thread.
+    #[derive(Clone, Copy, PartialEq)]
+    enum ThreadMode {
+        Running,
+        /// Granted by the engine but the lock's owner has not released yet
+        /// (a real substrate would be blocked on the lock itself).
+        WaitingAcquire(u64),
+        /// Parked by avoidance; retries on the next schedule slot.
+        Parked(u64),
+    }
+
+    const THREADS: u64 = 4;
+    const LOCKS: u64 = 10;
+    // Salt so this property explores different schedules than its siblings.
+    const SEED_SALT: u64 = 0x5eed_5a17;
+
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed ^ SEED_SALT);
+        // Optionally pre-train a history over the site universe so the
+        // avoidance and starvation machinery is exercised.
+        let mut history = History::new();
+        for _ in 0..g.range(0, 3) {
+            let arity = g.range(2, 4);
+            let pairs = (0..arity)
+                .map(|_| {
+                    SignaturePair::new(universe_site(g.range(0, 6)), universe_site(g.range(0, 6)))
+                })
+                .collect();
+            history.add(Signature::new(SignatureKind::Deadlock, pairs));
+        }
+
+        let mut oracle = Dimmunix::with_history(Config::default(), history.clone());
+        let shard_counts = [1usize, 2, 3, 8];
+        let mut sharded: Vec<ShardedDimmunix> = shard_counts
+            .iter()
+            .map(|&n| ShardedDimmunix::with_history(Config::default(), n, history.clone()))
+            .collect();
+
+        let mut mode = [ThreadMode::Running; THREADS as usize];
+        // Locks each thread currently holds (tracked substrate-side), most
+        // recent last.
+        let mut held: Vec<Vec<u64>> = vec![Vec::new(); THREADS as usize];
+
+        for step in 0..g.range(40, 120) {
+            let tid = g.range(0, THREADS as usize);
+            let t = ThreadId::new(tid as u64);
+            match mode[tid] {
+                ThreadMode::WaitingAcquire(lraw) => {
+                    // Complete the acquisition once the lock is free.
+                    let l = LockId::new(lraw);
+                    if oracle.rag().owner(l).is_none() {
+                        oracle.acquired(t, l);
+                        for s in &mut sharded {
+                            s.acquired(t, l);
+                        }
+                        held[tid].push(lraw);
+                        mode[tid] = ThreadMode::Running;
+                    }
+                }
+                ThreadMode::Parked(_) | ThreadMode::Running => {
+                    let retry = matches!(mode[tid], ThreadMode::Parked(_));
+                    // Pick an action: acquire (possibly the parked retry) or
+                    // release the most recent hold.
+                    let release = !retry && !held[tid].is_empty() && g.flip();
+                    if release {
+                        let lraw = held[tid].pop().unwrap();
+                        let l = LockId::new(lraw);
+                        let oracle_wake = oracle.released(t, l);
+                        for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
+                            let wake = s.released(t, l);
+                            assert_eq!(
+                                wake, oracle_wake,
+                                "seed {seed} step {step}: release wake-ups diverge (shards {n})"
+                            );
+                        }
+                        continue;
+                    }
+                    let lraw = if retry {
+                        match mode[tid] {
+                            ThreadMode::Parked(lr) => lr,
+                            _ => unreachable!(),
+                        }
+                    } else {
+                        g.range(0, LOCKS as usize) as u64
+                    };
+                    let l = LockId::new(lraw);
+                    if held[tid].contains(&lraw) && !retry {
+                        // Keep the harness simple: no reentrant acquisitions
+                        // except through random collision — skip them.
+                        continue;
+                    }
+                    let site = universe_site(g.range(0, 6));
+                    let outcome = oracle.request(t, l, &site);
+                    for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
+                        let sharded_outcome = s.request(t, l, &site);
+                        assert_eq!(
+                            sharded_outcome, outcome,
+                            "seed {seed} step {step}: outcome diverges (shards {n}, t{tid}, l{lraw})"
+                        );
+                    }
+                    match outcome {
+                        RequestOutcome::Granted => {
+                            if oracle.rag().owner(l).is_none() {
+                                oracle.acquired(t, l);
+                                for s in &mut sharded {
+                                    s.acquired(t, l);
+                                }
+                                held[tid].push(lraw);
+                                mode[tid] = ThreadMode::Running;
+                            } else {
+                                mode[tid] = ThreadMode::WaitingAcquire(lraw);
+                            }
+                        }
+                        RequestOutcome::GrantedReentrant => {
+                            oracle.acquired(t, l);
+                            for s in &mut sharded {
+                                s.acquired(t, l);
+                            }
+                            held[tid].push(lraw);
+                            mode[tid] = ThreadMode::Running;
+                        }
+                        RequestOutcome::Yield { .. } => {
+                            mode[tid] = ThreadMode::Parked(lraw);
+                        }
+                        RequestOutcome::DeadlockDetected { .. } => {
+                            // Substrate refuses the acquisition (error
+                            // policy) and backs out.
+                            oracle.cancel_request(t, l);
+                            for s in &mut sharded {
+                                s.cancel_request(t, l);
+                            }
+                            mode[tid] = ThreadMode::Running;
+                        }
+                    }
+                    let mut oracle_pending = oracle.take_pending_wakeups();
+                    oracle_pending.sort_unstable_by_key(|s| s.index());
+                    for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
+                        let mut pending = s.take_pending_wakeups();
+                        pending.sort_unstable_by_key(|s| s.index());
+                        assert_eq!(
+                            pending, oracle_pending,
+                            "seed {seed} step {step}: pending wake-ups diverge (shards {n})"
+                        );
+                    }
+                }
+            }
+        }
+
+        // Rolled-up counters must equal the oracle's.
+        for (s, &n) in sharded.iter().zip(&shard_counts) {
+            assert_eq!(
+                s.stats(),
+                *oracle.stats(),
+                "seed {seed}: rolled-up stats diverge (shards {n})"
+            );
+            // Identical histories, signature for signature.
+            assert_eq!(s.history().len(), oracle.history().len(), "seed {seed}");
+            for (id, sig) in oracle.history().iter() {
+                assert!(
+                    s.history().get(id).unwrap().same_bug(sig),
+                    "seed {seed}: history diverges at {id} (shards {n})"
+                );
+            }
+        }
+    }
+
+    fn universe_site(i: usize) -> CallStack {
+        CallStack::single(Frame::new(format!("site{i}"), "univ.rs", i as u32))
     }
 }
 

@@ -7,6 +7,12 @@
 //! deadlock that bytecode instrumentation never sees. `ImmuneMonitor::wait`
 //! therefore releases through Dimmunix, parks on the condition variable, and
 //! reacquires through Dimmunix again.
+//!
+//! Because the reacquiring thread typically still holds other locks, the
+//! reacquisition request usually takes the runtime's cross-shard snapshot
+//! path (the held locks may live on other shards than this monitor) — which
+//! is exactly the case the sharded engine's merged cycle detection exists
+//! for.
 
 use crate::runtime::{DimmunixRuntime, LockError};
 use crate::site::AcquisitionSite;

@@ -5,6 +5,12 @@
 //! `before_acquire` / `after_acquire` hooks and every release (guard drop)
 //! calls `before_release`, exactly where the paper's modified Dalvik
 //! routines call the Dimmunix core.
+//!
+//! The lock id allocated at construction determines the engine shard whose
+//! mutex screens this lock's acquisitions (see
+//! [`RuntimeOptions::shards`](crate::RuntimeOptions::shards)): two
+//! `ImmuneMutex`es on different shards synchronize through entirely
+//! disjoint engine state on the hot path.
 
 use crate::runtime::{DimmunixRuntime, LockError};
 use crate::site::AcquisitionSite;

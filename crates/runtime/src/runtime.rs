@@ -8,22 +8,37 @@
 //! modified `lockMonitor` / `unlockMonitor` / `waitMonitor` routines call the
 //! Dimmunix core (§4).
 //!
-//! Thread safety follows the paper: the engine is protected by one global
-//! lock (cheap, because the three hooks are short); threads parked by
-//! avoidance wait on per-signature gates (condition variables) and are woken
-//! from the release path.
+//! Thread safety goes beyond the paper: where the paper serializes the three
+//! hooks behind one global VM lock, this runtime shards the engine state by
+//! lock id ([`RuntimeOptions::shards`]). Each shard is an independent
+//! [`Dimmunix`] engine behind its own mutex, so uncontended acquisitions of
+//! locks on different shards proceed in parallel. A request that might close
+//! a deadlock cycle (the requester already holds locks, some thread is
+//! parked by avoidance, or the requesting position appears in the history)
+//! takes the cross-shard path instead: every shard mutex is acquired in
+//! ascending index order (a total order, so the runtime cannot deadlock
+//! itself) and the decision is computed by `dimmunix-core`'s
+//! [`request_cross_shard`] against the merged view. See
+//! `dimmunix_core::ShardedDimmunix` for the ownership model and
+//! `ARCHITECTURE.md` for the full protocol.
+//!
+//! Threads parked by avoidance wait on per-signature gates (condition
+//! variables, global across shards) and are woken from the release path of
+//! whichever shard releases a lock acquired at one of the signature's outer
+//! positions.
 
 use crate::site::AcquisitionSite;
 use crate::sync;
 use dimmunix_core::{
-    CallStack, Config, Dimmunix, History, LockId, RequestOutcome, Signature, SignatureId, Stats,
-    ThreadId,
+    fast_path_eligible, holds_mask_with, request_cross_shard, stale_shard_after,
+    stale_shard_consumed, try_request_local, CallStack, Config, Dimmunix, History, LocalDecision,
+    LockId, RequestOutcome, ShardRouter, Signature, SignatureId, Stats, ThreadId,
 };
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// What the wrapper types should do when the engine reports that the
@@ -65,12 +80,27 @@ impl fmt::Display for LockError {
 impl std::error::Error for LockError {}
 
 /// Options controlling a [`DimmunixRuntime`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RuntimeOptions {
     /// Engine configuration (stack depth, history path, toggles).
     pub config: Config,
     /// Behaviour on detected deadlocks.
     pub deadlock_policy: DeadlockPolicy,
+    /// Number of engine shards the lock-id space is partitioned over,
+    /// clamped to `1..=`[`dimmunix_core::MAX_SHARDS`]. `1` (the default)
+    /// reproduces the paper's single global engine lock; higher values let
+    /// uncontended acquisitions on different shards run in parallel.
+    pub shards: usize,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            config: Config::default(),
+            deadlock_policy: DeadlockPolicy::default(),
+            shards: 1,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -79,9 +109,44 @@ struct SignatureGate {
     cv: Condvar,
 }
 
-struct EngineState {
+/// One engine shard and its per-shard scratch state, behind one mutex.
+struct ShardCell {
     engine: Dimmunix,
-    gates: HashMap<SignatureId, Arc<SignatureGate>>,
+    /// Reused buffer for the release-path wake-up list, so steady-state
+    /// releases perform no allocation.
+    wake_scratch: Vec<SignatureId>,
+    /// `engine.rag().yield_count()` after the last engine call, used to keep
+    /// the runtime-wide parked counter in sync by deltas.
+    last_yield_count: usize,
+}
+
+impl ShardCell {
+    fn new(engine: Dimmunix) -> Self {
+        ShardCell {
+            engine,
+            wake_scratch: Vec::new(),
+            last_yield_count: 0,
+        }
+    }
+}
+
+/// Per-(runtime, OS thread) routing state. Only the owning thread reads or
+/// writes its entry, so no synchronization is needed.
+#[derive(Debug, Clone, Copy)]
+struct ThreadRoute {
+    id: ThreadId,
+    /// Bit `s` set while the thread holds at least one lock on shard `s`.
+    holds_mask: u64,
+    /// Shard still carrying this thread's request edge from an acquisition
+    /// that was refused with [`LockError::WouldDeadlock`] (the substrate
+    /// abandons those, so the edge survives until the next request).
+    stale_shard: Option<usize>,
+}
+
+thread_local! {
+    /// Per-OS-thread routing state, keyed by runtime instance.
+    static THREAD_ROUTE: std::cell::RefCell<HashMap<u64, ThreadRoute>> =
+        std::cell::RefCell::new(HashMap::new());
 }
 
 /// The shared, per-process deadlock-immunity runtime.
@@ -91,10 +156,23 @@ struct EngineState {
 /// the process is the moral equivalent of "all applications automatically run
 /// with Dimmunix".
 pub struct DimmunixRuntime {
-    state: Mutex<EngineState>,
+    /// Engine shards, one mutex each; cross-shard operations acquire them in
+    /// ascending index order.
+    shards: Vec<Mutex<ShardCell>>,
+    /// Per-signature park gates, global across shards.
+    gates: Mutex<HashMap<SignatureId, Arc<SignatureGate>>>,
+    router: ShardRouter,
     options: RuntimeOptions,
-    /// Globally unique instance id; used to key the per-thread id cache so a
-    /// thread interacting with several runtimes gets an id per runtime.
+    /// Global acquisition sequence, stamped into shard RAG holds so merged
+    /// views can order holds across shards.
+    acq_seq: AtomicU64,
+    /// Number of threads currently parked by avoidance, across all shards.
+    /// The shard-local fast path is only taken while this is zero (a yield
+    /// record's blocker list is a snapshot, so a starvation cycle can pass
+    /// through a thread that holds no lock).
+    parked: AtomicU64,
+    /// Globally unique instance id; used to key the per-thread route cache so
+    /// a thread interacting with several runtimes gets a route per runtime.
     instance: u64,
     next_thread: AtomicU64,
     next_lock: AtomicU64,
@@ -106,47 +184,54 @@ impl fmt::Debug for DimmunixRuntime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DimmunixRuntime")
             .field("options", &self.options)
+            .field("shards", &self.shards.len())
             .finish_non_exhaustive()
     }
 }
 
-thread_local! {
-    /// Per-OS-thread cache of engine thread ids, keyed by runtime instance.
-    static CURRENT_THREAD: std::cell::RefCell<HashMap<u64, ThreadId>> =
-        std::cell::RefCell::new(HashMap::new());
-}
-
 impl DimmunixRuntime {
-    /// Creates a runtime with default options (paper defaults, fail-safe
-    /// deadlock policy).
+    /// Creates a runtime with default options (paper defaults: fail-safe
+    /// deadlock policy, one engine shard).
     pub fn new() -> Arc<Self> {
         Self::with_options(RuntimeOptions::default())
     }
 
     /// Creates a runtime with explicit options.
     pub fn with_options(options: RuntimeOptions) -> Arc<Self> {
-        let engine = Dimmunix::new(options.config.clone());
-        Arc::new(DimmunixRuntime {
-            state: Mutex::new(EngineState {
-                engine,
-                gates: HashMap::new(),
-            }),
-            options,
-            instance: NEXT_RUNTIME_INSTANCE.fetch_add(1, Ordering::Relaxed),
-            next_thread: AtomicU64::new(1),
-            next_lock: AtomicU64::new(1),
-        })
+        let router = ShardRouter::new(options.shards);
+        let shards = (0..router.shard_count())
+            .map(|_| Mutex::new(ShardCell::new(Dimmunix::new(options.config.clone()))))
+            .collect();
+        Self::assemble(options, router, shards)
     }
 
-    /// Creates a runtime pre-loaded with a history (antibodies).
+    /// Creates a runtime pre-loaded with a history (antibodies), replicated
+    /// into every shard.
     pub fn with_history(options: RuntimeOptions, history: History) -> Arc<Self> {
-        let engine = Dimmunix::with_history(options.config.clone(), history);
+        let router = ShardRouter::new(options.shards);
+        let shards = (0..router.shard_count())
+            .map(|_| {
+                Mutex::new(ShardCell::new(Dimmunix::with_history(
+                    options.config.clone(),
+                    history.clone(),
+                )))
+            })
+            .collect();
+        Self::assemble(options, router, shards)
+    }
+
+    fn assemble(
+        options: RuntimeOptions,
+        router: ShardRouter,
+        shards: Vec<Mutex<ShardCell>>,
+    ) -> Arc<Self> {
         Arc::new(DimmunixRuntime {
-            state: Mutex::new(EngineState {
-                engine,
-                gates: HashMap::new(),
-            }),
+            shards,
+            gates: Mutex::new(HashMap::new()),
+            router,
             options,
+            acq_seq: AtomicU64::new(1),
+            parked: AtomicU64::new(0),
             instance: NEXT_RUNTIME_INSTANCE.fetch_add(1, Ordering::Relaxed),
             next_thread: AtomicU64::new(1),
             next_lock: AtomicU64::new(1),
@@ -158,46 +243,96 @@ impl DimmunixRuntime {
         &self.options
     }
 
+    /// Number of engine shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `lock` (diagnostics and tests).
+    pub fn shard_of(&self, lock: LockId) -> usize {
+        self.router.shard_of(lock)
+    }
+
     /// Identifier of the calling OS thread, registering it on first use (the
     /// analogue of `initNode` on thread allocation).
     pub fn current_thread(&self) -> ThreadId {
-        CURRENT_THREAD.with(|cell| {
-            if let Some(id) = cell.borrow().get(&self.instance) {
-                return *id;
+        self.route().id
+    }
+
+    /// This thread's routing state, creating and registering it on first use.
+    fn route(&self) -> ThreadRoute {
+        THREAD_ROUTE.with(|cell| {
+            if let Some(r) = cell.borrow().get(&self.instance) {
+                return *r;
             }
             let id = ThreadId::new(self.next_thread.fetch_add(1, Ordering::Relaxed));
-            cell.borrow_mut().insert(self.instance, id);
-            sync::lock(&self.state).engine.register_thread(id);
-            id
+            for shard in &self.shards {
+                sync::lock(shard).engine.register_thread(id);
+            }
+            let route = ThreadRoute {
+                id,
+                holds_mask: 0,
+                stale_shard: None,
+            };
+            cell.borrow_mut().insert(self.instance, route);
+            route
         })
     }
 
+    fn update_route(&self, f: impl FnOnce(&mut ThreadRoute)) {
+        THREAD_ROUTE.with(|cell| {
+            if let Some(r) = cell.borrow_mut().get_mut(&self.instance) {
+                f(r);
+            }
+        });
+    }
+
     /// Allocates a lock id for a new immune lock (the analogue of inflating a
-    /// monitor and embedding a RAG node).
+    /// monitor and embedding a RAG node) and registers it on its home shard.
     pub fn allocate_lock(&self) -> LockId {
         let id = LockId::new(self.next_lock.fetch_add(1, Ordering::Relaxed));
-        sync::lock(&self.state).engine.register_lock(id);
+        let home = self.router.shard_of(id);
+        sync::lock(&self.shards[home]).engine.register_lock(id);
         id
     }
 
-    /// Snapshot of the engine counters.
+    /// Snapshot of the engine counters, rolled up across shards.
     pub fn stats(&self) -> Stats {
-        *sync::lock(&self.state).engine.stats()
+        let mut total = Stats::new();
+        for shard in &self.shards {
+            total.merge(sync::lock(shard).engine.stats());
+        }
+        total
     }
 
-    /// Snapshot of the current history.
+    /// Snapshot of the current history (shard 0's replica; all replicas are
+    /// identical).
     pub fn history(&self) -> History {
-        sync::lock(&self.state).engine.history().clone()
+        sync::lock(&self.shards[0]).engine.history().clone()
     }
 
-    /// Adds a signature (vendor antibody or synthetic benchmark signature).
+    /// Adds a signature (vendor antibody or synthetic benchmark signature)
+    /// to every shard's history replica.
     pub fn add_signature(&self, sig: Signature) -> SignatureId {
-        sync::lock(&self.state).engine.add_signature(sig).0
+        let mut guards: Vec<MutexGuard<'_, ShardCell>> =
+            self.shards.iter().map(sync::lock).collect();
+        let mut id = None;
+        for g in guards.iter_mut() {
+            let (sig_id, _) = g.engine.add_signature(sig.clone());
+            id.get_or_insert(sig_id);
+        }
+        id.expect("at least one shard")
     }
 
-    /// Estimated bytes of memory the runtime adds to the process.
+    /// Estimated bytes of memory the runtime adds to the process. The
+    /// history and its index are replicated per shard, so this grows with
+    /// the shard count (histories are small: one signature per distinct
+    /// deadlock bug).
     pub fn memory_footprint_bytes(&self) -> usize {
-        sync::lock(&self.state).engine.memory_footprint_bytes()
+        self.shards
+            .iter()
+            .map(|s| sync::lock(s).engine.memory_footprint_bytes())
+            .sum()
     }
 
     /// Persists the history to the configured path.
@@ -205,32 +340,133 @@ impl DimmunixRuntime {
     /// # Errors
     /// Fails if no path is configured or the write fails.
     pub fn save_history(&self) -> dimmunix_core::Result<()> {
-        sync::lock(&self.state).engine.save_history()
+        sync::lock(&self.shards[0]).engine.save_history()
     }
 
-    fn gate(state: &mut EngineState, sig: SignatureId) -> Arc<SignatureGate> {
-        state.gates.entry(sig).or_default().clone()
+    fn gate(&self, sig: SignatureId) -> Arc<SignatureGate> {
+        sync::lock(&self.gates).entry(sig).or_default().clone()
+    }
+
+    /// Bumps the generation of every listed signature gate and wakes the
+    /// parked threads. Lock order: shard(s) before gates, everywhere.
+    fn notify_signatures(&self, sigs: &[SignatureId]) {
+        for sig in sigs {
+            let gate = self.gate(*sig);
+            let mut gen = sync::lock(&gate.lock);
+            *gen += 1;
+            gate.cv.notify_all();
+        }
+    }
+
+    /// Folds the shard's yield-record delta into the runtime-wide parked
+    /// counter. Called after every engine call that may park or resume a
+    /// thread, while the shard lock is still held.
+    fn sync_parked(&self, cell: &mut ShardCell) {
+        let now = cell.engine.rag().yield_count();
+        let before = cell.last_yield_count;
+        match now.cmp(&before) {
+            std::cmp::Ordering::Greater => {
+                self.parked
+                    .fetch_add((now - before) as u64, Ordering::SeqCst);
+            }
+            std::cmp::Ordering::Less => {
+                self.parked
+                    .fetch_sub((before - now) as u64, Ordering::SeqCst);
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        cell.last_yield_count = now;
     }
 
     /// The `lockMonitor` prologue: keeps requesting until the engine grants,
     /// parking on the matched signature's gate whenever it says yield.
     ///
+    /// Uncontended requests that cannot interact with another shard are
+    /// decided under the home shard's lock alone; the rest take the ordered
+    /// all-shard snapshot path.
+    ///
     /// # Errors
     /// Returns [`LockError::WouldDeadlock`] when a deadlock is detected and
     /// the policy is [`DeadlockPolicy::Error`].
     pub fn before_acquire(&self, lock: LockId, site: AcquisitionSite) -> Result<(), LockError> {
-        let thread = self.current_thread();
+        let thread = self.route().id;
         let stack: CallStack = site.to_call_stack();
+        let home = self.router.shard_of(lock);
         loop {
-            let mut state = sync::lock(&self.state);
-            let outcome = state.engine.request(thread, lock, &stack);
-            let pending = state.engine.take_pending_wakeups();
-            for sig in &pending {
-                let gate = Self::gate(&mut state, *sig);
-                let mut gen = sync::lock(&gate.lock);
-                *gen += 1;
-                gate.cv.notify_all();
+            let route = self.route();
+            // Thread-local half of the eligibility predicate; the `parked`
+            // half is read *under the home shard's lock* below — parking a
+            // thread requires every shard lock (including home), so the
+            // counter cannot rise while the fast path holds it.
+            let thread_local_ok =
+                fast_path_eligible(route.holds_mask, route.stale_shard, false, home);
+
+            // Fast path: decide inside the home shard when neither detection
+            // nor avoidance can need another shard's state.
+            let mut outcome = None;
+            if thread_local_ok {
+                let mut cell = sync::lock(&self.shards[home]);
+                if self.parked.load(Ordering::SeqCst) == 0 {
+                    if let LocalDecision::Decided(o) =
+                        try_request_local(&mut cell.engine, thread, lock, &stack)
+                    {
+                        self.sync_parked(&mut cell);
+                        outcome = Some(o);
+                    }
+                }
             }
+
+            // Cross-shard path: all shard locks in ascending index order,
+            // decision over the merged view, wake-ups and gate sampling
+            // while the locks are still held.
+            let mut parked_gate: Option<(Arc<SignatureGate>, u64)> = None;
+            let outcome = match outcome {
+                Some(o) => o,
+                None => {
+                    let mut guards: Vec<MutexGuard<'_, ShardCell>> =
+                        self.shards.iter().map(sync::lock).collect();
+                    let o = {
+                        let mut engines: Vec<&mut Dimmunix> =
+                            guards.iter_mut().map(|g| &mut g.engine).collect();
+                        request_cross_shard(
+                            &mut engines,
+                            &self.router,
+                            thread,
+                            lock,
+                            &stack,
+                            route.stale_shard,
+                        )
+                    };
+                    let mut pending: Vec<SignatureId> = Vec::new();
+                    for g in guards.iter_mut() {
+                        self.sync_parked(g);
+                        pending.extend(g.engine.take_pending_wakeups());
+                    }
+                    if !pending.is_empty() {
+                        self.notify_signatures(&pending);
+                    }
+                    if let RequestOutcome::Yield { signature } = &o {
+                        // Sample the gate generation before the shard locks
+                        // are dropped: a release that happens right after
+                        // cannot be lost.
+                        let gate = self.gate(*signature);
+                        let observed = *sync::lock(&gate.lock);
+                        parked_gate = Some((gate, observed));
+                    }
+                    o
+                }
+            };
+
+            let next_stale = stale_shard_after(
+                &outcome,
+                route.stale_shard,
+                home,
+                self.options.config.is_disabled(),
+            );
+            if next_stale != route.stale_shard {
+                self.update_route(|r| r.stale_shard = next_stale);
+            }
+
             match outcome {
                 RequestOutcome::Granted | RequestOutcome::GrantedReentrant => return Ok(()),
                 RequestOutcome::DeadlockDetected { signature, .. } => {
@@ -239,14 +475,9 @@ impl DimmunixRuntime {
                         DeadlockPolicy::Block => Ok(()),
                     };
                 }
-                RequestOutcome::Yield { signature } => {
-                    // Park on the signature gate. The generation counter is
-                    // read while still holding the engine lock, so a release
-                    // that happens right after we drop it cannot be lost.
-                    let gate = Self::gate(&mut state, signature);
+                RequestOutcome::Yield { .. } => {
+                    let (gate, observed) = parked_gate.expect("yield decided on the cross path");
                     let mut gen = sync::lock(&gate.lock);
-                    let observed = *gen;
-                    drop(state);
                     while *gen == observed {
                         // The timeout is a belt-and-braces guard against a
                         // wake-up that raced with gate creation; correctness
@@ -264,46 +495,79 @@ impl DimmunixRuntime {
         }
     }
 
-    /// The `lockMonitor` epilogue.
+    /// The `lockMonitor` epilogue. Stamps the hold with the runtime-global
+    /// acquisition sequence so merged views can order holds across shards.
     pub fn after_acquire(&self, lock: LockId) {
-        let thread = self.current_thread();
-        sync::lock(&self.state).engine.acquired(thread, lock);
+        let thread = self.route().id;
+        let home = self.router.shard_of(lock);
+        let seq = self.acq_seq.fetch_add(1, Ordering::Relaxed);
+        let holds = {
+            let mut cell = sync::lock(&self.shards[home]);
+            cell.engine.acquired_with_seq(thread, lock, seq);
+            !cell.engine.rag().held_locks(thread).is_empty()
+        };
+        self.update_route(|r| {
+            r.holds_mask = holds_mask_with(r.holds_mask, home, holds);
+            // The acquisition consumed the home shard's request edge.
+            r.stale_shard = stale_shard_consumed(r.stale_shard, home);
+        });
     }
 
     /// Backs out of an approved acquisition that will not be completed
     /// (e.g. a failed `try_lock` on the underlying mutex).
     pub fn cancel_acquire(&self, lock: LockId) {
-        let thread = self.current_thread();
-        sync::lock(&self.state).engine.cancel_request(thread, lock);
+        let thread = self.route().id;
+        let home = self.router.shard_of(lock);
+        {
+            let mut cell = sync::lock(&self.shards[home]);
+            cell.engine.cancel_request(thread, lock);
+            self.sync_parked(&mut cell);
+        }
+        self.update_route(|r| {
+            r.stale_shard = stale_shard_consumed(r.stale_shard, home);
+        });
     }
 
-    /// The `unlockMonitor` prologue: releases in the engine and wakes every
-    /// signature gate the engine says must be notified.
+    /// The `unlockMonitor` prologue: releases in the owning shard and wakes
+    /// every signature gate the engine says must be notified.
     pub fn before_release(&self, lock: LockId) {
-        let thread = self.current_thread();
-        let mut state = sync::lock(&self.state);
-        let wake = state.engine.released(thread, lock);
-        for sig in wake {
-            let gate = Self::gate(&mut state, sig);
-            let mut gen = sync::lock(&gate.lock);
-            *gen += 1;
-            gate.cv.notify_all();
-        }
+        let thread = self.route().id;
+        let home = self.router.shard_of(lock);
+        let holds = {
+            let mut cell = sync::lock(&self.shards[home]);
+            let ShardCell {
+                engine,
+                wake_scratch,
+                ..
+            } = &mut *cell;
+            engine.released_into(thread, lock, wake_scratch);
+            if !cell.wake_scratch.is_empty() {
+                self.notify_signatures(&cell.wake_scratch);
+            }
+            !cell.engine.rag().held_locks(thread).is_empty()
+        };
+        self.update_route(|r| {
+            r.holds_mask = holds_mask_with(r.holds_mask, home, holds);
+        });
     }
 
     /// Unregisters the calling thread (normally done when a worker exits),
-    /// force-releasing anything it still holds.
+    /// force-releasing anything it still holds on any shard.
     pub fn retire_current_thread(&self) {
-        let thread = self.current_thread();
-        let mut state = sync::lock(&self.state);
-        let wake = state.engine.unregister_thread(thread);
-        for sig in wake {
-            let gate = Self::gate(&mut state, sig);
-            let mut gen = sync::lock(&gate.lock);
-            *gen += 1;
-            gate.cv.notify_all();
+        let thread = self.route().id;
+        let mut wake: Vec<SignatureId> = Vec::new();
+        {
+            let mut guards: Vec<MutexGuard<'_, ShardCell>> =
+                self.shards.iter().map(sync::lock).collect();
+            for g in guards.iter_mut() {
+                wake.extend(g.engine.unregister_thread(thread));
+                self.sync_parked(g);
+            }
+            if !wake.is_empty() {
+                self.notify_signatures(&wake);
+            }
         }
-        CURRENT_THREAD.with(|cell| {
+        THREAD_ROUTE.with(|cell| {
             cell.borrow_mut().remove(&self.instance);
         });
     }
@@ -345,6 +609,30 @@ mod tests {
         assert_eq!(stats.acquisitions, 1);
         assert_eq!(stats.releases, 1);
         assert_eq!(stats.yields, 0);
+    }
+
+    #[test]
+    fn sharded_runtime_roundtrips_across_shards() {
+        let rt = DimmunixRuntime::with_options(RuntimeOptions {
+            shards: 8,
+            ..RuntimeOptions::default()
+        });
+        assert_eq!(rt.shard_count(), 8);
+        // Nested acquisitions across several shards, then release in
+        // reverse order; everything must balance.
+        let locks: Vec<LockId> = (0..6).map(|_| rt.allocate_lock()).collect();
+        for (i, l) in locks.iter().enumerate() {
+            rt.before_acquire(*l, acquire_site_for_test(i as u32))
+                .unwrap();
+            rt.after_acquire(*l);
+        }
+        for l in locks.iter().rev() {
+            rt.before_release(*l);
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.acquisitions, 6);
+        assert_eq!(stats.releases, 6);
+        assert_eq!(stats.deadlocks_detected, 0);
     }
 
     #[test]

@@ -23,7 +23,8 @@ pub struct AcquisitionSite {
 }
 
 impl AcquisitionSite {
-    /// Creates a site from its components (prefer [`acquire_site!`]).
+    /// Creates a site from its components (prefer
+    /// [`acquire_site!`](crate::acquire_site)).
     pub const fn new(scope: &'static str, file: &'static str, line: u32) -> Self {
         AcquisitionSite { scope, file, line }
     }

@@ -20,8 +20,8 @@ pub mod patterns;
 pub mod synthetic;
 
 pub use microbench::{
-    busy_work, run_microbenchmark, run_overhead_pair, MicrobenchConfig, MicrobenchResult,
-    OverheadRow,
+    busy_work, run_microbenchmark, run_overhead_pair, MicrobenchConfig, MicrobenchHarness,
+    MicrobenchResult, OverheadRow,
 };
 pub use patterns::{dining_philosophers, starvation_workload, wrapper_workload};
 pub use synthetic::{colliding_history, synthetic_history};

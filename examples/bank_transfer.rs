@@ -28,6 +28,7 @@ fn main() {
     let runtime = DimmunixRuntime::with_options(RuntimeOptions {
         config: Config::default(),
         deadlock_policy: DeadlockPolicy::Error,
+        ..RuntimeOptions::default()
     });
     let accounts: Arc<Vec<ImmuneMutex<i64>>> = Arc::new(
         (0..ACCOUNTS)

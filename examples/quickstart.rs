@@ -56,6 +56,7 @@ fn main() {
     let runtime = DimmunixRuntime::with_options(RuntimeOptions {
         config: Config::default(),
         deadlock_policy: DeadlockPolicy::Error,
+        ..RuntimeOptions::default()
     });
     let (refused, _) = run_once(runtime.clone());
     println!(
@@ -69,6 +70,7 @@ fn main() {
         RuntimeOptions {
             config: Config::default(),
             deadlock_policy: DeadlockPolicy::Error,
+            ..RuntimeOptions::default()
         },
         history,
     );

@@ -47,6 +47,7 @@ fn immunity_persists_across_runtime_restarts_via_history_file() {
     let options = || RuntimeOptions {
         config: Config::builder().history_path(&history_path).build(),
         deadlock_policy: DeadlockPolicy::Error,
+        ..RuntimeOptions::default()
     };
 
     // Run 1: the deadlock is detected, refused, and persisted to disk.
@@ -86,6 +87,7 @@ fn many_threads_with_random_transfers_never_hang() {
     let rt = DimmunixRuntime::with_options(RuntimeOptions {
         config: Config::default(),
         deadlock_policy: DeadlockPolicy::Error,
+        ..RuntimeOptions::default()
     });
     let accounts: Arc<Vec<ImmuneMutex<i64>>> =
         Arc::new((0..6).map(|_| ImmuneMutex::new(&rt, 100)).collect());
@@ -144,6 +146,7 @@ fn vendor_shipped_antibodies_protect_from_the_first_run() {
     let trained = DimmunixRuntime::with_options(RuntimeOptions {
         config: Config::default(),
         deadlock_policy: DeadlockPolicy::Error,
+        ..RuntimeOptions::default()
     });
     let (r1, r2) = adversarial_run(&trained);
     assert!(r1.is_err() || r2.is_err());
@@ -153,6 +156,7 @@ fn vendor_shipped_antibodies_protect_from_the_first_run() {
         RuntimeOptions {
             config: Config::default(),
             deadlock_policy: DeadlockPolicy::Error,
+            ..RuntimeOptions::default()
         },
         shipped,
     );

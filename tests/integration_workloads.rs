@@ -21,6 +21,7 @@ fn microbenchmark_matches_paper_structure() {
             work_outside: 1_000,
             synthetic_signatures: history,
             dimmunix_enabled: true,
+            shards: 1,
         };
         let result = run_microbenchmark(&cfg);
         assert_eq!(result.synchronizations, (threads * 200) as u64);
