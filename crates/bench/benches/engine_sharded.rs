@@ -14,6 +14,7 @@ use dimmunix_core::Config;
 use dimmunix_rt::{AcquisitionSite, DimmunixRuntime, RuntimeOptions};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
+use workloads::synthetic_history;
 
 /// Acquire/release pairs per thread per run.
 const ITERS: usize = 30_000;
@@ -74,6 +75,32 @@ fn main() {
             ratio_at_16 = ratio;
         }
     }
+    // Memory: the history snapshot is shared, not replicated per shard, so
+    // a platform-scale synthetic history must cost (almost) the same at 16
+    // shards as at 1 — the observable win of the shared-history refactor.
+    const SYNTHETIC_SIGNATURES: usize = 1000;
+    let footprint = |shards: usize| {
+        DimmunixRuntime::with_history(
+            RuntimeOptions {
+                config: Config::default(),
+                shards,
+                ..RuntimeOptions::default()
+            },
+            synthetic_history(SYNTHETIC_SIGNATURES),
+        )
+        .memory_footprint_bytes()
+    };
+    let (mem1, mem16) = (footprint(1), footprint(16));
+    let mem_ratio = mem16 as f64 / mem1 as f64;
+    println!(
+        "memory_footprint_bytes ({SYNTHETIC_SIGNATURES}-signature synthetic history): \
+         shards=1 {mem1}  shards=16 {mem16}  ratio {mem_ratio:.3}x (shared history: target <= 1.1x)"
+    );
+    assert!(
+        mem_ratio <= 1.1,
+        "the shared history must not be replicated per shard, got {mem_ratio:.3}x"
+    );
+
     println!(
         "acceptance: 16 threads / 16 shards vs single lock = {ratio_at_16:.2}x \
          (target >= 2x on hosts with >= 8 CPUs; this host has {cpus})"

@@ -26,8 +26,12 @@
 //! *once*, at insertion time. A request then only examines the signatures
 //! indexed at the requesting position — O(signatures-at-this-position), which
 //! is zero for the overwhelming majority of positions (deadlock histories are
-//! small and touch few sites). The linear reference is retained so
-//! equivalence can be property-checked (`tests/proptests.rs`).
+//! small and touch few sites). The index lives once per process inside the
+//! shared [`HistorySnapshot`](crate::HistorySnapshot), keyed by the
+//! snapshot's canonical outer-position ids; engine shards link their own
+//! interned positions to those ids (`Position::history_ref`). The linear
+//! reference is retained so equivalence can be property-checked
+//! (`tests/proptests.rs`).
 
 use crate::history::History;
 use crate::position::{PositionId, PositionTable};
@@ -73,10 +77,11 @@ pub fn find_instantiation(
 /// Inverted avoidance index: for each interned position, the history
 /// signatures whose outer positions include it.
 ///
-/// Maintained incrementally by the engine as signatures enter the history
-/// (each outer stack is interned and resolved exactly once); the per-request
-/// check then touches only `signatures_at(position)` instead of the whole
-/// history, and never calls [`PositionTable::lookup`] again.
+/// Maintained by the shared [`HistorySnapshot`](crate::HistorySnapshot) as
+/// signatures enter the history (each outer stack is interned and resolved
+/// exactly once, into the snapshot's canonical outer table); the
+/// per-request check then touches only `signatures_at(position)` instead of
+/// the whole history, and never calls [`PositionTable::lookup`] again.
 ///
 /// Invariants:
 /// * signature ids are inserted in ascending order, so every per-position

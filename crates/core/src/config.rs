@@ -35,8 +35,17 @@ pub struct Config {
     /// Whether avoidance-induced starvation is detected and converted into
     /// starvation signatures (§2.2).
     pub starvation_handling: bool,
-    /// Optional path of the persistent deadlock history.
+    /// Optional path of the persistent deadlock history — an append-only
+    /// signature log (see [`HistoryLog`](crate::HistoryLog)). The engine
+    /// replays (and tail-repairs) the log at construction and appends one
+    /// record per newly detected signature.
     pub history_path: Option<PathBuf>,
+    /// Whether each history-log append fsyncs the file (default `true`):
+    /// an antibody is durable the moment its detection returns, which is
+    /// the paper-faithful choice — the whole point of the history is to
+    /// survive the reboot that follows a freeze. Disable to trade that
+    /// durability for cheaper appends.
+    pub log_sync: bool,
     /// Maximum number of signatures retained in the in-memory history.
     pub max_signatures: usize,
     /// Capacity of the in-memory event log (0 disables event logging).
@@ -51,6 +60,7 @@ impl Default for Config {
             avoidance: true,
             starvation_handling: true,
             history_path: None,
+            log_sync: true,
             max_signatures: DEFAULT_MAX_SIGNATURES,
             event_log_capacity: 0,
         }
@@ -116,9 +126,16 @@ impl ConfigBuilder {
         self
     }
 
-    /// Sets the persistent history path.
+    /// Sets the path of the persistent history (an append-only signature
+    /// log; see [`HistoryLog`](crate::HistoryLog)).
     pub fn history_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.config.history_path = Some(path.into());
+        self
+    }
+
+    /// Enables or disables the per-append fsync of the history log.
+    pub fn log_sync(mut self, enabled: bool) -> Self {
+        self.config.log_sync = enabled;
         self
     }
 
@@ -152,6 +169,7 @@ mod tests {
         assert!(cfg.avoidance);
         assert!(cfg.starvation_handling);
         assert!(cfg.history_path.is_none());
+        assert!(cfg.log_sync);
     }
 
     #[test]
@@ -162,6 +180,7 @@ mod tests {
             .avoidance(false)
             .starvation_handling(false)
             .history_path("/tmp/h.dimmu")
+            .log_sync(false)
             .max_signatures(12)
             .event_log_capacity(128)
             .build();
@@ -170,6 +189,7 @@ mod tests {
         assert_eq!(cfg.max_signatures, 12);
         assert_eq!(cfg.event_log_capacity, 128);
         assert!(cfg.history_path.is_some());
+        assert!(!cfg.log_sync);
     }
 
     #[test]

@@ -21,12 +21,15 @@ use crate::config::Config;
 use crate::detection::{classify_cycle, last_history_hold};
 use crate::error::Result;
 use crate::events::{EventKind, EventLog};
-use crate::history::History;
+use crate::history::{History, HistoryLog};
 use crate::position::{PositionId, PositionTable};
 use crate::rag::{Rag, YieldRecord};
 use crate::signature::{Signature, SignatureKind, SignaturePair};
+use crate::snapshot::HistorySnapshot;
 use crate::stats::Stats;
 use crate::{LockId, LogicalTime, SignatureId, ThreadId};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The engine's answer to a lock request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,10 +88,24 @@ pub struct Dimmunix {
     config: Config,
     positions: PositionTable,
     rag: Rag,
-    history: History,
-    /// Inverted avoidance index over the history, keyed by interned outer
-    /// position; kept in lockstep with `history` by `insert_signature`.
-    sig_index: SignatureIndex,
+    /// The shared, immutable history snapshot (signatures + canonical
+    /// outer-position table + [`SignatureIndex`]). In a sharded deployment
+    /// every shard holds a clone of the same `Arc`; a detection builds a new
+    /// snapshot and swaps it into every shard ([`install_snapshot`]).
+    ///
+    /// [`install_snapshot`]: Dimmunix::install_snapshot
+    snapshot: Arc<HistorySnapshot>,
+    /// Sparse link from the snapshot's canonical outer ids to this engine's
+    /// own interned positions (the reverse of [`Position::history_ref`]).
+    /// Only outers whose stack this engine has actually interned appear, so
+    /// the map stays empty on engines that never touch a history site.
+    ///
+    /// [`Position::history_ref`]: crate::Position::history_ref
+    outer_to_local: HashMap<PositionId, PositionId>,
+    /// Number of snapshot outer ids already linked against the local
+    /// position table; ids past this watermark are reconciled by the next
+    /// [`install_snapshot`](Dimmunix::install_snapshot).
+    linked_outers: usize,
     stats: Stats,
     events: EventLog,
     clock: LogicalTime,
@@ -103,35 +120,59 @@ impl Default for Dimmunix {
 
 impl Dimmunix {
     /// Creates an engine with the given configuration. If the configuration
-    /// names a history file, it is loaded (a missing file is an empty
-    /// history, i.e. a phone that has not deadlocked yet).
+    /// names a history log, it is replayed — repairing a crash-partial tail
+    /// record first — and a missing file is an empty history (a phone that
+    /// has not deadlocked yet). A log that fails to replay (interior
+    /// corruption) is quarantined to `<path>.corrupt` so new detections
+    /// start a fresh, replayable log instead of appending behind records no
+    /// restart can ever read; the engine then starts with an empty history,
+    /// matching the old text-codec behaviour of a corrupt file.
     pub fn new(config: Config) -> Self {
-        let history = config
-            .history_path
-            .as_ref()
-            .and_then(|p| History::load_text(p).ok())
-            .unwrap_or_default();
+        let history = match config.history_path.as_ref() {
+            Some(path) => {
+                let log = HistoryLog::new(path);
+                match log.recover() {
+                    Ok(replay) => replay.history,
+                    Err(_) => {
+                        let _ = log.quarantine();
+                        History::new()
+                    }
+                }
+            }
+            None => History::new(),
+        };
         Self::with_history(config, history)
     }
 
     /// Creates an engine with an explicit starting history (e.g. antibodies
-    /// shipped by a vendor, or synthetic signatures for benchmarking).
+    /// shipped by a vendor, or synthetic signatures for benchmarking). The
+    /// snapshot is bulk-built: outer stacks are interned first and the
+    /// avoidance index is constructed in one pass at the end.
     pub fn with_history(config: Config, history: History) -> Self {
-        let mut engine = Dimmunix {
+        let snapshot = HistorySnapshot::build(history, config.stack_depth);
+        Self::with_snapshot(config, snapshot)
+    }
+
+    /// Creates an engine sharing an existing history snapshot. This is how
+    /// the sharded engine and the `dimmunix-rt` runtime stamp out shards:
+    /// one snapshot is built (or replayed from the log) once and every
+    /// shard receives a clone of the same `Arc`, so the history,
+    /// outer-position table, and index exist once per process.
+    pub fn with_snapshot(config: Config, snapshot: Arc<HistorySnapshot>) -> Self {
+        Dimmunix {
             positions: PositionTable::new(config.stack_depth),
             rag: Rag::new(),
-            sig_index: SignatureIndex::new(),
+            outer_to_local: HashMap::new(),
+            // The local table is empty, so there is nothing to link yet;
+            // new positions are linked as they are interned.
+            linked_outers: snapshot.outer_len(),
+            snapshot,
             stats: Stats::new(),
             events: EventLog::new(config.event_log_capacity),
             clock: LogicalTime::ZERO,
             pending_wakeups: Vec::new(),
-            history: History::new(),
             config,
-        };
-        for (_, sig) in history.iter() {
-            engine.insert_signature(sig.clone());
         }
-        engine
     }
 
     // ------------------------------------------------------------------
@@ -143,9 +184,16 @@ impl Dimmunix {
         &self.config
     }
 
-    /// The deadlock history (the process's antibodies).
+    /// The deadlock history (the process's antibodies), read from the
+    /// shared snapshot.
     pub fn history(&self) -> &History {
-        &self.history
+        self.snapshot.history()
+    }
+
+    /// The shared history snapshot this engine currently reads. Engines in
+    /// one sharded deployment return clones of the same `Arc`.
+    pub fn history_snapshot(&self) -> &Arc<HistorySnapshot> {
+        &self.snapshot
     }
 
     /// Activity counters.
@@ -163,9 +211,12 @@ impl Dimmunix {
         &self.rag
     }
 
-    /// The inverted avoidance index (PositionId -> signature ids).
+    /// The inverted avoidance index, read from the shared snapshot. Its
+    /// keys are the snapshot's *canonical* outer-position ids (see
+    /// [`HistorySnapshot::outer_table`]), which local positions link to via
+    /// [`Position::history_ref`](crate::Position::history_ref).
     pub fn signature_index(&self) -> &SignatureIndex {
-        &self.sig_index
+        self.snapshot.index()
     }
 
     /// The event log (empty unless enabled in the configuration).
@@ -180,14 +231,26 @@ impl Dimmunix {
 
     /// Estimated resident memory added by Dimmunix to the process, in bytes.
     /// This is what the Table 1 memory-overhead experiment charges to
-    /// Dimmunix: positions and their queues, the RAG, the history, and the
-    /// per-thread stack buffers modelled by the substrates.
+    /// Dimmunix: the engine-local state
+    /// ([`local_memory_footprint_bytes`](Dimmunix::local_memory_footprint_bytes))
+    /// plus the shared history snapshot. In a sharded deployment the
+    /// snapshot is shared, so per-process accounting must charge it once —
+    /// sum the shards' *local* footprints and add the snapshot separately
+    /// (as [`ShardedDimmunix::memory_footprint_bytes`] does).
+    ///
+    /// [`ShardedDimmunix::memory_footprint_bytes`]: crate::ShardedDimmunix::memory_footprint_bytes
     pub fn memory_footprint_bytes(&self) -> usize {
+        self.local_memory_footprint_bytes() + self.snapshot.memory_footprint_bytes()
+    }
+
+    /// Estimated resident memory of the engine-local state only: positions
+    /// and their queues, the RAG, and the outer-link map — everything
+    /// *except* the shared history snapshot.
+    pub fn local_memory_footprint_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.positions.memory_footprint_bytes()
             + self.rag.memory_footprint_bytes()
-            + self.history.memory_footprint_bytes()
-            + self.sig_index.memory_footprint_bytes()
+            + self.outer_to_local.len() * 2 * std::mem::size_of::<PositionId>()
     }
 
     // ------------------------------------------------------------------
@@ -234,7 +297,26 @@ impl Dimmunix {
     /// so substrates can pre-compute position ids for static sites (§4's
     /// compiler-id optimization).
     pub fn intern_position(&mut self, stack: &CallStack) -> PositionId {
-        self.positions.intern(stack)
+        self.intern_linked(stack)
+    }
+
+    /// Interns `stack` and, if the position is new, links it against the
+    /// shared snapshot's canonical outer table. Every intern performed by
+    /// the engine goes through here, which (together with
+    /// [`install_snapshot`](Dimmunix::install_snapshot)) maintains the
+    /// invariant that `Position::history_ref` is always current.
+    fn intern_linked(&mut self, stack: &CallStack) -> PositionId {
+        let before = self.positions.len();
+        let pid = self.positions.intern(stack);
+        if self.positions.len() > before {
+            if let Some(outer) = self.snapshot.outer_of_stack(stack) {
+                if let Some(p) = self.positions.get_mut(pid) {
+                    p.set_history_ref(Some(outer));
+                }
+                self.outer_to_local.insert(outer, pid);
+            }
+        }
+        pid
     }
 
     /// Adds a signature directly to the history (vendor-shipped antibodies or
@@ -254,7 +336,7 @@ impl Dimmunix {
     ///
     /// [`request_at`]: Dimmunix::request_at
     pub fn request(&mut self, t: ThreadId, l: LockId, stack: &CallStack) -> RequestOutcome {
-        let pos = self.positions.intern(stack);
+        let pos = self.intern_linked(stack);
         self.request_at(t, l, pos)
     }
 
@@ -336,7 +418,6 @@ impl Dimmunix {
                             );
                         }
                     }
-                    self.persist_history_best_effort();
                     // Fall through: the requester itself is then treated by
                     // the avoidance logic below.
                 } else {
@@ -352,7 +433,6 @@ impl Dimmunix {
                             new_signature: new,
                         },
                     );
-                    self.persist_history_best_effort();
                     return RequestOutcome::DeadlockDetected {
                         signature: sig_id,
                         new_signature: new,
@@ -363,13 +443,21 @@ impl Dimmunix {
         }
 
         // --- Avoidance ---------------------------------------------------
-        if self.config.avoidance && !self.history.is_empty() {
+        if self.config.avoidance && !self.snapshot.is_empty() {
             self.stats.instantiation_checks += 1;
-            // Hot path: only signatures indexed at this position are examined
-            // (O(signatures-at-this-position), not O(|history|)); the linear
-            // `avoidance::find_instantiation` is the property-tested oracle.
-            self.stats.signatures_examined += self.sig_index.signatures_at(pos).len() as u64;
-            if let Some(inst) = self.sig_index.find_instantiation(&self.positions, t, pos) {
+            // Hot path: positions no signature mentions carry no
+            // `history_ref` link, so the check is one `Option` read —
+            // O(signatures-at-this-position) otherwise, never O(|history|).
+            // The linear `avoidance::find_instantiation` remains the
+            // property-tested oracle.
+            let outer = self.positions.get(pos).and_then(|p| p.history_ref());
+            self.stats.signatures_examined +=
+                outer.map_or(0, |o| self.snapshot.index().signatures_at(o).len() as u64);
+            // Same implementation as the sharded engine's merged check,
+            // called with this engine as the only shard.
+            let inst =
+                outer.and_then(|o| crate::sharded::find_instantiation_merged(&[&*self], 0, t, o));
+            if let Some(inst) = inst {
                 let mut park = true;
                 if self.config.starvation_handling && self.would_starve(t, &inst.blockers) {
                     // Parking would itself create a wait-for cycle: record
@@ -389,7 +477,6 @@ impl Dimmunix {
                             new_signature: new,
                         },
                     );
-                    self.persist_history_best_effort();
                     park = false;
                 }
                 if park {
@@ -457,7 +544,7 @@ impl Dimmunix {
                 // The acquisition was not announced through `request` (or the
                 // grant was for a different lock). Account it under an
                 // anonymous position so release bookkeeping stays balanced.
-                let p = self.positions.intern(&CallStack::new());
+                let p = self.intern_linked(&CallStack::new());
                 if let Some(pd) = self.positions.get_mut(p) {
                     pd.queue_mut().push(t);
                 }
@@ -542,13 +629,17 @@ impl Dimmunix {
         std::mem::take(&mut self.pending_wakeups)
     }
 
-    /// Persists the history to the configured path.
+    /// Rewrites the configured history log to exactly the in-memory
+    /// history, atomically — the online compaction entry point. Normal
+    /// operation never calls this: detections append single records to the
+    /// log as they happen.
     ///
     /// # Errors
-    /// Returns an error if no path is configured or the write fails.
+    /// Returns an error if no history path is configured or the write
+    /// fails.
     pub fn save_history(&self) -> Result<()> {
-        match &self.config.history_path {
-            Some(path) => self.history.save_text(path),
+        match self.log() {
+            Some(log) => log.rewrite(self.snapshot.history()),
             None => Err(crate::error::DimmunixError::ProtocolViolation(
                 "no history path configured".into(),
             )),
@@ -591,58 +682,86 @@ impl Dimmunix {
         self.pending_wakeups.push(sig);
     }
 
-    /// Best-effort history persistence (crate-internal; the public entry
-    /// point is [`save_history`](Dimmunix::save_history)).
-    pub(crate) fn persist_history_best_effort(&self) {
-        if self.config.history_path.is_some() {
-            let _ = self.save_history();
+    /// Adopts a newer shared snapshot and reconciles the local position
+    /// table with it: every canonical outer id added since the last
+    /// reconciliation is looked up among the already-interned local
+    /// positions and linked both ways. Newer positions link themselves at
+    /// intern time ([`intern_linked`](Dimmunix::intern_linked)), so the
+    /// `history_ref` invariant holds at all times. In a sharded deployment
+    /// this runs on every shard, under the all-shard lock, right after a
+    /// detection appended to the shared history.
+    pub(crate) fn install_snapshot(&mut self, snapshot: Arc<HistorySnapshot>) {
+        self.snapshot = snapshot;
+        let outers = self.snapshot.outer_table();
+        for idx in self.linked_outers..outers.len() {
+            let outer = PositionId::new(idx as u32);
+            let stack = outers.get(outer).expect("id in range").stack();
+            if let Some(pid) = self.positions.lookup(stack) {
+                if let Some(p) = self.positions.get_mut(pid) {
+                    p.set_history_ref(Some(outer));
+                }
+                self.outer_to_local.insert(outer, pid);
+            }
         }
+        self.linked_outers = outers.len();
+    }
+
+    /// The local position (if any) interned for the snapshot's canonical
+    /// outer id — used by the cross-shard instantiation check to find this
+    /// shard's queue slice for an outer slot.
+    pub(crate) fn local_position_of_outer(&self, outer: PositionId) -> Option<PositionId> {
+        self.outer_to_local.get(&outer).copied()
     }
 
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
-    fn extend_wakeups_for_position(&self, pos: PositionId, wake: &mut Vec<SignatureId>) {
-        let Some(p) = self.positions.get(pos) else {
-            return;
-        };
-        if !p.in_history() {
-            return;
-        }
-        // Same inverted index as the request path: the signatures whose outer
-        // positions include the released acquisition's position.
-        wake.extend_from_slice(self.sig_index.signatures_at(pos));
+    /// Handle on the configured append-only history log, if any.
+    fn log(&self) -> Option<HistoryLog> {
+        self.config
+            .history_path
+            .as_ref()
+            .map(|p| HistoryLog::new(p).with_sync(self.config.log_sync))
     }
 
+    fn extend_wakeups_for_position(&self, pos: PositionId, wake: &mut Vec<SignatureId>) {
+        let Some(outer) = self.positions.get(pos).and_then(|p| p.history_ref()) else {
+            return;
+        };
+        // Same inverted index as the request path: the signatures whose outer
+        // positions include the released acquisition's position.
+        wake.extend_from_slice(self.snapshot.index().signatures_at(outer));
+    }
+
+    /// Appends `sig` to the shared history: builds the successor snapshot,
+    /// appends one record to the history log (best-effort), and installs
+    /// the new snapshot locally. In a sharded deployment, `sharded.rs`'s
+    /// `broadcast_signature` calls this on one shard and installs the
+    /// resulting snapshot on the others, so the log is appended exactly
+    /// once per new signature.
     pub(crate) fn insert_signature(&mut self, sig: Signature) -> (SignatureId, bool) {
-        if self.history.len() >= self.config.max_signatures {
-            if let Some(existing) = self.history.find(&sig) {
+        if self.snapshot.len() >= self.config.max_signatures {
+            if let Some(existing) = self.snapshot.history().find(&sig) {
                 return (existing, false);
             }
             // History is full: keep the engine functional by refusing new
             // antibodies rather than evicting old ones (old ones are proven
             // bugs; new ones can be re-learned on the next occurrence).
             return (
-                SignatureId::new(self.history.len().saturating_sub(1)),
+                SignatureId::new(self.snapshot.len().saturating_sub(1)),
                 false,
             );
         }
-        let (id, new) = self.history.add(sig);
+        let (snapshot, id, new) = self.snapshot.append(sig);
         if new {
-            // Position-interning hook: resolve every outer stack once, flag
-            // the positions as history members, and index the signature under
-            // them so the avoidance hot path never re-resolves a stack.
-            let sig = self.history.get(id).cloned().expect("just inserted");
-            let mut outer_pids = Vec::with_capacity(sig.arity());
-            for outer in sig.outer_stacks() {
-                let pid = self.positions.intern(outer);
-                if let Some(p) = self.positions.get_mut(pid) {
-                    p.set_in_history(true);
-                }
-                outer_pids.push(pid);
+            if let Some(log) = self.log() {
+                // Best-effort, like the paper's persistence: a failed write
+                // costs re-learning the bug after the next occurrence, never
+                // engine correctness.
+                let _ = log.append(snapshot.history().get(id).expect("just appended"));
             }
-            self.sig_index.insert(id, outer_pids);
+            self.install_snapshot(snapshot);
         }
         (id, new)
     }

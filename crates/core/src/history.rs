@@ -5,16 +5,24 @@
 //! across process restarts — on the phone, across reboots — which is what
 //! turns a one-time hang into permanent immunity (§2.1, §5 case study).
 //!
-//! Two codecs are provided:
+//! Three codecs are provided:
 //! * a line-oriented text format close in spirit to the original Dimmunix
-//!   history files, and
+//!   history files,
 //! * a self-contained JSON format convenient for tooling (hand-rolled: the
-//!   build environment has no crates.io access, so `serde` is unavailable).
+//!   build environment has no crates.io access, so `serde` is unavailable),
+//!   and
+//! * an **append-only log** ([`HistoryLog`]): one self-delimiting JSON
+//!   record per detected signature, appended as the engine runs and
+//!   replayed at start-up. Appending a ~200-byte record is what a detection
+//!   costs on disk, instead of rewriting the whole store; a crash can at
+//!   worst leave a partial final record, which replay detects and
+//!   [`recover`](HistoryLog::recover) truncates away.
 //!
 //! Position-indexed queries over the history (the avoidance and release hot
-//! paths) live in [`SignatureIndex`](crate::SignatureIndex), which the engine
-//! keeps in lockstep with its history; `History` itself stays a plain
-//! signature store.
+//! paths) live in [`SignatureIndex`](crate::SignatureIndex), which lives
+//! once per process inside the shared
+//! [`HistorySnapshot`](crate::HistorySnapshot); `History` itself stays a
+//! plain signature store.
 
 use crate::callstack::CallStack;
 use crate::error::{DimmunixError, Result};
@@ -174,6 +182,21 @@ impl History {
 
     /// Parses the text format produced by [`to_text`].
     ///
+    /// ```
+    /// use dimmunix_core::History;
+    /// let text = "\
+    /// #sig deadlock 2
+    /// Nms.enqueue@nms.java:310
+    /// Nms.cancel@nms.java:402
+    /// SbS.handleMessage@sbs.java:120
+    /// SbS.expand@sbs.java:88
+    /// ";
+    /// let history = History::from_text(text)?;
+    /// assert_eq!(history.len(), 1);
+    /// assert_eq!(History::from_text(&history.to_text())?.len(), 1);
+    /// # Ok::<(), dimmunix_core::DimmunixError>(())
+    /// ```
+    ///
     /// # Errors
     /// Returns [`DimmunixError::Parse`] for malformed input.
     ///
@@ -318,6 +341,19 @@ impl History {
 
     /// Parses a JSON history produced by [`to_json`](History::to_json).
     ///
+    /// ```
+    /// use dimmunix_core::History;
+    /// let json = r#"{"signatures": [{"kind": "deadlock", "pairs": [
+    ///     {"outer": "a@a.rs:1", "inner": "b@b.rs:2"},
+    ///     {"outer": "c@c.rs:3", "inner": "d@d.rs:4"}
+    /// ]}]}"#;
+    /// let history = History::from_json(json)?;
+    /// assert_eq!(history.len(), 1);
+    /// let roundtrip = History::from_json(&history.to_json()?)?;
+    /// assert_eq!(roundtrip.len(), 1);
+    /// # Ok::<(), dimmunix_core::DimmunixError>(())
+    /// ```
+    ///
     /// # Errors
     /// Returns a parse error for malformed JSON.
     pub fn from_json(text: &str) -> Result<History> {
@@ -329,29 +365,373 @@ impl History {
             .ok_or_else(|| parse_err("missing `signatures` array".into()))?;
         let mut history = History::new();
         for sig in sigs {
-            let kind = match sig.get("kind").and_then(JsonValue::as_str) {
-                Some("deadlock") => SignatureKind::Deadlock,
-                Some("starvation") => SignatureKind::Starvation,
-                other => return Err(parse_err(format!("unknown signature kind {other:?}"))),
-            };
-            let raw_pairs = sig
-                .get("pairs")
-                .and_then(JsonValue::as_array)
-                .ok_or_else(|| parse_err("missing `pairs` array".into()))?;
-            let mut pairs = Vec::with_capacity(raw_pairs.len());
-            for p in raw_pairs {
-                let stack = |key: &str| -> Result<CallStack> {
-                    let compact = p
-                        .get(key)
-                        .and_then(JsonValue::as_str)
-                        .ok_or_else(|| parse_err(format!("pair is missing `{key}`")))?;
-                    CallStack::parse_compact(compact).map_err(parse_err)
-                };
-                pairs.push(SignaturePair::new(stack("outer")?, stack("inner")?));
-            }
-            history.add(Signature::new(kind, pairs));
+            history.add(signature_from_json_value(sig)?);
         }
         Ok(history)
+    }
+
+    /// Replays an append-only signature log (the format written by
+    /// [`HistoryLog`]): one single-line JSON record per signature, in
+    /// detection order. A record counts as committed only once its
+    /// terminating newline is on disk; a partial final record — what a
+    /// crash in the middle of an append leaves behind — is tolerated and
+    /// reported through [`LogReplay::truncated_tail`]. A malformed record
+    /// anywhere *before* the tail is genuine corruption and is an error.
+    ///
+    /// ```
+    /// use dimmunix_core::History;
+    /// let log = concat!(
+    ///     r#"{"kind": "deadlock", "pairs": [{"outer": "a@a.rs:1", "inner": "b@b.rs:2"},"#,
+    ///     r#" {"outer": "c@c.rs:3", "inner": "d@d.rs:4"}]}"#,
+    ///     "\n",
+    ///     r#"{"kind": "starva"#, // the crash ate the rest of this record
+    /// );
+    /// let replay = History::replay_log_text(log)?;
+    /// assert_eq!(replay.history.len(), 1);
+    /// assert_eq!(replay.records, 1);
+    /// assert!(replay.truncated_tail);
+    /// # Ok::<(), dimmunix_core::DimmunixError>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`DimmunixError::Parse`] for a malformed non-tail record.
+    pub fn replay_log_text(text: &str) -> Result<LogReplay> {
+        let mut history = History::new();
+        let mut records = 0usize;
+        let mut truncated_tail = false;
+        let mut valid_len = 0usize;
+
+        // Lines with their byte offsets, so the valid prefix length can be
+        // reported for tail repair.
+        let mut offset = 0usize;
+        let mut lines: Vec<(usize, usize, &str)> = Vec::new(); // (line_no, offset, line)
+        for (line_no, line) in text.split_inclusive('\n').enumerate() {
+            lines.push((line_no + 1, offset, line));
+            offset += line.len();
+        }
+        let last_content = lines
+            .iter()
+            .rposition(|(_, _, l)| !l.trim().is_empty())
+            .unwrap_or(0);
+
+        for (i, (line_no, start, line)) in lines.iter().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                valid_len = start + line.len();
+                continue;
+            }
+            match signature_from_log_record(trimmed) {
+                // A record is committed once its terminating newline is on
+                // disk (appends write record + newline in one call). A
+                // complete-looking record without the terminator is treated
+                // exactly like a partial one, so replay and tail repair
+                // always agree on the committed prefix.
+                Ok(sig) if line.ends_with('\n') => {
+                    history.add(sig);
+                    records += 1;
+                    valid_len = start + line.len();
+                }
+                Ok(_) => {
+                    truncated_tail = true;
+                }
+                Err(e) if i == last_content => {
+                    // Partial final record: the append was interrupted.
+                    let _ = e;
+                    truncated_tail = true;
+                    break;
+                }
+                Err(e) => {
+                    return Err(DimmunixError::Parse {
+                        line: *line_no,
+                        message: format!("corrupt log record: {e}"),
+                    })
+                }
+            }
+        }
+
+        Ok(LogReplay {
+            history,
+            records,
+            truncated_tail,
+            valid_len,
+        })
+    }
+}
+
+/// Outcome of replaying an append-only signature log (see
+/// [`History::replay_log_text`] and [`HistoryLog::replay`]).
+#[derive(Debug, Clone)]
+pub struct LogReplay {
+    /// The signatures reconstructed from the well-formed prefix of the log
+    /// (duplicates are merged, exactly as live detections are).
+    pub history: History,
+    /// Number of well-formed records applied.
+    pub records: usize,
+    /// True if the log ended in a partial record (a crash interrupted an
+    /// append) that was discarded. [`HistoryLog::recover`] truncates the
+    /// file back to the well-formed prefix in that case.
+    pub truncated_tail: bool,
+    /// Byte length of the well-formed, newline-terminated prefix; the file
+    /// length appends may safely resume from.
+    pub valid_len: usize,
+}
+
+/// Encodes one signature as a single-line, self-delimiting JSON log record.
+///
+/// The record is the element format of [`History::to_json`]'s `signatures`
+/// array, flattened to one line — JSON strings escape raw newlines, so a
+/// newline always terminates a record and the log is self-delimiting.
+pub fn signature_to_log_record(sig: &Signature) -> String {
+    let mut out = String::from("{\"kind\": ");
+    json::write_escaped(&mut out, &sig.kind().to_string());
+    out.push_str(", \"pairs\": [");
+    for (j, pair) in sig.pairs().iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"outer\": ");
+        json::write_escaped(&mut out, &pair.outer.to_compact());
+        out.push_str(", \"inner\": ");
+        json::write_escaped(&mut out, &pair.inner.to_compact());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses one log record produced by [`signature_to_log_record`].
+///
+/// # Errors
+/// Returns [`DimmunixError::Parse`] for malformed records.
+pub fn signature_from_log_record(line: &str) -> Result<Signature> {
+    let parse_err = |message: String| DimmunixError::Parse { line: 0, message };
+    let value = json::parse(line).map_err(parse_err)?;
+    signature_from_json_value(&value)
+}
+
+/// Decodes one signature object (`{"kind": …, "pairs": […]}`), shared by the
+/// JSON history codec and the log record codec.
+fn signature_from_json_value(sig: &JsonValue) -> Result<Signature> {
+    let parse_err = |message: String| DimmunixError::Parse { line: 0, message };
+    let kind = match sig.get("kind").and_then(JsonValue::as_str) {
+        Some("deadlock") => SignatureKind::Deadlock,
+        Some("starvation") => SignatureKind::Starvation,
+        other => return Err(parse_err(format!("unknown signature kind {other:?}"))),
+    };
+    let raw_pairs = sig
+        .get("pairs")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| parse_err("missing `pairs` array".into()))?;
+    let mut pairs = Vec::with_capacity(raw_pairs.len());
+    for p in raw_pairs {
+        let stack = |key: &str| -> Result<CallStack> {
+            let compact = p
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| parse_err(format!("pair is missing `{key}`")))?;
+            CallStack::parse_compact(compact).map_err(parse_err)
+        };
+        pairs.push(SignaturePair::new(stack("outer")?, stack("inner")?));
+    }
+    Ok(Signature::new(kind, pairs))
+}
+
+/// Handle on an append-only signature log file — the engine's persistent
+/// antibody store.
+///
+/// A detection appends **one record** ([`append`](HistoryLog::append));
+/// start-up replays the whole file ([`recover`](HistoryLog::recover),
+/// which also truncates a crash-partial tail so later appends land on a
+/// clean record boundary). [`compact`](HistoryLog::compact) is the offline
+/// maintenance entry point: it deduplicates and rewrites the log
+/// atomically.
+///
+/// ```
+/// use dimmunix_core::{CallStack, Frame, HistoryLog, Signature, SignatureKind, SignaturePair};
+/// let path = std::env::temp_dir().join(format!("dimmunix-doc-{}.log", std::process::id()));
+/// # let _ = std::fs::remove_file(&path);
+/// let log = HistoryLog::new(&path);
+/// let sig = Signature::new(SignatureKind::Deadlock, vec![SignaturePair::new(
+///     CallStack::single(Frame::new("a", "a.rs", 1)),
+///     CallStack::single(Frame::new("b", "b.rs", 2)),
+/// )]);
+/// log.append(&sig)?;
+/// log.append(&sig)?; // the log itself is dumb — duplicates merge on replay
+/// let replay = log.replay()?;
+/// assert_eq!(replay.records, 2);
+/// assert_eq!(replay.history.len(), 1);
+/// assert!(!replay.truncated_tail);
+/// assert_eq!(log.compact()?.history.len(), 1); // rewrites 1 deduped record
+/// # std::fs::remove_file(&path).ok();
+/// # Ok::<(), dimmunix_core::DimmunixError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryLog {
+    path: std::path::PathBuf,
+    sync: bool,
+}
+
+impl HistoryLog {
+    /// Creates a handle on the log at `path` (the file need not exist yet).
+    /// Appends are fsynced by default; see [`with_sync`](HistoryLog::with_sync).
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        HistoryLog {
+            path: path.into(),
+            sync: true,
+        }
+    }
+
+    /// Sets whether each append fsyncs the file. `true` (the default) makes
+    /// an antibody durable the moment the detection returns — the
+    /// paper-faithful choice, since the whole point is surviving the reboot
+    /// that follows a freeze. `false` trades that durability for cheaper
+    /// appends (the OS flushes eventually).
+    pub fn with_sync(mut self, sync: bool) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one signature record (creating the file and its parent
+    /// directories on first use). This is the per-detection disk cost: one
+    /// small record, not a rewrite of the store.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn append(&self, sig: &Signature) -> Result<()> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let created = !self.path.exists();
+        let mut record = signature_to_log_record(sig);
+        record.push('\n');
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        f.write_all(record.as_bytes())?;
+        if self.sync {
+            f.sync_all()?;
+            if created {
+                // A new file's directory entry is not durable until the
+                // directory itself is synced; without this, the very first
+                // antibody could vanish in the reboot that follows the
+                // freeze — the one write the log exists for.
+                self.sync_parent_dir()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fsyncs the log's parent directory so a freshly created or renamed
+    /// directory entry survives a crash. POSIX-only; a no-op elsewhere
+    /// (directories cannot be opened for syncing on other platforms).
+    fn sync_parent_dir(&self) -> Result<()> {
+        #[cfg(unix)]
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::File::open(parent)?.sync_all()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays the log without modifying it. A missing file is an empty
+    /// history (a phone that has not deadlocked yet).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors (other than "not found") and reports
+    /// corrupt non-tail records as parse errors.
+    pub fn replay(&self) -> Result<LogReplay> {
+        match fs::read_to_string(&self.path) {
+            Ok(text) => History::replay_log_text(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(LogReplay {
+                history: History::new(),
+                records: 0,
+                truncated_tail: false,
+                valid_len: 0,
+            }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Replays the log and, if it ends in a crash-partial record, truncates
+    /// the file back to the well-formed prefix so the next append lands on
+    /// a record boundary. This is the engine's start-up path.
+    ///
+    /// # Errors
+    /// Propagates filesystem and parse errors as in [`replay`](HistoryLog::replay).
+    pub fn recover(&self) -> Result<LogReplay> {
+        let replay = self.replay()?;
+        if replay.truncated_tail {
+            let f = fs::OpenOptions::new().write(true).open(&self.path)?;
+            f.set_len(replay.valid_len as u64)?;
+            if self.sync {
+                f.sync_all()?;
+            }
+        }
+        Ok(replay)
+    }
+
+    /// Moves a log that failed to replay aside (to `<path>.corrupt`,
+    /// replacing any previous quarantine) so the engine can start a fresh,
+    /// replayable log while preserving the bytes for diagnosis. Without
+    /// this, appends after interior corruption would land behind records
+    /// that every future replay rejects — antibodies written but never
+    /// readable again. Returns the quarantine path.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn quarantine(&self) -> Result<std::path::PathBuf> {
+        let target = self.path.with_extension("corrupt");
+        fs::rename(&self.path, &target)?;
+        Ok(target)
+    }
+
+    /// Rewrites the log to contain exactly `history`, one record per
+    /// signature, atomically (write-then-rename). Used by compaction and by
+    /// [`Dimmunix::save_history`](crate::Dimmunix::save_history).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn rewrite(&self, history: &History) -> Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        {
+            let mut f = fs::File::create(&tmp)?;
+            for (_, sig) in history.iter() {
+                let mut record = signature_to_log_record(sig);
+                record.push('\n');
+                f.write_all(record.as_bytes())?;
+            }
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        // The rename changed the directory entry; make that durable too.
+        self.sync_parent_dir()?;
+        Ok(())
+    }
+
+    /// Offline compaction: replays the log (tolerating a partial tail),
+    /// deduplicates, and rewrites it atomically. Returns the replay the
+    /// compacted log was built from.
+    ///
+    /// # Errors
+    /// Propagates filesystem and parse errors.
+    pub fn compact(&self) -> Result<LogReplay> {
+        let replay = self.replay()?;
+        self.rewrite(&replay.history)?;
+        Ok(replay)
     }
 }
 
@@ -492,6 +872,117 @@ mod tests {
         let base = h.memory_footprint_bytes();
         h.add(sig(SignatureKind::Deadlock, 1, 2));
         assert!(h.memory_footprint_bytes() > base);
+    }
+
+    #[test]
+    fn log_record_roundtrip() {
+        let original = sig(SignatureKind::Starvation, 3, 4);
+        let record = signature_to_log_record(&original);
+        assert!(!record.contains('\n'), "records must be single-line");
+        let parsed = signature_from_log_record(&record).unwrap();
+        assert!(parsed.same_bug(&original));
+    }
+
+    #[test]
+    fn log_append_replay_roundtrip_and_missing_file() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-log-rt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let log = HistoryLog::new(dir.join("history.log"));
+        // Missing file: empty history, clean tail.
+        let replay = log.replay().unwrap();
+        assert!(replay.history.is_empty());
+        assert!(!replay.truncated_tail);
+        for i in 0..4 {
+            log.append(&sig(SignatureKind::Deadlock, i * 10, i * 10 + 1))
+                .unwrap();
+        }
+        let replay = log.replay().unwrap();
+        assert_eq!(replay.records, 4);
+        assert_eq!(replay.history.len(), 4);
+        assert!(!replay.truncated_tail);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_and_recovery_repairs_the_file() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-log-trunc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let log = HistoryLog::new(dir.join("history.log"));
+        for i in 0..3 {
+            log.append(&sig(SignatureKind::Deadlock, i * 10, i * 10 + 1))
+                .unwrap();
+        }
+        // Simulate a crash mid-append: chop the file in the middle of the
+        // final record.
+        let full = fs::read(log.path()).unwrap();
+        fs::write(log.path(), &full[..full.len() - 17]).unwrap();
+
+        let replay = log.recover().unwrap();
+        assert_eq!(replay.records, 2, "the partial record must be dropped");
+        assert!(replay.truncated_tail);
+        // Recovery truncated the partial record away, so the next append
+        // lands on a record boundary and a fresh replay is clean.
+        log.append(&sig(SignatureKind::Starvation, 90, 91)).unwrap();
+        let replay = log.replay().unwrap();
+        assert_eq!(replay.records, 3);
+        assert!(!replay.truncated_tail);
+        assert_eq!(replay.history.len(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unterminated_final_record_is_not_committed() {
+        // Appends write record + newline in one call; if the crash lands
+        // exactly between record and terminator, the record is *not*
+        // replayed (commit == durable newline), and recovery truncates it.
+        let mut text = String::new();
+        text.push_str(&signature_to_log_record(&sig(
+            SignatureKind::Deadlock,
+            1,
+            2,
+        )));
+        text.push('\n');
+        let clean_len = text.len();
+        text.push_str(&signature_to_log_record(&sig(
+            SignatureKind::Deadlock,
+            5,
+            6,
+        )));
+        let replay = History::replay_log_text(&text).unwrap();
+        assert_eq!(replay.records, 1);
+        assert!(replay.truncated_tail);
+        assert_eq!(replay.valid_len, clean_len);
+    }
+
+    #[test]
+    fn corrupt_interior_record_is_an_error() {
+        let good = signature_to_log_record(&sig(SignatureKind::Deadlock, 1, 2));
+        let text = format!("not json at all\n{good}\n");
+        assert!(History::replay_log_text(&text).is_err());
+        // ...but garbage only in the tail is tolerated.
+        let text = format!("{good}\n{{\"kind\": \"dead");
+        let replay = History::replay_log_text(&text).unwrap();
+        assert_eq!(replay.records, 1);
+        assert!(replay.truncated_tail);
+    }
+
+    #[test]
+    fn compaction_deduplicates_and_rewrites_atomically() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-log-compact-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let log = HistoryLog::new(dir.join("history.log")).with_sync(false);
+        for _ in 0..5 {
+            log.append(&sig(SignatureKind::Deadlock, 1, 2)).unwrap();
+        }
+        log.append(&sig(SignatureKind::Deadlock, 7, 8)).unwrap();
+        let replay = log.compact().unwrap();
+        assert_eq!(replay.records, 6);
+        assert_eq!(replay.history.len(), 2);
+        // The rewritten log holds exactly the deduplicated records.
+        let after = log.replay().unwrap();
+        assert_eq!(after.records, 2);
+        assert_eq!(after.history.len(), 2);
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

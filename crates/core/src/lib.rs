@@ -67,6 +67,7 @@ mod position;
 mod rag;
 mod sharded;
 mod signature;
+mod snapshot;
 mod stats;
 
 pub use avoidance::{find_instantiation, signature_instantiable, Instantiation, SignatureIndex};
@@ -76,16 +77,19 @@ pub use detection::{classify_cycle, DetectedCycle};
 pub use engine::{Dimmunix, RequestOutcome};
 pub use error::{DimmunixError, Result};
 pub use events::{Event, EventKind, EventLog};
-pub use history::History;
+pub use history::{
+    signature_from_log_record, signature_to_log_record, History, HistoryLog, LogReplay,
+};
 pub use ids::{LockId, LogicalTime, ProcessId, SignatureId, SiteId, ThreadId};
 pub use position::{Position, PositionId, PositionTable, ThreadQueue};
 pub use rag::{find_cycle_with, CycleStep, HeldEntry, Rag, WaitEdge, YieldRecord};
 pub use sharded::{
-    fast_path_eligible, holds_mask_with, request_cross_shard, stale_shard_after,
-    stale_shard_consumed, try_request_local, LocalDecision, ShardRouter, ShardedDimmunix,
-    MAX_SHARDS,
+    broadcast_signature, fast_path_eligible, holds_mask_with, request_cross_shard,
+    stale_shard_after, stale_shard_consumed, try_request_local, LocalDecision, ShardRouter,
+    ShardedDimmunix, MAX_SHARDS,
 };
 pub use signature::{Signature, SignatureKind, SignaturePair};
+pub use snapshot::HistorySnapshot;
 pub use stats::Stats;
 
 #[cfg(test)]
@@ -307,6 +311,109 @@ mod engine_tests {
             assert!(matches!(outcome, RequestOutcome::DeadlockDetected { .. }));
         }
         // "Reboot": a new engine loads the persisted antibody.
+        let e2 = Dimmunix::new(cfg);
+        assert_eq!(e2.history().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Detections append one record each; killing the process mid-append
+    /// (simulated by truncating the log inside the final record) must
+    /// restore exactly the committed prefix on replay, and the next
+    /// detection must append cleanly after tail repair.
+    #[test]
+    fn kill_during_detection_replays_committed_prefix() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-kill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("history.log");
+        let cfg = Config::builder().history_path(&path).build();
+
+        // Three distinct AB/BA deadlocks -> three appended records.
+        let mut e = Dimmunix::new(cfg.clone());
+        for k in 0..3u64 {
+            let (ta, tb) = (t(10 * k + 1), t(10 * k + 2));
+            let (la, lb) = (l(10 * k + 1), l(10 * k + 2));
+            assert!(e
+                .request(ta, la, &site("outer.a", 100 * k as u32))
+                .is_granted());
+            e.acquired(ta, la);
+            assert!(e
+                .request(tb, lb, &site("outer.b", 100 * k as u32 + 1))
+                .is_granted());
+            e.acquired(tb, lb);
+            assert!(e
+                .request(ta, lb, &site("inner.a", 100 * k as u32 + 2))
+                .is_granted());
+            let outcome = e.request(tb, la, &site("inner.b", 100 * k as u32 + 3));
+            assert!(matches!(outcome, RequestOutcome::DeadlockDetected { .. }));
+            e.unregister_thread(ta);
+            e.unregister_thread(tb);
+        }
+        assert_eq!(e.history().len(), 3);
+        let full = e.history().clone();
+        drop(e);
+
+        // The "kill": the third append was cut short.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+
+        // Replay restores an identical history for the committed prefix.
+        let e2 = Dimmunix::new(cfg.clone());
+        assert_eq!(e2.history().len(), 2);
+        for (id, sig) in e2.history().iter() {
+            assert!(full.get(id).unwrap().same_bug(sig), "replayed {id} differs");
+        }
+        drop(e2);
+
+        // The next detection appends cleanly onto the repaired log.
+        let mut e3 = Dimmunix::new(cfg.clone());
+        assert!(e3.request(t(91), l(91), &site("late.a", 900)).is_granted());
+        e3.acquired(t(91), l(91));
+        assert!(e3.request(t(92), l(92), &site("late.b", 901)).is_granted());
+        e3.acquired(t(92), l(92));
+        assert!(e3.request(t(91), l(92), &site("late.c", 902)).is_granted());
+        assert!(matches!(
+            e3.request(t(92), l(91), &site("late.d", 903)),
+            RequestOutcome::DeadlockDetected { .. }
+        ));
+        assert_eq!(e3.history().len(), 3);
+        let replay = HistoryLog::new(&path).replay().unwrap();
+        assert!(!replay.truncated_tail, "repair must leave a clean log");
+        assert_eq!(replay.history.len(), 3);
+        for (id, sig) in e3.history().iter() {
+            assert!(replay.history.get(id).unwrap().same_bug(sig));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A log with interior corruption cannot be appended to (those records
+    /// would be unreadable forever): the engine must quarantine it and
+    /// start a fresh log that replays cleanly after the next detection.
+    #[test]
+    fn corrupt_log_is_quarantined_and_a_fresh_log_started() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.log");
+        std::fs::write(&path, "garbage, not a record\n{\"also\": \"wrong\"}\n").unwrap();
+        let cfg = Config::builder().history_path(&path).build();
+
+        let mut e = Dimmunix::new(cfg.clone());
+        assert!(e.history().is_empty(), "corrupt history must not half-load");
+        assert!(
+            dir.join("history.corrupt").exists(),
+            "the unreadable log must be preserved for diagnosis"
+        );
+        // A detection appends to a brand-new log...
+        assert!(e.request(t(1), l(1), &site("q.a", 1)).is_granted());
+        e.acquired(t(1), l(1));
+        assert!(e.request(t(2), l(2), &site("q.b", 2)).is_granted());
+        e.acquired(t(2), l(2));
+        assert!(e.request(t(1), l(2), &site("q.c", 3)).is_granted());
+        assert!(matches!(
+            e.request(t(2), l(1), &site("q.d", 4)),
+            RequestOutcome::DeadlockDetected { .. }
+        ));
+        // ...which the next start-up replays in full.
         let e2 = Dimmunix::new(cfg);
         assert_eq!(e2.history().len(), 1);
         std::fs::remove_dir_all(&dir).ok();

@@ -142,9 +142,12 @@ impl ThreadQueue {
 pub struct Position {
     id: PositionId,
     stack: CallStack,
-    /// True if at least one history signature mentions this position as an
-    /// outer position — the `inHistory` flag the release path checks (§4).
-    in_history: bool,
+    /// The canonical id of this stack in the shared history snapshot's
+    /// outer-position table, if any signature mentions it as an outer
+    /// position — the successor of the paper's `inHistory` flag (§4). The
+    /// engine keeps this link current: it is resolved when the position is
+    /// interned and refreshed when a new snapshot is installed.
+    history_ref: Option<PositionId>,
     /// Threads holding, or allowed to acquire, locks at this position.
     queue: ThreadQueue,
 }
@@ -154,7 +157,7 @@ impl Position {
         Position {
             id,
             stack,
-            in_history: false,
+            history_ref: None,
             queue: ThreadQueue::new(),
         }
     }
@@ -171,12 +174,19 @@ impl Position {
 
     /// Whether this position appears in a history signature.
     pub fn in_history(&self) -> bool {
-        self.in_history
+        self.history_ref.is_some()
     }
 
-    /// Marks the position as appearing (or not) in the history.
-    pub fn set_in_history(&mut self, value: bool) {
-        self.in_history = value;
+    /// The canonical outer-position id of this stack in the shared history
+    /// snapshot, if any signature mentions it.
+    pub fn history_ref(&self) -> Option<PositionId> {
+        self.history_ref
+    }
+
+    /// Links the position to (or unlinks it from) a canonical outer id in
+    /// the shared history snapshot.
+    pub fn set_history_ref(&mut self, outer: Option<PositionId>) {
+        self.history_ref = outer;
     }
 
     /// The thread queue of this position.
@@ -372,12 +382,18 @@ mod tests {
     }
 
     #[test]
-    fn in_history_flag_roundtrips() {
+    fn history_ref_roundtrips() {
         let mut t = PositionTable::new(1);
         let id = t.intern(&stack(9));
         assert!(!t.get(id).unwrap().in_history());
-        t.get_mut(id).unwrap().set_in_history(true);
+        assert_eq!(t.get(id).unwrap().history_ref(), None);
+        t.get_mut(id)
+            .unwrap()
+            .set_history_ref(Some(PositionId::new(7)));
         assert!(t.get(id).unwrap().in_history());
+        assert_eq!(t.get(id).unwrap().history_ref(), Some(PositionId::new(7)));
+        t.get_mut(id).unwrap().set_history_ref(None);
+        assert!(!t.get(id).unwrap().in_history());
     }
 
     #[test]

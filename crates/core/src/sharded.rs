@@ -11,12 +11,18 @@
 //!   request/yield/pending-grant edges of threads whose outstanding request
 //!   targets one of its locks, the position-queue entries created by grants
 //!   of its locks, and its own [`Stats`] (rolled up on read).
-//! * **Every shard carries a full replica of the history** (and therefore of
-//!   the [`SignatureIndex`](crate::SignatureIndex) and the `in_history`
-//!   position flags). Histories are small — one signature per distinct
-//!   deadlock bug — and are only appended to under the all-shard lock, in
-//!   shard order, so the replicas stay in lockstep and assign identical
-//!   [`SignatureId`]s.
+//! * **Every shard reads one shared, immutable
+//!   [`HistorySnapshot`](crate::HistorySnapshot)** — the history, the
+//!   canonical outer-position table, and the
+//!   [`SignatureIndex`](crate::SignatureIndex) exist once per process, not
+//!   once per shard. A detection builds the successor snapshot
+//!   (copy-on-write, epoch bumped), appends one record to the history log,
+//!   and installs the new `Arc` into every shard under the all-shard lock
+//!   ([`broadcast_signature`]); [`SignatureId`]s are globally consistent by
+//!   construction because there is exactly one history. Each shard keeps a
+//!   lazy link from its own interned positions to the snapshot's canonical
+//!   outer ids, so the avoidance hot path still runs entirely inside the
+//!   home shard.
 //!
 //! ## Fast path vs cross-shard path
 //!
@@ -72,9 +78,11 @@ use crate::history::History;
 use crate::position::PositionId;
 use crate::rag::{find_cycle_with, CycleStep, WaitEdge, YieldRecord};
 use crate::signature::{Signature, SignatureKind, SignaturePair};
+use crate::snapshot::HistorySnapshot;
 use crate::stats::Stats;
 use crate::{LockId, SignatureId, ThreadId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Upper bound on the number of shards (holds-per-shard bookkeeping is a
 /// 64-bit mask).
@@ -217,7 +225,15 @@ pub fn try_request_local(
         return LocalDecision::Decided(shard.request(t, l, stack));
     }
     let pos = shard.intern_position(stack);
-    if !shard.signature_index().signatures_at(pos).is_empty() {
+    // A position mentioned by any signature carries a link to its canonical
+    // outer id in the shared snapshot; the membership test is one `Option`
+    // read of shard-local state.
+    if shard
+        .positions()
+        .get(pos)
+        .and_then(|p| p.history_ref())
+        .is_some()
+    {
         return LocalDecision::NeedsCrossShard;
     }
     LocalDecision::Decided(shard.request_at(t, l, pos))
@@ -324,7 +340,6 @@ pub fn request_cross_shard(
                         });
                     }
                 }
-                shards[home].persist_history_best_effort();
                 // Fall through: the requester itself is then treated by the
                 // avoidance logic below.
             } else {
@@ -337,7 +352,6 @@ pub fn request_cross_shard(
                     signature: sig_id,
                     new_signature: new,
                 });
-                shards[home].persist_history_best_effort();
                 return RequestOutcome::DeadlockDetected {
                     signature: sig_id,
                     new_signature: new,
@@ -350,13 +364,19 @@ pub fn request_cross_shard(
     // --- Avoidance (merged queue occupancy) ----------------------------
     if avoidance && !shards[home].history().is_empty() {
         shards[home].stats_mut().instantiation_checks += 1;
-        let examined = shards[home].signature_index().signatures_at(pos).len() as u64;
+        let outer = shards[home]
+            .positions()
+            .get(pos)
+            .and_then(|p| p.history_ref());
+        let examined = outer.map_or(0, |o| {
+            shards[home].signature_index().signatures_at(o).len() as u64
+        });
         shards[home].stats_mut().signatures_examined += examined;
         // One read-only snapshot serves the instantiation check and, when it
         // matches, the starvation probe over the same state.
         let (inst, starvation_sig) = {
             let ro: Vec<&Dimmunix> = shards.iter().map(|s| &**s).collect();
-            match find_instantiation_merged(&ro, home, t, pos) {
+            match outer.and_then(|o| find_instantiation_merged(&ro, home, t, o)) {
                 Some(inst) => {
                     let sig = (starvation_handling && would_starve_merged(&ro, t, &inst.blockers))
                         .then(|| starvation_signature_merged(&ro, home, pos, &inst.blockers));
@@ -381,7 +401,6 @@ pub fn request_cross_shard(
                     signature: s_id,
                     new_signature: new,
                 });
-                shards[home].persist_history_best_effort();
                 park = false;
             }
             if park {
@@ -558,25 +577,35 @@ fn classify_cycle_merged(
     }
 }
 
-/// The merged instantiation check: candidate threads per outer slot are the
-/// union of every shard's local queue at that slot (queue entries for one
-/// program location are distributed across the shards whose locks were
-/// granted there). History replicas assign identical signature ids and slot
-/// layouts, so signature ids are the common coordinate system.
-fn find_instantiation_merged(
+/// The merged instantiation check, in the shared snapshot's canonical
+/// outer-position namespace (`outer` is the requesting position's canonical
+/// id): candidate threads per outer slot are the union of every shard's
+/// local queue at that slot (queue entries for one program location are
+/// distributed across the shards whose locks were granted there). All
+/// shards read the same snapshot `Arc`, so canonical ids are the common
+/// coordinate system across shards by construction.
+///
+/// The monolithic engine's avoidance check is the one-shard call
+/// (`&[&engine]`, `home = 0`) — one implementation, so the single-engine
+/// and sharded decisions cannot drift.
+pub(crate) fn find_instantiation_merged(
     shards: &[&Dimmunix],
     home: usize,
     thread: ThreadId,
-    position: PositionId,
+    outer: PositionId,
 ) -> Option<Instantiation> {
-    for &sig in shards[home].signature_index().signatures_at(position) {
-        let outer_home = shards[home].signature_index().outer_positions_of(sig);
-        let candidates: Vec<Vec<ThreadId>> = (0..outer_home.len())
+    let snapshot = shards[home].history_snapshot();
+    for &sig in snapshot.index().signatures_at(outer) {
+        let slots = snapshot.index().outer_positions_of(sig);
+        let candidates: Vec<Vec<ThreadId>> = slots
+            .iter()
             .map(|slot| {
                 let mut set: Vec<ThreadId> = Vec::new();
                 for s in shards {
-                    let pid = s.signature_index().outer_positions_of(sig)[slot];
-                    if let Some(p) = s.positions().get(pid) {
+                    if let Some(p) = s
+                        .local_position_of_outer(*slot)
+                        .and_then(|pid| s.positions().get(pid))
+                    {
                         set.extend(p.queue().iter());
                     }
                 }
@@ -585,9 +614,7 @@ fn find_instantiation_merged(
                 set
             })
             .collect();
-        if let Some(blockers) =
-            instantiable_with_candidates(outer_home, &candidates, thread, position)
-        {
+        if let Some(blockers) = instantiable_with_candidates(slots, &candidates, thread, outer) {
             return Some(Instantiation {
                 signature: sig,
                 blockers,
@@ -641,19 +668,31 @@ fn starvation_signature_merged(
     Signature::new(SignatureKind::Starvation, pairs)
 }
 
-/// Appends `sig` to every shard's history replica, in shard order, and
-/// returns the (identical) id assigned by the replicas.
-fn broadcast_signature(shards: &mut [&mut Dimmunix], sig: Signature) -> (SignatureId, bool) {
-    let mut result = (SignatureId::new(0), false);
-    for (i, s) in shards.iter_mut().enumerate() {
-        let r = s.insert_signature(sig.clone());
-        if i == 0 {
-            result = r;
-        } else {
-            debug_assert_eq!(result, r, "shard history replicas diverged");
+/// Appends `sig` to the shared history and installs the successor snapshot
+/// into every shard. The append itself — snapshot construction plus one
+/// history-log record — happens exactly once, on the first shard; the
+/// remaining shards only swap their `Arc` and reconcile their local
+/// position links. `shards` must contain every shard, held under the
+/// all-shard lock (ascending order) when the shards live behind mutexes.
+///
+/// Exposed so substrates that wrap shards in their own mutexes
+/// (`dimmunix-rt`) install antibodies through the identical code path.
+pub fn broadcast_signature(shards: &mut [&mut Dimmunix], sig: Signature) -> (SignatureId, bool) {
+    let (first, rest) = shards.split_first_mut().expect("at least one shard");
+    let (id, new) = first.insert_signature(sig);
+    if new {
+        let snapshot = Arc::clone(first.history_snapshot());
+        for s in rest.iter_mut() {
+            s.install_snapshot(Arc::clone(&snapshot));
         }
     }
-    result
+    debug_assert!(
+        shards
+            .windows(2)
+            .all(|w| Arc::ptr_eq(w[0].history_snapshot(), w[1].history_snapshot())),
+        "shards must share one history snapshot"
+    );
+    (id, new)
 }
 
 // ----------------------------------------------------------------------
@@ -702,28 +741,36 @@ pub struct ShardedDimmunix {
 
 impl ShardedDimmunix {
     /// Creates a sharded engine with `shards` shards (clamped to
-    /// `1..=`[`MAX_SHARDS`]). If the configuration names a history file,
-    /// every shard loads the same replica from it.
+    /// `1..=`[`MAX_SHARDS`]). If the configuration names a history log, it
+    /// is replayed once and the resulting snapshot is shared by every
+    /// shard.
     pub fn new(config: Config, shards: usize) -> Self {
-        let router = ShardRouter::new(shards);
-        ShardedDimmunix {
-            shards: (0..router.shard_count())
-                .map(|_| Dimmunix::new(config.clone()))
-                .collect(),
-            router,
-            next_seq: 1,
-            threads: HashMap::new(),
-        }
+        let first = Dimmunix::new(config.clone());
+        Self::from_first(config, shards, first)
     }
 
-    /// Creates a sharded engine with an explicit starting history, replicated
-    /// into every shard.
+    /// Creates a sharded engine with an explicit starting history. The
+    /// snapshot is bulk-built once and shared by every shard.
     pub fn with_history(config: Config, shards: usize, history: History) -> Self {
+        let first = Dimmunix::with_history(config.clone(), history);
+        Self::from_first(config, shards, first)
+    }
+
+    /// Completes construction from the first shard: the remaining shards
+    /// receive clones of its snapshot `Arc`, never their own copy.
+    fn from_first(config: Config, shards: usize, first: Dimmunix) -> Self {
         let router = ShardRouter::new(shards);
+        let snapshot = Arc::clone(first.history_snapshot());
+        let mut engines = Vec::with_capacity(router.shard_count());
+        engines.push(first);
+        for _ in 1..router.shard_count() {
+            engines.push(Dimmunix::with_snapshot(
+                config.clone(),
+                Arc::clone(&snapshot),
+            ));
+        }
         ShardedDimmunix {
-            shards: (0..router.shard_count())
-                .map(|_| Dimmunix::with_history(config.clone(), history.clone()))
-                .collect(),
+            shards: engines,
             router,
             next_seq: 1,
             threads: HashMap::new(),
@@ -755,9 +802,14 @@ impl ShardedDimmunix {
         self.shards[0].config()
     }
 
-    /// The deadlock history (shard 0's replica; all replicas are identical).
+    /// The deadlock history (read from the shared snapshot).
     pub fn history(&self) -> &History {
         self.shards[0].history()
+    }
+
+    /// The shared history snapshot all shards read.
+    pub fn history_snapshot(&self) -> &Arc<HistorySnapshot> {
+        self.shards[0].history_snapshot()
     }
 
     /// Rolled-up activity counters: the sum of every shard's [`Stats`].
@@ -766,10 +818,16 @@ impl ShardedDimmunix {
     }
 
     /// Estimated resident memory added by the sharded engine, in bytes.
-    /// Note that the history (and its index) is replicated per shard, so
-    /// this grows with the shard count; deadlock histories are small.
+    /// The shared history snapshot is charged **once**; each shard adds
+    /// only its local state (positions, RAG, outer links), so the figure
+    /// stays essentially flat as the shard count grows.
     pub fn memory_footprint_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.memory_footprint_bytes()).sum()
+        self.history_snapshot().memory_footprint_bytes()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.local_memory_footprint_bytes())
+                .sum::<usize>()
     }
 
     /// Registers a thread on every shard. Idempotent.
@@ -804,8 +862,8 @@ impl ShardedDimmunix {
         self.shards[home].unregister_lock(l);
     }
 
-    /// Adds a signature to every history replica; returns its id and whether
-    /// it was new.
+    /// Adds a signature to the shared history and installs the successor
+    /// snapshot into every shard; returns its id and whether it was new.
     pub fn add_signature(&mut self, sig: Signature) -> (SignatureId, bool) {
         let mut refs: Vec<&mut Dimmunix> = self.shards.iter_mut().collect();
         broadcast_signature(&mut refs, sig)
@@ -890,7 +948,9 @@ impl ShardedDimmunix {
         out
     }
 
-    /// Persists the (shard 0) history replica to the configured path.
+    /// Rewrites the configured history log to exactly the shared history
+    /// (compaction); see [`Dimmunix::save_history`]. Normal operation
+    /// appends single records instead.
     ///
     /// # Errors
     /// Returns an error if no path is configured or the write fails.

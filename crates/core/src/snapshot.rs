@@ -1,0 +1,242 @@
+//! The shared, immutable, epoch-versioned history snapshot.
+//!
+//! PR 2 sharded the engine by lock id but replicated the history (and its
+//! [`SignatureIndex`]) into every shard, so memory grew with the shard
+//! count. This module replaces the replicas with **one** shared snapshot:
+//!
+//! * A [`HistorySnapshot`] is immutable. It bundles the [`History`], a
+//!   canonical interning table for the signatures' *outer* positions, and
+//!   the inverted [`SignatureIndex`] over that canonical namespace.
+//! * Every engine shard holds an `Arc<HistorySnapshot>`. Reading it on the
+//!   request path is lock-free with respect to the other shards — no
+//!   history lock exists, only the shard's own mutex that the substrate
+//!   already holds.
+//! * A detection builds a *new* snapshot ([`append`](HistorySnapshot::append)
+//!   — copy, append, bump the epoch) and the `Arc` is swapped into every
+//!   shard under the all-shard lock. Signature ids are globally consistent
+//!   **by construction**: there is exactly one history, so there is nothing
+//!   to keep in lockstep.
+//!
+//! The canonical outer-position namespace decouples the shared snapshot
+//! from the per-shard [`PositionTable`]s (which own the thread queues and
+//! are deliberately shard-local): each shard lazily links its own interned
+//! positions to the canonical ids — at intern time for positions created
+//! after the signature, and at snapshot-install time for positions that
+//! already existed. See `Dimmunix::install_snapshot` in `engine.rs`.
+
+use crate::avoidance::SignatureIndex;
+use crate::callstack::CallStack;
+use crate::history::History;
+use crate::position::{PositionId, PositionTable};
+use crate::signature::Signature;
+use crate::SignatureId;
+use std::sync::Arc;
+
+/// An immutable, epoch-versioned view of the deadlock history, shared by
+/// every engine shard in a process.
+///
+/// ```
+/// use dimmunix_core::{History, HistorySnapshot};
+/// let snap = HistorySnapshot::build(History::new(), 1);
+/// assert_eq!(snap.epoch(), 0);
+/// assert!(snap.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct HistorySnapshot {
+    /// Monotonic version: 0 for a bulk-built snapshot, +1 per appended
+    /// signature. Observability only — correctness never compares epochs.
+    epoch: u64,
+    /// The signatures themselves (the process's antibodies).
+    history: History,
+    /// Canonical interning of the signatures' outer stacks. Its
+    /// [`PositionId`]s are the *shared* coordinate system: shard-local
+    /// position tables link into it, never the other way around. Ids are
+    /// stable under [`append`](HistorySnapshot::append) (the table only
+    /// grows), which is what lets shards cache links across epochs.
+    outers: PositionTable,
+    /// Inverted avoidance index, keyed by canonical outer ids.
+    index: SignatureIndex,
+}
+
+impl HistorySnapshot {
+    /// Bulk-builds a snapshot from a complete history (engine start-up,
+    /// vendor-shipped antibodies, synthetic benchmark histories).
+    ///
+    /// This is the deferred-index bulk-load path: every outer stack of every
+    /// signature is interned first, and the inverted index is constructed in
+    /// one pass at the end — instead of the signature-by-signature
+    /// resolve-and-index loop the engine used to run on every restart.
+    pub fn build(history: History, stack_depth: usize) -> Arc<Self> {
+        let mut outers = PositionTable::new(stack_depth);
+        let resolved: Vec<Vec<PositionId>> = history
+            .iter()
+            .map(|(_, sig)| sig.outer_stacks().map(|o| outers.intern(o)).collect())
+            .collect();
+        let mut index = SignatureIndex::new();
+        for (i, outs) in resolved.into_iter().enumerate() {
+            index.insert(SignatureId::new(i), outs);
+        }
+        Arc::new(HistorySnapshot {
+            epoch: 0,
+            history,
+            outers,
+            index,
+        })
+    }
+
+    /// Returns a snapshot extended by `sig`, together with the signature's
+    /// id and whether it was new. A duplicate (same bug) returns the
+    /// existing snapshot unchanged; a new signature yields a fresh snapshot
+    /// with the epoch bumped. The current snapshot is never mutated —
+    /// readers holding the old `Arc` keep a consistent view.
+    pub fn append(self: &Arc<Self>, sig: Signature) -> (Arc<Self>, SignatureId, bool) {
+        if let Some(existing) = self.history.find(&sig) {
+            return (Arc::clone(self), existing, false);
+        }
+        let mut history = self.history.clone();
+        let mut outers = self.outers.clone();
+        let mut index = self.index.clone();
+        let (id, added) = history.add(sig);
+        debug_assert!(added, "find() said the signature was absent");
+        let outs: Vec<PositionId> = history
+            .get(id)
+            .expect("just appended")
+            .outer_stacks()
+            .map(|o| outers.intern(o))
+            .collect();
+        index.insert(id, outs);
+        (
+            Arc::new(HistorySnapshot {
+                epoch: self.epoch + 1,
+                history,
+                outers,
+                index,
+            }),
+            id,
+            true,
+        )
+    }
+
+    /// The snapshot's version: 0 at bulk build, +1 per appended signature.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The signatures.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The inverted avoidance index (canonical outer id → signature ids).
+    pub fn index(&self) -> &SignatureIndex {
+        &self.index
+    }
+
+    /// The canonical outer-position table.
+    pub fn outer_table(&self) -> &PositionTable {
+        &self.outers
+    }
+
+    /// Number of canonical outer positions (distinct outer stacks).
+    pub fn outer_len(&self) -> usize {
+        self.outers.len()
+    }
+
+    /// The canonical id of an outer stack, if any signature mentions it.
+    /// The stack is truncated to the snapshot's interning depth first.
+    pub fn outer_of_stack(&self, stack: &CallStack) -> Option<PositionId> {
+        self.outers.lookup(stack)
+    }
+
+    /// Number of signatures.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True if the history holds no signatures.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Estimated resident memory of the snapshot in bytes. Because the
+    /// snapshot is shared, memory-overhead accounting must charge this
+    /// **once per process**, not once per shard.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.history.memory_footprint_bytes()
+            + self.outers.memory_footprint_bytes()
+            + self.index.memory_footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{SignatureKind, SignaturePair};
+    use crate::Frame;
+
+    fn sig(a: u32, b: u32) -> Signature {
+        Signature::new(
+            SignatureKind::Deadlock,
+            vec![
+                SignaturePair::new(
+                    CallStack::single(Frame::new("m1", "f.rs", a)),
+                    CallStack::single(Frame::new("m2", "f.rs", a + 1)),
+                ),
+                SignaturePair::new(
+                    CallStack::single(Frame::new("m3", "f.rs", b)),
+                    CallStack::single(Frame::new("m4", "f.rs", b + 1)),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_indexes_every_outer_stack() {
+        let mut h = History::new();
+        h.add(sig(1, 2));
+        h.add(sig(3, 4));
+        let snap = HistorySnapshot::build(h, 1);
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.outer_len(), 4);
+        assert_eq!(snap.index().len(), 2);
+        let outer = CallStack::single(Frame::new("m1", "f.rs", 1));
+        let id = snap.outer_of_stack(&outer).expect("outer interned");
+        assert_eq!(snap.index().signatures_at(id), &[SignatureId::new(0)]);
+    }
+
+    #[test]
+    fn append_is_copy_on_write_and_bumps_epoch() {
+        let base = HistorySnapshot::build(History::new(), 1);
+        let (v1, id0, new0) = base.append(sig(1, 2));
+        assert!(new0);
+        assert_eq!(id0, SignatureId::new(0));
+        assert_eq!(v1.epoch(), 1);
+        // The old snapshot is untouched.
+        assert!(base.is_empty());
+        assert_eq!(base.epoch(), 0);
+        // Duplicates return the same snapshot (no epoch churn).
+        let (v1b, id0b, new0b) = v1.append(sig(1, 2));
+        assert!(!new0b);
+        assert_eq!(id0b, id0);
+        assert!(Arc::ptr_eq(&v1, &v1b));
+        // Canonical outer ids are stable across appends.
+        let outer = CallStack::single(Frame::new("m1", "f.rs", 1));
+        let before = v1.outer_of_stack(&outer).unwrap();
+        let (v2, _, _) = v1.append(sig(7, 8));
+        assert_eq!(v2.outer_of_stack(&outer), Some(before));
+        assert_eq!(v2.epoch(), 2);
+    }
+
+    #[test]
+    fn footprint_counts_history_outers_and_index() {
+        let empty = HistorySnapshot::build(History::new(), 1);
+        let mut h = History::new();
+        for i in 0..32 {
+            h.add(sig(i * 10, i * 10 + 5));
+        }
+        let full = HistorySnapshot::build(h, 1);
+        assert!(full.memory_footprint_bytes() > empty.memory_footprint_bytes());
+    }
+}

@@ -487,6 +487,20 @@ fn prop_sharded_engine_equals_monolithic_oracle() {
                     "seed {seed}: history diverges at {id} (shards {n})"
                 );
             }
+            // The history is shared, not replicated: every shard must hold
+            // the *same* snapshot allocation, and the snapshot must have
+            // advanced exactly as often as the oracle's.
+            for i in 0..s.shard_count() {
+                assert!(
+                    std::sync::Arc::ptr_eq(s.history_snapshot(), s.shard(i).history_snapshot()),
+                    "seed {seed}: shard {i} holds a private snapshot (shards {n})"
+                );
+            }
+            assert_eq!(
+                s.history_snapshot().epoch(),
+                oracle.history_snapshot().epoch(),
+                "seed {seed}: snapshot epochs diverge (shards {n})"
+            );
         }
     }
 

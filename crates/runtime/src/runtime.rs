@@ -22,6 +22,15 @@
 //! `dimmunix_core::ShardedDimmunix` for the ownership model and
 //! `ARCHITECTURE.md` for the full protocol.
 //!
+//! The deadlock history is **not** sharded: every shard reads one shared,
+//! immutable [`HistorySnapshot`] through an `Arc`. A detection (which holds
+//! all shard locks) builds the successor snapshot, appends one record to
+//! the append-only history log named by [`Config::history_path`], and swaps
+//! the `Arc` into every shard; the request path reads its shard's snapshot
+//! handle without any history-wide lock. At construction the runtime
+//! replays the log — repairing a crash-partial tail record — so antibodies
+//! survive process restarts and reboots (§2.1).
+//!
 //! Threads parked by avoidance wait on per-signature gates (condition
 //! variables, global across shards) and are woken from the release path of
 //! whichever shard releases a lock acquired at one of the signature's outer
@@ -30,9 +39,10 @@
 use crate::site::AcquisitionSite;
 use crate::sync;
 use dimmunix_core::{
-    fast_path_eligible, holds_mask_with, request_cross_shard, stale_shard_after,
-    stale_shard_consumed, try_request_local, CallStack, Config, Dimmunix, History, LocalDecision,
-    LockId, RequestOutcome, ShardRouter, Signature, SignatureId, Stats, ThreadId,
+    broadcast_signature, fast_path_eligible, holds_mask_with, request_cross_shard,
+    stale_shard_after, stale_shard_consumed, try_request_local, CallStack, Config, Dimmunix,
+    History, HistorySnapshot, LocalDecision, LockId, RequestOutcome, ShardRouter, Signature,
+    SignatureId, Stats, ThreadId,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -82,14 +92,23 @@ impl std::error::Error for LockError {}
 /// Options controlling a [`DimmunixRuntime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeOptions {
-    /// Engine configuration (stack depth, history path, toggles).
+    /// Engine configuration (stack depth, toggles) — including the
+    /// **persistence knobs**: [`Config::history_path`] names the
+    /// append-only signature log the runtime replays at construction (with
+    /// crash-tail repair) and appends one record to per detected deadlock,
+    /// and [`Config::log_sync`] controls whether each append fsyncs (on by
+    /// default: an antibody is durable the moment the detection returns).
+    /// Unset `history_path` keeps the history purely in-memory.
     pub config: Config,
     /// Behaviour on detected deadlocks.
     pub deadlock_policy: DeadlockPolicy,
     /// Number of engine shards the lock-id space is partitioned over,
     /// clamped to `1..=`[`dimmunix_core::MAX_SHARDS`]. `1` (the default)
     /// reproduces the paper's single global engine lock; higher values let
-    /// uncontended acquisitions on different shards run in parallel.
+    /// uncontended acquisitions on different shards run in parallel. The
+    /// history is **not** per shard: every shard reads the same shared
+    /// [`HistorySnapshot`], so raising the shard count does not multiply
+    /// history memory.
     pub shards: usize,
 }
 
@@ -196,27 +215,35 @@ impl DimmunixRuntime {
         Self::with_options(RuntimeOptions::default())
     }
 
-    /// Creates a runtime with explicit options.
+    /// Creates a runtime with explicit options. If the configuration names
+    /// a history log, it is replayed (and its crash tail repaired) once;
+    /// the resulting snapshot is shared by every shard.
     pub fn with_options(options: RuntimeOptions) -> Arc<Self> {
-        let router = ShardRouter::new(options.shards);
-        let shards = (0..router.shard_count())
-            .map(|_| Mutex::new(ShardCell::new(Dimmunix::new(options.config.clone()))))
-            .collect();
-        Self::assemble(options, router, shards)
+        let first = Dimmunix::new(options.config.clone());
+        Self::assemble_from(options, first)
     }
 
-    /// Creates a runtime pre-loaded with a history (antibodies), replicated
-    /// into every shard.
+    /// Creates a runtime pre-loaded with a history (antibodies). The
+    /// snapshot is bulk-built once and shared by every shard.
     pub fn with_history(options: RuntimeOptions, history: History) -> Arc<Self> {
+        let first = Dimmunix::with_history(options.config.clone(), history);
+        Self::assemble_from(options, first)
+    }
+
+    /// Completes construction from the first shard engine: the remaining
+    /// shards receive clones of its snapshot `Arc` — one shared history
+    /// per runtime, regardless of the shard count.
+    fn assemble_from(options: RuntimeOptions, first: Dimmunix) -> Arc<Self> {
         let router = ShardRouter::new(options.shards);
-        let shards = (0..router.shard_count())
-            .map(|_| {
-                Mutex::new(ShardCell::new(Dimmunix::with_history(
-                    options.config.clone(),
-                    history.clone(),
-                )))
-            })
-            .collect();
+        let snapshot = Arc::clone(first.history_snapshot());
+        let mut shards = Vec::with_capacity(router.shard_count());
+        shards.push(Mutex::new(ShardCell::new(first)));
+        for _ in 1..router.shard_count() {
+            shards.push(Mutex::new(ShardCell::new(Dimmunix::with_snapshot(
+                options.config.clone(),
+                Arc::clone(&snapshot),
+            ))));
+        }
         Self::assemble(options, router, shards)
     }
 
@@ -305,37 +332,50 @@ impl DimmunixRuntime {
         total
     }
 
-    /// Snapshot of the current history (shard 0's replica; all replicas are
-    /// identical).
+    /// Snapshot of the current history (cloned out of the shared
+    /// [`HistorySnapshot`]).
     pub fn history(&self) -> History {
         sync::lock(&self.shards[0]).engine.history().clone()
     }
 
+    /// The shared history snapshot every shard currently reads. Cheap (one
+    /// `Arc` clone under the first shard's lock); the returned snapshot is
+    /// immutable and stays internally consistent even as detections swap in
+    /// successors.
+    pub fn history_snapshot(&self) -> Arc<HistorySnapshot> {
+        Arc::clone(sync::lock(&self.shards[0]).engine.history_snapshot())
+    }
+
     /// Adds a signature (vendor antibody or synthetic benchmark signature)
-    /// to every shard's history replica.
+    /// to the shared history, under the all-shard lock — the same
+    /// append-once/install-everywhere path detections take.
     pub fn add_signature(&self, sig: Signature) -> SignatureId {
         let mut guards: Vec<MutexGuard<'_, ShardCell>> =
             self.shards.iter().map(sync::lock).collect();
-        let mut id = None;
-        for g in guards.iter_mut() {
-            let (sig_id, _) = g.engine.add_signature(sig.clone());
-            id.get_or_insert(sig_id);
-        }
-        id.expect("at least one shard")
+        let mut engines: Vec<&mut Dimmunix> = guards.iter_mut().map(|g| &mut g.engine).collect();
+        broadcast_signature(&mut engines, sig).0
     }
 
-    /// Estimated bytes of memory the runtime adds to the process. The
-    /// history and its index are replicated per shard, so this grows with
-    /// the shard count (histories are small: one signature per distinct
-    /// deadlock bug).
+    /// Estimated bytes of memory the runtime adds to the process: the
+    /// shared history snapshot, charged **once**, plus each shard's local
+    /// state (positions, RAG, outer links). The figure stays essentially
+    /// flat as the shard count grows.
     pub fn memory_footprint_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| sync::lock(s).engine.memory_footprint_bytes())
-            .sum()
+        let mut total = 0usize;
+        let mut snapshot = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let g = sync::lock(shard);
+            if i == 0 {
+                snapshot = g.engine.history_snapshot().memory_footprint_bytes();
+            }
+            total += g.engine.local_memory_footprint_bytes();
+        }
+        total + snapshot
     }
 
-    /// Persists the history to the configured path.
+    /// Rewrites the configured history log to exactly the current history
+    /// (compaction; see [`Dimmunix::save_history`]). Normal operation
+    /// appends one record per detection instead.
     ///
     /// # Errors
     /// Fails if no path is configured or the write fails.

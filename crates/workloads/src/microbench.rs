@@ -106,8 +106,9 @@ pub struct MicrobenchHarness {
 }
 
 impl MicrobenchHarness {
-    /// Builds the runtime (with the synthetic history replicated into its
-    /// shards) and the per-thread lock pools.
+    /// Builds the runtime — the synthetic history is bulk-built into one
+    /// shared snapshot that every engine shard reads — and the per-thread
+    /// lock pools.
     pub fn new(config: &MicrobenchConfig) -> Self {
         let engine_config = if config.dimmunix_enabled {
             Config::default()

@@ -5,6 +5,13 @@
 //! involved in deadlock bugs": the avoidance code then has to scan a
 //! realistically-sized history on every request, which is what makes the
 //! measured 4–5% overhead an upper bound rather than a best case.
+//!
+//! Platform-scale experiments (the `engine_sharded` bench and the
+//! shared-history memory test) push the same generator to 1000 signatures:
+//! histories that size are bulk-built into one shared
+//! [`HistorySnapshot`](dimmunix_core::HistorySnapshot) — outer stacks
+//! interned first, the avoidance index constructed in a single deferred
+//! pass — and shared by every engine shard.
 
 use dimmunix_core::{CallStack, Frame, History, Signature, SignatureKind, SignaturePair};
 

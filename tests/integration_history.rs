@@ -1,11 +1,15 @@
 //! Integration tests for the persistent history: cross-codec round trips,
-//! vendor merging, and compatibility between signatures produced by the VM
+//! vendor merging, compatibility between signatures produced by the VM
 //! substrate and consumed by the real-thread runtime (they share the
-//! engine's representation).
+//! engine's representation), the shared-snapshot memory accounting, and
+//! crash recovery of the append-only history log.
 
-use dimmunix::core::{CallStack, Config, Frame, History, Signature, SignatureKind, SignaturePair};
+use dimmunix::core::{
+    CallStack, Config, Frame, History, HistoryLog, ShardedDimmunix, Signature, SignatureKind,
+    SignaturePair,
+};
 use dimmunix::vm::{ProcessBuilder, RunOutcome};
-use dimmunix::workloads::dining_philosophers;
+use dimmunix::workloads::{dining_philosophers, synthetic_history};
 
 fn train_philosophers() -> History {
     for seed in 0..400u64 {
@@ -97,6 +101,116 @@ fn merging_vendor_histories_deduplicates() {
     assert_eq!(local.len(), before + 1);
     // Merging again adds nothing.
     assert_eq!(local.merge(&vendor), 0);
+}
+
+/// The acceptance criterion of the shared-history refactor: with a
+/// platform-scale synthetic history (1000 signatures), the sharded engine's
+/// memory footprint at 16 shards must stay within ~1.1x of a single shard —
+/// the history, outer table, and index exist once per process instead of
+/// once per shard.
+#[test]
+fn platform_scale_history_is_not_replicated_per_shard() {
+    let history = synthetic_history(1000);
+    let one = ShardedDimmunix::with_history(Config::default(), 1, history.clone());
+    let sixteen = ShardedDimmunix::with_history(Config::default(), 16, history);
+    let (a, b) = (
+        one.memory_footprint_bytes(),
+        sixteen.memory_footprint_bytes(),
+    );
+    assert!(
+        a > 100_000,
+        "1k signatures must have a visible footprint, got {a}"
+    );
+    let ratio = b as f64 / a as f64;
+    assert!(
+        ratio <= 1.1,
+        "16 shards must not replicate the history: {b} vs {a} bytes ({ratio:.3}x)"
+    );
+    // Every shard reads the same snapshot allocation.
+    for i in 0..sixteen.shard_count() {
+        assert!(std::sync::Arc::ptr_eq(
+            sixteen.history_snapshot(),
+            sixteen.shard(i).history_snapshot()
+        ));
+    }
+}
+
+/// Crash recovery through the real-thread runtime: a process that is killed
+/// mid-append (simulated by truncating the log inside the final record)
+/// restarts with exactly the committed antibodies, and new detections
+/// append cleanly to the repaired log.
+#[test]
+fn history_log_survives_a_kill_during_detection() {
+    use dimmunix::rt::{
+        AcquisitionSite, DeadlockPolicy, DimmunixRuntime, ImmuneMutex, LockError, RuntimeOptions,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!("dimmunix-it-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("history.log");
+    let options = || RuntimeOptions {
+        config: Config::builder().history_path(&path).build(),
+        deadlock_policy: DeadlockPolicy::Error,
+        ..RuntimeOptions::default()
+    };
+
+    // Provoke two distinct deadlocks; each appends one record.
+    let rt = DimmunixRuntime::with_options(options());
+    for round in 0..2u32 {
+        let a = Arc::new(ImmuneMutex::new(&rt, 0u32));
+        let b = Arc::new(ImmuneMutex::new(&rt, 0u32));
+        let (a1, b1) = (a.clone(), b.clone());
+        let t1 = std::thread::spawn(move || -> Result<(), LockError> {
+            let _g = a1.lock(AcquisitionSite::new("kill.outerA", "kill.rs", round * 10))?;
+            std::thread::sleep(Duration::from_millis(60));
+            let _h = b1.lock(AcquisitionSite::new(
+                "kill.innerA",
+                "kill.rs",
+                round * 10 + 1,
+            ))?;
+            Ok(())
+        });
+        let t2 = std::thread::spawn(move || -> Result<(), LockError> {
+            std::thread::sleep(Duration::from_millis(20));
+            let _g = b.lock(AcquisitionSite::new(
+                "kill.outerB",
+                "kill.rs",
+                round * 10 + 2,
+            ))?;
+            std::thread::sleep(Duration::from_millis(60));
+            let _h = a.lock(AcquisitionSite::new(
+                "kill.innerB",
+                "kill.rs",
+                round * 10 + 3,
+            ))?;
+            Ok(())
+        });
+        let (r1, r2) = (t1.join().unwrap(), t2.join().unwrap());
+        assert!(r1.is_err() || r2.is_err(), "round {round} must deadlock");
+    }
+    let full = rt.history();
+    assert_eq!(full.len(), 2);
+    drop(rt);
+
+    // The "kill": the second append was cut short.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+
+    // Restart: the committed record is restored identically; the partial
+    // one is repaired away and the log is clean again.
+    let rt = DimmunixRuntime::with_options(options());
+    let restored = rt.history();
+    assert_eq!(restored.len(), 1);
+    for (id, sig) in restored.iter() {
+        assert!(full.get(id).unwrap().same_bug(sig));
+    }
+    drop(rt);
+    let replay = HistoryLog::new(&path).replay().unwrap();
+    assert!(!replay.truncated_tail);
+    assert_eq!(replay.history.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
