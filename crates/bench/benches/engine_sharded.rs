@@ -10,8 +10,7 @@
 //! ratio is the acceptance figure: sharded throughput at 16 threads must be
 //! at least 2x the single-lock baseline.
 
-use dimmunix_core::Config;
-use dimmunix_rt::{AcquisitionSite, DimmunixRuntime, RuntimeOptions};
+use dimmunix_rt::{AcquisitionSite, DimmunixRuntime};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 use workloads::synthetic_history;
@@ -24,11 +23,7 @@ const LOCKS_PER_THREAD: usize = 8;
 /// One timed run: `threads` OS threads, each hammering its own private
 /// locks through the three runtime hooks. Returns acquisitions per second.
 fn run(threads: usize, shards: usize) -> f64 {
-    let rt = DimmunixRuntime::with_options(RuntimeOptions {
-        config: Config::default(),
-        shards,
-        ..RuntimeOptions::default()
-    });
+    let rt = DimmunixRuntime::builder().shards(shards).build();
     let barrier = Arc::new(Barrier::new(threads + 1));
     let mut handles = Vec::with_capacity(threads);
     for t in 0..threads {
@@ -80,15 +75,11 @@ fn main() {
     // shards as at 1 — the observable win of the shared-history refactor.
     const SYNTHETIC_SIGNATURES: usize = 1000;
     let footprint = |shards: usize| {
-        DimmunixRuntime::with_history(
-            RuntimeOptions {
-                config: Config::default(),
-                shards,
-                ..RuntimeOptions::default()
-            },
-            synthetic_history(SYNTHETIC_SIGNATURES),
-        )
-        .memory_footprint_bytes()
+        DimmunixRuntime::builder()
+            .shards(shards)
+            .history(synthetic_history(SYNTHETIC_SIGNATURES))
+            .build()
+            .memory_footprint_bytes()
     };
     let (mem1, mem16) = (footprint(1), footprint(16));
     let mem_ratio = mem16 as f64 / mem1 as f64;

@@ -21,7 +21,7 @@ use crate::config::Config;
 use crate::detection::{classify_cycle, last_history_hold};
 use crate::error::Result;
 use crate::events::{EventKind, EventLog};
-use crate::history::{History, HistoryLog};
+use crate::history::{History, HistoryLog, RecoveryReport};
 use crate::position::{PositionId, PositionTable};
 use crate::rag::{Rag, YieldRecord};
 use crate::signature::{Signature, SignatureKind, SignaturePair};
@@ -110,6 +110,11 @@ pub struct Dimmunix {
     events: EventLog,
     clock: LogicalTime,
     pending_wakeups: Vec<SignatureId>,
+    /// Diagnostics of the history-log recovery performed at construction
+    /// (`None` for engines built without replaying a log: no configured
+    /// path, explicit starting history, or shard stamped from a shared
+    /// snapshot).
+    recovery: Option<RecoveryReport>,
 }
 
 impl Default for Dimmunix {
@@ -128,20 +133,36 @@ impl Dimmunix {
     /// restart can ever read; the engine then starts with an empty history,
     /// matching the old text-codec behaviour of a corrupt file.
     pub fn new(config: Config) -> Self {
-        let history = match config.history_path.as_ref() {
+        let (history, recovery) = match config.history_path.as_ref() {
             Some(path) => {
                 let log = HistoryLog::new(path);
                 match log.recover() {
-                    Ok(replay) => replay.history,
+                    Ok(replay) => {
+                        let report = RecoveryReport {
+                            replayed: replay.records,
+                            truncated_tail: replay.truncated_tail,
+                            ..RecoveryReport::default()
+                        };
+                        (replay.history, Some(report))
+                    }
                     Err(_) => {
-                        let _ = log.quarantine();
-                        History::new()
+                        let quarantined_records = log.raw_record_count();
+                        let quarantine_path = log.quarantine().ok();
+                        let report = RecoveryReport {
+                            replayed: 0,
+                            truncated_tail: false,
+                            quarantined_records,
+                            quarantine_path,
+                        };
+                        (History::new(), Some(report))
                     }
                 }
             }
-            None => History::new(),
+            None => (History::new(), None),
         };
-        Self::with_history(config, history)
+        let mut engine = Self::with_history(config, history);
+        engine.recovery = recovery;
+        engine
     }
 
     /// Creates an engine with an explicit starting history (e.g. antibodies
@@ -171,6 +192,7 @@ impl Dimmunix {
             events: EventLog::new(config.event_log_capacity),
             clock: LogicalTime::ZERO,
             pending_wakeups: Vec::new(),
+            recovery: None,
             config,
         }
     }
@@ -199,6 +221,18 @@ impl Dimmunix {
     /// Activity counters.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Diagnostics of the history-log recovery performed when this engine
+    /// was constructed by [`Dimmunix::new`] with a configured
+    /// [`Config::history_path`]: how many records replayed, whether a
+    /// crash-partial tail was repaired, and whether a corrupt log was
+    /// quarantined. `None` when no log replay happened (no path configured,
+    /// or the engine was built from an explicit history or shared
+    /// snapshot). Lets operators distinguish "no antibodies yet" from
+    /// "antibodies lost to corruption" instead of starting silently empty.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The interned position table.

@@ -476,6 +476,60 @@ pub struct LogReplay {
     pub valid_len: usize,
 }
 
+/// Diagnostics of the history-log recovery an engine performed at
+/// construction (see [`Dimmunix::recovery_report`]). Before this report
+/// existed, a truncated or quarantined log made the engine start silently
+/// empty — operationally indistinguishable from a phone that had simply
+/// never deadlocked. Substrates surface the report so operators can tell
+/// "no antibodies" apart from "antibodies lost to corruption".
+///
+/// [`Dimmunix::recovery_report`]: crate::Dimmunix::recovery_report
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Well-formed log records replayed into the starting history.
+    pub replayed: usize,
+    /// True if the log ended in a crash-partial record that recovery
+    /// truncated away (the record's detection never committed).
+    pub truncated_tail: bool,
+    /// Raw records abandoned because the log was interior-corrupt and had
+    /// to be quarantined (counted best-effort from the quarantined file;
+    /// some of them may themselves be the corruption).
+    pub quarantined_records: usize,
+    /// Where the corrupt log was moved, if a quarantine happened.
+    pub quarantine_path: Option<std::path::PathBuf>,
+}
+
+impl RecoveryReport {
+    /// True if recovery was entirely clean: every record replayed, no tail
+    /// repair, no quarantine.
+    pub fn is_clean(&self) -> bool {
+        !self.truncated_tail && self.quarantined_records == 0 && self.quarantine_path.is_none()
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replayed {} record(s)", self.replayed)?;
+        if self.truncated_tail {
+            write!(f, ", truncated a crash-partial tail record")?;
+        }
+        // Report dropped records even when the quarantine rename itself
+        // failed — that is the worst case to stay silent about.
+        if self.quarantined_records > 0 || self.quarantine_path.is_some() {
+            write!(
+                f,
+                ", abandoned {} unreadable record(s)",
+                self.quarantined_records
+            )?;
+            match &self.quarantine_path {
+                Some(path) => write!(f, " (quarantined to {})", path.display())?,
+                None => write!(f, " (quarantine failed; corrupt log left in place)")?,
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Encodes one signature as a single-line, self-delimiting JSON log record.
 ///
 /// The record is the element format of [`History::to_json`]'s `signatures`
@@ -677,6 +731,16 @@ impl HistoryLog {
             }
         }
         Ok(replay)
+    }
+
+    /// Best-effort count of raw (newline-separated, non-empty) records in
+    /// the file, regardless of whether they parse — used to size
+    /// [`RecoveryReport::quarantined_records`] when a corrupt log is set
+    /// aside. Returns 0 if the file cannot be read.
+    pub fn raw_record_count(&self) -> usize {
+        fs::read_to_string(&self.path)
+            .map(|text| text.lines().filter(|l| !l.trim().is_empty()).count())
+            .unwrap_or(0)
     }
 
     /// Moves a log that failed to replay aside (to `<path>.corrupt`,

@@ -79,6 +79,7 @@ pub use error::{DimmunixError, Result};
 pub use events::{Event, EventKind, EventLog};
 pub use history::{
     signature_from_log_record, signature_to_log_record, History, HistoryLog, LogReplay,
+    RecoveryReport,
 };
 pub use ids::{LockId, LogicalTime, ProcessId, SignatureId, SiteId, ThreadId};
 pub use position::{Position, PositionId, PositionTable, ThreadQueue};

@@ -797,6 +797,13 @@ impl ShardedDimmunix {
         &self.shards[index]
     }
 
+    /// Diagnostics of the history-log recovery performed at construction
+    /// (the replay happens once, on the first shard; see
+    /// [`Dimmunix::recovery_report`]). `None` when no log replay happened.
+    pub fn recovery_report(&self) -> Option<&crate::RecoveryReport> {
+        self.shards[0].recovery_report()
+    }
+
     /// The engine configuration (identical across shards).
     pub fn config(&self) -> &Config {
         self.shards[0].config()

@@ -16,20 +16,23 @@
 //!
 //! ## Which layer should I use?
 //!
-//! *To protect a Rust program*: use [`rt`] — create one [`rt::DimmunixRuntime`]
-//! per process and replace `Mutex` with [`rt::ImmuneMutex`].
+//! *To protect a Rust program*: use [`rt`] — a drop-in `std::sync`
+//! replacement. Swap `Mutex`/`RwLock` for [`rt::ImmuneMutex`] /
+//! [`rt::ImmuneRwLock`]; no runtime plumbing, no site macros — acquisition
+//! sites are captured from the caller's source location and every lock
+//! attaches to the process-global [`rt::DimmunixRuntime`] (configurable
+//! with [`rt::RuntimeBuilder`]).
 //!
 //! *To study the algorithm or reproduce the paper*: use [`vm`] and
 //! [`android`] — deterministic, seed-replayable, and able to model the
 //! phone's reboot/persistence lifecycle.
 //!
 //! ```
-//! use dimmunix::rt::{acquire_site, DimmunixRuntime, ImmuneMutex};
+//! use dimmunix::rt::ImmuneMutex;
 //!
-//! let runtime = DimmunixRuntime::new();
-//! let data = ImmuneMutex::new(&runtime, vec![1, 2, 3]);
-//! data.lock(acquire_site!())?.push(4);
-//! assert_eq!(data.lock(acquire_site!())?.len(), 4);
+//! let data = ImmuneMutex::new(vec![1, 2, 3]);
+//! data.lock()?.push(4);
+//! assert_eq!(data.lock()?.len(), 4);
 //! # Ok::<(), dimmunix::rt::LockError>(())
 //! ```
 

@@ -1,15 +1,31 @@
 //! # dimmunix-rt — deadlock immunity for real Rust threads
 //!
 //! The paper injects Dimmunix into the Dalvik VM so that *every* monitor
-//! operation on the platform is screened. Rust has no such interposition
-//! point (there is no way to hook `std::sync::Mutex` from a library), so this
-//! crate provides the closest practical substitute: **wrapper lock types**.
-//! [`ImmuneMutex`] and [`ImmuneMonitor`] behave like their `parking_lot`
-//! counterparts but route every acquisition and release through a shared
-//! [`DimmunixRuntime`] — one instance per process, mirroring the per-process
-//! Dimmunix data of Figure 1. Call-stack retrieval is replaced by the static
-//! acquisition-site ids the paper itself proposes as an optimization (§4):
-//! the [`acquire_site!`] macro captures `file!()`/`line!()` at compile time.
+//! operation on the platform is screened, with no application changes. Rust
+//! has no such interposition point (a library cannot hook
+//! `std::sync::Mutex`), so this crate provides the closest practical
+//! substitute: **drop-in wrapper lock types**. [`ImmuneMutex`],
+//! [`ImmuneRwLock`], and [`ImmuneMonitor`] mirror their `std::sync`
+//! counterparts but route every acquisition and release through the
+//! process-global [`DimmunixRuntime`] — one instance per process, mirroring
+//! the per-process Dimmunix data of Figure 1.
+//!
+//! Migration from `std::sync` is mechanical:
+//!
+//! * `Mutex::new(v)` → [`ImmuneMutex::new(v)`](ImmuneMutex::new) — no
+//!   runtime argument; the lock attaches to [`DimmunixRuntime::global`].
+//! * `m.lock().unwrap()` → `m.lock()?` — acquisition sites are captured
+//!   implicitly: the methods are `#[track_caller]`, so the engine sees the
+//!   file/line of the call itself (the compiler-provided static identifier
+//!   the paper proposes in §4, replacing `dvmGetCallStack`).
+//! * handle [`LockError::WouldDeadlock`] where the program would previously
+//!   have hung — back off, drop what you hold, retry.
+//!
+//! The global runtime is configured (shards, [`DeadlockPolicy`], history
+//! path, fsync policy) with the fluent [`RuntimeBuilder`] before first use;
+//! multi-runtime tests and the paper experiments keep full determinism with
+//! the explicit surface: [`ImmuneMutex::new_in`], the `*_at` acquisition
+//! variants, and [`acquire_site!`].
 //!
 //! With that in place the behaviour matches the paper: the first occurrence
 //! of a deadlock is detected and its signature persisted; subsequent runs
@@ -17,17 +33,16 @@
 //! be instantiated.
 //!
 //! ```
-//! use dimmunix_rt::{acquire_site, DimmunixRuntime, ImmuneMutex};
+//! use dimmunix_rt::ImmuneMutex;
 //! use std::sync::Arc;
 //!
-//! let runtime = DimmunixRuntime::new();
-//! let balance = Arc::new(ImmuneMutex::new(&runtime, 100i64));
+//! let balance = Arc::new(ImmuneMutex::new(100i64));
 //! let b = balance.clone();
 //! let t = std::thread::spawn(move || {
-//!     *b.lock(acquire_site!()).unwrap() -= 30;
+//!     *b.lock().unwrap() -= 30;
 //! });
 //! t.join().unwrap();
-//! assert_eq!(*balance.lock(acquire_site!())?, 70);
+//! assert_eq!(*balance.lock()?, 70);
 //! # Ok::<(), dimmunix_rt::LockError>(())
 //! ```
 
@@ -38,13 +53,19 @@
 mod monitor;
 mod mutex;
 mod runtime;
+mod rwlock;
 mod site;
 mod sync;
 
+pub use dimmunix_core::RecoveryReport;
 pub use monitor::{ImmuneMonitor, MonitorGuard};
 pub use mutex::{ImmuneMutex, ImmuneMutexGuard};
-pub use runtime::{DeadlockPolicy, DimmunixRuntime, LockError, RuntimeOptions};
-pub use site::AcquisitionSite;
+pub use runtime::{
+    DeadlockPolicy, DimmunixRuntime, GlobalAlreadyInstalled, LockError, RuntimeBuilder,
+    RuntimeOptions,
+};
+pub use rwlock::{ImmuneRwLock, ImmuneRwLockReadGuard, ImmuneRwLockWriteGuard};
+pub use site::{AcquisitionSite, CALLER_SCOPE};
 
 #[cfg(test)]
 mod integration_tests {
@@ -64,29 +85,28 @@ mod integration_tests {
         let site_b_inner = AcquisitionSite::new("transfer.b_to_a.inner", "bank.rs", 21);
 
         // --- Run 1: provoke the deadlock deterministically. ---------------
-        let rt = DimmunixRuntime::with_options(RuntimeOptions {
-            config: Config::default(),
-            deadlock_policy: DeadlockPolicy::Error,
-            ..RuntimeOptions::default()
-        });
-        let a = Arc::new(ImmuneMutex::new(&rt, 0i64));
-        let b = Arc::new(ImmuneMutex::new(&rt, 0i64));
+        let rt = DimmunixRuntime::builder()
+            .config(Config::default())
+            .deadlock_policy(DeadlockPolicy::Error)
+            .build();
+        let a = Arc::new(ImmuneMutex::new_in(&rt, 0i64));
+        let b = Arc::new(ImmuneMutex::new_in(&rt, 0i64));
 
         let barrier = Arc::new(std::sync::Barrier::new(2));
         let (a1, b1, bar1) = (a.clone(), b.clone(), barrier.clone());
         let t1 = std::thread::spawn(move || -> Result<(), LockError> {
-            let _ga = a1.lock(site_a_outer)?;
+            let _ga = a1.lock_at(site_a_outer)?;
             bar1.wait();
             std::thread::sleep(Duration::from_millis(30));
-            let _gb = b1.lock(site_a_inner)?;
+            let _gb = b1.lock_at(site_a_inner)?;
             Ok(())
         });
         let (a2, b2, bar2) = (a.clone(), b.clone(), barrier.clone());
         let t2 = std::thread::spawn(move || -> Result<(), LockError> {
-            let _gb = b2.lock(site_b_outer)?;
+            let _gb = b2.lock_at(site_b_outer)?;
             bar2.wait();
             std::thread::sleep(Duration::from_millis(30));
-            let _ga = a2.lock(site_b_inner)?;
+            let _ga = a2.lock_at(site_b_inner)?;
             Ok(())
         });
         let r1 = t1.join().unwrap();
@@ -95,6 +115,14 @@ mod integration_tests {
             r1.is_err() || r2.is_err(),
             "the adversarial schedule must produce a detected deadlock"
         );
+        // The refusal names the antibody and the refused call site — what a
+        // fail-safe retry loop would log.
+        if let Some(LockError::WouldDeadlock { lock, site, .. }) =
+            r1.as_ref().err().or(r2.as_ref().err())
+        {
+            assert!(*lock == a.lock_id() || *lock == b.lock_id());
+            assert_eq!(site.file, "bank.rs");
+        }
         let history = rt.history();
         assert_eq!(history.len(), 1);
         assert_eq!(
@@ -107,33 +135,170 @@ mod integration_tests {
         // parked before reaching a barrier, so the threads are staggered by
         // sleeps instead; whichever reaches its outer position second is
         // parked until the first finishes.)
-        let rt = DimmunixRuntime::with_history(
-            RuntimeOptions {
-                config: Config::default(),
-                deadlock_policy: DeadlockPolicy::Error,
-                ..RuntimeOptions::default()
-            },
-            history,
-        );
-        let a = Arc::new(ImmuneMutex::new(&rt, 0i64));
-        let b = Arc::new(ImmuneMutex::new(&rt, 0i64));
+        let rt = DimmunixRuntime::builder()
+            .config(Config::default())
+            .deadlock_policy(DeadlockPolicy::Error)
+            .history(history)
+            .build();
+        let a = Arc::new(ImmuneMutex::new_in(&rt, 0i64));
+        let b = Arc::new(ImmuneMutex::new_in(&rt, 0i64));
         let (a1, b1) = (a.clone(), b.clone());
         let t1 = std::thread::spawn(move || -> Result<(), LockError> {
-            let _ga = a1.lock(site_a_outer)?;
+            let _ga = a1.lock_at(site_a_outer)?;
             std::thread::sleep(Duration::from_millis(80));
-            let _gb = b1.lock(site_a_inner)?;
+            let _gb = b1.lock_at(site_a_inner)?;
             Ok(())
         });
         let (a2, b2) = (a.clone(), b.clone());
         let t2 = std::thread::spawn(move || -> Result<(), LockError> {
             std::thread::sleep(Duration::from_millis(20));
-            let _gb = b2.lock(site_b_outer)?;
+            let _gb = b2.lock_at(site_b_outer)?;
             std::thread::sleep(Duration::from_millis(10));
-            let _ga = a2.lock(site_b_inner)?;
+            let _ga = a2.lock_at(site_b_inner)?;
             Ok(())
         });
         let r1 = t1.join().unwrap();
         let r2 = t2.join().unwrap();
+        assert!(
+            r1.is_ok() && r2.is_ok(),
+            "replay must complete: {r1:?} {r2:?}"
+        );
+        assert_eq!(rt.stats().deadlocks_detected, 0);
+        assert_eq!(rt.history().len(), 1, "no new signature on the replay");
+    }
+
+    /// The same learn-then-avoid behaviour through the **implicit-site**
+    /// drop-in API: no `acquire_site!`, no `lock_at` — the sites are the
+    /// source locations of the `lock()` calls inside the two transfer
+    /// helpers, which are identical across the learn run and the avoid run
+    /// because both runs execute the same code.
+    #[test]
+    fn implicit_sites_learn_and_avoid_ab_ba() {
+        fn forward(
+            a: &Arc<ImmuneMutex<i64>>,
+            b: &Arc<ImmuneMutex<i64>>,
+            hold: Duration,
+        ) -> Result<(), LockError> {
+            let _ga = a.lock()?;
+            std::thread::sleep(hold);
+            let _gb = b.lock()?;
+            Ok(())
+        }
+        fn backward(
+            a: &Arc<ImmuneMutex<i64>>,
+            b: &Arc<ImmuneMutex<i64>>,
+            hold: Duration,
+        ) -> Result<(), LockError> {
+            let _gb = b.lock()?;
+            std::thread::sleep(hold);
+            let _ga = a.lock()?;
+            Ok(())
+        }
+        let run = |rt: &Arc<DimmunixRuntime>| {
+            let a = Arc::new(ImmuneMutex::new_in(rt, 0i64));
+            let b = Arc::new(ImmuneMutex::new_in(rt, 0i64));
+            let (a1, b1) = (a.clone(), b.clone());
+            let t1 = std::thread::spawn(move || forward(&a1, &b1, Duration::from_millis(60)));
+            let (a2, b2) = (a.clone(), b.clone());
+            let t2 = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                backward(&a2, &b2, Duration::from_millis(60))
+            });
+            (t1.join().unwrap(), t2.join().unwrap())
+        };
+
+        // Run 1: learn.
+        let rt = DimmunixRuntime::builder()
+            .deadlock_policy(DeadlockPolicy::Error)
+            .build();
+        let (r1, r2) = run(&rt);
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "the adversarial schedule must deadlock: {r1:?} {r2:?}"
+        );
+        let history = rt.history();
+        assert_eq!(history.len(), 1);
+        // The implicit sites point at this very file.
+        if let Some(Err(LockError::WouldDeadlock { site, .. })) =
+            [r1, r2].into_iter().find(|r| r.is_err())
+        {
+            assert!(site.file.ends_with("lib.rs"), "site: {site}");
+            assert_eq!(site.scope, CALLER_SCOPE);
+        }
+
+        // Run 2: the same code with the antibody loaded completes.
+        let rt = DimmunixRuntime::builder()
+            .deadlock_policy(DeadlockPolicy::Error)
+            .history(history)
+            .build();
+        let (r1, r2) = run(&rt);
+        assert!(
+            r1.is_ok() && r2.is_ok(),
+            "replay must complete: {r1:?} {r2:?}"
+        );
+        assert_eq!(rt.stats().deadlocks_detected, 0);
+        assert_eq!(rt.history().len(), 1, "no new signature on the replay");
+    }
+
+    /// Writer/writer inversion across two `ImmuneRwLock`s, implicit sites:
+    /// detected once, avoided on the replay — the reader-writer scenario
+    /// family goes through the same engine path as monitors.
+    #[test]
+    fn rwlock_writer_writer_inversion_learns_and_avoids() {
+        fn forward(
+            a: &Arc<ImmuneRwLock<u32>>,
+            b: &Arc<ImmuneRwLock<u32>>,
+            hold: Duration,
+        ) -> Result<(), LockError> {
+            let mut ga = a.write()?;
+            std::thread::sleep(hold);
+            let gb = b.read()?;
+            *ga += *gb;
+            Ok(())
+        }
+        fn backward(
+            a: &Arc<ImmuneRwLock<u32>>,
+            b: &Arc<ImmuneRwLock<u32>>,
+            hold: Duration,
+        ) -> Result<(), LockError> {
+            let mut gb = b.write()?;
+            std::thread::sleep(hold);
+            let ga = a.read()?;
+            *gb += *ga;
+            Ok(())
+        }
+        let run = |rt: &Arc<DimmunixRuntime>| {
+            let a = Arc::new(ImmuneRwLock::new_in(rt, 1u32));
+            let b = Arc::new(ImmuneRwLock::new_in(rt, 1u32));
+            let (a1, b1) = (a.clone(), b.clone());
+            let t1 = std::thread::spawn(move || forward(&a1, &b1, Duration::from_millis(60)));
+            let (a2, b2) = (a.clone(), b.clone());
+            let t2 = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                backward(&a2, &b2, Duration::from_millis(60))
+            });
+            (t1.join().unwrap(), t2.join().unwrap())
+        };
+
+        // Run 1: the write/read inversion deadlocks and is detected.
+        let rt = DimmunixRuntime::builder()
+            .deadlock_policy(DeadlockPolicy::Error)
+            .build();
+        let (r1, r2) = run(&rt);
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "the adversarial schedule must deadlock: {r1:?} {r2:?}"
+        );
+        assert_eq!(rt.stats().deadlocks_detected, 1);
+        let history = rt.history();
+        assert_eq!(history.len(), 1);
+
+        // Run 2: antibody loaded, the same code completes.
+        let rt = DimmunixRuntime::builder()
+            .deadlock_policy(DeadlockPolicy::Error)
+            .history(history)
+            .build();
+        let (r1, r2) = run(&rt);
         assert!(
             r1.is_ok() && r2.is_ok(),
             "replay must complete: {r1:?} {r2:?}"
@@ -147,6 +312,7 @@ mod integration_tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DimmunixRuntime>();
         assert_send_sync::<ImmuneMutex<Vec<u8>>>();
+        assert_send_sync::<ImmuneRwLock<Vec<u8>>>();
         assert_send_sync::<ImmuneMonitor<Vec<u8>>>();
         assert_send_sync::<LockError>();
     }
@@ -154,10 +320,10 @@ mod integration_tests {
     /// Allocates immune mutexes until two of them live on different shards
     /// of `rt`, and returns that pair.
     fn cross_shard_pair(rt: &Arc<DimmunixRuntime>) -> (ImmuneMutex<u64>, ImmuneMutex<u64>) {
-        let first = ImmuneMutex::new(rt, 0u64);
+        let first = ImmuneMutex::new_in(rt, 0u64);
         let home = rt.shard_of(first.lock_id());
         for _ in 0..64 {
-            let other = ImmuneMutex::new(rt, 0u64);
+            let other = ImmuneMutex::new_in(rt, 0u64);
             if rt.shard_of(other.lock_id()) != home {
                 return (first, other);
             }
@@ -174,14 +340,14 @@ mod integration_tests {
         let site_a_inner = AcquisitionSite::new("xs.a_inner", "xs.rs", 11);
         let site_b_outer = AcquisitionSite::new("xs.b_outer", "xs.rs", 20);
         let site_b_inner = AcquisitionSite::new("xs.b_inner", "xs.rs", 21);
-        let options = || RuntimeOptions {
-            config: Config::default(),
-            deadlock_policy: DeadlockPolicy::Error,
-            shards: 4,
+        let builder = || {
+            DimmunixRuntime::builder()
+                .deadlock_policy(DeadlockPolicy::Error)
+                .shards(4)
         };
 
         // --- Run 1: provoke the cross-shard deadlock deterministically. ---
-        let rt = DimmunixRuntime::with_options(options());
+        let rt = builder().build();
         let (a, b) = cross_shard_pair(&rt);
         assert_ne!(
             rt.shard_of(a.lock_id()),
@@ -194,18 +360,18 @@ mod integration_tests {
         let barrier = Arc::new(std::sync::Barrier::new(2));
         let (a1, b1, bar1) = (a.clone(), b.clone(), barrier.clone());
         let t1 = std::thread::spawn(move || -> Result<(), LockError> {
-            let _ga = a1.lock(site_a_outer)?;
+            let _ga = a1.lock_at(site_a_outer)?;
             bar1.wait();
             std::thread::sleep(Duration::from_millis(30));
-            let _gb = b1.lock(site_a_inner)?;
+            let _gb = b1.lock_at(site_a_inner)?;
             Ok(())
         });
         let (a2, b2, bar2) = (a.clone(), b.clone(), barrier.clone());
         let t2 = std::thread::spawn(move || -> Result<(), LockError> {
-            let _gb = b2.lock(site_b_outer)?;
+            let _gb = b2.lock_at(site_b_outer)?;
             bar2.wait();
             std::thread::sleep(Duration::from_millis(30));
-            let _ga = a2.lock(site_b_inner)?;
+            let _ga = a2.lock_at(site_b_inner)?;
             Ok(())
         });
         let r1 = t1.join().unwrap();
@@ -219,23 +385,23 @@ mod integration_tests {
         assert_eq!(rt.stats().deadlocks_detected, 1);
 
         // --- Run 2: antibody loaded, staggered replay completes. ----------
-        let rt = DimmunixRuntime::with_history(options(), history);
+        let rt = builder().history(history).build();
         let (a, b) = cross_shard_pair(&rt);
         let a = Arc::new(a);
         let b = Arc::new(b);
         let (a1, b1) = (a.clone(), b.clone());
         let t1 = std::thread::spawn(move || -> Result<(), LockError> {
-            let _ga = a1.lock(site_a_outer)?;
+            let _ga = a1.lock_at(site_a_outer)?;
             std::thread::sleep(Duration::from_millis(80));
-            let _gb = b1.lock(site_a_inner)?;
+            let _gb = b1.lock_at(site_a_inner)?;
             Ok(())
         });
         let (a2, b2) = (a.clone(), b.clone());
         let t2 = std::thread::spawn(move || -> Result<(), LockError> {
             std::thread::sleep(Duration::from_millis(20));
-            let _gb = b2.lock(site_b_outer)?;
+            let _gb = b2.lock_at(site_b_outer)?;
             std::thread::sleep(Duration::from_millis(10));
-            let _ga = a2.lock(site_b_inner)?;
+            let _ga = a2.lock_at(site_b_inner)?;
             Ok(())
         });
         let r1 = t1.join().unwrap();
@@ -275,11 +441,10 @@ mod integration_tests {
             ],
         );
 
-        let rt = DimmunixRuntime::with_options(RuntimeOptions {
-            config: Config::default(),
-            deadlock_policy: DeadlockPolicy::Error,
-            shards: 8,
-        });
+        let rt = DimmunixRuntime::builder()
+            .deadlock_policy(DeadlockPolicy::Error)
+            .shards(8)
+            .build();
         rt.add_signature(trained);
         let (a, b) = cross_shard_pair(&rt);
         let a = Arc::new(a);
@@ -298,15 +463,15 @@ mod integration_tests {
                     // and try again — the fail-safe client pattern.
                     loop {
                         let result = if forward {
-                            a.lock(site_fwd_outer).and_then(|ga| {
-                                let gb = b.lock(site_fwd_inner)?;
+                            a.lock_at(site_fwd_outer).and_then(|ga| {
+                                let gb = b.lock_at(site_fwd_inner)?;
                                 drop(gb);
                                 drop(ga);
                                 Ok(())
                             })
                         } else {
-                            b.lock(site_rev_outer).and_then(|gb| {
-                                let ga = a.lock(site_rev_inner)?;
+                            b.lock_at(site_rev_outer).and_then(|gb| {
+                                let ga = a.lock_at(site_rev_inner)?;
                                 drop(ga);
                                 drop(gb);
                                 Ok(())

@@ -27,25 +27,24 @@ use std::time::Duration;
 /// A monitor: mutual exclusion plus `wait` / `notify`, screened by Dimmunix.
 ///
 /// ```
-/// use dimmunix_rt::{acquire_site, DimmunixRuntime, ImmuneMonitor};
+/// use dimmunix_rt::ImmuneMonitor;
 /// use std::sync::Arc;
 ///
-/// let runtime = DimmunixRuntime::new();
-/// let queue = Arc::new(ImmuneMonitor::new(&runtime, Vec::<u32>::new()));
+/// let queue = Arc::new(ImmuneMonitor::new(Vec::<u32>::new()));
 ///
 /// let producer = {
 ///     let queue = queue.clone();
 ///     std::thread::spawn(move || {
-///         let mut guard = queue.enter(acquire_site!()).unwrap();
+///         let mut guard = queue.enter().unwrap();
 ///         guard.push(42);
 ///         guard.notify_all();
 ///     })
 /// };
 /// producer.join().unwrap();
 ///
-/// let mut guard = queue.enter(acquire_site!()).unwrap();
+/// let mut guard = queue.enter().unwrap();
 /// while guard.is_empty() {
-///     guard = guard.wait_for(acquire_site!(), std::time::Duration::from_millis(10)).unwrap();
+///     guard = guard.wait_for(std::time::Duration::from_millis(10)).unwrap();
 /// }
 /// assert_eq!(*guard, vec![42]);
 /// ```
@@ -61,8 +60,15 @@ pub struct ImmuneMonitor<T: ?Sized> {
 }
 
 impl<T> ImmuneMonitor<T> {
-    /// Creates a monitor protected by the given runtime.
-    pub fn new(runtime: &Arc<DimmunixRuntime>, value: T) -> Self {
+    /// Creates a monitor protected by the process-global runtime
+    /// ([`DimmunixRuntime::global`]) — the drop-in constructor.
+    pub fn new(value: T) -> Self {
+        Self::new_in(DimmunixRuntime::global(), value)
+    }
+
+    /// Creates a monitor protected by an explicit runtime (multi-runtime
+    /// tests, benches, paper experiments).
+    pub fn new_in(runtime: &Arc<DimmunixRuntime>, value: T) -> Self {
         ImmuneMonitor {
             runtime: runtime.clone(),
             lock_id: runtime.allocate_lock(),
@@ -84,12 +90,24 @@ impl<T: ?Sized> ImmuneMonitor<T> {
         self.lock_id
     }
 
-    /// Enters the monitor (the equivalent of a `synchronized` block).
+    /// Enters the monitor (the equivalent of a `synchronized` block). The
+    /// acquisition site is the caller's source location (`#[track_caller]`);
+    /// use [`enter_at`](ImmuneMonitor::enter_at) to pin an explicit site.
     ///
     /// # Errors
     /// Returns [`LockError::WouldDeadlock`] under the error policy if the
     /// acquisition would complete a deadlock cycle.
-    pub fn enter(&self, site: AcquisitionSite) -> Result<MonitorGuard<'_, T>, LockError> {
+    #[track_caller]
+    pub fn enter(&self) -> Result<MonitorGuard<'_, T>, LockError> {
+        self.enter_at(AcquisitionSite::here())
+    }
+
+    /// Enters the monitor with an explicit acquisition site (use
+    /// [`acquire_site!`](crate::acquire_site)).
+    ///
+    /// # Errors
+    /// Same as [`enter`](ImmuneMonitor::enter).
+    pub fn enter_at(&self, site: AcquisitionSite) -> Result<MonitorGuard<'_, T>, LockError> {
         self.runtime.before_acquire(self.lock_id, site)?;
         let guard = sync::lock(&self.inner);
         self.runtime.after_acquire(self.lock_id);
@@ -119,12 +137,26 @@ impl<'a, T: ?Sized> MonitorGuard<'a, T> {
     /// `Object.wait()`: atomically releases the monitor (through Dimmunix),
     /// waits to be notified, then reacquires the monitor (through Dimmunix —
     /// the path that catches wait-induced lock inversions). The returned
-    /// guard holds the monitor again.
+    /// guard holds the monitor again. The *reacquisition* site is the
+    /// caller's source location (`#[track_caller]`); use
+    /// [`wait_at`](MonitorGuard::wait_at) to pin an explicit site.
     ///
     /// # Errors
     /// Returns [`LockError::WouldDeadlock`] if the *reacquisition* would
     /// complete a deadlock cycle under the error policy.
-    pub fn wait(self, reacquire_site: AcquisitionSite) -> Result<MonitorGuard<'a, T>, LockError> {
+    #[track_caller]
+    pub fn wait(self) -> Result<MonitorGuard<'a, T>, LockError> {
+        self.wait_inner(AcquisitionSite::here(), None)
+    }
+
+    /// [`wait`](MonitorGuard::wait) with an explicit reacquisition site.
+    ///
+    /// # Errors
+    /// Same as [`wait`](MonitorGuard::wait).
+    pub fn wait_at(
+        self,
+        reacquire_site: AcquisitionSite,
+    ) -> Result<MonitorGuard<'a, T>, LockError> {
         self.wait_inner(reacquire_site, None)
     }
 
@@ -133,7 +165,17 @@ impl<'a, T: ?Sized> MonitorGuard<'a, T> {
     ///
     /// # Errors
     /// Same as [`wait`](MonitorGuard::wait).
-    pub fn wait_for(
+    #[track_caller]
+    pub fn wait_for(self, timeout: Duration) -> Result<MonitorGuard<'a, T>, LockError> {
+        self.wait_inner(AcquisitionSite::here(), Some(timeout))
+    }
+
+    /// [`wait_for`](MonitorGuard::wait_for) with an explicit reacquisition
+    /// site.
+    ///
+    /// # Errors
+    /// Same as [`wait`](MonitorGuard::wait).
+    pub fn wait_for_at(
         self,
         reacquire_site: AcquisitionSite,
         timeout: Duration,
@@ -242,28 +284,25 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for MonitorGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::acquire_site;
 
     #[test]
     fn enter_and_mutate() {
         let rt = DimmunixRuntime::new();
-        let m = ImmuneMonitor::new(&rt, 0u32);
+        let m = ImmuneMonitor::new_in(&rt, 0u32);
         {
-            let mut g = m.enter(acquire_site!()).unwrap();
+            let mut g = m.enter().unwrap();
             *g = 7;
         }
-        assert_eq!(*m.enter(acquire_site!()).unwrap(), 7);
+        assert_eq!(*m.enter().unwrap(), 7);
         assert_eq!(m.into_inner(), 7);
     }
 
     #[test]
     fn wait_for_times_out_and_reacquires() {
         let rt = DimmunixRuntime::new();
-        let m = ImmuneMonitor::new(&rt, 5u32);
-        let g = m.enter(acquire_site!()).unwrap();
-        let g = g
-            .wait_for(acquire_site!(), Duration::from_millis(10))
-            .unwrap();
+        let m = ImmuneMonitor::new_in(&rt, 5u32);
+        let g = m.enter().unwrap();
+        let g = g.wait_for(Duration::from_millis(10)).unwrap();
         assert_eq!(*g, 5);
         drop(g);
         // One enter plus one reacquisition.
@@ -274,20 +313,18 @@ mod tests {
     #[test]
     fn notify_wakes_waiter() {
         let rt = DimmunixRuntime::new();
-        let m = Arc::new(ImmuneMonitor::new(&rt, false));
+        let m = Arc::new(ImmuneMonitor::new_in(&rt, false));
         let m2 = m.clone();
         let waiter = std::thread::spawn(move || {
-            let mut g = m2.enter(acquire_site!()).unwrap();
+            let mut g = m2.enter().unwrap();
             while !*g {
-                g = g
-                    .wait_for(acquire_site!(), Duration::from_millis(20))
-                    .unwrap();
+                g = g.wait_for(Duration::from_millis(20)).unwrap();
             }
             true
         });
         std::thread::sleep(Duration::from_millis(30));
         {
-            let mut g = m.enter(acquire_site!()).unwrap();
+            let mut g = m.enter().unwrap();
             *g = true;
             g.notify_all();
         }
@@ -300,21 +337,20 @@ mod tests {
         // and waits (with timeout) on X; t2 takes X and then wants Y. The
         // reacquisition of X by t1 (or the acquisition of Y by t2) must be
         // reported as a deadlock, not silently hang.
-        use crate::{DeadlockPolicy, ImmuneMutex, RuntimeOptions};
-        let rt = DimmunixRuntime::with_options(RuntimeOptions {
-            deadlock_policy: DeadlockPolicy::Error,
-            ..RuntimeOptions::default()
-        });
-        let x = Arc::new(ImmuneMonitor::new(&rt, ()));
-        let y = Arc::new(ImmuneMutex::new(&rt, ()));
+        use crate::{DeadlockPolicy, ImmuneMutex};
+        let rt = DimmunixRuntime::builder()
+            .deadlock_policy(DeadlockPolicy::Error)
+            .build();
+        let x = Arc::new(ImmuneMonitor::new_in(&rt, ()));
+        let y = Arc::new(ImmuneMutex::new_in(&rt, ()));
 
         let (x1, y1) = (x.clone(), y.clone());
         let rt1 = rt.clone();
         let t1 = std::thread::spawn(move || -> Result<(), LockError> {
-            let _y_guard = y1.lock(AcquisitionSite::new("T1.holdY", "inv.rs", 1))?;
-            let x_guard = x1.enter(AcquisitionSite::new("T1.enterX", "inv.rs", 2))?;
+            let _y_guard = y1.lock_at(AcquisitionSite::new("T1.holdY", "inv.rs", 1))?;
+            let x_guard = x1.enter_at(AcquisitionSite::new("T1.enterX", "inv.rs", 2))?;
             // Wait with a timeout long enough for t2 to grab X.
-            let _reacquired = x_guard.wait_for(
+            let _reacquired = x_guard.wait_for_at(
                 AcquisitionSite::new("T1.reacquireX", "inv.rs", 3),
                 Duration::from_millis(120),
             )?;
@@ -325,9 +361,9 @@ mod tests {
         let (x2, y2) = (x, y);
         let t2 = std::thread::spawn(move || -> Result<(), LockError> {
             std::thread::sleep(Duration::from_millis(40));
-            let _x_guard = x2.enter(AcquisitionSite::new("T2.enterX", "inv.rs", 4))?;
+            let _x_guard = x2.enter_at(AcquisitionSite::new("T2.enterX", "inv.rs", 4))?;
             std::thread::sleep(Duration::from_millis(150));
-            let _y_guard = y2.lock(AcquisitionSite::new("T2.lockY", "inv.rs", 5))?;
+            let _y_guard = y2.lock_at(AcquisitionSite::new("T2.lockY", "inv.rs", 5))?;
             Ok(())
         });
 

@@ -1,10 +1,20 @@
-//! `ImmuneMutex` — a mutual-exclusion lock with deadlock immunity.
+//! `ImmuneMutex` — a drop-in `std::sync::Mutex` with deadlock immunity.
 //!
 //! Rust offers no way to interpose on `std::sync::Mutex`, so immunity is
 //! provided by a wrapper type: every acquisition calls the runtime's
 //! `before_acquire` / `after_acquire` hooks and every release (guard drop)
 //! calls `before_release`, exactly where the paper's modified Dalvik
 //! routines call the Dimmunix core.
+//!
+//! The type is a **drop-in replacement**: [`ImmuneMutex::new`] takes only
+//! the protected value (attaching to the process-global
+//! [`DimmunixRuntime`](crate::DimmunixRuntime)), and [`ImmuneMutex::lock`]
+//! is `#[track_caller]`, deriving its acquisition site from the caller's
+//! source location. Migrating a program from `std::sync` is a rename plus
+//! handling [`LockError`] where a deadlock would have hung. The explicit
+//! variants ([`new_in`](ImmuneMutex::new_in),
+//! [`lock_at`](ImmuneMutex::lock_at)) remain for multi-runtime tests and
+//! deterministic site identity.
 //!
 //! The lock id allocated at construction determines the engine shard whose
 //! mutex screens this lock's acquisitions (see
@@ -24,15 +34,14 @@ use std::sync::{Mutex, MutexGuard};
 /// A mutex whose acquisitions are screened by Dimmunix.
 ///
 /// ```
-/// use dimmunix_rt::{acquire_site, DimmunixRuntime, ImmuneMutex};
+/// use dimmunix_rt::ImmuneMutex;
 ///
-/// let runtime = DimmunixRuntime::new();
-/// let counter = ImmuneMutex::new(&runtime, 0u32);
+/// let counter = ImmuneMutex::new(0u32);
 /// {
-///     let mut guard = counter.lock(acquire_site!())?;
+///     let mut guard = counter.lock()?;
 ///     *guard += 1;
 /// }
-/// assert_eq!(*counter.lock(acquire_site!())?, 1);
+/// assert_eq!(*counter.lock()?, 1);
 /// # Ok::<(), dimmunix_rt::LockError>(())
 /// ```
 pub struct ImmuneMutex<T: ?Sized> {
@@ -42,8 +51,15 @@ pub struct ImmuneMutex<T: ?Sized> {
 }
 
 impl<T> ImmuneMutex<T> {
-    /// Creates an immune mutex protected by the given runtime.
-    pub fn new(runtime: &Arc<DimmunixRuntime>, value: T) -> Self {
+    /// Creates an immune mutex protected by the process-global runtime
+    /// ([`DimmunixRuntime::global`]) — the drop-in constructor.
+    pub fn new(value: T) -> Self {
+        Self::new_in(DimmunixRuntime::global(), value)
+    }
+
+    /// Creates an immune mutex protected by an explicit runtime
+    /// (multi-runtime tests, benches, paper experiments).
+    pub fn new_in(runtime: &Arc<DimmunixRuntime>, value: T) -> Self {
         ImmuneMutex {
             runtime: runtime.clone(),
             lock_id: runtime.allocate_lock(),
@@ -63,8 +79,9 @@ impl<T: ?Sized> ImmuneMutex<T> {
         self.lock_id
     }
 
-    /// Acquires the mutex, identifying the acquisition by `site` (use
-    /// [`acquire_site!`](crate::acquire_site)).
+    /// Acquires the mutex. The acquisition site is the caller's source
+    /// location (`#[track_caller]`); use [`lock_at`](ImmuneMutex::lock_at)
+    /// to pin an explicit site.
     ///
     /// The calling thread may be parked by the avoidance module if acquiring
     /// here could re-instantiate a known deadlock signature.
@@ -73,7 +90,19 @@ impl<T: ?Sized> ImmuneMutex<T> {
     /// Returns [`LockError::WouldDeadlock`] if the acquisition would complete
     /// a deadlock cycle and the runtime's policy is
     /// [`DeadlockPolicy::Error`](crate::DeadlockPolicy::Error).
-    pub fn lock(&self, site: AcquisitionSite) -> Result<ImmuneMutexGuard<'_, T>, LockError> {
+    #[track_caller]
+    pub fn lock(&self) -> Result<ImmuneMutexGuard<'_, T>, LockError> {
+        self.lock_at(AcquisitionSite::here())
+    }
+
+    /// Acquires the mutex, identifying the acquisition by an explicit
+    /// `site` (use [`acquire_site!`](crate::acquire_site)). Deterministic
+    /// tests and the paper experiments use this to keep site identity
+    /// stable across refactors and runs.
+    ///
+    /// # Errors
+    /// Same as [`lock`](ImmuneMutex::lock).
+    pub fn lock_at(&self, site: AcquisitionSite) -> Result<ImmuneMutexGuard<'_, T>, LockError> {
         self.runtime.before_acquire(self.lock_id, site)?;
         let guard = sync::lock(&self.inner);
         self.runtime.after_acquire(self.lock_id);
@@ -84,13 +113,23 @@ impl<T: ?Sized> ImmuneMutex<T> {
         })
     }
 
-    /// Attempts to acquire the mutex without blocking on the underlying lock.
-    /// The Dimmunix request is still issued (and may park the thread); only
-    /// contention on the real mutex is non-blocking.
+    /// Attempts to acquire the mutex without blocking on the underlying
+    /// lock, with the caller's source location as the site. The Dimmunix
+    /// request is still issued (and may park the thread); only contention
+    /// on the real mutex is non-blocking.
     ///
     /// # Errors
     /// Same as [`lock`](ImmuneMutex::lock).
-    pub fn try_lock(
+    #[track_caller]
+    pub fn try_lock(&self) -> Result<Option<ImmuneMutexGuard<'_, T>>, LockError> {
+        self.try_lock_at(AcquisitionSite::here())
+    }
+
+    /// [`try_lock`](ImmuneMutex::try_lock) with an explicit site.
+    ///
+    /// # Errors
+    /// Same as [`lock`](ImmuneMutex::lock).
+    pub fn try_lock_at(
         &self,
         site: AcquisitionSite,
     ) -> Result<Option<ImmuneMutexGuard<'_, T>>, LockError> {
@@ -113,17 +152,10 @@ impl<T: ?Sized> ImmuneMutex<T> {
             }
             None => {
                 // Back out of the approved-but-unused acquisition.
-                self.runtime_cancel();
+                self.runtime.cancel_acquire(self.lock_id);
                 Ok(None)
             }
         }
-    }
-
-    fn runtime_cancel(&self) {
-        // `cancel_request` is not exposed on the runtime's hot path; emulate
-        // it with an acquire/release pair is wrong, so go through the engine
-        // hook provided for this purpose.
-        self.runtime.cancel_acquire(self.lock_id);
     }
 }
 
@@ -176,30 +208,29 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for ImmuneMutexGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::acquire_site;
 
     #[test]
     fn guard_provides_mutable_access() {
         let rt = DimmunixRuntime::new();
-        let m = ImmuneMutex::new(&rt, vec![1, 2, 3]);
+        let m = ImmuneMutex::new_in(&rt, vec![1, 2, 3]);
         {
-            let mut g = m.lock(acquire_site!()).unwrap();
+            let mut g = m.lock().unwrap();
             g.push(4);
         }
-        assert_eq!(m.lock(acquire_site!()).unwrap().len(), 4);
+        assert_eq!(m.lock().unwrap().len(), 4);
         assert_eq!(m.into_inner(), vec![1, 2, 3, 4]);
     }
 
     #[test]
     fn concurrent_increments_are_mutually_excluded() {
         let rt = DimmunixRuntime::new();
-        let m = Arc::new(ImmuneMutex::new(&rt, 0u64));
+        let m = Arc::new(ImmuneMutex::new_in(&rt, 0u64));
         let mut handles = Vec::new();
         for _ in 0..8 {
             let m = m.clone();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..1000 {
-                    let mut g = m.lock(acquire_site!()).unwrap();
+                    let mut g = m.lock().unwrap();
                     *g += 1;
                 }
             }));
@@ -207,27 +238,37 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(*m.lock(acquire_site!()).unwrap(), 8000);
+        assert_eq!(*m.lock().unwrap(), 8000);
         assert_eq!(rt.stats().deadlocks_detected, 0);
     }
 
     #[test]
     fn try_lock_returns_none_under_contention() {
         let rt = DimmunixRuntime::new();
-        let m = Arc::new(ImmuneMutex::new(&rt, ()));
-        let g = m.lock(acquire_site!()).unwrap();
+        let m = Arc::new(ImmuneMutex::new_in(&rt, ()));
+        let g = m.lock().unwrap();
         let m2 = m.clone();
-        let handle = std::thread::spawn(move || m2.try_lock(acquire_site!()).unwrap().is_none());
+        let handle = std::thread::spawn(move || m2.try_lock().unwrap().is_none());
         assert!(handle.join().unwrap());
         drop(g);
-        assert!(m.try_lock(acquire_site!()).unwrap().is_some());
+        assert!(m.try_lock().unwrap().is_some());
     }
 
     #[test]
     fn lock_ids_differ_between_mutexes() {
         let rt = DimmunixRuntime::new();
-        let a = ImmuneMutex::new(&rt, ());
-        let b = ImmuneMutex::new(&rt, ());
+        let a = ImmuneMutex::new_in(&rt, ());
+        let b = ImmuneMutex::new_in(&rt, ());
         assert_ne!(a.lock_id(), b.lock_id());
+    }
+
+    #[test]
+    fn drop_in_constructor_uses_the_global_runtime() {
+        // Only touch state that tolerates sharing with every other test in
+        // this binary: a lock/unlock round trip and the lock-id allocator.
+        let m = ImmuneMutex::new("global".to_string());
+        assert_eq!(m.lock().unwrap().as_str(), "global");
+        let n = ImmuneMutex::new(());
+        assert_ne!(m.lock_id(), n.lock_id());
     }
 }

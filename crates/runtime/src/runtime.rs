@@ -41,13 +41,14 @@ use crate::sync;
 use dimmunix_core::{
     broadcast_signature, fast_path_eligible, holds_mask_with, request_cross_shard,
     stale_shard_after, stale_shard_consumed, try_request_local, CallStack, Config, Dimmunix,
-    History, HistorySnapshot, LocalDecision, LockId, RequestOutcome, ShardRouter, Signature,
-    SignatureId, Stats, ThreadId,
+    History, HistorySnapshot, LocalDecision, LockId, RecoveryReport, RequestOutcome, ShardRouter,
+    Signature, SignatureId, Stats, ThreadId,
 };
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -66,22 +67,41 @@ pub enum DeadlockPolicy {
 }
 
 /// Errors surfaced by the immune lock types.
+///
+/// Marked `#[non_exhaustive]` (enum and variants): foreign matches need a
+/// wildcard arm and cannot construct the variants, so future error kinds
+/// and extra context fields are non-breaking.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum LockError {
     /// Acquiring would complete a deadlock cycle (and
     /// [`DeadlockPolicy::Error`] is in force). The signature has been added
-    /// to the history.
+    /// to the history. The lock and acquisition site identify *which*
+    /// antibody refused the caller, so fail-safe retry loops can log the
+    /// refusal instead of spinning blind.
+    #[non_exhaustive]
     WouldDeadlock {
         /// The recorded signature.
         signature: SignatureId,
+        /// The lock whose acquisition was refused.
+        lock: LockId,
+        /// The program location of the refused acquisition.
+        site: AcquisitionSite,
     },
 }
 
 impl fmt::Display for LockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LockError::WouldDeadlock { signature } => {
-                write!(f, "acquisition would complete deadlock {signature}")
+            LockError::WouldDeadlock {
+                signature,
+                lock,
+                site,
+            } => {
+                write!(
+                    f,
+                    "acquiring lock {lock} at {site} would complete deadlock {signature}"
+                )
             }
         }
     }
@@ -89,8 +109,11 @@ impl fmt::Display for LockError {
 
 impl std::error::Error for LockError {}
 
-/// Options controlling a [`DimmunixRuntime`].
+/// Options controlling a [`DimmunixRuntime`]. Readable through
+/// [`DimmunixRuntime::options`]; constructed through [`RuntimeBuilder`]
+/// (the struct is `#[non_exhaustive]`, so new knobs are non-breaking).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RuntimeOptions {
     /// Engine configuration (stack depth, toggles) — including the
     /// **persistence knobs**: [`Config::history_path`] names the
@@ -121,6 +144,132 @@ impl Default for RuntimeOptions {
         }
     }
 }
+
+/// Fluent configuration for a [`DimmunixRuntime`] — the construction
+/// surface of the drop-in API.
+///
+/// [`build`](RuntimeBuilder::build) creates a private runtime (multi-runtime
+/// tests, benches); [`install_global`](RuntimeBuilder::install_global) makes
+/// the built runtime the process-global one that `ImmuneMutex::new(value)`
+/// and friends attach to. Install before the first implicit use: once
+/// [`DimmunixRuntime::global`] has run, the global runtime is fixed for the
+/// life of the process (locks hold `Arc`s into it, so swapping it would
+/// split the process across two engines).
+///
+/// ```
+/// use dimmunix_rt::{DeadlockPolicy, DimmunixRuntime};
+///
+/// let rt = DimmunixRuntime::builder()
+///     .shards(4)
+///     .deadlock_policy(DeadlockPolicy::Error)
+///     .log_sync(false)
+///     .build();
+/// assert_eq!(rt.shard_count(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeBuilder {
+    options: RuntimeOptions,
+    history: Option<History>,
+}
+
+impl RuntimeBuilder {
+    /// Starts from the defaults: fail-safe deadlock policy, one engine
+    /// shard, in-memory history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the whole engine configuration. Apply this **before** the
+    /// targeted knobs ([`history_path`](Self::history_path),
+    /// [`log_sync`](Self::log_sync)), which tweak the configuration in
+    /// place.
+    pub fn config(mut self, config: Config) -> Self {
+        self.options.config = config;
+        self
+    }
+
+    /// Number of engine shards the lock-id space is partitioned over (see
+    /// [`RuntimeOptions::shards`]). Default 1 — the paper's single global
+    /// engine lock.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.options.shards = shards;
+        self
+    }
+
+    /// Behaviour when an acquisition closes a genuine deadlock cycle.
+    /// Default [`DeadlockPolicy::Error`] (fail-safe).
+    pub fn deadlock_policy(mut self, policy: DeadlockPolicy) -> Self {
+        self.options.deadlock_policy = policy;
+        self
+    }
+
+    /// Path of the append-only signature log: replayed (with crash-tail
+    /// repair) at construction, appended to on every detection. Unset keeps
+    /// the history purely in memory.
+    pub fn history_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.options.config.history_path = Some(path.into());
+        self
+    }
+
+    /// Whether each history-log append fsyncs (default `true`; see
+    /// [`Config::log_sync`]).
+    pub fn log_sync(mut self, sync: bool) -> Self {
+        self.options.config.log_sync = sync;
+        self
+    }
+
+    /// Pre-loads an explicit starting history (vendor-shipped antibodies,
+    /// synthetic benchmark signatures). Takes precedence over replaying
+    /// [`history_path`](Self::history_path) for the *starting* state; the
+    /// path is still used for appends.
+    pub fn history(mut self, history: History) -> Self {
+        self.history = Some(history);
+        self
+    }
+
+    /// Builds a private runtime.
+    pub fn build(self) -> Arc<DimmunixRuntime> {
+        match self.history {
+            Some(history) => DimmunixRuntime::with_history(self.options, history),
+            None => DimmunixRuntime::with_options(self.options),
+        }
+    }
+
+    /// Builds the runtime and installs it as the process-global one used by
+    /// the implicit constructors (`ImmuneMutex::new(value)`, …).
+    ///
+    /// # Errors
+    /// Returns [`GlobalAlreadyInstalled`] if the global runtime already
+    /// exists — either a previous install or a first implicit use that
+    /// default-initialized it. The existing global stays in force.
+    pub fn install_global(self) -> Result<Arc<DimmunixRuntime>, GlobalAlreadyInstalled> {
+        let rt = self.build();
+        match GLOBAL_RUNTIME.set(Arc::clone(&rt)) {
+            Ok(()) => Ok(rt),
+            Err(_) => Err(GlobalAlreadyInstalled(())),
+        }
+    }
+}
+
+/// Error returned by [`RuntimeBuilder::install_global`] when the
+/// process-global runtime was already initialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalAlreadyInstalled(());
+
+impl fmt::Display for GlobalAlreadyInstalled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "the process-global Dimmunix runtime is already installed \
+             (install_global must run before the first implicit use)"
+        )
+    }
+}
+
+impl std::error::Error for GlobalAlreadyInstalled {}
+
+/// The process-global runtime backing the implicit constructors.
+static GLOBAL_RUNTIME: OnceLock<Arc<DimmunixRuntime>> = OnceLock::new();
 
 #[derive(Default)]
 struct SignatureGate {
@@ -209,23 +358,40 @@ impl fmt::Debug for DimmunixRuntime {
 }
 
 impl DimmunixRuntime {
-    /// Creates a runtime with default options (paper defaults: fail-safe
-    /// deadlock policy, one engine shard).
+    /// Creates a private runtime with default options (paper defaults:
+    /// fail-safe deadlock policy, one engine shard). Use
+    /// [`builder`](Self::builder) to configure one, and
+    /// [`global`](Self::global) for the process-global runtime the drop-in
+    /// constructors attach to.
     pub fn new() -> Arc<Self> {
         Self::with_options(RuntimeOptions::default())
+    }
+
+    /// Starts a [`RuntimeBuilder`] — the fluent construction surface.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
+    /// The process-global runtime — the analogue of "Dimmunix is in the
+    /// VM, so every application automatically runs with it". The implicit
+    /// lock constructors (`ImmuneMutex::new(value)`, …) attach here.
+    /// Default-initialized on first use; configure it beforehand with
+    /// [`RuntimeBuilder::install_global`].
+    pub fn global() -> &'static Arc<Self> {
+        GLOBAL_RUNTIME.get_or_init(|| RuntimeBuilder::new().build())
     }
 
     /// Creates a runtime with explicit options. If the configuration names
     /// a history log, it is replayed (and its crash tail repaired) once;
     /// the resulting snapshot is shared by every shard.
-    pub fn with_options(options: RuntimeOptions) -> Arc<Self> {
+    fn with_options(options: RuntimeOptions) -> Arc<Self> {
         let first = Dimmunix::new(options.config.clone());
         Self::assemble_from(options, first)
     }
 
     /// Creates a runtime pre-loaded with a history (antibodies). The
     /// snapshot is bulk-built once and shared by every shard.
-    pub fn with_history(options: RuntimeOptions, history: History) -> Arc<Self> {
+    fn with_history(options: RuntimeOptions, history: History) -> Arc<Self> {
         let first = Dimmunix::with_history(options.config.clone(), history);
         Self::assemble_from(options, first)
     }
@@ -321,6 +487,19 @@ impl DimmunixRuntime {
         let home = self.router.shard_of(id);
         sync::lock(&self.shards[home]).engine.register_lock(id);
         id
+    }
+
+    /// Diagnostics of the history-log recovery performed when this runtime
+    /// was constructed: records replayed, crash-tail repair, quarantine of
+    /// a corrupt log. `None` when the runtime performed no log replay (no
+    /// [`Config::history_path`], or an explicit starting history). Check it
+    /// at start-up to tell "no antibodies yet" apart from "antibodies lost
+    /// to corruption" — the engine no longer starts silently empty.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        sync::lock(&self.shards[0])
+            .engine
+            .recovery_report()
+            .cloned()
     }
 
     /// Snapshot of the engine counters, rolled up across shards.
@@ -511,7 +690,11 @@ impl DimmunixRuntime {
                 RequestOutcome::Granted | RequestOutcome::GrantedReentrant => return Ok(()),
                 RequestOutcome::DeadlockDetected { signature, .. } => {
                     return match self.options.deadlock_policy {
-                        DeadlockPolicy::Error => Err(LockError::WouldDeadlock { signature }),
+                        DeadlockPolicy::Error => Err(LockError::WouldDeadlock {
+                            signature,
+                            lock,
+                            site,
+                        }),
                         DeadlockPolicy::Block => Ok(()),
                     };
                 }
@@ -573,22 +756,40 @@ impl DimmunixRuntime {
     pub fn before_release(&self, lock: LockId) {
         let thread = self.route().id;
         let home = self.router.shard_of(lock);
-        let holds = {
-            let mut cell = sync::lock(&self.shards[home]);
-            let ShardCell {
-                engine,
-                wake_scratch,
-                ..
-            } = &mut *cell;
-            engine.released_into(thread, lock, wake_scratch);
-            if !cell.wake_scratch.is_empty() {
-                self.notify_signatures(&cell.wake_scratch);
-            }
-            !cell.engine.rag().held_locks(thread).is_empty()
-        };
+        let holds = self.release_in_shard(thread, lock, home);
         self.update_route(|r| {
             r.holds_mask = holds_mask_with(r.holds_mask, home, holds);
         });
+    }
+
+    /// Releases `lock`'s engine-level hold **on behalf of** `holder`, a
+    /// thread other than the caller. Used by [`ImmuneRwLock`]'s reader
+    /// crowd: the engine models the crowd as one hold owned by the first
+    /// reader, and whichever reader leaves last performs the release in the
+    /// holder's name. The holder's cached holds mask is left stale-set,
+    /// which only costs it the shard-local fast path until its next own
+    /// release on that shard.
+    ///
+    /// [`ImmuneRwLock`]: crate::ImmuneRwLock
+    pub(crate) fn before_release_as(&self, holder: ThreadId, lock: LockId) {
+        let home = self.router.shard_of(lock);
+        self.release_in_shard(holder, lock, home);
+    }
+
+    /// Engine release + gate wake-ups under the home shard's lock; returns
+    /// whether `thread` still holds anything on that shard.
+    fn release_in_shard(&self, thread: ThreadId, lock: LockId, home: usize) -> bool {
+        let mut cell = sync::lock(&self.shards[home]);
+        let ShardCell {
+            engine,
+            wake_scratch,
+            ..
+        } = &mut *cell;
+        engine.released_into(thread, lock, wake_scratch);
+        if !cell.wake_scratch.is_empty() {
+            self.notify_signatures(&cell.wake_scratch);
+        }
+        !cell.engine.rag().held_locks(thread).is_empty()
     }
 
     /// Unregisters the calling thread (normally done when a worker exits),

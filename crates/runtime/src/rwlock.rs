@@ -1,0 +1,374 @@
+//! `ImmuneRwLock` — a drop-in `std::sync::RwLock` with deadlock immunity.
+//!
+//! Both read and write acquisitions are screened through the same
+//! shard-routed engine path as [`ImmuneMutex`](crate::ImmuneMutex): the
+//! full `request` screening (RAG cycle detection **and** signature
+//! avoidance) runs before the real `RwLock` is touched, so reader/writer
+//! and writer/writer lock inversions develop antibodies exactly like
+//! monitor inversions do.
+//!
+//! ## How readers map onto the engine's single-owner RAG
+//!
+//! The paper's RAG models Java monitors: one owner per lock. A reader
+//! *crowd* (several threads holding the read lock at once) is represented
+//! in the engine as **one hold, owned by the first reader in** — the
+//! crowd's representative. Later readers are screened on entry
+//! (`before_acquire`) but then join the crowd without registering a second
+//! hold; whichever reader leaves last releases the engine-level hold in
+//! the representative's name. This keeps the engine's accounting exactly
+//! balanced (one `acquired` and one `released` per crowd) while preserving
+//! what detection needs: a writer blocked behind the crowd has a wait-for
+//! edge to a thread that really is inside the read section.
+//!
+//! The representation is a sound *approximation*: wait-for edges point at
+//! the representative rather than at every reader, so a cycle through a
+//! non-representative reader can be missed until the crowd drains, and a
+//! cycle through the representative may be reported even though another
+//! reader keeps the section alive. Both err on the side the paper accepts
+//! — detection may fire late or conservatively, avoidance still keys on
+//! acquisition sites, and accounting never corrupts.
+//!
+//! Like `std::sync::RwLock`, the lock is not reentrant and acquisitions do
+//! not upgrade: a thread that already holds **any** guard on this lock
+//! (read or write) must not call `read`/`write` again. In particular a
+//! read→write upgrade (`let g = rw.read()?; rw.write()?`) deadlocks the
+//! calling thread exactly as it does with `std::sync::RwLock`, and the
+//! engine cannot rescue it: if the thread is the crowd representative the
+//! write request looks reentrant (screening is skipped), and otherwise the
+//! wait-for edge points at the representative and never closes a cycle.
+
+use crate::runtime::{DimmunixRuntime, LockError};
+use crate::site::AcquisitionSite;
+use crate::sync;
+use dimmunix_core::{LockId, ThreadId};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader–writer lock whose acquisitions are screened by Dimmunix.
+///
+/// ```
+/// use dimmunix_rt::ImmuneRwLock;
+///
+/// let config = ImmuneRwLock::new(vec!["a", "b"]);
+/// assert_eq!(config.read()?.len(), 2);
+/// config.write()?.push("c");
+/// assert_eq!(config.read()?.len(), 3);
+/// # Ok::<(), dimmunix_rt::LockError>(())
+/// ```
+pub struct ImmuneRwLock<T: ?Sized> {
+    runtime: Arc<DimmunixRuntime>,
+    lock_id: LockId,
+    /// Reader-crowd accounting: how many read guards are live and which
+    /// thread's name the engine-level hold was registered under.
+    crowd: Mutex<ReaderCrowd>,
+    inner: RwLock<T>,
+}
+
+#[derive(Debug, Default)]
+struct ReaderCrowd {
+    readers: usize,
+    representative: Option<ThreadId>,
+}
+
+impl<T> ImmuneRwLock<T> {
+    /// Creates an immune reader–writer lock protected by the process-global
+    /// runtime ([`DimmunixRuntime::global`]) — the drop-in constructor.
+    pub fn new(value: T) -> Self {
+        Self::new_in(DimmunixRuntime::global(), value)
+    }
+
+    /// Creates an immune reader–writer lock protected by an explicit
+    /// runtime (multi-runtime tests, benches, paper experiments).
+    pub fn new_in(runtime: &Arc<DimmunixRuntime>, value: T) -> Self {
+        ImmuneRwLock {
+            runtime: runtime.clone(),
+            lock_id: runtime.allocate_lock(),
+            crowd: Mutex::new(ReaderCrowd::default()),
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        sync::rwlock_into_inner(self.inner)
+    }
+}
+
+impl<T: ?Sized> ImmuneRwLock<T> {
+    /// The engine-level identifier of this lock.
+    pub fn lock_id(&self) -> LockId {
+        self.lock_id
+    }
+
+    /// Acquires shared read access. The acquisition site is the caller's
+    /// source location (`#[track_caller]`); use
+    /// [`read_at`](ImmuneRwLock::read_at) to pin an explicit site.
+    ///
+    /// The calling thread may be parked by the avoidance module if acquiring
+    /// here could re-instantiate a known deadlock signature.
+    ///
+    /// # Errors
+    /// Returns [`LockError::WouldDeadlock`] if the acquisition would complete
+    /// a deadlock cycle and the runtime's policy is
+    /// [`DeadlockPolicy::Error`](crate::DeadlockPolicy::Error).
+    #[track_caller]
+    pub fn read(&self) -> Result<ImmuneRwLockReadGuard<'_, T>, LockError> {
+        self.read_at(AcquisitionSite::here())
+    }
+
+    /// [`read`](ImmuneRwLock::read) with an explicit acquisition site (use
+    /// [`acquire_site!`](crate::acquire_site)).
+    ///
+    /// # Errors
+    /// Same as [`read`](ImmuneRwLock::read).
+    pub fn read_at(
+        &self,
+        site: AcquisitionSite,
+    ) -> Result<ImmuneRwLockReadGuard<'_, T>, LockError> {
+        self.runtime.before_acquire(self.lock_id, site)?;
+        let guard = sync::read(&self.inner);
+        // Join the crowd. The crowd mutex serializes engine-level
+        // register/release with other readers, so the acquired/released
+        // pairing stays exact no matter how reads interleave.
+        let mut crowd = sync::lock(&self.crowd);
+        if crowd.readers == 0 {
+            // First reader in: register the crowd's single engine hold in
+            // this thread's name.
+            self.runtime.after_acquire(self.lock_id);
+            crowd.representative = Some(self.runtime.current_thread());
+        } else {
+            // The crowd is already represented; retract the approved
+            // request so no stale edge or queue entry lingers.
+            self.runtime.cancel_acquire(self.lock_id);
+        }
+        crowd.readers += 1;
+        drop(crowd);
+        Ok(ImmuneRwLockReadGuard {
+            lock: self,
+            guard: Some(guard),
+        })
+    }
+
+    /// Acquires exclusive write access. The acquisition site is the
+    /// caller's source location (`#[track_caller]`); use
+    /// [`write_at`](ImmuneRwLock::write_at) to pin an explicit site.
+    ///
+    /// # Errors
+    /// Same as [`read`](ImmuneRwLock::read).
+    #[track_caller]
+    pub fn write(&self) -> Result<ImmuneRwLockWriteGuard<'_, T>, LockError> {
+        self.write_at(AcquisitionSite::here())
+    }
+
+    /// [`write`](ImmuneRwLock::write) with an explicit acquisition site.
+    ///
+    /// # Errors
+    /// Same as [`read`](ImmuneRwLock::read).
+    pub fn write_at(
+        &self,
+        site: AcquisitionSite,
+    ) -> Result<ImmuneRwLockWriteGuard<'_, T>, LockError> {
+        self.runtime.before_acquire(self.lock_id, site)?;
+        let guard = sync::write(&self.inner);
+        self.runtime.after_acquire(self.lock_id);
+        Ok(ImmuneRwLockWriteGuard {
+            lock: self,
+            guard: Some(guard),
+        })
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ImmuneRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ImmuneRwLock")
+            .field("lock_id", &self.lock_id)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// RAII guard for shared read access to an [`ImmuneRwLock`].
+pub struct ImmuneRwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a ImmuneRwLock<T>,
+    guard: Option<RwLockReadGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for ImmuneRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for ImmuneRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut crowd = sync::lock(&self.lock.crowd);
+        crowd.readers -= 1;
+        if crowd.readers == 0 {
+            // Last reader out releases the crowd's engine hold in the
+            // representative's name (§4: Release() runs right before the
+            // real lock is released).
+            if let Some(representative) = crowd.representative.take() {
+                self.lock
+                    .runtime
+                    .before_release_as(representative, self.lock.lock_id);
+            }
+        }
+        drop(self.guard.take());
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for ImmuneRwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ImmuneRwLockReadGuard")
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for exclusive write access to an [`ImmuneRwLock`]; releasing
+/// it notifies Dimmunix before the underlying lock is unlocked.
+pub struct ImmuneRwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a ImmuneRwLock<T>,
+    guard: Option<RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for ImmuneRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for ImmuneRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for ImmuneRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.runtime.before_release(self.lock.lock_id);
+        drop(self.guard.take());
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for ImmuneRwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ImmuneRwLockWriteGuard")
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn read_write_roundtrip_balances_engine_accounting() {
+        let rt = DimmunixRuntime::new();
+        let rw = ImmuneRwLock::new_in(&rt, 1u32);
+        {
+            let g = rw.read().unwrap();
+            assert_eq!(*g, 1);
+        }
+        {
+            let mut g = rw.write().unwrap();
+            *g = 2;
+        }
+        assert_eq!(*rw.read().unwrap(), 2);
+        assert_eq!(rw.into_inner(), 2);
+        let stats = rt.stats();
+        assert_eq!(stats.acquisitions, 3);
+        assert_eq!(stats.releases, 3);
+    }
+
+    #[test]
+    fn readers_run_concurrently() {
+        let rt = DimmunixRuntime::new();
+        let rw = Arc::new(ImmuneRwLock::new_in(&rt, 0u32));
+        const READERS: usize = 4;
+        // Every reader must be inside the read section at the same time
+        // before any of them leaves — impossible if reads excluded each
+        // other.
+        let inside = Arc::new(Barrier::new(READERS));
+        let mut handles = Vec::new();
+        for _ in 0..READERS {
+            let rw = rw.clone();
+            let inside = inside.clone();
+            handles.push(std::thread::spawn(move || {
+                let g = rw.read().unwrap();
+                inside.wait();
+                *g
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 0);
+        }
+        let stats = rt.stats();
+        // One engine hold per crowd: fewer engine acquisitions than read
+        // guards is the crowd model working, but every registered
+        // acquisition must be matched by a release.
+        assert_eq!(stats.acquisitions, stats.releases);
+        assert_eq!(stats.deadlocks_detected, 0);
+    }
+
+    #[test]
+    fn writer_excludes_readers_and_writers() {
+        let rt = DimmunixRuntime::new();
+        let rw = Arc::new(ImmuneRwLock::new_in(&rt, 0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rw = rw.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    *rw.write().unwrap() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*rw.read().unwrap(), 2000);
+    }
+
+    #[test]
+    fn crowd_survives_out_of_order_reader_exits() {
+        // The representative (first reader) leaves first; the engine hold
+        // must survive until the *last* reader leaves, and accounting must
+        // balance afterwards.
+        let rt = DimmunixRuntime::new();
+        let rw = Arc::new(ImmuneRwLock::new_in(&rt, ()));
+        let first_in = Arc::new(Barrier::new(2));
+        let second_in = Arc::new(Barrier::new(2));
+
+        let (rw1, fi1, si1) = (rw.clone(), first_in.clone(), second_in.clone());
+        let representative = std::thread::spawn(move || {
+            let g = rw1.read().unwrap();
+            fi1.wait(); // let the second reader join the crowd
+            si1.wait();
+            drop(g); // representative leaves while the crowd lives on
+        });
+        first_in.wait();
+        let g = rw.read().unwrap();
+        second_in.wait();
+        representative.join().unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        drop(g); // last reader out releases the crowd's engine hold
+        let stats = rt.stats();
+        assert_eq!(stats.acquisitions, stats.releases);
+        // A fresh writer can still come and go cleanly.
+        drop(rw.write().unwrap());
+        let stats = rt.stats();
+        assert_eq!(stats.acquisitions, stats.releases);
+    }
+
+    #[test]
+    fn send_sync_bounds() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImmuneRwLock<Vec<u8>>>();
+    }
+}

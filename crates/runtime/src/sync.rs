@@ -7,7 +7,9 @@
 //! immunity runtime, whose invariants are re-established on every engine
 //! entry anyway.
 
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::time::Duration;
 
 /// Locks `m`, recovering the guard from a poisoned state.
@@ -18,6 +20,21 @@ pub(crate) fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Consumes `m` and returns the protected value, ignoring poisoning.
 pub(crate) fn into_inner<T>(m: Mutex<T>) -> T {
     m.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks `rw`, recovering the guard from a poisoned state.
+pub(crate) fn read<T: ?Sized>(rw: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    rw.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `rw`, recovering the guard from a poisoned state.
+pub(crate) fn write<T: ?Sized>(rw: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    rw.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Consumes `rw` and returns the protected value, ignoring poisoning.
+pub(crate) fn rwlock_into_inner<T>(rw: RwLock<T>) -> T {
+    rw.into_inner().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Waits on `cv`, recovering the guard from a poisoned state.

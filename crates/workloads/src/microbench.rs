@@ -18,7 +18,7 @@
 
 use crate::synthetic::synthetic_history;
 use dimmunix_core::Config;
-use dimmunix_rt::{AcquisitionSite, DimmunixRuntime, ImmuneMutex, RuntimeOptions};
+use dimmunix_rt::{AcquisitionSite, DimmunixRuntime, ImmuneMutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -115,25 +115,24 @@ impl MicrobenchHarness {
         } else {
             Config::disabled()
         };
-        let runtime = DimmunixRuntime::with_history(
-            RuntimeOptions {
-                config: engine_config,
-                shards: config.shards,
-                ..RuntimeOptions::default()
-            },
-            synthetic_history(if config.dimmunix_enabled {
+        let runtime = DimmunixRuntime::builder()
+            .config(engine_config)
+            .shards(config.shards)
+            .history(synthetic_history(if config.dimmunix_enabled {
                 config.synthetic_signatures
             } else {
                 0
-            }),
-        );
+            }))
+            .build();
 
-        // One pool of locks per thread: uncontended by construction.
+        // One pool of locks per thread: uncontended by construction. The
+        // benchmark keeps its own (non-global) runtime so back-to-back
+        // configurations measure from a clean engine.
         let pools: Vec<Arc<Vec<ImmuneMutex<u64>>>> = (0..config.threads)
             .map(|_| {
                 Arc::new(
                     (0..config.locks_per_thread.max(1))
-                        .map(|_| ImmuneMutex::new(&runtime, 0u64))
+                        .map(|_| ImmuneMutex::new_in(&runtime, 0u64))
                         .collect(),
                 )
             })
@@ -176,7 +175,7 @@ impl MicrobenchHarness {
                     let lock = &pool[(rng_state as usize) % pool.len()];
                     {
                         let mut guard = lock
-                            .lock(AcquisitionSite::new(
+                            .lock_at(AcquisitionSite::new(
                                 "Microbench.worker",
                                 "microbench.rs",
                                 1,

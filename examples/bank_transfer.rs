@@ -5,14 +5,14 @@
 //! Without immunity such a system deadlocks sooner or later; with Dimmunix
 //! the first occurrence of each distinct deadlock pattern is refused and
 //! recorded, and the system keeps making progress while staying consistent
-//! (no money is created or destroyed).
+//! (no money is created or destroyed). The example uses the drop-in API:
+//! global runtime, implicit acquisition sites, and a fail-safe retry loop
+//! that logs *which* antibody refused it — the context now carried by
+//! `LockError::WouldDeadlock`.
 //!
 //! Run with: `cargo run --example bank_transfer`
 
-use dimmunix::core::Config;
-use dimmunix::rt::{
-    AcquisitionSite, DeadlockPolicy, DimmunixRuntime, ImmuneMutex, LockError, RuntimeOptions,
-};
+use dimmunix::rt::{DimmunixRuntime, ImmuneMutex, LockError};
 use std::sync::Arc;
 
 const ACCOUNTS: usize = 8;
@@ -20,19 +20,11 @@ const TRANSFERS_PER_TELLER: usize = 400;
 const TELLERS: usize = 6;
 const INITIAL_BALANCE: i64 = 1_000;
 
-const SITE_FROM: AcquisitionSite =
-    AcquisitionSite::new("Bank.transfer.from", "bank_transfer.rs", 1);
-const SITE_TO: AcquisitionSite = AcquisitionSite::new("Bank.transfer.to", "bank_transfer.rs", 2);
-
 fn main() {
-    let runtime = DimmunixRuntime::with_options(RuntimeOptions {
-        config: Config::default(),
-        deadlock_policy: DeadlockPolicy::Error,
-        ..RuntimeOptions::default()
-    });
+    let runtime = DimmunixRuntime::global();
     let accounts: Arc<Vec<ImmuneMutex<i64>>> = Arc::new(
         (0..ACCOUNTS)
-            .map(|_| ImmuneMutex::new(&runtime, INITIAL_BALANCE))
+            .map(|_| ImmuneMutex::new(INITIAL_BALANCE))
             .collect(),
     );
 
@@ -54,12 +46,17 @@ fn main() {
                 }
                 match transfer(&accounts, from, to, (rng % 10) as i64) {
                     Ok(()) => completed += 1,
-                    Err(LockError::WouldDeadlock { .. }) => {
+                    Err(refusal @ LockError::WouldDeadlock { .. }) => {
                         // Back off and let the other teller finish; the
-                        // signature is now in the history.
+                        // signature is now in the history. The error names
+                        // the refused lock, site, and antibody:
+                        if refused == 0 {
+                            println!("teller {teller} backing off: {refusal}");
+                        }
                         refused += 1;
                         std::thread::yield_now();
                     }
+                    Err(other) => panic!("unexpected lock error: {other}"),
                 }
             }
             (completed, refused)
@@ -75,7 +72,7 @@ fn main() {
     }
 
     let balance_sum: i64 = (0..ACCOUNTS)
-        .map(|i| *accounts[i].lock(SITE_FROM).expect("quiescent"))
+        .map(|i| *accounts[i].lock().expect("quiescent"))
         .sum();
     let stats = runtime.stats();
     println!("transfers completed: {total_completed}, refused (would deadlock): {total_refused}");
@@ -99,8 +96,8 @@ fn transfer(
     to: usize,
     amount: i64,
 ) -> Result<(), LockError> {
-    let mut src = accounts[from].lock(SITE_FROM)?;
-    let mut dst = accounts[to].lock(SITE_TO)?;
+    let mut src = accounts[from].lock()?;
+    let mut dst = accounts[to].lock()?;
     *src -= amount;
     *dst += amount;
     Ok(())

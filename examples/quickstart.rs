@@ -1,88 +1,97 @@
-//! Quickstart: protect a real Rust program with deadlock immunity.
+//! Quickstart: drop-in deadlock immunity for a real Rust program.
 //!
 //! Two worker threads transfer money between two accounts, locking the
-//! accounts in opposite order — the classic AB/BA deadlock. The first run
-//! detects the deadlock (one acquisition is refused, the signature is
-//! recorded); a second run with the recorded history avoids it entirely.
+//! accounts in opposite order — the classic AB/BA deadlock. Nothing here is
+//! Dimmunix-specific except the type name: `ImmuneMutex::new(value)` instead
+//! of `Mutex::new(value)`, plain `lock()` calls (the acquisition site is
+//! the call's own source location), and a `?` where `std::sync` would have
+//! hung forever. No runtime object, no site macros.
+//!
+//! Round 1 provokes the deadlock: it is detected, one acquisition is
+//! refused, and the signature (the *antibody*) is recorded in the
+//! process-global runtime. Round 2 runs the very same code again — and
+//! completes, because the avoidance module parks one thread just long
+//! enough that the signature cannot be re-instantiated.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use dimmunix::core::Config;
-use dimmunix::rt::{AcquisitionSite, DeadlockPolicy, DimmunixRuntime, ImmuneMutex, RuntimeOptions};
+use dimmunix::rt::{DimmunixRuntime, ImmuneMutex, LockError};
 use std::sync::Arc;
 use std::time::Duration;
 
-const SITE_T1_OUTER: AcquisitionSite = AcquisitionSite::new("transfer.a_to_b", "quickstart.rs", 1);
-const SITE_T1_INNER: AcquisitionSite =
-    AcquisitionSite::new("transfer.a_to_b.inner", "quickstart.rs", 2);
-const SITE_T2_OUTER: AcquisitionSite = AcquisitionSite::new("transfer.b_to_a", "quickstart.rs", 3);
-const SITE_T2_INNER: AcquisitionSite =
-    AcquisitionSite::new("transfer.b_to_a.inner", "quickstart.rs", 4);
+/// Transfer helpers: ordinary locking code. The `lock()` calls in these two
+/// functions are the acquisition sites the engine learns — identical in
+/// every round because it is literally the same code.
+fn transfer_a_to_b(
+    a: &Arc<ImmuneMutex<i64>>,
+    b: &Arc<ImmuneMutex<i64>>,
+    amount: i64,
+) -> Result<(), LockError> {
+    let mut from = a.lock()?;
+    // Hold the outer lock long enough for the other teller to grab its own
+    // outer lock — the adversarial interleaving.
+    std::thread::sleep(Duration::from_millis(60));
+    let mut to = b.lock()?;
+    *from -= amount;
+    *to += amount;
+    Ok(())
+}
 
-fn run_once(runtime: Arc<DimmunixRuntime>) -> (bool, bool) {
-    let account_a = Arc::new(ImmuneMutex::new(&runtime, 1000i64));
-    let account_b = Arc::new(ImmuneMutex::new(&runtime, 1000i64));
+fn transfer_b_to_a(
+    a: &Arc<ImmuneMutex<i64>>,
+    b: &Arc<ImmuneMutex<i64>>,
+    amount: i64,
+) -> Result<(), LockError> {
+    let mut from = b.lock()?;
+    std::thread::sleep(Duration::from_millis(60));
+    let mut to = a.lock()?;
+    *from -= amount;
+    *to += amount;
+    Ok(())
+}
 
-    // The two transfers are staggered with sleeps so that, without immunity,
-    // the outer locks are both held before either inner acquisition starts —
-    // the adversarial interleaving that deadlocks.
+fn run_once() -> (bool, bool) {
+    let account_a = Arc::new(ImmuneMutex::new(1000i64));
+    let account_b = Arc::new(ImmuneMutex::new(1000i64));
+
     let (a1, b1) = (account_a.clone(), account_b.clone());
-    let t1 = std::thread::spawn(move || -> Result<(), dimmunix::rt::LockError> {
-        let mut from = a1.lock(SITE_T1_OUTER)?;
-        std::thread::sleep(Duration::from_millis(60));
-        let mut to = b1.lock(SITE_T1_INNER)?;
-        *from -= 100;
-        *to += 100;
-        Ok(())
-    });
+    let t1 = std::thread::spawn(move || transfer_a_to_b(&a1, &b1, 100));
     let (a2, b2) = (account_a, account_b);
-    let t2 = std::thread::spawn(move || -> Result<(), dimmunix::rt::LockError> {
+    let t2 = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(20));
-        let mut from = b2.lock(SITE_T2_OUTER)?;
-        std::thread::sleep(Duration::from_millis(60));
-        let mut to = a2.lock(SITE_T2_INNER)?;
-        *from -= 50;
-        *to += 50;
-        Ok(())
+        transfer_b_to_a(&a2, &b2, 50)
     });
     let r1 = t1.join().unwrap();
     let r2 = t2.join().unwrap();
-    let deadlock_refused = r1.is_err() || r2.is_err();
-    (deadlock_refused, r1.is_ok() && r2.is_ok())
+    for r in [&r1, &r2] {
+        if let Err(e) = r {
+            println!("  refused: {e}");
+        }
+    }
+    (r1.is_err() || r2.is_err(), r1.is_ok() && r2.is_ok())
 }
 
 fn main() {
-    println!("== run 1: no antibodies, adversarial schedule ==");
-    let runtime = DimmunixRuntime::with_options(RuntimeOptions {
-        config: Config::default(),
-        deadlock_policy: DeadlockPolicy::Error,
-        ..RuntimeOptions::default()
-    });
-    let (refused, _) = run_once(runtime.clone());
+    println!("== round 1: no antibodies, adversarial schedule ==");
+    let (refused, _) = run_once();
+    let runtime = DimmunixRuntime::global();
+    let detected_in_round_1 = runtime.stats().deadlocks_detected;
     println!(
         "deadlock detected and refused: {refused}; signatures recorded: {}",
         runtime.history().len()
     );
-    let history = runtime.history();
 
-    println!("\n== run 2: same program, antibody loaded ==");
-    let immune = DimmunixRuntime::with_history(
-        RuntimeOptions {
-            config: Config::default(),
-            deadlock_policy: DeadlockPolicy::Error,
-            ..RuntimeOptions::default()
-        },
-        history,
-    );
-    let (_, completed) = run_once(immune.clone());
+    println!("\n== round 2: same code, same process — antibody already active ==");
+    let (_, completed) = run_once();
+    let stats = runtime.stats();
     println!(
-        "both transfers completed: {completed}; deadlocks detected: {}; threads parked by avoidance: {}",
-        immune.stats().deadlocks_detected,
-        immune.stats().yields
+        "both transfers completed: {completed}; new deadlocks in round 2: {}; \
+         threads parked by avoidance: {}",
+        stats.deadlocks_detected - detected_in_round_1,
+        stats.yields
     );
-    assert!(
-        completed,
-        "the replay must complete with the antibody loaded"
-    );
+    assert!(refused, "round 1 must detect the deadlock");
+    assert!(completed, "round 2 must complete with the antibody active");
+    assert_eq!(stats.deadlocks_detected, detected_in_round_1);
     println!("\nDeadlock immunity developed: the same bug can never bite twice.");
 }

@@ -1,0 +1,140 @@
+//! Reader–writer workloads under immunity: a tiny "routing table" service.
+//!
+//! Two `ImmuneRwLock`-protected tables are read constantly and occasionally
+//! rewritten by two maintenance threads that take the write locks in
+//! opposite order — a writer/writer lock inversion, the RwLock flavour of
+//! the AB/BA bug. Round 1 detects and records it; round 2 runs the same
+//! code and completes because the antibody steers the writers apart.
+//!
+//! The example also shows the fluent runtime configuration: the global
+//! runtime is installed with `RuntimeBuilder` (a persistent history log in
+//! a temp directory, relaxed fsync), and the start-up `RecoveryReport` is
+//! printed instead of the engine starting silently empty.
+//!
+//! Run with: `cargo run --example rwlock_routing`
+
+use dimmunix::rt::{DimmunixRuntime, ImmuneRwLock, LockError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rewrite_forward(
+    inbound: &Arc<ImmuneRwLock<Vec<u32>>>,
+    outbound: &Arc<ImmuneRwLock<Vec<u32>>>,
+) -> Result<(), LockError> {
+    let mut inb = inbound.write()?;
+    std::thread::sleep(Duration::from_millis(50));
+    let out = outbound.read()?;
+    inb.push(out.len() as u32);
+    Ok(())
+}
+
+fn rewrite_backward(
+    inbound: &Arc<ImmuneRwLock<Vec<u32>>>,
+    outbound: &Arc<ImmuneRwLock<Vec<u32>>>,
+) -> Result<(), LockError> {
+    let mut out = outbound.write()?;
+    std::thread::sleep(Duration::from_millis(50));
+    let inb = inbound.read()?;
+    out.push(inb.len() as u32);
+    Ok(())
+}
+
+/// Fail-safe client loop: a refused acquisition is logged (the error names
+/// the lock, site, and antibody), backed off, and retried — the system
+/// never hangs and the rewrite eventually lands.
+fn retry(label: &str, attempt: impl Fn() -> Result<(), LockError>) -> u64 {
+    let mut refusals = 0u64;
+    loop {
+        match attempt() {
+            Ok(()) => return refusals,
+            Err(refusal) => {
+                if refusals == 0 {
+                    println!("  {label} backing off: {refusal}");
+                }
+                refusals += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// One round: a crowd of readers serving lookups while the two maintenance
+/// threads perform their opposed rewrites. Returns (any refusal happened,
+/// lookups served by the reader crowd).
+fn run_round() -> (bool, u64) {
+    let inbound = Arc::new(ImmuneRwLock::new(vec![1, 2, 3]));
+    let outbound = Arc::new(ImmuneRwLock::new(vec![4, 5]));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let (inb, out, stop) = (inbound.clone(), outbound.clone(), stop.clone());
+        readers.push(std::thread::spawn(move || {
+            let mut lookups = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Readers take one table at a time: they share the read
+                // side with each other and never participate in the cycle.
+                lookups += inb.read().map(|t| t.len() as u64).unwrap_or(0);
+                lookups += out.read().map(|t| t.len() as u64).unwrap_or(0);
+                std::thread::yield_now();
+            }
+            lookups
+        }));
+    }
+
+    let (i1, o1) = (inbound.clone(), outbound.clone());
+    let w1 = std::thread::spawn(move || retry("forward rewrite", || rewrite_forward(&i1, &o1)));
+    let (i2, o2) = (inbound, outbound);
+    let w2 = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(15));
+        retry("backward rewrite", || rewrite_backward(&i2, &o2))
+    });
+    let refusals = w1.join().unwrap() + w2.join().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let lookups: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    (refusals > 0, lookups)
+}
+
+fn main() {
+    // Configure the global runtime before first use: persistent antibody
+    // log, no per-append fsync (this is an example, not a phone).
+    let dir = std::env::temp_dir().join("dimmunix-example-rwlock");
+    let _ = std::fs::create_dir_all(&dir);
+    let runtime = DimmunixRuntime::builder()
+        .history_path(dir.join("routing.history"))
+        .log_sync(false)
+        .install_global()
+        .expect("install the global runtime before any lock is created");
+    match runtime.recovery_report() {
+        Some(report) => println!("history recovery: {report}"),
+        None => println!("history recovery: no log configured"),
+    }
+    if !runtime.history().is_empty() {
+        println!(
+            "({} antibody/ies from a previous run of this example are already active)",
+            runtime.history().len()
+        );
+    }
+
+    println!("\n== round 1: writer/writer inversion on two RwLocks ==");
+    let (refused, lookups) = run_round();
+    println!(
+        "inversion refused at least once: {refused}; readers served {lookups} lookups meanwhile; \
+         signatures recorded: {}",
+        runtime.history().len()
+    );
+
+    println!("\n== round 2: same code — antibodies active ==");
+    let detected_before = runtime.stats().deadlocks_detected;
+    let (_, lookups) = run_round();
+    let stats = runtime.stats();
+    println!(
+        "both rewrites completed; readers served {lookups} lookups; \
+         new deadlocks this round: {}; avoidance parks so far: {}",
+        stats.deadlocks_detected - detected_before,
+        stats.yields
+    );
+    println!("\nThe reader–writer family is covered by the same immunity path.");
+    println!("(antibody log: {})", dir.join("routing.history").display());
+}

@@ -141,31 +141,29 @@ fn platform_scale_history_is_not_replicated_per_shard() {
 /// append cleanly to the repaired log.
 #[test]
 fn history_log_survives_a_kill_during_detection() {
-    use dimmunix::rt::{
-        AcquisitionSite, DeadlockPolicy, DimmunixRuntime, ImmuneMutex, LockError, RuntimeOptions,
-    };
+    use dimmunix::rt::{AcquisitionSite, DeadlockPolicy, DimmunixRuntime, ImmuneMutex, LockError};
     use std::sync::Arc;
     use std::time::Duration;
 
     let dir = std::env::temp_dir().join(format!("dimmunix-it-kill-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let path = dir.join("history.log");
-    let options = || RuntimeOptions {
-        config: Config::builder().history_path(&path).build(),
-        deadlock_policy: DeadlockPolicy::Error,
-        ..RuntimeOptions::default()
+    let builder = || {
+        DimmunixRuntime::builder()
+            .deadlock_policy(DeadlockPolicy::Error)
+            .history_path(&path)
     };
 
     // Provoke two distinct deadlocks; each appends one record.
-    let rt = DimmunixRuntime::with_options(options());
+    let rt = builder().build();
     for round in 0..2u32 {
-        let a = Arc::new(ImmuneMutex::new(&rt, 0u32));
-        let b = Arc::new(ImmuneMutex::new(&rt, 0u32));
+        let a = Arc::new(ImmuneMutex::new_in(&rt, 0u32));
+        let b = Arc::new(ImmuneMutex::new_in(&rt, 0u32));
         let (a1, b1) = (a.clone(), b.clone());
         let t1 = std::thread::spawn(move || -> Result<(), LockError> {
-            let _g = a1.lock(AcquisitionSite::new("kill.outerA", "kill.rs", round * 10))?;
+            let _g = a1.lock_at(AcquisitionSite::new("kill.outerA", "kill.rs", round * 10))?;
             std::thread::sleep(Duration::from_millis(60));
-            let _h = b1.lock(AcquisitionSite::new(
+            let _h = b1.lock_at(AcquisitionSite::new(
                 "kill.innerA",
                 "kill.rs",
                 round * 10 + 1,
@@ -174,13 +172,13 @@ fn history_log_survives_a_kill_during_detection() {
         });
         let t2 = std::thread::spawn(move || -> Result<(), LockError> {
             std::thread::sleep(Duration::from_millis(20));
-            let _g = b.lock(AcquisitionSite::new(
+            let _g = b.lock_at(AcquisitionSite::new(
                 "kill.outerB",
                 "kill.rs",
                 round * 10 + 2,
             ))?;
             std::thread::sleep(Duration::from_millis(60));
-            let _h = a.lock(AcquisitionSite::new(
+            let _h = a.lock_at(AcquisitionSite::new(
                 "kill.innerB",
                 "kill.rs",
                 round * 10 + 3,
@@ -199,8 +197,16 @@ fn history_log_survives_a_kill_during_detection() {
     std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
 
     // Restart: the committed record is restored identically; the partial
-    // one is repaired away and the log is clean again.
-    let rt = DimmunixRuntime::with_options(options());
+    // one is repaired away (and reported, not silently dropped) and the
+    // log is clean again.
+    let rt = builder().build();
+    let report = rt.recovery_report().expect("a log path is configured");
+    assert_eq!(report.replayed, 1, "{report}");
+    assert!(
+        report.truncated_tail,
+        "the repair must be visible: {report}"
+    );
+    assert_eq!(report.quarantined_records, 0);
     let restored = rt.history();
     assert_eq!(restored.len(), 1);
     for (id, sig) in restored.iter() {
@@ -210,6 +216,35 @@ fn history_log_survives_a_kill_during_detection() {
     let replay = HistoryLog::new(&path).replay().unwrap();
     assert!(!replay.truncated_tail);
     assert_eq!(replay.history.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Interior corruption: the log is quarantined and the runtime reports it
+/// instead of starting silently empty.
+#[test]
+fn corrupt_history_log_is_quarantined_and_reported() {
+    use dimmunix::rt::{DeadlockPolicy, DimmunixRuntime};
+
+    let dir = std::env::temp_dir().join(format!("dimmunix-it-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("history.log");
+    // Two raw records; the first (non-tail) one is garbage, which replay
+    // must treat as genuine corruption, not a crash tail.
+    std::fs::write(&path, "this is not a record\n{\"kind\": \"deadlock\"}\n").unwrap();
+
+    let rt = DimmunixRuntime::builder()
+        .deadlock_policy(DeadlockPolicy::Error)
+        .history_path(&path)
+        .build();
+    let report = rt.recovery_report().expect("a log path is configured");
+    assert_eq!(report.replayed, 0);
+    assert_eq!(report.quarantined_records, 2, "{report}");
+    let quarantine = report.quarantine_path.clone().expect("quarantined");
+    assert!(quarantine.exists(), "bytes preserved for diagnosis");
+    assert!(!path.exists(), "fresh log can start cleanly");
+    assert!(rt.history().is_empty());
+    assert!(!report.is_clean());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,10 +1,11 @@
 //! Integration tests for the real-thread runtime (dimmunix-rt on
 //! dimmunix-core): detect-then-avoid across runtime instances, history
-//! persistence to disk, and a many-thread stress run that must never hang.
+//! persistence to disk (with recovery diagnostics), reader–writer locks,
+//! and a many-thread stress run that must never hang.
 
-use dimmunix::core::{Config, SignatureKind};
+use dimmunix::core::SignatureKind;
 use dimmunix::rt::{
-    AcquisitionSite, DeadlockPolicy, DimmunixRuntime, ImmuneMutex, LockError, RuntimeOptions,
+    AcquisitionSite, DeadlockPolicy, DimmunixRuntime, ImmuneMutex, ImmuneRwLock, LockError,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -17,21 +18,21 @@ const INNER_B: AcquisitionSite = AcquisitionSite::new("it.innerB", "it_rt.rs", 4
 fn adversarial_run(
     runtime: &Arc<DimmunixRuntime>,
 ) -> (Result<(), LockError>, Result<(), LockError>) {
-    let a = Arc::new(ImmuneMutex::new(runtime, 0u32));
-    let b = Arc::new(ImmuneMutex::new(runtime, 0u32));
+    let a = Arc::new(ImmuneMutex::new_in(runtime, 0u32));
+    let b = Arc::new(ImmuneMutex::new_in(runtime, 0u32));
     let (a1, b1) = (a.clone(), b.clone());
     let t1 = std::thread::spawn(move || -> Result<(), LockError> {
-        let _g = a1.lock(OUTER_A)?;
+        let _g = a1.lock_at(OUTER_A)?;
         std::thread::sleep(Duration::from_millis(60));
-        let _h = b1.lock(INNER_A)?;
+        let _h = b1.lock_at(INNER_A)?;
         Ok(())
     });
     let (a2, b2) = (a, b);
     let t2 = std::thread::spawn(move || -> Result<(), LockError> {
         std::thread::sleep(Duration::from_millis(20));
-        let _g = b2.lock(OUTER_B)?;
+        let _g = b2.lock_at(OUTER_B)?;
         std::thread::sleep(Duration::from_millis(60));
-        let _h = a2.lock(INNER_B)?;
+        let _h = a2.lock_at(INNER_B)?;
         Ok(())
     });
     (t1.join().unwrap(), t2.join().unwrap())
@@ -44,15 +45,18 @@ fn immunity_persists_across_runtime_restarts_via_history_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let history_path = dir.join("app.history");
 
-    let options = || RuntimeOptions {
-        config: Config::builder().history_path(&history_path).build(),
-        deadlock_policy: DeadlockPolicy::Error,
-        ..RuntimeOptions::default()
+    let builder = || {
+        DimmunixRuntime::builder()
+            .deadlock_policy(DeadlockPolicy::Error)
+            .history_path(&history_path)
     };
 
     // Run 1: the deadlock is detected, refused, and persisted to disk.
     {
-        let rt = DimmunixRuntime::with_options(options());
+        let rt = builder().build();
+        let report = rt.recovery_report().expect("a log path is configured");
+        assert_eq!(report.replayed, 0, "nothing on disk yet: {report}");
+        assert!(report.is_clean());
         let (r1, r2) = adversarial_run(&rt);
         assert!(r1.is_err() || r2.is_err(), "run 1 must detect the deadlock");
         assert_eq!(rt.history().len(), 1);
@@ -64,9 +68,13 @@ fn immunity_persists_across_runtime_restarts_via_history_file() {
     assert!(history_path.exists(), "history must be persisted");
 
     // Run 2: a *fresh* runtime (new process, conceptually) loads the file
-    // and the same schedule completes.
+    // — and says so in its recovery report — and the same schedule
+    // completes.
     {
-        let rt = DimmunixRuntime::with_options(options());
+        let rt = builder().build();
+        let report = rt.recovery_report().expect("a log path is configured");
+        assert_eq!(report.replayed, 1, "one antibody replayed: {report}");
+        assert!(report.is_clean());
         assert_eq!(rt.history().len(), 1, "antibody loaded from disk");
         let (r1, r2) = adversarial_run(&rt);
         assert!(
@@ -84,13 +92,11 @@ fn many_threads_with_random_transfers_never_hang() {
     // random lock ordering, error policy. The invariants: the run finishes
     // (no hang), money is conserved, and every refused transfer corresponds
     // to a detected deadlock cycle.
-    let rt = DimmunixRuntime::with_options(RuntimeOptions {
-        config: Config::default(),
-        deadlock_policy: DeadlockPolicy::Error,
-        ..RuntimeOptions::default()
-    });
+    let rt = DimmunixRuntime::builder()
+        .deadlock_policy(DeadlockPolicy::Error)
+        .build();
     let accounts: Arc<Vec<ImmuneMutex<i64>>> =
-        Arc::new((0..6).map(|_| ImmuneMutex::new(&rt, 100)).collect());
+        Arc::new((0..6).map(|_| ImmuneMutex::new_in(&rt, 100)).collect());
     let mut handles = Vec::new();
     for teller in 0..8u64 {
         let accounts = accounts.clone();
@@ -107,10 +113,13 @@ fn many_threads_with_random_transfers_never_hang() {
                     continue;
                 }
                 let res = (|| -> Result<(), LockError> {
-                    let mut src =
-                        accounts[from].lock(AcquisitionSite::new("stress.from", "it_rt.rs", 10))?;
+                    let mut src = accounts[from].lock_at(AcquisitionSite::new(
+                        "stress.from",
+                        "it_rt.rs",
+                        10,
+                    ))?;
                     let mut dst =
-                        accounts[to].lock(AcquisitionSite::new("stress.to", "it_rt.rs", 11))?;
+                        accounts[to].lock_at(AcquisitionSite::new("stress.to", "it_rt.rs", 11))?;
                     *src -= 1;
                     *dst += 1;
                     Ok(())
@@ -126,7 +135,7 @@ fn many_threads_with_random_transfers_never_hang() {
     let total: i64 = (0..6)
         .map(|i| {
             *accounts[i]
-                .lock(AcquisitionSite::new("stress.sum", "it_rt.rs", 12))
+                .lock_at(AcquisitionSite::new("stress.sum", "it_rt.rs", 12))
                 .unwrap()
         })
         .sum();
@@ -143,24 +152,86 @@ fn vendor_shipped_antibodies_protect_from_the_first_run() {
     // "Software vendors can use Dimmunix as a safety net": pre-seed the
     // runtime with the signature and the adversarial schedule never
     // deadlocks, even on its very first execution.
-    let trained = DimmunixRuntime::with_options(RuntimeOptions {
-        config: Config::default(),
-        deadlock_policy: DeadlockPolicy::Error,
-        ..RuntimeOptions::default()
-    });
+    let trained = DimmunixRuntime::builder()
+        .deadlock_policy(DeadlockPolicy::Error)
+        .build();
     let (r1, r2) = adversarial_run(&trained);
     assert!(r1.is_err() || r2.is_err());
     let shipped = trained.history();
 
-    let rt = DimmunixRuntime::with_history(
-        RuntimeOptions {
-            config: Config::default(),
-            deadlock_policy: DeadlockPolicy::Error,
-            ..RuntimeOptions::default()
-        },
-        shipped,
-    );
+    let rt = DimmunixRuntime::builder()
+        .deadlock_policy(DeadlockPolicy::Error)
+        .history(shipped)
+        .build();
     let (r1, r2) = adversarial_run(&rt);
     assert!(r1.is_ok() && r2.is_ok());
     assert_eq!(rt.stats().deadlocks_detected, 0);
+}
+
+#[test]
+fn refusal_errors_carry_lock_and_site_context() {
+    let rt = DimmunixRuntime::builder()
+        .deadlock_policy(DeadlockPolicy::Error)
+        .build();
+    let (r1, r2) = adversarial_run(&rt);
+    let refusal = r1.err().or(r2.err()).expect("one acquisition is refused");
+    let rendered = refusal.to_string();
+    match refusal {
+        LockError::WouldDeadlock {
+            signature, site, ..
+        } => {
+            assert!(rt.history().get(signature).is_some(), "a real antibody id");
+            assert_eq!(site.file, "it_rt.rs", "the refused call site: {site}");
+            assert!(
+                rendered.contains("it_rt.rs"),
+                "loggable context: {rendered}"
+            );
+        }
+        other => panic!("unexpected refusal shape: {other}"),
+    }
+}
+
+/// Readers of an `ImmuneRwLock` share the lock while a writer excludes
+/// them, across OS threads, with balanced engine accounting — the repo-level
+/// smoke test of the reader-crowd model.
+#[test]
+fn rwlock_readers_share_and_writers_exclude() {
+    let rt = DimmunixRuntime::builder()
+        .deadlock_policy(DeadlockPolicy::Error)
+        .build();
+    let rw = Arc::new(ImmuneRwLock::new_in(&rt, 0i64));
+
+    // Phase 1: a crowd of readers overlaps inside the section.
+    let in_section = Arc::new(std::sync::Barrier::new(4));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let rw = rw.clone();
+        let in_section = in_section.clone();
+        handles.push(std::thread::spawn(move || {
+            let g = rw.read().unwrap();
+            in_section.wait(); // all four hold the read lock simultaneously
+            *g
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 0);
+    }
+
+    // Phase 2: writers are mutually exclusive.
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let rw = rw.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..250 {
+                *rw.write().unwrap() += 1;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*rw.read().unwrap(), 1000);
+    let stats = rt.stats();
+    assert_eq!(stats.acquisitions, stats.releases, "balanced: {stats}");
+    assert_eq!(stats.deadlocks_detected, 0);
 }
