@@ -395,6 +395,12 @@ mod tests {
     fn power_share_is_unchanged() {
         let p = power();
         assert_eq!(p.vanilla_percent, p.dimmunix_percent);
+        // The paper's battery screen reports applications + OS at 14% of
+        // the platform's energy, with and without Dimmunix; the model is
+        // calibrated to reproduce that figure for the Table-1 window, not
+        // merely to leave some arbitrary share unchanged.
+        assert_eq!(p.vanilla_percent, 14);
+        assert_eq!(p.dimmunix_percent, 14);
     }
 
     #[test]

@@ -20,6 +20,15 @@
 //! acquisition — fine for unit tests, unacceptable on the hot path of a
 //! platform-wide deployment.
 //!
+//! Both implementations here are **mode-agnostic**: they reason about
+//! position occupancy only. The engine's live check
+//! (`sharded::find_instantiation_merged`, shared by the monolithic and
+//! sharded request paths) layers access-mode awareness on top — for a
+//! shared (rwlock-read) request it excludes candidate threads whose only
+//! occupancy of a slot is their own shared hold of the requested lock
+//! (crowd-mates cannot produce the mutual wait a signature predicts). For
+//! exclusive requests the live check and these references coincide.
+//!
 //! [`SignatureIndex`] is what the engine actually uses: an inverted index
 //! from interned [`PositionId`]s to the signatures whose outer positions
 //! include them, with each signature's outer stacks resolved to position ids

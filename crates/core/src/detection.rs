@@ -29,10 +29,13 @@ pub struct DetectedCycle {
 /// [`Rag::find_cycle_from`].
 ///
 /// For every step `i`, `steps[i].thread` waits on `steps[(i + 1) % n].thread`
-/// through `steps[i].edge`. The waited-on thread's *outer* stack is the
-/// acquisition position of the lock on that edge (for lock edges) or its own
-/// requesting position (for yield edges, where no specific lock is held); its
-/// *inner* stack is the position of its pending request.
+/// through `steps[i].edge`. The waited-on thread's *outer* stack is **its
+/// own** acquisition position of the lock on that edge — with multi-owner
+/// lock nodes the waited-on thread is one owner among possibly several (a
+/// reader crowd), and the signature's template position must come from the
+/// owner actually on the cycle, not from an arbitrary representative — or
+/// its own requesting position (for yield edges, where no specific lock is
+/// held); its *inner* stack is the position of its pending request.
 pub fn classify_cycle(rag: &Rag, positions: &PositionTable, steps: &[CycleStep]) -> DetectedCycle {
     let n = steps.len();
     let mut pairs = Vec::with_capacity(n);
@@ -48,7 +51,7 @@ pub fn classify_cycle(rag: &Rag, positions: &PositionTable, steps: &[CycleStep])
             .map(|(_, p)| p)
             .or_else(|| rag.yielding(waited_on).map(|y| y.position));
         let outer_pos: Option<PositionId> = match &steps[i].edge {
-            WaitEdge::Lock(lock) => rag.acq_pos(*lock),
+            WaitEdge::Lock(lock) => rag.acq_pos_of(*lock, waited_on),
             WaitEdge::Yield(_) => {
                 involves_yield = true;
                 // The parked predecessor waits on `waited_on` because it

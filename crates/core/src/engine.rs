@@ -23,7 +23,7 @@ use crate::error::Result;
 use crate::events::{EventKind, EventLog};
 use crate::history::{History, HistoryLog, RecoveryReport};
 use crate::position::{PositionId, PositionTable};
-use crate::rag::{Rag, YieldRecord};
+use crate::rag::{AccessMode, Rag, YieldRecord};
 use crate::signature::{Signature, SignatureKind, SignaturePair};
 use crate::snapshot::HistorySnapshot;
 use crate::stats::Stats;
@@ -364,27 +364,58 @@ impl Dimmunix {
     // The three hook points
     // ------------------------------------------------------------------
 
-    /// Called before a monitor acquisition, with the acquiring call stack.
-    /// The stack is truncated and interned; see [`request_at`] for the
-    /// behaviour.
+    /// Called before a monitor (exclusive) acquisition, with the acquiring
+    /// call stack. The stack is truncated and interned; see
+    /// [`request_at_mode`] for the behaviour.
     ///
-    /// [`request_at`]: Dimmunix::request_at
+    /// [`request_at_mode`]: Dimmunix::request_at_mode
     pub fn request(&mut self, t: ThreadId, l: LockId, stack: &CallStack) -> RequestOutcome {
-        let pos = self.intern_linked(stack);
-        self.request_at(t, l, pos)
+        self.request_mode(t, l, stack, AccessMode::Exclusive)
     }
 
-    /// Called before a monitor acquisition, with a pre-interned position.
+    /// Called before an acquisition in the given access mode
+    /// ([`AccessMode::Shared`] for the read side of an rwlock), with the
+    /// acquiring call stack.
+    pub fn request_mode(
+        &mut self,
+        t: ThreadId,
+        l: LockId,
+        stack: &CallStack,
+        mode: AccessMode,
+    ) -> RequestOutcome {
+        let pos = self.intern_linked(stack);
+        self.request_at_mode(t, l, pos, mode)
+    }
+
+    /// [`request_at_mode`](Dimmunix::request_at_mode) with
+    /// [`AccessMode::Exclusive`] — the monitor/mutex hook.
+    pub fn request_at(&mut self, t: ThreadId, l: LockId, pos: PositionId) -> RequestOutcome {
+        self.request_at_mode(t, l, pos, AccessMode::Exclusive)
+    }
+
+    /// Called before an acquisition, with a pre-interned position and an
+    /// access mode.
     ///
     /// Performs deadlock detection (RAG cycle search) and avoidance
     /// (signature-instantiation check) and answers with a
     /// [`RequestOutcome`]. When the outcome is [`RequestOutcome::Yield`] the
     /// caller must park the thread until the signature is notified (see
-    /// [`released`]) and then call `request_at` again — the paper's
+    /// [`released`]) and then call `request_at_mode` again — the paper's
     /// `do { … } while (sigId >= 0)` loop in `lockMonitor`.
     ///
+    /// A [`AccessMode::Shared`] request conflicts only with exclusive
+    /// owners: joining an existing reader crowd produces no wait-for edges,
+    /// and the avoidance check treats shared co-holders of `l` as
+    /// compatible rather than as instantiation blockers.
+    ///
     /// [`released`]: Dimmunix::released
-    pub fn request_at(&mut self, t: ThreadId, l: LockId, pos: PositionId) -> RequestOutcome {
+    pub fn request_at_mode(
+        &mut self,
+        t: ThreadId,
+        l: LockId,
+        pos: PositionId,
+        mode: AccessMode,
+    ) -> RequestOutcome {
         self.clock = self.clock.next();
         self.stats.requests += 1;
         self.events.push(
@@ -400,7 +431,7 @@ impl Dimmunix {
             self.stats.grants += 1;
             self.rag.register_thread(t);
             self.rag.register_lock(l);
-            self.rag.set_pending_grant(t, l, pos);
+            self.rag.set_pending_grant(t, l, pos, mode);
             return RequestOutcome::Granted;
         }
 
@@ -408,15 +439,17 @@ impl Dimmunix {
         self.rag.clear_yield(t);
 
         // Reentrant fast path: a thread never deadlocks against itself on a
-        // monitor it already owns.
-        if self.rag.owner(l) == Some(t) {
+        // lock it already owns (in any mode — a read-to-write upgrade is a
+        // self-deadlock the engine cannot rescue, exactly like
+        // `std::sync::RwLock`).
+        if self.rag.owns(l, t) {
             self.stats.reentrant_grants += 1;
             self.events
                 .push(self.clock, EventKind::ReentrantGrant { thread: t, lock: l });
             return RequestOutcome::GrantedReentrant;
         }
 
-        self.rag.set_request(t, l, pos);
+        self.rag.set_request_mode(t, l, pos, mode);
 
         // --- Detection -------------------------------------------------
         if self.config.detection {
@@ -489,8 +522,9 @@ impl Dimmunix {
                 outer.map_or(0, |o| self.snapshot.index().signatures_at(o).len() as u64);
             // Same implementation as the sharded engine's merged check,
             // called with this engine as the only shard.
-            let inst =
-                outer.and_then(|o| crate::sharded::find_instantiation_merged(&[&*self], 0, t, o));
+            let inst = outer.and_then(|o| {
+                crate::sharded::find_instantiation_merged(&[&*self], 0, t, o, l, mode)
+            });
             if let Some(inst) = inst {
                 let mut park = true;
                 if self.config.starvation_handling && self.would_starve(t, &inst.blockers) {
@@ -544,7 +578,7 @@ impl Dimmunix {
         if let Some(p) = self.positions.get_mut(pos) {
             p.queue_mut().push(t);
         }
-        self.rag.set_pending_grant(t, l, pos);
+        self.rag.set_pending_grant(t, l, pos, mode);
         self.events
             .push(self.clock, EventKind::Grant { thread: t, lock: l });
         RequestOutcome::Granted
@@ -566,14 +600,16 @@ impl Dimmunix {
         if self.config.is_disabled() {
             return;
         }
-        if self.rag.owner(l) == Some(t) {
+        if self.rag.owns(l, t) {
             self.rag.acquire_recursive(t, l);
             self.events
                 .push(self.clock, EventKind::Acquired { thread: t, lock: l });
             return;
         }
-        let pos = match self.rag.pending_grant(t) {
-            Some((granted_lock, p)) if granted_lock == l => p,
+        // The access mode travels with the grant, so shared and exclusive
+        // acquisitions flow through the same `acquired` hook.
+        let (pos, mode) = match self.rag.pending_grant(t) {
+            Some((granted_lock, p, m)) if granted_lock == l => (p, m),
             _ => {
                 // The acquisition was not announced through `request` (or the
                 // grant was for a different lock). Account it under an
@@ -582,10 +618,10 @@ impl Dimmunix {
                 if let Some(pd) = self.positions.get_mut(p) {
                     pd.queue_mut().push(t);
                 }
-                p
+                (p, AccessMode::Exclusive)
             }
         };
-        self.rag.acquire_with_seq(t, l, pos, seq);
+        self.rag.acquire_mode_with_seq(t, l, pos, mode, seq);
         self.events
             .push(self.clock, EventKind::Acquired { thread: t, lock: l });
     }
@@ -643,14 +679,14 @@ impl Dimmunix {
     pub fn cancel_request(&mut self, t: ThreadId, l: LockId) {
         self.clock = self.clock.next();
         self.rag.clear_yield(t);
-        if let Some((granted_lock, pos)) = self.rag.take_pending_grant(t) {
+        if let Some((granted_lock, pos, mode)) = self.rag.take_pending_grant(t) {
             if granted_lock == l {
                 if let Some(p) = self.positions.get_mut(pos) {
                     p.queue_mut().remove_one(t);
                 }
             } else {
                 // The grant was for a different lock; keep it.
-                self.rag.set_pending_grant(t, granted_lock, pos);
+                self.rag.set_pending_grant(t, granted_lock, pos, mode);
             }
         }
         self.rag.clear_request(t);

@@ -29,8 +29,11 @@ use crate::error::{DimmunixError, Result};
 use crate::json::{self, JsonValue};
 use crate::signature::{Signature, SignatureKind, SignaturePair};
 use crate::SignatureId;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
+use std::hash::{Hash, Hasher};
 use std::io::Write as _;
 use std::path::Path;
 
@@ -52,14 +55,34 @@ use std::path::Path;
 #[derive(Debug, Clone, Default)]
 pub struct History {
     signatures: Vec<Signature>,
+    /// Dedup index: signature fingerprint -> indices of signatures with
+    /// that fingerprint. `add`/`find` hash the candidate and compare
+    /// (`same_bug`) only within its bucket, so bulk log replay of `n`
+    /// records costs O(n) signature comparisons instead of the O(n²) a
+    /// linear scan per record used to cost.
+    by_fingerprint: HashMap<u64, Vec<u32>>,
+}
+
+/// Deterministic fingerprint of a signature, collision-safe for dedup use:
+/// `same_bug` compares the kind and the canonically ordered pair list, and
+/// the fingerprint hashes exactly those, so equal bugs always share a
+/// fingerprint (collisions between different bugs only cost an extra
+/// `same_bug` comparison).
+fn fingerprint(sig: &Signature) -> u64 {
+    // `DefaultHasher::new()` is keyed with fixed constants, so the
+    // fingerprint is stable within a process run (it is never persisted).
+    let mut h = DefaultHasher::new();
+    sig.kind().hash(&mut h);
+    for pair in sig.pairs() {
+        pair.hash(&mut h);
+    }
+    h.finish()
 }
 
 impl History {
     /// Creates an empty history.
     pub fn new() -> Self {
-        History {
-            signatures: Vec::new(),
-        }
+        History::default()
     }
 
     /// Number of stored signatures.
@@ -75,20 +98,46 @@ impl History {
     /// Adds a signature unless an identical one (same bug) is already stored.
     /// Returns the signature's id and whether it was newly inserted.
     pub fn add(&mut self, sig: Signature) -> (SignatureId, bool) {
-        if let Some(existing) = self.find(&sig) {
+        let fp = fingerprint(&sig);
+        if let Some(existing) = self.find_by_fingerprint(fp, &sig) {
             return (existing, false);
         }
         let id = SignatureId::new(self.signatures.len());
+        self.by_fingerprint
+            .entry(fp)
+            .or_default()
+            .push(id.index() as u32);
         self.signatures.push(sig);
         (id, true)
     }
 
     /// Finds the id of a signature describing the same bug, if present.
     pub fn find(&self, sig: &Signature) -> Option<SignatureId> {
-        self.signatures
-            .iter()
-            .position(|s| s.same_bug(sig))
-            .map(SignatureId::new)
+        self.find_by_fingerprint(fingerprint(sig), sig)
+    }
+
+    fn find_by_fingerprint(&self, fp: u64, sig: &Signature) -> Option<SignatureId> {
+        self.by_fingerprint.get(&fp).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|idx| self.signatures[**idx as usize].same_bug(sig))
+                .map(|idx| SignatureId::new(*idx as usize))
+        })
+    }
+
+    /// Dedup-index diagnostics: `(bucket count, largest bucket)`. The
+    /// largest bucket bounds the `same_bug` comparisons one `add`/`find`
+    /// performs; replay-cost tests assert it stays O(1) for histories of
+    /// distinct bugs.
+    pub fn dedup_buckets(&self) -> (usize, usize) {
+        (
+            self.by_fingerprint.len(),
+            self.by_fingerprint
+                .values()
+                .map(Vec::len)
+                .max()
+                .unwrap_or(0),
+        )
     }
 
     /// Returns the signature with the given id.
@@ -135,6 +184,13 @@ impl History {
     /// accounting for Table 1).
     pub fn memory_footprint_bytes(&self) -> usize {
         let mut total = std::mem::size_of::<Self>();
+        total += self.by_fingerprint.len()
+            * (std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>());
+        total += self
+            .by_fingerprint
+            .values()
+            .map(|b| b.capacity() * std::mem::size_of::<u32>())
+            .sum::<usize>();
         for sig in &self.signatures {
             total += std::mem::size_of::<Signature>();
             for p in sig.pairs() {
@@ -1047,6 +1103,61 @@ mod tests {
         assert_eq!(after.records, 2);
         assert_eq!(after.history.len(), 2);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Bulk replay of a ~2k-record synthetic log must cost O(n): the
+    /// fingerprint index keeps `add`'s dedup probe at O(largest bucket),
+    /// which for distinct bugs stays a small constant instead of scanning
+    /// the whole history per record (the old O(n²) behaviour).
+    #[test]
+    fn bulk_replay_of_2k_record_log_costs_linear_dedup_work() {
+        const RECORDS: u32 = 2000;
+        let mut text = String::new();
+        for i in 0..RECORDS {
+            // Distinct bugs, plus every 10th record duplicated (a log that
+            // recorded a bug twice pre-dedup) so the dedup path is real.
+            text.push_str(&signature_to_log_record(&sig(
+                SignatureKind::Deadlock,
+                i,
+                10_000 + i,
+            )));
+            text.push('\n');
+            if i % 10 == 0 {
+                text.push_str(&signature_to_log_record(&sig(
+                    SignatureKind::Deadlock,
+                    i,
+                    10_000 + i,
+                )));
+                text.push('\n');
+            }
+        }
+        let started = std::time::Instant::now();
+        let replay = History::replay_log_text(&text).unwrap();
+        let elapsed = started.elapsed();
+        assert_eq!(replay.records as u32, RECORDS + RECORDS / 10);
+        assert_eq!(replay.history.len() as u32, RECORDS, "duplicates merged");
+        let (buckets, largest) = replay.history.dedup_buckets();
+        assert_eq!(buckets as u32, RECORDS, "one bucket per distinct bug");
+        assert!(
+            largest <= 2,
+            "a distinct-bug history must not pile up in one bucket \
+             (largest bucket: {largest} -> dedup would degrade towards O(n²))"
+        );
+        // Generous wall-clock guard (the structural assertion above is the
+        // real one): the old linear-scan dedup took seconds at this size.
+        assert!(
+            elapsed < std::time::Duration::from_secs(10),
+            "2k-record replay took {elapsed:?}"
+        );
+        // The index answers point lookups too.
+        assert!(replay
+            .history
+            .find(&sig(SignatureKind::Deadlock, 55, 10_055))
+            .is_some());
+        assert!(replay
+            .history
+            .find(&sig(SignatureKind::Starvation, 55, 10_055))
+            .is_none());
     }
 
     #[test]

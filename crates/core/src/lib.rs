@@ -83,7 +83,9 @@ pub use history::{
 };
 pub use ids::{LockId, LogicalTime, ProcessId, SignatureId, SiteId, ThreadId};
 pub use position::{Position, PositionId, PositionTable, ThreadQueue};
-pub use rag::{find_cycle_with, CycleStep, HeldEntry, Rag, WaitEdge, YieldRecord};
+pub use rag::{
+    find_cycle_with, AccessMode, CycleStep, HeldEntry, LockOwner, Rag, WaitEdge, YieldRecord,
+};
 pub use sharded::{
     broadcast_signature, fast_path_eligible, holds_mask_with, request_cross_shard,
     stale_shard_after, stale_shard_consumed, try_request_local, LocalDecision, ShardRouter,
@@ -473,6 +475,193 @@ mod engine_tests {
         assert_eq!(e.rag().owner(l(9)), Some(t(9)));
         assert!(e.released(t(9), l(9)).is_empty());
         assert_eq!(e.rag().owner(l(9)), None);
+    }
+
+    /// Tentpole regression: a cycle through a **non-first** member of a
+    /// reader crowd is detected at its first occurrence, and the learned
+    /// signature's template position is the acquisition site of the reader
+    /// actually on the cycle (not the first reader's).
+    #[test]
+    fn rwlock_cycle_through_second_reader_detected_with_its_own_site() {
+        trait Hooks {
+            fn req(
+                &mut self,
+                t: ThreadId,
+                l: LockId,
+                s: &CallStack,
+                m: AccessMode,
+            ) -> RequestOutcome;
+            fn acq(&mut self, t: ThreadId, l: LockId);
+        }
+        impl Hooks for Dimmunix {
+            fn req(
+                &mut self,
+                t: ThreadId,
+                l: LockId,
+                s: &CallStack,
+                m: AccessMode,
+            ) -> RequestOutcome {
+                self.request_mode(t, l, s, m)
+            }
+            fn acq(&mut self, t: ThreadId, l: LockId) {
+                self.acquired(t, l);
+            }
+        }
+        impl Hooks for ShardedDimmunix {
+            fn req(
+                &mut self,
+                t: ThreadId,
+                l: LockId,
+                s: &CallStack,
+                m: AccessMode,
+            ) -> RequestOutcome {
+                self.request_mode(t, l, s, m)
+            }
+            fn acq(&mut self, t: ThreadId, l: LockId) {
+                self.acquired(t, l);
+            }
+        }
+        fn run(engine: &mut dyn Hooks) -> RequestOutcome {
+            let (r1, r2, w) = (ThreadId::new(1), ThreadId::new(2), ThreadId::new(3));
+            let (la, lb) = (LockId::new(1), LockId::new(2));
+            let site = |m: &str, line| CallStack::single(Frame::new(m, "app.rs", line));
+            // r1 and r2 read-share A at *distinct* sites.
+            assert!(engine
+                .req(r1, la, &site("r1.read_a", 10), AccessMode::Shared)
+                .is_granted());
+            engine.acq(r1, la);
+            assert!(engine
+                .req(r2, la, &site("r2.read_a", 20), AccessMode::Shared)
+                .is_granted());
+            engine.acq(r2, la);
+            // The writer owns B and requests A: waits on BOTH readers.
+            assert!(engine
+                .req(w, lb, &site("w.write_b", 30), AccessMode::Exclusive)
+                .is_granted());
+            engine.acq(w, lb);
+            assert!(engine
+                .req(w, la, &site("w.write_a", 31), AccessMode::Exclusive)
+                .is_granted());
+            // (the substrate would block here; the request edge stays)
+            // r2 requests B: closes the cycle r2 -> w -> r2.
+            engine.req(r2, lb, &site("r2.read_b", 21), AccessMode::Shared)
+        }
+
+        let mut e = Dimmunix::default();
+        let outcome = run(&mut e);
+        match &outcome {
+            RequestOutcome::DeadlockDetected { threads, .. } => {
+                assert!(threads.contains(&t(2)) && threads.contains(&t(3)));
+                assert!(!threads.contains(&t(1)), "r1 is not on the cycle");
+            }
+            other => panic!("expected first-occurrence detection, got {other:?}"),
+        }
+        assert_eq!(e.history().len(), 1);
+        let sig = e.history().get(SignatureId::new(0)).unwrap();
+        let outers: Vec<String> = sig.outer_stacks().map(|s| s.to_compact()).collect();
+        // Template positions come from the owners on the cycle: r2's own
+        // read site and the writer's B site — never r1's site.
+        assert!(
+            outers.contains(&site("r2.read_a", 20).to_compact()),
+            "{outers:?}"
+        );
+        assert!(
+            outers.contains(&site("w.write_b", 30).to_compact()),
+            "{outers:?}"
+        );
+        assert!(
+            !outers.contains(&site("r1.read_a", 10).to_compact()),
+            "{outers:?}"
+        );
+
+        // The sharded engine reaches the identical verdict and history.
+        for shards in [1usize, 2, 3, 8] {
+            let mut s = ShardedDimmunix::new(Config::default(), shards);
+            let sharded_outcome = run(&mut s);
+            assert_eq!(sharded_outcome, outcome, "shards {shards}");
+            assert_eq!(s.history().len(), 1, "shards {shards}");
+            assert!(
+                s.history()
+                    .get(SignatureId::new(0))
+                    .unwrap()
+                    .same_bug(e.history().get(SignatureId::new(0)).unwrap()),
+                "shards {shards}"
+            );
+        }
+    }
+
+    /// Tentpole regression: a reader that released its own hold carries no
+    /// stale ownership, so its next request cannot close a cycle against
+    /// the crowd it left (the old representative model's false positive).
+    #[test]
+    fn departed_reader_is_not_part_of_any_cycle() {
+        let mut e = Dimmunix::default();
+        let (r1, r2, w) = (t(1), t(2), t(3));
+        let (la, lb) = (l(1), l(2));
+        // r1 in first, r2 joins, r1 leaves: owners(A) = {r2}.
+        assert!(e
+            .request_mode(r1, la, &site("r1.read_a", 10), AccessMode::Shared)
+            .is_granted());
+        e.acquired(r1, la);
+        assert!(e
+            .request_mode(r2, la, &site("r2.read_a", 20), AccessMode::Shared)
+            .is_granted());
+        e.acquired(r2, la);
+        e.released(r1, la);
+        assert_eq!(e.rag().owner(la), Some(r2));
+        // w owns B, requests A (waits on r2 alone).
+        assert!(e
+            .request_mode(w, lb, &site("w.write_b", 30), AccessMode::Exclusive)
+            .is_granted());
+        e.acquired(w, lb);
+        assert!(e
+            .request_mode(w, la, &site("w.write_a", 31), AccessMode::Exclusive)
+            .is_granted());
+        // r1 requests B: r1 -> w -> r2, no edge back to r1 — must be a
+        // clean grant, not a (spurious) detection.
+        let outcome = e.request_mode(r1, lb, &site("r1.write_b", 11), AccessMode::Exclusive);
+        assert!(outcome.is_granted(), "got {outcome:?}");
+        assert_eq!(e.stats().deadlocks_detected, 0);
+        assert!(e.history().is_empty());
+    }
+
+    /// Avoidance treats joining an existing reader crowd as compatible: a
+    /// shared request whose only would-be blocker is a shared co-holder of
+    /// the same lock is granted, while an exclusive request over the same
+    /// occupancy still yields.
+    #[test]
+    fn crowd_join_is_compatible_for_avoidance() {
+        // Antibody whose outer positions are the two read sites.
+        let sig = Signature::new(
+            SignatureKind::Deadlock,
+            vec![
+                SignaturePair::new(site("r.read_1", 10), site("r.inner_1", 11)),
+                SignaturePair::new(site("r.read_2", 20), site("r.inner_2", 21)),
+            ],
+        );
+        let mut history = History::new();
+        history.add(sig);
+
+        let mut e = Dimmunix::with_history(Config::default(), history.clone());
+        let (r2, r3, t5) = (t(2), t(3), t(5));
+        let (la, lb) = (l(1), l(2));
+        // r2 read-holds A at the second history site.
+        assert!(e
+            .request_mode(r2, la, &site("r.read_2", 20), AccessMode::Shared)
+            .is_granted());
+        e.acquired(r2, la);
+        // r3 joins A's crowd at the first history site: r2 is a crowd-mate,
+        // not a blocker — the request must be granted, not parked.
+        let outcome = e.request_mode(r3, la, &site("r.read_1", 10), AccessMode::Shared);
+        assert!(outcome.is_granted(), "crowd join was refused: {outcome:?}");
+        e.acquired(r3, la);
+        // An exclusive request for a *different* lock at the same site sees
+        // the same occupancy as a genuine instantiation and must yield.
+        let outcome = e.request_mode(t5, lb, &site("r.read_1", 10), AccessMode::Exclusive);
+        assert!(
+            matches!(outcome, RequestOutcome::Yield { .. }),
+            "exclusive request must still be parked: {outcome:?}"
+        );
     }
 
     #[test]

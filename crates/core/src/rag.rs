@@ -1,17 +1,53 @@
 //! The resource allocation graph (RAG).
 //!
 //! Dimmunix maintains the synchronization state of the process in a RAG
-//! (§2.2): lock nodes point to the thread owning them (annotated with the
-//! call stack of the acquisition, `acqPos`), and thread nodes point to the
+//! (§2.2): lock nodes point to the threads owning them (annotated with the
+//! call stack of each acquisition, `acqPos`), and thread nodes point to the
 //! lock they are currently requesting (annotated with the requesting call
 //! stack). A cycle through a requesting thread means a deadlock is about to
 //! occur. Threads parked by the avoidance module add *yield* edges towards
 //! the threads blocking the matched signature; cycles through yield edges are
 //! avoidance-induced deadlocks (starvation).
+//!
+//! ## Multi-owner lock nodes
+//!
+//! The paper's RAG models Java monitors: one owner per lock. This graph
+//! generalizes the lock node to a **set of owners**, each with its own
+//! acquisition position, [`AccessMode`], and recursion depth, so
+//! reader–writer locks are represented exactly: every reader of a crowd
+//! holds its own edge, a writer blocked behind the crowd waits on *all*
+//! current readers (the wait-for successors fan out per owner), and
+//! releasing one owner leaves the others untouched. Mutexes and monitors
+//! are the one-owner special case ([`AccessMode::Exclusive`]), for which
+//! every query below degenerates to the paper's single-owner semantics.
 
 use crate::position::PositionId;
 use crate::{LockId, SignatureId, ThreadId};
 use std::collections::HashMap;
+
+/// How a thread holds (or requests) a lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Mutual exclusion: a mutex, a monitor, or the write side of an rwlock.
+    Exclusive,
+    /// Shared access: the read side of an rwlock. Shared holders of the same
+    /// lock do not block each other.
+    Shared,
+}
+
+impl AccessMode {
+    /// True if a holder in `self` mode blocks (or is blocked by) a holder or
+    /// requester in `other` mode on the same lock. Only shared/shared is
+    /// compatible.
+    pub fn conflicts_with(self, other: AccessMode) -> bool {
+        !(self == AccessMode::Shared && other == AccessMode::Shared)
+    }
+
+    /// True for [`AccessMode::Shared`].
+    pub fn is_shared(self) -> bool {
+        self == AccessMode::Shared
+    }
+}
 
 /// Why a thread is waiting on another thread in the wait-for relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +73,7 @@ pub struct YieldRecord {
 }
 
 /// One lock currently held by a thread: the lock, its acquisition position
-/// (`acqPos`), and the acquisition sequence number.
+/// (`acqPos`), its access mode, and the acquisition sequence number.
 ///
 /// The sequence number is what keeps "latest hold" queries meaningful when
 /// the engine state is sharded by lock id: each shard's RAG only sees the
@@ -50,33 +86,55 @@ pub struct HeldEntry {
     pub lock: LockId,
     /// Call-stack position of the acquisition.
     pub pos: PositionId,
+    /// Whether the hold is exclusive or shared.
+    pub mode: AccessMode,
     /// Monotonic acquisition sequence number (engine-global in the sharded
     /// configuration, per-RAG otherwise).
     pub seq: u64,
+}
+
+/// An outstanding lock request: the lock, the requesting position, and the
+/// requested access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RequestEdge {
+    lock: LockId,
+    pos: PositionId,
+    mode: AccessMode,
 }
 
 /// Per-thread RAG node.
 #[derive(Debug, Clone, Default)]
 pub struct ThreadNode {
     /// Outstanding lock request, if any, with the requesting position.
-    requesting: Option<(LockId, PositionId)>,
+    requesting: Option<RequestEdge>,
     /// Locks currently held, in acquisition order, with their `acqPos`.
     held: Vec<HeldEntry>,
     /// Present while the thread is parked by avoidance.
     yielding: Option<YieldRecord>,
-    /// Position approved by the last `request` grant, consumed by `acquire`.
-    pending_grant: Option<(LockId, PositionId)>,
+    /// Request approved by the last `request` grant, consumed by `acquire`.
+    pending_grant: Option<RequestEdge>,
 }
 
-/// Per-lock RAG node.
+/// One owner of a lock: the holding thread, the call-stack position of its
+/// acquisition (`acqPos` in §3.2), its access mode, and its own recursion
+/// depth (Java monitors are reentrant; each owner re-enters independently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockOwner {
+    /// The holding thread.
+    pub thread: ThreadId,
+    /// Call-stack position of this owner's acquisition.
+    pub pos: PositionId,
+    /// Whether this owner holds the lock exclusively or shared.
+    pub mode: AccessMode,
+    /// This owner's reentrant acquisition depth.
+    pub recursion: u32,
+}
+
+/// Per-lock RAG node: the set of current owners. Exclusive holds have one
+/// owner; a reader crowd has one owner entry per reader.
 #[derive(Debug, Clone, Default)]
 pub struct LockNode {
-    /// Current owner thread.
-    owner: Option<ThreadId>,
-    /// Call-stack position of the owner's acquisition (`acqPos` in §3.2).
-    acq_pos: Option<PositionId>,
-    /// Monitor recursion depth (Java monitors are reentrant).
-    recursion: u32,
+    owners: Vec<LockOwner>,
 }
 
 /// One step of a wait-for cycle: `thread` waits on the *next* entry's thread
@@ -134,11 +192,7 @@ impl Rag {
         }
         for entry in &node.held {
             if let Some(l) = self.locks.get_mut(&entry.lock) {
-                if l.owner == Some(t) {
-                    l.owner = None;
-                    l.acq_pos = None;
-                    l.recursion = 0;
-                }
+                l.owners.retain(|o| o.thread != t);
             }
         }
         node.held
@@ -165,19 +219,48 @@ impl Rag {
         self.locks.contains_key(&l)
     }
 
-    /// Current owner of `l`, if any.
+    /// The *sole* owner of `l`, if it has exactly one. This is the
+    /// single-owner view mutex/monitor substrates reason with; a reader
+    /// crowd (several owners) answers `None` — use [`owners`](Rag::owners)
+    /// for the full set.
     pub fn owner(&self, l: LockId) -> Option<ThreadId> {
-        self.locks.get(&l).and_then(|n| n.owner)
+        match self.owners(l) {
+            [single] => Some(single.thread),
+            _ => None,
+        }
     }
 
-    /// Acquisition position (`acqPos`) of `l`'s current ownership.
-    pub fn acq_pos(&self, l: LockId) -> Option<PositionId> {
-        self.locks.get(&l).and_then(|n| n.acq_pos)
+    /// Every current owner of `l`, in acquisition order (empty if the lock
+    /// is unregistered or free).
+    pub fn owners(&self, l: LockId) -> &[LockOwner] {
+        self.locks
+            .get(&l)
+            .map(|n| n.owners.as_slice())
+            .unwrap_or(&[])
     }
 
-    /// Monitor recursion depth of `l`.
-    pub fn recursion(&self, l: LockId) -> u32 {
-        self.locks.get(&l).map(|n| n.recursion).unwrap_or(0)
+    /// True if `t` is among the current owners of `l` (any mode).
+    pub fn owns(&self, l: LockId, t: ThreadId) -> bool {
+        self.owner_entry(l, t).is_some()
+    }
+
+    /// The owner entry of `t` on `l`, if `t` currently holds it.
+    pub fn owner_entry(&self, l: LockId, t: ThreadId) -> Option<&LockOwner> {
+        self.owners(l).iter().find(|o| o.thread == t)
+    }
+
+    /// Acquisition position (`acqPos`) of `t`'s hold on `l`. With
+    /// multi-owner lock nodes the template position of a cycle edge comes
+    /// from the owner *actually on the cycle*, not from an arbitrary
+    /// representative.
+    pub fn acq_pos_of(&self, l: LockId, t: ThreadId) -> Option<PositionId> {
+        self.owner_entry(l, t).map(|o| o.pos)
+    }
+
+    /// Reentrant acquisition depth of `t`'s hold on `l` (0 if `t` does not
+    /// hold it).
+    pub fn recursion_of(&self, l: LockId, t: ThreadId) -> u32 {
+        self.owner_entry(l, t).map(|o| o.recursion).unwrap_or(0)
     }
 
     /// Locks held by `t` with their acquisition positions, in acquisition
@@ -191,7 +274,18 @@ impl Rag {
 
     /// The lock and position `t` is currently requesting, if any.
     pub fn requesting(&self, t: ThreadId) -> Option<(LockId, PositionId)> {
-        self.threads.get(&t).and_then(|n| n.requesting)
+        self.threads
+            .get(&t)
+            .and_then(|n| n.requesting)
+            .map(|r| (r.lock, r.pos))
+    }
+
+    /// The access mode of `t`'s outstanding request, if any.
+    pub fn requesting_mode(&self, t: ThreadId) -> Option<AccessMode> {
+        self.threads
+            .get(&t)
+            .and_then(|n| n.requesting)
+            .map(|r| r.mode)
     }
 
     /// The yield record of `t`, if it is parked by avoidance.
@@ -211,12 +305,17 @@ impl Rag {
         v
     }
 
-    /// Records that `t` requests `l` at position `pos`.
+    /// Records that `t` requests `l` at position `pos`, exclusively.
     pub fn set_request(&mut self, t: ThreadId, l: LockId, pos: PositionId) {
+        self.set_request_mode(t, l, pos, AccessMode::Exclusive);
+    }
+
+    /// Records that `t` requests `l` at position `pos` in `mode`.
+    pub fn set_request_mode(&mut self, t: ThreadId, l: LockId, pos: PositionId, mode: AccessMode) {
         self.register_thread(t);
         self.register_lock(l);
         if let Some(n) = self.threads.get_mut(&t) {
-            n.requesting = Some((l, pos));
+            n.requesting = Some(RequestEdge { lock: l, pos, mode });
         }
     }
 
@@ -252,31 +351,38 @@ impl Rag {
         self.yield_records
     }
 
-    /// Stores the position approved by a grant, consumed by [`acquire`].
+    /// Stores the position and mode approved by a grant, consumed by
+    /// [`acquire`].
     ///
     /// [`acquire`]: Rag::acquire
-    pub fn set_pending_grant(&mut self, t: ThreadId, l: LockId, pos: PositionId) {
+    pub fn set_pending_grant(&mut self, t: ThreadId, l: LockId, pos: PositionId, mode: AccessMode) {
         self.register_thread(t);
         if let Some(n) = self.threads.get_mut(&t) {
-            n.pending_grant = Some((l, pos));
+            n.pending_grant = Some(RequestEdge { lock: l, pos, mode });
         }
     }
 
-    /// The position approved by the last grant for `t`, if any.
-    pub fn pending_grant(&self, t: ThreadId) -> Option<(LockId, PositionId)> {
-        self.threads.get(&t).and_then(|n| n.pending_grant)
+    /// The lock, position, and mode approved by the last grant for `t`, if
+    /// any.
+    pub fn pending_grant(&self, t: ThreadId) -> Option<(LockId, PositionId, AccessMode)> {
+        self.threads
+            .get(&t)
+            .and_then(|n| n.pending_grant)
+            .map(|g| (g.lock, g.pos, g.mode))
     }
 
     /// Removes and returns the pending grant of `t`, if any.
-    pub fn take_pending_grant(&mut self, t: ThreadId) -> Option<(LockId, PositionId)> {
+    pub fn take_pending_grant(&mut self, t: ThreadId) -> Option<(LockId, PositionId, AccessMode)> {
         self.threads
             .get_mut(&t)
             .and_then(|n| n.pending_grant.take())
+            .map(|g| (g.lock, g.pos, g.mode))
     }
 
     /// Records that `t` acquired `l` at position `pos` (first, non-recursive
-    /// acquisition): sets the hold edge and `acqPos`, clears the request.
-    /// The acquisition is stamped from this RAG's own monotonic counter.
+    /// acquisition, exclusive): adds the hold edge and an owner entry,
+    /// clears the request. The acquisition is stamped from this RAG's own
+    /// monotonic counter.
     pub fn acquire(&mut self, t: ThreadId, l: LockId, pos: PositionId) {
         let seq = self.next_seq;
         self.acquire_with_seq(t, l, pos, seq);
@@ -287,18 +393,45 @@ impl Rag {
     /// counter so holds distributed over several shard RAGs can be merged
     /// back into acquisition order.
     pub fn acquire_with_seq(&mut self, t: ThreadId, l: LockId, pos: PositionId, seq: u64) {
+        self.acquire_mode_with_seq(t, l, pos, AccessMode::Exclusive, seq);
+    }
+
+    /// [`acquire_with_seq`](Rag::acquire_with_seq) with an explicit access
+    /// mode: the owner entry joins the lock's owner set (a shared
+    /// acquisition joins the existing reader crowd; an exclusive one is the
+    /// sole owner in a well-behaved substrate).
+    pub fn acquire_mode_with_seq(
+        &mut self,
+        t: ThreadId,
+        l: LockId,
+        pos: PositionId,
+        mode: AccessMode,
+        seq: u64,
+    ) {
         self.next_seq = self.next_seq.max(seq).saturating_add(1);
         self.register_thread(t);
         self.register_lock(l);
         if let Some(n) = self.threads.get_mut(&t) {
             n.requesting = None;
             n.pending_grant = None;
-            n.held.push(HeldEntry { lock: l, pos, seq });
+            n.held.push(HeldEntry {
+                lock: l,
+                pos,
+                mode,
+                seq,
+            });
         }
         if let Some(ln) = self.locks.get_mut(&l) {
-            ln.owner = Some(t);
-            ln.acq_pos = Some(pos);
-            ln.recursion = 1;
+            debug_assert!(
+                ln.owners.iter().all(|o| o.thread != t),
+                "first acquisition of an already-owned lock; use acquire_recursive"
+            );
+            ln.owners.push(LockOwner {
+                thread: t,
+                pos,
+                mode,
+                recursion: 1,
+            });
         }
     }
 
@@ -308,53 +441,58 @@ impl Rag {
         self.next_seq
     }
 
-    /// Records a recursive (reentrant) acquisition of a monitor `t` already
-    /// owns.
+    /// Records a recursive (reentrant) acquisition of a lock `t` already
+    /// owns (any mode): bumps `t`'s own recursion depth; other owners are
+    /// untouched.
     pub fn acquire_recursive(&mut self, t: ThreadId, l: LockId) {
         if let Some(n) = self.threads.get_mut(&t) {
             n.requesting = None;
             n.pending_grant = None;
         }
         if let Some(ln) = self.locks.get_mut(&l) {
-            debug_assert_eq!(ln.owner, Some(t));
-            ln.recursion = ln.recursion.saturating_add(1);
+            let owner = ln.owners.iter_mut().find(|o| o.thread == t);
+            debug_assert!(owner.is_some(), "recursive acquisition by a non-owner");
+            if let Some(o) = owner {
+                o.recursion = o.recursion.saturating_add(1);
+            }
         }
     }
 
-    /// Records that `t` releases `l`. For recursive monitors the hold edge is
-    /// only removed when the recursion count drops to zero; the return value
-    /// is the acquisition position when the monitor is actually released, or
-    /// `None` for a nested exit or a release of an un-owned lock.
+    /// Records that `t` releases `l`: removes `t`'s own owner entry, leaving
+    /// any co-owners (the rest of a reader crowd) in place. For recursive
+    /// acquisitions the entry is only removed when `t`'s recursion count
+    /// drops to zero; the return value is `t`'s acquisition position when
+    /// its hold is actually released, or `None` for a nested exit or a
+    /// release of a lock `t` does not own.
     pub fn release(&mut self, t: ThreadId, l: LockId) -> Option<PositionId> {
         let ln = self.locks.get_mut(&l)?;
-        if ln.owner != Some(t) {
+        let idx = ln.owners.iter().position(|o| o.thread == t)?;
+        if ln.owners[idx].recursion > 1 {
+            ln.owners[idx].recursion -= 1;
             return None;
         }
-        if ln.recursion > 1 {
-            ln.recursion -= 1;
-            return None;
-        }
-        let pos = ln.acq_pos.take();
-        ln.owner = None;
-        ln.recursion = 0;
+        let pos = ln.owners.remove(idx).pos;
         if let Some(n) = self.threads.get_mut(&t) {
             if let Some(idx) = n.held.iter().rposition(|e| e.lock == l) {
                 n.held.remove(idx);
             }
         }
-        pos
+        Some(pos)
     }
 
     /// Successor threads of `t` in the wait-for relation, together with the
-    /// edge kind. `include_yields` selects whether avoidance-parked threads
+    /// edge kind. A request fans out to **every** owner whose mode conflicts
+    /// with the requested one: a writer blocked behind a reader crowd waits
+    /// on all of its readers, while a reader joining the crowd waits on no
+    /// one. `include_yields` selects whether avoidance-parked threads
     /// contribute edges (needed for starvation detection).
     pub fn successors(&self, t: ThreadId, include_yields: bool) -> Vec<(ThreadId, WaitEdge)> {
         let mut out = Vec::new();
         if let Some(node) = self.threads.get(&t) {
-            if let Some((lock, _)) = node.requesting {
-                if let Some(owner) = self.owner(lock) {
-                    if owner != t {
-                        out.push((owner, WaitEdge::Lock(lock)));
+            if let Some(edge) = node.requesting {
+                for owner in self.owners(edge.lock) {
+                    if owner.thread != t && edge.mode.conflicts_with(owner.mode) {
+                        out.push((owner.thread, WaitEdge::Lock(edge.lock)));
                     }
                 }
             }
@@ -390,8 +528,10 @@ impl Rag {
                 total += y.blockers.capacity() * std::mem::size_of::<ThreadId>();
             }
         }
-        total +=
-            self.locks.len() * (std::mem::size_of::<LockId>() + std::mem::size_of::<LockNode>());
+        for n in self.locks.values() {
+            total += std::mem::size_of::<LockId>() + std::mem::size_of::<LockNode>();
+            total += n.owners.capacity() * std::mem::size_of::<LockOwner>();
+        }
         total
     }
 }
@@ -487,7 +627,7 @@ mod tests {
         let mut rag = Rag::new();
         rag.acquire(t(1), l(1), p(0));
         assert_eq!(rag.owner(l(1)), Some(t(1)));
-        assert_eq!(rag.acq_pos(l(1)), Some(p(0)));
+        assert_eq!(rag.acq_pos_of(l(1), t(1)), Some(p(0)));
         assert_eq!(rag.held_locks(t(1)).len(), 1);
         assert_eq!(rag.release(t(1), l(1)), Some(p(0)));
         assert_eq!(rag.owner(l(1)), None);
@@ -499,11 +639,83 @@ mod tests {
         let mut rag = Rag::new();
         rag.acquire(t(1), l(1), p(0));
         rag.acquire_recursive(t(1), l(1));
-        assert_eq!(rag.recursion(l(1)), 2);
+        assert_eq!(rag.recursion_of(l(1), t(1)), 2);
         assert_eq!(rag.release(t(1), l(1)), None);
         assert_eq!(rag.owner(l(1)), Some(t(1)));
         assert_eq!(rag.release(t(1), l(1)), Some(p(0)));
         assert_eq!(rag.owner(l(1)), None);
+    }
+
+    #[test]
+    fn shared_owners_coexist_and_release_individually() {
+        let mut rag = Rag::new();
+        rag.acquire_mode_with_seq(t(1), l(1), p(1), AccessMode::Shared, 1);
+        rag.acquire_mode_with_seq(t(2), l(1), p(2), AccessMode::Shared, 2);
+        assert_eq!(rag.owners(l(1)).len(), 2);
+        // Two owners: no *sole* owner.
+        assert_eq!(rag.owner(l(1)), None);
+        assert!(rag.owns(l(1), t(1)));
+        assert!(rag.owns(l(1), t(2)));
+        // Each owner keeps its own acquisition position.
+        assert_eq!(rag.acq_pos_of(l(1), t(1)), Some(p(1)));
+        assert_eq!(rag.acq_pos_of(l(1), t(2)), Some(p(2)));
+        // Releasing one leaves the other's hold (and position) intact.
+        assert_eq!(rag.release(t(1), l(1)), Some(p(1)));
+        assert_eq!(rag.owner(l(1)), Some(t(2)));
+        assert_eq!(rag.acq_pos_of(l(1), t(2)), Some(p(2)));
+        assert_eq!(rag.release(t(2), l(1)), Some(p(2)));
+        assert!(rag.owners(l(1)).is_empty());
+    }
+
+    #[test]
+    fn writer_request_fans_out_to_every_reader() {
+        let mut rag = Rag::new();
+        rag.acquire_mode_with_seq(t(1), l(1), p(1), AccessMode::Shared, 1);
+        rag.acquire_mode_with_seq(t(2), l(1), p(2), AccessMode::Shared, 2);
+        // A writer waits on *all* current readers...
+        rag.set_request_mode(t(3), l(1), p(3), AccessMode::Exclusive);
+        let succ: Vec<ThreadId> = rag
+            .successors(t(3), false)
+            .iter()
+            .map(|(s, _)| *s)
+            .collect();
+        assert_eq!(succ, vec![t(1), t(2)]);
+        // ...while a reader joining the crowd waits on no one.
+        rag.set_request_mode(t(4), l(1), p(4), AccessMode::Shared);
+        assert!(rag.successors(t(4), false).is_empty());
+        // A reader blocked behind an exclusive owner does wait.
+        let mut rag2 = Rag::new();
+        rag2.acquire(t(1), l(1), p(0));
+        rag2.set_request_mode(t(2), l(1), p(1), AccessMode::Shared);
+        assert_eq!(rag2.successors(t(2), false).len(), 1);
+    }
+
+    #[test]
+    fn cycle_through_one_reader_of_a_crowd_is_found() {
+        let mut rag = Rag::new();
+        // r1 and r2 share lock 1; t3 owns lock 2 and requests lock 1
+        // (exclusive); r2 requests lock 2. Cycle: t3 -> r2 -> t3, through
+        // the non-first reader.
+        rag.acquire_mode_with_seq(t(1), l(1), p(1), AccessMode::Shared, 1);
+        rag.acquire_mode_with_seq(t(2), l(1), p(2), AccessMode::Shared, 2);
+        rag.acquire(t(3), l(2), p(3));
+        rag.set_request_mode(t(3), l(1), p(4), AccessMode::Exclusive);
+        assert!(rag.find_cycle_from(t(3), false).is_none());
+        rag.set_request_mode(t(2), l(2), p(5), AccessMode::Shared);
+        let cycle = rag.find_cycle_from(t(2), false).expect("cycle");
+        let threads: Vec<ThreadId> = cycle.iter().map(|s| s.thread).collect();
+        assert!(threads.contains(&t(2)) && threads.contains(&t(3)));
+        assert!(!threads.contains(&t(1)), "t1 is not on the cycle");
+    }
+
+    #[test]
+    fn access_mode_conflicts() {
+        use AccessMode::*;
+        assert!(Exclusive.conflicts_with(Exclusive));
+        assert!(Exclusive.conflicts_with(Shared));
+        assert!(Shared.conflicts_with(Exclusive));
+        assert!(!Shared.conflicts_with(Shared));
+        assert!(Shared.is_shared() && !Exclusive.is_shared());
     }
 
     #[test]
@@ -591,8 +803,11 @@ mod tests {
     #[test]
     fn pending_grant_roundtrip() {
         let mut rag = Rag::new();
-        rag.set_pending_grant(t(1), l(5), p(7));
-        assert_eq!(rag.pending_grant(t(1)), Some((l(5), p(7))));
+        rag.set_pending_grant(t(1), l(5), p(7), AccessMode::Shared);
+        assert_eq!(
+            rag.pending_grant(t(1)),
+            Some((l(5), p(7), AccessMode::Shared))
+        );
         rag.acquire(t(1), l(5), p(7));
         assert_eq!(rag.pending_grant(t(1)), None);
     }

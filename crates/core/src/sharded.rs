@@ -51,7 +51,13 @@
 //!   every shard's local queue at that slot;
 //! * hold-recency queries (`last_history_hold`) merge per-shard holds by the
 //!   global acquisition sequence number stamped through
-//!   [`Dimmunix::acquired_with_seq`].
+//!   [`Dimmunix::acquired_with_seq`];
+//! * a lock's **owner set** (one entry per owner — several for a reader
+//!   crowd) lives whole in the lock's home shard, so the merged view unions
+//!   owner sets per lock trivially: the wait-for fan-out of a request (one
+//!   edge per conflicting owner) is generated inside the shard that owns
+//!   both the request edge and the lock node, and concatenation preserves
+//!   it exactly.
 //!
 //! Detection results flow back through the owning shards: the signature is
 //! appended to every replica, the yield/queue bookkeeping is written to the
@@ -76,7 +82,7 @@ use crate::engine::{Dimmunix, RequestOutcome};
 use crate::events::EventKind;
 use crate::history::History;
 use crate::position::PositionId;
-use crate::rag::{find_cycle_with, CycleStep, WaitEdge, YieldRecord};
+use crate::rag::{find_cycle_with, AccessMode, CycleStep, WaitEdge, YieldRecord};
 use crate::signature::{Signature, SignatureKind, SignaturePair};
 use crate::snapshot::HistorySnapshot;
 use crate::stats::Stats;
@@ -220,9 +226,10 @@ pub fn try_request_local(
     t: ThreadId,
     l: LockId,
     stack: &CallStack,
+    mode: AccessMode,
 ) -> LocalDecision {
     if shard.config().is_disabled() {
-        return LocalDecision::Decided(shard.request(t, l, stack));
+        return LocalDecision::Decided(shard.request_mode(t, l, stack, mode));
     }
     let pos = shard.intern_position(stack);
     // A position mentioned by any signature carries a link to its canonical
@@ -236,7 +243,7 @@ pub fn try_request_local(
     {
         return LocalDecision::NeedsCrossShard;
     }
-    LocalDecision::Decided(shard.request_at(t, l, pos))
+    LocalDecision::Decided(shard.request_at_mode(t, l, pos, mode))
 }
 
 /// Decides a request against the full multi-shard view.
@@ -256,6 +263,7 @@ pub fn request_cross_shard(
     t: ThreadId,
     l: LockId,
     stack: &CallStack,
+    mode: AccessMode,
     prev_request_shard: Option<usize>,
 ) -> RequestOutcome {
     let home = router.shard_of(l);
@@ -273,7 +281,7 @@ pub fn request_cross_shard(
         shards[home].stats_mut().grants += 1;
         shards[home].rag_mut().register_thread(t);
         shards[home].rag_mut().register_lock(l);
-        shards[home].rag_mut().set_pending_grant(t, l, pos);
+        shards[home].rag_mut().set_pending_grant(t, l, pos, mode);
         return RequestOutcome::Granted;
     }
 
@@ -287,8 +295,8 @@ pub fn request_cross_shard(
     }
 
     // Reentrant fast path: a thread never deadlocks against itself on a
-    // monitor it already owns.
-    if shards[home].rag().owner(l) == Some(t) {
+    // lock it already owns (in any mode).
+    if shards[home].rag().owns(l, t) {
         shards[home].stats_mut().reentrant_grants += 1;
         shards[home].push_event(EventKind::ReentrantGrant { thread: t, lock: l });
         return RequestOutcome::GrantedReentrant;
@@ -301,7 +309,7 @@ pub fn request_cross_shard(
             shards[prev].rag_mut().clear_request(t);
         }
     }
-    shards[home].rag_mut().set_request(t, l, pos);
+    shards[home].rag_mut().set_request_mode(t, l, pos, mode);
 
     let detection = shards[home].config().detection;
     let avoidance = shards[home].config().avoidance;
@@ -376,7 +384,7 @@ pub fn request_cross_shard(
         // matches, the starvation probe over the same state.
         let (inst, starvation_sig) = {
             let ro: Vec<&Dimmunix> = shards.iter().map(|s| &**s).collect();
-            match outer.and_then(|o| find_instantiation_merged(&ro, home, t, o)) {
+            match outer.and_then(|o| find_instantiation_merged(&ro, home, t, o, l, mode)) {
                 Some(inst) => {
                     let sig = (starvation_handling && would_starve_merged(&ro, t, &inst.blockers))
                         .then(|| starvation_signature_merged(&ro, home, pos, &inst.blockers));
@@ -431,7 +439,7 @@ pub fn request_cross_shard(
     if let Some(p) = shards[home].positions_mut().get_mut(pos) {
         p.queue_mut().push(t);
     }
-    shards[home].rag_mut().set_pending_grant(t, l, pos);
+    shards[home].rag_mut().set_pending_grant(t, l, pos, mode);
     shards[home].push_event(EventKind::Grant { thread: t, lock: l });
     RequestOutcome::Granted
 }
@@ -545,8 +553,10 @@ fn classify_cycle_merged(
             .or_else(|| yielding_any(shards, waited_on).map(|(s, y)| (s, y.position)));
         let outer: Option<ShardPos> = match &steps[i].edge {
             WaitEdge::Lock(lock) => {
+                // The waited-on thread is one owner among possibly several
+                // (a reader crowd): the template position is *its* `acqPos`.
                 let s = router.shard_of(*lock);
-                shards[s].rag().acq_pos(*lock).map(|p| (s, p))
+                shards[s].rag().acq_pos_of(*lock, waited_on).map(|p| (s, p))
             }
             WaitEdge::Yield(_) => {
                 involves_yield = true;
@@ -585,6 +595,15 @@ fn classify_cycle_merged(
 /// shards read the same snapshot `Arc`, so canonical ids are the common
 /// coordinate system across shards by construction.
 ///
+/// `lock` and `mode` are the requested lock and access mode. When the
+/// request is [`AccessMode::Shared`], a thread whose only occupancy of a
+/// slot is its own **shared hold of the same lock** is *not* a blocker:
+/// the requester would join that thread's reader crowd, and two shared
+/// holders of one lock cannot block each other, so the mutual-wait pattern
+/// the signature predicts cannot run through that pair. Without this
+/// carve-out every reader joining a crowd at a history position would be
+/// parked against its own crowd-mates — a spurious (fail-safe) refusal.
+///
 /// The monolithic engine's avoidance check is the one-shard call
 /// (`&[&engine]`, `home = 0`) — one implementation, so the single-engine
 /// and sharded decisions cannot drift.
@@ -593,6 +612,8 @@ pub(crate) fn find_instantiation_merged(
     home: usize,
     thread: ThreadId,
     outer: PositionId,
+    lock: LockId,
+    mode: AccessMode,
 ) -> Option<Instantiation> {
     let snapshot = shards[home].history_snapshot();
     for &sig in snapshot.index().signatures_at(outer) {
@@ -602,11 +623,20 @@ pub(crate) fn find_instantiation_merged(
             .map(|slot| {
                 let mut set: Vec<ThreadId> = Vec::new();
                 for s in shards {
-                    if let Some(p) = s
-                        .local_position_of_outer(*slot)
-                        .and_then(|pid| s.positions().get(pid))
-                    {
-                        set.extend(p.queue().iter());
+                    let Some(pid) = s.local_position_of_outer(*slot) else {
+                        continue;
+                    };
+                    let Some(p) = s.positions().get(pid) else {
+                        continue;
+                    };
+                    for c in p.queue().distinct_threads() {
+                        if mode.is_shared() && crowd_mate_occupancy(s, p, c, lock, pid) {
+                            // Every occupancy of this slot by `c` in this
+                            // shard is a shared hold of the requested lock:
+                            // a crowd-mate, not an adversary.
+                            continue;
+                        }
+                        set.push(c);
                     }
                 }
                 set.sort_unstable();
@@ -622,6 +652,27 @@ pub(crate) fn find_instantiation_merged(
         }
     }
     None
+}
+
+/// True if every occupancy of position `pid` (whose data `p` the caller
+/// already holds) by thread `c` in shard `s` is explained by a shared hold
+/// of `lock` itself — i.e. `c` covers the slot only as a member of the
+/// reader crowd the requester is about to join. The owner-entry probe runs
+/// first so the O(queue) occupancy count is paid only for actual
+/// crowd-mates, never for ordinary candidates.
+fn crowd_mate_occupancy(
+    s: &Dimmunix,
+    p: &crate::Position,
+    c: ThreadId,
+    lock: LockId,
+    pid: PositionId,
+) -> bool {
+    let crowd = s
+        .rag()
+        .owner_entry(lock, c)
+        .map(|o| usize::from(o.mode.is_shared() && o.pos == pid))
+        .unwrap_or(0);
+    crowd > 0 && p.queue().count(c) <= crowd
 }
 
 /// Merged equivalent of the engine's `would_starve`: true if parking `t`
@@ -876,11 +927,24 @@ impl ShardedDimmunix {
         broadcast_signature(&mut refs, sig)
     }
 
-    /// Called before a monitor acquisition; see [`Dimmunix::request`].
+    /// Called before a monitor (exclusive) acquisition; see
+    /// [`Dimmunix::request`].
     ///
     /// Requests that cannot touch another shard's state are decided inside
     /// the home shard; the rest take the cross-shard snapshot path.
     pub fn request(&mut self, t: ThreadId, l: LockId, stack: &CallStack) -> RequestOutcome {
+        self.request_mode(t, l, stack, AccessMode::Exclusive)
+    }
+
+    /// Called before an acquisition in the given access mode; see
+    /// [`Dimmunix::request_mode`].
+    pub fn request_mode(
+        &mut self,
+        t: ThreadId,
+        l: LockId,
+        stack: &CallStack,
+        mode: AccessMode,
+    ) -> RequestOutcome {
         let home = self.router.shard_of(l);
         let route = self.threads.entry(t).or_default();
         let stale = route.stale_shard;
@@ -888,16 +952,16 @@ impl ShardedDimmunix {
         let fast_ok = fast_path_eligible(route.holds_mask, stale, any_parked, home);
 
         let outcome = if fast_ok {
-            match try_request_local(&mut self.shards[home], t, l, stack) {
+            match try_request_local(&mut self.shards[home], t, l, stack, mode) {
                 LocalDecision::Decided(outcome) => outcome,
                 LocalDecision::NeedsCrossShard => {
                     let mut refs: Vec<&mut Dimmunix> = self.shards.iter_mut().collect();
-                    request_cross_shard(&mut refs, &self.router, t, l, stack, stale)
+                    request_cross_shard(&mut refs, &self.router, t, l, stack, mode, stale)
                 }
             }
         } else {
             let mut refs: Vec<&mut Dimmunix> = self.shards.iter_mut().collect();
-            request_cross_shard(&mut refs, &self.router, t, l, stack, stale)
+            request_cross_shard(&mut refs, &self.router, t, l, stack, mode, stale)
         };
 
         let disabled = self.shards[home].config().is_disabled();

@@ -7,9 +7,9 @@
 //! reproducible by construction.
 
 use dimmunix_core::{
-    find_instantiation, CallStack, Config, Dimmunix, Frame, History, LockId, PositionTable,
-    RequestOutcome, ShardedDimmunix, Signature, SignatureId, SignatureIndex, SignatureKind,
-    SignaturePair, ThreadId, ThreadQueue,
+    find_instantiation, AccessMode, CallStack, Config, Dimmunix, Frame, History, LockId,
+    PositionTable, RequestOutcome, ShardedDimmunix, Signature, SignatureId, SignatureIndex,
+    SignatureKind, SignaturePair, ThreadId, ThreadQueue,
 };
 
 /// Deterministic PRNG (SplitMix64) for generating random cases.
@@ -490,6 +490,220 @@ fn prop_sharded_engine_equals_monolithic_oracle() {
             // The history is shared, not replicated: every shard must hold
             // the *same* snapshot allocation, and the snapshot must have
             // advanced exactly as often as the oracle's.
+            for i in 0..s.shard_count() {
+                assert!(
+                    std::sync::Arc::ptr_eq(s.history_snapshot(), s.shard(i).history_snapshot()),
+                    "seed {seed}: shard {i} holds a private snapshot (shards {n})"
+                );
+            }
+            assert_eq!(
+                s.history_snapshot().epoch(),
+                oracle.history_snapshot().epoch(),
+                "seed {seed}: snapshot epochs diverge (shards {n})"
+            );
+        }
+    }
+
+    fn universe_site(i: usize) -> CallStack {
+        CallStack::single(Frame::new(format!("site{i}"), "univ.rs", i as u32))
+    }
+}
+
+/// **Sharded engine ≡ monolithic engine, with read/write schedules.** The
+/// rwlock extension of `prop_sharded_engine_equals_monolithic_oracle`:
+/// random schedules now mix exclusive (mutex-style) and shared
+/// (rwlock-read-style) acquisitions, including reader crowds, reentrant
+/// re-acquisitions, writers blocked behind crowds, deadlock cycles through
+/// non-first readers, parking/retry, and pre-trained histories. Every hook
+/// call must produce the identical outcome on the monolithic oracle and on
+/// sharded engines with shards ∈ {1, 2, 3, 8}, with identical rolled-up
+/// stats, histories, and shared-snapshot epochs — so the multi-owner
+/// detection/avoidance paths cannot drift between the two implementations.
+#[test]
+fn prop_sharded_engine_equals_monolithic_oracle_mixed_rwlock() {
+    /// What the simulated substrate is doing with one logical thread.
+    #[derive(Clone, Copy, PartialEq)]
+    enum ThreadMode {
+        Running,
+        /// Granted by the engine but the real lock is not yet available
+        /// (incompatible owners still hold it).
+        WaitingAcquire(u64, AccessMode),
+        /// Parked by avoidance; retries on the next schedule slot.
+        Parked(u64, AccessMode),
+    }
+
+    const THREADS: u64 = 4;
+    const LOCKS: u64 = 8;
+    /// ≥ 150 seeds (satellite requirement); salted so this property
+    /// explores different schedules than its mutex-only sibling.
+    const MIXED_CASES: u64 = 160;
+    const SEED_SALT: u64 = 0x0a11_0c8e_5eed;
+
+    for seed in 0..MIXED_CASES {
+        let mut g = Gen::new(seed ^ SEED_SALT);
+        // Optionally pre-train a history over the site universe so the
+        // avoidance machinery (including the crowd-mate carve-out) runs.
+        let mut history = History::new();
+        for _ in 0..g.range(0, 3) {
+            let arity = g.range(2, 4);
+            let pairs = (0..arity)
+                .map(|_| {
+                    SignaturePair::new(universe_site(g.range(0, 6)), universe_site(g.range(0, 6)))
+                })
+                .collect();
+            history.add(Signature::new(SignatureKind::Deadlock, pairs));
+        }
+
+        let mut oracle = Dimmunix::with_history(Config::default(), history.clone());
+        let shard_counts = [1usize, 2, 3, 8];
+        let mut sharded: Vec<ShardedDimmunix> = shard_counts
+            .iter()
+            .map(|&n| ShardedDimmunix::with_history(Config::default(), n, history.clone()))
+            .collect();
+
+        let mut mode = [ThreadMode::Running; THREADS as usize];
+        // Locks each thread currently holds with their modes (tracked
+        // substrate-side), most recent last; reentrant acquisitions appear
+        // once per level.
+        let mut held: Vec<Vec<(u64, AccessMode)>> = vec![Vec::new(); THREADS as usize];
+
+        // Real-lock availability derived from the substrate-side model:
+        // `mode` is compatible iff no *other* thread holds `lraw` in a
+        // conflicting mode.
+        let compatible = |held: &[Vec<(u64, AccessMode)>], tid: usize, lraw: u64, m: AccessMode| {
+            held.iter().enumerate().all(|(u, hs)| {
+                u == tid
+                    || hs
+                        .iter()
+                        .all(|(l2, m2)| *l2 != lraw || !m.conflicts_with(*m2))
+            })
+        };
+
+        for step in 0..g.range(40, 120) {
+            let tid = g.range(0, THREADS as usize);
+            let t = ThreadId::new(tid as u64);
+            match mode[tid] {
+                ThreadMode::WaitingAcquire(lraw, m) => {
+                    // Complete the acquisition once the lock is compatible.
+                    if compatible(&held, tid, lraw, m) {
+                        let l = LockId::new(lraw);
+                        oracle.acquired(t, l);
+                        for s in &mut sharded {
+                            s.acquired(t, l);
+                        }
+                        held[tid].push((lraw, m));
+                        mode[tid] = ThreadMode::Running;
+                    }
+                }
+                ThreadMode::Parked(_, _) | ThreadMode::Running => {
+                    let retry = matches!(mode[tid], ThreadMode::Parked(_, _));
+                    let release = !retry && !held[tid].is_empty() && g.flip();
+                    if release {
+                        let (lraw, _) = held[tid].pop().unwrap();
+                        let l = LockId::new(lraw);
+                        let oracle_wake = oracle.released(t, l);
+                        for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
+                            let wake = s.released(t, l);
+                            assert_eq!(
+                                wake, oracle_wake,
+                                "seed {seed} step {step}: release wake-ups diverge (shards {n})"
+                            );
+                        }
+                        continue;
+                    }
+                    let (lraw, m) = if retry {
+                        match mode[tid] {
+                            ThreadMode::Parked(lr, pm) => (lr, pm),
+                            _ => unreachable!(),
+                        }
+                    } else {
+                        let lraw = g.range(0, LOCKS as usize) as u64;
+                        // Bias towards shared so reader crowds actually form.
+                        let m = if g.range(0, 8) < 5 {
+                            AccessMode::Shared
+                        } else {
+                            AccessMode::Exclusive
+                        };
+                        (lraw, m)
+                    };
+                    let l = LockId::new(lraw);
+                    let site = universe_site(g.range(0, 6));
+                    let outcome = oracle.request_mode(t, l, &site, m);
+                    for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
+                        let sharded_outcome = s.request_mode(t, l, &site, m);
+                        assert_eq!(
+                            sharded_outcome, outcome,
+                            "seed {seed} step {step}: outcome diverges \
+                             (shards {n}, t{tid}, l{lraw}, {m:?})"
+                        );
+                    }
+                    match outcome {
+                        RequestOutcome::Granted => {
+                            if compatible(&held, tid, lraw, m) {
+                                oracle.acquired(t, l);
+                                for s in &mut sharded {
+                                    s.acquired(t, l);
+                                }
+                                held[tid].push((lraw, m));
+                                mode[tid] = ThreadMode::Running;
+                            } else {
+                                mode[tid] = ThreadMode::WaitingAcquire(lraw, m);
+                            }
+                        }
+                        RequestOutcome::GrantedReentrant => {
+                            // The engine bumps the existing owner entry's
+                            // recursion; mirror its mode, not the requested
+                            // one, so the availability model matches.
+                            let existing = held[tid]
+                                .iter()
+                                .find(|(l2, _)| *l2 == lraw)
+                                .map(|(_, m2)| *m2)
+                                .expect("reentrant grant without a hold");
+                            oracle.acquired(t, l);
+                            for s in &mut sharded {
+                                s.acquired(t, l);
+                            }
+                            held[tid].push((lraw, existing));
+                            mode[tid] = ThreadMode::Running;
+                        }
+                        RequestOutcome::Yield { .. } => {
+                            mode[tid] = ThreadMode::Parked(lraw, m);
+                        }
+                        RequestOutcome::DeadlockDetected { .. } => {
+                            oracle.cancel_request(t, l);
+                            for s in &mut sharded {
+                                s.cancel_request(t, l);
+                            }
+                            mode[tid] = ThreadMode::Running;
+                        }
+                    }
+                    let mut oracle_pending = oracle.take_pending_wakeups();
+                    oracle_pending.sort_unstable_by_key(|s| s.index());
+                    for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
+                        let mut pending = s.take_pending_wakeups();
+                        pending.sort_unstable_by_key(|s| s.index());
+                        assert_eq!(
+                            pending, oracle_pending,
+                            "seed {seed} step {step}: pending wake-ups diverge (shards {n})"
+                        );
+                    }
+                }
+            }
+        }
+
+        for (s, &n) in sharded.iter().zip(&shard_counts) {
+            assert_eq!(
+                s.stats(),
+                *oracle.stats(),
+                "seed {seed}: rolled-up stats diverge (shards {n})"
+            );
+            assert_eq!(s.history().len(), oracle.history().len(), "seed {seed}");
+            for (id, sig) in oracle.history().iter() {
+                assert!(
+                    s.history().get(id).unwrap().same_bug(sig),
+                    "seed {seed}: history diverges at {id} (shards {n})"
+                );
+            }
             for i in 0..s.shard_count() {
                 assert!(
                     std::sync::Arc::ptr_eq(s.history_snapshot(), s.shard(i).history_snapshot()),

@@ -33,7 +33,13 @@ impl Default for EnergyModel {
             // §5: most of the Dimmunix overhead is the call-stack retrieval;
             // the measured CPU overhead is 4-5% of the synchronization cost.
             dimmunix_per_sync: 1.2,
-            platform_baseline: 1.4e7,
+            // Calibrated against the paper's battery-screen figure: over the
+            // Table-1 "intensive usage" window (30 s, all eight apps at
+            // their busiest rate: 3.0e7 cycles + ~2.2e5 syncs ≈ 3.55e7
+            // app energy units), screen/radios/kernel must dominate so that
+            // applications + OS land at ~14% of total draw — the share the
+            // paper reports unchanged with and without Dimmunix.
+            platform_baseline: 2.18e8,
         }
     }
 }
@@ -97,13 +103,24 @@ mod tests {
 
     #[test]
     fn reported_share_is_unchanged_at_percent_granularity() {
+        // The Table-1 "intensive usage" window: 30 simulated seconds of all
+        // eight profiled apps (≈ 7,373 syncs/s in total) on a 1 MHz-cycle
+        // simulated core.
         let m = EnergyModel::default();
-        let cycles = 900_000;
-        let syncs = 45_000;
+        let cycles = 30_000_000;
+        let syncs = 221_190;
         let vanilla = m.report(cycles, syncs, false);
         let with = m.report(cycles, syncs, true);
         assert_eq!(vanilla.app_share_percent(), with.app_share_percent());
-        assert!(vanilla.app_share() > 0.05 && vanilla.app_share() < 0.5);
+        // The paper's battery screen attributes ~14% to applications + OS;
+        // the model must reproduce that share at percent granularity.
+        assert_eq!(vanilla.app_share_percent(), 14);
+        assert_eq!(with.app_share_percent(), 14);
+        assert!(
+            (vanilla.app_share() - 0.14).abs() < 0.01,
+            "vanilla share {:.4} drifted from the paper's 14%",
+            vanilla.app_share()
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ impl<T> ImmuneMonitor<T> {
     /// Creates a monitor protected by the process-global runtime
     /// ([`DimmunixRuntime::global`]) — the drop-in constructor.
     pub fn new(value: T) -> Self {
-        Self::new_in(DimmunixRuntime::global(), value)
+        Self::new_in(&DimmunixRuntime::global(), value)
     }
 
     /// Creates a monitor protected by an explicit runtime (multi-runtime

@@ -54,7 +54,7 @@ impl<T> ImmuneMutex<T> {
     /// Creates an immune mutex protected by the process-global runtime
     /// ([`DimmunixRuntime::global`]) — the drop-in constructor.
     pub fn new(value: T) -> Self {
-        Self::new_in(DimmunixRuntime::global(), value)
+        Self::new_in(&DimmunixRuntime::global(), value)
     }
 
     /// Creates an immune mutex protected by an explicit runtime

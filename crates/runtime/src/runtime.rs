@@ -40,15 +40,15 @@ use crate::site::AcquisitionSite;
 use crate::sync;
 use dimmunix_core::{
     broadcast_signature, fast_path_eligible, holds_mask_with, request_cross_shard,
-    stale_shard_after, stale_shard_consumed, try_request_local, CallStack, Config, Dimmunix,
-    History, HistorySnapshot, LocalDecision, LockId, RecoveryReport, RequestOutcome, ShardRouter,
-    Signature, SignatureId, Stats, ThreadId,
+    stale_shard_after, stale_shard_consumed, try_request_local, AccessMode, CallStack, Config,
+    Dimmunix, History, HistorySnapshot, LocalDecision, LockId, RecoveryReport, RequestOutcome,
+    ShardRouter, Signature, SignatureId, Stats, ThreadId,
 };
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -244,10 +244,12 @@ impl RuntimeBuilder {
     /// default-initialized it. The existing global stays in force.
     pub fn install_global(self) -> Result<Arc<DimmunixRuntime>, GlobalAlreadyInstalled> {
         let rt = self.build();
-        match GLOBAL_RUNTIME.set(Arc::clone(&rt)) {
-            Ok(()) => Ok(rt),
-            Err(_) => Err(GlobalAlreadyInstalled(())),
+        let mut global = sync::lock(&GLOBAL_RUNTIME);
+        if global.is_some() {
+            return Err(GlobalAlreadyInstalled(()));
         }
+        *global = Some(Arc::clone(&rt));
+        Ok(rt)
     }
 }
 
@@ -268,8 +270,10 @@ impl fmt::Display for GlobalAlreadyInstalled {
 
 impl std::error::Error for GlobalAlreadyInstalled {}
 
-/// The process-global runtime backing the implicit constructors.
-static GLOBAL_RUNTIME: OnceLock<Arc<DimmunixRuntime>> = OnceLock::new();
+/// The process-global runtime backing the implicit constructors. Fixed at
+/// first use for the life of the process (a `Mutex<Option>` rather than a
+/// `OnceLock` only so the test-only reset can clear it).
+static GLOBAL_RUNTIME: Mutex<Option<Arc<DimmunixRuntime>>> = Mutex::new(None);
 
 #[derive(Default)]
 struct SignatureGate {
@@ -376,9 +380,25 @@ impl DimmunixRuntime {
     /// VM, so every application automatically runs with it". The implicit
     /// lock constructors (`ImmuneMutex::new(value)`, …) attach here.
     /// Default-initialized on first use; configure it beforehand with
-    /// [`RuntimeBuilder::install_global`].
-    pub fn global() -> &'static Arc<Self> {
-        GLOBAL_RUNTIME.get_or_init(|| RuntimeBuilder::new().build())
+    /// [`RuntimeBuilder::install_global`]. Once initialized it is fixed for
+    /// the life of the process: locks hold `Arc`s into it, so swapping it
+    /// would split the process across two engines.
+    pub fn global() -> Arc<Self> {
+        let mut global = sync::lock(&GLOBAL_RUNTIME);
+        global
+            .get_or_insert_with(|| RuntimeBuilder::new().build())
+            .clone()
+    }
+
+    /// Clears the process-global runtime so a later
+    /// [`RuntimeBuilder::install_global`] succeeds again. **Test-only**:
+    /// locks created before the reset keep their `Arc` to the old runtime
+    /// and keep working against it, but they no longer share an engine with
+    /// locks created afterwards — never call this outside test code.
+    #[cfg(any(test, feature = "test-util"))]
+    #[doc(hidden)]
+    pub fn reset_global_for_tests() {
+        *sync::lock(&GLOBAL_RUNTIME) = None;
     }
 
     /// Creates a runtime with explicit options. If the configuration names
@@ -608,6 +628,33 @@ impl DimmunixRuntime {
     /// Returns [`LockError::WouldDeadlock`] when a deadlock is detected and
     /// the policy is [`DeadlockPolicy::Error`].
     pub fn before_acquire(&self, lock: LockId, site: AcquisitionSite) -> Result<(), LockError> {
+        self.before_acquire_mode(lock, site, AccessMode::Exclusive)
+    }
+
+    /// [`before_acquire`](DimmunixRuntime::before_acquire) for a **shared**
+    /// acquisition (the read side of [`ImmuneRwLock`]): the engine records
+    /// the hold as one owner among possibly many, so every reader of a
+    /// crowd carries its own RAG edge and a blocked writer waits on all of
+    /// them.
+    ///
+    /// [`ImmuneRwLock`]: crate::ImmuneRwLock
+    ///
+    /// # Errors
+    /// Same as [`before_acquire`](DimmunixRuntime::before_acquire).
+    pub fn before_acquire_shared(
+        &self,
+        lock: LockId,
+        site: AcquisitionSite,
+    ) -> Result<(), LockError> {
+        self.before_acquire_mode(lock, site, AccessMode::Shared)
+    }
+
+    fn before_acquire_mode(
+        &self,
+        lock: LockId,
+        site: AcquisitionSite,
+        mode: AccessMode,
+    ) -> Result<(), LockError> {
         let thread = self.route().id;
         let stack: CallStack = site.to_call_stack();
         let home = self.router.shard_of(lock);
@@ -627,7 +674,7 @@ impl DimmunixRuntime {
                 let mut cell = sync::lock(&self.shards[home]);
                 if self.parked.load(Ordering::SeqCst) == 0 {
                     if let LocalDecision::Decided(o) =
-                        try_request_local(&mut cell.engine, thread, lock, &stack)
+                        try_request_local(&mut cell.engine, thread, lock, &stack, mode)
                     {
                         self.sync_parked(&mut cell);
                         outcome = Some(o);
@@ -653,6 +700,7 @@ impl DimmunixRuntime {
                             thread,
                             lock,
                             &stack,
+                            mode,
                             route.stale_shard,
                         )
                     };
@@ -760,20 +808,6 @@ impl DimmunixRuntime {
         self.update_route(|r| {
             r.holds_mask = holds_mask_with(r.holds_mask, home, holds);
         });
-    }
-
-    /// Releases `lock`'s engine-level hold **on behalf of** `holder`, a
-    /// thread other than the caller. Used by [`ImmuneRwLock`]'s reader
-    /// crowd: the engine models the crowd as one hold owned by the first
-    /// reader, and whichever reader leaves last performs the release in the
-    /// holder's name. The holder's cached holds mask is left stale-set,
-    /// which only costs it the shard-local fast path until its next own
-    /// release on that shard.
-    ///
-    /// [`ImmuneRwLock`]: crate::ImmuneRwLock
-    pub(crate) fn before_release_as(&self, holder: ThreadId, lock: LockId) {
-        let home = self.router.shard_of(lock);
-        self.release_in_shard(holder, lock, home);
     }
 
     /// Engine release + gate wake-ups under the home shard's lock; returns

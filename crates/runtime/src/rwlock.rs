@@ -7,44 +7,45 @@
 //! and writer/writer lock inversions develop antibodies exactly like
 //! monitor inversions do.
 //!
-//! ## How readers map onto the engine's single-owner RAG
+//! ## Exact shared-reader semantics
 //!
-//! The paper's RAG models Java monitors: one owner per lock. A reader
-//! *crowd* (several threads holding the read lock at once) is represented
-//! in the engine as **one hold, owned by the first reader in** — the
-//! crowd's representative. Later readers are screened on entry
-//! (`before_acquire`) but then join the crowd without registering a second
-//! hold; whichever reader leaves last releases the engine-level hold in
-//! the representative's name. This keeps the engine's accounting exactly
-//! balanced (one `acquired` and one `released` per crowd) while preserving
-//! what detection needs: a writer blocked behind the crowd has a wait-for
-//! edge to a thread that really is inside the read section.
-//!
-//! The representation is a sound *approximation*: wait-for edges point at
-//! the representative rather than at every reader, so a cycle through a
-//! non-representative reader can be missed until the crowd drains, and a
-//! cycle through the representative may be reported even though another
-//! reader keeps the section alive. Both err on the side the paper accepts
-//! — detection may fire late or conservatively, avoidance still keys on
-//! acquisition sites, and accounting never corrupts.
+//! The engine's RAG carries **multi-owner lock nodes**: every reader of a
+//! crowd registers its own hold (its own acquisition site, `acqPos`, and
+//! acquisition sequence number) through
+//! [`DimmunixRuntime::before_acquire_shared`], and releases it itself when
+//! its guard drops. A writer blocked behind the crowd has a wait-for edge
+//! to **every** current reader, so a cycle through any reader — not just
+//! the first one in — is detected on its first occurrence, and the
+//! signature's template positions come from the reader actually on the
+//! cycle. Conversely, a reader that left the section carries no stale
+//! engine hold, so no cycle can be pinned on it spuriously. Readers
+//! joining an existing crowd conflict with no one: the engine treats
+//! shared/shared as compatible in both detection (no wait-for edge) and
+//! avoidance (crowd-mates are not instantiation blockers).
 //!
 //! Like `std::sync::RwLock`, the lock is not reentrant and acquisitions do
 //! not upgrade: a thread that already holds **any** guard on this lock
-//! (read or write) must not call `read`/`write` again. In particular a
-//! read→write upgrade (`let g = rw.read()?; rw.write()?`) deadlocks the
-//! calling thread exactly as it does with `std::sync::RwLock`, and the
-//! engine cannot rescue it: if the thread is the crowd representative the
-//! write request looks reentrant (screening is skipped), and otherwise the
-//! wait-for edge points at the representative and never closes a cycle.
+//! (read or write) must not call `read`/`write` again. A read→write
+//! upgrade (`let g = rw.read()?; rw.write()?`) deadlocks the calling
+//! thread exactly as it does with `std::sync::RwLock`, and the engine
+//! cannot rescue it: a thread's request against a lock it already owns is
+//! a self-edge the wait-for relation (correctly) ignores.
+//!
+//! One modeling gap remains, shared with the previous design: if the OS
+//! rwlock implements writer preference, a *new* reader can block behind a
+//! waiting writer; the engine does not model that reader→writer wait (it
+//! sees only reader→owner conflicts), so cycles that exist purely because
+//! of writer-preference queuing are handled by the paper's fail-safe
+//! machinery (timeouts/retries at the substrate level), not by detection.
 
 use crate::runtime::{DimmunixRuntime, LockError};
 use crate::site::AcquisitionSite;
 use crate::sync;
-use dimmunix_core::{LockId, ThreadId};
+use dimmunix_core::LockId;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
-use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader–writer lock whose acquisitions are screened by Dimmunix.
 ///
@@ -60,23 +61,14 @@ use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 pub struct ImmuneRwLock<T: ?Sized> {
     runtime: Arc<DimmunixRuntime>,
     lock_id: LockId,
-    /// Reader-crowd accounting: how many read guards are live and which
-    /// thread's name the engine-level hold was registered under.
-    crowd: Mutex<ReaderCrowd>,
     inner: RwLock<T>,
-}
-
-#[derive(Debug, Default)]
-struct ReaderCrowd {
-    readers: usize,
-    representative: Option<ThreadId>,
 }
 
 impl<T> ImmuneRwLock<T> {
     /// Creates an immune reader–writer lock protected by the process-global
     /// runtime ([`DimmunixRuntime::global`]) — the drop-in constructor.
     pub fn new(value: T) -> Self {
-        Self::new_in(DimmunixRuntime::global(), value)
+        Self::new_in(&DimmunixRuntime::global(), value)
     }
 
     /// Creates an immune reader–writer lock protected by an explicit
@@ -85,7 +77,6 @@ impl<T> ImmuneRwLock<T> {
         ImmuneRwLock {
             runtime: runtime.clone(),
             lock_id: runtime.allocate_lock(),
-            crowd: Mutex::new(ReaderCrowd::default()),
             inner: RwLock::new(value),
         }
     }
@@ -106,8 +97,10 @@ impl<T: ?Sized> ImmuneRwLock<T> {
     /// source location (`#[track_caller]`); use
     /// [`read_at`](ImmuneRwLock::read_at) to pin an explicit site.
     ///
-    /// The calling thread may be parked by the avoidance module if acquiring
-    /// here could re-instantiate a known deadlock signature.
+    /// The calling thread registers its **own** engine-level hold (one
+    /// owner among possibly many) and may be parked by the avoidance module
+    /// if acquiring here could re-instantiate a known deadlock signature;
+    /// joining an already-reading crowd is always compatible.
     ///
     /// # Errors
     /// Returns [`LockError::WouldDeadlock`] if the acquisition would complete
@@ -127,24 +120,9 @@ impl<T: ?Sized> ImmuneRwLock<T> {
         &self,
         site: AcquisitionSite,
     ) -> Result<ImmuneRwLockReadGuard<'_, T>, LockError> {
-        self.runtime.before_acquire(self.lock_id, site)?;
+        self.runtime.before_acquire_shared(self.lock_id, site)?;
         let guard = sync::read(&self.inner);
-        // Join the crowd. The crowd mutex serializes engine-level
-        // register/release with other readers, so the acquired/released
-        // pairing stays exact no matter how reads interleave.
-        let mut crowd = sync::lock(&self.crowd);
-        if crowd.readers == 0 {
-            // First reader in: register the crowd's single engine hold in
-            // this thread's name.
-            self.runtime.after_acquire(self.lock_id);
-            crowd.representative = Some(self.runtime.current_thread());
-        } else {
-            // The crowd is already represented; retract the approved
-            // request so no stale edge or queue entry lingers.
-            self.runtime.cancel_acquire(self.lock_id);
-        }
-        crowd.readers += 1;
-        drop(crowd);
+        self.runtime.after_acquire(self.lock_id);
         Ok(ImmuneRwLockReadGuard {
             lock: self,
             guard: Some(guard),
@@ -189,7 +167,9 @@ impl<T: fmt::Debug> fmt::Debug for ImmuneRwLock<T> {
     }
 }
 
-/// RAII guard for shared read access to an [`ImmuneRwLock`].
+/// RAII guard for shared read access to an [`ImmuneRwLock`]; releasing it
+/// notifies Dimmunix (dropping this reader's own engine hold) before the
+/// underlying lock is unlocked.
 pub struct ImmuneRwLockReadGuard<'a, T: ?Sized> {
     lock: &'a ImmuneRwLock<T>,
     guard: Option<RwLockReadGuard<'a, T>>,
@@ -204,18 +184,10 @@ impl<T: ?Sized> Deref for ImmuneRwLockReadGuard<'_, T> {
 
 impl<T: ?Sized> Drop for ImmuneRwLockReadGuard<'_, T> {
     fn drop(&mut self) {
-        let mut crowd = sync::lock(&self.lock.crowd);
-        crowd.readers -= 1;
-        if crowd.readers == 0 {
-            // Last reader out releases the crowd's engine hold in the
-            // representative's name (§4: Release() runs right before the
-            // real lock is released).
-            if let Some(representative) = crowd.representative.take() {
-                self.lock
-                    .runtime
-                    .before_release_as(representative, self.lock.lock_id);
-            }
-        }
+        // §4: Release() runs right before the real lock is released. Each
+        // reader releases exactly the hold it registered; co-readers keep
+        // theirs.
+        self.lock.runtime.before_release(self.lock.lock_id);
         drop(self.guard.take());
     }
 }
@@ -264,6 +236,7 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for ImmuneRwLockWriteGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::mpsc;
     use std::sync::Barrier;
     use std::time::Duration;
 
@@ -287,7 +260,7 @@ mod tests {
     }
 
     #[test]
-    fn readers_run_concurrently() {
+    fn readers_run_concurrently_each_with_their_own_hold() {
         let rt = DimmunixRuntime::new();
         let rw = Arc::new(ImmuneRwLock::new_in(&rt, 0u32));
         const READERS: usize = 4;
@@ -309,10 +282,10 @@ mod tests {
             assert_eq!(h.join().unwrap(), 0);
         }
         let stats = rt.stats();
-        // One engine hold per crowd: fewer engine acquisitions than read
-        // guards is the crowd model working, but every registered
-        // acquisition must be matched by a release.
-        assert_eq!(stats.acquisitions, stats.releases);
+        // Exact multi-owner accounting: one engine acquisition and one
+        // release per reader, not one per crowd.
+        assert_eq!(stats.acquisitions, READERS as u64);
+        assert_eq!(stats.releases, READERS as u64);
         assert_eq!(stats.deadlocks_detected, 0);
     }
 
@@ -336,33 +309,159 @@ mod tests {
     }
 
     #[test]
-    fn crowd_survives_out_of_order_reader_exits() {
-        // The representative (first reader) leaves first; the engine hold
-        // must survive until the *last* reader leaves, and accounting must
-        // balance afterwards.
+    fn out_of_order_reader_exits_balance_exactly() {
+        // The first reader in leaves first; the second reader's own engine
+        // hold must survive, and accounting must balance afterwards. (Under
+        // the old representative protocol the crowd's single hold stayed
+        // registered in the *departed* first reader's name.)
         let rt = DimmunixRuntime::new();
         let rw = Arc::new(ImmuneRwLock::new_in(&rt, ()));
         let first_in = Arc::new(Barrier::new(2));
         let second_in = Arc::new(Barrier::new(2));
 
         let (rw1, fi1, si1) = (rw.clone(), first_in.clone(), second_in.clone());
-        let representative = std::thread::spawn(move || {
+        let first_reader = std::thread::spawn(move || {
             let g = rw1.read().unwrap();
             fi1.wait(); // let the second reader join the crowd
             si1.wait();
-            drop(g); // representative leaves while the crowd lives on
+            drop(g); // first reader leaves while the crowd lives on
         });
         first_in.wait();
         let g = rw.read().unwrap();
         second_in.wait();
-        representative.join().unwrap();
+        first_reader.join().unwrap();
         std::thread::sleep(Duration::from_millis(10));
-        drop(g); // last reader out releases the crowd's engine hold
+        drop(g); // last reader out releases its own hold
         let stats = rt.stats();
         assert_eq!(stats.acquisitions, stats.releases);
         // A fresh writer can still come and go cleanly.
         drop(rw.write().unwrap());
         let stats = rt.stats();
+        assert_eq!(stats.acquisitions, stats.releases);
+    }
+
+    /// Regression (tentpole acceptance): a cycle through a
+    /// **non-first-in** reader is caught at its first occurrence. Under the
+    /// single-owner representative mapping the writer's wait-for edge
+    /// pointed only at the first reader in, so this schedule was a missed
+    /// detection — a genuine hang.
+    #[test]
+    fn cycle_through_non_representative_reader_learns_on_first_occurrence() {
+        let rt = DimmunixRuntime::new(); // DeadlockPolicy::Error
+        let a = Arc::new(ImmuneRwLock::new_in(&rt, 0u32));
+        let b = Arc::new(ImmuneRwLock::new_in(&rt, 0u32));
+
+        // r1 (this thread) is the first reader into `a`; r2 joins the crowd
+        // second (before any writer arrives — std's RwLock may hold new
+        // readers back once a writer waits).
+        let r1_guard = a.read().unwrap();
+        let (r2_in_tx, r2_in_rx) = mpsc::channel::<()>();
+        let (r2_go_tx, r2_go_rx) = mpsc::channel::<()>();
+        let (ra2, rb2) = (a.clone(), b.clone());
+        let r2 = std::thread::spawn(move || {
+            let ga = ra2.read().unwrap();
+            r2_in_tx.send(()).unwrap();
+            r2_go_rx.recv().unwrap();
+            // Closes the cycle r2 -> writer -> r2 through the *second*
+            // reader of `a`'s crowd; must be refused, not hang.
+            let refused = rb2.read();
+            drop(ga);
+            refused.err()
+        });
+        r2_in_rx.recv().unwrap();
+
+        // The writer takes `b`, then blocks writing `a` (two readers hold it).
+        let (writer_has_b_tx, writer_has_b_rx) = mpsc::channel::<()>();
+        let (rw, rb) = (a.clone(), b.clone());
+        let writer = std::thread::spawn(move || {
+            let gb = rb.write().unwrap();
+            writer_has_b_tx.send(()).unwrap();
+            // Blocks on the real rwlock until both readers leave; the engine
+            // request edge (writer -> every reader of `a`) is registered
+            // before the block.
+            let ga = rw.write().unwrap();
+            drop(ga);
+            drop(gb);
+        });
+        writer_has_b_rx.recv().unwrap();
+        // Let the writer actually park inside `a.write()` so its request
+        // edge is in the RAG.
+        std::thread::sleep(Duration::from_millis(80));
+        r2_go_tx.send(()).unwrap();
+
+        let refusal = r2.join().unwrap();
+        assert!(
+            matches!(refusal, Some(LockError::WouldDeadlock { .. })),
+            "the second reader's request must be refused at first occurrence, got {refusal:?}"
+        );
+        drop(r1_guard); // writer can now proceed
+        writer.join().unwrap();
+
+        let stats = rt.stats();
+        assert_eq!(stats.deadlocks_detected, 1, "{stats}");
+        assert_eq!(rt.history().len(), 1, "the antibody must be learned");
+        assert_eq!(stats.acquisitions, stats.releases);
+    }
+
+    /// Regression (tentpole acceptance): the old representative
+    /// false-positive schedule now acquires cleanly. Under the single-owner
+    /// mapping the crowd's hold stayed registered in the first reader's
+    /// name after that reader left, so the departed reader's next request
+    /// could close a cycle against *its own stale hold* — a spurious
+    /// refusal. With per-reader holds the departed reader owns nothing and
+    /// must sail through.
+    #[test]
+    fn departed_first_reader_is_not_refused_spuriously() {
+        let rt = DimmunixRuntime::new();
+        let a = Arc::new(ImmuneRwLock::new_in(&rt, 0u32));
+        let b = Arc::new(ImmuneRwLock::new_in(&rt, 0u32));
+
+        // r1 (this thread) reads `a` first; r2 joins and holds on.
+        let r1_guard = a.read().unwrap();
+        let (r2_in_tx, r2_in_rx) = mpsc::channel::<()>();
+        let (r2_release_tx, r2_release_rx) = mpsc::channel::<()>();
+        let ra2 = a.clone();
+        let r2 = std::thread::spawn(move || {
+            let ga = ra2.read().unwrap();
+            r2_in_tx.send(()).unwrap();
+            r2_release_rx.recv().unwrap();
+            drop(ga);
+        });
+        r2_in_rx.recv().unwrap();
+        // r1 leaves the crowd: its engine hold must vanish with it.
+        drop(r1_guard);
+
+        // A writer takes `b` and blocks writing `a` (r2 still reads it).
+        let (writer_has_b_tx, writer_has_b_rx) = mpsc::channel::<()>();
+        let (rw, rb) = (a.clone(), b.clone());
+        let writer = std::thread::spawn(move || {
+            let gb = rb.write().unwrap();
+            writer_has_b_tx.send(()).unwrap();
+            let ga = rw.write().unwrap();
+            drop(ga);
+            drop(gb);
+        });
+        writer_has_b_rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+
+        // r1 now writes `b`: waits behind the writer, who waits on r2 only.
+        // No cycle exists — the acquisition must succeed once r2 leaves.
+        let rb1 = b.clone();
+        let r1 = std::thread::spawn(move || rb1.write().map(|_| ()));
+        std::thread::sleep(Duration::from_millis(50));
+        r2_release_tx.send(()).unwrap();
+        r2.join().unwrap();
+        writer.join().unwrap();
+        r1.join()
+            .unwrap()
+            .expect("the departed reader must not be refused");
+
+        let stats = rt.stats();
+        assert_eq!(
+            stats.deadlocks_detected, 0,
+            "no cycle exists in this schedule: {stats}"
+        );
+        assert!(rt.history().is_empty(), "no spurious antibody");
         assert_eq!(stats.acquisitions, stats.releases);
     }
 

@@ -1,10 +1,20 @@
 //! Reader–writer workloads under immunity: a tiny "routing table" service.
 //!
 //! Two `ImmuneRwLock`-protected tables are read constantly and occasionally
-//! rewritten by two maintenance threads that take the write locks in
-//! opposite order — a writer/writer lock inversion, the RwLock flavour of
-//! the AB/BA bug. Round 1 detects and records it; round 2 runs the same
-//! code and completes because the antibody steers the writers apart.
+//! rewritten by maintenance threads. Two inversion families are driven to
+//! detection and then replayed immune:
+//!
+//! * **writer/writer** — the two rewriters take the write locks in
+//!   opposite order, the RwLock flavour of the AB/BA bug;
+//! * **reader-involved** — two auditors each hold a *read* lock on one
+//!   table while writing the other (`R(a)→W(b)` vs `R(b)→W(a)`). This
+//!   family needs the engine's multi-owner lock nodes: each reader holds
+//!   its own RAG edge, so the cycle through a reader crowd is caught on
+//!   its **first occurrence** (the old representative mapping saw these
+//!   late or not at all).
+//!
+//! Round 1 of each family detects and records the antibody; round 2 runs
+//! the same code and completes because avoidance steers the threads apart.
 //!
 //! The example also shows the fluent runtime configuration: the global
 //! runtime is installed with `RuntimeBuilder` (a persistent history log in
@@ -37,6 +47,35 @@ fn rewrite_backward(
     std::thread::sleep(Duration::from_millis(50));
     let inb = inbound.read()?;
     out.push(inb.len() as u32);
+    Ok(())
+}
+
+/// Reader-involved inversion, forward direction: audit the inbound table
+/// (shared read) while refreshing the outbound one (exclusive write) —
+/// `R(inbound) → W(outbound)`.
+fn audit_forward(
+    inbound: &Arc<ImmuneRwLock<Vec<u32>>>,
+    outbound: &Arc<ImmuneRwLock<Vec<u32>>>,
+) -> Result<(), LockError> {
+    let inb = inbound.read()?;
+    std::thread::sleep(Duration::from_millis(50));
+    let mut out = outbound.write()?;
+    out.push(inb.len() as u32);
+    Ok(())
+}
+
+/// Reader-involved inversion, backward direction: `R(outbound) →
+/// W(inbound)`. Held against [`audit_forward`] this closes a cycle that
+/// runs *through a reader* — each auditor waits on the other's shared
+/// hold.
+fn audit_backward(
+    inbound: &Arc<ImmuneRwLock<Vec<u32>>>,
+    outbound: &Arc<ImmuneRwLock<Vec<u32>>>,
+) -> Result<(), LockError> {
+    let out = outbound.read()?;
+    std::thread::sleep(Duration::from_millis(50));
+    let mut inb = inbound.write()?;
+    inb.push(out.len() as u32);
     Ok(())
 }
 
@@ -96,6 +135,21 @@ fn run_round() -> (bool, u64) {
     (refusals > 0, lookups)
 }
 
+/// One auditing round: the two opposed read-then-write auditors race on
+/// fresh tables. Returns whether any acquisition was refused.
+fn run_audit_round() -> bool {
+    let inbound = Arc::new(ImmuneRwLock::new(vec![1, 2, 3]));
+    let outbound = Arc::new(ImmuneRwLock::new(vec![4, 5]));
+    let (i1, o1) = (inbound.clone(), outbound.clone());
+    let a1 = std::thread::spawn(move || retry("forward audit", || audit_forward(&i1, &o1)));
+    let (i2, o2) = (inbound, outbound);
+    let a2 = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(15));
+        retry("backward audit", || audit_backward(&i2, &o2))
+    });
+    a1.join().unwrap() + a2.join().unwrap() > 0
+}
+
 fn main() {
     // Configure the global runtime before first use: persistent antibody
     // log, no per-append fsync (this is an example, not a phone).
@@ -135,6 +189,30 @@ fn main() {
         stats.deadlocks_detected - detected_before,
         stats.yields
     );
-    println!("\nThe reader–writer family is covered by the same immunity path.");
+
+    println!("\n== round 3: reader-involved inversion (R(a)->W(b) vs R(b)->W(a)) ==");
+    let signatures_before = runtime.history().len();
+    let refused = run_audit_round();
+    println!(
+        "cycle through a shared reader hold refused at first occurrence: {refused}; \
+         new antibodies: {}",
+        runtime.history().len() - signatures_before
+    );
+
+    println!("\n== round 4: same audits — antibodies active ==");
+    let detected_before = runtime.stats().deadlocks_detected;
+    run_audit_round();
+    let stats = runtime.stats();
+    println!(
+        "both audits completed; new deadlocks this round: {}; avoidance parks so far: {}",
+        stats.deadlocks_detected - detected_before,
+        stats.yields
+    );
+
+    println!(
+        "\nThe reader–writer family is covered exactly: every reader holds its own \
+         RAG edge (multi-owner lock nodes), so reader-involved cycles are caught \
+         on first occurrence and departed readers are never blamed."
+    );
     println!("(antibody log: {})", dir.join("routing.history").display());
 }
