@@ -1,0 +1,118 @@
+//! Async server workload bench: task-keyed immunity at 10k concurrency.
+//!
+//! Runs the simulated request-serving server of the `workloads` crate (the
+//! ISSUE-6 tentpole scenario) in three configurations and reports the
+//! figures the paper's evaluation asks of an immunity substrate:
+//!
+//! * **bare baseline** — plain async mutexes on an inversion-free
+//!   schedule: the raw throughput all overheads are charged against.
+//! * **immune, inversion-free** — the same schedule on immune locks: the
+//!   screening overhead with nothing to avoid.
+//! * **immune, adversarial** — 10 000 tasks on a 4-worker pool with every
+//!   40th request inverting its lock order. A learning run detects the
+//!   task-level cycle on first occurrence; the replay run (seeded with the
+//!   learned history) avoids it — zero refusals, every request served.
+//!
+//! The machine-readable summary lands in `BENCH_async_server.json` at the
+//! repo root: request-latency median/p50/p99, engine acceptance ratio on
+//! the replay, and throughput overhead versus the bare baseline.
+
+use dimmunix_bench::report::{percentiles, write_bench_json, BenchJson};
+use dimmunix_core::Config;
+use workloads::{run_bare_server, run_immune_server, AsyncServerConfig, AsyncServerResult};
+
+fn latency_us(result: &AsyncServerResult) -> Vec<f64> {
+    result
+        .latencies
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e6)
+        .collect()
+}
+
+fn latency_obj(result: &AsyncServerResult) -> BenchJson {
+    let (median, p50, p99) = percentiles(&latency_us(result));
+    BenchJson::new()
+        .num("median", median)
+        .num("p50", p50)
+        .num("p99", p99)
+}
+
+fn main() {
+    let baseline_cfg = AsyncServerConfig::default(); // inversion-free
+    let adversarial_cfg = AsyncServerConfig {
+        invert_every: 40,
+        ..baseline_cfg
+    };
+    println!(
+        "async_server: {} tasks / {} workers / {} resources (inversions every {})",
+        adversarial_cfg.tasks,
+        adversarial_cfg.workers,
+        adversarial_cfg.resources,
+        adversarial_cfg.invert_every
+    );
+
+    // Throughput overhead: identical inversion-free schedules, bare vs
+    // immune locks.
+    let bare = run_bare_server(&baseline_cfg);
+    assert_eq!(bare.stuck, 0, "inversion-free bare schedule must drain");
+    let immune_free = run_immune_server(&baseline_cfg, Config::default(), None);
+    assert_eq!(immune_free.result.stuck, 0);
+    assert_eq!(immune_free.result.refused, 0);
+    let overhead = immune_free.result.elapsed.as_secs_f64() / bare.elapsed.as_secs_f64();
+    println!(
+        "throughput: bare {:.0} req/s  immune {:.0} req/s  overhead {overhead:.2}x",
+        bare.throughput(),
+        immune_free.result.throughput()
+    );
+
+    // Learning run: the adversarial schedule detects the task-level cycle
+    // on its first occurrence; refused requests retry and complete.
+    let learn = run_immune_server(&adversarial_cfg, Config::default(), None);
+    assert_eq!(learn.result.stuck, 0, "learning run must serve everything");
+    assert!(
+        learn.result.refused > 0,
+        "inversions must close a cycle once"
+    );
+    let history = learn.runtime.history();
+    assert!(!history.is_empty(), "the cycle's signature must be learned");
+    println!(
+        "learning run: {} refusals, {} signatures learned",
+        learn.result.refused,
+        history.len()
+    );
+
+    // Replay run: with the learned history the same schedule is avoided —
+    // no refusals, no stuck tasks.
+    let replay = run_immune_server(&adversarial_cfg, Config::default(), Some(history.clone()));
+    assert_eq!(replay.result.stuck, 0, "replay must serve everything");
+    assert_eq!(replay.result.refused, 0, "replay must avoid, not refuse");
+    let stats = replay.runtime.stats();
+    assert_eq!(stats.deadlocks_detected, 0, "replay must avoid the cycle");
+    let accepted = stats.grants + stats.reentrant_grants;
+    let acceptance = accepted as f64 / stats.requests.max(1) as f64;
+    println!(
+        "replay run: acceptance {acceptance:.4} ({} yields), p99 latency {:.0} us",
+        stats.yields,
+        replay.result.latency_percentile(0.99).as_secs_f64() * 1e6
+    );
+
+    let report = BenchJson::new()
+        .str("bench", "async_server")
+        .str("unit", "us_per_request")
+        .int("tasks", adversarial_cfg.tasks as u64)
+        .int("workers", adversarial_cfg.workers as u64)
+        .int("resources", adversarial_cfg.resources as u64)
+        .int("invert_every", adversarial_cfg.invert_every as u64)
+        .num("acceptance_ratio", acceptance)
+        .int("replay_yields", stats.yields)
+        .int("learn_refusals", learn.result.refused)
+        .int("signatures_learned", history.len() as u64)
+        .num("overhead_vs_bare", overhead)
+        .num("bare_throughput_rps", bare.throughput())
+        .num("immune_throughput_rps", immune_free.result.throughput())
+        .obj("bare", latency_obj(&bare))
+        .obj("immune_inversion_free", latency_obj(&immune_free.result))
+        .obj("immune_replay", latency_obj(&replay.result));
+    let path = write_bench_json("async_server", &report).expect("write bench report");
+    println!("report: {}", path.display());
+}

@@ -14,6 +14,7 @@
 //! inflate the reported overhead well past the paper's 4–5%, since history
 //! parsing is charged to no synchronization at all on a real phone.
 
+use dimmunix_bench::report::{percentiles, write_bench_json, BenchJson};
 use workloads::{MicrobenchConfig, MicrobenchHarness, MicrobenchResult};
 
 fn base() -> MicrobenchConfig {
@@ -32,12 +33,23 @@ fn base() -> MicrobenchConfig {
 }
 
 /// Runs `samples` batches after one warm-up and returns the run with the
-/// median synchronized-section time (the harness's internal measurement).
-fn median_run(harness: &MicrobenchHarness, samples: usize) -> MicrobenchResult {
+/// median synchronized-section time (the harness's internal measurement)
+/// plus every sample's batch time in ns, for the percentile report.
+fn median_run(harness: &MicrobenchHarness, samples: usize) -> (MicrobenchResult, Vec<f64>) {
     let _warmup = harness.run();
     let mut runs: Vec<MicrobenchResult> = (0..samples.max(1)).map(|_| harness.run()).collect();
     runs.sort_by_key(|r| r.elapsed);
-    runs[runs.len() / 2]
+    let ns = runs.iter().map(|r| r.elapsed.as_secs_f64() * 1e9).collect();
+    (runs[runs.len() / 2], ns)
+}
+
+/// The percentile block of one variant's batch-time samples.
+fn latency_obj(samples: &[f64]) -> BenchJson {
+    let (median, p50, p99) = percentiles(samples);
+    BenchJson::new()
+        .num("median", median)
+        .num("p50", p50)
+        .num("p99", p99)
 }
 
 fn report(name: &str, result: &MicrobenchResult) {
@@ -52,15 +64,19 @@ fn main() {
     println!("microbenchmark_syncs: one batch = 8 threads x 1600 synchronized sections");
     println!("(median of 5 batches; timed region = barrier start to last worker done)");
     let vanilla_harness = MicrobenchHarness::new(&base());
-    let vanilla = median_run(&vanilla_harness, 5);
+    let (vanilla, vanilla_ns) = median_run(&vanilla_harness, 5);
     report("vanilla", &vanilla);
+    let mut json = BenchJson::new()
+        .str("bench", "microbenchmark")
+        .str("unit", "ns_per_batch")
+        .obj("bare", latency_obj(&vanilla_ns));
     for history in [64usize, 256] {
         let harness = MicrobenchHarness::new(&MicrobenchConfig {
             dimmunix_enabled: true,
             synthetic_signatures: history,
             ..base()
         });
-        let with = median_run(&harness, 5);
+        let (with, with_ns) = median_run(&harness, 5);
         assert_eq!(with.deadlocks, 0);
         assert_eq!(with.yields, 0, "synthetic signatures must never match");
         report(&format!("dimmunix/history{history}"), &with);
@@ -69,5 +85,11 @@ fn main() {
             "    overhead vs vanilla: {:.1}% (paper: 4-5%)",
             overhead * 100.0
         );
+        json = json.obj(
+            &format!("immune_history{history}"),
+            latency_obj(&with_ns).num("overhead_vs_bare", 1.0 + overhead),
+        );
     }
+    let path = write_bench_json("microbenchmark", &json).expect("write bench report");
+    println!("report: {}", path.display());
 }

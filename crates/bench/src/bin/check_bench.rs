@@ -1,0 +1,100 @@
+//! CI gate over the machine-readable bench reports.
+//!
+//! Run after the bench targets have written their `BENCH_*.json` files at
+//! the repo root (`cargo bench -p dimmunix-bench --bench rwlock_contention`
+//! etc.). Exits non-zero when a gated figure regressed:
+//!
+//! * `BENCH_rwlock_contention.json` — the immune-vs-bare rwlock bench must
+//!   keep a perfect acceptance ratio: 1.0 means no spurious park or
+//!   refusal on a deadlock-free workload; anything below is a fail-safe
+//!   regression (the reader-crowd false positives the multi-owner RAG
+//!   exists to prevent).
+//! * `BENCH_async_server.json` — the adversarial replay must avoid the
+//!   learned cycle entirely (zero refusals) and actually exercise
+//!   avoidance (non-zero yields).
+//!
+//! Reports that do not exist yet are an error too: the gate only means
+//! something if the benches actually ran before it.
+
+use dimmunix_bench::report::{read_number, repo_root};
+use std::process::ExitCode;
+
+/// One gated figure: file, field, check, expectation (for the message).
+struct Gate {
+    file: &'static str,
+    field: &'static str,
+    check: fn(f64) -> bool,
+    expect: &'static str,
+}
+
+const GATES: &[Gate] = &[
+    Gate {
+        file: "BENCH_rwlock_contention.json",
+        field: "acceptance_ratio",
+        check: |v| v >= 1.0,
+        expect: ">= 1.0 (no spurious parks/refusals on a deadlock-free rwlock workload)",
+    },
+    Gate {
+        file: "BENCH_rwlock_contention.json",
+        field: "yields",
+        check: |v| v == 0.0,
+        expect: "== 0 (no spurious avoidance parks)",
+    },
+    Gate {
+        file: "BENCH_async_server.json",
+        field: "acceptance_ratio",
+        check: |v| v > 0.0,
+        expect: "> 0 (replay acceptance recorded)",
+    },
+    Gate {
+        file: "BENCH_async_server.json",
+        field: "replay_yields",
+        check: |v| v > 0.0,
+        expect: "> 0 (the replay must exercise avoidance)",
+    },
+    Gate {
+        file: "BENCH_async_server.json",
+        field: "signatures_learned",
+        check: |v| v >= 1.0,
+        expect: ">= 1 (the learning run must record the task-level cycle)",
+    },
+];
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let mut failures = 0u32;
+    for gate in GATES {
+        let path = root.join(gate.file);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {}: unreadable ({e}) — run the bench first", gate.file);
+                failures += 1;
+                continue;
+            }
+        };
+        match read_number(&text, gate.field) {
+            Some(v) if (gate.check)(v) => {
+                println!("ok   {} {} = {v} ({})", gate.file, gate.field, gate.expect);
+            }
+            Some(v) => {
+                eprintln!(
+                    "FAIL {} {} = {v}, expected {}",
+                    gate.file, gate.field, gate.expect
+                );
+                failures += 1;
+            }
+            None => {
+                eprintln!("FAIL {}: field {} missing", gate.file, gate.field);
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!("all bench gates passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures} bench gate(s) failed");
+        ExitCode::FAILURE
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report;
 
 use android_sim::{
     corpus_totals, AppProfile, NotificationScenario, Phone, CYCLES_PER_SECOND,

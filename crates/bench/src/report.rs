@@ -1,0 +1,201 @@
+//! Machine-readable bench reports: `BENCH_<name>.json` at the repo root.
+//!
+//! Every bench target that participates in the regression gate renders its
+//! headline figures — latency percentiles, acceptance ratio, overhead
+//! versus bare locks — through [`BenchJson`] and drops them next to the
+//! workspace `Cargo.toml` via [`write_bench_json`]. The `check_bench`
+//! binary (run as a CI step after the benches) re-reads those files and
+//! fails the build when a gated figure regresses.
+//!
+//! The container this reproduction builds in has no registry access, so
+//! (as with the history codec in `dimmunix-core`) the JSON here is written
+//! and read by a few dozen lines of self-contained code instead of a serde
+//! dependency. The writer emits a flat-ish pretty-printed object; the
+//! reader in [`read_number`] only needs to find a numeric field by key,
+//! which is all the gate consumes.
+
+#![deny(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A JSON value the report writer knows how to render.
+#[derive(Debug, Clone)]
+pub enum JsonField {
+    /// A floating-point number (rendered with enough digits to round-trip).
+    Num(f64),
+    /// An unsigned integer.
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// A nested object.
+    Obj(BenchJson),
+}
+
+/// An insertion-ordered JSON object builder.
+#[derive(Debug, Clone, Default)]
+pub struct BenchJson {
+    fields: Vec<(String, JsonField)>,
+}
+
+impl BenchJson {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a float field. Non-finite values are rendered as `null`.
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), JsonField::Num(value)));
+        self
+    }
+
+    /// Appends an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), JsonField::Int(value)));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_string(), JsonField::Str(value.to_string())));
+        self
+    }
+
+    /// Appends a nested object field.
+    pub fn obj(mut self, key: &str, value: BenchJson) -> Self {
+        self.fields.push((key.to_string(), JsonField::Obj(value)));
+        self
+    }
+
+    /// Renders the object as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        out.push_str("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            let _ = write!(out, "{pad}\"{}\": ", escape(key));
+            match value {
+                JsonField::Num(v) if v.is_finite() => {
+                    let _ = write!(out, "{v}");
+                }
+                JsonField::Num(_) => out.push_str("null"),
+                JsonField::Int(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                JsonField::Str(v) => {
+                    let _ = write!(out, "\"{}\"", escape(v));
+                }
+                JsonField::Obj(v) => v.render_into(out, indent + 1),
+            }
+            if i + 1 < self.fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        let _ = write!(out, "{}}}", "  ".repeat(indent));
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The workspace root (where the `BENCH_*.json` files live), resolved
+/// relative to this crate's manifest so it is correct from any working
+/// directory cargo runs the bench in.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Writes `BENCH_<name>.json` at the repo root and returns its path.
+pub fn write_bench_json(name: &str, report: &BenchJson) -> io::Result<PathBuf> {
+    let path = repo_root().join(format!("BENCH_{name}.json"));
+    fs::write(&path, report.render())?;
+    Ok(path)
+}
+
+/// Median, p50 and p99 over a sample set, in the samples' own unit.
+/// (Median and p50 coincide by definition; both are emitted because the
+/// report schema names them separately.) Empty input yields zeros.
+pub fn percentiles(samples: &[f64]) -> (f64, f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must be finite"));
+    let at = |p: f64| {
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    };
+    (at(0.5), at(0.5), at(0.99))
+}
+
+/// Reads the numeric value of a top-level `"key": <number>` field from a
+/// `BENCH_*.json` file written by [`write_bench_json`]. Only the syntax
+/// that writer produces is understood — sufficient for the CI gate.
+pub fn read_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reads_back() {
+        let report = BenchJson::new()
+            .str("bench", "demo")
+            .num("acceptance_ratio", 1.0)
+            .int("requests", 42)
+            .obj("latency", BenchJson::new().num("p99_us", 12.5));
+        let text = report.render();
+        assert_eq!(read_number(&text, "acceptance_ratio"), Some(1.0));
+        assert_eq!(read_number(&text, "requests"), Some(42.0));
+        assert_eq!(read_number(&text, "p99_us"), Some(12.5));
+        assert_eq!(read_number(&text, "missing"), None);
+    }
+
+    #[test]
+    fn percentiles_pick_median_and_tail() {
+        let samples: Vec<f64> = (0..=100).map(f64::from).collect();
+        let (median, p50, p99) = percentiles(&samples);
+        assert_eq!(median, p50);
+        assert_eq!(median, 50.0);
+        assert_eq!(p99, 99.0);
+        assert_eq!(percentiles(&[]), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let text = BenchJson::new().str("k\"ey", "a\nb\\c").render();
+        assert!(text.contains("\\\"") && text.contains("\\n") && text.contains("\\\\"));
+    }
+}

@@ -3,12 +3,12 @@
 //! §2.2: for a signature with outer call stacks `CS1 … CSn` to be
 //! instantiated, there must exist *distinct* threads `t1 … tn` that hold, or
 //! are allowed by Dimmunix to wait for, locks acquired at those call stacks.
-//! Before approving a request, the engine "pretends" the requesting thread
+//! Before approving a request, the engine "pretends" the requesting owner
 //! already occupies its requesting position and asks whether any history
-//! signature could then be instantiated; if so, the thread must yield.
+//! signature could then be instantiated; if so, the owner must yield.
 //!
 //! The functions in this module are pure with respect to the engine: they
-//! only read the position table (which carries the per-position thread
+//! only read the position table (which carries the per-position owner
 //! queues) and the history, which makes the matching logic easy to unit-test
 //! and property-test in isolation.
 //!
@@ -45,7 +45,7 @@
 use crate::history::History;
 use crate::position::{PositionId, PositionTable};
 use crate::signature::Signature;
-use crate::{SignatureId, ThreadId};
+use crate::{OwnerId, SignatureId};
 
 /// Result of a successful instantiation check: the matched signature and the
 /// *other* threads (blockers) that cover its remaining outer positions.
@@ -54,11 +54,11 @@ pub struct Instantiation {
     /// The signature from the history that could be instantiated.
     pub signature: SignatureId,
     /// Threads other than the requester that cover outer positions.
-    pub blockers: Vec<ThreadId>,
+    pub blockers: Vec<OwnerId>,
 }
 
-/// Checks whether approving `thread` at `position` would make any history
-/// signature instantiable, pretending the thread already occupies that
+/// Checks whether approving `owner` at `position` would make any history
+/// signature instantiable, pretending the owner already occupies that
 /// position. Returns the first matching signature (lowest id — i.e. oldest
 /// antibody) together with the blocking threads.
 ///
@@ -69,11 +69,12 @@ pub struct Instantiation {
 pub fn find_instantiation(
     history: &History,
     positions: &PositionTable,
-    thread: ThreadId,
+    owner: impl Into<OwnerId>,
     position: PositionId,
 ) -> Option<Instantiation> {
+    let owner = owner.into();
     for (id, sig) in history.iter() {
-        if let Some(blockers) = signature_instantiable(sig, positions, thread, position) {
+        if let Some(blockers) = signature_instantiable(sig, positions, owner, position) {
             return Some(Instantiation {
                 signature: id,
                 blockers,
@@ -169,12 +170,13 @@ impl SignatureIndex {
     pub fn find_instantiation(
         &self,
         positions: &PositionTable,
-        thread: ThreadId,
+        owner: impl Into<OwnerId>,
         position: PositionId,
     ) -> Option<Instantiation> {
+        let owner = owner.into();
         for &sig in self.signatures_at(position) {
             let outer = self.outer_positions_of(sig);
-            if let Some(blockers) = instantiable_at(outer, positions, thread, position) {
+            if let Some(blockers) = instantiable_at(outer, positions, owner, position) {
                 return Some(Instantiation {
                     signature: sig,
                     blockers,
@@ -200,10 +202,10 @@ impl SignatureIndex {
 }
 
 /// Checks a single signature. Returns the blockers (distinct threads other
-/// than `thread` covering the remaining outer positions) if instantiation is
+/// than `owner` covering the remaining outer positions) if instantiation is
 /// possible, `None` otherwise.
 ///
-/// The requester's pretended `(thread, position)` must itself be part of the
+/// The requester's pretended `(owner, position)` must itself be part of the
 /// instantiation: the request is only held back when *this* acquisition is
 /// the one that would complete the pattern. Pre-existing instantiations that
 /// do not involve the requester (e.g. the deadlocked threads of the very
@@ -212,11 +214,12 @@ impl SignatureIndex {
 pub fn signature_instantiable(
     sig: &Signature,
     positions: &PositionTable,
-    thread: ThreadId,
+    owner: impl Into<OwnerId>,
     position: PositionId,
-) -> Option<Vec<ThreadId>> {
+) -> Option<Vec<OwnerId>> {
+    let owner = owner.into();
     // Resolve each outer stack to an interned position. If an outer stack was
-    // never interned, no thread can possibly occupy it, so the signature
+    // never interned, no owner can possibly occupy it, so the signature
     // cannot be instantiated at all.
     let mut outer_positions = Vec::with_capacity(sig.arity());
     for outer in sig.outer_stacks() {
@@ -225,7 +228,7 @@ pub fn signature_instantiable(
             None => return None,
         }
     }
-    instantiable_at(&outer_positions, positions, thread, position)
+    instantiable_at(&outer_positions, positions, owner, position)
 }
 
 /// Core of the instantiation check, on already-resolved outer positions:
@@ -234,9 +237,9 @@ pub fn signature_instantiable(
 fn instantiable_at(
     outer_positions: &[PositionId],
     positions: &PositionTable,
-    thread: ThreadId,
+    owner: OwnerId,
     position: PositionId,
-) -> Option<Vec<ThreadId>> {
+) -> Option<Vec<OwnerId>> {
     // The requesting position must occur among the signature's outer
     // positions, otherwise this acquisition cannot complete an instantiation.
     if !outer_positions.contains(&position) {
@@ -246,17 +249,17 @@ fn instantiable_at(
     // Candidate threads per outer position: the threads in that position's
     // queue (they hold or were allowed to acquire locks there). The
     // requester's own slot is pre-assigned below.
-    let candidates: Vec<Vec<ThreadId>> = outer_positions
+    let candidates: Vec<Vec<OwnerId>> = outer_positions
         .iter()
         .map(|pid| {
             positions
                 .get(*pid)
-                .map(|p| p.queue().distinct_threads())
+                .map(|p| p.queue().distinct_owners())
                 .unwrap_or_default()
         })
         .collect();
 
-    instantiable_with_candidates(outer_positions, &candidates, thread, position)
+    instantiable_with_candidates(outer_positions, &candidates, owner, position)
 }
 
 /// Instantiation search on pre-computed per-slot candidate threads.
@@ -270,23 +273,19 @@ fn instantiable_at(
 /// the remaining slots — identical to the monolithic engine's.
 pub(crate) fn instantiable_with_candidates(
     outer_positions: &[PositionId],
-    candidates: &[Vec<ThreadId>],
-    thread: ThreadId,
+    candidates: &[Vec<OwnerId>],
+    owner: OwnerId,
     position: PositionId,
-) -> Option<Vec<ThreadId>> {
-    // Signatures involve two or three threads in practice, so the
-    // backtracking is cheap.
+) -> Option<Vec<OwnerId>> {
     for (slot, pid) in outer_positions.iter().enumerate() {
         if *pid != position {
             continue;
         }
-        let mut assignment: Vec<Option<ThreadId>> = vec![None; candidates.len()];
-        assignment[slot] = Some(thread);
-        if assign(candidates, 0, &mut assignment) {
-            let mut blockers: Vec<ThreadId> = assignment
+        if let Some(assignment) = assign(candidates, owner, slot) {
+            let mut blockers: Vec<OwnerId> = assignment
                 .into_iter()
                 .flatten()
-                .filter(|x| *x != thread)
+                .filter(|x| *x != owner)
                 .collect();
             blockers.sort_unstable();
             blockers.dedup();
@@ -296,27 +295,88 @@ pub(crate) fn instantiable_with_candidates(
     None
 }
 
+/// Finds an injective assignment of distinct owners to every slot, with the
+/// requester `owner` pre-assigned to slot `pre_slot`, or `None` if no such
+/// assignment exists.
+///
+/// This is bipartite maximum matching (Kuhn's augmenting-path algorithm),
+/// polynomial in slots × candidate-list entries. Naive backtracking is
+/// factorial precisely on *failing* searches — a high-arity starvation
+/// signature with one uncoverable slot would make every avoidance check at
+/// a popular position explore every permutation of its candidate crowd
+/// before concluding "no instantiation".
 fn assign(
-    candidates: &[Vec<ThreadId>],
-    idx: usize,
-    assignment: &mut Vec<Option<ThreadId>>,
-) -> bool {
-    if idx == candidates.len() {
-        return true;
-    }
-    if assignment[idx].is_some() {
-        // Slot pre-assigned (the requester's pretended position).
-        return assign(candidates, idx + 1, assignment);
-    }
-    for &cand in &candidates[idx] {
-        if assignment.contains(&Some(cand)) {
+    candidates: &[Vec<OwnerId>],
+    owner: OwnerId,
+    pre_slot: usize,
+) -> Option<Vec<Option<OwnerId>>> {
+    // Index the candidate owners; the requester is excluded outright (it
+    // is fixed to `pre_slot` and cannot cover another slot).
+    let mut owners: Vec<OwnerId> = candidates
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|c| *c != owner)
+        .collect();
+    owners.sort_unstable();
+    owners.dedup();
+    // matched_slot[k]: the slot owner k currently covers, if any.
+    let mut matched_slot: Vec<Option<usize>> = vec![None; owners.len()];
+    for slot in 0..candidates.len() {
+        if slot == pre_slot {
             continue;
         }
-        assignment[idx] = Some(cand);
-        if assign(candidates, idx + 1, assignment) {
+        let mut visited = vec![false; owners.len()];
+        if !augment(
+            candidates,
+            &owners,
+            slot,
+            pre_slot,
+            &mut visited,
+            &mut matched_slot,
+        ) {
+            return None;
+        }
+    }
+    let mut assignment: Vec<Option<OwnerId>> = vec![None; candidates.len()];
+    assignment[pre_slot] = Some(owner);
+    for (k, slot) in matched_slot.into_iter().enumerate() {
+        if let Some(slot) = slot {
+            assignment[slot] = Some(owners[k]);
+        }
+    }
+    Some(assignment)
+}
+
+/// Tries to cover `slot` with one of its candidates, re-routing owners
+/// already matched elsewhere along an augmenting path.
+fn augment(
+    candidates: &[Vec<OwnerId>],
+    owners: &[OwnerId],
+    slot: usize,
+    pre_slot: usize,
+    visited: &mut [bool],
+    matched_slot: &mut [Option<usize>],
+) -> bool {
+    for cand in &candidates[slot] {
+        let Ok(k) = owners.binary_search(cand) else {
+            continue; // the requester, excluded from the owner index
+        };
+        if visited[k] {
+            continue;
+        }
+        visited[k] = true;
+        let free = match matched_slot[k] {
+            None => true,
+            Some(other) => {
+                other != pre_slot
+                    && augment(candidates, owners, other, pre_slot, visited, matched_slot)
+            }
+        };
+        if free {
+            matched_slot[k] = Some(slot);
             return true;
         }
-        assignment[idx] = None;
     }
     false
 }
@@ -329,6 +389,10 @@ mod tests {
 
     fn stack(tag: u32) -> CallStack {
         CallStack::single(Frame::new(format!("m{tag}"), "f.rs", tag))
+    }
+
+    fn owner(i: u64) -> OwnerId {
+        OwnerId::thread(i)
     }
 
     fn two_pos_signature(a: u32, b: u32) -> Signature {
@@ -354,7 +418,7 @@ mod tests {
     fn empty_queues_mean_no_instantiation() {
         let (history, positions) = setup();
         let p1 = positions.lookup(&stack(1)).unwrap();
-        assert!(find_instantiation(&history, &positions, ThreadId::new(1), p1).is_none());
+        assert!(find_instantiation(&history, &positions, owner(1), p1).is_none());
     }
 
     #[test]
@@ -363,15 +427,11 @@ mod tests {
         let p1 = positions.lookup(&stack(1)).unwrap();
         let p2 = positions.lookup(&stack(2)).unwrap();
         // Thread 7 holds a lock acquired at position 1.
-        positions
-            .get_mut(p1)
-            .unwrap()
-            .queue_mut()
-            .push(ThreadId::new(7));
+        positions.get_mut(p1).unwrap().queue_mut().push(owner(7));
         // Thread 8 now requests at position 2: instantiation possible.
-        let inst = find_instantiation(&history, &positions, ThreadId::new(8), p2).expect("match");
+        let inst = find_instantiation(&history, &positions, owner(8), p2).expect("match");
         assert_eq!(inst.signature, SignatureId::new(0));
-        assert_eq!(inst.blockers, vec![ThreadId::new(7)]);
+        assert_eq!(inst.blockers, vec![owner(7)]);
     }
 
     #[test]
@@ -381,16 +441,12 @@ mod tests {
         let p2 = positions.lookup(&stack(2)).unwrap();
         // Thread 7 already occupies position 1 and now requests position 2:
         // instantiation needs two distinct threads, so this must not match.
-        positions
-            .get_mut(p1)
-            .unwrap()
-            .queue_mut()
-            .push(ThreadId::new(7));
-        assert!(find_instantiation(&history, &positions, ThreadId::new(7), p2).is_none());
+        positions.get_mut(p1).unwrap().queue_mut().push(owner(7));
+        assert!(find_instantiation(&history, &positions, owner(7), p2).is_none());
     }
 
     #[test]
-    fn duplicate_outer_positions_require_two_distinct_threads() {
+    fn duplicate_outer_positions_require_two_distinct_owners() {
         let mut history = History::new();
         // Both deadlocked threads acquired their lock at the same location
         // (self-deadlock pattern through a shared helper).
@@ -404,15 +460,11 @@ mod tests {
         let mut positions = PositionTable::new(1);
         let p5 = positions.intern(&stack(5));
         // Only the requester occupies p5 -> not instantiable.
-        assert!(find_instantiation(&history, &positions, ThreadId::new(1), p5).is_none());
-        // A second, distinct thread occupies p5 -> instantiable.
-        positions
-            .get_mut(p5)
-            .unwrap()
-            .queue_mut()
-            .push(ThreadId::new(2));
-        let inst = find_instantiation(&history, &positions, ThreadId::new(1), p5).expect("match");
-        assert_eq!(inst.blockers, vec![ThreadId::new(2)]);
+        assert!(find_instantiation(&history, &positions, owner(1), p5).is_none());
+        // A second, distinct owner occupies p5 -> instantiable.
+        positions.get_mut(p5).unwrap().queue_mut().push(owner(2));
+        let inst = find_instantiation(&history, &positions, owner(1), p5).expect("match");
+        assert_eq!(inst.blockers, vec![owner(2)]);
     }
 
     #[test]
@@ -421,7 +473,7 @@ mod tests {
         // Add a signature whose outer stacks were never interned.
         history.add(two_pos_signature(50, 51));
         let p1 = positions.lookup(&stack(1)).unwrap();
-        assert!(find_instantiation(&history, &positions, ThreadId::new(3), p1).is_none());
+        assert!(find_instantiation(&history, &positions, owner(3), p1).is_none());
     }
 
     #[test]
@@ -433,18 +485,10 @@ mod tests {
         let p1 = positions.intern(&stack(1));
         let p2 = positions.intern(&stack(2));
         let p3 = positions.intern(&stack(3));
-        positions
-            .get_mut(p2)
-            .unwrap()
-            .queue_mut()
-            .push(ThreadId::new(9));
-        positions
-            .get_mut(p3)
-            .unwrap()
-            .queue_mut()
-            .push(ThreadId::new(9));
+        positions.get_mut(p2).unwrap().queue_mut().push(owner(9));
+        positions.get_mut(p3).unwrap().queue_mut().push(owner(9));
         let _ = p1;
-        let inst = find_instantiation(&history, &positions, ThreadId::new(4), p1).expect("match");
+        let inst = find_instantiation(&history, &positions, owner(4), p1).expect("match");
         assert_eq!(inst.signature, SignatureId::new(0));
     }
 
@@ -467,20 +511,16 @@ mod tests {
         let p2 = positions.lookup(&stack(2)).unwrap();
         // Empty queues: both report no instantiation.
         for (t, p) in [(1u64, p1), (2, p2)] {
-            let thread = ThreadId::new(t);
+            let owner = owner(t);
             assert_eq!(
-                idx.find_instantiation(&positions, thread, p),
-                find_instantiation(&history, &positions, thread, p)
+                idx.find_instantiation(&positions, owner, p),
+                find_instantiation(&history, &positions, owner, p)
             );
         }
         // Occupied queue: both report the same signature and blockers.
-        positions
-            .get_mut(p1)
-            .unwrap()
-            .queue_mut()
-            .push(ThreadId::new(7));
-        let linear = find_instantiation(&history, &positions, ThreadId::new(8), p2);
-        let indexed = idx.find_instantiation(&positions, ThreadId::new(8), p2);
+        positions.get_mut(p1).unwrap().queue_mut().push(owner(7));
+        let linear = find_instantiation(&history, &positions, owner(8), p2);
+        let indexed = idx.find_instantiation(&positions, owner(8), p2);
         assert!(linear.is_some());
         assert_eq!(indexed, linear);
     }
@@ -518,19 +558,15 @@ mod tests {
             &[SignatureId::new(0), SignatureId::new(1)]
         );
         for (p, t) in [(p2, 9u64), (p3, 9)] {
-            positions
-                .get_mut(p)
-                .unwrap()
-                .queue_mut()
-                .push(ThreadId::new(t));
+            positions.get_mut(p).unwrap().queue_mut().push(owner(t));
         }
         let inst = idx
-            .find_instantiation(&positions, ThreadId::new(4), p1)
+            .find_instantiation(&positions, owner(4), p1)
             .expect("match");
         assert_eq!(inst.signature, SignatureId::new(0));
         assert_eq!(
             Some(inst),
-            find_instantiation(&history, &positions, ThreadId::new(4), p1)
+            find_instantiation(&history, &positions, owner(4), p1)
         );
     }
 
@@ -563,20 +599,12 @@ mod tests {
         let p1 = positions.intern(&stack(1));
         let p2 = positions.intern(&stack(2));
         let p3 = positions.intern(&stack(3));
-        positions
-            .get_mut(p1)
-            .unwrap()
-            .queue_mut()
-            .push(ThreadId::new(11));
-        positions
-            .get_mut(p2)
-            .unwrap()
-            .queue_mut()
-            .push(ThreadId::new(12));
+        positions.get_mut(p1).unwrap().queue_mut().push(owner(11));
+        positions.get_mut(p2).unwrap().queue_mut().push(owner(12));
         // Only two of three covered -> no instantiation.
-        assert!(find_instantiation(&history, &positions, ThreadId::new(11), p1).is_none());
+        assert!(find_instantiation(&history, &positions, owner(11), p1).is_none());
         // Third position covered by the requester -> instantiation.
-        let inst = find_instantiation(&history, &positions, ThreadId::new(13), p3).expect("match");
-        assert_eq!(inst.blockers, vec![ThreadId::new(11), ThreadId::new(12)]);
+        let inst = find_instantiation(&history, &positions, owner(13), p3).expect("match");
+        assert_eq!(inst.blockers, vec![owner(11), owner(12)]);
     }
 }

@@ -10,13 +10,13 @@
 use crate::position::{PositionId, PositionTable};
 use crate::rag::{CycleStep, Rag, WaitEdge};
 use crate::signature::{Signature, SignatureKind, SignaturePair};
-use crate::ThreadId;
+use crate::OwnerId;
 
 /// Classification of a detected wait-for cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectedCycle {
     /// The threads participating in the cycle, in wait order.
-    pub threads: Vec<ThreadId>,
+    pub owners: Vec<OwnerId>,
     /// True if at least one participant is parked by the avoidance module, in
     /// which case the cycle is an avoidance-induced deadlock (starvation)
     /// rather than a genuine program deadlock.
@@ -28,7 +28,7 @@ pub struct DetectedCycle {
 /// Builds a [`DetectedCycle`] from the steps returned by
 /// [`Rag::find_cycle_from`].
 ///
-/// For every step `i`, `steps[i].thread` waits on `steps[(i + 1) % n].thread`
+/// For every step `i`, `steps[i].owner` waits on `steps[(i + 1) % n].owner`
 /// through `steps[i].edge`. The waited-on thread's *outer* stack is **its
 /// own** acquisition position of the lock on that edge — with multi-owner
 /// lock nodes the waited-on thread is one owner among possibly several (a
@@ -40,10 +40,10 @@ pub fn classify_cycle(rag: &Rag, positions: &PositionTable, steps: &[CycleStep])
     let n = steps.len();
     let mut pairs = Vec::with_capacity(n);
     let mut involves_yield = false;
-    let threads: Vec<ThreadId> = steps.iter().map(|s| s.thread).collect();
+    let owners: Vec<OwnerId> = steps.iter().map(|s| s.owner).collect();
 
     for i in 0..n {
-        let waited_on = steps[(i + 1) % n].thread;
+        let waited_on = steps[(i + 1) % n].owner;
         // Inner stack: the waited-on thread's own pending request (every
         // participant of a cycle has one, whether blocked or parked).
         let inner_pos = rag
@@ -83,7 +83,7 @@ pub fn classify_cycle(rag: &Rag, positions: &PositionTable, steps: &[CycleStep])
         SignatureKind::Deadlock
     };
     DetectedCycle {
-        threads,
+        owners,
         involves_yield,
         signature: Signature::new(kind, pairs),
     }
@@ -94,7 +94,7 @@ pub fn classify_cycle(rag: &Rag, positions: &PositionTable, steps: &[CycleStep])
 pub(crate) fn last_history_hold(
     rag: &Rag,
     positions: &PositionTable,
-    t: ThreadId,
+    t: OwnerId,
 ) -> Option<PositionId> {
     rag.held_locks(t)
         .iter()
@@ -110,8 +110,8 @@ mod tests {
     use crate::rag::YieldRecord;
     use crate::{LockId, SignatureId};
 
-    fn t(i: u64) -> ThreadId {
-        ThreadId::new(i)
+    fn t(i: u64) -> OwnerId {
+        OwnerId::thread(i)
     }
     fn l(i: u64) -> LockId {
         LockId::new(i)
@@ -189,7 +189,7 @@ mod tests {
         let detected = classify_cycle(&rag, &positions, &steps);
         assert!(detected.involves_yield);
         assert_eq!(detected.signature.kind(), SignatureKind::Starvation);
-        assert_eq!(detected.threads.len(), 2);
+        assert_eq!(detected.owners.len(), 2);
     }
 
     #[test]
@@ -207,6 +207,6 @@ mod tests {
         let steps = rag.find_cycle_from(t(3), false).expect("cycle");
         let detected = classify_cycle(&rag, &positions, &steps);
         assert_eq!(detected.signature.arity(), 3);
-        assert_eq!(detected.threads.len(), 3);
+        assert_eq!(detected.owners.len(), 3);
     }
 }

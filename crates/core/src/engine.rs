@@ -27,7 +27,7 @@ use crate::rag::{AccessMode, Rag, YieldRecord};
 use crate::signature::{Signature, SignatureKind, SignaturePair};
 use crate::snapshot::HistorySnapshot;
 use crate::stats::Stats;
-use crate::{LockId, LogicalTime, SignatureId, ThreadId};
+use crate::{LockId, LogicalTime, OwnerId, SignatureId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -54,8 +54,8 @@ pub enum RequestOutcome {
         signature: SignatureId,
         /// True if this is the first time the bug is observed.
         new_signature: bool,
-        /// The threads participating in the cycle.
-        threads: Vec<ThreadId>,
+        /// The owners (threads or tasks) participating in the cycle.
+        owners: Vec<OwnerId>,
     },
 }
 
@@ -72,10 +72,10 @@ impl RequestOutcome {
 /// A per-process Dimmunix instance.
 ///
 /// ```
-/// use dimmunix_core::{CallStack, Config, Dimmunix, Frame, LockId, ThreadId};
+/// use dimmunix_core::{CallStack, Config, Dimmunix, Frame, LockId, OwnerId};
 ///
 /// let mut dimmunix = Dimmunix::new(Config::default());
-/// let t = ThreadId::new(1);
+/// let t = OwnerId::thread(1);
 /// let l = LockId::new(1);
 /// let site = CallStack::single(Frame::new("worker", "app.rs", 42));
 /// let outcome = dimmunix.request(t, l, &site);
@@ -291,19 +291,20 @@ impl Dimmunix {
     // Registration
     // ------------------------------------------------------------------
 
-    /// Registers a thread (the analogue of `initNode` on Dalvik's
-    /// `allocThread`, §4). Idempotent.
-    pub fn register_thread(&mut self, t: ThreadId) {
-        self.rag.register_thread(t);
+    /// Registers an owner — an OS thread or an async task (the analogue of
+    /// `initNode` on Dalvik's `allocThread`, §4). Idempotent.
+    pub fn register_owner(&mut self, t: impl Into<OwnerId>) {
+        self.rag.register_owner(t.into());
     }
 
-    /// Unregisters a terminated thread: any monitors it still owned are
+    /// Unregisters a terminated owner: any monitors it still owned are
     /// force-released and the corresponding position-queue entries removed.
-    /// Returns the signatures whose parked threads should be woken as a
+    /// Returns the signatures whose parked owners should be woken as a
     /// result of those releases.
-    pub fn unregister_thread(&mut self, t: ThreadId) -> Vec<SignatureId> {
+    pub fn unregister_owner(&mut self, t: impl Into<OwnerId>) -> Vec<SignatureId> {
+        let t = t.into();
         self.rag.clear_yield(t);
-        let held = self.rag.unregister_thread(t);
+        let held = self.rag.unregister_owner(t);
         let mut wake = Vec::new();
         for entry in held {
             if let Some(p) = self.positions.get_mut(entry.pos) {
@@ -369,7 +370,12 @@ impl Dimmunix {
     /// [`request_at_mode`] for the behaviour.
     ///
     /// [`request_at_mode`]: Dimmunix::request_at_mode
-    pub fn request(&mut self, t: ThreadId, l: LockId, stack: &CallStack) -> RequestOutcome {
+    pub fn request(
+        &mut self,
+        t: impl Into<OwnerId>,
+        l: LockId,
+        stack: &CallStack,
+    ) -> RequestOutcome {
         self.request_mode(t, l, stack, AccessMode::Exclusive)
     }
 
@@ -378,7 +384,7 @@ impl Dimmunix {
     /// acquiring call stack.
     pub fn request_mode(
         &mut self,
-        t: ThreadId,
+        t: impl Into<OwnerId>,
         l: LockId,
         stack: &CallStack,
         mode: AccessMode,
@@ -389,7 +395,12 @@ impl Dimmunix {
 
     /// [`request_at_mode`](Dimmunix::request_at_mode) with
     /// [`AccessMode::Exclusive`] — the monitor/mutex hook.
-    pub fn request_at(&mut self, t: ThreadId, l: LockId, pos: PositionId) -> RequestOutcome {
+    pub fn request_at(
+        &mut self,
+        t: impl Into<OwnerId>,
+        l: LockId,
+        pos: PositionId,
+    ) -> RequestOutcome {
         self.request_at_mode(t, l, pos, AccessMode::Exclusive)
     }
 
@@ -411,11 +422,12 @@ impl Dimmunix {
     /// [`released`]: Dimmunix::released
     pub fn request_at_mode(
         &mut self,
-        t: ThreadId,
+        t: impl Into<OwnerId>,
         l: LockId,
         pos: PositionId,
         mode: AccessMode,
     ) -> RequestOutcome {
+        let t = t.into();
         self.clock = self.clock.next();
         self.stats.requests += 1;
         self.events.push(
@@ -429,7 +441,7 @@ impl Dimmunix {
 
         if self.config.is_disabled() {
             self.stats.grants += 1;
-            self.rag.register_thread(t);
+            self.rag.register_owner(t);
             self.rag.register_lock(l);
             self.rag.set_pending_grant(t, l, pos, mode);
             return RequestOutcome::Granted;
@@ -473,7 +485,7 @@ impl Dimmunix {
                     );
                     // Resume every parked participant (§2.2): clear its yield
                     // and schedule a wake-up of its signature.
-                    for th in &detected.threads {
+                    for th in &detected.owners {
                         if let Some(y) = self.rag.clear_yield(*th) {
                             self.pending_wakeups.push(y.signature);
                             self.stats.wakeups += 1;
@@ -503,7 +515,7 @@ impl Dimmunix {
                     return RequestOutcome::DeadlockDetected {
                         signature: sig_id,
                         new_signature: new,
-                        threads: detected.threads,
+                        owners: detected.owners,
                     };
                 }
             }
@@ -585,7 +597,7 @@ impl Dimmunix {
     }
 
     /// Called right after the monitor acquisition succeeded.
-    pub fn acquired(&mut self, t: ThreadId, l: LockId) {
+    pub fn acquired(&mut self, t: impl Into<OwnerId>, l: LockId) {
         let seq = self.rag.next_acquire_seq();
         self.acquired_with_seq(t, l, seq);
     }
@@ -594,13 +606,19 @@ impl Dimmunix {
     /// number, used by the sharded engine to stamp holds distributed over
     /// several shards from one global counter (see
     /// [`Rag::acquire_with_seq`]).
-    pub fn acquired_with_seq(&mut self, t: ThreadId, l: LockId, seq: u64) {
+    pub fn acquired_with_seq(&mut self, t: impl Into<OwnerId>, l: LockId, seq: u64) {
+        let t = t.into();
         self.clock = self.clock.next();
         self.stats.acquisitions += 1;
         if self.config.is_disabled() {
             return;
         }
         if self.rag.owns(l, t) {
+            // Recursive re-entry: counted as an acquisition above, but its
+            // matching exit never reaches `releases` (the RAG just decrements
+            // the recursion depth), so track it for the balance identity
+            // `acquisitions - nested_reentries == releases` at quiescence.
+            self.stats.nested_reentries += 1;
             self.rag.acquire_recursive(t, l);
             self.events
                 .push(self.clock, EventKind::Acquired { thread: t, lock: l });
@@ -634,7 +652,7 @@ impl Dimmunix {
     /// Allocates the returned vector; hot callers should prefer
     /// [`released_into`](Dimmunix::released_into) with a reused scratch
     /// buffer.
-    pub fn released(&mut self, t: ThreadId, l: LockId) -> Vec<SignatureId> {
+    pub fn released(&mut self, t: impl Into<OwnerId>, l: LockId) -> Vec<SignatureId> {
         let mut wake = Vec::new();
         self.released_into(t, l, &mut wake);
         wake
@@ -645,7 +663,8 @@ impl Dimmunix {
     /// woken. Substrates keep one scratch buffer per engine (or per shard)
     /// so steady-state releases of in-history positions perform no
     /// allocation (the §4 release path runs on every monitor exit).
-    pub fn released_into(&mut self, t: ThreadId, l: LockId, wake: &mut Vec<SignatureId>) {
+    pub fn released_into(&mut self, t: impl Into<OwnerId>, l: LockId, wake: &mut Vec<SignatureId>) {
+        let t = t.into();
         wake.clear();
         self.clock = self.clock.next();
         if self.config.is_disabled() {
@@ -660,6 +679,17 @@ impl Dimmunix {
             return;
         };
         self.stats.releases += 1;
+        // Reentrant balance identity: every top-level acquisition is matched
+        // by at most one counted release (nested exits return `None` above),
+        // so the outstanding-hold balance can never go negative. Holds
+        // force-released by `unregister_owner` keep it positive.
+        debug_assert!(
+            self.stats.reentrant_balance() >= 0,
+            "reentrant balance violated: {} acquisitions - {} re-entries < {} releases",
+            self.stats.acquisitions,
+            self.stats.nested_reentries,
+            self.stats.releases
+        );
         if let Some(p) = self.positions.get_mut(pos) {
             p.queue_mut().remove_one(t);
         }
@@ -676,7 +706,8 @@ impl Dimmunix {
     /// Abandons a granted-but-never-completed acquisition (e.g. the substrate
     /// timed out or the thread was interrupted between `request` and
     /// `acquired`). Reverses the queue entry created by the grant.
-    pub fn cancel_request(&mut self, t: ThreadId, l: LockId) {
+    pub fn cancel_request(&mut self, t: impl Into<OwnerId>, l: LockId) {
+        let t = t.into();
         self.clock = self.clock.next();
         self.rag.clear_yield(t);
         if let Some((granted_lock, pos, mode)) = self.rag.take_pending_grant(t) {
@@ -838,9 +869,9 @@ impl Dimmunix {
 
     /// True if parking `t` (with the given blockers) would close a wait-for
     /// cycle, i.e. some blocker transitively waits on `t`.
-    fn would_starve(&self, t: ThreadId, blockers: &[ThreadId]) -> bool {
-        let mut stack: Vec<ThreadId> = blockers.to_vec();
-        let mut visited: Vec<ThreadId> = Vec::new();
+    fn would_starve(&self, t: OwnerId, blockers: &[OwnerId]) -> bool {
+        let mut stack: Vec<OwnerId> = blockers.to_vec();
+        let mut visited: Vec<OwnerId> = Vec::new();
         while let Some(current) = stack.pop() {
             if current == t {
                 return true;
@@ -861,9 +892,9 @@ impl Dimmunix {
     /// most informative stable position for each.
     fn starvation_signature(
         &self,
-        _requester: ThreadId,
+        _requester: OwnerId,
         pos: PositionId,
-        blockers: &[ThreadId],
+        blockers: &[OwnerId],
     ) -> Signature {
         let stack_of = |p: Option<PositionId>| {
             p.and_then(|p| self.positions.get(p))

@@ -8,7 +8,7 @@
 //! [`Config::event_log_capacity`]: crate::Config::event_log_capacity
 
 use crate::position::PositionId;
-use crate::{LockId, LogicalTime, SignatureId, ThreadId};
+use crate::{LockId, LogicalTime, OwnerId, SignatureId};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -22,33 +22,33 @@ use std::fmt;
 pub enum EventKind {
     /// A thread asked to acquire a lock.
     Request {
-        thread: ThreadId,
+        thread: OwnerId,
         lock: LockId,
         position: PositionId,
     },
     /// The request was approved.
-    Grant { thread: ThreadId, lock: LockId },
+    Grant { thread: OwnerId, lock: LockId },
     /// The request was approved on the reentrant fast path.
-    ReentrantGrant { thread: ThreadId, lock: LockId },
+    ReentrantGrant { thread: OwnerId, lock: LockId },
     /// The thread must park because a signature would be instantiated.
     Yield {
-        thread: ThreadId,
+        thread: OwnerId,
         lock: LockId,
         signature: SignatureId,
     },
     /// The thread finished acquiring the lock.
-    Acquired { thread: ThreadId, lock: LockId },
+    Acquired { thread: OwnerId, lock: LockId },
     /// The thread released the lock.
-    Released { thread: ThreadId, lock: LockId },
+    Released { thread: OwnerId, lock: LockId },
     /// A real deadlock cycle was detected.
     DeadlockDetected {
-        thread: ThreadId,
+        thread: OwnerId,
         signature: SignatureId,
         new_signature: bool,
     },
     /// An avoidance-induced deadlock (starvation) was detected.
     StarvationDetected {
-        thread: ThreadId,
+        thread: OwnerId,
         signature: SignatureId,
         new_signature: bool,
     },
@@ -143,7 +143,7 @@ mod tests {
 
     fn ev(i: u64) -> EventKind {
         EventKind::Grant {
-            thread: ThreadId::new(i),
+            thread: OwnerId::thread(i),
             lock: LockId::new(i),
         }
     }
@@ -175,7 +175,7 @@ mod tests {
         log.push(
             LogicalTime(1),
             EventKind::Yield {
-                thread: ThreadId::new(1),
+                thread: OwnerId::thread(1),
                 lock: LockId::new(2),
                 signature: SignatureId::new(0),
             },

@@ -21,6 +21,22 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(u64);
 
+/// Identifier of an asynchronous task, as seen by the Dimmunix engine.
+///
+/// Tasks are cooperatively-scheduled units of work multiplexed onto a small
+/// pool of OS threads by an async executor. A task-level deadlock (task A
+/// holds lock 1 and awaits lock 2 while task B holds lock 2 and awaits
+/// lock 1) is invisible to a thread-keyed RAG whenever both tasks share a
+/// worker thread, so async substrates key the engine by `TaskId` instead.
+///
+/// ```
+/// use dimmunix_core::TaskId;
+/// let t = TaskId::new(3);
+/// assert_eq!(t.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(u64);
+
 /// Identifier of a lock (Dalvik monitor / fat lock), as seen by the engine.
 ///
 /// ```
@@ -83,9 +99,101 @@ macro_rules! impl_id {
 }
 
 impl_id!(ThreadId, u64);
+impl_id!(TaskId, u64);
 impl_id!(LockId, u64);
 impl_id!(ProcessId, u32);
 impl_id!(SiteId, u64);
+
+/// The abstract identity that owns locks and waits in the RAG.
+///
+/// Every layer of the engine — lock owners, wait-for edges, cycle
+/// classification, avoidance candidate sets, position queues, events and
+/// statistics — is keyed by `OwnerId` rather than a raw [`ThreadId`]. The
+/// classic thread-keyed runtime is simply the [`OwnerId::Thread`]
+/// instantiation; async substrates feed [`OwnerId::Task`] identities so that
+/// cycles among tasks multiplexed on a small worker pool remain visible.
+///
+/// The two arms form a flat two-branch lattice over one logical owner space:
+/// an owner is either an OS thread or an async task, never both, and owners
+/// of different kinds never compare equal. Engine entry points accept
+/// `impl Into<OwnerId>`, so thread-keyed callers keep passing [`ThreadId`]
+/// values unchanged.
+///
+/// ```
+/// use dimmunix_core::{OwnerId, TaskId, ThreadId};
+/// let a = OwnerId::from(ThreadId::new(1));
+/// let b = OwnerId::from(TaskId::new(1));
+/// assert_ne!(a, b); // same raw index, different identity space
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OwnerId {
+    /// An OS thread (the paper's Dalvik `Thread*`).
+    Thread(ThreadId),
+    /// An async task multiplexed onto a worker pool.
+    Task(TaskId),
+}
+
+impl OwnerId {
+    /// Shorthand for `OwnerId::Thread(ThreadId::new(raw))`.
+    pub const fn thread(raw: u64) -> Self {
+        OwnerId::Thread(ThreadId::new(raw))
+    }
+
+    /// Shorthand for `OwnerId::Task(TaskId::new(raw))`.
+    pub const fn task(raw: u64) -> Self {
+        OwnerId::Task(TaskId::new(raw))
+    }
+
+    /// The thread identity, if this owner is an OS thread.
+    pub const fn as_thread(self) -> Option<ThreadId> {
+        match self {
+            OwnerId::Thread(t) => Some(t),
+            OwnerId::Task(_) => None,
+        }
+    }
+
+    /// The task identity, if this owner is an async task.
+    pub const fn as_task(self) -> Option<TaskId> {
+        match self {
+            OwnerId::Task(t) => Some(t),
+            OwnerId::Thread(_) => None,
+        }
+    }
+
+    /// True if this owner is an async task.
+    pub const fn is_task(self) -> bool {
+        matches!(self, OwnerId::Task(_))
+    }
+
+    /// The raw index inside the owner's identity space.
+    pub const fn index(self) -> u64 {
+        match self {
+            OwnerId::Thread(t) => t.index(),
+            OwnerId::Task(t) => t.index(),
+        }
+    }
+}
+
+impl From<ThreadId> for OwnerId {
+    fn from(t: ThreadId) -> Self {
+        OwnerId::Thread(t)
+    }
+}
+
+impl From<TaskId> for OwnerId {
+    fn from(t: TaskId) -> Self {
+        OwnerId::Task(t)
+    }
+}
+
+impl fmt::Display for OwnerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OwnerId::Thread(t) => write!(f, "thread({})", t.index()),
+            OwnerId::Task(t) => write!(f, "task({})", t.index()),
+        }
+    }
+}
 
 impl SignatureId {
     /// Creates a signature id from a raw history index.
@@ -171,5 +279,27 @@ mod tests {
     fn from_raw_conversion() {
         let t: ThreadId = 9u64.into();
         assert_eq!(t, ThreadId::new(9));
+    }
+
+    #[test]
+    fn owner_id_separates_thread_and_task_spaces() {
+        let th = OwnerId::from(ThreadId::new(4));
+        let ta = OwnerId::from(TaskId::new(4));
+        assert_ne!(th, ta);
+        assert_eq!(th, OwnerId::thread(4));
+        assert_eq!(ta, OwnerId::task(4));
+        assert_eq!(th.as_thread(), Some(ThreadId::new(4)));
+        assert_eq!(th.as_task(), None);
+        assert_eq!(ta.as_task(), Some(TaskId::new(4)));
+        assert!(!th.is_task());
+        assert!(ta.is_task());
+        assert_eq!(th.index(), 4);
+        assert_eq!(ta.index(), 4);
+        assert_eq!(format!("{th}"), "thread(4)");
+        assert_eq!(format!("{ta}"), "task(4)");
+        let mut set = HashSet::new();
+        set.insert(th);
+        set.insert(ta);
+        assert_eq!(set.len(), 2);
     }
 }

@@ -81,8 +81,8 @@ pub use history::{
     signature_from_log_record, signature_to_log_record, History, HistoryLog, LogReplay,
     RecoveryReport,
 };
-pub use ids::{LockId, LogicalTime, ProcessId, SignatureId, SiteId, ThreadId};
-pub use position::{Position, PositionId, PositionTable, ThreadQueue};
+pub use ids::{LockId, LogicalTime, OwnerId, ProcessId, SignatureId, SiteId, TaskId, ThreadId};
+pub use position::{OwnerQueue, Position, PositionId, PositionTable, ThreadQueue};
 pub use rag::{
     find_cycle_with, AccessMode, CycleStep, HeldEntry, LockOwner, Rag, WaitEdge, YieldRecord,
 };
@@ -103,8 +103,8 @@ mod engine_tests {
         CallStack::single(Frame::new(m, "app.rs", line))
     }
 
-    fn t(i: u64) -> ThreadId {
-        ThreadId::new(i)
+    fn t(i: u64) -> OwnerId {
+        OwnerId::thread(i)
     }
     fn l(i: u64) -> LockId {
         LockId::new(i)
@@ -279,7 +279,7 @@ mod engine_tests {
         let outcome = e.request(t(2), l(2), &site("t2.outer", 20));
         assert!(matches!(outcome, RequestOutcome::Yield { .. }));
         // t1 dies while holding A; the parked thread must be woken.
-        let wake = e.unregister_thread(t(1));
+        let wake = e.unregister_owner(t(1));
         assert!(!wake.is_empty());
         assert!(e.request(t(2), l(2), &site("t2.outer", 20)).is_granted());
     }
@@ -348,8 +348,8 @@ mod engine_tests {
                 .is_granted());
             let outcome = e.request(tb, la, &site("inner.b", 100 * k as u32 + 3));
             assert!(matches!(outcome, RequestOutcome::DeadlockDetected { .. }));
-            e.unregister_thread(ta);
-            e.unregister_thread(tb);
+            e.unregister_owner(ta);
+            e.unregister_owner(tb);
         }
         assert_eq!(e.history().len(), 3);
         let full = e.history().clone();
@@ -486,43 +486,43 @@ mod engine_tests {
         trait Hooks {
             fn req(
                 &mut self,
-                t: ThreadId,
+                t: OwnerId,
                 l: LockId,
                 s: &CallStack,
                 m: AccessMode,
             ) -> RequestOutcome;
-            fn acq(&mut self, t: ThreadId, l: LockId);
+            fn acq(&mut self, t: OwnerId, l: LockId);
         }
         impl Hooks for Dimmunix {
             fn req(
                 &mut self,
-                t: ThreadId,
+                t: OwnerId,
                 l: LockId,
                 s: &CallStack,
                 m: AccessMode,
             ) -> RequestOutcome {
                 self.request_mode(t, l, s, m)
             }
-            fn acq(&mut self, t: ThreadId, l: LockId) {
+            fn acq(&mut self, t: OwnerId, l: LockId) {
                 self.acquired(t, l);
             }
         }
         impl Hooks for ShardedDimmunix {
             fn req(
                 &mut self,
-                t: ThreadId,
+                t: OwnerId,
                 l: LockId,
                 s: &CallStack,
                 m: AccessMode,
             ) -> RequestOutcome {
                 self.request_mode(t, l, s, m)
             }
-            fn acq(&mut self, t: ThreadId, l: LockId) {
+            fn acq(&mut self, t: OwnerId, l: LockId) {
                 self.acquired(t, l);
             }
         }
         fn run(engine: &mut dyn Hooks) -> RequestOutcome {
-            let (r1, r2, w) = (ThreadId::new(1), ThreadId::new(2), ThreadId::new(3));
+            let (r1, r2, w) = (OwnerId::thread(1), OwnerId::thread(2), OwnerId::thread(3));
             let (la, lb) = (LockId::new(1), LockId::new(2));
             let site = |m: &str, line| CallStack::single(Frame::new(m, "app.rs", line));
             // r1 and r2 read-share A at *distinct* sites.
@@ -550,9 +550,9 @@ mod engine_tests {
         let mut e = Dimmunix::default();
         let outcome = run(&mut e);
         match &outcome {
-            RequestOutcome::DeadlockDetected { threads, .. } => {
-                assert!(threads.contains(&t(2)) && threads.contains(&t(3)));
-                assert!(!threads.contains(&t(1)), "r1 is not on the cycle");
+            RequestOutcome::DeadlockDetected { owners, .. } => {
+                assert!(owners.contains(&t(2)) && owners.contains(&t(3)));
+                assert!(!owners.contains(&t(1)), "r1 is not on the cycle");
             }
             other => panic!("expected first-occurrence detection, got {other:?}"),
         }
@@ -677,7 +677,7 @@ mod engine_tests {
         assert!(e.request(t(2), l(3), &site("r2", 12)).is_granted());
         let outcome = e.request(t(3), l(1), &site("r3", 13));
         match outcome {
-            RequestOutcome::DeadlockDetected { threads, .. } => assert_eq!(threads.len(), 3),
+            RequestOutcome::DeadlockDetected { owners, .. } => assert_eq!(owners.len(), 3),
             other => panic!("expected detection, got {other:?}"),
         }
         let sig = e.history().get(SignatureId::new(0)).unwrap();

@@ -1,4 +1,4 @@
-//! Positions: interned acquisition call stacks with per-position thread
+//! Positions: interned acquisition call stacks with per-position owner
 //! queues.
 //!
 //! §4 of the paper: *"The struct Position stores the program location of a
@@ -6,10 +6,12 @@
 //! Dimmunix to acquire) locks at that location"*, plus a second queue used as
 //! a free list so queue nodes are reused instead of reallocated. The
 //! [`PositionTable`] is the `positions` global map that assigns a unique
-//! `Position` object to each program location.
+//! `Position` object to each program location. The queues are keyed by
+//! [`OwnerId`] rather than raw thread ids so async tasks occupy positions
+//! exactly like OS threads.
 
 use crate::callstack::CallStack;
-use crate::ThreadId;
+use crate::OwnerId;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -35,25 +37,29 @@ impl fmt::Display for PositionId {
     }
 }
 
-/// A queue of threads that hold, or were allowed by Dimmunix to acquire,
-/// locks at one position.
+/// A queue of owners (threads or tasks) that hold, or were allowed by
+/// Dimmunix to acquire, locks at one position.
 ///
-/// Mirrors the main-queue + free-list scheme of §4: elements removed from the
-/// main queue go to the free list and are reused for later insertions, so
-/// steady-state operation performs no allocation. The same thread may appear
-/// more than once (it may hold several locks acquired at the same program
-/// location).
+/// §4's Position stores this as a linked queue with a free list; here it is
+/// a counted multiset ordered by owner id. The representation matters once
+/// owners are *tasks*: a server position can be occupied by thousands of
+/// concurrent tasks at once, and the avoidance hot path asks for a few
+/// distinct occupants per check — an ordered count map answers that in
+/// O(answer), keeps insert/remove at O(log distinct), and makes every
+/// traversal deterministic. The same owner may appear more than once (it
+/// may hold several locks acquired at the same program location).
 #[derive(Debug, Clone, Default)]
-pub struct ThreadQueue {
-    /// Slot arena; `None` slots are free.
-    slots: Vec<Option<ThreadId>>,
-    /// Indices of free slots (the paper's second queue).
-    free: Vec<usize>,
-    /// Number of occupied slots.
+pub struct OwnerQueue {
+    /// Occurrences per owner; absent means zero.
+    counts: std::collections::BTreeMap<OwnerId, usize>,
+    /// Total occurrences across all owners.
     len: usize,
 }
 
-impl ThreadQueue {
+/// Pre-`OwnerId` name of [`OwnerQueue`], kept for source compatibility.
+pub type ThreadQueue = OwnerQueue;
+
+impl OwnerQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self::default()
@@ -64,76 +70,86 @@ impl ThreadQueue {
         self.len
     }
 
-    /// True if no thread occupies the queue.
+    /// True if no owner occupies the queue.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
-    /// Capacity of the backing arena (occupied + reusable slots).
+    /// Number of distinct owners currently tracked.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.counts.len()
     }
 
-    /// Adds one occurrence of `thread`, reusing a free slot when available.
-    pub fn push(&mut self, thread: ThreadId) {
-        if let Some(idx) = self.free.pop() {
-            debug_assert!(self.slots[idx].is_none());
-            self.slots[idx] = Some(thread);
-        } else {
-            self.slots.push(Some(thread));
-        }
+    /// Adds one occurrence of `owner`.
+    pub fn push(&mut self, owner: impl Into<OwnerId>) {
+        *self.counts.entry(owner.into()).or_insert(0) += 1;
         self.len += 1;
     }
 
-    /// Removes one occurrence of `thread`; returns true if an occurrence was
-    /// present. The vacated slot is pushed onto the free list.
-    pub fn remove_one(&mut self, thread: ThreadId) -> bool {
-        for (idx, slot) in self.slots.iter_mut().enumerate() {
-            if *slot == Some(thread) {
-                *slot = None;
-                self.free.push(idx);
+    /// Removes one occurrence of `owner`; returns true if an occurrence was
+    /// present.
+    pub fn remove_one(&mut self, owner: impl Into<OwnerId>) -> bool {
+        let owner = owner.into();
+        match self.counts.get_mut(&owner) {
+            Some(c) => {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&owner);
+                }
                 self.len -= 1;
-                return true;
+                true
             }
+            None => false,
         }
-        false
     }
 
-    /// Removes every occurrence of `thread`, returning how many were removed.
-    pub fn remove_all(&mut self, thread: ThreadId) -> usize {
-        let mut removed = 0;
-        for (idx, slot) in self.slots.iter_mut().enumerate() {
-            if *slot == Some(thread) {
-                *slot = None;
-                self.free.push(idx);
-                self.len -= 1;
-                removed += 1;
-            }
-        }
+    /// Removes every occurrence of `owner`, returning how many were removed.
+    pub fn remove_all(&mut self, owner: impl Into<OwnerId>) -> usize {
+        let removed = self.counts.remove(&owner.into()).unwrap_or(0);
+        self.len -= removed;
         removed
     }
 
-    /// Number of occurrences of `thread`.
-    pub fn count(&self, thread: ThreadId) -> usize {
-        self.slots.iter().filter(|s| **s == Some(thread)).count()
+    /// Number of occurrences of `owner`.
+    pub fn count(&self, owner: impl Into<OwnerId>) -> usize {
+        self.counts.get(&owner.into()).copied().unwrap_or(0)
     }
 
-    /// True if `thread` occupies at least one slot.
-    pub fn contains(&self, thread: ThreadId) -> bool {
-        self.count(thread) > 0
+    /// True if `owner` occupies at least one slot.
+    pub fn contains(&self, owner: impl Into<OwnerId>) -> bool {
+        self.counts.contains_key(&owner.into())
     }
 
-    /// Iterates over the occupying threads (occurrences, not deduplicated).
-    pub fn iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
-        self.slots.iter().filter_map(|s| *s)
+    /// Iterates over the occupying owners (occurrences, not deduplicated),
+    /// in owner-id order.
+    pub fn iter(&self) -> impl Iterator<Item = OwnerId> + '_ {
+        self.counts
+            .iter()
+            .flat_map(|(o, c)| std::iter::repeat(*o).take(*c))
     }
 
-    /// Distinct threads currently occupying the queue.
-    pub fn distinct_threads(&self) -> Vec<ThreadId> {
-        let mut v: Vec<ThreadId> = self.iter().collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+    /// Distinct owners currently occupying the queue, in owner-id order.
+    pub fn distinct_owners(&self) -> Vec<OwnerId> {
+        self.counts.keys().copied().collect()
+    }
+
+    /// The first (in owner-id order) distinct owners satisfying `keep`, at
+    /// most `cap` of them. The avoidance hot path uses this to bound an
+    /// instantiation check by the signature's arity instead of by the
+    /// position's crowd: an injective assignment of `k` slots never needs
+    /// more than `k` candidates per slot, so any deterministic `cap ≥ k`
+    /// prefix preserves the exact matching decision.
+    pub fn distinct_owners_capped(
+        &self,
+        cap: usize,
+        mut keep: impl FnMut(OwnerId) -> bool,
+    ) -> Vec<OwnerId> {
+        self.counts
+            .keys()
+            .copied()
+            .filter(|o| keep(*o))
+            .take(cap)
+            .collect()
     }
 }
 
@@ -148,8 +164,8 @@ pub struct Position {
     /// engine keeps this link current: it is resolved when the position is
     /// interned and refreshed when a new snapshot is installed.
     history_ref: Option<PositionId>,
-    /// Threads holding, or allowed to acquire, locks at this position.
-    queue: ThreadQueue,
+    /// Owners holding, or allowed to acquire, locks at this position.
+    queue: OwnerQueue,
 }
 
 impl Position {
@@ -158,7 +174,7 @@ impl Position {
             id,
             stack,
             history_ref: None,
-            queue: ThreadQueue::new(),
+            queue: OwnerQueue::new(),
         }
     }
 
@@ -189,13 +205,13 @@ impl Position {
         self.history_ref = outer;
     }
 
-    /// The thread queue of this position.
-    pub fn queue(&self) -> &ThreadQueue {
+    /// The owner queue of this position.
+    pub fn queue(&self) -> &OwnerQueue {
         &self.queue
     }
 
-    /// Mutable access to the thread queue.
-    pub fn queue_mut(&mut self) -> &mut ThreadQueue {
+    /// Mutable access to the owner queue.
+    pub fn queue_mut(&mut self) -> &mut OwnerQueue {
         &mut self.queue
     }
 }
@@ -280,7 +296,8 @@ impl PositionTable {
         let mut total = std::mem::size_of::<Self>();
         for p in &self.positions {
             total += std::mem::size_of::<Position>();
-            total += p.queue.capacity() * std::mem::size_of::<Option<ThreadId>>();
+            total += p.queue.capacity()
+                * (std::mem::size_of::<OwnerId>() + std::mem::size_of::<usize>());
             for f in p.stack.frames() {
                 total += std::mem::size_of_val(f) + f.method().len() + f.file().len();
             }
@@ -345,9 +362,9 @@ mod tests {
 
     #[test]
     fn queue_push_remove_counts() {
-        let mut q = ThreadQueue::new();
-        let t1 = ThreadId::new(1);
-        let t2 = ThreadId::new(2);
+        let mut q = OwnerQueue::new();
+        let t1 = crate::ThreadId::new(1);
+        let t2 = crate::ThreadId::new(2);
         q.push(t1);
         q.push(t2);
         q.push(t1);
@@ -358,27 +375,63 @@ mod tests {
         assert_eq!(q.count(t1), 1);
         assert_eq!(q.remove_all(t1), 1);
         assert!(!q.contains(t1));
-        assert_eq!(q.distinct_threads(), vec![t2]);
-        assert!(!q.remove_one(ThreadId::new(99)));
+        assert_eq!(q.distinct_owners(), vec![OwnerId::from(t2)]);
+        assert!(!q.remove_one(crate::ThreadId::new(99)));
     }
 
     #[test]
-    fn queue_reuses_free_slots() {
-        let mut q = ThreadQueue::new();
+    fn queue_keeps_thread_and_task_occurrences_distinct() {
+        // A task and a thread with the same raw index are different owners.
+        let mut q = OwnerQueue::new();
+        q.push(OwnerId::thread(1));
+        q.push(OwnerId::task(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.count(OwnerId::thread(1)), 1);
+        assert_eq!(q.count(OwnerId::task(1)), 1);
+        assert!(q.remove_one(OwnerId::task(1)));
+        assert!(q.contains(OwnerId::thread(1)));
+        assert!(!q.contains(OwnerId::task(1)));
+    }
+
+    #[test]
+    fn queue_memory_tracks_occupancy_not_history() {
+        let mut q = OwnerQueue::new();
         for i in 0..8 {
-            q.push(ThreadId::new(i));
+            q.push(crate::ThreadId::new(i));
         }
         let cap_before = q.capacity();
         for i in 0..8 {
-            assert!(q.remove_one(ThreadId::new(i)));
+            assert!(q.remove_one(crate::ThreadId::new(i)));
         }
         assert!(q.is_empty());
-        // New insertions must reuse the freed slots, not grow the arena.
+        assert_eq!(q.capacity(), 0, "departed owners leave no residue");
+        // Fresh occupants cost the same as the original ones did.
         for i in 0..8 {
-            q.push(ThreadId::new(100 + i));
+            q.push(crate::ThreadId::new(100 + i));
         }
         assert_eq!(q.capacity(), cap_before);
         assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn queue_capped_distinct_owners_are_a_sorted_filtered_prefix() {
+        let mut q = OwnerQueue::new();
+        for i in (0..10).rev() {
+            q.push(crate::ThreadId::new(i));
+            q.push(crate::ThreadId::new(i)); // duplicates collapse
+        }
+        let excluded = OwnerId::thread(2);
+        let capped = q.distinct_owners_capped(4, |o| o != excluded);
+        assert_eq!(
+            capped,
+            vec![
+                OwnerId::thread(0),
+                OwnerId::thread(1),
+                OwnerId::thread(3),
+                OwnerId::thread(4),
+            ]
+        );
+        assert_eq!(q.distinct_owners_capped(99, |_| true).len(), 10);
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! The resource allocation graph (RAG).
 //!
 //! Dimmunix maintains the synchronization state of the process in a RAG
-//! (§2.2): lock nodes point to the threads owning them (annotated with the
-//! call stack of each acquisition, `acqPos`), and thread nodes point to the
+//! (§2.2): lock nodes point to the owners holding them (annotated with the
+//! call stack of each acquisition, `acqPos`), and owner nodes point to the
 //! lock they are currently requesting (annotated with the requesting call
-//! stack). A cycle through a requesting thread means a deadlock is about to
-//! occur. Threads parked by the avoidance module add *yield* edges towards
-//! the threads blocking the matched signature; cycles through yield edges are
+//! stack). A cycle through a requesting owner means a deadlock is about to
+//! occur. Owners parked by the avoidance module add *yield* edges towards
+//! the owners blocking the matched signature; cycles through yield edges are
 //! avoidance-induced deadlocks (starvation).
+//!
+//! The graph is keyed by [`OwnerId`], not raw thread ids: the paper's
+//! thread-keyed RAG is the `OwnerId::Thread` instantiation, and async
+//! substrates feed `OwnerId::Task` identities so cycles among tasks
+//! multiplexed onto a small worker pool stay visible. The engine never
+//! inspects which arm an owner is — every query below is owner-agnostic.
 //!
 //! ## Multi-owner lock nodes
 //!
@@ -22,10 +28,10 @@
 //! every query below degenerates to the paper's single-owner semantics.
 
 use crate::position::PositionId;
-use crate::{LockId, SignatureId, ThreadId};
+use crate::{LockId, OwnerId, SignatureId};
 use std::collections::HashMap;
 
-/// How a thread holds (or requests) a lock.
+/// How an owner holds (or requests) a lock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessMode {
     /// Mutual exclusion: a mutex, a monitor, or the write side of an rwlock.
@@ -49,30 +55,30 @@ impl AccessMode {
     }
 }
 
-/// Why a thread is waiting on another thread in the wait-for relation.
+/// Why an owner is waiting on another owner in the wait-for relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WaitEdge {
-    /// The thread requests this lock, owned by the successor thread.
+    /// The owner requests this lock, held by the successor owner.
     Lock(LockId),
-    /// The thread was parked by avoidance and waits for the successor thread
+    /// The owner was parked by avoidance and waits for the successor owner
     /// (one of the blockers of the matched signature) to make progress.
     Yield(SignatureId),
 }
 
-/// Record attached to a thread parked by the avoidance module.
+/// Record attached to an owner parked by the avoidance module.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct YieldRecord {
     /// The history signature whose instantiation is being avoided.
     pub signature: SignatureId,
-    /// The position the parked thread was requesting at.
+    /// The position the parked owner was requesting at.
     pub position: PositionId,
-    /// The lock the parked thread wanted to acquire.
+    /// The lock the parked owner wanted to acquire.
     pub lock: LockId,
-    /// The other threads currently covering the signature's outer positions.
-    pub blockers: Vec<ThreadId>,
+    /// The other owners currently covering the signature's outer positions.
+    pub blockers: Vec<OwnerId>,
 }
 
-/// One lock currently held by a thread: the lock, its acquisition position
+/// One lock currently held by an owner: the lock, its acquisition position
 /// (`acqPos`), its access mode, and the acquisition sequence number.
 ///
 /// The sequence number is what keeps "latest hold" queries meaningful when
@@ -102,26 +108,26 @@ struct RequestEdge {
     mode: AccessMode,
 }
 
-/// Per-thread RAG node.
+/// Per-owner RAG node (a thread's or task's synchronization state).
 #[derive(Debug, Clone, Default)]
-pub struct ThreadNode {
+pub struct OwnerNode {
     /// Outstanding lock request, if any, with the requesting position.
     requesting: Option<RequestEdge>,
     /// Locks currently held, in acquisition order, with their `acqPos`.
     held: Vec<HeldEntry>,
-    /// Present while the thread is parked by avoidance.
+    /// Present while the owner is parked by avoidance.
     yielding: Option<YieldRecord>,
     /// Request approved by the last `request` grant, consumed by `acquire`.
     pending_grant: Option<RequestEdge>,
 }
 
-/// One owner of a lock: the holding thread, the call-stack position of its
+/// One owner of a lock: the holding owner, the call-stack position of its
 /// acquisition (`acqPos` in §3.2), its access mode, and its own recursion
 /// depth (Java monitors are reentrant; each owner re-enters independently).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LockOwner {
-    /// The holding thread.
-    pub thread: ThreadId,
+    /// The holding owner (thread or task).
+    pub owner: OwnerId,
     /// Call-stack position of this owner's acquisition.
     pub pos: PositionId,
     /// Whether this owner holds the lock exclusively or shared.
@@ -137,28 +143,28 @@ pub struct LockNode {
     owners: Vec<LockOwner>,
 }
 
-/// One step of a wait-for cycle: `thread` waits on the *next* entry's thread
+/// One step of a wait-for cycle: `owner` waits on the *next* entry's owner
 /// through `edge`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CycleStep {
-    /// The waiting thread.
-    pub thread: ThreadId,
-    /// Why it waits on the next thread in the cycle.
+    /// The waiting owner.
+    pub owner: OwnerId,
+    /// Why it waits on the next owner in the cycle.
     pub edge: WaitEdge,
 }
 
 /// The resource allocation graph.
 #[derive(Debug, Clone, Default)]
 pub struct Rag {
-    threads: HashMap<ThreadId, ThreadNode>,
+    owners_map: HashMap<OwnerId, OwnerNode>,
     locks: HashMap<LockId, LockNode>,
     /// Fallback acquisition counter used when the caller does not supply a
     /// sequence number (single-engine configuration).
     next_seq: u64,
-    /// Number of threads currently parked by avoidance (with a yield
+    /// Number of owners currently parked by avoidance (with a yield
     /// record). The sharded engine's fast path is only sound while this is
     /// zero on every shard: a yield record's blocker list is a snapshot, so
-    /// a wait-for cycle can run through a thread that holds no lock at all.
+    /// a wait-for cycle can run through an owner that holds no lock at all.
     yield_records: usize,
 }
 
@@ -168,9 +174,9 @@ impl Rag {
         Self::default()
     }
 
-    /// Number of registered threads.
-    pub fn thread_count(&self) -> usize {
-        self.threads.len()
+    /// Number of registered owners.
+    pub fn owner_count(&self) -> usize {
+        self.owners_map.len()
     }
 
     /// Number of registered locks.
@@ -178,21 +184,21 @@ impl Rag {
         self.locks.len()
     }
 
-    /// Registers a thread node (idempotent).
-    pub fn register_thread(&mut self, t: ThreadId) {
-        self.threads.entry(t).or_default();
+    /// Registers an owner node (idempotent).
+    pub fn register_owner(&mut self, t: OwnerId) {
+        self.owners_map.entry(t).or_default();
     }
 
-    /// Removes a thread node, returning the locks it still held (with their
+    /// Removes an owner node, returning the locks it still held (with their
     /// acquisition positions) so the caller can clean up position queues.
-    pub fn unregister_thread(&mut self, t: ThreadId) -> Vec<HeldEntry> {
-        let node = self.threads.remove(&t).unwrap_or_default();
+    pub fn unregister_owner(&mut self, t: OwnerId) -> Vec<HeldEntry> {
+        let node = self.owners_map.remove(&t).unwrap_or_default();
         if node.yielding.is_some() {
             self.yield_records -= 1;
         }
         for entry in &node.held {
             if let Some(l) = self.locks.get_mut(&entry.lock) {
-                l.owners.retain(|o| o.thread != t);
+                l.owners.retain(|o| o.owner != t);
             }
         }
         node.held
@@ -209,9 +215,9 @@ impl Rag {
         self.locks.remove(&l)
     }
 
-    /// True if the thread is registered.
-    pub fn has_thread(&self, t: ThreadId) -> bool {
-        self.threads.contains_key(&t)
+    /// True if the owner is registered.
+    pub fn has_owner(&self, t: OwnerId) -> bool {
+        self.owners_map.contains_key(&t)
     }
 
     /// True if the lock is registered.
@@ -223,9 +229,9 @@ impl Rag {
     /// single-owner view mutex/monitor substrates reason with; a reader
     /// crowd (several owners) answers `None` — use [`owners`](Rag::owners)
     /// for the full set.
-    pub fn owner(&self, l: LockId) -> Option<ThreadId> {
+    pub fn owner(&self, l: LockId) -> Option<OwnerId> {
         match self.owners(l) {
-            [single] => Some(single.thread),
+            [single] => Some(single.owner),
             _ => None,
         }
     }
@@ -240,63 +246,63 @@ impl Rag {
     }
 
     /// True if `t` is among the current owners of `l` (any mode).
-    pub fn owns(&self, l: LockId, t: ThreadId) -> bool {
+    pub fn owns(&self, l: LockId, t: OwnerId) -> bool {
         self.owner_entry(l, t).is_some()
     }
 
     /// The owner entry of `t` on `l`, if `t` currently holds it.
-    pub fn owner_entry(&self, l: LockId, t: ThreadId) -> Option<&LockOwner> {
-        self.owners(l).iter().find(|o| o.thread == t)
+    pub fn owner_entry(&self, l: LockId, t: OwnerId) -> Option<&LockOwner> {
+        self.owners(l).iter().find(|o| o.owner == t)
     }
 
     /// Acquisition position (`acqPos`) of `t`'s hold on `l`. With
     /// multi-owner lock nodes the template position of a cycle edge comes
     /// from the owner *actually on the cycle*, not from an arbitrary
     /// representative.
-    pub fn acq_pos_of(&self, l: LockId, t: ThreadId) -> Option<PositionId> {
+    pub fn acq_pos_of(&self, l: LockId, t: OwnerId) -> Option<PositionId> {
         self.owner_entry(l, t).map(|o| o.pos)
     }
 
     /// Reentrant acquisition depth of `t`'s hold on `l` (0 if `t` does not
     /// hold it).
-    pub fn recursion_of(&self, l: LockId, t: ThreadId) -> u32 {
+    pub fn recursion_of(&self, l: LockId, t: OwnerId) -> u32 {
         self.owner_entry(l, t).map(|o| o.recursion).unwrap_or(0)
     }
 
     /// Locks held by `t` with their acquisition positions, in acquisition
     /// order (ascending [`HeldEntry::seq`]).
-    pub fn held_locks(&self, t: ThreadId) -> &[HeldEntry] {
-        self.threads
+    pub fn held_locks(&self, t: OwnerId) -> &[HeldEntry] {
+        self.owners_map
             .get(&t)
             .map(|n| n.held.as_slice())
             .unwrap_or(&[])
     }
 
     /// The lock and position `t` is currently requesting, if any.
-    pub fn requesting(&self, t: ThreadId) -> Option<(LockId, PositionId)> {
-        self.threads
+    pub fn requesting(&self, t: OwnerId) -> Option<(LockId, PositionId)> {
+        self.owners_map
             .get(&t)
             .and_then(|n| n.requesting)
             .map(|r| (r.lock, r.pos))
     }
 
     /// The access mode of `t`'s outstanding request, if any.
-    pub fn requesting_mode(&self, t: ThreadId) -> Option<AccessMode> {
-        self.threads
+    pub fn requesting_mode(&self, t: OwnerId) -> Option<AccessMode> {
+        self.owners_map
             .get(&t)
             .and_then(|n| n.requesting)
             .map(|r| r.mode)
     }
 
     /// The yield record of `t`, if it is parked by avoidance.
-    pub fn yielding(&self, t: ThreadId) -> Option<&YieldRecord> {
-        self.threads.get(&t).and_then(|n| n.yielding.as_ref())
+    pub fn yielding(&self, t: OwnerId) -> Option<&YieldRecord> {
+        self.owners_map.get(&t).and_then(|n| n.yielding.as_ref())
     }
 
-    /// Threads currently parked by avoidance.
-    pub fn yielding_threads(&self) -> Vec<ThreadId> {
-        let mut v: Vec<ThreadId> = self
-            .threads
+    /// Owners currently parked by avoidance.
+    pub fn yielding_owners(&self) -> Vec<OwnerId> {
+        let mut v: Vec<OwnerId> = self
+            .owners_map
             .iter()
             .filter(|(_, n)| n.yielding.is_some())
             .map(|(t, _)| *t)
@@ -306,30 +312,30 @@ impl Rag {
     }
 
     /// Records that `t` requests `l` at position `pos`, exclusively.
-    pub fn set_request(&mut self, t: ThreadId, l: LockId, pos: PositionId) {
+    pub fn set_request(&mut self, t: OwnerId, l: LockId, pos: PositionId) {
         self.set_request_mode(t, l, pos, AccessMode::Exclusive);
     }
 
     /// Records that `t` requests `l` at position `pos` in `mode`.
-    pub fn set_request_mode(&mut self, t: ThreadId, l: LockId, pos: PositionId, mode: AccessMode) {
-        self.register_thread(t);
+    pub fn set_request_mode(&mut self, t: OwnerId, l: LockId, pos: PositionId, mode: AccessMode) {
+        self.register_owner(t);
         self.register_lock(l);
-        if let Some(n) = self.threads.get_mut(&t) {
+        if let Some(n) = self.owners_map.get_mut(&t) {
             n.requesting = Some(RequestEdge { lock: l, pos, mode });
         }
     }
 
     /// Clears the outstanding request of `t`.
-    pub fn clear_request(&mut self, t: ThreadId) {
-        if let Some(n) = self.threads.get_mut(&t) {
+    pub fn clear_request(&mut self, t: OwnerId) {
+        if let Some(n) = self.owners_map.get_mut(&t) {
             n.requesting = None;
         }
     }
 
-    /// Marks `t` as parked by avoidance.
-    pub fn set_yield(&mut self, t: ThreadId, record: YieldRecord) {
-        self.register_thread(t);
-        if let Some(n) = self.threads.get_mut(&t) {
+    /// Marks owner `t` as parked by avoidance.
+    pub fn set_yield(&mut self, t: OwnerId, record: YieldRecord) {
+        self.register_owner(t);
+        if let Some(n) = self.owners_map.get_mut(&t) {
             if n.yielding.is_none() {
                 self.yield_records += 1;
             }
@@ -338,15 +344,15 @@ impl Rag {
     }
 
     /// Clears the parked state of `t`; returns the record if one was set.
-    pub fn clear_yield(&mut self, t: ThreadId) -> Option<YieldRecord> {
-        let taken = self.threads.get_mut(&t).and_then(|n| n.yielding.take());
+    pub fn clear_yield(&mut self, t: OwnerId) -> Option<YieldRecord> {
+        let taken = self.owners_map.get_mut(&t).and_then(|n| n.yielding.take());
         if taken.is_some() {
             self.yield_records -= 1;
         }
         taken
     }
 
-    /// Number of threads currently parked by avoidance in this graph.
+    /// Number of owners currently parked by avoidance in this graph.
     pub fn yield_count(&self) -> usize {
         self.yield_records
     }
@@ -355,25 +361,25 @@ impl Rag {
     /// [`acquire`].
     ///
     /// [`acquire`]: Rag::acquire
-    pub fn set_pending_grant(&mut self, t: ThreadId, l: LockId, pos: PositionId, mode: AccessMode) {
-        self.register_thread(t);
-        if let Some(n) = self.threads.get_mut(&t) {
+    pub fn set_pending_grant(&mut self, t: OwnerId, l: LockId, pos: PositionId, mode: AccessMode) {
+        self.register_owner(t);
+        if let Some(n) = self.owners_map.get_mut(&t) {
             n.pending_grant = Some(RequestEdge { lock: l, pos, mode });
         }
     }
 
     /// The lock, position, and mode approved by the last grant for `t`, if
     /// any.
-    pub fn pending_grant(&self, t: ThreadId) -> Option<(LockId, PositionId, AccessMode)> {
-        self.threads
+    pub fn pending_grant(&self, t: OwnerId) -> Option<(LockId, PositionId, AccessMode)> {
+        self.owners_map
             .get(&t)
             .and_then(|n| n.pending_grant)
             .map(|g| (g.lock, g.pos, g.mode))
     }
 
     /// Removes and returns the pending grant of `t`, if any.
-    pub fn take_pending_grant(&mut self, t: ThreadId) -> Option<(LockId, PositionId, AccessMode)> {
-        self.threads
+    pub fn take_pending_grant(&mut self, t: OwnerId) -> Option<(LockId, PositionId, AccessMode)> {
+        self.owners_map
             .get_mut(&t)
             .and_then(|n| n.pending_grant.take())
             .map(|g| (g.lock, g.pos, g.mode))
@@ -383,7 +389,7 @@ impl Rag {
     /// acquisition, exclusive): adds the hold edge and an owner entry,
     /// clears the request. The acquisition is stamped from this RAG's own
     /// monotonic counter.
-    pub fn acquire(&mut self, t: ThreadId, l: LockId, pos: PositionId) {
+    pub fn acquire(&mut self, t: OwnerId, l: LockId, pos: PositionId) {
         let seq = self.next_seq;
         self.acquire_with_seq(t, l, pos, seq);
     }
@@ -392,7 +398,7 @@ impl Rag {
     /// number. The sharded engine calls this with a globally monotonic
     /// counter so holds distributed over several shard RAGs can be merged
     /// back into acquisition order.
-    pub fn acquire_with_seq(&mut self, t: ThreadId, l: LockId, pos: PositionId, seq: u64) {
+    pub fn acquire_with_seq(&mut self, t: OwnerId, l: LockId, pos: PositionId, seq: u64) {
         self.acquire_mode_with_seq(t, l, pos, AccessMode::Exclusive, seq);
     }
 
@@ -402,16 +408,16 @@ impl Rag {
     /// sole owner in a well-behaved substrate).
     pub fn acquire_mode_with_seq(
         &mut self,
-        t: ThreadId,
+        t: OwnerId,
         l: LockId,
         pos: PositionId,
         mode: AccessMode,
         seq: u64,
     ) {
         self.next_seq = self.next_seq.max(seq).saturating_add(1);
-        self.register_thread(t);
+        self.register_owner(t);
         self.register_lock(l);
-        if let Some(n) = self.threads.get_mut(&t) {
+        if let Some(n) = self.owners_map.get_mut(&t) {
             n.requesting = None;
             n.pending_grant = None;
             n.held.push(HeldEntry {
@@ -423,11 +429,11 @@ impl Rag {
         }
         if let Some(ln) = self.locks.get_mut(&l) {
             debug_assert!(
-                ln.owners.iter().all(|o| o.thread != t),
+                ln.owners.iter().all(|o| o.owner != t),
                 "first acquisition of an already-owned lock; use acquire_recursive"
             );
             ln.owners.push(LockOwner {
-                thread: t,
+                owner: t,
                 pos,
                 mode,
                 recursion: 1,
@@ -444,13 +450,13 @@ impl Rag {
     /// Records a recursive (reentrant) acquisition of a lock `t` already
     /// owns (any mode): bumps `t`'s own recursion depth; other owners are
     /// untouched.
-    pub fn acquire_recursive(&mut self, t: ThreadId, l: LockId) {
-        if let Some(n) = self.threads.get_mut(&t) {
+    pub fn acquire_recursive(&mut self, t: OwnerId, l: LockId) {
+        if let Some(n) = self.owners_map.get_mut(&t) {
             n.requesting = None;
             n.pending_grant = None;
         }
         if let Some(ln) = self.locks.get_mut(&l) {
-            let owner = ln.owners.iter_mut().find(|o| o.thread == t);
+            let owner = ln.owners.iter_mut().find(|o| o.owner == t);
             debug_assert!(owner.is_some(), "recursive acquisition by a non-owner");
             if let Some(o) = owner {
                 o.recursion = o.recursion.saturating_add(1);
@@ -464,15 +470,15 @@ impl Rag {
     /// drops to zero; the return value is `t`'s acquisition position when
     /// its hold is actually released, or `None` for a nested exit or a
     /// release of a lock `t` does not own.
-    pub fn release(&mut self, t: ThreadId, l: LockId) -> Option<PositionId> {
+    pub fn release(&mut self, t: OwnerId, l: LockId) -> Option<PositionId> {
         let ln = self.locks.get_mut(&l)?;
-        let idx = ln.owners.iter().position(|o| o.thread == t)?;
+        let idx = ln.owners.iter().position(|o| o.owner == t)?;
         if ln.owners[idx].recursion > 1 {
             ln.owners[idx].recursion -= 1;
             return None;
         }
         let pos = ln.owners.remove(idx).pos;
-        if let Some(n) = self.threads.get_mut(&t) {
+        if let Some(n) = self.owners_map.get_mut(&t) {
             if let Some(idx) = n.held.iter().rposition(|e| e.lock == l) {
                 n.held.remove(idx);
             }
@@ -480,19 +486,19 @@ impl Rag {
         Some(pos)
     }
 
-    /// Successor threads of `t` in the wait-for relation, together with the
+    /// Successor owners of `t` in the wait-for relation, together with the
     /// edge kind. A request fans out to **every** owner whose mode conflicts
     /// with the requested one: a writer blocked behind a reader crowd waits
     /// on all of its readers, while a reader joining the crowd waits on no
-    /// one. `include_yields` selects whether avoidance-parked threads
+    /// one. `include_yields` selects whether avoidance-parked owners
     /// contribute edges (needed for starvation detection).
-    pub fn successors(&self, t: ThreadId, include_yields: bool) -> Vec<(ThreadId, WaitEdge)> {
+    pub fn successors(&self, t: OwnerId, include_yields: bool) -> Vec<(OwnerId, WaitEdge)> {
         let mut out = Vec::new();
-        if let Some(node) = self.threads.get(&t) {
+        if let Some(node) = self.owners_map.get(&t) {
             if let Some(edge) = node.requesting {
                 for owner in self.owners(edge.lock) {
-                    if owner.thread != t && edge.mode.conflicts_with(owner.mode) {
-                        out.push((owner.thread, WaitEdge::Lock(edge.lock)));
+                    if owner.owner != t && edge.mode.conflicts_with(owner.mode) {
+                        out.push((owner.owner, WaitEdge::Lock(edge.lock)));
                     }
                 }
             }
@@ -512,20 +518,20 @@ impl Rag {
     /// Searches for a wait-for cycle containing `start`.
     ///
     /// Returns the cycle as an ordered list of steps: entry `i` waits on the
-    /// thread of entry `(i + 1) % len` through the given edge. Returns `None`
+    /// owner of entry `(i + 1) % len` through the given edge. Returns `None`
     /// if `start` is not part of any cycle.
-    pub fn find_cycle_from(&self, start: ThreadId, include_yields: bool) -> Option<Vec<CycleStep>> {
+    pub fn find_cycle_from(&self, start: OwnerId, include_yields: bool) -> Option<Vec<CycleStep>> {
         find_cycle_with(start, |t| self.successors(t, include_yields))
     }
 
     /// Estimated resident memory of the graph in bytes.
     pub fn memory_footprint_bytes(&self) -> usize {
         let mut total = std::mem::size_of::<Self>();
-        for n in self.threads.values() {
-            total += std::mem::size_of::<ThreadId>() + std::mem::size_of::<ThreadNode>();
+        for n in self.owners_map.values() {
+            total += std::mem::size_of::<OwnerId>() + std::mem::size_of::<OwnerNode>();
             total += n.held.capacity() * std::mem::size_of::<HeldEntry>();
             if let Some(y) = &n.yielding {
-                total += y.blockers.capacity() * std::mem::size_of::<ThreadId>();
+                total += y.blockers.capacity() * std::mem::size_of::<OwnerId>();
             }
         }
         for n in self.locks.values() {
@@ -542,18 +548,18 @@ impl Rag {
 /// This is [`Rag::find_cycle_from`] with the graph abstracted away: the
 /// sharded engine calls it with a closure that concatenates the successor
 /// edges of every shard's RAG, which yields exactly the wait-for relation a
-/// single monolithic RAG would contain (a thread's out-edges all live in the
+/// single monolithic RAG would contain (an owner's out-edges all live in the
 /// shard that handled its outstanding request).
-pub fn find_cycle_with<F>(start: ThreadId, mut successors: F) -> Option<Vec<CycleStep>>
+pub fn find_cycle_with<F>(start: OwnerId, mut successors: F) -> Option<Vec<CycleStep>>
 where
-    F: FnMut(ThreadId) -> Vec<(ThreadId, WaitEdge)>,
+    F: FnMut(OwnerId) -> Vec<(OwnerId, WaitEdge)>,
 {
     // Depth-first search over the wait-for relation, recording the path.
-    // Out-degree per thread is 1 (the requested lock's owner) plus the
+    // Out-degree per owner is 1 (the requested lock's holders) plus the
     // blockers of a yield record, so the graph is tiny in practice.
     let mut path: Vec<CycleStep> = Vec::new();
-    let mut on_path: Vec<ThreadId> = Vec::new();
-    let mut visited: Vec<ThreadId> = Vec::new();
+    let mut on_path: Vec<OwnerId> = Vec::new();
+    let mut visited: Vec<OwnerId> = Vec::new();
     dfs_cycle(
         start,
         start,
@@ -566,21 +572,21 @@ where
 }
 
 fn dfs_cycle<F>(
-    current: ThreadId,
-    target: ThreadId,
+    current: OwnerId,
+    target: OwnerId,
     successors: &mut F,
     path: &mut Vec<CycleStep>,
-    on_path: &mut Vec<ThreadId>,
-    visited: &mut Vec<ThreadId>,
+    on_path: &mut Vec<OwnerId>,
+    visited: &mut Vec<OwnerId>,
 ) -> bool
 where
-    F: FnMut(ThreadId) -> Vec<(ThreadId, WaitEdge)>,
+    F: FnMut(OwnerId) -> Vec<(OwnerId, WaitEdge)>,
 {
     on_path.push(current);
     for (next, edge) in successors(current) {
         if next == target && (!path.is_empty() || current != target) {
             path.push(CycleStep {
-                thread: current,
+                owner: current,
                 edge,
             });
             on_path.pop();
@@ -594,7 +600,7 @@ where
             continue;
         }
         path.push(CycleStep {
-            thread: current,
+            owner: current,
             edge,
         });
         if dfs_cycle(next, target, successors, path, on_path, visited) {
@@ -612,8 +618,8 @@ where
 mod tests {
     use super::*;
 
-    fn t(i: u64) -> ThreadId {
-        ThreadId::new(i)
+    fn t(i: u64) -> OwnerId {
+        OwnerId::thread(i)
     }
     fn l(i: u64) -> LockId {
         LockId::new(i)
@@ -674,7 +680,7 @@ mod tests {
         rag.acquire_mode_with_seq(t(2), l(1), p(2), AccessMode::Shared, 2);
         // A writer waits on *all* current readers...
         rag.set_request_mode(t(3), l(1), p(3), AccessMode::Exclusive);
-        let succ: Vec<ThreadId> = rag
+        let succ: Vec<OwnerId> = rag
             .successors(t(3), false)
             .iter()
             .map(|(s, _)| *s)
@@ -703,7 +709,7 @@ mod tests {
         assert!(rag.find_cycle_from(t(3), false).is_none());
         rag.set_request_mode(t(2), l(2), p(5), AccessMode::Shared);
         let cycle = rag.find_cycle_from(t(2), false).expect("cycle");
-        let threads: Vec<ThreadId> = cycle.iter().map(|s| s.thread).collect();
+        let threads: Vec<OwnerId> = cycle.iter().map(|s| s.owner).collect();
         assert!(threads.contains(&t(2)) && threads.contains(&t(3)));
         assert!(!threads.contains(&t(1)), "t1 is not on the cycle");
     }
@@ -737,7 +743,7 @@ mod tests {
         rag.set_request(t(2), l(1), p(3));
         let cycle = rag.find_cycle_from(t(2), false).expect("cycle");
         assert_eq!(cycle.len(), 2);
-        let threads: Vec<ThreadId> = cycle.iter().map(|s| s.thread).collect();
+        let threads: Vec<OwnerId> = cycle.iter().map(|s| s.owner).collect();
         assert!(threads.contains(&t(1)));
         assert!(threads.contains(&t(2)));
     }
@@ -793,11 +799,11 @@ mod tests {
         let mut rag = Rag::new();
         rag.acquire(t(1), l(1), p(0));
         rag.acquire(t(1), l(2), p(1));
-        let held = rag.unregister_thread(t(1));
+        let held = rag.unregister_owner(t(1));
         assert_eq!(held.len(), 2);
         assert_eq!(rag.owner(l(1)), None);
         assert_eq!(rag.owner(l(2)), None);
-        assert!(!rag.has_thread(t(1)));
+        assert!(!rag.has_owner(t(1)));
     }
 
     #[test]

@@ -86,7 +86,7 @@ use crate::rag::{find_cycle_with, AccessMode, CycleStep, WaitEdge, YieldRecord};
 use crate::signature::{Signature, SignatureKind, SignaturePair};
 use crate::snapshot::HistorySnapshot;
 use crate::stats::Stats;
-use crate::{LockId, SignatureId, ThreadId};
+use crate::{LockId, OwnerId, SignatureId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -223,11 +223,12 @@ pub enum LocalDecision {
 /// identical to the monolithic one.
 pub fn try_request_local(
     shard: &mut Dimmunix,
-    t: ThreadId,
+    t: impl Into<OwnerId>,
     l: LockId,
     stack: &CallStack,
     mode: AccessMode,
 ) -> LocalDecision {
+    let t = t.into();
     if shard.config().is_disabled() {
         return LocalDecision::Decided(shard.request_mode(t, l, stack, mode));
     }
@@ -260,12 +261,13 @@ pub fn try_request_local(
 pub fn request_cross_shard(
     shards: &mut [&mut Dimmunix],
     router: &ShardRouter,
-    t: ThreadId,
+    t: impl Into<OwnerId>,
     l: LockId,
     stack: &CallStack,
     mode: AccessMode,
     prev_request_shard: Option<usize>,
 ) -> RequestOutcome {
+    let t = t.into();
     let home = router.shard_of(l);
     let pos = shards[home].intern_position(stack);
 
@@ -279,7 +281,7 @@ pub fn request_cross_shard(
 
     if shards[home].config().is_disabled() {
         shards[home].stats_mut().grants += 1;
-        shards[home].rag_mut().register_thread(t);
+        shards[home].rag_mut().register_owner(t);
         shards[home].rag_mut().register_lock(l);
         shards[home].rag_mut().set_pending_grant(t, l, pos, mode);
         return RequestOutcome::Granted;
@@ -339,7 +341,7 @@ pub fn request_cross_shard(
                 });
                 // Resume every parked participant (§2.2): clear its yield
                 // (wherever it lives) and schedule a wake-up.
-                for th in &detected.threads {
+                for th in &detected.owners {
                     if let Some(y) = clear_yield_any(shards, *th) {
                         shards[home].push_pending_wakeup(y.signature);
                         shards[home].stats_mut().wakeups += 1;
@@ -363,7 +365,7 @@ pub fn request_cross_shard(
                 return RequestOutcome::DeadlockDetected {
                     signature: sig_id,
                     new_signature: new,
-                    threads: detected.threads,
+                    owners: detected.owners,
                 };
             }
         }
@@ -454,9 +456,9 @@ pub fn request_cross_shard(
 /// concatenation yields exactly the monolithic successor list.
 fn merged_successors(
     shards: &[&Dimmunix],
-    t: ThreadId,
+    t: OwnerId,
     include_yields: bool,
-) -> Vec<(ThreadId, WaitEdge)> {
+) -> Vec<(OwnerId, WaitEdge)> {
     let mut out = Vec::new();
     for s in shards {
         out.extend(s.rag().successors(t, include_yields));
@@ -474,7 +476,7 @@ fn stack_at(shards: &[&Dimmunix], loc: Option<ShardPos>) -> CallStack {
 }
 
 /// The shard and record of `t`'s outstanding request, if any.
-fn requesting_any(shards: &[&Dimmunix], t: ThreadId) -> Option<(usize, LockId, PositionId)> {
+fn requesting_any(shards: &[&Dimmunix], t: OwnerId) -> Option<(usize, LockId, PositionId)> {
     shards
         .iter()
         .enumerate()
@@ -482,7 +484,7 @@ fn requesting_any(shards: &[&Dimmunix], t: ThreadId) -> Option<(usize, LockId, P
 }
 
 /// The shard and yield record of `t`, if it is parked by avoidance.
-fn yielding_any<'a>(shards: &'a [&Dimmunix], t: ThreadId) -> Option<(usize, &'a YieldRecord)> {
+fn yielding_any<'a>(shards: &'a [&Dimmunix], t: OwnerId) -> Option<(usize, &'a YieldRecord)> {
     shards
         .iter()
         .enumerate()
@@ -490,14 +492,14 @@ fn yielding_any<'a>(shards: &'a [&Dimmunix], t: ThreadId) -> Option<(usize, &'a 
 }
 
 /// Clears `t`'s yield record in whichever shard carries it.
-fn clear_yield_any(shards: &mut [&mut Dimmunix], t: ThreadId) -> Option<YieldRecord> {
+fn clear_yield_any(shards: &mut [&mut Dimmunix], t: OwnerId) -> Option<YieldRecord> {
     shards.iter_mut().find_map(|s| s.rag_mut().clear_yield(t))
 }
 
 /// Latest lock held by `t` (by global acquisition sequence) whose
 /// acquisition position is flagged as in-history — the merged equivalent of
 /// `detection::last_history_hold`.
-fn last_history_hold_merged(shards: &[&Dimmunix], t: ThreadId) -> Option<ShardPos> {
+fn last_history_hold_merged(shards: &[&Dimmunix], t: OwnerId) -> Option<ShardPos> {
     shards
         .iter()
         .enumerate()
@@ -519,7 +521,7 @@ fn last_history_hold_merged(shards: &[&Dimmunix], t: ThreadId) -> Option<ShardPo
 
 /// Latest lock held by `t` across all shards, by global acquisition
 /// sequence — the merged equivalent of `held_locks(t).last()`.
-fn last_hold_merged(shards: &[&Dimmunix], t: ThreadId) -> Option<ShardPos> {
+fn last_hold_merged(shards: &[&Dimmunix], t: OwnerId) -> Option<ShardPos> {
     shards
         .iter()
         .enumerate()
@@ -544,10 +546,10 @@ fn classify_cycle_merged(
     let n = steps.len();
     let mut pairs = Vec::with_capacity(n);
     let mut involves_yield = false;
-    let threads: Vec<ThreadId> = steps.iter().map(|s| s.thread).collect();
+    let owners: Vec<OwnerId> = steps.iter().map(|s| s.owner).collect();
 
     for i in 0..n {
-        let waited_on = steps[(i + 1) % n].thread;
+        let waited_on = steps[(i + 1) % n].owner;
         let inner: Option<ShardPos> = requesting_any(shards, waited_on)
             .map(|(s, _, p)| (s, p))
             .or_else(|| yielding_any(shards, waited_on).map(|(s, y)| (s, y.position)));
@@ -581,7 +583,7 @@ fn classify_cycle_merged(
         SignatureKind::Deadlock
     };
     crate::detection::DetectedCycle {
-        threads,
+        owners,
         involves_yield,
         signature: Signature::new(kind, pairs),
     }
@@ -610,41 +612,59 @@ fn classify_cycle_merged(
 pub(crate) fn find_instantiation_merged(
     shards: &[&Dimmunix],
     home: usize,
-    thread: ThreadId,
+    thread: OwnerId,
     outer: PositionId,
     lock: LockId,
     mode: AccessMode,
 ) -> Option<Instantiation> {
     let snapshot = shards[home].history_snapshot();
-    for &sig in snapshot.index().signatures_at(outer) {
+    'sigs: for &sig in snapshot.index().signatures_at(outer) {
         let slots = snapshot.index().outer_positions_of(sig);
-        let candidates: Vec<Vec<ThreadId>> = slots
-            .iter()
-            .map(|slot| {
-                let mut set: Vec<ThreadId> = Vec::new();
-                for s in shards {
-                    let Some(pid) = s.local_position_of_outer(*slot) else {
-                        continue;
-                    };
-                    let Some(p) = s.positions().get(pid) else {
-                        continue;
-                    };
-                    for c in p.queue().distinct_threads() {
-                        if mode.is_shared() && crowd_mate_occupancy(s, p, c, lock, pid) {
-                            // Every occupancy of this slot by `c` in this
-                            // shard is a shared hold of the requested lock:
-                            // a crowd-mate, not an adversary.
-                            continue;
-                        }
-                        set.push(c);
-                    }
-                }
+        // An injective assignment of k slots touches at most k - 1 distinct
+        // owners besides the pre-assigned requester, so a deterministic
+        // prefix of k candidates per slot decides the matching exactly (any
+        // slot offering ≥ k non-requester candidates can always be covered
+        // last); the cap keeps each check O(arity²) however many thousands
+        // of tasks crowd the position.
+        let cap = slots.len();
+        let mut candidates: Vec<Vec<OwnerId>> = Vec::with_capacity(cap);
+        for slot in slots {
+            let mut set: Vec<OwnerId> = Vec::new();
+            for s in shards {
+                let Some(pid) = s.local_position_of_outer(*slot) else {
+                    continue;
+                };
+                let Some(p) = s.positions().get(pid) else {
+                    continue;
+                };
+                // Crowd-mates (shared mode: owners whose only occupancy
+                // of this slot is a shared hold of the requested lock)
+                // are not adversaries and must not consume the cap.
+                set.extend(p.queue().distinct_owners_capped(cap, |c| {
+                    c != thread && !(mode.is_shared() && crowd_mate_occupancy(s, p, c, lock, pid))
+                }));
+            }
+            if shards.len() > 1 {
+                // Union of per-shard prefixes: the smallest `cap`
+                // survivors are present in the merged prefix too.
                 set.sort_unstable();
                 set.dedup();
-                set
-            })
-            .collect();
-        if let Some(blockers) = instantiable_with_candidates(slots, &candidates, thread, outer) {
+                set.truncate(cap);
+            }
+            if set.is_empty() && *slot != outer {
+                // An unoccupied slot is only coverable by the pre-assigned
+                // requester, and the requester stands at `outer`: this
+                // signature cannot instantiate, whatever the other slots
+                // hold. Bail before paying for the rest of the build and
+                // the matching — the common case at a popular outer
+                // position, where most co-indexed signatures have at least
+                // one cold slot.
+                continue 'sigs;
+            }
+            candidates.push(set);
+        }
+        let r = instantiable_with_candidates(slots, &candidates, thread, outer);
+        if let Some(blockers) = r {
             return Some(Instantiation {
                 signature: sig,
                 blockers,
@@ -663,7 +683,7 @@ pub(crate) fn find_instantiation_merged(
 fn crowd_mate_occupancy(
     s: &Dimmunix,
     p: &crate::Position,
-    c: ThreadId,
+    c: OwnerId,
     lock: LockId,
     pid: PositionId,
 ) -> bool {
@@ -677,9 +697,9 @@ fn crowd_mate_occupancy(
 
 /// Merged equivalent of the engine's `would_starve`: true if parking `t`
 /// would close a wait-for cycle through one of its blockers.
-fn would_starve_merged(shards: &[&Dimmunix], t: ThreadId, blockers: &[ThreadId]) -> bool {
-    let mut stack: Vec<ThreadId> = blockers.to_vec();
-    let mut visited: Vec<ThreadId> = Vec::new();
+fn would_starve_merged(shards: &[&Dimmunix], t: OwnerId, blockers: &[OwnerId]) -> bool {
+    let mut stack: Vec<OwnerId> = blockers.to_vec();
+    let mut visited: Vec<OwnerId> = Vec::new();
     while let Some(current) = stack.pop() {
         if current == t {
             return true;
@@ -700,7 +720,7 @@ fn starvation_signature_merged(
     shards: &[&Dimmunix],
     home: usize,
     pos: PositionId,
-    blockers: &[ThreadId],
+    blockers: &[OwnerId],
 ) -> Signature {
     let mut pairs = Vec::with_capacity(1 + blockers.len());
     let requester_stack = stack_at(shards, Some((home, pos)));
@@ -752,7 +772,7 @@ pub fn broadcast_signature(shards: &mut [&mut Dimmunix], sig: Signature) -> (Sig
 
 /// Per-thread routing bookkeeping kept outside the shards.
 #[derive(Debug, Clone, Copy, Default)]
-struct ThreadRoute {
+struct OwnerRoute {
     /// Bit `s` set while the thread holds at least one lock on shard `s`.
     holds_mask: u64,
     /// Shard still carrying the thread's request edge or yield record from a
@@ -770,10 +790,10 @@ struct ThreadRoute {
 /// type directly and rely on its determinism.
 ///
 /// ```
-/// use dimmunix_core::{CallStack, Config, Frame, LockId, ShardedDimmunix, ThreadId};
+/// use dimmunix_core::{CallStack, Config, Frame, LockId, ShardedDimmunix, OwnerId};
 ///
 /// let mut engine = ShardedDimmunix::new(Config::default(), 8);
-/// let t = ThreadId::new(1);
+/// let t = OwnerId::thread(1);
 /// let l = LockId::new(1);
 /// let site = CallStack::single(Frame::new("worker", "app.rs", 42));
 /// assert!(engine.request(t, l, &site).is_granted());
@@ -787,7 +807,7 @@ pub struct ShardedDimmunix {
     router: ShardRouter,
     /// Global acquisition counter stamped into every shard's RAG holds.
     next_seq: u64,
-    threads: HashMap<ThreadId, ThreadRoute>,
+    owner_routes: HashMap<OwnerId, OwnerRoute>,
 }
 
 impl ShardedDimmunix {
@@ -824,7 +844,7 @@ impl ShardedDimmunix {
             shards: engines,
             router,
             next_seq: 1,
-            threads: HashMap::new(),
+            owner_routes: HashMap::new(),
         }
     }
 
@@ -888,23 +908,25 @@ impl ShardedDimmunix {
                 .sum::<usize>()
     }
 
-    /// Registers a thread on every shard. Idempotent.
-    pub fn register_thread(&mut self, t: ThreadId) {
+    /// Registers an owner (thread or task) on every shard. Idempotent.
+    pub fn register_owner(&mut self, t: impl Into<OwnerId>) {
+        let t = t.into();
         for s in &mut self.shards {
-            s.register_thread(t);
+            s.register_owner(t);
         }
     }
 
-    /// Unregisters a terminated thread on every shard, force-releasing
+    /// Unregisters a terminated owner on every shard, force-releasing
     /// anything it still held; returns the merged wake-up list.
-    pub fn unregister_thread(&mut self, t: ThreadId) -> Vec<SignatureId> {
+    pub fn unregister_owner(&mut self, t: impl Into<OwnerId>) -> Vec<SignatureId> {
+        let t = t.into();
         let mut wake = Vec::new();
         for s in &mut self.shards {
-            wake.extend(s.unregister_thread(t));
+            wake.extend(s.unregister_owner(t));
         }
         wake.sort_unstable_by_key(|s| s.index());
         wake.dedup();
-        self.threads.remove(&t);
+        self.owner_routes.remove(&t);
         wake
     }
 
@@ -932,7 +954,12 @@ impl ShardedDimmunix {
     ///
     /// Requests that cannot touch another shard's state are decided inside
     /// the home shard; the rest take the cross-shard snapshot path.
-    pub fn request(&mut self, t: ThreadId, l: LockId, stack: &CallStack) -> RequestOutcome {
+    pub fn request(
+        &mut self,
+        t: impl Into<OwnerId>,
+        l: LockId,
+        stack: &CallStack,
+    ) -> RequestOutcome {
         self.request_mode(t, l, stack, AccessMode::Exclusive)
     }
 
@@ -940,13 +967,14 @@ impl ShardedDimmunix {
     /// [`Dimmunix::request_mode`].
     pub fn request_mode(
         &mut self,
-        t: ThreadId,
+        t: impl Into<OwnerId>,
         l: LockId,
         stack: &CallStack,
         mode: AccessMode,
     ) -> RequestOutcome {
+        let t = t.into();
         let home = self.router.shard_of(l);
-        let route = self.threads.entry(t).or_default();
+        let route = self.owner_routes.entry(t).or_default();
         let stale = route.stale_shard;
         let any_parked = self.shards.iter().any(|s| s.rag().yield_count() > 0);
         let fast_ok = fast_path_eligible(route.holds_mask, stale, any_parked, home);
@@ -965,7 +993,7 @@ impl ShardedDimmunix {
         };
 
         let disabled = self.shards[home].config().is_disabled();
-        let route = self.threads.entry(t).or_default();
+        let route = self.owner_routes.entry(t).or_default();
         route.stale_shard = stale_shard_after(&outcome, stale, home, disabled);
         outcome
     }
@@ -973,27 +1001,29 @@ impl ShardedDimmunix {
     /// Called right after the monitor acquisition succeeded; see
     /// [`Dimmunix::acquired`]. Stamps the hold with the engine-global
     /// acquisition sequence.
-    pub fn acquired(&mut self, t: ThreadId, l: LockId) {
+    pub fn acquired(&mut self, t: impl Into<OwnerId>, l: LockId) {
+        let t = t.into();
         let home = self.router.shard_of(l);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.shards[home].acquired_with_seq(t, l, seq);
         self.refresh_route(t, home);
-        let route = self.threads.entry(t).or_default();
+        let route = self.owner_routes.entry(t).or_default();
         // The acquisition consumed the home shard's request edge.
         route.stale_shard = stale_shard_consumed(route.stale_shard, home);
     }
 
     /// Called right before the monitor is released; see
     /// [`Dimmunix::released`].
-    pub fn released(&mut self, t: ThreadId, l: LockId) -> Vec<SignatureId> {
+    pub fn released(&mut self, t: impl Into<OwnerId>, l: LockId) -> Vec<SignatureId> {
         let mut wake = Vec::new();
         self.released_into(t, l, &mut wake);
         wake
     }
 
     /// Allocation-free release path; see [`Dimmunix::released_into`].
-    pub fn released_into(&mut self, t: ThreadId, l: LockId, wake: &mut Vec<SignatureId>) {
+    pub fn released_into(&mut self, t: impl Into<OwnerId>, l: LockId, wake: &mut Vec<SignatureId>) {
+        let t = t.into();
         let home = self.router.shard_of(l);
         self.shards[home].released_into(t, l, wake);
         self.refresh_route(t, home);
@@ -1001,10 +1031,11 @@ impl ShardedDimmunix {
 
     /// Abandons a granted-but-never-completed acquisition; see
     /// [`Dimmunix::cancel_request`].
-    pub fn cancel_request(&mut self, t: ThreadId, l: LockId) {
+    pub fn cancel_request(&mut self, t: impl Into<OwnerId>, l: LockId) {
+        let t = t.into();
         let home = self.router.shard_of(l);
         self.shards[home].cancel_request(t, l);
-        let route = self.threads.entry(t).or_default();
+        let route = self.owner_routes.entry(t).or_default();
         route.stale_shard = stale_shard_consumed(route.stale_shard, home);
     }
 
@@ -1031,9 +1062,9 @@ impl ShardedDimmunix {
 
     /// Re-derives the thread's holds-mask bit for `shard` from that shard's
     /// RAG (exact, so the fast-path precondition can never drift).
-    fn refresh_route(&mut self, t: ThreadId, shard: usize) {
+    fn refresh_route(&mut self, t: OwnerId, shard: usize) {
         let holds = !self.shards[shard].rag().held_locks(t).is_empty();
-        let route = self.threads.entry(t).or_default();
+        let route = self.owner_routes.entry(t).or_default();
         route.holds_mask = holds_mask_with(route.holds_mask, shard, holds);
     }
 }

@@ -18,6 +18,14 @@ pub struct Stats {
     pub acquisitions: u64,
     /// `released` notifications that actually released the monitor.
     pub releases: u64,
+    /// `acquired` notifications that deepened an already-held monitor
+    /// (recursive re-entries). These increment `acquisitions` but their
+    /// matching exits do not increment `releases`, so at quiescence the
+    /// reentrant balance identity holds:
+    /// `acquisitions - nested_reentries == releases` (`>=` while owners are
+    /// mid-critical-section or were force-released by `unregister_owner`).
+    /// See [`Stats::reentrant_balance`].
+    pub nested_reentries: u64,
     /// Requests answered with a yield (the thread had to park).
     pub yields: u64,
     /// Distinct times a real deadlock cycle was detected.
@@ -52,6 +60,16 @@ impl Stats {
         self.acquisitions
     }
 
+    /// The reentrant balance: top-level acquisitions not yet matched by a
+    /// release (`acquisitions - nested_reentries - releases`). Zero at
+    /// quiescence when every owner released what it acquired; positive while
+    /// monitors are held (or after `unregister_owner` force-released holds
+    /// without a `released` notification). The engine debug-asserts this
+    /// never goes negative.
+    pub fn reentrant_balance(&self) -> i64 {
+        (self.acquisitions - self.nested_reentries) as i64 - self.releases as i64
+    }
+
     /// Fraction of requests that had to yield (a rough false-positive proxy:
     /// on deadlock-free runs every yield is conservative serialization).
     pub fn yield_rate(&self) -> f64 {
@@ -82,6 +100,7 @@ impl Stats {
         self.reentrant_grants += other.reentrant_grants;
         self.acquisitions += other.acquisitions;
         self.releases += other.releases;
+        self.nested_reentries += other.nested_reentries;
         self.yields += other.yields;
         self.deadlocks_detected += other.deadlocks_detected;
         self.new_deadlock_signatures += other.new_deadlock_signatures;
@@ -97,14 +116,15 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "requests={} grants={} reentrant={} acquisitions={} releases={} yields={} \
-             deadlocks={} (new sigs {}) starvations={} (new sigs {}) checks={} examined={} \
-             wakeups={}",
+            "requests={} grants={} reentrant={} acquisitions={} releases={} reentries={} \
+             yields={} deadlocks={} (new sigs {}) starvations={} (new sigs {}) checks={} \
+             examined={} wakeups={}",
             self.requests,
             self.grants,
             self.reentrant_grants,
             self.acquisitions,
             self.releases,
+            self.nested_reentries,
             self.yields,
             self.deadlocks_detected,
             self.new_deadlock_signatures,
@@ -129,6 +149,7 @@ mod tests {
             reentrant_grants: 3,
             acquisitions: 4,
             releases: 5,
+            nested_reentries: 1,
             yields: 6,
             deadlocks_detected: 7,
             new_deadlock_signatures: 8,
@@ -144,6 +165,27 @@ mod tests {
         assert_eq!(a.wakeups, 24);
         assert_eq!(a.signatures_examined, 26);
         assert_eq!(a.synchronizations(), 8);
+        assert_eq!(a.nested_reentries, 2);
+    }
+
+    #[test]
+    fn reentrant_balance_tracks_outstanding_holds() {
+        let s = Stats {
+            acquisitions: 10,
+            nested_reentries: 3,
+            releases: 7,
+            ..Stats::new()
+        };
+        // 10 acquisitions, 3 of which were recursive re-entries whose exits
+        // never reach `releases`: at quiescence 10 - 3 == 7.
+        assert_eq!(s.reentrant_balance(), 0);
+        let held = Stats {
+            acquisitions: 5,
+            nested_reentries: 1,
+            releases: 2,
+            ..Stats::new()
+        };
+        assert_eq!(held.reentrant_balance(), 2);
     }
 
     #[test]

@@ -216,7 +216,7 @@ impl Process {
     pub fn spawn_thread(&mut self, name: impl Into<String>, entry: MethodId) -> ThreadId {
         let id = ThreadId::new(self.next_thread);
         self.next_thread += 1;
-        self.engine.register_thread(id);
+        self.engine.register_owner(id);
         self.threads.push(VmThread::new(id, name, entry));
         id
     }
@@ -493,7 +493,7 @@ impl Process {
             }
             m.wait_set.retain(|t| *t != tid);
         }
-        let wake = self.engine.unregister_thread(tid);
+        let wake = self.engine.unregister_owner(tid);
         self.threads[idx].state = ThreadState::Terminated;
         self.wake_yielders(&wake);
     }

@@ -1,0 +1,449 @@
+//! The poll-based immune reader–writer lock.
+
+use crate::asyncio::executor::current_task;
+use crate::asyncio::mutex::Stage;
+use crate::runtime::{DimmunixRuntime, LockError, TaskAcquire};
+use crate::site::AcquisitionSite;
+use dimmunix_core::{AccessMode, LockId, TaskId};
+use std::cell::{Ref, RefCell, RefMut};
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+/// Book-keeping of the actual task-level rwlock, separate from the engine's
+/// approval view. Readers may contain the same task more than once
+/// (reentrant shared acquisitions, which the engine grants reentrantly).
+struct RwState {
+    readers: Vec<TaskId>,
+    writer: Option<TaskId>,
+    /// Wakers of engine-approved tasks waiting for the lock itself, FIFO
+    /// with the access mode they wait in and at most one entry per task;
+    /// their request edges stay in the RAG while they wait. A release wakes
+    /// only what can actually proceed — the front writer, or the reader
+    /// batch — never the whole crowd.
+    waiters: VecDeque<(TaskId, AccessMode, Waker)>,
+}
+
+impl RwState {
+    /// Registers (or refreshes) `task`'s waker without duplicating its
+    /// queue entry.
+    fn enqueue(&mut self, task: TaskId, mode: AccessMode, waker: &Waker) {
+        match self.waiters.iter_mut().find(|(t, _, _)| *t == task) {
+            Some((_, m, w)) => {
+                *m = mode;
+                *w = waker.clone();
+            }
+            None => self.waiters.push_back((task, mode, waker.clone())),
+        }
+    }
+
+    /// The wakers the next release hand-off should fire: the front waiter,
+    /// plus — when the front waits shared — every other shared waiter, since
+    /// a reader batch proceeds together while a writer proceeds alone.
+    fn handoff(&mut self) -> Vec<Waker> {
+        match self.waiters.front() {
+            None => Vec::new(),
+            Some((_, AccessMode::Exclusive, _)) => {
+                vec![self
+                    .waiters
+                    .pop_front()
+                    .map(|(_, _, w)| w)
+                    .expect("front exists")]
+            }
+            Some((_, AccessMode::Shared, _)) => {
+                let mut woken = Vec::new();
+                self.waiters.retain(|(_, m, w)| {
+                    if m.is_shared() {
+                        woken.push(w.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                woken
+            }
+        }
+    }
+}
+
+/// An async reader–writer lock with deadlock immunity, keyed by task.
+///
+/// The async counterpart of [`ImmuneRwLock`](crate::ImmuneRwLock): shared
+/// acquisitions go through the engine under
+/// [`AccessMode::Shared`], so every reader of a crowd carries its own hold
+/// edge and a blocked writer waits on all of them — the multi-owner RAG
+/// nodes that make rwlock cycles (e.g. two readers upgrading against each
+/// other's write) exact rather than approximated.
+///
+/// Write acquisitions are not reentrant, and a read→write upgrade by the
+/// task holding the read side panics (it is a self-deadlock the engine
+/// cannot rescue, exactly like `std::sync::RwLock`'s undefined behaviour,
+/// made loud).
+pub struct RwLock<T> {
+    rt: Arc<DimmunixRuntime>,
+    id: LockId,
+    state: RefCell<RwState>,
+    data: RefCell<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("asyncio::RwLock")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> RwLock<T> {
+    /// Creates an immune async rwlock attached to the process-global
+    /// runtime.
+    pub fn new(value: T) -> Self {
+        Self::new_in(&DimmunixRuntime::global(), value)
+    }
+
+    /// Creates an immune async rwlock attached to an explicit runtime.
+    pub fn new_in(rt: &Arc<DimmunixRuntime>, value: T) -> Self {
+        RwLock {
+            rt: Arc::clone(rt),
+            id: rt.allocate_lock(),
+            state: RefCell::new(RwState {
+                readers: Vec::new(),
+                writer: None,
+                waiters: VecDeque::new(),
+            }),
+            data: RefCell::new(value),
+        }
+    }
+
+    /// The engine lock id backing this rwlock.
+    pub fn lock_id(&self) -> LockId {
+        self.id
+    }
+
+    /// Acquires the lock shared, capturing the caller's source location as
+    /// the acquisition site.
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadFuture<'_, T> {
+        self.read_at(AcquisitionSite::here())
+    }
+
+    /// [`read`](Self::read) with an explicit acquisition site.
+    pub fn read_at(&self, site: AcquisitionSite) -> RwLockReadFuture<'_, T> {
+        RwLockReadFuture {
+            lock: self,
+            site,
+            task: None,
+            stage: Stage::Init,
+        }
+    }
+
+    /// Acquires the lock exclusively, capturing the caller's source
+    /// location as the acquisition site.
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteFuture<'_, T> {
+        self.write_at(AcquisitionSite::here())
+    }
+
+    /// [`write`](Self::write) with an explicit acquisition site.
+    pub fn write_at(&self, site: AcquisitionSite) -> RwLockWriteFuture<'_, T> {
+        RwLockWriteFuture {
+            lock: self,
+            site,
+            task: None,
+            stage: Stage::Init,
+        }
+    }
+
+    /// Consumes the rwlock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// One engine decision for this future's poll; shared by the read and
+    /// write futures. Returns `Some(poll-result)` when the poll is over
+    /// (parked or refused), `None` when the engine approved and the caller
+    /// should try the actual lock.
+    fn begin<G>(
+        &self,
+        task: TaskId,
+        site: AcquisitionSite,
+        mode: AccessMode,
+        stage: &mut Stage,
+        cx: &mut Context<'_>,
+    ) -> Option<Poll<Result<G, LockError>>> {
+        match self
+            .rt
+            .task_begin_acquire_mode(task, self.id, site, mode, cx.waker())
+        {
+            TaskAcquire::Granted => {
+                *stage = Stage::Approved;
+                None
+            }
+            TaskAcquire::Parked { .. } => {
+                *stage = Stage::Parked;
+                Some(Poll::Pending)
+            }
+            TaskAcquire::WouldDeadlock(err) => {
+                // Clear the refused request edge (see asyncio::Mutex).
+                self.rt.task_cancel_acquire(task, self.id);
+                *stage = Stage::Done;
+                Some(Poll::Ready(Err(err)))
+            }
+        }
+    }
+}
+
+/// Future returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadFuture<'a, T> {
+    lock: &'a RwLock<T>,
+    site: AcquisitionSite,
+    task: Option<TaskId>,
+    stage: Stage,
+}
+
+impl<'a, T> Future for RwLockReadFuture<'a, T> {
+    type Output = Result<RwLockReadGuard<'a, T>, LockError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let task = current_task()
+            .expect("asyncio lock futures must be polled from an Executor task context");
+        this.task = Some(task);
+        loop {
+            match this.stage {
+                Stage::Init | Stage::Parked => {
+                    if let Some(done) =
+                        this.lock
+                            .begin(task, this.site, AccessMode::Shared, &mut this.stage, cx)
+                    {
+                        return done;
+                    }
+                }
+                Stage::Approved => {
+                    let mut state = this.lock.state.borrow_mut();
+                    match state.writer {
+                        Some(writer) if writer == task => panic!(
+                            "asyncio::RwLock: task {task} holds the write side; a \
+                             reentrant read would self-deadlock"
+                        ),
+                        Some(_) => {
+                            state.enqueue(task, AccessMode::Shared, cx.waker());
+                            return Poll::Pending;
+                        }
+                        None => {
+                            state.readers.push(task);
+                            drop(state);
+                            this.lock.rt.task_finish_acquire(task, this.lock.id);
+                            this.stage = Stage::Done;
+                            return Poll::Ready(Ok(RwLockReadGuard {
+                                lock: this.lock,
+                                task,
+                                inner: Some(this.lock.data.borrow()),
+                            }));
+                        }
+                    }
+                }
+                Stage::Done => panic!("RwLockReadFuture polled after completion"),
+            }
+        }
+    }
+}
+
+impl<T> Drop for RwLockReadFuture<'_, T> {
+    fn drop(&mut self) {
+        if matches!(self.stage, Stage::Parked | Stage::Approved) {
+            if let Some(task) = self.task {
+                self.lock.rt.task_cancel_acquire(task, self.lock.id);
+                if self.stage == Stage::Approved {
+                    forward_handoff(self.lock, task);
+                }
+            }
+        }
+    }
+}
+
+/// Removes a dropped waiter's queue entry and, when the lock is not
+/// write-held, re-fires the hand-off: the dropped future may have consumed
+/// the single wake a release distributed, and that wake must not die with
+/// it. A spurious extra wake only costs the woken task one re-poll.
+fn forward_handoff<T>(lock: &RwLock<T>, task: TaskId) {
+    let woken = {
+        let mut state = lock.state.borrow_mut();
+        state.waiters.retain(|(t, _, _)| *t != task);
+        if state.writer.is_none() {
+            state.handoff()
+        } else {
+            Vec::new()
+        }
+    };
+    for w in woken {
+        w.wake();
+    }
+}
+
+/// Future returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteFuture<'a, T> {
+    lock: &'a RwLock<T>,
+    site: AcquisitionSite,
+    task: Option<TaskId>,
+    stage: Stage,
+}
+
+impl<'a, T> Future for RwLockWriteFuture<'a, T> {
+    type Output = Result<RwLockWriteGuard<'a, T>, LockError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let task = current_task()
+            .expect("asyncio lock futures must be polled from an Executor task context");
+        this.task = Some(task);
+        loop {
+            match this.stage {
+                Stage::Init | Stage::Parked => {
+                    if let Some(done) =
+                        this.lock
+                            .begin(task, this.site, AccessMode::Exclusive, &mut this.stage, cx)
+                    {
+                        return done;
+                    }
+                }
+                Stage::Approved => {
+                    let mut state = this.lock.state.borrow_mut();
+                    if state.writer == Some(task) {
+                        panic!(
+                            "asyncio::RwLock is not write-reentrant: task {task} \
+                             already holds lock {} exclusively",
+                            this.lock.id
+                        );
+                    }
+                    if state.readers.contains(&task) {
+                        panic!(
+                            "asyncio::RwLock: task {task} holds the read side; a \
+                             read→write upgrade would self-deadlock"
+                        );
+                    }
+                    if state.writer.is_none() && state.readers.is_empty() {
+                        state.writer = Some(task);
+                        drop(state);
+                        this.lock.rt.task_finish_acquire(task, this.lock.id);
+                        this.stage = Stage::Done;
+                        return Poll::Ready(Ok(RwLockWriteGuard {
+                            lock: this.lock,
+                            task,
+                            inner: Some(this.lock.data.borrow_mut()),
+                        }));
+                    }
+                    state.enqueue(task, AccessMode::Exclusive, cx.waker());
+                    return Poll::Pending;
+                }
+                Stage::Done => panic!("RwLockWriteFuture polled after completion"),
+            }
+        }
+    }
+}
+
+impl<T> Drop for RwLockWriteFuture<'_, T> {
+    fn drop(&mut self) {
+        if matches!(self.stage, Stage::Parked | Stage::Approved) {
+            if let Some(task) = self.task {
+                self.lock.rt.task_cancel_acquire(task, self.lock.id);
+                if self.stage == Stage::Approved {
+                    forward_handoff(self.lock, task);
+                }
+            }
+        }
+    }
+}
+
+/// Shared guard produced by [`RwLock::read`]; releases on drop. Held across
+/// an `.await`, it is a hold edge (one of possibly many on the lock's
+/// multi-owner RAG node) under the task's identity.
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    task: TaskId,
+    inner: Option<Ref<'a, T>>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("asyncio::RwLockReadGuard")
+            .field("value", &**self)
+            .finish()
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not yet dropped")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        let woken = {
+            let mut state = self.lock.state.borrow_mut();
+            if let Some(i) = state.readers.iter().position(|r| *r == self.task) {
+                state.readers.swap_remove(i);
+            }
+            if state.readers.is_empty() && state.writer.is_none() {
+                state.handoff()
+            } else {
+                Vec::new()
+            }
+        };
+        self.lock.rt.task_release(self.task, self.lock.id);
+        for w in woken {
+            w.wake();
+        }
+    }
+}
+
+/// Exclusive guard produced by [`RwLock::write`]; releases on drop.
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    task: TaskId,
+    inner: Option<RefMut<'a, T>>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("asyncio::RwLockWriteGuard")
+            .field("value", &**self)
+            .finish()
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not yet dropped")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard not yet dropped")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        let woken = {
+            let mut state = self.lock.state.borrow_mut();
+            state.writer = None;
+            state.handoff()
+        };
+        self.lock.rt.task_release(self.task, self.lock.id);
+        for w in woken {
+            w.wake();
+        }
+    }
+}

@@ -50,6 +50,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod asyncio;
 mod monitor;
 mod mutex;
 mod runtime;
@@ -62,7 +63,7 @@ pub use monitor::{ImmuneMonitor, MonitorGuard};
 pub use mutex::{ImmuneMutex, ImmuneMutexGuard};
 pub use runtime::{
     DeadlockPolicy, DimmunixRuntime, GlobalAlreadyInstalled, LockError, RuntimeBuilder,
-    RuntimeOptions,
+    RuntimeOptions, TaskAcquire,
 };
 pub use rwlock::{ImmuneRwLock, ImmuneRwLockReadGuard, ImmuneRwLockWriteGuard};
 pub use site::{AcquisitionSite, CALLER_SCOPE};

@@ -41,15 +41,16 @@ use crate::sync;
 use dimmunix_core::{
     broadcast_signature, fast_path_eligible, holds_mask_with, request_cross_shard,
     stale_shard_after, stale_shard_consumed, try_request_local, AccessMode, CallStack, Config,
-    Dimmunix, History, HistorySnapshot, LocalDecision, LockId, RecoveryReport, RequestOutcome,
-    ShardRouter, Signature, SignatureId, Stats, ThreadId,
+    Dimmunix, History, HistorySnapshot, LocalDecision, LockId, OwnerId, RecoveryReport,
+    RequestOutcome, ShardRouter, Signature, SignatureId, Stats, TaskId, ThreadId,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::task::Waker;
 use std::time::Duration;
 
 /// What the wrapper types should do when the engine reports that the
@@ -87,6 +88,13 @@ pub enum LockError {
         lock: LockId,
         /// The program location of the refused acquisition.
         site: AcquisitionSite,
+        /// The owner whose acquisition was refused — an OS thread for the
+        /// blocking lock types, an async task for the `asyncio` substrate.
+        owner: OwnerId,
+        /// Where the refused owner was spawned, when known (recorded for
+        /// async tasks at `spawn`; `None` for OS threads, whose identity is
+        /// not tied to a source location).
+        spawn_site: Option<AcquisitionSite>,
     },
 }
 
@@ -97,11 +105,17 @@ impl fmt::Display for LockError {
                 signature,
                 lock,
                 site,
+                owner,
+                spawn_site,
             } => {
                 write!(
                     f,
-                    "acquiring lock {lock} at {site} would complete deadlock {signature}"
-                )
+                    "acquiring lock {lock} at {site} by {owner} would complete deadlock {signature}"
+                )?;
+                if let Some(spawned) = spawn_site {
+                    write!(f, " (task spawned at {spawned})")?;
+                }
+                Ok(())
             }
         }
     }
@@ -348,6 +362,53 @@ pub struct DimmunixRuntime {
     instance: u64,
     next_thread: AtomicU64,
     next_lock: AtomicU64,
+    next_task: AtomicU64,
+    /// Per-task routing state (the task analogue of the thread-local
+    /// [`ThreadRoute`]). A map rather than a thread-local because a task may
+    /// be polled from any worker thread; each entry is only touched by its
+    /// own task's polls, which an executor serializes.
+    task_routes: Mutex<HashMap<TaskId, TaskRoute>>,
+    /// Wakers of tasks parked by avoidance, keyed by the signature whose
+    /// instantiation parked them — the async analogue of the condition
+    /// variable [`SignatureGate`]s, FIFO per signature and at most one
+    /// entry per task. Release-driven notifications wake only the front
+    /// entry ([`notify_signatures_released`](Self::notify_signatures_released));
+    /// correctness-critical notifications (starvation, cancellation,
+    /// retirement) wake every entry.
+    task_wakers: Mutex<HashMap<SignatureId, VecDeque<(TaskId, Waker)>>>,
+}
+
+/// Per-task routing state, mirroring [`ThreadRoute`] plus the task's spawn
+/// site for diagnostics.
+#[derive(Debug, Clone, Copy, Default)]
+struct TaskRoute {
+    /// Bit `s` set while the task holds at least one lock on shard `s`.
+    holds_mask: u64,
+    /// Shard still carrying this task's request edge from an acquisition
+    /// answered with `Yield` or `DeadlockDetected`.
+    stale_shard: Option<usize>,
+    /// Where the task was spawned, when the executor recorded it.
+    spawn_site: Option<AcquisitionSite>,
+}
+
+/// The engine's answer to a non-blocking task acquisition request — the
+/// poll-based analogue of [`DimmunixRuntime::before_acquire`]'s loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskAcquire {
+    /// The task may proceed to acquire the lock (new or reentrant hold).
+    Granted,
+    /// Granting now could instantiate the given history signature: the
+    /// task's waker has been registered on the signature and the future
+    /// must return `Poll::Pending`; the waker fires when a lock acquired at
+    /// one of the signature's positions is released, and the task then
+    /// re-requests.
+    Parked {
+        /// The signature whose instantiation is being avoided.
+        signature: SignatureId,
+    },
+    /// A genuine task-level deadlock was detected (and the policy is
+    /// [`DeadlockPolicy::Error`]); the signature is already recorded.
+    WouldDeadlock(LockError),
 }
 
 static NEXT_RUNTIME_INSTANCE: AtomicU64 = AtomicU64::new(1);
@@ -448,6 +509,9 @@ impl DimmunixRuntime {
             instance: NEXT_RUNTIME_INSTANCE.fetch_add(1, Ordering::Relaxed),
             next_thread: AtomicU64::new(1),
             next_lock: AtomicU64::new(1),
+            next_task: AtomicU64::new(1),
+            task_routes: Mutex::new(HashMap::new()),
+            task_wakers: Mutex::new(HashMap::new()),
         })
     }
 
@@ -480,7 +544,7 @@ impl DimmunixRuntime {
             }
             let id = ThreadId::new(self.next_thread.fetch_add(1, Ordering::Relaxed));
             for shard in &self.shards {
-                sync::lock(shard).engine.register_thread(id);
+                sync::lock(shard).engine.register_owner(id);
             }
             let route = ThreadRoute {
                 id,
@@ -586,9 +650,50 @@ impl DimmunixRuntime {
         sync::lock(&self.gates).entry(sig).or_default().clone()
     }
 
-    /// Bumps the generation of every listed signature gate and wakes the
-    /// parked threads. Lock order: shard(s) before gates, everywhere.
+    /// Bumps the generation of every listed signature gate, wakes the
+    /// parked threads, and fires the wakers of **every** task parked on
+    /// those signatures. Lock order: shard(s) before gates, everywhere.
     fn notify_signatures(&self, sigs: &[SignatureId]) {
+        self.bump_gates(sigs);
+        let mut parked_tasks = sync::lock(&self.task_wakers);
+        for sig in sigs {
+            if let Some(wakers) = parked_tasks.remove(sig) {
+                for (_, w) in wakers {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    /// The release-driven variant of [`notify_signatures`](Self::notify_signatures):
+    /// wakes only the **front** task parked on each signature instead of the
+    /// whole crowd. Waking everyone on every release makes the parked
+    /// population re-run the avoidance check O(parked × releases) times while
+    /// at most one of them can be granted per de-instantiating release; the
+    /// chain stays live with a single wake because a woken-then-granted task
+    /// acquires at an in-history position, so its own release re-notifies
+    /// the signature and hands the wake to the next waiter, and a
+    /// woken-then-reparked task goes to the back of the queue while the
+    /// blockers that keep the signature instantiable still hold locks whose
+    /// releases notify it again. Parked threads still get the full condvar
+    /// broadcast — their gates are generation-sampled, not queued.
+    fn notify_signatures_released(&self, sigs: &[SignatureId]) {
+        self.bump_gates(sigs);
+        let mut parked_tasks = sync::lock(&self.task_wakers);
+        for sig in sigs {
+            if let Some(wakers) = parked_tasks.get_mut(sig) {
+                if let Some((_, w)) = wakers.pop_front() {
+                    w.wake();
+                }
+                if wakers.is_empty() {
+                    parked_tasks.remove(sig);
+                }
+            }
+        }
+    }
+
+    /// Generation bump + broadcast on every listed signature's thread gate.
+    fn bump_gates(&self, sigs: &[SignatureId]) {
         for sig in sigs {
             let gate = self.gate(*sig);
             let mut gen = sync::lock(&gate.lock);
@@ -742,6 +847,8 @@ impl DimmunixRuntime {
                             signature,
                             lock,
                             site,
+                            owner: thread.into(),
+                            spawn_site: None,
                         }),
                         DeadlockPolicy::Block => Ok(()),
                     };
@@ -775,7 +882,7 @@ impl DimmunixRuntime {
         let holds = {
             let mut cell = sync::lock(&self.shards[home]);
             cell.engine.acquired_with_seq(thread, lock, seq);
-            !cell.engine.rag().held_locks(thread).is_empty()
+            !cell.engine.rag().held_locks(thread.into()).is_empty()
         };
         self.update_route(|r| {
             r.holds_mask = holds_mask_with(r.holds_mask, home, holds);
@@ -821,9 +928,9 @@ impl DimmunixRuntime {
         } = &mut *cell;
         engine.released_into(thread, lock, wake_scratch);
         if !cell.wake_scratch.is_empty() {
-            self.notify_signatures(&cell.wake_scratch);
+            self.notify_signatures_released(&cell.wake_scratch);
         }
-        !cell.engine.rag().held_locks(thread).is_empty()
+        !cell.engine.rag().held_locks(thread.into()).is_empty()
     }
 
     /// Unregisters the calling thread (normally done when a worker exits),
@@ -835,7 +942,7 @@ impl DimmunixRuntime {
             let mut guards: Vec<MutexGuard<'_, ShardCell>> =
                 self.shards.iter().map(sync::lock).collect();
             for g in guards.iter_mut() {
-                wake.extend(g.engine.unregister_thread(thread));
+                wake.extend(g.engine.unregister_owner(thread));
                 self.sync_parked(g);
             }
             if !wake.is_empty() {
@@ -845,6 +952,277 @@ impl DimmunixRuntime {
         THREAD_ROUTE.with(|cell| {
             cell.borrow_mut().remove(&self.instance);
         });
+    }
+
+    // ------------------------------------------------------------------
+    // The task API: poll-based hooks for async substrates
+    // ------------------------------------------------------------------
+    //
+    // Async tasks are multiplexed onto a small pool of OS worker threads, so
+    // a task-level deadlock (task A holds lock 1 and awaits lock 2 while
+    // task B holds lock 2 and awaits lock 1) is invisible to the
+    // thread-keyed hooks above whenever the tasks share a worker. These
+    // hooks key the engine by [`OwnerId::Task`] instead, and replace the
+    // blocking yield loop of [`before_acquire`](Self::before_acquire) with a
+    // single-shot decision: a `Yield` registers the task's waker on the
+    // signature and surfaces as [`TaskAcquire::Parked`], so the calling
+    // future returns `Poll::Pending` instead of parking an OS thread.
+
+    /// Registers a new async task with the engine and returns its identity.
+    /// `spawn_site` (the source location of the `spawn` call, when the
+    /// executor records one) is carried into
+    /// [`LockError::WouldDeadlock::spawn_site`] diagnostics.
+    pub fn register_task(&self, spawn_site: Option<AcquisitionSite>) -> TaskId {
+        let id = TaskId::new(self.next_task.fetch_add(1, Ordering::Relaxed));
+        for shard in &self.shards {
+            sync::lock(shard).engine.register_owner(id);
+        }
+        sync::lock(&self.task_routes).insert(
+            id,
+            TaskRoute {
+                spawn_site,
+                ..TaskRoute::default()
+            },
+        );
+        id
+    }
+
+    /// The spawn site recorded for `task`, if any.
+    pub fn task_spawn_site(&self, task: TaskId) -> Option<AcquisitionSite> {
+        sync::lock(&self.task_routes)
+            .get(&task)
+            .and_then(|r| r.spawn_site)
+    }
+
+    fn task_route(&self, task: TaskId) -> TaskRoute {
+        sync::lock(&self.task_routes)
+            .get(&task)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    fn update_task_route(&self, task: TaskId, f: impl FnOnce(&mut TaskRoute)) {
+        if let Some(r) = sync::lock(&self.task_routes).get_mut(&task) {
+            f(r);
+        }
+    }
+
+    /// Non-blocking analogue of [`before_acquire`](Self::before_acquire)
+    /// for an **exclusive** task acquisition. One engine decision per call:
+    /// [`TaskAcquire::Parked`] means the future must return
+    /// `Poll::Pending` — `waker` has been registered on the signature and
+    /// fires when the park may be over, whereupon the future calls this
+    /// again (the paper's `do { … } while (sigId >= 0)` loop, driven by the
+    /// executor instead of a condition variable).
+    pub fn task_begin_acquire(
+        &self,
+        task: TaskId,
+        lock: LockId,
+        site: AcquisitionSite,
+        waker: &Waker,
+    ) -> TaskAcquire {
+        self.task_begin_acquire_mode(task, lock, site, AccessMode::Exclusive, waker)
+    }
+
+    /// [`task_begin_acquire`](Self::task_begin_acquire) with an explicit
+    /// access mode ([`AccessMode::Shared`] for the read side of the async
+    /// rwlock).
+    pub fn task_begin_acquire_mode(
+        &self,
+        task: TaskId,
+        lock: LockId,
+        site: AcquisitionSite,
+        mode: AccessMode,
+        waker: &Waker,
+    ) -> TaskAcquire {
+        let owner = OwnerId::Task(task);
+        let stack: CallStack = site.to_call_stack();
+        let home = self.router.shard_of(lock);
+        let route = self.task_route(task);
+        let task_local_ok = fast_path_eligible(route.holds_mask, route.stale_shard, false, home);
+
+        // Fast path: decide inside the home shard when neither detection nor
+        // avoidance can need another shard's state. The local path cannot
+        // yield (a yield needs the requesting position in the history, which
+        // forces the cross-shard path), so no waker registration is needed.
+        let mut outcome = None;
+        if task_local_ok {
+            let mut cell = sync::lock(&self.shards[home]);
+            if self.parked.load(Ordering::SeqCst) == 0 {
+                if let LocalDecision::Decided(o) =
+                    try_request_local(&mut cell.engine, owner, lock, &stack, mode)
+                {
+                    self.sync_parked(&mut cell);
+                    if matches!(o, RequestOutcome::Yield { .. }) {
+                        // Unreachable by construction; fall through to the
+                        // cross-shard path, which can register the waker
+                        // race-free under the all-shard lock.
+                        debug_assert!(false, "local fast path yielded");
+                    } else {
+                        outcome = Some(o);
+                    }
+                }
+            }
+        }
+
+        let outcome = match outcome {
+            Some(o) => o,
+            None => {
+                let mut guards: Vec<MutexGuard<'_, ShardCell>> =
+                    self.shards.iter().map(sync::lock).collect();
+                let o = {
+                    let mut engines: Vec<&mut Dimmunix> =
+                        guards.iter_mut().map(|g| &mut g.engine).collect();
+                    request_cross_shard(
+                        &mut engines,
+                        &self.router,
+                        owner,
+                        lock,
+                        &stack,
+                        mode,
+                        route.stale_shard,
+                    )
+                };
+                let mut pending: Vec<SignatureId> = Vec::new();
+                for g in guards.iter_mut() {
+                    self.sync_parked(g);
+                    pending.extend(g.engine.take_pending_wakeups());
+                }
+                if !pending.is_empty() {
+                    self.notify_signatures(&pending);
+                }
+                if let RequestOutcome::Yield { signature } = &o {
+                    // Register the waker while every shard lock is still
+                    // held: a release that would wake this signature needs a
+                    // shard lock, so the wake-up cannot be lost. At most one
+                    // entry per task: a re-park refreshes the waker in place
+                    // (keeping its queue turn) instead of duplicating it.
+                    let mut parked = sync::lock(&self.task_wakers);
+                    let queue = parked.entry(*signature).or_default();
+                    match queue.iter_mut().find(|(t, _)| *t == task) {
+                        Some((_, w)) => *w = waker.clone(),
+                        None => queue.push_back((task, waker.clone())),
+                    }
+                }
+                o
+            }
+        };
+
+        let next_stale = stale_shard_after(
+            &outcome,
+            route.stale_shard,
+            home,
+            self.options.config.is_disabled(),
+        );
+        if next_stale != route.stale_shard {
+            self.update_task_route(task, |r| r.stale_shard = next_stale);
+        }
+
+        match outcome {
+            RequestOutcome::Granted | RequestOutcome::GrantedReentrant => TaskAcquire::Granted,
+            RequestOutcome::Yield { signature } => TaskAcquire::Parked { signature },
+            RequestOutcome::DeadlockDetected { signature, .. } => {
+                match self.options.deadlock_policy {
+                    DeadlockPolicy::Error => TaskAcquire::WouldDeadlock(LockError::WouldDeadlock {
+                        signature,
+                        lock,
+                        site,
+                        owner,
+                        spawn_site: route.spawn_site,
+                    }),
+                    // Paper-faithful: proceed and let the tasks freeze once;
+                    // the signature is persisted, so the next run is immune.
+                    DeadlockPolicy::Block => TaskAcquire::Granted,
+                }
+            }
+        }
+    }
+
+    /// The task analogue of [`after_acquire`](Self::after_acquire): records
+    /// the completed acquisition, stamped with the runtime-global sequence.
+    pub fn task_finish_acquire(&self, task: TaskId, lock: LockId) {
+        let owner = OwnerId::Task(task);
+        let home = self.router.shard_of(lock);
+        let seq = self.acq_seq.fetch_add(1, Ordering::Relaxed);
+        let holds = {
+            let mut cell = sync::lock(&self.shards[home]);
+            cell.engine.acquired_with_seq(owner, lock, seq);
+            !cell.engine.rag().held_locks(owner).is_empty()
+        };
+        self.update_task_route(task, |r| {
+            r.holds_mask = holds_mask_with(r.holds_mask, home, holds);
+            r.stale_shard = stale_shard_consumed(r.stale_shard, home);
+        });
+    }
+
+    /// Backs out of an approved task acquisition that will not be completed
+    /// (the acquiring future was dropped between approval and completion —
+    /// e.g. a select! raced it against a timeout).
+    pub fn task_cancel_acquire(&self, task: TaskId, lock: LockId) {
+        let owner = OwnerId::Task(task);
+        let home = self.router.shard_of(lock);
+        let parked_on = {
+            let mut cell = sync::lock(&self.shards[home]);
+            let sig = cell.engine.rag().yielding(owner).map(|y| y.signature);
+            cell.engine.cancel_request(owner, lock);
+            self.sync_parked(&mut cell);
+            sig
+        };
+        if let Some(sig) = parked_on {
+            // The dropped future may have been the single waiter a
+            // release-driven wake was handed to; drop its stale waker and
+            // re-broadcast so the wake is not lost with it.
+            if let Some(q) = sync::lock(&self.task_wakers).get_mut(&sig) {
+                q.retain(|(t, _)| *t != task);
+            }
+            self.notify_signatures(&[sig]);
+        }
+        self.update_task_route(task, |r| {
+            r.stale_shard = stale_shard_consumed(r.stale_shard, home);
+        });
+    }
+
+    /// The task analogue of [`before_release`](Self::before_release):
+    /// releases in the owning shard and wakes every parked thread and task
+    /// the engine says must be notified.
+    pub fn task_release(&self, task: TaskId, lock: LockId) {
+        let owner = OwnerId::Task(task);
+        let home = self.router.shard_of(lock);
+        let holds = {
+            let mut cell = sync::lock(&self.shards[home]);
+            let ShardCell {
+                engine,
+                wake_scratch,
+                ..
+            } = &mut *cell;
+            engine.released_into(owner, lock, wake_scratch);
+            if !cell.wake_scratch.is_empty() {
+                self.notify_signatures_released(&cell.wake_scratch);
+            }
+            !cell.engine.rag().held_locks(owner).is_empty()
+        };
+        self.update_task_route(task, |r| {
+            r.holds_mask = holds_mask_with(r.holds_mask, home, holds);
+        });
+    }
+
+    /// Unregisters a completed task, force-releasing anything it still
+    /// holds on any shard (a guard leaked across task teardown).
+    pub fn retire_task(&self, task: TaskId) {
+        let owner = OwnerId::Task(task);
+        let mut wake: Vec<SignatureId> = Vec::new();
+        {
+            let mut guards: Vec<MutexGuard<'_, ShardCell>> =
+                self.shards.iter().map(sync::lock).collect();
+            for g in guards.iter_mut() {
+                wake.extend(g.engine.unregister_owner(owner));
+                self.sync_parked(g);
+            }
+            if !wake.is_empty() {
+                self.notify_signatures(&wake);
+            }
+        }
+        sync::lock(&self.task_routes).remove(&task);
     }
 }
 

@@ -1,0 +1,657 @@
+//! Sync/async equivalence proptest (ISSUE 6, satellite 3).
+//!
+//! Drives the *same* seeded lock/unlock schedule through two substrates:
+//!
+//! * **Oracle (sync)** — a deterministic blocking-lock simulator over the
+//!   monolithic thread-keyed [`Dimmunix`] engine. The simulator reproduces,
+//!   in plain sequential code, exactly the protocol the async substrate
+//!   implements: FIFO mutex handoff (release wakes the front waiter only),
+//!   release-driven avoidance wake-one per signature, a deduplicated FIFO
+//!   ready queue, and the `Error`-policy refusal path (cancel the refused
+//!   request, drop held guards in acquisition order, retire the owner).
+//! * **Subject (async)** — the real task-keyed substrate: an
+//!   [`Executor`] with `asyncio::Mutex`es on a `DimmunixRuntime`, with the
+//!   schedule serialized by a turnstile so engine calls happen in the same
+//!   global order as in the oracle.
+//!
+//! For every seed the test asserts identical per-turn engine stats deltas,
+//! identical event sequences (acquired/released/refused per script op),
+//! identical learned histories (textual form), identical snapshot epochs,
+//! and identical owner fates — first on a history-free learning run, then
+//! on a replay run seeded with the learned history (where avoidance yields
+//! replace detections). 160 seeds, per the acceptance criteria.
+
+use dimmunix_core::{CallStack, Config, Dimmunix, Frame, History, LockId, OwnerId, RequestOutcome};
+use dimmunix_rt::asyncio::{Executor, Mutex, MutexGuard};
+use dimmunix_rt::{AcquisitionSite, DeadlockPolicy, DimmunixRuntime, LockError};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+// ---------------------------------------------------------------------------
+// Schedule generation
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Op {
+    Lock(usize),
+    Unlock(usize),
+}
+
+struct Schedule {
+    scripts: Vec<Vec<Op>>,
+    turns: Vec<usize>,
+    locks: usize,
+}
+
+fn next_rand(state: &mut u64) -> u64 {
+    // xorshift64* — deterministic, no external deps.
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+fn gen_schedule(seed: u64) -> Schedule {
+    let mut rng = seed | 1;
+    let owners = 2 + (next_rand(&mut rng) % 4) as usize; // 2..=5
+    let locks = 2 + (next_rand(&mut rng) % 3) as usize; // 2..=4
+    let mut scripts = vec![Vec::new(); owners];
+    for script in scripts.iter_mut() {
+        let mut held: Vec<usize> = Vec::new();
+        let len = 4 + (next_rand(&mut rng) % 5) as usize;
+        for _ in 0..len {
+            let can_lock = held.len() < 3 && held.len() < locks;
+            if can_lock && (held.is_empty() || next_rand(&mut rng) % 3 != 0) {
+                let mut l = (next_rand(&mut rng) as usize) % locks;
+                while held.contains(&l) {
+                    l = (l + 1) % locks;
+                }
+                held.push(l);
+                script.push(Op::Lock(l));
+            } else if !held.is_empty() {
+                // Unlock a random held lock (not necessarily LIFO — unordered
+                // releases exercise non-nested hold patterns).
+                let idx = (next_rand(&mut rng) as usize) % held.len();
+                let l = held.remove(idx);
+                script.push(Op::Unlock(l));
+            }
+        }
+        while let Some(l) = held.pop() {
+            script.push(Op::Unlock(l));
+        }
+    }
+    let total: usize = scripts.iter().map(Vec::len).sum();
+    let turns = (0..total * 2)
+        .map(|_| (next_rand(&mut rng) as usize) % owners)
+        .collect();
+    Schedule {
+        scripts,
+        turns,
+        locks,
+    }
+}
+
+/// The static site of script op `i` of owner `o`. Both substrates present
+/// this exact frame to the engine, so learned signatures are comparable
+/// across runs and across substrates.
+fn site_line(owner: usize, op: usize) -> u32 {
+    (owner * 100 + op + 1) as u32
+}
+
+const SITE_SCOPE: &str = "equiv";
+const SITE_FILE: &str = "equiv_script.rs";
+
+fn oracle_stack(owner: usize, op: usize) -> CallStack {
+    CallStack::single(Frame::new(SITE_SCOPE, SITE_FILE, site_line(owner, op)))
+}
+
+fn subject_site(owner: usize, op: usize) -> AcquisitionSite {
+    AcquisitionSite::new(SITE_SCOPE, SITE_FILE, site_line(owner, op))
+}
+
+// ---------------------------------------------------------------------------
+// Common result shape
+// ---------------------------------------------------------------------------
+
+/// (requests, grants, yields, deadlocks_detected, acquisitions, releases)
+type StatTuple = (u64, u64, u64, u64, u64, u64);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ev {
+    Acquired(usize, usize),
+    Released(usize, usize),
+    Refused(usize, usize),
+}
+
+struct RunResult {
+    tuples: Vec<(bool, StatTuple)>,
+    events: Vec<Ev>,
+    history: History,
+    history_text: String,
+    epoch: u64,
+    completed: Vec<bool>,
+    dead: Vec<bool>,
+    stats: StatTuple,
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: blocking-lock simulator over the monolithic thread-keyed engine
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    AtTurn,
+    LockWait(usize),
+    Parked(usize),
+    Done,
+    Dead,
+}
+
+struct LockSim {
+    owner: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+struct Oracle<'a> {
+    engine: Dimmunix,
+    scripts: &'a [Vec<Op>],
+    pos: Vec<usize>,
+    status: Vec<St>,
+    held: Vec<Vec<usize>>,
+    locks: Vec<LockSim>,
+    parked: HashMap<dimmunix_core::SignatureId, VecDeque<usize>>,
+    ready: VecDeque<usize>,
+    ready_set: HashSet<usize>,
+    events: Vec<Ev>,
+}
+
+impl<'a> Oracle<'a> {
+    fn new(sched: &'a Schedule, history: History) -> Self {
+        let owners = sched.scripts.len();
+        Oracle {
+            engine: Dimmunix::with_history(Config::default(), history),
+            scripts: &sched.scripts,
+            pos: vec![0; owners],
+            status: vec![St::AtTurn; owners],
+            held: vec![Vec::new(); owners],
+            locks: (0..sched.locks)
+                .map(|_| LockSim {
+                    owner: None,
+                    waiters: VecDeque::new(),
+                })
+                .collect(),
+            parked: HashMap::new(),
+            ready: VecDeque::new(),
+            ready_set: HashSet::new(),
+            events: Vec::new(),
+        }
+    }
+
+    fn owner(o: usize) -> OwnerId {
+        OwnerId::thread(o as u64)
+    }
+
+    fn stat_tuple(&self) -> StatTuple {
+        let s = self.engine.stats();
+        (
+            s.requests,
+            s.grants,
+            s.yields,
+            s.deadlocks_detected,
+            s.acquisitions,
+            s.releases,
+        )
+    }
+
+    fn ready_push(&mut self, o: usize) {
+        if self.ready_set.insert(o) {
+            self.ready.push_back(o);
+        }
+    }
+
+    fn ready_pop(&mut self) -> Option<usize> {
+        let o = self.ready.pop_front()?;
+        self.ready_set.remove(&o);
+        Some(o)
+    }
+
+    /// Mirrors `notify_signatures_released`: one wake per signature, FIFO.
+    fn wake_one_each(&mut self, sigs: &[dimmunix_core::SignatureId]) {
+        for sig in sigs {
+            if let Some(q) = self.parked.get_mut(sig) {
+                if let Some(w) = q.pop_front() {
+                    self.ready_push(w);
+                }
+                if self.parked.get(sig).is_some_and(VecDeque::is_empty) {
+                    self.parked.remove(sig);
+                }
+            }
+        }
+    }
+
+    /// Mirrors `notify_signatures` (wake-all; retire and cancel paths).
+    fn wake_all_each(&mut self, sigs: &[dimmunix_core::SignatureId]) {
+        for sig in sigs {
+            if let Some(q) = self.parked.remove(sig) {
+                for w in q {
+                    self.ready_push(w);
+                }
+            }
+        }
+    }
+
+    /// One schedule turn: returns false when the owner is not idle at the
+    /// turnstile (mid-wait, parked, finished, dead) — the turn is skipped,
+    /// exactly as the async driver skips owners whose task is not parked on
+    /// the turnstile.
+    fn give_turn(&mut self, o: usize) -> bool {
+        if self.status[o] != St::AtTurn {
+            return false;
+        }
+        self.exec_op(o);
+        self.drain_ready();
+        true
+    }
+
+    fn exec_op(&mut self, o: usize) {
+        let i = self.pos[o];
+        let Some(&op) = self.scripts[o].get(i) else {
+            self.finish(o);
+            return;
+        };
+        self.pos[o] = i + 1;
+        match op {
+            Op::Lock(l) => self.begin_lock(o, i, l),
+            Op::Unlock(l) => {
+                self.release_lock(o, l);
+                self.events.push(Ev::Released(o, i));
+                self.after_op(o);
+            }
+        }
+    }
+
+    fn after_op(&mut self, o: usize) {
+        if self.pos[o] >= self.scripts[o].len() {
+            self.finish(o);
+        } else {
+            self.status[o] = St::AtTurn;
+        }
+    }
+
+    /// Script exhausted: the task body returns, the executor retires the
+    /// task — mirrored as `unregister_owner` plus a wake-all broadcast.
+    fn finish(&mut self, o: usize) {
+        let wake = self.engine.unregister_owner(Self::owner(o));
+        self.wake_all_each(&wake);
+        self.status[o] = St::Done;
+    }
+
+    fn begin_lock(&mut self, o: usize, i: usize, l: usize) {
+        let outcome =
+            self.engine
+                .request(Self::owner(o), LockId::new(l as u64), &oracle_stack(o, i));
+        // Mirrors `task_begin_acquire`: wake-ups the engine scheduled while
+        // processing the request (starvation resolution clearing yields) are
+        // broadcast before the outcome is acted on.
+        let pending = self.engine.take_pending_wakeups();
+        self.wake_all_each(&pending);
+        match outcome {
+            RequestOutcome::Granted | RequestOutcome::GrantedReentrant => {
+                if self.locks[l].owner.is_none() {
+                    self.take(o, i, l);
+                    self.after_op(o);
+                } else {
+                    // Engine approved, substrate lock held: join the FIFO
+                    // (the Approved-stage `enqueue` of the async mutex).
+                    if !self.locks[l].waiters.contains(&o) {
+                        self.locks[l].waiters.push_back(o);
+                    }
+                    self.status[o] = St::LockWait(l);
+                }
+            }
+            RequestOutcome::Yield { signature } => {
+                let q = self.parked.entry(signature).or_default();
+                if !q.contains(&o) {
+                    q.push_back(o);
+                }
+                self.status[o] = St::Parked(l);
+            }
+            RequestOutcome::DeadlockDetected { .. } => self.refuse(o, i, l),
+        }
+    }
+
+    fn take(&mut self, o: usize, i: usize, l: usize) {
+        self.locks[l].owner = Some(o);
+        self.engine.acquired(Self::owner(o), LockId::new(l as u64));
+        self.held[o].push(l);
+        self.events.push(Ev::Acquired(o, i));
+    }
+
+    /// Mirrors `MutexGuard::drop`: clear the substrate owner and pop the
+    /// front waiter first, then notify the engine (whose release wakes one
+    /// parked owner per signature), then hand the lock waiter its wake.
+    fn release_lock(&mut self, o: usize, l: usize) {
+        self.held[o].retain(|&x| x != l);
+        self.locks[l].owner = None;
+        let next = self.locks[l].waiters.pop_front();
+        let wake = self.engine.released(Self::owner(o), LockId::new(l as u64));
+        self.wake_one_each(&wake);
+        if let Some(w) = next {
+            self.ready_push(w);
+        }
+    }
+
+    /// Mirrors the `WouldDeadlock` path of the async lock future + task
+    /// body: cancel the refused request, drop held guards in acquisition
+    /// order, end the task (retire).
+    fn refuse(&mut self, o: usize, i: usize, l: usize) {
+        self.engine
+            .cancel_request(Self::owner(o), LockId::new(l as u64));
+        self.events.push(Ev::Refused(o, i));
+        let held = self.held[o].clone();
+        for l2 in held {
+            self.release_lock(o, l2);
+        }
+        let wake = self.engine.unregister_owner(Self::owner(o));
+        self.wake_all_each(&wake);
+        self.status[o] = St::Dead;
+    }
+
+    /// Mirrors `Executor::run` draining its deduplicated FIFO ready queue
+    /// after each turn.
+    fn drain_ready(&mut self) {
+        while let Some(o) = self.ready_pop() {
+            match self.status[o] {
+                St::LockWait(l) => {
+                    let i = self.pos[o] - 1;
+                    if self.locks[l].owner.is_none() {
+                        self.take(o, i, l);
+                        self.after_op(o);
+                    } else {
+                        // The handed-off lock was claimed by an
+                        // avoidance-woken owner first: re-join at the back.
+                        if !self.locks[l].waiters.contains(&o) {
+                            self.locks[l].waiters.push_back(o);
+                        }
+                    }
+                }
+                St::Parked(l) => {
+                    let i = self.pos[o] - 1;
+                    self.begin_lock(o, i, l);
+                }
+                _ => {} // spurious wake of an idle/finished owner
+            }
+        }
+    }
+
+    fn into_result(self, tuples: Vec<(bool, StatTuple)>) -> RunResult {
+        let stats = self.stat_tuple();
+        let history = self.engine.history().clone();
+        RunResult {
+            tuples,
+            events: self.events,
+            history_text: history.to_text(),
+            history,
+            epoch: self.engine.history_snapshot().epoch(),
+            completed: self.status.iter().map(|s| *s == St::Done).collect(),
+            dead: self.status.iter().map(|s| *s == St::Dead).collect(),
+            stats,
+        }
+    }
+}
+
+fn run_oracle(sched: &Schedule, history: History) -> RunResult {
+    let owners = sched.scripts.len();
+    let mut oracle = Oracle::new(sched, history);
+    let mut tuples = Vec::new();
+    for &t in &sched.turns {
+        let executed = oracle.give_turn(t);
+        tuples.push((executed, oracle.stat_tuple()));
+    }
+    // Drain: round-robin turns to whoever is still idle at the turnstile
+    // until nothing moves (both drivers use the identical policy).
+    loop {
+        let mut progress = false;
+        for t in 0..owners {
+            if oracle.status[t] == St::AtTurn {
+                oracle.give_turn(t);
+                progress = true;
+                tuples.push((true, oracle.stat_tuple()));
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    oracle.into_result(tuples)
+}
+
+// ---------------------------------------------------------------------------
+// Subject: the real async substrate behind a turnstile
+// ---------------------------------------------------------------------------
+
+struct Coord {
+    at_turn: Vec<bool>,
+    granted: Vec<bool>,
+    wakers: Vec<Option<Waker>>,
+    events: Vec<Ev>,
+    completed: Vec<bool>,
+    dead: Vec<bool>,
+}
+
+struct Turn {
+    coord: Rc<RefCell<Coord>>,
+    me: usize,
+}
+
+impl Future for Turn {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut c = self.coord.borrow_mut();
+        if c.granted[self.me] {
+            c.granted[self.me] = false;
+            c.at_turn[self.me] = false;
+            Poll::Ready(())
+        } else {
+            c.at_turn[self.me] = true;
+            c.wakers[self.me] = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+fn stat_tuple_of(rt: &DimmunixRuntime) -> StatTuple {
+    let s = rt.stats();
+    (
+        s.requests,
+        s.grants,
+        s.yields,
+        s.deadlocks_detected,
+        s.acquisitions,
+        s.releases,
+    )
+}
+
+fn run_subject(sched: &Schedule, history: History) -> RunResult {
+    let owners = sched.scripts.len();
+    let rt = DimmunixRuntime::builder()
+        .shards(1)
+        .deadlock_policy(DeadlockPolicy::Error)
+        .history(history)
+        .build();
+    let ex = Executor::new_in(&rt, 2);
+    let coord = Rc::new(RefCell::new(Coord {
+        at_turn: vec![false; owners],
+        granted: vec![false; owners],
+        wakers: vec![None; owners],
+        events: Vec::new(),
+        completed: vec![false; owners],
+        dead: vec![false; owners],
+    }));
+    let locks: Rc<Vec<Mutex<u64>>> =
+        Rc::new((0..sched.locks).map(|_| Mutex::new_in(&rt, 0)).collect());
+    for (o, script) in sched.scripts.iter().enumerate() {
+        let script = script.clone();
+        let coord = Rc::clone(&coord);
+        let locks = Rc::clone(&locks);
+        ex.spawn(async move {
+            let locks = &*locks;
+            let mut held: Vec<(usize, MutexGuard<'_, u64>)> = Vec::new();
+            for (i, &op) in script.iter().enumerate() {
+                Turn {
+                    coord: Rc::clone(&coord),
+                    me: o,
+                }
+                .await;
+                match op {
+                    Op::Lock(l) => match locks[l].lock_at(subject_site(o, i)).await {
+                        Ok(g) => {
+                            coord.borrow_mut().events.push(Ev::Acquired(o, i));
+                            held.push((l, g));
+                        }
+                        Err(LockError::WouldDeadlock { .. }) => {
+                            // Refused: drop guards in acquisition order and
+                            // end the task (the executor retires it).
+                            held.clear();
+                            let mut c = coord.borrow_mut();
+                            c.events.push(Ev::Refused(o, i));
+                            c.dead[o] = true;
+                            return;
+                        }
+                        Err(e) => panic!("unexpected lock error: {e}"),
+                    },
+                    Op::Unlock(l) => {
+                        let idx = held
+                            .iter()
+                            .position(|(h, _)| *h == l)
+                            .expect("script unlocks only held locks");
+                        held.remove(idx);
+                        coord.borrow_mut().events.push(Ev::Released(o, i));
+                    }
+                }
+            }
+            coord.borrow_mut().completed[o] = true;
+        });
+    }
+    // Park every task at its first turnstile before the schedule starts.
+    ex.run();
+
+    let grant = |t: usize| -> bool {
+        let waker = {
+            let mut c = coord.borrow_mut();
+            if !c.at_turn[t] {
+                return false;
+            }
+            c.granted[t] = true;
+            c.wakers[t].take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+        ex.run();
+        true
+    };
+
+    let mut tuples = Vec::new();
+    for &t in &sched.turns {
+        let executed = grant(t);
+        tuples.push((executed, stat_tuple_of(&rt)));
+    }
+    loop {
+        let mut progress = false;
+        for t in 0..owners {
+            if coord.borrow().at_turn[t] {
+                grant(t);
+                progress = true;
+                tuples.push((true, stat_tuple_of(&rt)));
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+
+    let c = coord.borrow();
+    let history = rt.history();
+    RunResult {
+        tuples,
+        events: c.events.clone(),
+        history_text: history.to_text(),
+        history,
+        epoch: rt.history_snapshot().epoch(),
+        completed: c.completed.clone(),
+        dead: c.dead.clone(),
+        stats: stat_tuple_of(&rt),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The proptest
+// ---------------------------------------------------------------------------
+
+fn assert_equiv(seed: u64, phase: &str, sync: &RunResult, subject: &RunResult) {
+    assert_eq!(
+        sync.tuples.len(),
+        subject.tuples.len(),
+        "seed {seed} {phase}: turn counts diverge"
+    );
+    for (i, (a, b)) in sync.tuples.iter().zip(&subject.tuples).enumerate() {
+        assert_eq!(a, b, "seed {seed} {phase}: stats diverge at turn {i}");
+    }
+    assert_eq!(
+        sync.events, subject.events,
+        "seed {seed} {phase}: event sequences diverge"
+    );
+    assert_eq!(
+        sync.history_text, subject.history_text,
+        "seed {seed} {phase}: learned histories diverge"
+    );
+    assert_eq!(
+        sync.epoch, subject.epoch,
+        "seed {seed} {phase}: snapshot epochs diverge"
+    );
+    assert_eq!(
+        sync.completed, subject.completed,
+        "seed {seed} {phase}: completion sets diverge"
+    );
+    assert_eq!(
+        sync.dead, subject.dead,
+        "seed {seed} {phase}: refusal sets diverge"
+    );
+    assert_eq!(
+        sync.stats, subject.stats,
+        "seed {seed} {phase}: final stats"
+    );
+}
+
+#[test]
+fn sync_and_async_substrates_agree_across_160_seeds() {
+    let mut learned = 0u64;
+    let mut replay_yields = 0u64;
+    for seed in 0..160u64 {
+        let sched = gen_schedule(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
+
+        // Learning phase: empty history, cycles detected and learned.
+        let a_sync = run_oracle(&sched, History::new());
+        let a_subject = run_subject(&sched, History::new());
+        assert_equiv(seed, "learn", &a_sync, &a_subject);
+        learned += a_sync.stats.3;
+
+        // Replay phase: both substrates seeded with the learned history;
+        // avoidance yields must appear identically on both sides.
+        let b_sync = run_oracle(&sched, a_sync.history.clone());
+        let b_subject = run_subject(&sched, a_sync.history.clone());
+        assert_equiv(seed, "replay", &b_sync, &b_subject);
+        replay_yields += b_sync.stats.2;
+    }
+    // The sweep must actually exercise the interesting paths: some seeds
+    // learn real deadlocks, and replays of those seeds avoid (yield).
+    assert!(learned > 0, "no seed produced a deadlock to learn");
+    assert!(replay_yields > 0, "no replay exercised avoidance yields");
+}

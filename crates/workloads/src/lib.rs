@@ -9,16 +9,25 @@
 //!   microbenchmark loads;
 //! * [`patterns`] — simulated-VM workloads: dining philosophers, the §3.2
 //!   `MyLock` wrapper pathology (depth-1 ablation), and a forced
-//!   avoidance-starvation scenario.
+//!   avoidance-starvation scenario;
+//! * [`async_server`] — a simulated request-serving server on the
+//!   task-keyed `asyncio` substrate: 10k+ concurrent tasks on a small
+//!   deterministic worker pool, fan-out/fan-in locking with seeded order
+//!   inversions, compared against bare async-unaware locks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod async_server;
 pub mod microbench;
 pub mod patterns;
 pub mod synthetic;
 
+pub use async_server::{
+    run_bare_server, run_immune_server, AsyncServerConfig, AsyncServerResult, BareMutex,
+    ImmuneServerRun,
+};
 pub use microbench::{
     busy_work, run_microbenchmark, run_overhead_pair, MicrobenchConfig, MicrobenchHarness,
     MicrobenchResult, OverheadRow,

@@ -1,0 +1,126 @@
+//! Async quickstart: task-level deadlock immunity for async Rust.
+//!
+//! The blocking quickstart (`examples/quickstart.rs`) keys immunity by OS
+//! thread. That identity is wrong for async code: an executor multiplexes
+//! many tasks onto few workers, so a *task-level* deadlock — task A holds
+//! lock 1 and awaits lock 2 while task B holds lock 2 and awaits lock 1 —
+//! can hang a server even though no OS thread is blocked. The
+//! [`dimmunix::rt::asyncio`] module keys every engine hook by task instead:
+//! `Mutex::lock().await` is a poll-based immune acquisition, and a guard
+//! held across an `.await` stays a hold edge in the resource-allocation
+//! graph for as long as it lives.
+//!
+//! This example runs a small simulated request server — 400 tasks on a
+//! 2-worker deterministic executor, with a single adversarial request that
+//! acquires its two resources in inverted order — twice:
+//!
+//! * **Round 1** (empty history): the inversion closes a task-level cycle;
+//!   the engine detects it and refuses the closing acquisition with
+//!   [`LockError::WouldDeadlock`] (naming the *task*, not the worker
+//!   thread). One bad request is enough to hurt dozens of well-behaved
+//!   ones: as long as the inverted task sits parked on its second lock,
+//!   every later canonical request re-closes the same cycle and is refused
+//!   too. The cycle's signature is recorded once.
+//! * **Round 2** (history carried over): the very same schedule completes
+//!   with zero refusals — the avoidance module parks one task just long
+//!   enough that the learned signature cannot re-instantiate.
+//!
+//! Run with: `cargo run --release --example async_server`
+
+use dimmunix::core::History;
+use dimmunix::rt::asyncio::{Executor, Mutex};
+use dimmunix::rt::{DeadlockPolicy, DimmunixRuntime, LockError};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Requests served per round.
+const TASKS: usize = 400;
+/// Simulated workers on the deterministic executor.
+const WORKERS: usize = 2;
+/// Shared resources the requests lock in pairs.
+const RESOURCES: usize = 8;
+/// The one adversarial request: acquires its pair in inverted order.
+const INVERTED_REQ: usize = 399;
+
+/// One round of the server: spawn [`TASKS`] requests, run the executor to
+/// quiescence, and report `(served, refused)`.
+fn serve_round(rt: &std::sync::Arc<DimmunixRuntime>) -> (usize, usize) {
+    let ex = Executor::new_in(rt, WORKERS);
+    let resources: Rc<Vec<Mutex<u64>>> =
+        Rc::new((0..RESOURCES).map(|_| Mutex::new_in(rt, 0)).collect());
+    let served = Rc::new(Cell::new(0usize));
+    let refused = Rc::new(Cell::new(0usize));
+
+    for req in 0..TASKS {
+        let resources = resources.clone();
+        let served = served.clone();
+        let refused = refused.clone();
+        ex.spawn(async move {
+            // Each request touches a pair of resources; inverted requests
+            // take the same pair in the opposite order — the AB/BA pattern.
+            let a = req % RESOURCES;
+            let b = (req + 1) % RESOURCES;
+            let inverted = req == INVERTED_REQ;
+            let (first, second) = if inverted { (b, a) } else { (a, b) };
+
+            let outer = resources[first].lock().await.expect("outer acquisition");
+            // Holding `outer` across this await is what makes the request a
+            // hold edge under the task's identity: yielding here lets the
+            // partner request grab its own outer lock on the other worker.
+            dimmunix::rt::asyncio::yield_now().await;
+            match resources[second].lock().await {
+                Ok(mut inner) => {
+                    *inner += 1;
+                    served.set(served.get() + 1);
+                }
+                Err(LockError::WouldDeadlock { .. }) => {
+                    // The refusal names the task and its spawn site — the
+                    // worker thread never blocked. A real server would
+                    // retry in canonical order; the point here is that the
+                    // signature is now learned.
+                    refused.set(refused.get() + 1);
+                    drop(outer);
+                }
+                Err(e) => panic!("unexpected lock error: {e}"),
+            }
+        });
+    }
+
+    let report = ex.run();
+    assert_eq!(report.stuck, 0, "no task may be left hung");
+    (served.get(), refused.get())
+}
+
+fn round(history: Option<History>) -> (usize, usize, History) {
+    let mut builder = DimmunixRuntime::builder().deadlock_policy(DeadlockPolicy::Error);
+    if let Some(h) = history {
+        builder = builder.history(h);
+    }
+    let rt = builder.build();
+    let (served, refused) = serve_round(&rt);
+    (served, refused, rt.history())
+}
+
+fn main() {
+    println!("== round 1: {TASKS} async requests, no antibodies ==");
+    let (served, refused, history) = round(None);
+    println!(
+        "served {served}, refused {refused}, task-level signatures learned: {}",
+        history.len()
+    );
+    assert!(refused > 0, "the inversion must close a cycle once");
+    assert!(
+        !history.is_empty(),
+        "the cycle's signature must be recorded"
+    );
+
+    println!("\n== round 2: same schedule, antibodies active ==");
+    let (served2, refused2, _) = round(Some(history));
+    println!("served {served2}, refused {refused2}");
+    assert_eq!(
+        refused2, 0,
+        "the learned cycle must be avoided, not refused"
+    );
+    assert_eq!(served2, TASKS, "every request must be served");
+    println!("\nTask-level immunity developed: the same async bug cannot bite twice.");
+}
