@@ -12,6 +12,10 @@
 //! * `BENCH_async_server.json` — the adversarial replay must avoid the
 //!   learned cycle entirely (zero refusals) and actually exercise
 //!   avoidance (non-zero yields).
+//! * `BENCH_sim_explorer.json` — the schedule fuzzer must stay fast enough
+//!   for CI (≥ 100k schedules/s in virtual time), find and minimize the
+//!   catalog deadlocks, vaccinate them to completion, and replay the
+//!   checked-in regression corpus without a single hash drift.
 //!
 //! Reports that do not exist yet are an error too: the gate only means
 //! something if the benches actually ran before it.
@@ -57,6 +61,36 @@ const GATES: &[Gate] = &[
         field: "signatures_learned",
         check: |v| v >= 1.0,
         expect: ">= 1 (the learning run must record the task-level cycle)",
+    },
+    Gate {
+        file: "BENCH_sim_explorer.json",
+        field: "schedules_per_sec",
+        check: |v| v >= 100_000.0,
+        expect: ">= 100000 (virtual-time exploration must stay CI-viable)",
+    },
+    Gate {
+        file: "BENCH_sim_explorer.json",
+        field: "deadlocks_found",
+        check: |v| v >= 2.0,
+        expect: ">= 2 (the fuzzer must break philosophers AND the async server)",
+    },
+    Gate {
+        file: "BENCH_sim_explorer.json",
+        field: "unminimized",
+        check: |v| v == 0.0,
+        expect: "== 0 (every find must shrink to a reproducing minimized trace)",
+    },
+    Gate {
+        file: "BENCH_sim_explorer.json",
+        field: "immune_replay_deadlocks",
+        check: |v| v == 0.0,
+        expect: "== 0 (vaccinated replays must complete without detection)",
+    },
+    Gate {
+        file: "BENCH_sim_explorer.json",
+        field: "corpus_failures",
+        check: |v| v == 0.0,
+        expect: "== 0 (every checked-in regression trace must replay at its hash)",
     },
 ];
 

@@ -197,6 +197,48 @@ impl Dimmunix {
         }
     }
 
+    /// Rewinds the engine to a fresh run over `base`, keeping interned
+    /// positions and map capacities warm. This is the schedule explorer's
+    /// hot-loop hook: a fuzzer drives hundreds of thousands of simulated
+    /// runs through one engine, and rebuilding it from scratch each run
+    /// (re-interning every site, re-growing every table) would dominate the
+    /// schedules/sec budget.
+    ///
+    /// `base` must be an ancestor of the engine's current snapshot — the
+    /// snapshot the engine was constructed with, or any snapshot it later
+    /// returned from [`history_snapshot`](Dimmunix::history_snapshot).
+    /// Ancestry is what makes the rewind sound: [`HistorySnapshot::append`]
+    /// only ever *appends* to the canonical outer table, so every outer id
+    /// below `base.outer_len()` still names the same stack and every link
+    /// at or above it is a later addition to unlink.
+    ///
+    /// Everything run-scoped is cleared — RAG, position queues, stats,
+    /// events, logical clock, pending wake-ups — while the position table
+    /// itself survives, with `history_ref` links pruned back to `base`'s
+    /// outer table.
+    pub fn reset_to_snapshot(&mut self, base: &Arc<HistorySnapshot>) {
+        debug_assert!(
+            base.outer_len() <= self.snapshot.outer_len(),
+            "reset target must be an ancestor snapshot"
+        );
+        self.rag.clear();
+        self.pending_wakeups.clear();
+        self.stats = Stats::new();
+        self.events = EventLog::new(self.config.event_log_capacity);
+        self.clock = LogicalTime::ZERO;
+        let cutoff = base.outer_len();
+        for p in self.positions.iter_mut() {
+            p.queue_mut().clear();
+            if p.history_ref().is_some_and(|outer| outer.index() >= cutoff) {
+                p.set_history_ref(None);
+            }
+        }
+        self.outer_to_local
+            .retain(|outer, _| outer.index() < cutoff);
+        self.linked_outers = cutoff;
+        self.snapshot = Arc::clone(base);
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------

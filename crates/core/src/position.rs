@@ -103,6 +103,13 @@ impl OwnerQueue {
         }
     }
 
+    /// Removes every occurrence of every owner. Used by the schedule
+    /// explorer's engine-reuse reset between simulated runs.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.len = 0;
+    }
+
     /// Removes every occurrence of `owner`, returning how many were removed.
     pub fn remove_all(&mut self, owner: impl Into<OwnerId>) -> usize {
         let removed = self.counts.remove(&owner.into()).unwrap_or(0);
@@ -288,6 +295,12 @@ impl PositionTable {
     /// Iterates over every interned position.
     pub fn iter(&self) -> impl Iterator<Item = &Position> {
         self.positions.iter()
+    }
+
+    /// Iterates mutably over every interned position (queue cleanup during
+    /// the schedule explorer's engine-reuse reset).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Position> {
+        self.positions.iter_mut()
     }
 
     /// Estimated resident memory of the table in bytes, used by the memory

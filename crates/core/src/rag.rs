@@ -174,6 +174,17 @@ impl Rag {
         Self::default()
     }
 
+    /// Empties the graph in place, keeping the map allocations warm. Used
+    /// by the schedule explorer's engine-reuse reset: a simulated run
+    /// touches a handful of owners and locks, so retaining capacity across
+    /// hundreds of thousands of runs avoids re-growing the tables each time.
+    pub fn clear(&mut self) {
+        self.owners_map.clear();
+        self.locks.clear();
+        self.next_seq = 0;
+        self.yield_records = 0;
+    }
+
     /// Number of registered owners.
     pub fn owner_count(&self) -> usize {
         self.owners_map.len()

@@ -1,46 +1,23 @@
 //! Property-based tests for the core data structures and the engine.
 //!
 //! The build environment has no crates.io access, so instead of `proptest`
-//! these properties run on a self-contained deterministic harness: a
-//! SplitMix64 generator drives several hundred random cases per property and
-//! every failure message carries the case seed, so a reported failure is
-//! reproducible by construction.
+//! these properties run on a self-contained deterministic harness: the
+//! shared SplitMix64 generator from `dimmunix-testkit` drives several
+//! hundred random cases per property and every failure message carries the
+//! case seed, so a reported failure is reproducible by construction. The
+//! oracle schedules themselves (release/acquire/skip slots, pre-trained
+//! histories, the site universe) also come from the testkit, which freezes
+//! their draw order so the pinned seeds keep meaning what they always did.
 
 use dimmunix_core::{
     find_instantiation, AccessMode, CallStack, Config, Dimmunix, Frame, History, LockId,
     PositionTable, RequestOutcome, ShardedDimmunix, Signature, SignatureId, SignatureIndex,
     SignatureKind, SignaturePair, ThreadId, ThreadQueue,
 };
-
-/// Deterministic PRNG (SplitMix64) for generating random cases.
-struct Gen {
-    state: u64,
-}
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Gen {
-            state: seed ^ 0x9e37_79b9_7f4a_7c15,
-        }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `lo..hi` (`hi > lo`).
-    fn range(&mut self, lo: usize, hi: usize) -> usize {
-        lo + (self.next_u64() % (hi - lo) as u64) as usize
-    }
-
-    fn flip(&mut self) -> bool {
-        self.next_u64() & 1 == 1
-    }
-}
+use dimmunix_testkit::schedule::{
+    plan_mixed_step, plan_mutex_step, pretrain_history, universe_site, PlannedStep,
+};
+use dimmunix_testkit::Gen;
 
 /// Number of random cases per property.
 const CASES: u64 = 250;
@@ -344,16 +321,7 @@ fn prop_sharded_engine_equals_monolithic_oracle() {
         let mut g = Gen::new(seed ^ SEED_SALT);
         // Optionally pre-train a history over the site universe so the
         // avoidance and starvation machinery is exercised.
-        let mut history = History::new();
-        for _ in 0..g.range(0, 3) {
-            let arity = g.range(2, 4);
-            let pairs = (0..arity)
-                .map(|_| {
-                    SignaturePair::new(universe_site(g.range(0, 6)), universe_site(g.range(0, 6)))
-                })
-                .collect();
-            history.add(Signature::new(SignatureKind::Deadlock, pairs));
-        }
+        let history = pretrain_history(&mut g, 6);
 
         let mut oracle = Dimmunix::with_history(Config::default(), history.clone());
         let shard_counts = [1usize, 2, 3, 8];
@@ -384,38 +352,33 @@ fn prop_sharded_engine_equals_monolithic_oracle() {
                     }
                 }
                 ThreadMode::Parked(_) | ThreadMode::Running => {
-                    let retry = matches!(mode[tid], ThreadMode::Parked(_));
-                    // Pick an action: acquire (possibly the parked retry) or
-                    // release the most recent hold.
-                    let release = !retry && !held[tid].is_empty() && g.flip();
-                    if release {
-                        let lraw = held[tid].pop().unwrap();
-                        let l = LockId::new(lraw);
-                        let oracle_wake = oracle.released(t, l);
-                        for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
-                            let wake = s.released(t, l);
-                            assert_eq!(
-                                wake, oracle_wake,
-                                "seed {seed} step {step}: release wake-ups diverge (shards {n})"
-                            );
-                        }
-                        continue;
-                    }
-                    let lraw = if retry {
-                        match mode[tid] {
-                            ThreadMode::Parked(lr) => lr,
-                            _ => unreachable!(),
-                        }
-                    } else {
-                        g.range(0, LOCKS as usize) as u64
+                    let retry = match mode[tid] {
+                        ThreadMode::Parked(lr) => Some(lr),
+                        _ => None,
                     };
+                    let (lraw, site) =
+                        match plan_mutex_step(&mut g, LOCKS as usize, 6, &held[tid], retry) {
+                            PlannedStep::Release => {
+                                let lraw = held[tid].pop().unwrap();
+                                let l = LockId::new(lraw);
+                                let oracle_wake = oracle.released(t, l);
+                                for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
+                                    let wake = s.released(t, l);
+                                    assert_eq!(
+                                        wake, oracle_wake,
+                                        "seed {seed} step {step}: release wake-ups diverge \
+                                         (shards {n})"
+                                    );
+                                }
+                                continue;
+                            }
+                            // No reentrant acquisitions except through random
+                            // collision — the generator skips them.
+                            PlannedStep::Skip => continue,
+                            PlannedStep::Acquire { lock, site, .. } => (lock, site),
+                        };
                     let l = LockId::new(lraw);
-                    if held[tid].contains(&lraw) && !retry {
-                        // Keep the harness simple: no reentrant acquisitions
-                        // except through random collision — skip them.
-                        continue;
-                    }
-                    let site = universe_site(g.range(0, 6));
+                    let site = universe_site(site);
                     let outcome = oracle.request(t, l, &site);
                     for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
                         let sharded_outcome = s.request(t, l, &site);
@@ -503,10 +466,6 @@ fn prop_sharded_engine_equals_monolithic_oracle() {
             );
         }
     }
-
-    fn universe_site(i: usize) -> CallStack {
-        CallStack::single(Frame::new(format!("site{i}"), "univ.rs", i as u32))
-    }
 }
 
 /// **Sharded engine ≡ monolithic engine, with read/write schedules.** The
@@ -543,16 +502,7 @@ fn prop_sharded_engine_equals_monolithic_oracle_mixed_rwlock() {
         let mut g = Gen::new(seed ^ SEED_SALT);
         // Optionally pre-train a history over the site universe so the
         // avoidance machinery (including the crowd-mate carve-out) runs.
-        let mut history = History::new();
-        for _ in 0..g.range(0, 3) {
-            let arity = g.range(2, 4);
-            let pairs = (0..arity)
-                .map(|_| {
-                    SignaturePair::new(universe_site(g.range(0, 6)), universe_site(g.range(0, 6)))
-                })
-                .collect();
-            history.add(Signature::new(SignatureKind::Deadlock, pairs));
-        }
+        let history = pretrain_history(&mut g, 6);
 
         let mut oracle = Dimmunix::with_history(Config::default(), history.clone());
         let shard_counts = [1usize, 2, 3, 8];
@@ -596,38 +546,31 @@ fn prop_sharded_engine_equals_monolithic_oracle_mixed_rwlock() {
                     }
                 }
                 ThreadMode::Parked(_, _) | ThreadMode::Running => {
-                    let retry = matches!(mode[tid], ThreadMode::Parked(_, _));
-                    let release = !retry && !held[tid].is_empty() && g.flip();
-                    if release {
-                        let (lraw, _) = held[tid].pop().unwrap();
-                        let l = LockId::new(lraw);
-                        let oracle_wake = oracle.released(t, l);
-                        for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
-                            let wake = s.released(t, l);
-                            assert_eq!(
-                                wake, oracle_wake,
-                                "seed {seed} step {step}: release wake-ups diverge (shards {n})"
-                            );
+                    let retry = match mode[tid] {
+                        ThreadMode::Parked(lr, pm) => Some((lr, pm)),
+                        _ => None,
+                    };
+                    let planned =
+                        plan_mixed_step(&mut g, LOCKS as usize, 6, !held[tid].is_empty(), retry);
+                    let (lraw, m, site) = match planned {
+                        PlannedStep::Release => {
+                            let (lraw, _) = held[tid].pop().unwrap();
+                            let l = LockId::new(lraw);
+                            let oracle_wake = oracle.released(t, l);
+                            for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
+                                let wake = s.released(t, l);
+                                assert_eq!(
+                                    wake, oracle_wake,
+                                    "seed {seed} step {step}: release wake-ups diverge (shards {n})"
+                                );
+                            }
+                            continue;
                         }
-                        continue;
-                    }
-                    let (lraw, m) = if retry {
-                        match mode[tid] {
-                            ThreadMode::Parked(lr, pm) => (lr, pm),
-                            _ => unreachable!(),
-                        }
-                    } else {
-                        let lraw = g.range(0, LOCKS as usize) as u64;
-                        // Bias towards shared so reader crowds actually form.
-                        let m = if g.range(0, 8) < 5 {
-                            AccessMode::Shared
-                        } else {
-                            AccessMode::Exclusive
-                        };
-                        (lraw, m)
+                        PlannedStep::Skip => unreachable!("mixed schedules never skip"),
+                        PlannedStep::Acquire { lock, mode, site } => (lock, mode, site),
                     };
                     let l = LockId::new(lraw);
-                    let site = universe_site(g.range(0, 6));
+                    let site = universe_site(site);
                     let outcome = oracle.request_mode(t, l, &site, m);
                     for (s, &n) in sharded.iter_mut().zip(&shard_counts) {
                         let sharded_outcome = s.request_mode(t, l, &site, m);
@@ -716,10 +659,6 @@ fn prop_sharded_engine_equals_monolithic_oracle_mixed_rwlock() {
                 "seed {seed}: snapshot epochs diverge (shards {n})"
             );
         }
-    }
-
-    fn universe_site(i: usize) -> CallStack {
-        CallStack::single(Frame::new(format!("site{i}"), "univ.rs", i as u32))
     }
 }
 

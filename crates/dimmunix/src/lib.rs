@@ -12,7 +12,9 @@
 //! * [`vm`] — the deterministic Dalvik-like VM substrate;
 //! * [`android`] — the simulated Android platform (services, app profiles,
 //!   phone lifecycle);
-//! * [`workloads`] — benchmark workload generators.
+//! * [`workloads`] — benchmark workload generators;
+//! * [`sim`] — the deterministic schedule-exploration engine (virtual-time
+//!   deadlock fuzzer, trace shrinker, regression corpus).
 //!
 //! ## Which layer should I use?
 //!
@@ -64,6 +66,11 @@ pub mod android {
 /// Workload generators (re-export of `workloads`).
 pub mod workloads {
     pub use ::workloads::*;
+}
+
+/// The schedule-exploration engine (re-export of `dimmunix-sim`).
+pub mod sim {
+    pub use ::dimmunix_sim::*;
 }
 
 #[cfg(test)]

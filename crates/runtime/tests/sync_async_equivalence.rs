@@ -24,6 +24,7 @@
 use dimmunix_core::{CallStack, Config, Dimmunix, Frame, History, LockId, OwnerId, RequestOutcome};
 use dimmunix_rt::asyncio::{Executor, Mutex, MutexGuard};
 use dimmunix_rt::{AcquisitionSite, DeadlockPolicy, DimmunixRuntime, LockError};
+use dimmunix_testkit::script::{gen_schedule, site_line, Op, Schedule};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::future::Future;
@@ -32,77 +33,10 @@ use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
 // ---------------------------------------------------------------------------
-// Schedule generation
+// Schedule generation: the seeded per-owner scripts and turn sequences come
+// from the shared testkit (`dimmunix_testkit::script`), which freezes the
+// xorshift64* draw order these 160 pinned seeds depend on.
 // ---------------------------------------------------------------------------
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Op {
-    Lock(usize),
-    Unlock(usize),
-}
-
-struct Schedule {
-    scripts: Vec<Vec<Op>>,
-    turns: Vec<usize>,
-    locks: usize,
-}
-
-fn next_rand(state: &mut u64) -> u64 {
-    // xorshift64* — deterministic, no external deps.
-    let mut x = *state;
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-    *state = x;
-    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-}
-
-fn gen_schedule(seed: u64) -> Schedule {
-    let mut rng = seed | 1;
-    let owners = 2 + (next_rand(&mut rng) % 4) as usize; // 2..=5
-    let locks = 2 + (next_rand(&mut rng) % 3) as usize; // 2..=4
-    let mut scripts = vec![Vec::new(); owners];
-    for script in scripts.iter_mut() {
-        let mut held: Vec<usize> = Vec::new();
-        let len = 4 + (next_rand(&mut rng) % 5) as usize;
-        for _ in 0..len {
-            let can_lock = held.len() < 3 && held.len() < locks;
-            if can_lock && (held.is_empty() || next_rand(&mut rng) % 3 != 0) {
-                let mut l = (next_rand(&mut rng) as usize) % locks;
-                while held.contains(&l) {
-                    l = (l + 1) % locks;
-                }
-                held.push(l);
-                script.push(Op::Lock(l));
-            } else if !held.is_empty() {
-                // Unlock a random held lock (not necessarily LIFO — unordered
-                // releases exercise non-nested hold patterns).
-                let idx = (next_rand(&mut rng) as usize) % held.len();
-                let l = held.remove(idx);
-                script.push(Op::Unlock(l));
-            }
-        }
-        while let Some(l) = held.pop() {
-            script.push(Op::Unlock(l));
-        }
-    }
-    let total: usize = scripts.iter().map(Vec::len).sum();
-    let turns = (0..total * 2)
-        .map(|_| (next_rand(&mut rng) as usize) % owners)
-        .collect();
-    Schedule {
-        scripts,
-        turns,
-        locks,
-    }
-}
-
-/// The static site of script op `i` of owner `o`. Both substrates present
-/// this exact frame to the engine, so learned signatures are comparable
-/// across runs and across substrates.
-fn site_line(owner: usize, op: usize) -> u32 {
-    (owner * 100 + op + 1) as u32
-}
 
 const SITE_SCOPE: &str = "equiv";
 const SITE_FILE: &str = "equiv_script.rs";

@@ -1,0 +1,397 @@
+//! The schedule fuzzer, shrinker, and immune-replay check.
+//!
+//! [`fuzz`] hammers one scenario with many schedules: mostly pure random
+//! ([`DecisionSource::random`]), with a fraction mutated from *interesting*
+//! parents — schedules that deadlocked, or near-misses where several
+//! lock-holding tasks were blocked at once — by replaying a parent prefix
+//! and exploring randomly from the cut ([`DecisionSource::with_prefix`]).
+//! Every distinct deadlock (keyed by the fingerprint of the learned
+//! history text, i.e. by signature, not by schedule) is then [`shrink`]-ed
+//! to a minimal decision prefix that still reproduces it, and packaged as a
+//! [`FoundDeadlock`] carrying both the full and the minimized
+//! [`ScheduleTrace`].
+//!
+//! The cure check is [`immune_replay`]: re-running a found trace with the
+//! learned history seeded must complete with zero detections — avoidance
+//! yields divert the schedule around the cycle. Fuzz → shrink → replay is
+//! the whole learn/immunize loop of the paper, compressed into virtual
+//! time.
+
+use crate::scenario::Scenario;
+use crate::sim::{
+    fnv1a, run_schedule, DecisionSource, EngineHooks, MonoDriver, RunOutcome, RunReport, SimConfig,
+};
+use crate::trace::ScheduleTrace;
+use dimmunix_core::History;
+use dimmunix_testkit::Gen;
+
+/// Fuzzing campaign knobs.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Master seed; everything below derives from it.
+    pub seed: u64,
+    /// Schedule budget.
+    pub runs: usize,
+    /// Percentage of runs mutated from the parent pool (once non-empty).
+    pub mutation_pct: u32,
+    /// Stop after this many distinct deadlocks (0 = use the whole budget).
+    pub max_finds: usize,
+    /// Replay budget per shrink.
+    pub shrink_budget: usize,
+    /// Parent-pool cap (oldest evicted first).
+    pub pool_cap: usize,
+}
+
+impl FuzzConfig {
+    /// Defaults: 25% mutation, unbounded finds, 512-replay shrinks.
+    pub fn new(seed: u64, runs: usize) -> Self {
+        FuzzConfig {
+            seed,
+            runs,
+            mutation_pct: 25,
+            max_finds: 0,
+            shrink_budget: 512,
+            pool_cap: 64,
+        }
+    }
+}
+
+/// One distinct deadlock the campaign found.
+#[derive(Clone, Debug)]
+pub struct FoundDeadlock {
+    /// The schedule that first hit it.
+    pub trace: ScheduleTrace,
+    /// The shrunk schedule (same fingerprint, minimal decision prefix).
+    pub minimized: ScheduleTrace,
+    /// FNV-1a of the learned history text — the bug's identity.
+    pub fingerprint: u64,
+    /// The learned history text (seed for immune replays).
+    pub history_text: String,
+    /// Whether the engine had never seen this signature before.
+    pub new_signature: bool,
+}
+
+/// Campaign summary.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Schedules actually executed (≤ the budget when `max_finds` stops
+    /// early; excludes shrink replays).
+    pub runs_executed: usize,
+    /// Runs that completed.
+    pub completed: usize,
+    /// Runs that stalled (queuing-policy-only cycles).
+    pub stalled: usize,
+    /// Runs that hit the fuel bound.
+    pub fuel_exhausted: usize,
+    /// Distinct `sched_trace_hash` values seen — schedule diversity.
+    pub distinct_schedules: usize,
+    /// Distinct deadlocks, in discovery order.
+    pub found: Vec<FoundDeadlock>,
+}
+
+/// Runs a campaign over `scenario` with a fresh monolithic driver.
+pub fn fuzz(scenario: &Scenario, cfg: &FuzzConfig) -> FuzzReport {
+    let mut driver = MonoDriver::new(scenario, History::new());
+    fuzz_with_driver(&mut driver, scenario, cfg)
+}
+
+/// Runs a campaign through a caller-supplied driver (reused and reset
+/// across every run — this is the hot loop the bench measures).
+pub fn fuzz_with_driver<E: EngineHooks>(
+    driver: &mut E,
+    scenario: &Scenario,
+    cfg: &FuzzConfig,
+) -> FuzzReport {
+    let sim_cfg = SimConfig::for_scenario(scenario);
+    let mut master = Gen::new(cfg.seed);
+    let mut parents: Vec<Vec<u32>> = Vec::new();
+    let mut fingerprints: Vec<u64> = Vec::new();
+    let mut hashes = std::collections::HashSet::new();
+    let mut report = FuzzReport {
+        runs_executed: 0,
+        completed: 0,
+        stalled: 0,
+        fuel_exhausted: 0,
+        distinct_schedules: 0,
+        found: Vec::new(),
+    };
+
+    for _ in 0..cfg.runs {
+        let run_seed = master.next_u64();
+        let mut pick = Gen::new(run_seed);
+        let mutate = !parents.is_empty() && pick.range(0, 100) < cfg.mutation_pct as usize;
+        let mut source = if mutate {
+            let parent = &parents[pick.range(0, parents.len())];
+            let cut = pick.range(0, parent.len() + 1);
+            let prefix = parent[..cut].to_vec();
+            let tail_seed = pick.next_u64();
+            DecisionSource::with_prefix(prefix, Gen::new(tail_seed))
+        } else {
+            DecisionSource::random(Gen::new(pick.next_u64()))
+        };
+
+        let run = run_schedule(driver, scenario, &mut source, &sim_cfg);
+        report.runs_executed += 1;
+        hashes.insert(run.sched_trace_hash);
+
+        match run.outcome {
+            RunOutcome::Completed => {
+                report.completed += 1;
+                // Near-miss: several lock-holders were blocked at once —
+                // worth mutating toward the cycle.
+                if run.max_blocked >= 2 {
+                    push_parent(&mut parents, run.decisions, cfg.pool_cap);
+                }
+            }
+            RunOutcome::Stalled => {
+                report.stalled += 1;
+                push_parent(&mut parents, run.decisions.clone(), cfg.pool_cap);
+            }
+            RunOutcome::FuelExhausted => report.fuel_exhausted += 1,
+            RunOutcome::Deadlock { new_signature, .. } => {
+                let fingerprint = fnv1a(run.history_text.as_bytes());
+                push_parent(&mut parents, run.decisions.clone(), cfg.pool_cap);
+                if !fingerprints.contains(&fingerprint) {
+                    fingerprints.push(fingerprint);
+                    let minimized_decisions = shrink(
+                        driver,
+                        scenario,
+                        &sim_cfg,
+                        &run.decisions,
+                        fingerprint,
+                        cfg.shrink_budget,
+                    );
+                    // Canonical replay of the minimized schedule: its hash
+                    // is what the corpus pins.
+                    let mut replay = DecisionSource::replay(minimized_decisions.clone());
+                    let min_run = run_schedule(driver, scenario, &mut replay, &sim_cfg);
+                    debug_assert!(matches!(min_run.outcome, RunOutcome::Deadlock { .. }));
+                    report.found.push(FoundDeadlock {
+                        trace: ScheduleTrace {
+                            scenario: scenario.name.clone(),
+                            seed: run_seed,
+                            sched_trace_hash: run.sched_trace_hash,
+                            decisions: run.decisions,
+                        },
+                        minimized: ScheduleTrace {
+                            scenario: scenario.name.clone(),
+                            seed: run_seed,
+                            sched_trace_hash: min_run.sched_trace_hash,
+                            decisions: minimized_decisions,
+                        },
+                        fingerprint,
+                        history_text: run.history_text,
+                        new_signature,
+                    });
+                    if cfg.max_finds > 0 && report.found.len() >= cfg.max_finds {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    report.distinct_schedules = hashes.len();
+    report
+}
+
+fn push_parent(pool: &mut Vec<Vec<u32>>, decisions: Vec<u32>, cap: usize) {
+    if pool.len() >= cap {
+        pool.remove(0);
+    }
+    pool.push(decisions);
+}
+
+/// Minimizes a deadlocking decision vector: the result, replayed with the
+/// default-schedule tail, still deadlocks with the same history
+/// fingerprint. ddmin-style: greedy truncation, then chunk removal with
+/// halving chunk sizes, then pointwise zeroing; `budget` caps total
+/// replays.
+pub fn shrink<E: EngineHooks>(
+    driver: &mut E,
+    scenario: &Scenario,
+    sim_cfg: &SimConfig,
+    decisions: &[u32],
+    fingerprint: u64,
+    budget: usize,
+) -> Vec<u32> {
+    let mut budget = budget;
+    let mut still_fails = |cand: &[u32], budget: &mut usize| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        let mut src = DecisionSource::replay(cand.to_vec());
+        let run = run_schedule(driver, scenario, &mut src, sim_cfg);
+        matches!(run.outcome, RunOutcome::Deadlock { .. })
+            && fnv1a(run.history_text.as_bytes()) == fingerprint
+    };
+
+    let mut best = decisions.to_vec();
+
+    // Greedy truncation: halve the suffix while the prefix still fails.
+    let mut cut = best.len() / 2;
+    while cut > 0 && !best.is_empty() {
+        let cand = best[..best.len() - cut.min(best.len())].to_vec();
+        if still_fails(&cand, &mut budget) {
+            best = cand;
+        } else {
+            cut /= 2;
+        }
+    }
+
+    // Chunk removal with halving chunk sizes.
+    let mut chunk = (best.len() / 2).max(1);
+    while chunk >= 1 && !best.is_empty() {
+        let mut i = 0;
+        while i + chunk <= best.len() {
+            let mut cand = best.clone();
+            cand.drain(i..i + chunk);
+            if still_fails(&cand, &mut budget) {
+                best = cand;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Pointwise zeroing (a zero decision is the default-schedule pick, the
+    // least surprising trace to read).
+    for i in 0..best.len() {
+        if best[i] != 0 {
+            let mut cand = best.clone();
+            cand[i] = 0;
+            if still_fails(&cand, &mut budget) {
+                best = cand;
+            }
+        }
+    }
+
+    // Trailing zeros are literally the default tail; drop them if the
+    // shorter trace still reproduces.
+    while best.last() == Some(&0) {
+        let cand = best[..best.len() - 1].to_vec();
+        if still_fails(&cand, &mut budget) {
+            best = cand;
+        } else {
+            break;
+        }
+    }
+
+    best
+}
+
+/// Replays `trace` with `history` pre-seeded — the immunity check. A cured
+/// engine completes the schedule: avoidance yields divert the cycle, no
+/// detection fires.
+pub fn immune_replay(scenario: &Scenario, history: History, trace: &ScheduleTrace) -> RunReport {
+    let mut driver = MonoDriver::new(scenario, history);
+    let mut source = DecisionSource::replay(trace.decisions.clone());
+    run_schedule(
+        &mut driver,
+        scenario,
+        &mut source,
+        &SimConfig::for_scenario(scenario),
+    )
+}
+
+/// Incremental immunization. Replays `trace` with `history_text` seeded;
+/// when the *changed* schedule (avoidance yields reshuffle who is
+/// runnable, so the decision prefix steers into new territory) hits a
+/// cycle the history does not yet cover, the new signature is folded in
+/// and the replay repeats — up to `max_rounds` extra rounds. Scenarios
+/// with a single signature converge in zero rounds; the async-server
+/// workload needs one (its 2-cycle vaccine exposes a 3-cycle). Returns
+/// the final report (callers assert `Completed`) and the rounds taken.
+pub fn vaccinate(
+    scenario: &Scenario,
+    history_text: &str,
+    trace: &ScheduleTrace,
+    max_rounds: u32,
+) -> (RunReport, u32) {
+    let mut text = history_text.to_string();
+    let mut rounds = 0u32;
+    loop {
+        let history = History::from_text(&text).expect("history text parses");
+        let report = immune_replay(scenario, history, trace);
+        match report.outcome {
+            RunOutcome::Deadlock { .. } if rounds < max_rounds => {
+                rounds += 1;
+                text = report.history_text.clone();
+            }
+            _ => return (report, rounds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::dining_philosophers;
+
+    /// The fuzzer finds the philosophers deadlock from the scenario alone,
+    /// shrinks it, and the minimized trace replays to the same fingerprint.
+    #[test]
+    fn finds_and_shrinks_philosophers_deadlock() {
+        let s = dining_philosophers(3, 1);
+        let mut cfg = FuzzConfig::new(0xfee1_600d, 3000);
+        cfg.max_finds = 1;
+        let report = fuzz(&s, &cfg);
+        assert!(
+            !report.found.is_empty(),
+            "no deadlock in {} runs",
+            report.runs_executed
+        );
+        let f = &report.found[0];
+        assert!(f.minimized.decisions.len() <= f.trace.decisions.len());
+        assert!(f.new_signature);
+
+        // The minimized trace reproduces bit for bit.
+        let mut driver = MonoDriver::new(&s, History::new());
+        let mut src = DecisionSource::replay(f.minimized.decisions.clone());
+        let run = run_schedule(&mut driver, &s, &mut src, &SimConfig::for_scenario(&s));
+        assert!(matches!(run.outcome, RunOutcome::Deadlock { .. }));
+        assert_eq!(run.sched_trace_hash, f.minimized.sched_trace_hash);
+        assert_eq!(fnv1a(run.history_text.as_bytes()), f.fingerprint);
+    }
+
+    /// Learned history immunizes the exact deadlocking schedule.
+    #[test]
+    fn immune_replay_completes_without_detection() {
+        let s = dining_philosophers(3, 1);
+        let mut cfg = FuzzConfig::new(7, 3000);
+        cfg.max_finds = 1;
+        let report = fuzz(&s, &cfg);
+        let f = report.found.first().expect("fuzzer must find the deadlock");
+        let history = History::from_text(&f.history_text).expect("learned history parses");
+        for trace in [&f.trace, &f.minimized] {
+            let run = immune_replay(&s, history.clone(), trace);
+            assert_eq!(run.outcome, RunOutcome::Completed, "{:?}", run.outcome);
+            assert_eq!(run.stats.deadlocks_detected, 0);
+            assert!(run.stats.yields > 0, "avoidance must have diverted");
+        }
+    }
+
+    /// Same campaign seed ⇒ identical report (find order, hashes,
+    /// minimized traces).
+    #[test]
+    fn campaigns_are_deterministic_by_seed() {
+        let s = dining_philosophers(3, 1);
+        let mut cfg = FuzzConfig::new(42, 800);
+        cfg.max_finds = 2;
+        let a = fuzz(&s, &cfg);
+        let b = fuzz(&s, &cfg);
+        assert_eq!(a.runs_executed, b.runs_executed);
+        assert_eq!(a.distinct_schedules, b.distinct_schedules);
+        assert_eq!(a.found.len(), b.found.len());
+        for (x, y) in a.found.iter().zip(&b.found) {
+            assert_eq!(x.trace, y.trace);
+            assert_eq!(x.minimized, y.minimized);
+            assert_eq!(x.fingerprint, y.fingerprint);
+            assert_eq!(x.history_text, y.history_text);
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! The declarative scenario DSL.
+//!
+//! A [`Scenario`] is a deadlock-prone concurrent program described as data:
+//! a set of locks, a set of tasks, and per-task scripts of
+//! acquire/release/work ops annotated with static acquisition sites. The
+//! simulator ([`crate::sim`]) executes scenarios against the real engine in
+//! virtual time; the fuzzer ([`crate::fuzz()`]) explores their interleavings.
+//!
+//! The classic workloads this repository previously expressed only as
+//! real-thread examples — dining philosophers, bank transfers, the
+//! async-server lock-order bug — are provided here as builders, plus the
+//! [`writer_preference_gap`] scenario that pins the PR 5 known gap as an
+//! executable spec. [`catalog`] lists the canonical instances the fuzzer,
+//! regression corpus, and benches refer to by name.
+//!
+//! Sites are `(static scope, unique line)` pairs in a single virtual source
+//! file ([`SITE_FILE`]): the blocking engine sees them as single-frame
+//! [`CallStack`]s, the asyncio substrate as `AcquisitionSite`s — the same
+//! frame either way, so histories learned on one substrate are textually
+//! comparable with the other's.
+
+use dimmunix_core::{AccessMode, CallStack, Frame};
+use dimmunix_testkit::Gen;
+
+/// The virtual source file every scenario site lives in.
+pub const SITE_FILE: &str = "sim_scenario.rs";
+
+/// A static acquisition site of a scenario: one frame in [`SITE_FILE`].
+/// Lines are unique within a scenario, so two sites never intern to the
+/// same engine position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteSpec {
+    /// Enclosing scope (the frame's method name). Shared across tasks that
+    /// run the same "code path" — e.g. every bank teller transfers through
+    /// the same two sites, exactly like the real workload.
+    pub scope: &'static str,
+    /// Line in [`SITE_FILE`]; unique per site within a scenario.
+    pub line: u32,
+}
+
+impl SiteSpec {
+    /// The single-frame call stack the blocking engine is shown.
+    pub fn stack(&self) -> CallStack {
+        CallStack::single(Frame::new(self.scope, SITE_FILE, self.line))
+    }
+}
+
+/// One step of a task script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimOp {
+    /// Request lock `lock` in `mode` from scenario site `site` (an index
+    /// into [`Scenario::sites`]), then hold it.
+    Acquire {
+        /// Scenario lock index.
+        lock: usize,
+        /// Exclusive (mutex / rwlock-write) or shared (rwlock-read).
+        mode: AccessMode,
+        /// Index into [`Scenario::sites`].
+        site: usize,
+    },
+    /// Release a held lock.
+    Release {
+        /// Scenario lock index (must be held).
+        lock: usize,
+    },
+    /// Compute for `cost` virtual time units — an explicit blocking point
+    /// at which the scheduler may interleave other tasks.
+    Work {
+        /// Virtual duration (≥ 1).
+        cost: u64,
+    },
+}
+
+/// One simulated task: a name (for diagnostics) and its op script.
+#[derive(Clone, Debug)]
+pub struct TaskScript {
+    /// Diagnostic name ("philosopher-2", "teller-0", …).
+    pub name: String,
+    /// The ops, executed in order; the task finishes after the last.
+    pub ops: Vec<SimOp>,
+}
+
+/// A declarative concurrency scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Stable name; [`by_name`] resolves the canonical instances in
+    /// [`catalog`] (the regression corpus stores this name).
+    pub name: String,
+    /// Number of locks, indexed `0..locks`.
+    pub locks: usize,
+    /// The static acquisition sites scripts refer to by index.
+    pub sites: Vec<SiteSpec>,
+    /// The tasks.
+    pub tasks: Vec<TaskScript>,
+    /// Model OS-level writer preference in the simulated locks: a shared
+    /// request must queue behind an already-waiting exclusive request even
+    /// when the current owners are all readers. The engine does not model
+    /// this queuing policy (see the ROADMAP known-gaps entry from PR 5),
+    /// which is exactly what [`writer_preference_gap`] demonstrates.
+    pub writer_preference: bool,
+    /// Per-task fail-safe budget: when the schedule stalls with no runnable
+    /// or sleeping task, the lowest-indexed blocked task may back out
+    /// (cancel its request, release everything, restart its script) up to
+    /// this many times — the simulator's analogue of a timeout-driven
+    /// retry. `0` disables the fail-safe, turning every stall into
+    /// [`crate::sim::RunOutcome::Stalled`].
+    pub failsafe_budget: u32,
+}
+
+impl Scenario {
+    /// Total ops across all task scripts (a lower bound on the fuel one
+    /// full execution needs).
+    pub fn total_ops(&self) -> usize {
+        self.tasks.iter().map(|t| t.ops.len()).sum()
+    }
+
+    /// The site stacks, in index order, for pre-interning by engine
+    /// drivers.
+    pub fn site_stacks(&self) -> Vec<CallStack> {
+        self.sites.iter().map(SiteSpec::stack).collect()
+    }
+}
+
+/// `n` dining philosophers (ISSUE 7 / paper §2): philosopher `p` grabs fork
+/// `p` then fork `(p+1) % n`, eats, and puts both down, `rounds` times.
+/// Every round of one philosopher runs through the same two sites (the
+/// loop body is one code path), so a learned signature covers all rounds.
+pub fn dining_philosophers(n: usize, rounds: usize) -> Scenario {
+    assert!(n >= 2, "philosophers need at least two forks");
+    let mut sites = Vec::new();
+    let mut tasks = Vec::new();
+    for p in 0..n {
+        let left = sites.len();
+        sites.push(SiteSpec {
+            scope: "philosopher.left_fork",
+            line: (2 * p + 1) as u32,
+        });
+        let right = sites.len();
+        sites.push(SiteSpec {
+            scope: "philosopher.right_fork",
+            line: (2 * p + 2) as u32,
+        });
+        let mut ops = Vec::new();
+        for _ in 0..rounds {
+            ops.push(SimOp::Acquire {
+                lock: p,
+                mode: AccessMode::Exclusive,
+                site: left,
+            });
+            // Thinking with one fork in hand: the window in which the
+            // neighbour can grab the shared fork — the interleaving that
+            // closes the cycle.
+            ops.push(SimOp::Work { cost: 1 });
+            ops.push(SimOp::Acquire {
+                lock: (p + 1) % n,
+                mode: AccessMode::Exclusive,
+                site: right,
+            });
+            ops.push(SimOp::Work { cost: 1 }); // eat
+            ops.push(SimOp::Release { lock: (p + 1) % n });
+            ops.push(SimOp::Release { lock: p });
+        }
+        tasks.push(TaskScript {
+            name: format!("philosopher-{p}"),
+            ops,
+        });
+    }
+    Scenario {
+        name: format!("philosophers-{n}x{rounds}"),
+        locks: n,
+        sites,
+        tasks,
+        writer_preference: false,
+        failsafe_budget: 0,
+    }
+}
+
+/// `tellers` bank tellers moving money between `accounts` account locks,
+/// `transfers` times each, with seeded random (from, to) pairs. All tellers
+/// share the same two sites — the single `transfer()` code path — so one
+/// learned signature immunizes every teller pair.
+pub fn bank_transfer(tellers: usize, accounts: usize, transfers: usize, seed: u64) -> Scenario {
+    assert!(accounts >= 2, "transfers need two distinct accounts");
+    let sites = vec![
+        SiteSpec {
+            scope: "transfer.from_account",
+            line: 1,
+        },
+        SiteSpec {
+            scope: "transfer.to_account",
+            line: 2,
+        },
+    ];
+    let mut g = Gen::new(seed);
+    let tasks = (0..tellers)
+        .map(|t| {
+            let mut ops = Vec::new();
+            for _ in 0..transfers {
+                let from = g.range(0, accounts);
+                let mut to = g.range(0, accounts);
+                if to == from {
+                    to = (to + 1) % accounts;
+                }
+                ops.push(SimOp::Acquire {
+                    lock: from,
+                    mode: AccessMode::Exclusive,
+                    site: 0,
+                });
+                ops.push(SimOp::Work { cost: 1 });
+                ops.push(SimOp::Acquire {
+                    lock: to,
+                    mode: AccessMode::Exclusive,
+                    site: 1,
+                });
+                ops.push(SimOp::Work { cost: 1 });
+                ops.push(SimOp::Release { lock: to });
+                ops.push(SimOp::Release { lock: from });
+            }
+            TaskScript {
+                name: format!("teller-{t}"),
+                ops,
+            }
+        })
+        .collect();
+    Scenario {
+        name: format!("bank-{tellers}x{accounts}x{transfers}-{seed:x}"),
+        locks: accounts,
+        sites,
+        tasks,
+        writer_preference: false,
+        failsafe_budget: 0,
+    }
+}
+
+/// The async-server lock-order bug as a scenario: `tasks` request handlers
+/// each lock a seeded pair of `resources` in ascending order — except every
+/// `invert_every`-th handler, which takes the same pair through an inverted
+/// code path (descending order, distinct sites). This is the declarative
+/// form of the `workloads::async_server` workload's `plan_requests`.
+pub fn async_server(tasks: usize, resources: usize, invert_every: usize, seed: u64) -> Scenario {
+    assert!(resources >= 2, "handlers lock two distinct resources");
+    assert!(invert_every >= 1);
+    let sites = vec![
+        SiteSpec {
+            scope: "handle_request.first",
+            line: 1,
+        },
+        SiteSpec {
+            scope: "handle_request.second",
+            line: 2,
+        },
+        SiteSpec {
+            scope: "handle_request.inverted_first",
+            line: 3,
+        },
+        SiteSpec {
+            scope: "handle_request.inverted_second",
+            line: 4,
+        },
+    ];
+    let mut g = Gen::new(seed);
+    let scripts = (0..tasks)
+        .map(|i| {
+            let a = g.range(0, resources);
+            let mut b = g.range(0, resources);
+            if b == a {
+                b = (b + 1) % resources;
+            }
+            let (lo, hi) = (a.min(b), a.max(b));
+            let inverted = (i + 1) % invert_every == 0;
+            let ((first, first_site), (second, second_site)) = if inverted {
+                ((hi, 2), (lo, 3))
+            } else {
+                ((lo, 0), (hi, 1))
+            };
+            let ops = vec![
+                SimOp::Acquire {
+                    lock: first,
+                    mode: AccessMode::Exclusive,
+                    site: first_site,
+                },
+                SimOp::Work { cost: 1 },
+                SimOp::Acquire {
+                    lock: second,
+                    mode: AccessMode::Exclusive,
+                    site: second_site,
+                },
+                SimOp::Work { cost: 1 },
+                SimOp::Release { lock: second },
+                SimOp::Release { lock: first },
+            ];
+            TaskScript {
+                name: format!("handler-{i}{}", if inverted { "-inv" } else { "" }),
+                ops,
+            }
+        })
+        .collect();
+    Scenario {
+        name: format!("async-server-{tasks}x{resources}i{invert_every}-{seed:x}"),
+        locks: resources,
+        sites,
+        tasks: scripts,
+        writer_preference: false,
+        failsafe_budget: 0,
+    }
+}
+
+/// Executable spec of the PR 5 **writer-preference gap** (see the ROADMAP
+/// known-gaps entry): a cycle that exists only in the lock *queuing policy*,
+/// never in the engine's wait-for graph.
+///
+/// Lock 0 is a rwlock, lock 1 a mutex. The deadlocking schedule: `reader`
+/// takes 0 shared; `b-holder` takes 1; `writer` requests 0 exclusive and
+/// queues behind the reader; `b-holder` requests 0 *shared* — the engine
+/// grants it (shared/shared never conflicts, and there is no reader→writer
+/// wait-for edge), but a writer-preferring lock parks it behind the waiting
+/// writer; `reader` requests 1 and blocks on `b-holder`. Every task is now
+/// queued, yet the engine's RAG is acyclic — detection stays silent and the
+/// stall can only resolve through the fail-safe retry (budgeted here), which
+/// is exactly the behaviour the known-gap entry documents.
+pub fn writer_preference_gap() -> Scenario {
+    let sites = vec![
+        SiteSpec {
+            scope: "gap.reader_takes_rw",
+            line: 1,
+        },
+        SiteSpec {
+            scope: "gap.reader_takes_mutex",
+            line: 2,
+        },
+        SiteSpec {
+            scope: "gap.writer_takes_rw",
+            line: 3,
+        },
+        SiteSpec {
+            scope: "gap.holder_takes_mutex",
+            line: 4,
+        },
+        SiteSpec {
+            scope: "gap.holder_reads_rw",
+            line: 5,
+        },
+    ];
+    let tasks = vec![
+        TaskScript {
+            name: "reader".into(),
+            ops: vec![
+                SimOp::Acquire {
+                    lock: 0,
+                    mode: AccessMode::Shared,
+                    site: 0,
+                },
+                SimOp::Work { cost: 2 },
+                SimOp::Acquire {
+                    lock: 1,
+                    mode: AccessMode::Exclusive,
+                    site: 1,
+                },
+                SimOp::Release { lock: 1 },
+                SimOp::Release { lock: 0 },
+            ],
+        },
+        TaskScript {
+            name: "writer".into(),
+            ops: vec![
+                SimOp::Work { cost: 1 },
+                SimOp::Acquire {
+                    lock: 0,
+                    mode: AccessMode::Exclusive,
+                    site: 2,
+                },
+                SimOp::Release { lock: 0 },
+            ],
+        },
+        TaskScript {
+            name: "b-holder".into(),
+            ops: vec![
+                SimOp::Acquire {
+                    lock: 1,
+                    mode: AccessMode::Exclusive,
+                    site: 3,
+                },
+                SimOp::Work { cost: 2 },
+                SimOp::Acquire {
+                    lock: 0,
+                    mode: AccessMode::Shared,
+                    site: 4,
+                },
+                SimOp::Release { lock: 0 },
+                SimOp::Release { lock: 1 },
+            ],
+        },
+    ];
+    Scenario {
+        name: "writer-preference-gap".into(),
+        locks: 2,
+        sites,
+        tasks,
+        writer_preference: true,
+        failsafe_budget: 1,
+    }
+}
+
+/// The canonical scenario instances the fuzzer, benches, and regression
+/// corpus refer to by name.
+pub fn catalog() -> Vec<Scenario> {
+    vec![
+        dining_philosophers(2, 1),
+        dining_philosophers(3, 1),
+        dining_philosophers(3, 2),
+        dining_philosophers(5, 1),
+        bank_transfer(3, 4, 3, 0xb0ba),
+        async_server(6, 3, 3, 0xa51c),
+        writer_preference_gap(),
+    ]
+}
+
+/// Resolves a canonical scenario by its [`catalog`] name (how the
+/// regression corpus reconstructs a trace's scenario).
+pub fn by_name(name: &str) -> Option<Scenario> {
+    catalog().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every catalog scenario is internally consistent: ops reference valid
+    /// locks/sites, releases match holds, site lines are unique.
+    #[test]
+    fn catalog_scenarios_are_well_formed() {
+        let scenarios = catalog();
+        assert!(!scenarios.is_empty());
+        for s in &scenarios {
+            assert!(by_name(&s.name).is_some(), "{}: not resolvable", s.name);
+            let mut lines = std::collections::HashSet::new();
+            for site in &s.sites {
+                assert!(lines.insert(site.line), "{}: duplicate site line", s.name);
+            }
+            for task in &s.tasks {
+                let mut held: Vec<usize> = Vec::new();
+                for op in &task.ops {
+                    match *op {
+                        SimOp::Acquire { lock, site, .. } => {
+                            assert!(lock < s.locks, "{}", s.name);
+                            assert!(site < s.sites.len(), "{}", s.name);
+                            held.push(lock);
+                        }
+                        SimOp::Release { lock } => {
+                            let i = held.iter().rposition(|&h| h == lock);
+                            assert!(i.is_some(), "{}: release of unheld lock", s.name);
+                            held.remove(i.unwrap());
+                        }
+                        SimOp::Work { cost } => assert!(cost >= 1, "{}", s.name),
+                    }
+                }
+                assert!(held.is_empty(), "{}: {} leaks holds", s.name, task.name);
+            }
+        }
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let a = bank_transfer(3, 4, 3, 42);
+        let b = bank_transfer(3, 4, 3, 42);
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            assert_eq!(x.ops, y.ops);
+        }
+        let a = async_server(8, 4, 3, 7);
+        let b = async_server(8, 4, 3, 7);
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            assert_eq!(x.ops, y.ops);
+        }
+    }
+
+    #[test]
+    fn async_server_inverts_every_kth_handler() {
+        let s = async_server(6, 3, 3, 1);
+        let inverted: Vec<bool> = s.tasks.iter().map(|t| t.name.ends_with("-inv")).collect();
+        assert_eq!(inverted, vec![false, false, true, false, false, true]);
+        // Inverted handlers descend, canonical ones ascend.
+        for task in &s.tasks {
+            let locks: Vec<usize> = task
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    SimOp::Acquire { lock, .. } => Some(*lock),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(locks.len(), 2);
+            if task.name.ends_with("-inv") {
+                assert!(locks[0] > locks[1], "{}", task.name);
+            } else {
+                assert!(locks[0] < locks[1], "{}", task.name);
+            }
+        }
+    }
+}

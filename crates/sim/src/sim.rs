@@ -1,0 +1,1145 @@
+//! The discrete-event simulator: virtual time over the real engine.
+//!
+//! [`run_schedule`] executes a [`Scenario`] against a real Dimmunix engine
+//! (monolithic or sharded, behind [`EngineHooks`]) under an explicit
+//! scheduling policy ([`DecisionSource`]). Tasks run to completion between
+//! *blocking points* — `Work` ops (virtual sleeps on a min-heap clock),
+//! substrate lock waits, and avoidance parks — and whenever more than one
+//! task is runnable the decision source picks which runs next. Every
+//! decision and engine-visible event is folded into an FNV-1a
+//! `sched_trace_hash`, so any run replays exactly from its recorded
+//! decision trace, and fuel (an executed-op bound) replaces wall-clock
+//! timeouts.
+//!
+//! The substrate model mirrors, op for op, the validated blocking-lock
+//! protocol of the async substrate (the oracle of the sync/async
+//! equivalence suite): FIFO lock handoff with barging, release-driven
+//! avoidance wake-one per signature, wake-all broadcasts after requests and
+//! retirements, and the refusal path on detection. On top it adds what the
+//! engine deliberately does not model: reader/writer admission (including
+//! optional writer preference — see [`Scenario::writer_preference`]) and a
+//! budgeted fail-safe retry for stalls the engine cannot see.
+
+use crate::scenario::{Scenario, SimOp};
+use dimmunix_core::{
+    AccessMode, CallStack, Config, Dimmunix, History, LockId, OwnerId, PositionId, RequestOutcome,
+    ShardedDimmunix, SignatureId, Stats,
+};
+use dimmunix_testkit::Gen;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Trace hashing
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice; used for history fingerprints.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Incremental FNV-1a over tagged event words — the `sched_trace_hash`.
+#[derive(Clone, Copy, Debug)]
+struct TraceHash(u64);
+
+impl TraceHash {
+    fn new() -> Self {
+        TraceHash(FNV_OFFSET)
+    }
+
+    fn push(&mut self, words: &[u64]) {
+        for w in words {
+            for b in w.to_le_bytes() {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(FNV_PRIME);
+            }
+        }
+    }
+}
+
+// Event tags folded into the trace hash. Any semantic change to the
+// simulator that alters observable behaviour changes the hash stream.
+const TAG_DECISION: u64 = 1;
+const TAG_OUTCOME: u64 = 2;
+const TAG_TAKE: u64 = 3;
+const TAG_RELEASE: u64 = 4;
+const TAG_WORK: u64 = 5;
+const TAG_FINISH: u64 = 6;
+const TAG_BACKOUT: u64 = 7;
+const TAG_FINAL: u64 = 8;
+
+// ---------------------------------------------------------------------------
+// Decision sources
+// ---------------------------------------------------------------------------
+
+/// How the scheduler behaves past the recorded decision prefix.
+#[derive(Clone, Debug)]
+pub enum Tail {
+    /// Always pick the lowest-indexed runnable task — the deterministic
+    /// "default schedule". Replays use this, so a shrunk prefix still
+    /// defines a complete schedule.
+    First,
+    /// Draw uniformly from the runnable set (seeded; fuzzing).
+    Random(Gen),
+}
+
+/// The scheduling policy of one run: a recorded decision prefix (possibly
+/// empty) followed by a [`Tail`]. Decisions are consumed only at points
+/// with more than one runnable task and are interpreted modulo the runnable
+/// count, so any `u32` sequence is a valid schedule.
+#[derive(Clone, Debug)]
+pub struct DecisionSource {
+    prefix: Vec<u32>,
+    at: usize,
+    tail: Tail,
+}
+
+impl DecisionSource {
+    /// Pure random exploration.
+    pub fn random(g: Gen) -> Self {
+        DecisionSource {
+            prefix: Vec::new(),
+            at: 0,
+            tail: Tail::Random(g),
+        }
+    }
+
+    /// Exact replay of a recorded trace; past its end, the default
+    /// schedule.
+    pub fn replay(decisions: Vec<u32>) -> Self {
+        DecisionSource {
+            prefix: decisions,
+            at: 0,
+            tail: Tail::First,
+        }
+    }
+
+    /// Targeted mutation: replay `prefix`, then explore randomly — the
+    /// fuzzer's lock-order mutation of an interesting parent schedule.
+    pub fn with_prefix(prefix: Vec<u32>, g: Gen) -> Self {
+        DecisionSource {
+            prefix,
+            at: 0,
+            tail: Tail::Random(g),
+        }
+    }
+
+    /// Draws the next decision for a point with `n ≥ 2` candidates,
+    /// already reduced modulo `n`. Exposed for alternate schedulers (the
+    /// asyncio driver); [`run_schedule`] calls it internally.
+    pub fn next_decision(&mut self, n: usize) -> u32 {
+        debug_assert!(n >= 2);
+        if let Some(&d) = self.prefix.get(self.at) {
+            self.at += 1;
+            d % n as u32
+        } else {
+            match &mut self.tail {
+                Tail::First => 0,
+                Tail::Random(g) => g.range(0, n) as u32,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine drivers
+// ---------------------------------------------------------------------------
+
+/// The engine surface the simulator drives: the real hook points, keyed by
+/// task index and scenario site index. Implemented for the monolithic
+/// engine (with snapshot-rollback reuse) and the sharded engine.
+pub trait EngineHooks {
+    /// Restore the engine to its pre-run state (the seeded history, empty
+    /// RAG). Called at the start of every run, so one driver executes many
+    /// schedules.
+    fn reset(&mut self);
+    /// The `request` hook for `task` acquiring `lock` at scenario site
+    /// `site` in `mode`.
+    fn request(
+        &mut self,
+        task: usize,
+        lock: usize,
+        site: usize,
+        mode: AccessMode,
+    ) -> RequestOutcome;
+    /// The `acquired` hook.
+    fn acquired(&mut self, task: usize, lock: usize);
+    /// The `released` hook; signatures to wake-one land in `wake`.
+    fn released_into(&mut self, task: usize, lock: usize, wake: &mut Vec<SignatureId>);
+    /// Withdraw an outstanding (granted-but-unacquired or refused) request.
+    fn cancel_request(&mut self, task: usize, lock: usize);
+    /// Retire a task; returns signatures to wake-all.
+    fn unregister_owner(&mut self, task: usize) -> Vec<SignatureId>;
+    /// Wake-ups the engine scheduled while processing earlier hooks.
+    fn take_pending_wakeups(&mut self) -> Vec<SignatureId>;
+    /// Engine counters.
+    fn stats(&self) -> Stats;
+    /// The learned history, textual form.
+    fn history_text(&self) -> String;
+    /// The learned history.
+    fn history(&self) -> History;
+}
+
+fn owner(task: usize) -> OwnerId {
+    OwnerId::thread(task as u64)
+}
+
+/// Monolithic-engine driver. Sites are pre-interned once; [`reset`] rolls
+/// the engine back to its construction snapshot via
+/// [`Dimmunix::reset_to_snapshot`] instead of rebuilding it, which is what
+/// makes high schedule throughput possible (the whole position table and
+/// history survive across runs).
+///
+/// [`reset`]: EngineHooks::reset
+pub struct MonoDriver {
+    engine: Dimmunix,
+    base: Arc<dimmunix_core::HistorySnapshot>,
+    site_pos: Vec<PositionId>,
+    wake_scratch: Vec<SignatureId>,
+}
+
+impl std::fmt::Debug for MonoDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonoDriver")
+            .field("sites", &self.site_pos.len())
+            .field("base_outers", &self.base.outer_len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MonoDriver {
+    /// Builds a driver for `scenario` with `history` pre-seeded (empty for
+    /// learning runs, a learned history for immune replays).
+    pub fn new(scenario: &Scenario, history: History) -> Self {
+        let mut engine = Dimmunix::with_history(Config::default(), history);
+        let base = Arc::clone(engine.history_snapshot());
+        let site_pos = scenario
+            .site_stacks()
+            .iter()
+            .map(|s| engine.intern_position(s))
+            .collect();
+        MonoDriver {
+            engine,
+            base,
+            site_pos,
+            wake_scratch: Vec::new(),
+        }
+    }
+}
+
+impl EngineHooks for MonoDriver {
+    fn reset(&mut self) {
+        self.engine.reset_to_snapshot(&self.base);
+    }
+
+    fn request(
+        &mut self,
+        task: usize,
+        lock: usize,
+        site: usize,
+        mode: AccessMode,
+    ) -> RequestOutcome {
+        self.engine.request_at_mode(
+            owner(task),
+            LockId::new(lock as u64),
+            self.site_pos[site],
+            mode,
+        )
+    }
+
+    fn acquired(&mut self, task: usize, lock: usize) {
+        self.engine.acquired(owner(task), LockId::new(lock as u64));
+    }
+
+    fn released_into(&mut self, task: usize, lock: usize, wake: &mut Vec<SignatureId>) {
+        self.engine
+            .released_into(owner(task), LockId::new(lock as u64), wake);
+        let _ = &self.wake_scratch;
+    }
+
+    fn cancel_request(&mut self, task: usize, lock: usize) {
+        self.engine
+            .cancel_request(owner(task), LockId::new(lock as u64));
+    }
+
+    fn unregister_owner(&mut self, task: usize) -> Vec<SignatureId> {
+        self.engine.unregister_owner(owner(task))
+    }
+
+    fn take_pending_wakeups(&mut self) -> Vec<SignatureId> {
+        self.engine.take_pending_wakeups()
+    }
+
+    fn stats(&self) -> Stats {
+        *self.engine.stats()
+    }
+
+    fn history_text(&self) -> String {
+        self.engine.history().to_text()
+    }
+
+    fn history(&self) -> History {
+        self.engine.history().clone()
+    }
+}
+
+/// Sharded-engine driver. The sharded engine has no snapshot rollback, so
+/// [`reset`](EngineHooks::reset) rebuilds it from the seeded history —
+/// slower, but it proves the explorer drives the lock-striped deployment
+/// shape through the identical protocol.
+pub struct ShardedDriver {
+    engine: ShardedDimmunix,
+    shards: usize,
+    seeded: History,
+    site_stacks: Vec<CallStack>,
+}
+
+impl std::fmt::Debug for ShardedDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDriver")
+            .field("shards", &self.shards)
+            .field("sites", &self.site_stacks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedDriver {
+    /// Builds a `shards`-way driver for `scenario` seeded with `history`.
+    pub fn new(scenario: &Scenario, shards: usize, history: History) -> Self {
+        ShardedDriver {
+            engine: ShardedDimmunix::with_history(Config::default(), shards, history.clone()),
+            shards,
+            seeded: history,
+            site_stacks: scenario.site_stacks(),
+        }
+    }
+}
+
+impl EngineHooks for ShardedDriver {
+    fn reset(&mut self) {
+        self.engine =
+            ShardedDimmunix::with_history(Config::default(), self.shards, self.seeded.clone());
+    }
+
+    fn request(
+        &mut self,
+        task: usize,
+        lock: usize,
+        site: usize,
+        mode: AccessMode,
+    ) -> RequestOutcome {
+        self.engine.request_mode(
+            owner(task),
+            LockId::new(lock as u64),
+            &self.site_stacks[site],
+            mode,
+        )
+    }
+
+    fn acquired(&mut self, task: usize, lock: usize) {
+        self.engine.acquired(owner(task), LockId::new(lock as u64));
+    }
+
+    fn released_into(&mut self, task: usize, lock: usize, wake: &mut Vec<SignatureId>) {
+        self.engine
+            .released_into(owner(task), LockId::new(lock as u64), wake);
+    }
+
+    fn cancel_request(&mut self, task: usize, lock: usize) {
+        self.engine
+            .cancel_request(owner(task), LockId::new(lock as u64));
+    }
+
+    fn unregister_owner(&mut self, task: usize) -> Vec<SignatureId> {
+        self.engine.unregister_owner(owner(task))
+    }
+
+    fn take_pending_wakeups(&mut self) -> Vec<SignatureId> {
+        self.engine.take_pending_wakeups()
+    }
+
+    fn stats(&self) -> Stats {
+        self.engine.stats()
+    }
+
+    fn history_text(&self) -> String {
+        self.engine.history().to_text()
+    }
+
+    fn history(&self) -> History {
+        self.engine.history().clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run configuration and reports
+// ---------------------------------------------------------------------------
+
+/// What to do when the engine detects a real deadlock cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OnDeadlock {
+    /// End the run immediately with [`RunOutcome::Deadlock`] — the fuzzer's
+    /// mode: the first detection is the find.
+    Stop,
+    /// The refusal path of the substrates' `Error` policy: the detected
+    /// victim cancels, drops its holds, and dies; the run continues.
+    Refuse,
+}
+
+/// Per-run knobs.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Executed-op bound replacing wall-clock timeouts. A run that executes
+    /// this many ops ends as [`RunOutcome::FuelExhausted`].
+    pub fuel: usize,
+    /// Detection policy.
+    pub on_deadlock: OnDeadlock,
+    /// Record a human-readable event line per simulator step (determinism
+    /// tests and diagnostics; costs allocation, off in the fuzz loop).
+    pub record_events: bool,
+}
+
+impl SimConfig {
+    /// Defaults sized for `scenario`: fuel covers several full executions
+    /// plus retry slack, stop on first detection, no event recording.
+    pub fn for_scenario(scenario: &Scenario) -> Self {
+        SimConfig {
+            fuel: scenario.total_ops() * 8 + 64,
+            on_deadlock: OnDeadlock::Stop,
+            record_events: false,
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every task finished (or died on the refusal path).
+    Completed,
+    /// The engine detected a real cycle ([`OnDeadlock::Stop`]).
+    Deadlock {
+        /// The learned signature.
+        signature: SignatureId,
+        /// First observation of this bug.
+        new_signature: bool,
+    },
+    /// No task runnable or sleeping, no fail-safe budget left, and the
+    /// engine saw no cycle — a stall invisible to detection (the
+    /// writer-preference gap shape).
+    Stalled,
+    /// The fuel bound fired.
+    FuelExhausted,
+}
+
+impl RunOutcome {
+    fn code(&self) -> u64 {
+        match self {
+            RunOutcome::Completed => 0,
+            RunOutcome::Deadlock { .. } => 1,
+            RunOutcome::Stalled => 2,
+            RunOutcome::FuelExhausted => 3,
+        }
+    }
+}
+
+/// Everything one simulated run produced.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Terminal state.
+    pub outcome: RunOutcome,
+    /// FNV-1a over every decision and engine-visible event; two runs with
+    /// equal hashes executed the identical schedule.
+    pub sched_trace_hash: u64,
+    /// Canonical decisions consumed at >1-runnable points;
+    /// [`DecisionSource::replay`] of this vector reproduces the run.
+    pub decisions: Vec<u32>,
+    /// Ops executed (the fuel spent).
+    pub executed_ops: usize,
+    /// Final virtual-clock reading.
+    pub virtual_time: u64,
+    /// Peak count of simultaneously blocked tasks that held at least one
+    /// lock — the near-miss metric the fuzzer's mutation pool keys on.
+    pub max_blocked: usize,
+    /// Fail-safe back-out/restart count.
+    pub failsafe_retries: u32,
+    /// Engine detections observed (0 or 1 under [`OnDeadlock::Stop`]).
+    pub deadlocks: u32,
+    /// Learned history, textual form, at run end.
+    pub history_text: String,
+    /// Engine counters at run end.
+    pub stats: Stats,
+    /// Event lines (empty unless [`SimConfig::record_events`]).
+    pub events: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// The simulator
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Runnable,
+    Sleeping,
+    LockWait,
+    Parked,
+    Finished,
+    Refused,
+}
+
+/// What a runnable task does when scheduled, before (or instead of) its
+/// next script op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pending {
+    Op,
+    /// Engine approved; waiting for substrate admission (the oracle's
+    /// `LockWait`): acquisition completes without a new engine request.
+    Take {
+        lock: usize,
+        mode: AccessMode,
+        site: usize,
+    },
+    /// Avoidance-parked; retries the full engine request when woken.
+    Retry {
+        lock: usize,
+        mode: AccessMode,
+        site: usize,
+    },
+}
+
+struct SimLock {
+    /// Current holders: one exclusive entry, or any number of shared ones
+    /// (plus reentrant duplicates).
+    owners: Vec<(usize, AccessMode)>,
+    /// FIFO of engine-approved tasks waiting for admission.
+    waiters: VecDeque<(usize, AccessMode)>,
+}
+
+struct Sim<'a, E: EngineHooks> {
+    driver: &'a mut E,
+    scenario: &'a Scenario,
+    cfg: &'a SimConfig,
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    runnable: Vec<usize>,
+    state: Vec<State>,
+    pending: Vec<Pending>,
+    pc: Vec<usize>,
+    held: Vec<Vec<usize>>,
+    locks: Vec<SimLock>,
+    parked: HashMap<SignatureId, VecDeque<usize>>,
+    budget: Vec<u32>,
+    hash: TraceHash,
+    decisions: Vec<u32>,
+    executed: usize,
+    max_blocked: usize,
+    failsafe_retries: u32,
+    deadlocks: u32,
+    events: Vec<String>,
+    wake_buf: Vec<SignatureId>,
+}
+
+/// Executes one schedule of `scenario` through `driver` under `source`.
+/// Resets the driver first, so call sites never leak state between runs.
+pub fn run_schedule<E: EngineHooks>(
+    driver: &mut E,
+    scenario: &Scenario,
+    source: &mut DecisionSource,
+    cfg: &SimConfig,
+) -> RunReport {
+    driver.reset();
+    let n = scenario.tasks.len();
+    let mut sim = Sim {
+        driver,
+        scenario,
+        cfg,
+        now: 0,
+        seq: 0,
+        heap: BinaryHeap::new(),
+        runnable: (0..n).collect(),
+        state: vec![State::Runnable; n],
+        pending: vec![Pending::Op; n],
+        pc: vec![0; n],
+        held: vec![Vec::new(); n],
+        locks: (0..scenario.locks)
+            .map(|_| SimLock {
+                owners: Vec::new(),
+                waiters: VecDeque::new(),
+            })
+            .collect(),
+        parked: HashMap::new(),
+        budget: vec![scenario.failsafe_budget; n],
+        hash: TraceHash::new(),
+        decisions: Vec::new(),
+        executed: 0,
+        max_blocked: 0,
+        failsafe_retries: 0,
+        deadlocks: 0,
+        events: Vec::new(),
+        wake_buf: Vec::new(),
+    };
+    sim.run(source)
+}
+
+impl<E: EngineHooks> Sim<'_, E> {
+    fn run(&mut self, source: &mut DecisionSource) -> RunReport {
+        let outcome = loop {
+            if self.runnable.is_empty() {
+                if let Some(&Reverse((t, _, _))) = self.heap.peek() {
+                    // Advance virtual time; everything due now becomes
+                    // runnable together (and competes for the next
+                    // decision).
+                    self.now = t;
+                    while let Some(&Reverse((due, _, task))) = self.heap.peek() {
+                        if due != t {
+                            break;
+                        }
+                        self.heap.pop();
+                        self.make_runnable(task);
+                    }
+                    continue;
+                }
+                if self.all_terminal() {
+                    break RunOutcome::Completed;
+                }
+                // Stall: blocked tasks, empty clock. The engine saw no
+                // cycle (else the run would have ended) — fail safe if
+                // budget remains, report otherwise.
+                match self.failsafe_victim() {
+                    Some(victim) => {
+                        self.event(format!(
+                            "t={} failsafe task={}",
+                            self.now, self.scenario.tasks[victim].name
+                        ));
+                        self.back_out(victim, true);
+                        continue;
+                    }
+                    None => break RunOutcome::Stalled,
+                }
+            }
+
+            if self.executed >= self.cfg.fuel {
+                break RunOutcome::FuelExhausted;
+            }
+
+            let idx = if self.runnable.len() == 1 {
+                0
+            } else {
+                let d = source.next_decision(self.runnable.len());
+                self.decisions.push(d);
+                self.hash
+                    .push(&[TAG_DECISION, self.runnable.len() as u64, d as u64]);
+                d as usize
+            };
+            let task = self.runnable.remove(idx);
+            if let Some(dl) = self.step_task(task) {
+                break dl;
+            }
+        };
+
+        self.hash
+            .push(&[TAG_FINAL, outcome.code(), self.executed as u64, self.now]);
+        RunReport {
+            outcome,
+            sched_trace_hash: self.hash.0,
+            decisions: std::mem::take(&mut self.decisions),
+            executed_ops: self.executed,
+            virtual_time: self.now,
+            max_blocked: self.max_blocked,
+            failsafe_retries: self.failsafe_retries,
+            deadlocks: self.deadlocks,
+            history_text: self.driver.history_text(),
+            stats: self.driver.stats(),
+            events: std::mem::take(&mut self.events),
+        }
+    }
+
+    /// Runs `task` to its next blocking point. Returns a terminal outcome
+    /// on engine detection under [`OnDeadlock::Stop`].
+    fn step_task(&mut self, task: usize) -> Option<RunOutcome> {
+        loop {
+            match self.pending[task] {
+                Pending::Take { lock, mode, site } => {
+                    // Woken as a lock waiter: admission needs only owner
+                    // compatibility (it already reached the queue front;
+                    // writer preference gates fresh arrivals, not handoffs).
+                    if self.compatible(lock, task, mode) {
+                        self.pending[task] = Pending::Op;
+                        self.take(task, lock, mode, site);
+                    } else {
+                        // Barged by an avoidance-woken or fresh owner:
+                        // re-join at the back, exactly like the oracle.
+                        self.locks[lock].waiters.push_back((task, mode));
+                        self.block(task, State::LockWait);
+                        return None;
+                    }
+                }
+                Pending::Retry { lock, mode, site } => {
+                    self.pending[task] = Pending::Op;
+                    self.executed += 1;
+                    match self.begin_acquire(task, lock, mode, site) {
+                        AcquireStep::Continue => {}
+                        AcquireStep::Blocked => return None,
+                        AcquireStep::Terminal(o) => return Some(o),
+                    }
+                }
+                Pending::Op => {
+                    let Some(&op) = self.scenario.tasks[task].ops.get(self.pc[task]) else {
+                        self.finish(task);
+                        return None;
+                    };
+                    self.pc[task] += 1;
+                    self.executed += 1;
+                    match op {
+                        SimOp::Work { cost } => {
+                            let due = self.now + cost.max(1);
+                            self.seq += 1;
+                            self.heap.push(Reverse((due, self.seq, task)));
+                            self.state[task] = State::Sleeping;
+                            self.hash.push(&[TAG_WORK, task as u64, due]);
+                            self.event(format!(
+                                "t={} task={} work until {due}",
+                                self.now, self.scenario.tasks[task].name
+                            ));
+                            return None;
+                        }
+                        SimOp::Release { lock } => {
+                            self.release(task, lock);
+                        }
+                        SimOp::Acquire { lock, mode, site } => {
+                            match self.begin_acquire(task, lock, mode, site) {
+                                AcquireStep::Continue => {}
+                                AcquireStep::Blocked => return None,
+                                AcquireStep::Terminal(o) => return Some(o),
+                            }
+                        }
+                    }
+                }
+            }
+            if self.executed >= self.cfg.fuel {
+                // Let the main loop convert this into FuelExhausted.
+                if self.state[task] == State::Runnable && matches!(self.pending[task], Pending::Op)
+                {
+                    self.make_runnable(task);
+                }
+                return None;
+            }
+        }
+    }
+
+    fn begin_acquire(
+        &mut self,
+        task: usize,
+        lock: usize,
+        mode: AccessMode,
+        site: usize,
+    ) -> AcquireStep {
+        let outcome = self.driver.request(task, lock, site, mode);
+        // Mirrors `task_begin_acquire`: pending wake-ups scheduled while the
+        // engine processed the request are broadcast before acting on it.
+        let pending = self.driver.take_pending_wakeups();
+        self.wake_all_each(&pending);
+        match outcome {
+            RequestOutcome::Granted | RequestOutcome::GrantedReentrant => {
+                self.hash.push(&[TAG_OUTCOME, task as u64, lock as u64, 0]);
+                if self.admissible_fresh(lock, task, mode) {
+                    self.take(task, lock, mode, site);
+                    AcquireStep::Continue
+                } else {
+                    self.event(format!(
+                        "t={} task={} waits lock={lock}",
+                        self.now, self.scenario.tasks[task].name
+                    ));
+                    self.locks[lock].waiters.push_back((task, mode));
+                    self.pending[task] = Pending::Take { lock, mode, site };
+                    self.block(task, State::LockWait);
+                    AcquireStep::Blocked
+                }
+            }
+            RequestOutcome::Yield { signature } => {
+                self.hash.push(&[
+                    TAG_OUTCOME,
+                    task as u64,
+                    lock as u64,
+                    2 + signature.index() as u64,
+                ]);
+                self.event(format!(
+                    "t={} task={} parked sig={} lock={lock}",
+                    self.now,
+                    self.scenario.tasks[task].name,
+                    signature.index()
+                ));
+                let q = self.parked.entry(signature).or_default();
+                if !q.contains(&task) {
+                    q.push_back(task);
+                }
+                self.pending[task] = Pending::Retry { lock, mode, site };
+                self.block(task, State::Parked);
+                AcquireStep::Blocked
+            }
+            RequestOutcome::DeadlockDetected {
+                signature,
+                new_signature,
+                ..
+            } => {
+                self.deadlocks += 1;
+                self.hash.push(&[TAG_OUTCOME, task as u64, lock as u64, 1]);
+                self.event(format!(
+                    "t={} task={} DEADLOCK sig={} new={new_signature}",
+                    self.now,
+                    self.scenario.tasks[task].name,
+                    signature.index()
+                ));
+                match self.cfg.on_deadlock {
+                    OnDeadlock::Stop => AcquireStep::Terminal(RunOutcome::Deadlock {
+                        signature,
+                        new_signature,
+                    }),
+                    OnDeadlock::Refuse => {
+                        self.driver.cancel_request(task, lock);
+                        self.back_out_holds(task);
+                        let wake = self.driver.unregister_owner(task);
+                        self.wake_all_each(&wake);
+                        self.state[task] = State::Refused;
+                        self.hash.push(&[TAG_BACKOUT, task as u64, 0]);
+                        AcquireStep::Blocked
+                    }
+                }
+            }
+        }
+    }
+
+    /// Owner-compatibility only (handoff admission).
+    fn compatible(&self, lock: usize, task: usize, mode: AccessMode) -> bool {
+        let l = &self.locks[lock];
+        if l.owners.iter().any(|&(o, _)| o == task) {
+            return true; // reentrant
+        }
+        match mode {
+            AccessMode::Shared => l.owners.iter().all(|&(_, m)| m == AccessMode::Shared),
+            AccessMode::Exclusive => l.owners.is_empty(),
+        }
+    }
+
+    /// Fresh-arrival admission: owner compatibility, plus — under writer
+    /// preference — no queued exclusive waiter may be overtaken by a new
+    /// reader. This is the queuing policy the engine has no wait-for edge
+    /// for (ROADMAP known gap, PR 5).
+    fn admissible_fresh(&self, lock: usize, task: usize, mode: AccessMode) -> bool {
+        if !self.compatible(lock, task, mode) {
+            return false;
+        }
+        if self.scenario.writer_preference && mode == AccessMode::Shared {
+            return !self.locks[lock]
+                .waiters
+                .iter()
+                .any(|&(_, m)| m == AccessMode::Exclusive);
+        }
+        true
+    }
+
+    fn take(&mut self, task: usize, lock: usize, mode: AccessMode, _site: usize) {
+        self.locks[lock].owners.push((task, mode));
+        self.driver.acquired(task, lock);
+        self.held[task].push(lock);
+        self.hash.push(&[TAG_TAKE, task as u64, lock as u64]);
+        self.event(format!(
+            "t={} task={} acquired lock={lock}",
+            self.now, self.scenario.tasks[task].name
+        ));
+    }
+
+    /// Mirrors `MutexGuard::drop`: substrate first (drop the owner entry,
+    /// pop admissible waiters), then the engine (whose release wakes one
+    /// parked owner per signature), then hand the popped waiters their
+    /// wake.
+    fn release(&mut self, task: usize, lock: usize) {
+        if let Some(i) = self.held[task].iter().rposition(|&l| l == lock) {
+            self.held[task].remove(i);
+        }
+        let l = &mut self.locks[lock];
+        if let Some(i) = l.owners.iter().rposition(|&(o, _)| o == task) {
+            l.owners.remove(i);
+        }
+        let mut admitted = Vec::new();
+        if l.owners.is_empty() {
+            if let Some((w, m)) = l.waiters.pop_front() {
+                admitted.push(w);
+                if m == AccessMode::Shared {
+                    // A reader handoff admits the contiguous reader run
+                    // behind it (standard rwlock wake semantics).
+                    while l
+                        .waiters
+                        .front()
+                        .is_some_and(|&(_, m)| m == AccessMode::Shared)
+                    {
+                        let (w, _) = l.waiters.pop_front().expect("front checked");
+                        admitted.push(w);
+                    }
+                }
+            }
+        }
+        let mut wake = std::mem::take(&mut self.wake_buf);
+        self.driver.released_into(task, lock, &mut wake);
+        self.wake_one_each(&wake);
+        self.wake_buf = wake;
+        for w in admitted {
+            self.make_runnable(w);
+        }
+        self.hash.push(&[TAG_RELEASE, task as u64, lock as u64]);
+        self.event(format!(
+            "t={} task={} released lock={lock}",
+            self.now, self.scenario.tasks[task].name
+        ));
+    }
+
+    fn finish(&mut self, task: usize) {
+        let wake = self.driver.unregister_owner(task);
+        self.wake_all_each(&wake);
+        self.state[task] = State::Finished;
+        self.hash.push(&[TAG_FINISH, task as u64]);
+        self.event(format!(
+            "t={} task={} finished",
+            self.now, self.scenario.tasks[task].name
+        ));
+    }
+
+    /// Fail-safe back-out (`restart`) or refusal death: withdraw the
+    /// blocked request, leave any wait queue, drop every hold (waking
+    /// waiters/parked owners), then restart the script from the top or
+    /// die.
+    fn back_out(&mut self, task: usize, restart: bool) {
+        match self.pending[task] {
+            Pending::Take { lock, .. } | Pending::Retry { lock, .. } => {
+                self.driver.cancel_request(task, lock);
+                self.locks[lock].waiters.retain(|&(w, _)| w != task);
+            }
+            Pending::Op => {}
+        }
+        for q in self.parked.values_mut() {
+            q.retain(|&w| w != task);
+        }
+        self.parked.retain(|_, q| !q.is_empty());
+        self.back_out_holds(task);
+        let pending = self.driver.take_pending_wakeups();
+        self.wake_all_each(&pending);
+        self.hash
+            .push(&[TAG_BACKOUT, task as u64, u64::from(restart)]);
+        if restart {
+            self.pc[task] = 0;
+            self.pending[task] = Pending::Op;
+            self.budget[task] -= 1;
+            self.failsafe_retries += 1;
+            self.make_runnable(task);
+        } else {
+            let wake = self.driver.unregister_owner(task);
+            self.wake_all_each(&wake);
+            self.state[task] = State::Refused;
+        }
+    }
+
+    fn back_out_holds(&mut self, task: usize) {
+        let held = self.held[task].clone();
+        for lock in held {
+            self.release(task, lock);
+        }
+    }
+
+    /// Lowest-indexed blocked task with fail-safe budget remaining.
+    fn failsafe_victim(&self) -> Option<usize> {
+        (0..self.state.len()).find(|&t| {
+            matches!(self.state[t], State::LockWait | State::Parked) && self.budget[t] > 0
+        })
+    }
+
+    fn all_terminal(&self) -> bool {
+        self.state
+            .iter()
+            .all(|s| matches!(s, State::Finished | State::Refused))
+    }
+
+    fn block(&mut self, task: usize, state: State) {
+        self.state[task] = state;
+        let blocked_holding = (0..self.state.len())
+            .filter(|&t| {
+                matches!(self.state[t], State::LockWait | State::Parked) && !self.held[t].is_empty()
+            })
+            .count();
+        self.max_blocked = self.max_blocked.max(blocked_holding);
+    }
+
+    fn make_runnable(&mut self, task: usize) {
+        if matches!(self.state[task], State::Finished | State::Refused) {
+            return;
+        }
+        self.state[task] = State::Runnable;
+        if let Err(i) = self.runnable.binary_search(&task) {
+            self.runnable.insert(i, task);
+        }
+    }
+
+    /// Mirrors `notify_signatures_released`: one wake per signature, FIFO.
+    fn wake_one_each(&mut self, sigs: &[SignatureId]) {
+        for sig in sigs {
+            if let Some(q) = self.parked.get_mut(sig) {
+                if let Some(w) = q.pop_front() {
+                    self.make_runnable(w);
+                }
+                if self.parked.get(sig).is_some_and(VecDeque::is_empty) {
+                    self.parked.remove(sig);
+                }
+            }
+        }
+    }
+
+    /// Mirrors `notify_signatures` (wake-all broadcasts).
+    fn wake_all_each(&mut self, sigs: &[SignatureId]) {
+        for sig in sigs {
+            if let Some(q) = self.parked.remove(sig) {
+                for w in q {
+                    self.make_runnable(w);
+                }
+            }
+        }
+    }
+
+    fn event(&mut self, line: String) {
+        if self.cfg.record_events {
+            self.events.push(line);
+        }
+    }
+}
+
+enum AcquireStep {
+    Continue,
+    Blocked,
+    Terminal(RunOutcome),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{catalog, dining_philosophers, writer_preference_gap};
+
+    fn first_schedule(scenario: &Scenario) -> RunReport {
+        let mut driver = MonoDriver::new(scenario, History::new());
+        let mut src = DecisionSource::replay(Vec::new());
+        run_schedule(
+            &mut driver,
+            scenario,
+            &mut src,
+            &SimConfig::for_scenario(scenario),
+        )
+    }
+
+    /// The default (lowest-index-first) schedule of every catalog scenario
+    /// terminates: completes, or — for the gap scenario and unlucky seeds —
+    /// resolves within its fail-safe budget; never fuel exhaustion.
+    #[test]
+    fn default_schedules_terminate() {
+        for s in catalog() {
+            let report = first_schedule(&s);
+            assert_ne!(
+                report.outcome,
+                RunOutcome::FuelExhausted,
+                "{}: burned all fuel",
+                s.name
+            );
+        }
+    }
+
+    /// Same seed, same scenario ⇒ identical hash, decisions, and stats.
+    #[test]
+    fn random_schedules_are_deterministic_by_seed() {
+        let s = dining_philosophers(3, 2);
+        let cfg = SimConfig::for_scenario(&s);
+        for seed in 0..20u64 {
+            let mut d1 = MonoDriver::new(&s, History::new());
+            let mut d2 = MonoDriver::new(&s, History::new());
+            let mut s1 = DecisionSource::random(Gen::new(seed));
+            let mut s2 = DecisionSource::random(Gen::new(seed));
+            let a = run_schedule(&mut d1, &s, &mut s1, &cfg);
+            let b = run_schedule(&mut d2, &s, &mut s2, &cfg);
+            assert_eq!(a.sched_trace_hash, b.sched_trace_hash, "seed {seed}");
+            assert_eq!(a.decisions, b.decisions, "seed {seed}");
+            assert_eq!(a.outcome, b.outcome, "seed {seed}");
+            assert_eq!(a.stats, b.stats, "seed {seed}");
+        }
+    }
+
+    /// Replaying a run's recorded decisions reproduces its hash exactly —
+    /// the seed + trace-hash replay guarantee.
+    #[test]
+    fn recorded_decisions_replay_exactly() {
+        let s = dining_philosophers(3, 2);
+        let cfg = SimConfig::for_scenario(&s);
+        let mut driver = MonoDriver::new(&s, History::new());
+        for seed in 0..20u64 {
+            let mut src = DecisionSource::random(Gen::new(seed));
+            let a = run_schedule(&mut driver, &s, &mut src, &cfg);
+            let mut replay = DecisionSource::replay(a.decisions.clone());
+            let b = run_schedule(&mut driver, &s, &mut replay, &cfg);
+            assert_eq!(a.sched_trace_hash, b.sched_trace_hash, "seed {seed}");
+            assert_eq!(a.outcome, b.outcome, "seed {seed}");
+        }
+    }
+
+    /// Engine reuse is sound: a driver that has executed (and rolled back)
+    /// many schedules behaves identically to a fresh one.
+    #[test]
+    fn reused_driver_matches_fresh_driver() {
+        let s = dining_philosophers(3, 2);
+        let cfg = SimConfig::for_scenario(&s);
+        let mut reused = MonoDriver::new(&s, History::new());
+        for seed in 0..40u64 {
+            let mut fresh = MonoDriver::new(&s, History::new());
+            let mut s1 = DecisionSource::random(Gen::new(seed * 31 + 7));
+            let mut s2 = DecisionSource::random(Gen::new(seed * 31 + 7));
+            let a = run_schedule(&mut reused, &s, &mut s1, &cfg);
+            let b = run_schedule(&mut fresh, &s, &mut s2, &cfg);
+            assert_eq!(a.sched_trace_hash, b.sched_trace_hash, "seed {seed}");
+            assert_eq!(a.stats, b.stats, "seed {seed}");
+            assert_eq!(a.history_text, b.history_text, "seed {seed}");
+        }
+    }
+
+    /// The monolithic and sharded engines drive identical schedules to
+    /// identical outcomes, hashes, and learned histories.
+    #[test]
+    fn mono_and_sharded_drivers_agree() {
+        let s = dining_philosophers(3, 1);
+        let cfg = SimConfig::for_scenario(&s);
+        let mut mono = MonoDriver::new(&s, History::new());
+        let mut sharded = ShardedDriver::new(&s, 4, History::new());
+        for seed in 0..30u64 {
+            let mut s1 = DecisionSource::random(Gen::new(seed));
+            let mut s2 = DecisionSource::random(Gen::new(seed));
+            let a = run_schedule(&mut mono, &s, &mut s1, &cfg);
+            let b = run_schedule(&mut sharded, &s, &mut s2, &cfg);
+            assert_eq!(a.sched_trace_hash, b.sched_trace_hash, "seed {seed}");
+            assert_eq!(a.outcome, b.outcome, "seed {seed}");
+            assert_eq!(a.history_text, b.history_text, "seed {seed}");
+        }
+    }
+
+    /// The writer-preference-gap scenario stalls without a detection and
+    /// resolves through the fail-safe under its default schedule.
+    #[test]
+    fn gap_scenario_resolves_via_failsafe_on_default_schedule() {
+        let s = writer_preference_gap();
+        let report = first_schedule(&s);
+        assert_eq!(report.outcome, RunOutcome::Completed, "{:?}", report.events);
+        assert_eq!(report.deadlocks, 0);
+        assert!(report.failsafe_retries > 0);
+        assert_eq!(report.stats.deadlocks_detected, 0);
+    }
+}

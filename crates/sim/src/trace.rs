@@ -1,0 +1,157 @@
+//! The replay-trace format.
+//!
+//! A [`ScheduleTrace`] is the durable form of one explored schedule: the
+//! scenario's catalog name, the fuzzer seed that found it (provenance), the
+//! run's `sched_trace_hash`, and the canonical decision vector. Replaying
+//! the decisions through [`crate::sim::run_schedule`] with
+//! [`crate::sim::DecisionSource::replay`] reproduces the run bit for bit;
+//! the hash makes any drift (engine, simulator, or scenario change)
+//! loudly detectable. The textual codec below is what the regression
+//! corpus checks into the repository.
+
+use std::fmt::Write as _;
+
+/// Magic first line of the trace format.
+pub const TRACE_HEADER: &str = "dimmunix-sim-trace v1";
+
+/// One persisted schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    /// Catalog name of the scenario (resolved via
+    /// [`crate::scenario::by_name`]).
+    pub scenario: String,
+    /// Fuzzer seed that produced the schedule.
+    pub seed: u64,
+    /// `sched_trace_hash` the replay must reproduce.
+    pub sched_trace_hash: u64,
+    /// Canonical decisions (each already reduced modulo its runnable
+    /// count).
+    pub decisions: Vec<u32>,
+}
+
+impl ScheduleTrace {
+    /// Renders the checked-in textual form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{TRACE_HEADER}");
+        let _ = writeln!(out, "scenario {}", self.scenario);
+        let _ = writeln!(out, "seed {:#018x}", self.seed);
+        let _ = writeln!(out, "hash {:#018x}", self.sched_trace_hash);
+        let _ = write!(out, "decisions {}", self.decisions.len());
+        for d in &self.decisions {
+            let _ = write!(out, " {d}");
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parses [`to_text`](Self::to_text) output. Returns a description of
+    /// the first malformed line on failure.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty trace")?;
+        if header != TRACE_HEADER {
+            return Err(format!("bad header {header:?}"));
+        }
+        let scenario = field(lines.next(), "scenario")?.to_string();
+        let seed = parse_u64(field(lines.next(), "seed")?)?;
+        let hash = parse_u64(field(lines.next(), "hash")?)?;
+        let decisions_line = field(lines.next(), "decisions")?;
+        let mut parts = decisions_line.split_ascii_whitespace();
+        let count: usize = parts
+            .next()
+            .ok_or("missing decision count")?
+            .parse()
+            .map_err(|e| format!("bad decision count: {e}"))?;
+        let decisions: Vec<u32> = parts
+            .map(|p| p.parse().map_err(|e| format!("bad decision {p:?}: {e}")))
+            .collect::<Result<_, _>>()?;
+        if decisions.len() != count {
+            return Err(format!(
+                "decision count mismatch: header says {count}, found {}",
+                decisions.len()
+            ));
+        }
+        Ok(ScheduleTrace {
+            scenario,
+            seed,
+            sched_trace_hash: hash,
+            decisions,
+        })
+    }
+
+    /// Stable corpus file name for this trace.
+    pub fn file_name(&self) -> String {
+        format!("{}-{:016x}.trace", self.scenario, self.sched_trace_hash)
+    }
+}
+
+fn field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    let line = line.ok_or_else(|| format!("missing {key} line"))?;
+    line.strip_prefix(key)
+        .map(str::trim_start)
+        .ok_or_else(|| format!("expected {key:?} line, found {line:?}"))
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| format!("bad number {s:?}: {e}"))
+    } else {
+        s.parse().map_err(|e| format!("bad number {s:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let t = ScheduleTrace {
+            scenario: "philosophers-3x1".into(),
+            seed: 0xdead_beef,
+            sched_trace_hash: u64::MAX,
+            decisions: vec![0, 3, 1, 2, 0, 0, 7],
+        };
+        let text = t.to_text();
+        assert_eq!(ScheduleTrace::from_text(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn roundtrips_empty_decisions() {
+        let t = ScheduleTrace {
+            scenario: "x".into(),
+            seed: 0,
+            sched_trace_hash: 1,
+            decisions: vec![],
+        };
+        assert_eq!(ScheduleTrace::from_text(&t.to_text()).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        assert!(ScheduleTrace::from_text("").is_err());
+        assert!(ScheduleTrace::from_text("not a trace\n").is_err());
+        let t = ScheduleTrace {
+            scenario: "x".into(),
+            seed: 1,
+            sched_trace_hash: 2,
+            decisions: vec![1, 2],
+        };
+        // Corrupt the count.
+        let bad = t.to_text().replace("decisions 2", "decisions 3");
+        assert!(ScheduleTrace::from_text(&bad).is_err());
+    }
+
+    #[test]
+    fn file_name_is_stable() {
+        let t = ScheduleTrace {
+            scenario: "philosophers-3x1".into(),
+            seed: 9,
+            sched_trace_hash: 0xabc,
+            decisions: vec![],
+        };
+        assert_eq!(t.file_name(), "philosophers-3x1-0000000000000abc.trace");
+    }
+}

@@ -1,0 +1,221 @@
+//! Engine-level schedule steps for the sharded-vs-monolithic oracles.
+//!
+//! Extracted from `prop_sharded_engine_equals_monolithic_oracle` and its
+//! mixed-rwlock sibling in `crates/core/tests/proptests.rs`. The draw order
+//! is **frozen**: the release flip short-circuits when the thread holds
+//! nothing or is retrying a parked request, the mutex-only variant skips
+//! before drawing a site when the random lock collides with a hold, and the
+//! site draw always comes last. Reordering any of these changes which
+//! schedules 410 pinned seeds explore.
+
+use crate::Gen;
+use dimmunix_core::{
+    AccessMode, CallStack, Frame, History, Signature, SignatureKind, SignaturePair,
+};
+
+/// What a simulated substrate thread does on one schedule slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlannedStep {
+    /// Release the most recently acquired hold.
+    Release,
+    /// No-op slot (the mutex-only generator skips accidental reentrancy).
+    Skip,
+    /// Request `lock` in `mode` from site `site` of the shared universe.
+    Acquire {
+        /// Raw lock id to request.
+        lock: u64,
+        /// Requested access mode (always exclusive for the mutex variant).
+        mode: AccessMode,
+        /// Index into the shared site universe (see [`universe_site`]).
+        site: usize,
+    },
+}
+
+/// The shared acquisition-site universe: a compact set of single-frame
+/// stacks so outer positions collide often enough that pre-trained
+/// signatures actually match live schedules.
+pub fn universe_site(i: usize) -> CallStack {
+    CallStack::single(Frame::new(format!("site{i}"), "univ.rs", i as u32))
+}
+
+/// Pre-trains a random history over the first `sites` universe sites:
+/// `range(0, 3)` deadlock signatures of arity `range(2, 4)`, each pair
+/// drawing outer then inner site. Exercises the avoidance and starvation
+/// machinery from the first request of a schedule.
+pub fn pretrain_history(g: &mut Gen, sites: usize) -> History {
+    let mut history = History::new();
+    for _ in 0..g.range(0, 3) {
+        let arity = g.range(2, 4);
+        let pairs = (0..arity)
+            .map(|_| {
+                SignaturePair::new(
+                    universe_site(g.range(0, sites)),
+                    universe_site(g.range(0, sites)),
+                )
+            })
+            .collect();
+        history.add(Signature::new(SignatureKind::Deadlock, pairs));
+    }
+    history
+}
+
+/// One schedule slot of the mutex-only oracle workload.
+///
+/// `held` is the thread's current hold list (raw lock ids, most recent
+/// last); `retry` is `Some(lock)` when the thread is re-attempting a
+/// parked (avoidance-yielded) request, which bypasses both the release
+/// flip and the reentrancy skip.
+pub fn plan_mutex_step(
+    g: &mut Gen,
+    locks: usize,
+    sites: usize,
+    held: &[u64],
+    retry: Option<u64>,
+) -> PlannedStep {
+    // Pick an action: acquire (possibly the parked retry) or release the
+    // most recent hold. The `&&` chain short-circuits exactly as the
+    // original inline code did: no flip is drawn on a retry or when the
+    // thread holds nothing.
+    let release = retry.is_none() && !held.is_empty() && g.flip();
+    if release {
+        return PlannedStep::Release;
+    }
+    let lock = match retry {
+        Some(l) => l,
+        None => g.range(0, locks) as u64,
+    };
+    if retry.is_none() && held.contains(&lock) {
+        // Keep the harness simple: no reentrant acquisitions except through
+        // random collision — skip them (before the site draw, as always).
+        return PlannedStep::Skip;
+    }
+    let site = g.range(0, sites);
+    PlannedStep::Acquire {
+        lock,
+        mode: AccessMode::Exclusive,
+        site,
+    }
+}
+
+/// One schedule slot of the mixed mutex/rwlock oracle workload.
+///
+/// `held_any` is whether the thread currently holds anything; `retry`
+/// carries the parked request's lock **and** mode. Unlike the mutex
+/// variant there is no reentrancy skip — reader re-acquisitions are the
+/// point — and the mode draw is biased 5:3 towards shared so reader crowds
+/// actually form.
+pub fn plan_mixed_step(
+    g: &mut Gen,
+    locks: usize,
+    sites: usize,
+    held_any: bool,
+    retry: Option<(u64, AccessMode)>,
+) -> PlannedStep {
+    let release = retry.is_none() && held_any && g.flip();
+    if release {
+        return PlannedStep::Release;
+    }
+    let (lock, mode) = match retry {
+        Some(r) => r,
+        None => {
+            let lock = g.range(0, locks) as u64;
+            // Bias towards shared so reader crowds actually form.
+            let mode = if g.range(0, 8) < 5 {
+                AccessMode::Shared
+            } else {
+                AccessMode::Exclusive
+            };
+            (lock, mode)
+        }
+    };
+    let site = g.range(0, sites);
+    PlannedStep::Acquire { lock, mode, site }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The extracted mutex step replays the original inline draw order:
+    /// this reimplements the pre-extraction code for a few hundred slots
+    /// and checks both the decisions and the post-slot RNG state agree.
+    #[test]
+    fn mutex_step_preserves_the_original_stream() {
+        for seed in 0..64u64 {
+            let mut a = Gen::new(seed);
+            let mut b = Gen::new(seed);
+            let mut held: Vec<u64> = Vec::new();
+            let mut parked: Option<u64> = None;
+            for _ in 0..200 {
+                // Original inline logic on `a`.
+                let retry = parked;
+                let expected = {
+                    let release = retry.is_none() && !held.is_empty() && a.flip();
+                    if release {
+                        PlannedStep::Release
+                    } else {
+                        let lraw = match retry {
+                            Some(l) => l,
+                            None => a.range(0, 10) as u64,
+                        };
+                        if held.contains(&lraw) && retry.is_none() {
+                            PlannedStep::Skip
+                        } else {
+                            PlannedStep::Acquire {
+                                lock: lraw,
+                                mode: AccessMode::Exclusive,
+                                site: a.range(0, 6),
+                            }
+                        }
+                    }
+                };
+                let got = plan_mutex_step(&mut b, 10, 6, &held, retry);
+                assert_eq!(got, expected, "seed {seed}");
+                // Evolve a plausible substrate state so all branches run.
+                match got {
+                    PlannedStep::Release => {
+                        held.pop();
+                    }
+                    PlannedStep::Skip => {}
+                    PlannedStep::Acquire { lock, .. } => {
+                        if parked.take().is_none() && held.len() % 3 == 2 {
+                            parked = Some(lock);
+                        } else {
+                            held.push(lock);
+                        }
+                    }
+                }
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "seed {seed}: streams drift");
+        }
+    }
+
+    #[test]
+    fn mixed_step_draws_mode_only_on_fresh_requests() {
+        let mut g = Gen::new(3);
+        // A retry consumes exactly one draw (the site).
+        let mut h = g.clone();
+        let step = plan_mixed_step(&mut g, 8, 6, true, Some((5, AccessMode::Shared)));
+        assert_eq!(
+            step,
+            PlannedStep::Acquire {
+                lock: 5,
+                mode: AccessMode::Shared,
+                site: h.range(0, 6),
+            }
+        );
+        assert_eq!(g.next_u64(), h.next_u64());
+    }
+
+    #[test]
+    fn pretrain_history_stays_within_the_universe() {
+        for seed in 0..32 {
+            let mut g = Gen::new(seed);
+            let h = pretrain_history(&mut g, 6);
+            assert!(h.len() <= 2);
+            for (_, sig) in h.iter() {
+                assert!((2..=3).contains(&sig.arity()));
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-owner lock/unlock scripts with a seeded turn sequence.
+//!
+//! Extracted from the sync/async-equivalence proptest in
+//! `crates/runtime/tests/sync_async_equivalence.rs`. [`gen_schedule`] is the
+//! third of the three hand-rolled generators this crate consolidates; its
+//! xorshift64* stream and draw order are **frozen** (the suite pins 160
+//! seeds against it).
+
+/// One step of an owner's script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Acquire lock `.0` (the owner does not already hold it).
+    Lock(usize),
+    /// Release lock `.0` (held, not necessarily the most recent — unordered
+    /// releases exercise non-nested hold patterns).
+    Unlock(usize),
+}
+
+/// A complete generated workload: per-owner scripts plus the global turn
+/// sequence that serializes them.
+pub struct Schedule {
+    /// Per-owner op scripts.
+    pub scripts: Vec<Vec<Op>>,
+    /// Owner index to hand each turn to (skipped if not idle at the
+    /// turnstile).
+    pub turns: Vec<usize>,
+    /// Number of distinct locks the scripts range over.
+    pub locks: usize,
+}
+
+/// xorshift64* — deterministic, no external deps.
+pub fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Generates the seeded workload: 2..=5 owners over 2..=4 locks, scripts of
+/// 4..=8 ops holding at most 3 locks at once (trailing unlocks appended),
+/// and `2 × total-ops` random turns.
+pub fn gen_schedule(seed: u64) -> Schedule {
+    let mut rng = seed | 1;
+    let owners = 2 + (next_rand(&mut rng) % 4) as usize; // 2..=5
+    let locks = 2 + (next_rand(&mut rng) % 3) as usize; // 2..=4
+    let mut scripts = vec![Vec::new(); owners];
+    for script in scripts.iter_mut() {
+        let mut held: Vec<usize> = Vec::new();
+        let len = 4 + (next_rand(&mut rng) % 5) as usize;
+        for _ in 0..len {
+            let can_lock = held.len() < 3 && held.len() < locks;
+            if can_lock && (held.is_empty() || next_rand(&mut rng) % 3 != 0) {
+                let mut l = (next_rand(&mut rng) as usize) % locks;
+                while held.contains(&l) {
+                    l = (l + 1) % locks;
+                }
+                held.push(l);
+                script.push(Op::Lock(l));
+            } else if !held.is_empty() {
+                // Unlock a random held lock (not necessarily LIFO — unordered
+                // releases exercise non-nested hold patterns).
+                let idx = (next_rand(&mut rng) as usize) % held.len();
+                let l = held.remove(idx);
+                script.push(Op::Unlock(l));
+            }
+        }
+        while let Some(l) = held.pop() {
+            script.push(Op::Unlock(l));
+        }
+    }
+    let total: usize = scripts.iter().map(Vec::len).sum();
+    let turns = (0..total * 2)
+        .map(|_| (next_rand(&mut rng) as usize) % owners)
+        .collect();
+    Schedule {
+        scripts,
+        turns,
+        locks,
+    }
+}
+
+/// The static site line of script op `op` of owner `owner`. Both the sync
+/// and async substrates present this exact line to the engine, so learned
+/// signatures are comparable across runs and across substrates.
+pub fn site_line(owner: usize, op: usize) -> u32 {
+    (owner * 100 + op + 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_well_formed() {
+        for seed in 0..200u64 {
+            let sched = gen_schedule(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
+            assert!((2..=5).contains(&sched.scripts.len()), "seed {seed}");
+            assert!((2..=4).contains(&sched.locks), "seed {seed}");
+            for script in &sched.scripts {
+                let mut held: Vec<usize> = Vec::new();
+                for &op in script {
+                    match op {
+                        Op::Lock(l) => {
+                            assert!(l < sched.locks, "seed {seed}");
+                            assert!(!held.contains(&l), "seed {seed}: reentrant lock");
+                            held.push(l);
+                            assert!(held.len() <= 3, "seed {seed}: too many holds");
+                        }
+                        Op::Unlock(l) => {
+                            let i = held.iter().position(|&h| h == l);
+                            assert!(i.is_some(), "seed {seed}: unlock of unheld lock");
+                            held.remove(i.unwrap());
+                        }
+                    }
+                }
+                assert!(held.is_empty(), "seed {seed}: script leaks holds");
+            }
+            let total: usize = sched.scripts.iter().map(Vec::len).sum();
+            assert_eq!(sched.turns.len(), total * 2, "seed {seed}");
+            assert!(
+                sched.turns.iter().all(|&t| t < sched.scripts.len()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_schedule(1234);
+        let b = gen_schedule(1234);
+        assert_eq!(a.scripts, b.scripts);
+        assert_eq!(a.turns, b.turns);
+        assert_eq!(a.locks, b.locks);
+    }
+
+    #[test]
+    fn site_lines_are_distinct_per_owner_op() {
+        let mut seen = std::collections::HashSet::new();
+        for owner in 0..6 {
+            for op in 0..12 {
+                assert!(seen.insert(site_line(owner, op)));
+            }
+        }
+    }
+}
