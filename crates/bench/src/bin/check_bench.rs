@@ -12,6 +12,10 @@
 //! * `BENCH_async_server.json` — the adversarial replay must avoid the
 //!   learned cycle entirely (zero refusals) and actually exercise
 //!   avoidance (non-zero yields).
+//! * `BENCH_history_scale.json` — snapshot appends must stay near-constant
+//!   as the history grows (p99 at 10k signatures within 1.5x of the p99 at
+//!   100 — a regression to copy-everything snapshots would be ~100x), and
+//!   the eviction churn workload must actually retire stale antibodies.
 //! * `BENCH_sim_explorer.json` — the schedule fuzzer must stay fast enough
 //!   for CI (≥ 100k schedules/s in virtual time), find and minimize the
 //!   catalog deadlocks, vaccinate them to completion, and replay the
@@ -61,6 +65,24 @@ const GATES: &[Gate] = &[
         field: "signatures_learned",
         check: |v| v >= 1.0,
         expect: ">= 1 (the learning run must record the task-level cycle)",
+    },
+    Gate {
+        file: "BENCH_history_scale.json",
+        field: "append_p99_ratio_10k_vs_100",
+        check: |v| v > 0.0 && v <= 1.5,
+        expect: "<= 1.5 (snapshot append must stay ~O(log n), not copy the whole history)",
+    },
+    Gate {
+        file: "BENCH_history_scale.json",
+        field: "evicted",
+        check: |v| v >= 1.0,
+        expect: ">= 1 (the churn workload must exercise generation-based eviction)",
+    },
+    Gate {
+        file: "BENCH_history_scale.json",
+        field: "lookup_p99_ns_post_eviction",
+        check: |v| v > 0.0,
+        expect: "> 0 (post-eviction lookup latency recorded)",
     },
     Gate {
         file: "BENCH_sim_explorer.json",

@@ -44,8 +44,10 @@
 
 use crate::history::History;
 use crate::position::{PositionId, PositionTable};
+use crate::pvec::PersistentVec;
 use crate::signature::Signature;
 use crate::{OwnerId, SignatureId};
+use std::sync::Arc;
 
 /// Result of a successful instantiation check: the matched signature and the
 /// *other* threads (blockers) that cover its remaining outer positions.
@@ -94,18 +96,30 @@ pub fn find_instantiation(
 /// the whole history, and never calls [`PositionTable::lookup`] again.
 ///
 /// Invariants:
-/// * signature ids are inserted in ascending order, so every per-position
-///   list is sorted ascending and the "oldest antibody wins" tie-break of the
-///   linear scan is preserved;
+/// * every per-position list is kept sorted ascending by id (sorted
+///   insertion), so the "oldest antibody wins" tie-break of the linear scan
+///   is preserved regardless of insertion or eviction order;
 /// * `outer_positions_of(sig)` keeps one entry per signature pair
 ///   (duplicates included), mirroring the arity-sensitive matching of
-///   [`signature_instantiable`].
+///   [`signature_instantiable`];
+/// * signature ids may be **sparse**: eviction retires ids without
+///   renumbering ([`remove`](SignatureIndex::remove) leaves a gap), and
+///   insertion tolerates arriving ids beyond the current end (intermediate
+///   slots read as unindexed). [`compact`](SignatureIndex::compact) rebuilds
+///   the per-position lists from the live entries.
+///
+/// Both internal tables are structurally-shared persistent vectors, so
+/// cloning the index into the next [`HistorySnapshot`](crate::HistorySnapshot)
+/// is O(1) and an insert/remove path-copies O(log₃₂ n) nodes.
 #[derive(Debug, Clone, Default)]
 pub struct SignatureIndex {
     /// PositionId index -> ids of signatures with that outer position.
-    by_position: Vec<Vec<SignatureId>>,
-    /// SignatureId index -> resolved outer positions (one per pair).
-    outer_positions: Vec<Vec<PositionId>>,
+    by_position: PersistentVec<Arc<Vec<SignatureId>>>,
+    /// SignatureId index -> resolved outer positions (one per pair);
+    /// `None` marks an id gap (never indexed, or evicted).
+    outer_positions: PersistentVec<Option<Arc<Vec<PositionId>>>>,
+    /// Number of indexed (live) signatures; `outer_positions` may be longer.
+    live: usize,
 }
 
 impl SignatureIndex {
@@ -114,54 +128,127 @@ impl SignatureIndex {
         Self::default()
     }
 
-    /// Number of indexed signatures.
+    /// Number of indexed (live) signatures.
     pub fn len(&self) -> usize {
-        self.outer_positions.len()
+        self.live
     }
 
-    /// True if no signature has been indexed.
+    /// True if no signature is currently indexed.
     pub fn is_empty(&self) -> bool {
-        self.outer_positions.is_empty()
+        self.live == 0
     }
 
-    /// Indexes `sig` under its resolved outer positions. Ids must arrive in
-    /// ascending order (the engine inserts signatures as the history grows);
+    /// Indexes `sig` under its resolved outer positions. Ids may arrive in
+    /// any order and with gaps (eviction retires ids without renumbering);
     /// re-inserting an already-indexed id is a no-op.
     pub fn insert(&mut self, sig: SignatureId, outer: Vec<PositionId>) {
-        if sig.index() < self.outer_positions.len() {
+        if matches!(self.outer_positions.get(sig.index()), Some(Some(_))) {
             return;
         }
-        debug_assert_eq!(
-            sig.index(),
-            self.outer_positions.len(),
-            "signature ids must be indexed in ascending order without gaps"
-        );
-        for pid in &outer {
-            if self.by_position.len() <= pid.index() {
-                self.by_position.resize_with(pid.index() + 1, Vec::new);
-            }
-            let ids = &mut self.by_position[pid.index()];
-            if ids.last() != Some(&sig) {
-                ids.push(sig);
+        let mut seen = outer.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        for pid in seen {
+            self.reserve_position(pid);
+            let ids = self.by_position.get(pid.index()).expect("just reserved");
+            let updated = match ids.binary_search(&sig) {
+                Err(at) => {
+                    let mut list = (**ids).clone();
+                    list.insert(at, sig);
+                    Some(list)
+                }
+                Ok(_) => None,
+            };
+            if let Some(list) = updated {
+                self.by_position = self.by_position.set(pid.index(), Arc::new(list));
             }
         }
-        self.outer_positions.push(outer);
+        while self.outer_positions.len() < sig.index() {
+            self.outer_positions = self.outer_positions.push(None);
+        }
+        let entry = Some(Arc::new(outer));
+        if sig.index() == self.outer_positions.len() {
+            self.outer_positions = self.outer_positions.push(entry);
+        } else {
+            self.outer_positions = self.outer_positions.set(sig.index(), entry);
+        }
+        self.live += 1;
+    }
+
+    /// Grows `by_position` so `pid` has a (possibly empty) slot.
+    fn reserve_position(&mut self, pid: PositionId) {
+        while self.by_position.len() <= pid.index() {
+            self.by_position = self.by_position.push(Arc::new(Vec::new()));
+        }
+    }
+
+    /// Removes `sig` from the index (generation-based eviction), leaving an
+    /// id gap: later inserts of higher ids are unaffected and lookups of the
+    /// removed id read as unindexed. Returns whether the id was indexed.
+    pub fn remove(&mut self, sig: SignatureId) -> bool {
+        let Some(Some(outer)) = self.outer_positions.get(sig.index()) else {
+            return false;
+        };
+        let mut seen: Vec<PositionId> = (**outer).clone();
+        seen.sort_unstable();
+        seen.dedup();
+        for pid in seen {
+            if let Some(ids) = self.by_position.get(pid.index()) {
+                if let Ok(at) = ids.binary_search(&sig) {
+                    let mut list = (**ids).clone();
+                    list.remove(at);
+                    self.by_position = self.by_position.set(pid.index(), Arc::new(list));
+                }
+            }
+        }
+        self.outer_positions = self.outer_positions.set(sig.index(), None);
+        self.live -= 1;
+        true
+    }
+
+    /// Rebuilds the per-position lists from the live entries, dropping the
+    /// tombstoned per-position slots eviction leaves behind. Lookups after a
+    /// compaction agree exactly with a freshly bulk-built index over the
+    /// same live signatures (pinned by the gap-tolerance oracle proptest).
+    pub fn compact(&mut self) {
+        let positions = self
+            .outer_positions
+            .iter()
+            .flatten()
+            .flat_map(|outer| outer.iter())
+            .map(|pid| pid.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut lists: Vec<Vec<SignatureId>> = vec![Vec::new(); positions];
+        for (i, entry) in self.outer_positions.iter().enumerate() {
+            let Some(outer) = entry else { continue };
+            let sig = SignatureId::new(i);
+            let mut seen: Vec<PositionId> = (**outer).clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for pid in seen {
+                // Ascending i keeps each list sorted by construction.
+                lists[pid.index()].push(sig);
+            }
+        }
+        self.by_position = lists.into_iter().map(Arc::new).collect();
     }
 
     /// Signatures whose outer positions include `pos`, ascending by id.
     pub fn signatures_at(&self, pos: PositionId) -> &[SignatureId] {
         self.by_position
             .get(pos.index())
-            .map(Vec::as_slice)
+            .map(|ids| ids.as_slice())
             .unwrap_or(&[])
     }
 
-    /// The resolved outer positions of `sig` (one per signature pair).
+    /// The resolved outer positions of `sig` (one per signature pair);
+    /// empty for id gaps.
     pub fn outer_positions_of(&self, sig: SignatureId) -> &[PositionId] {
-        self.outer_positions
-            .get(sig.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        match self.outer_positions.get(sig.index()) {
+            Some(Some(pids)) => pids.as_slice(),
+            _ => &[],
+        }
     }
 
     /// Indexed equivalent of [`find_instantiation`]: only signatures whose
@@ -189,12 +276,12 @@ impl SignatureIndex {
     /// Estimated resident memory of the index in bytes.
     pub fn memory_footprint_bytes(&self) -> usize {
         let mut total = std::mem::size_of::<Self>();
-        total += self.by_position.capacity() * std::mem::size_of::<Vec<SignatureId>>();
-        for ids in &self.by_position {
+        total += self.by_position.len() * std::mem::size_of::<Arc<Vec<SignatureId>>>();
+        for ids in self.by_position.iter() {
             total += ids.capacity() * std::mem::size_of::<SignatureId>();
         }
-        total += self.outer_positions.capacity() * std::mem::size_of::<Vec<PositionId>>();
-        for pids in &self.outer_positions {
+        total += self.outer_positions.len() * std::mem::size_of::<Option<Arc<Vec<PositionId>>>>();
+        for pids in self.outer_positions.iter().flatten() {
             total += pids.capacity() * std::mem::size_of::<PositionId>();
         }
         total

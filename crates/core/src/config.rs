@@ -17,6 +17,16 @@ pub const DEFAULT_STACK_DEPTH: usize = 1;
 /// valve for synthetic-history experiments.
 pub const DEFAULT_MAX_SIGNATURES: usize = 4096;
 
+/// Default generation window for eviction at capacity: a signature that
+/// matched no avoidance check (and was not re-detected) within this many
+/// snapshot epochs is considered stale and may be retired to make room.
+pub const DEFAULT_EVICTION_WINDOW: u64 = 16;
+
+/// Default record count per history-log segment before an engine append
+/// rolls to a fresh `<path>.segN` file. Detections are rare, so a segment
+/// this size represents a long deployment; compaction coalesces the chain.
+pub const DEFAULT_LOG_SEGMENT_RECORDS: usize = 1024;
+
 /// Configuration of a [`Dimmunix`](crate::engine::Dimmunix) engine instance.
 ///
 /// ```
@@ -50,6 +60,25 @@ pub struct Config {
     pub max_signatures: usize,
     /// Capacity of the in-memory event log (0 disables event logging).
     pub event_log_capacity: usize,
+    /// Generation window for eviction at capacity: a live signature is
+    /// eviction-eligible only if it matched nothing within this many
+    /// snapshot epochs. Signatures matched more recently are never evicted
+    /// (a soft overflow is preferred), so immunity against active bugs is
+    /// retained.
+    pub eviction_window: u64,
+    /// Paper-faithful capacity behaviour: when `true`, a full history
+    /// refuses new antibodies ([`DimmunixError::HistoryFull`] from the
+    /// fallible API, a silent refusal from the infallible one) instead of
+    /// evicting generation-stale ones. Default `false`: evict and record
+    /// the retirement in [`Stats::signatures_evicted`].
+    ///
+    /// [`DimmunixError::HistoryFull`]: crate::DimmunixError::HistoryFull
+    /// [`Stats::signatures_evicted`]: crate::Stats
+    pub refuse_at_capacity: bool,
+    /// Records per history-log segment before appends roll to a fresh
+    /// `<path>.segN` file (0 = unsegmented). Replay always walks whatever
+    /// segment chain exists on disk regardless of this setting.
+    pub log_segment_records: usize,
 }
 
 impl Default for Config {
@@ -63,6 +92,9 @@ impl Default for Config {
             log_sync: true,
             max_signatures: DEFAULT_MAX_SIGNATURES,
             event_log_capacity: 0,
+            eviction_window: DEFAULT_EVICTION_WINDOW,
+            refuse_at_capacity: false,
+            log_segment_records: DEFAULT_LOG_SEGMENT_RECORDS,
         }
     }
 }
@@ -151,6 +183,27 @@ impl ConfigBuilder {
         self
     }
 
+    /// Sets the generation window for eviction at capacity (epochs a
+    /// signature may go unmatched before it becomes eviction-eligible).
+    pub fn eviction_window(mut self, window: u64) -> Self {
+        self.config.eviction_window = window;
+        self
+    }
+
+    /// Enables the paper-faithful refusal of new antibodies at capacity
+    /// instead of the default generation-based eviction.
+    pub fn refuse_at_capacity(mut self, refuse: bool) -> Self {
+        self.config.refuse_at_capacity = refuse;
+        self
+    }
+
+    /// Sets the records-per-segment cap of the history log (0 keeps the
+    /// log unsegmented).
+    pub fn log_segment_records(mut self, records: usize) -> Self {
+        self.config.log_segment_records = records;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Config {
         self.config
@@ -170,6 +223,12 @@ mod tests {
         assert!(cfg.starvation_handling);
         assert!(cfg.history_path.is_none());
         assert!(cfg.log_sync);
+        assert_eq!(cfg.eviction_window, DEFAULT_EVICTION_WINDOW);
+        assert!(
+            !cfg.refuse_at_capacity,
+            "default evicts, paper flag opts in"
+        );
+        assert_eq!(cfg.log_segment_records, DEFAULT_LOG_SEGMENT_RECORDS);
     }
 
     #[test]
@@ -183,6 +242,9 @@ mod tests {
             .log_sync(false)
             .max_signatures(12)
             .event_log_capacity(128)
+            .eviction_window(4)
+            .refuse_at_capacity(true)
+            .log_segment_records(64)
             .build();
         assert_eq!(cfg.stack_depth, 3);
         assert!(cfg.is_disabled());
@@ -190,6 +252,9 @@ mod tests {
         assert_eq!(cfg.event_log_capacity, 128);
         assert!(cfg.history_path.is_some());
         assert!(!cfg.log_sync);
+        assert_eq!(cfg.eviction_window, 4);
+        assert!(cfg.refuse_at_capacity);
+        assert_eq!(cfg.log_segment_records, 64);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::avoidance::SignatureIndex;
 use crate::callstack::CallStack;
 use crate::config::Config;
 use crate::detection::{classify_cycle, last_history_hold};
-use crate::error::Result;
+use crate::error::{DimmunixError, Result};
 use crate::events::{EventKind, EventLog};
 use crate::history::{History, HistoryLog, RecoveryReport};
 use crate::position::{PositionId, PositionTable};
@@ -398,9 +398,27 @@ impl Dimmunix {
 
     /// Adds a signature directly to the history (vendor-shipped antibodies or
     /// synthetic signatures for the §5 microbenchmark). Returns its id and
-    /// whether it was new.
+    /// whether it was new. At capacity the default configuration evicts
+    /// generation-stale antibodies; under
+    /// [`refuse_at_capacity`](crate::Config::refuse_at_capacity) a full
+    /// history silently refuses — use
+    /// [`try_add_signature`](Dimmunix::try_add_signature) to observe the
+    /// refusal as a structured error.
     pub fn add_signature(&mut self, sig: Signature) -> (SignatureId, bool) {
         self.insert_signature(sig)
+    }
+
+    /// Fallible variant of [`add_signature`](Dimmunix::add_signature).
+    ///
+    /// # Errors
+    /// Returns [`DimmunixError::HistoryFull`] when the history is at
+    /// `max_signatures` and the configuration sets
+    /// [`refuse_at_capacity`](crate::Config::refuse_at_capacity) (the
+    /// paper-faithful refusal). The default configuration never errors: it
+    /// evicts generation-stale antibodies instead, recording each
+    /// retirement in [`Stats::signatures_evicted`](crate::Stats).
+    pub fn try_add_signature(&mut self, sig: Signature) -> Result<(SignatureId, bool)> {
+        self.try_insert_signature(sig)
     }
 
     // ------------------------------------------------------------------
@@ -838,7 +856,7 @@ impl Dimmunix {
         let outers = self.snapshot.outer_table();
         for idx in self.linked_outers..outers.len() {
             let outer = PositionId::new(idx as u32);
-            let stack = outers.get(outer).expect("id in range").stack();
+            let stack = outers.stack(outer).expect("id in range");
             if let Some(pid) = self.positions.lookup(stack) {
                 if let Some(p) = self.positions.get_mut(pid) {
                     p.set_history_ref(Some(outer));
@@ -862,10 +880,11 @@ impl Dimmunix {
 
     /// Handle on the configured append-only history log, if any.
     fn log(&self) -> Option<HistoryLog> {
-        self.config
-            .history_path
-            .as_ref()
-            .map(|p| HistoryLog::new(p).with_sync(self.config.log_sync))
+        self.config.history_path.as_ref().map(|p| {
+            HistoryLog::new(p)
+                .with_sync(self.config.log_sync)
+                .with_segment_records(self.config.log_segment_records)
+        })
     }
 
     fn extend_wakeups_for_position(&self, pos: PositionId, wake: &mut Vec<SignatureId>) {
@@ -883,20 +902,70 @@ impl Dimmunix {
     /// `broadcast_signature` calls this on one shard and installs the
     /// resulting snapshot on the others, so the log is appended exactly
     /// once per new signature.
+    ///
+    /// Infallible wrapper over [`try_add_signature`]: under the
+    /// paper-faithful `refuse_at_capacity` flag a full history degrades to
+    /// the historical refusal tuple (last live id, `false`) instead of an
+    /// error.
+    ///
+    /// [`try_add_signature`]: Dimmunix::try_add_signature
     pub(crate) fn insert_signature(&mut self, sig: Signature) -> (SignatureId, bool) {
-        if self.snapshot.len() >= self.config.max_signatures {
-            if let Some(existing) = self.snapshot.history().find(&sig) {
-                return (existing, false);
-            }
-            // History is full: keep the engine functional by refusing new
-            // antibodies rather than evicting old ones (old ones are proven
-            // bugs; new ones can be re-learned on the next occurrence).
-            return (
-                SignatureId::new(self.snapshot.len().saturating_sub(1)),
+        match self.try_insert_signature(sig) {
+            Ok(result) => result,
+            Err(_) => (
+                SignatureId::new(self.snapshot.history().total_slots().saturating_sub(1)),
                 false,
-            );
+            ),
+        }
+    }
+
+    /// Fallible signature insertion. A duplicate of a live signature
+    /// returns its existing id (and refreshes its eviction generation). At
+    /// `max_signatures`, the default configuration retires
+    /// generation-stale antibodies (never matched within
+    /// `eviction_window` epochs) to make room — recorded in
+    /// [`Stats::signatures_evicted`] — and tolerates a soft overflow when
+    /// every live antibody is recent; with
+    /// [`refuse_at_capacity`](crate::Config::refuse_at_capacity) set, it
+    /// refuses instead with [`DimmunixError::HistoryFull`], the
+    /// paper-faithful behaviour.
+    ///
+    /// # Errors
+    /// [`DimmunixError::HistoryFull`] only, and only under
+    /// `refuse_at_capacity`.
+    pub(crate) fn try_insert_signature(&mut self, sig: Signature) -> Result<(SignatureId, bool)> {
+        if let Some(existing) = self.snapshot.history().find(&sig) {
+            self.snapshot.note_matched(existing);
+            return Ok((existing, false));
+        }
+        if self.snapshot.len() >= self.config.max_signatures {
+            if self.config.refuse_at_capacity {
+                // Paper-faithful: old antibodies are proven bugs; new ones
+                // can be re-learned on the next occurrence.
+                self.stats.history_full_refusals += 1;
+                return Err(DimmunixError::HistoryFull {
+                    capacity: self.config.max_signatures,
+                });
+            }
+            while self.snapshot.len() >= self.config.max_signatures {
+                let Some(victim) = self
+                    .snapshot
+                    .eviction_candidate(self.config.eviction_window)
+                else {
+                    // Every live antibody matched within the window; evicting
+                    // one would break eviction soundness, so overflow softly.
+                    break;
+                };
+                let evicted = self.snapshot.evict(victim).expect("candidate is live");
+                self.install_snapshot(evicted);
+                self.stats.signatures_evicted += 1;
+                // Owners parked on the retired signature must re-request:
+                // the pattern they were held back from no longer exists.
+                self.pending_wakeups.push(victim);
+            }
         }
         let (snapshot, id, new) = self.snapshot.append(sig);
+        debug_assert!(new, "duplicates returned early above");
         if new {
             if let Some(log) = self.log() {
                 // Best-effort, like the paper's persistence: a failed write
@@ -906,7 +975,7 @@ impl Dimmunix {
             }
             self.install_snapshot(snapshot);
         }
-        (id, new)
+        Ok((id, new))
     }
 
     /// True if parking `t` (with the given blockers) would close a wait-for

@@ -27,15 +27,17 @@
 use crate::callstack::CallStack;
 use crate::error::{DimmunixError, Result};
 use crate::json::{self, JsonValue};
+use crate::pvec::{PersistentMap, PersistentVec};
 use crate::signature::{Signature, SignatureKind, SignaturePair};
 use crate::SignatureId;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::hash::{Hash, Hasher};
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A persistent collection of deadlock/starvation signatures.
 ///
@@ -54,13 +56,37 @@ use std::path::Path;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct History {
-    signatures: Vec<Signature>,
+    /// One slot per id ever assigned, in id order. Retired (evicted)
+    /// signatures stay in place as dead slots so ids never shift; every
+    /// reader filters on [`Slot::live`]. Backed by a structurally-shared
+    /// persistent vector so cloning the history for the next
+    /// [`HistorySnapshot`](crate::HistorySnapshot) is O(1) and adding a
+    /// signature path-copies O(log₃₂ n) nodes instead of the whole store.
+    slots: PersistentVec<Slot>,
     /// Dedup index: signature fingerprint -> indices of signatures with
     /// that fingerprint. `add`/`find` hash the candidate and compare
     /// (`same_bug`) only within its bucket, so bulk log replay of `n`
     /// records costs O(n) signature comparisons instead of the O(n²) a
-    /// linear scan per record used to cost.
-    by_fingerprint: HashMap<u64, Vec<u32>>,
+    /// linear scan per record used to cost. Buckets keep retired ids (the
+    /// liveness check happens per hit); a re-detected evicted bug gets a
+    /// fresh id in the same bucket.
+    by_fingerprint: PersistentMap<u64, Vec<u32>>,
+    /// Live (non-retired) slot count; `len()` reports this.
+    live: usize,
+}
+
+/// One id's worth of history: the signature, whether it is still live, and
+/// the epoch it last matched (for generation-based eviction).
+#[derive(Debug, Clone)]
+struct Slot {
+    sig: Arc<Signature>,
+    live: bool,
+    /// Snapshot epoch at which this signature last matched an avoidance
+    /// check (or was born / re-detected). Shared via `Arc` across every
+    /// snapshot generation that contains the slot, so a match observed
+    /// through one snapshot is visible to eviction decisions taken on a
+    /// later one without rebuilding anything.
+    last_matched: Arc<AtomicU64>,
 }
 
 /// Deterministic fingerprint of a signature, collision-safe for dedup use:
@@ -85,44 +111,126 @@ impl History {
         History::default()
     }
 
-    /// Number of stored signatures.
+    /// Number of live (non-retired) signatures.
     pub fn len(&self) -> usize {
-        self.signatures.len()
+        self.live
     }
 
-    /// True if the history holds no signatures.
+    /// True if the history holds no live signatures.
     pub fn is_empty(&self) -> bool {
-        self.signatures.is_empty()
+        self.live == 0
     }
 
-    /// Adds a signature unless an identical one (same bug) is already stored.
+    /// Number of id slots ever assigned, including retired ones. New ids
+    /// are allocated past this point, so ids are never reused even after
+    /// eviction.
+    pub fn total_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adds a signature unless an identical one (same bug) is already live.
     /// Returns the signature's id and whether it was newly inserted.
     pub fn add(&mut self, sig: Signature) -> (SignatureId, bool) {
         let fp = fingerprint(&sig);
-        if let Some(existing) = self.find_by_fingerprint(fp, &sig) {
-            return (existing, false);
-        }
-        let id = SignatureId::new(self.signatures.len());
-        self.by_fingerprint
-            .entry(fp)
-            .or_default()
-            .push(id.index() as u32);
-        self.signatures.push(sig);
+        // One traversal serves both the duplicate check and the bucket
+        // fetch — `append` runs on every detection, so the map walk is the
+        // hot part of this path.
+        let mut bucket = match self.by_fingerprint.get(&fp) {
+            Some(bucket) => {
+                if let Some(existing) = self.find_in_bucket(bucket, &sig) {
+                    return (existing, false);
+                }
+                bucket.clone()
+            }
+            None => Vec::new(),
+        };
+        let id = SignatureId::new(self.slots.len());
+        bucket.push(id.index() as u32);
+        self.by_fingerprint = self.by_fingerprint.insert(fp, bucket).0;
+        self.slots = self.slots.push(Slot {
+            sig: Arc::new(sig),
+            live: true,
+            last_matched: Arc::new(AtomicU64::new(0)),
+        });
+        self.live += 1;
         (id, true)
     }
 
-    /// Finds the id of a signature describing the same bug, if present.
+    /// Finds the id of a live signature describing the same bug, if present.
     pub fn find(&self, sig: &Signature) -> Option<SignatureId> {
         self.find_by_fingerprint(fingerprint(sig), sig)
     }
 
     fn find_by_fingerprint(&self, fp: u64, sig: &Signature) -> Option<SignatureId> {
-        self.by_fingerprint.get(&fp).and_then(|bucket| {
-            bucket
-                .iter()
-                .find(|idx| self.signatures[**idx as usize].same_bug(sig))
-                .map(|idx| SignatureId::new(*idx as usize))
-        })
+        self.by_fingerprint
+            .get(&fp)
+            .and_then(|bucket| self.find_in_bucket(bucket, sig))
+    }
+
+    fn find_in_bucket(&self, bucket: &[u32], sig: &Signature) -> Option<SignatureId> {
+        bucket
+            .iter()
+            .find(|idx| {
+                let slot = self
+                    .slots
+                    .get(**idx as usize)
+                    .expect("fingerprint buckets only hold assigned ids");
+                slot.live && slot.sig.same_bug(sig)
+            })
+            .map(|idx| SignatureId::new(*idx as usize))
+    }
+
+    /// Retires the signature with the given id (generation-based eviction).
+    /// The id slot stays allocated — ids are never reused — but every query
+    /// (`len`, `get`, `find`, `iter`, the codecs) stops seeing it. Returns
+    /// whether the id was live.
+    pub fn retire(&mut self, id: SignatureId) -> bool {
+        match self.slots.get(id.index()) {
+            Some(slot) if slot.live => {
+                let retired = Slot {
+                    live: false,
+                    ..slot.clone()
+                };
+                self.slots = self.slots.set(id.index(), retired);
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True if `id` names a live (non-retired) signature.
+    pub fn is_live(&self, id: SignatureId) -> bool {
+        self.slots.get(id.index()).is_some_and(|s| s.live)
+    }
+
+    /// Records that the signature matched (was instantiated against, found
+    /// as a duplicate, or born) at the given snapshot epoch. Works through
+    /// a shared interior-mutable cell, so it is callable on the immutable
+    /// Arc-shared snapshot from the avoidance hot path; monotonic
+    /// (`fetch_max`), so concurrent shards cannot move activity backwards.
+    pub fn note_matched(&self, id: SignatureId, epoch: u64) {
+        if let Some(slot) = self.slots.get(id.index()) {
+            slot.last_matched.fetch_max(epoch, Ordering::Relaxed);
+        }
+    }
+
+    /// The epoch at which the live signature `id` last matched, if any.
+    pub fn last_matched(&self, id: SignatureId) -> Option<u64> {
+        self.slots
+            .get(id.index())
+            .filter(|s| s.live)
+            .map(|s| s.last_matched.load(Ordering::Relaxed))
+    }
+
+    /// Iterates `(id, last-matched epoch)` over live signatures — the
+    /// input to generation-based eviction candidate selection.
+    pub fn activity_iter(&self) -> impl Iterator<Item = (SignatureId, u64)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live)
+            .map(|(i, s)| (SignatureId::new(i), s.last_matched.load(Ordering::Relaxed)))
     }
 
     /// Dedup-index diagnostics: `(bucket count, largest bucket)`. The
@@ -140,17 +248,22 @@ impl History {
         )
     }
 
-    /// Returns the signature with the given id.
+    /// Returns the live signature with the given id (retired ids read as
+    /// absent).
     pub fn get(&self, id: SignatureId) -> Option<&Signature> {
-        self.signatures.get(id.index())
+        self.slots
+            .get(id.index())
+            .filter(|s| s.live)
+            .map(|s| &*s.sig)
     }
 
-    /// Iterates over `(id, signature)` pairs.
+    /// Iterates over live `(id, signature)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SignatureId, &Signature)> {
-        self.signatures
+        self.slots
             .iter()
             .enumerate()
-            .map(|(i, s)| (SignatureId::new(i), s))
+            .filter(|(_, s)| s.live)
+            .map(|(i, s)| (SignatureId::new(i), &*s.sig))
     }
 
     /// Ids of signatures whose outer stacks include `stack`. Used on the
@@ -191,7 +304,12 @@ impl History {
             .values()
             .map(|b| b.capacity() * std::mem::size_of::<u32>())
             .sum::<usize>();
-        for sig in &self.signatures {
+        for slot in self.slots.iter() {
+            total += std::mem::size_of::<Slot>();
+            if !slot.live {
+                continue;
+            }
+            let sig = &*slot.sig;
             total += std::mem::size_of::<Signature>();
             for p in sig.pairs() {
                 for s in [&p.outer, &p.inner] {
@@ -675,20 +793,48 @@ fn signature_from_json_value(sig: &JsonValue) -> Result<Signature> {
 /// # std::fs::remove_file(&path).ok();
 /// # Ok::<(), dimmunix_core::DimmunixError>(())
 /// ```
+///
+/// ## Segmentation
+///
+/// With [`with_segment_records`](HistoryLog::with_segment_records) the log
+/// rolls to a new fixed-size segment once the active one reaches the
+/// configured record count: segment 0 is `<path>` itself (so an unsegmented
+/// log is just a one-segment log, byte-for-byte) and segment *N* is
+/// `<path>.segN`. Appends only ever touch the last segment; replay walks the
+/// segments in order and merges them through the fingerprint dedup, so a
+/// crash-partial tail is only legal in the **last** segment — a mid-chain
+/// torn record means interior corruption and quarantines the whole chain,
+/// exactly as a torn interior record did in the single-file case.
 #[derive(Debug, Clone)]
 pub struct HistoryLog {
     path: std::path::PathBuf,
     sync: bool,
+    /// Records per segment before appends roll to the next one;
+    /// `usize::MAX` (the constructor default) keeps the log single-file.
+    segment_records: usize,
 }
 
 impl HistoryLog {
     /// Creates a handle on the log at `path` (the file need not exist yet).
     /// Appends are fsynced by default; see [`with_sync`](HistoryLog::with_sync).
+    /// The log is unsegmented until
+    /// [`with_segment_records`](HistoryLog::with_segment_records) caps the
+    /// segment size.
     pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
         HistoryLog {
             path: path.into(),
             sync: true,
+            segment_records: usize::MAX,
         }
+    }
+
+    /// Caps each segment at `records` log records; appends roll to a fresh
+    /// `<path>.segN` file past that. `0` is treated as unlimited
+    /// (single-file). Replay and recovery do not depend on this setting —
+    /// they always walk whatever segment chain exists on disk.
+    pub fn with_segment_records(mut self, records: usize) -> Self {
+        self.segment_records = if records == 0 { usize::MAX } else { records };
+        self
     }
 
     /// Sets whether each append fsyncs the file. `true` (the default) makes
@@ -701,13 +847,65 @@ impl HistoryLog {
         self
     }
 
-    /// The log file path.
+    /// The log's base path (segment 0).
     pub fn path(&self) -> &Path {
         &self.path
     }
 
+    /// Path of segment `i`: the base path for segment 0, `<path>.segN`
+    /// otherwise. The suffix is appended to the full file name (not swapped
+    /// in with `set_extension`) so sibling logs sharing a stem cannot
+    /// collide.
+    fn segment_path(&self, i: usize) -> PathBuf {
+        if i == 0 {
+            return self.path.clone();
+        }
+        let mut name = self.path.clone().into_os_string();
+        name.push(format!(".seg{i}"));
+        PathBuf::from(name)
+    }
+
+    /// The contiguous chain of segment files present on disk, in replay
+    /// order. An absent base file means an empty chain (stray higher
+    /// segments without their predecessors are ignored, as replaying them
+    /// out of context would resurrect records with no provenance).
+    fn segments(&self) -> Vec<PathBuf> {
+        let mut segs = Vec::new();
+        loop {
+            let seg = self.segment_path(segs.len());
+            if !seg.exists() {
+                break;
+            }
+            segs.push(seg);
+        }
+        segs
+    }
+
+    /// Raw (newline-separated, non-empty) record count of one segment file;
+    /// 0 if unreadable.
+    fn raw_records_in(path: &Path) -> usize {
+        fs::read_to_string(path)
+            .map(|text| text.lines().filter(|l| !l.trim().is_empty()).count())
+            .unwrap_or(0)
+    }
+
+    /// The segment the next append should land in: the last existing
+    /// segment, or the one after it if that segment is already at the
+    /// configured capacity.
+    fn active_segment(&self) -> PathBuf {
+        let segs = self.segments();
+        match segs.last() {
+            None => self.path.clone(),
+            Some(last) if Self::raw_records_in(last) >= self.segment_records => {
+                self.segment_path(segs.len())
+            }
+            Some(last) => last.clone(),
+        }
+    }
+
     /// Appends one signature record (creating the file and its parent
-    /// directories on first use). This is the per-detection disk cost: one
+    /// directories on first use, and rolling to a fresh segment when the
+    /// active one is at capacity). This is the per-detection disk cost: one
     /// small record, not a rewrite of the store.
     ///
     /// # Errors
@@ -718,13 +916,14 @@ impl HistoryLog {
                 fs::create_dir_all(parent)?;
             }
         }
-        let created = !self.path.exists();
+        let target = self.active_segment();
+        let created = !target.exists();
         let mut record = signature_to_log_record(sig);
         record.push('\n');
         let mut f = fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(&self.path)?;
+            .open(&target)?;
         f.write_all(record.as_bytes())?;
         if self.sync {
             f.sync_all()?;
@@ -752,23 +951,50 @@ impl HistoryLog {
         Ok(())
     }
 
-    /// Replays the log without modifying it. A missing file is an empty
-    /// history (a phone that has not deadlocked yet).
+    /// Replays the log — every segment in order — without modifying it. A
+    /// missing file is an empty history (a phone that has not deadlocked
+    /// yet). Records deduplicate across segment boundaries through the same
+    /// fingerprint index live detections use; `valid_len` and
+    /// `truncated_tail` describe the **last** segment, the only one appends
+    /// resume into.
     ///
     /// # Errors
-    /// Propagates filesystem errors (other than "not found") and reports
-    /// corrupt non-tail records as parse errors.
+    /// Propagates filesystem errors (other than "not found"), reports
+    /// corrupt non-tail records as parse errors, and treats a torn tail in
+    /// any segment but the last as interior corruption (nothing may
+    /// legally be appended after it).
     pub fn replay(&self) -> Result<LogReplay> {
-        match fs::read_to_string(&self.path) {
-            Ok(text) => History::replay_log_text(&text),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(LogReplay {
-                history: History::new(),
-                records: 0,
-                truncated_tail: false,
-                valid_len: 0,
-            }),
-            Err(e) => Err(e.into()),
+        let segs = self.segments();
+        let mut history = History::new();
+        let mut records = 0usize;
+        let mut truncated_tail = false;
+        let mut valid_len = 0usize;
+        for (i, seg) in segs.iter().enumerate() {
+            let text = fs::read_to_string(seg)?;
+            let replay = History::replay_log_text(&text)?;
+            let last = i + 1 == segs.len();
+            if replay.truncated_tail && !last {
+                return Err(DimmunixError::Parse {
+                    line: 0,
+                    message: format!(
+                        "segment {} ends in a partial record but is not the last segment",
+                        seg.display()
+                    ),
+                });
+            }
+            records += replay.records;
+            history.merge(&replay.history);
+            if last {
+                truncated_tail = replay.truncated_tail;
+                valid_len = replay.valid_len;
+            }
         }
+        Ok(LogReplay {
+            history,
+            records,
+            truncated_tail,
+            valid_len,
+        })
     }
 
     /// Replays the log and, if it ends in a crash-partial record, truncates
@@ -780,7 +1006,14 @@ impl HistoryLog {
     pub fn recover(&self) -> Result<LogReplay> {
         let replay = self.replay()?;
         if replay.truncated_tail {
-            let f = fs::OpenOptions::new().write(true).open(&self.path)?;
+            // Only the last segment can legally carry a torn tail (replay
+            // rejects interior ones), so that is the file to repair.
+            let last = self
+                .segments()
+                .last()
+                .cloned()
+                .unwrap_or_else(|| self.path.clone());
+            let f = fs::OpenOptions::new().write(true).open(last)?;
             f.set_len(replay.valid_len as u64)?;
             if self.sync {
                 f.sync_all()?;
@@ -789,28 +1022,47 @@ impl HistoryLog {
         Ok(replay)
     }
 
-    /// Best-effort count of raw (newline-separated, non-empty) records in
-    /// the file, regardless of whether they parse — used to size
+    /// Best-effort count of raw (newline-separated, non-empty) records
+    /// across all segments, regardless of whether they parse — used to size
     /// [`RecoveryReport::quarantined_records`] when a corrupt log is set
-    /// aside. Returns 0 if the file cannot be read.
+    /// aside. Returns 0 if nothing can be read.
     pub fn raw_record_count(&self) -> usize {
-        fs::read_to_string(&self.path)
-            .map(|text| text.lines().filter(|l| !l.trim().is_empty()).count())
-            .unwrap_or(0)
+        self.segments()
+            .iter()
+            .map(|seg| Self::raw_records_in(seg))
+            .sum()
     }
 
-    /// Moves a log that failed to replay aside (to `<path>.corrupt`,
-    /// replacing any previous quarantine) so the engine can start a fresh,
-    /// replayable log while preserving the bytes for diagnosis. Without
-    /// this, appends after interior corruption would land behind records
-    /// that every future replay rejects — antibodies written but never
-    /// readable again. Returns the quarantine path.
+    /// Moves a log that failed to replay aside (segment 0 to
+    /// `<path>.corrupt`, segment *N* to `<path>.corrupt.segN`, replacing any
+    /// previous quarantine) so the engine can start a fresh, replayable log
+    /// while preserving the bytes for diagnosis. Without this, appends after
+    /// interior corruption would land behind records that every future
+    /// replay rejects — antibodies written but never readable again. The
+    /// whole chain moves together: leaving higher segments behind would
+    /// splice their records onto the fresh log with no provenance. Returns
+    /// the quarantine base path.
     ///
     /// # Errors
     /// Propagates filesystem errors.
     pub fn quarantine(&self) -> Result<std::path::PathBuf> {
+        let segs = self.segments();
         let target = self.path.with_extension("corrupt");
-        fs::rename(&self.path, &target)?;
+        for (i, seg) in segs.iter().enumerate() {
+            let dest = if i == 0 {
+                target.clone()
+            } else {
+                let mut name = target.clone().into_os_string();
+                name.push(format!(".seg{i}"));
+                PathBuf::from(name)
+            };
+            fs::rename(seg, &dest)?;
+        }
+        if segs.is_empty() {
+            // Preserve the single-file contract: quarantining a missing log
+            // is a filesystem error, not a silent success.
+            fs::rename(&self.path, &target)?;
+        }
         Ok(target)
     }
 
@@ -821,6 +1073,8 @@ impl HistoryLog {
     /// # Errors
     /// Propagates filesystem errors.
     pub fn rewrite(&self, history: &History) -> Result<()> {
+        // Record the chain before the rename below extends or shrinks it.
+        let old_segments = self.segments();
         let tmp = self.path.with_extension("tmp");
         if let Some(parent) = self.path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -839,12 +1093,18 @@ impl HistoryLog {
         fs::rename(&tmp, &self.path)?;
         // The rename changed the directory entry; make that durable too.
         self.sync_parent_dir()?;
+        // The rewrite coalesced every record into segment 0; higher
+        // segments are now stale duplicates and must not replay twice.
+        for seg in old_segments.iter().skip(1) {
+            fs::remove_file(seg)?;
+        }
         Ok(())
     }
 
-    /// Offline compaction: replays the log (tolerating a partial tail),
-    /// deduplicates, and rewrites it atomically. Returns the replay the
-    /// compacted log was built from.
+    /// Offline compaction: replays the segment chain (tolerating a partial
+    /// tail in the last segment), deduplicates, and rewrites everything into
+    /// a single fresh segment atomically. Returns the replay the compacted
+    /// log was built from.
     ///
     /// # Errors
     /// Propagates filesystem and parse errors.
@@ -1099,6 +1359,155 @@ mod tests {
         assert_eq!(replay.records, 6);
         assert_eq!(replay.history.len(), 2);
         // The rewritten log holds exactly the deduplicated records.
+        let after = log.replay().unwrap();
+        assert_eq!(after.records, 2);
+        assert_eq!(after.history.len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segmented_appends_roll_and_replay_across_segments() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-log-seg-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let log = HistoryLog::new(dir.join("history.log"))
+            .with_sync(false)
+            .with_segment_records(2);
+        for i in 0..5 {
+            log.append(&sig(SignatureKind::Deadlock, i * 10, i * 10 + 1))
+                .unwrap();
+        }
+        // 5 records at 2 per segment: seg0 full, seg1 full, seg2 holds one.
+        assert!(dir.join("history.log").exists());
+        assert!(dir.join("history.log.seg1").exists());
+        assert!(dir.join("history.log.seg2").exists());
+        assert!(!dir.join("history.log.seg3").exists());
+        let replay = log.replay().unwrap();
+        assert_eq!(replay.records, 5);
+        assert_eq!(replay.history.len(), 5);
+        assert!(!replay.truncated_tail);
+        assert_eq!(log.raw_record_count(), 5);
+        // A handle without the segment setting replays the same chain: the
+        // on-disk layout, not the writer configuration, is authoritative.
+        let reader = HistoryLog::new(dir.join("history.log"));
+        assert_eq!(reader.replay().unwrap().history.len(), 5);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segmented_dedup_spans_segment_boundaries() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-log-segdup-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let log = HistoryLog::new(dir.join("history.log"))
+            .with_sync(false)
+            .with_segment_records(2);
+        // The same bug recorded in three different segments plus one
+        // distinct bug: replay must merge through the fingerprint index.
+        for _ in 0..5 {
+            log.append(&sig(SignatureKind::Deadlock, 1, 2)).unwrap();
+        }
+        log.append(&sig(SignatureKind::Deadlock, 7, 8)).unwrap();
+        let replay = log.replay().unwrap();
+        assert_eq!(replay.records, 6);
+        assert_eq!(replay.history.len(), 2, "dedup must span segments");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segmented_torn_tail_in_last_segment_recovers() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-log-segtail-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let log = HistoryLog::new(dir.join("history.log"))
+            .with_sync(false)
+            .with_segment_records(2);
+        for i in 0..3 {
+            log.append(&sig(SignatureKind::Deadlock, i * 10, i * 10 + 1))
+                .unwrap();
+        }
+        // Crash mid-append in the active (last) segment.
+        let seg1 = dir.join("history.log.seg1");
+        let full = fs::read(&seg1).unwrap();
+        fs::write(&seg1, &full[..full.len() - 17]).unwrap();
+
+        let replay = log.recover().unwrap();
+        assert!(replay.truncated_tail);
+        assert_eq!(replay.records, 2, "the torn record must be dropped");
+        // Recovery repaired *the last segment*; the next append lands on a
+        // record boundary there and the chain replays clean.
+        log.append(&sig(SignatureKind::Starvation, 90, 91)).unwrap();
+        let replay = log.replay().unwrap();
+        assert!(!replay.truncated_tail);
+        assert_eq!(replay.records, 3);
+        assert_eq!(replay.history.len(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_in_interior_segment_is_interior_corruption() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-log-segmid-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let log = HistoryLog::new(dir.join("history.log"))
+            .with_sync(false)
+            .with_segment_records(2);
+        for i in 0..4 {
+            log.append(&sig(SignatureKind::Deadlock, i * 10, i * 10 + 1))
+                .unwrap();
+        }
+        // Tear the tail of segment 0 while segment 1 exists after it:
+        // nothing may legally be appended after a torn record, so this is
+        // interior corruption, not a crash tail.
+        let seg0 = dir.join("history.log");
+        let full = fs::read(&seg0).unwrap();
+        fs::write(&seg0, &full[..full.len() - 17]).unwrap();
+        assert!(matches!(log.replay(), Err(DimmunixError::Parse { .. })));
+        assert!(matches!(log.recover(), Err(DimmunixError::Parse { .. })));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segmented_quarantine_moves_the_whole_chain() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-log-segquar-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let log = HistoryLog::new(dir.join("history.log"))
+            .with_sync(false)
+            .with_segment_records(2);
+        for i in 0..5 {
+            log.append(&sig(SignatureKind::Deadlock, i * 10, i * 10 + 1))
+                .unwrap();
+        }
+        let target = log.quarantine().unwrap();
+        assert_eq!(target, dir.join("history.corrupt"));
+        // Every segment moved; none left to splice onto a fresh log.
+        assert!(dir.join("history.corrupt").exists());
+        assert!(dir.join("history.corrupt.seg1").exists());
+        assert!(dir.join("history.corrupt.seg2").exists());
+        assert!(!dir.join("history.log").exists());
+        assert!(!dir.join("history.log.seg1").exists());
+        assert!(!dir.join("history.log.seg2").exists());
+        // The fresh chain is empty and replays clean.
+        let replay = log.replay().unwrap();
+        assert!(replay.history.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segmented_compaction_coalesces_into_a_single_segment() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-log-segcmp-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let log = HistoryLog::new(dir.join("history.log"))
+            .with_sync(false)
+            .with_segment_records(2);
+        for _ in 0..5 {
+            log.append(&sig(SignatureKind::Deadlock, 1, 2)).unwrap();
+        }
+        log.append(&sig(SignatureKind::Deadlock, 7, 8)).unwrap();
+        let replay = log.compact().unwrap();
+        assert_eq!(replay.records, 6);
+        assert_eq!(replay.history.len(), 2);
+        // The chain collapsed to segment 0; stale segments are gone so no
+        // record can replay twice.
+        assert!(dir.join("history.log").exists());
+        assert!(!dir.join("history.log.seg1").exists());
+        assert!(!dir.join("history.log.seg2").exists());
         let after = log.replay().unwrap();
         assert_eq!(after.records, 2);
         assert_eq!(after.history.len(), 2);

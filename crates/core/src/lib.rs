@@ -64,6 +64,7 @@ mod history;
 mod ids;
 mod json;
 mod position;
+mod pvec;
 mod rag;
 mod sharded;
 mod signature;
@@ -72,7 +73,10 @@ mod stats;
 
 pub use avoidance::{find_instantiation, signature_instantiable, Instantiation, SignatureIndex};
 pub use callstack::{CallStack, Frame};
-pub use config::{Config, ConfigBuilder, DEFAULT_MAX_SIGNATURES, DEFAULT_STACK_DEPTH};
+pub use config::{
+    Config, ConfigBuilder, DEFAULT_EVICTION_WINDOW, DEFAULT_LOG_SEGMENT_RECORDS,
+    DEFAULT_MAX_SIGNATURES, DEFAULT_STACK_DEPTH,
+};
 pub use detection::{classify_cycle, DetectedCycle};
 pub use engine::{Dimmunix, RequestOutcome};
 pub use error::{DimmunixError, Result};
@@ -83,6 +87,7 @@ pub use history::{
 };
 pub use ids::{LockId, LogicalTime, OwnerId, ProcessId, SignatureId, SiteId, TaskId, ThreadId};
 pub use position::{OwnerQueue, Position, PositionId, PositionTable, ThreadQueue};
+pub use pvec::{PersistentMap, PersistentVec};
 pub use rag::{
     find_cycle_with, AccessMode, CycleStep, HeldEntry, LockOwner, Rag, WaitEdge, YieldRecord,
 };
@@ -92,7 +97,7 @@ pub use sharded::{
     ShardedDimmunix, MAX_SHARDS,
 };
 pub use signature::{Signature, SignatureKind, SignaturePair};
-pub use snapshot::HistorySnapshot;
+pub use snapshot::{HistorySnapshot, OuterTable};
 pub use stats::Stats;
 
 #[cfg(test)]
@@ -444,26 +449,76 @@ mod engine_tests {
     }
 
     #[test]
-    fn max_signatures_caps_history_growth() {
-        let mut e = Dimmunix::new(Config::builder().max_signatures(1).build());
-        // First deadlock is recorded.
-        assert!(e.request(t(1), l(1), &site("a", 1)).is_granted());
-        e.acquired(t(1), l(1));
-        assert!(e.request(t(2), l(2), &site("b", 2)).is_granted());
-        e.acquired(t(2), l(2));
-        assert!(e.request(t(1), l(2), &site("c", 3)).is_granted());
-        let first = e.request(t(2), l(1), &site("d", 4));
-        assert!(matches!(first, RequestOutcome::DeadlockDetected { .. }));
+    fn max_signatures_evicts_stale_antibodies_by_default() {
+        fn ab(n: u32) -> Signature {
+            Signature::new(
+                SignatureKind::Deadlock,
+                vec![SignaturePair::new(
+                    site("evict.a", n * 10),
+                    site("evict.b", n * 10 + 1),
+                )],
+            )
+        }
+        let mut e = Dimmunix::new(
+            Config::builder()
+                .max_signatures(2)
+                .eviction_window(2)
+                .build(),
+        );
+        // s0 born at epoch 1, s1 at epoch 2.
+        let (s0, new0) = e.add_signature(ab(0));
+        assert!(new0);
+        let (_s1, new1) = e.add_signature(ab(1));
+        assert!(new1);
+        // At capacity but both antibodies are within the window: the history
+        // overflows softly rather than evicting a recent antibody.
+        let (_s2, new2) = e.add_signature(ab(2));
+        assert!(new2);
+        assert_eq!(e.history().len(), 3, "soft overflow when nothing is stale");
+        assert_eq!(e.stats().signatures_evicted, 0);
+        // By now s0 and s1 have aged out of the window; the next insert
+        // retires both (oldest first) before appending.
+        let (_s3, new3) = e.add_signature(ab(3));
+        assert!(new3);
+        assert_eq!(e.history().len(), 2);
+        assert_eq!(e.stats().signatures_evicted, 2);
+        assert!(e.history().get(s0).is_none(), "s0 was retired");
+        assert_eq!(e.stats().history_full_refusals, 0);
+    }
+
+    #[test]
+    fn max_signatures_refuses_under_paper_faithful_flag() {
+        fn ab(n: u32) -> Signature {
+            Signature::new(
+                SignatureKind::Deadlock,
+                vec![SignaturePair::new(
+                    site("refuse.a", n * 10),
+                    site("refuse.b", n * 10 + 1),
+                )],
+            )
+        }
+        let mut e = Dimmunix::new(
+            Config::builder()
+                .max_signatures(1)
+                .refuse_at_capacity(true)
+                .build(),
+        );
+        let (s0, new0) = e.add_signature(ab(0));
+        assert!(new0);
+        // A duplicate is never a refusal: it resolves to the existing id.
+        assert!(matches!(e.try_add_signature(ab(0)), Ok((id, false)) if id == s0));
+        // A distinct antibody at capacity is refused with a structured error.
+        assert!(matches!(
+            e.try_add_signature(ab(1)),
+            Err(DimmunixError::HistoryFull { capacity: 1 })
+        ));
         assert_eq!(e.history().len(), 1);
-        // A different deadlock between other locks/positions is not added.
-        assert!(e.request(t(3), l(5), &site("e", 5)).is_granted());
-        e.acquired(t(3), l(5));
-        assert!(e.request(t(4), l(6), &site("f", 6)).is_granted());
-        e.acquired(t(4), l(6));
-        assert!(e.request(t(3), l(6), &site("g", 7)).is_granted());
-        let second = e.request(t(4), l(5), &site("h", 8));
-        assert!(matches!(second, RequestOutcome::DeadlockDetected { .. }));
-        assert_eq!(e.history().len(), 1);
+        assert_eq!(e.stats().history_full_refusals, 1);
+        assert_eq!(e.stats().signatures_evicted, 0);
+        // The infallible detection-path wrapper degrades to "not new".
+        let (_, added) = e.add_signature(ab(2));
+        assert!(!added);
+        assert_eq!(e.stats().history_full_refusals, 2);
     }
 
     #[test]

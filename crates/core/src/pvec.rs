@@ -1,0 +1,726 @@
+//! Structurally-shared persistent containers backing the history snapshot.
+//!
+//! [`HistorySnapshot::append`](crate::HistorySnapshot::append) used to clone
+//! the entire history (signature vector, fingerprint map, canonical outer
+//! table, inverted index) to produce its successor — O(|history|) per
+//! detection. At fleet scale (ROADMAP direction 1: thousands of aggregated
+//! antibodies) that copy dominates detection cost. The two containers here
+//! make the successor snapshot an O(log₃₂ n) *path copy* instead:
+//!
+//! * [`PersistentVec`] — a 32-way bitmapped-trie vector (the classic
+//!   Clojure/Scala persistent vector). `clone` is O(1) (three `Arc` bumps),
+//!   `push`/`set` copy one root-to-leaf path, `get` walks log₃₂ n nodes,
+//!   and iteration touches each leaf once.
+//! * [`PersistentMap`] — a hash-array-mapped trie over a 4-bit radix
+//!   (16-way branches), used for the fingerprint-dedup and stack-interning
+//!   lookups. `clone` is O(1); `insert` path-copies log₁₆ n nodes. The map
+//!   is deliberately *narrower* than the vector: an insert's dominant cost
+//!   is cloning the child arrays along the copied path (one refcount bump
+//!   per surviving pointer, and one decrement when the replaced epoch
+//!   drops), which totals Σ min(width, n/widthˡ) over the levels l. A
+//!   narrow radix keeps every copied array small, so that sum — and with
+//!   it the append-cost curve the `history_scale` bench gates — grows far
+//!   more slowly with n than a wide node's would. The vector does not share
+//!   this trade-off: its pushes only touch the always-warm right spine.
+//!
+//! Both are built from `std` only (the build environment has no crates.io
+//! access — see the PR 1 notes in CHANGES.md) and contain no unsafe code.
+//! Values are stored behind the structure's own nodes, so cheap-to-clone
+//! element types (`Arc<T>`, small copyable records) keep leaf copies cheap.
+//!
+//! The `PersistentVec`-vs-`Vec` oracle property test lives in
+//! `tests/proptests.rs` (200+ generated op sequences, including
+//! clone-then-diverge structural sharing).
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Radix bits per vector-trie level.
+const BITS: usize = 5;
+/// Vector branching factor (2^BITS).
+const WIDTH: usize = 1 << BITS;
+/// Mask selecting one vector radix digit.
+const MASK: usize = WIDTH - 1;
+
+/// Radix bits per map-trie level (see the module docs for why the map is
+/// narrower than the vector).
+const MAP_BITS: usize = 4;
+/// Map branching factor (2^MAP_BITS).
+const MAP_WIDTH: usize = 1 << MAP_BITS;
+/// Mask selecting one map radix digit.
+const MAP_MASK: usize = MAP_WIDTH - 1;
+
+// ----------------------------------------------------------------------
+// PersistentVec
+// ----------------------------------------------------------------------
+
+/// Trie node: interior branches hold up to 32 children, leaves hold exactly
+/// 32 elements (the trailing partial chunk lives in the vector's tail).
+#[derive(Debug)]
+enum Node<T> {
+    Branch(Vec<Option<Arc<Node<T>>>>),
+    Leaf(Vec<T>),
+}
+
+/// A persistent (immutable, structurally shared) vector.
+///
+/// `push` and `set` return a *new* vector sharing almost all storage with
+/// the original; the original is never modified. `clone` is O(1), which is
+/// what lets [`HistorySnapshot::append`](crate::HistorySnapshot::append)
+/// produce a successor snapshot without copying the history.
+///
+/// ```
+/// use dimmunix_core::PersistentVec;
+/// let a: PersistentVec<u32> = (0..100).collect();
+/// let b = a.push(100);
+/// assert_eq!(a.len(), 100);        // the original is untouched
+/// assert_eq!(b.len(), 101);
+/// assert_eq!(b.get(100), Some(&100));
+/// assert_eq!(a.get(100), None);
+/// ```
+pub struct PersistentVec<T> {
+    len: usize,
+    /// Radix shift of the root level; 0 means the root (if any) is a leaf.
+    shift: usize,
+    root: Option<Arc<Node<T>>>,
+    /// The trailing `len % 32` elements (or 32 when `len` is a non-zero
+    /// multiple), kept outside the trie so pushes into a partial chunk are
+    /// one small clone instead of a path copy.
+    tail: Arc<Vec<T>>,
+}
+
+impl<T> Clone for PersistentVec<T> {
+    fn clone(&self) -> Self {
+        PersistentVec {
+            len: self.len,
+            shift: self.shift,
+            root: self.root.clone(),
+            tail: Arc::clone(&self.tail),
+        }
+    }
+}
+
+impl<T> Default for PersistentVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for PersistentVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T> PersistentVec<T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        PersistentVec {
+            len: 0,
+            shift: 0,
+            root: None,
+            tail: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First index stored in the tail chunk (a multiple of 32).
+    fn tail_offset(&self) -> usize {
+        self.len - self.tail.len()
+    }
+
+    /// The element at `index`, or `None` out of range.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            return None;
+        }
+        Some(&self.leaf_for(index)[index & MASK])
+    }
+
+    /// The 32-aligned chunk containing `index` (which must be in range).
+    fn leaf_for(&self, index: usize) -> &[T] {
+        if index >= self.tail_offset() {
+            return &self.tail;
+        }
+        let mut node = self
+            .root
+            .as_deref()
+            .expect("an index below the tail offset implies a trie");
+        let mut level = self.shift;
+        loop {
+            match node {
+                Node::Branch(children) => {
+                    node = children[(index >> level) & MASK]
+                        .as_deref()
+                        .expect("in-range index resolves through populated children");
+                    level -= BITS;
+                }
+                Node::Leaf(items) => return items,
+            }
+        }
+    }
+
+    /// Iterates over the elements in order. Each 32-element chunk is
+    /// resolved once, so a full traversal costs O(n) element visits plus
+    /// O(n / 32) trie walks.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            vec: self,
+            index: 0,
+            chunk: &[],
+            chunk_start: 0,
+        }
+    }
+}
+
+impl<T: Clone> PersistentVec<T> {
+    /// Returns a vector extended by `value`. O(1) amortized clones into the
+    /// tail chunk; every 32nd push copies one root-to-leaf path.
+    #[must_use = "PersistentVec::push returns the extended vector"]
+    pub fn push(&self, value: T) -> Self {
+        if self.tail.len() < WIDTH {
+            let mut tail = (*self.tail).clone();
+            tail.push(value);
+            return PersistentVec {
+                len: self.len + 1,
+                shift: self.shift,
+                root: self.root.clone(),
+                tail: Arc::new(tail),
+            };
+        }
+        // The tail is full: push it into the trie as a leaf and start a new
+        // tail with the single new element.
+        let leaf = Arc::new(Node::Leaf((*self.tail).clone()));
+        let trie_len = self.tail_offset();
+        let (root, shift) = match &self.root {
+            None => (leaf, 0),
+            Some(root) if trie_len == WIDTH << self.shift => {
+                // The root is full: grow one level.
+                let mut children: Vec<Option<Arc<Node<T>>>> = vec![None; WIDTH];
+                children[0] = Some(Arc::clone(root));
+                children[1] = Some(new_path(self.shift, leaf));
+                (Arc::new(Node::Branch(children)), self.shift + BITS)
+            }
+            Some(root) => (push_leaf(root, self.shift, trie_len, leaf), self.shift),
+        };
+        PersistentVec {
+            len: self.len + 1,
+            shift,
+            root: Some(root),
+            tail: Arc::new(vec![value]),
+        }
+    }
+
+    /// Returns a vector with the element at `index` replaced, path-copying
+    /// one root-to-leaf spine. The original is untouched.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    #[must_use = "PersistentVec::set returns the updated vector"]
+    pub fn set(&self, index: usize, value: T) -> Self {
+        assert!(
+            index < self.len,
+            "set index {index} out of range (len {})",
+            self.len
+        );
+        if index >= self.tail_offset() {
+            let mut tail = (*self.tail).clone();
+            tail[index & MASK] = value;
+            return PersistentVec {
+                len: self.len,
+                shift: self.shift,
+                root: self.root.clone(),
+                tail: Arc::new(tail),
+            };
+        }
+        let root = set_in(
+            self.root.as_ref().expect("trie exists below tail offset"),
+            self.shift,
+            index,
+            value,
+        );
+        PersistentVec {
+            len: self.len,
+            shift: self.shift,
+            root: Some(root),
+            tail: Arc::clone(&self.tail),
+        }
+    }
+}
+
+/// Wraps `node` in single-child branches from `level` down to the leaf level.
+fn new_path<T>(level: usize, node: Arc<Node<T>>) -> Arc<Node<T>> {
+    if level == 0 {
+        return node;
+    }
+    let mut children: Vec<Option<Arc<Node<T>>>> = vec![None; WIDTH];
+    children[0] = Some(new_path(level - BITS, node));
+    Arc::new(Node::Branch(children))
+}
+
+/// Inserts `leaf` (the chunk starting at element `index`) below `node`,
+/// path-copying the visited branches.
+fn push_leaf<T>(
+    node: &Arc<Node<T>>,
+    level: usize,
+    index: usize,
+    leaf: Arc<Node<T>>,
+) -> Arc<Node<T>> {
+    let Node::Branch(children) = &**node else {
+        unreachable!("push_leaf only descends through branches");
+    };
+    let mut children = children.clone();
+    let sub = (index >> level) & MASK;
+    children[sub] = Some(match &children[sub] {
+        None => new_path(level - BITS, leaf),
+        Some(child) => push_leaf(child, level - BITS, index, leaf),
+    });
+    Arc::new(Node::Branch(children))
+}
+
+/// Replaces element `index` below `node`, path-copying the visited spine.
+fn set_in<T: Clone>(node: &Arc<Node<T>>, level: usize, index: usize, value: T) -> Arc<Node<T>> {
+    match &**node {
+        Node::Leaf(items) => {
+            let mut items = items.clone();
+            items[index & MASK] = value;
+            Arc::new(Node::Leaf(items))
+        }
+        Node::Branch(children) => {
+            let sub = (index >> level) & MASK;
+            let mut children = children.clone();
+            let child = children[sub].as_ref().expect("in-range index");
+            children[sub] = Some(set_in(child, level - BITS, index, value));
+            Arc::new(Node::Branch(children))
+        }
+    }
+}
+
+impl<T: Clone> FromIterator<T> for PersistentVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = PersistentVec::new();
+        for item in iter {
+            v = v.push(item);
+        }
+        v
+    }
+}
+
+/// Chunk-caching iterator over a [`PersistentVec`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    vec: &'a PersistentVec<T>,
+    index: usize,
+    chunk: &'a [T],
+    chunk_start: usize,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.index >= self.vec.len {
+            return None;
+        }
+        if self.index < self.chunk_start || self.index - self.chunk_start >= self.chunk.len() {
+            self.chunk = self.vec.leaf_for(self.index);
+            self.chunk_start = self.index & !MASK;
+        }
+        let item = &self.chunk[self.index - self.chunk_start];
+        self.index += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.vec.len - self.index;
+        (rest, Some(rest))
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PersistentVec<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+// ----------------------------------------------------------------------
+// PersistentMap
+// ----------------------------------------------------------------------
+
+/// HAMT node: branches use an occupancy bitmap over the next 4 hash bits
+/// with a dense child vector; leaves bucket the entries of one full 64-bit
+/// hash (different keys with equal hashes share a leaf).
+#[derive(Debug)]
+enum MapNode<K, V> {
+    Branch {
+        bitmap: u64,
+        children: Vec<Arc<MapNode<K, V>>>,
+    },
+    Leaf {
+        hash: u64,
+        entries: Vec<(K, V)>,
+    },
+}
+
+/// A persistent (immutable, structurally shared) hash map.
+///
+/// `insert` returns a new map sharing all untouched storage with the
+/// original; `clone` is O(1). Hashing uses the same fixed-key
+/// `DefaultHasher` as the history's fingerprint index, so layout is
+/// deterministic within a process run (nothing here is persisted).
+///
+/// ```
+/// use dimmunix_core::PersistentMap;
+/// let a: PersistentMap<u32, &str> = PersistentMap::new();
+/// let b = a.insert(1, "one").0;
+/// assert_eq!(a.get(&1), None);     // the original is untouched
+/// assert_eq!(b.get(&1), Some(&"one"));
+/// ```
+pub struct PersistentMap<K, V> {
+    len: usize,
+    root: Option<Arc<MapNode<K, V>>>,
+}
+
+impl<K, V> Clone for PersistentMap<K, V> {
+    fn clone(&self) -> Self {
+        PersistentMap {
+            len: self.len,
+            root: self.root.clone(),
+        }
+    }
+}
+
+impl<K, V> Default for PersistentMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for PersistentMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+fn hash_of<K: Hash + ?Sized>(key: &K) -> u64 {
+    // Fixed-key SipHash: deterministic within a process, never persisted.
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl<K, V> PersistentMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        PersistentMap { len: 0, root: None }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the entries in unspecified (but deterministic) order.
+    pub fn iter(&self) -> MapIter<'_, K, V> {
+        MapIter {
+            stack: self.root.as_deref().into_iter().collect(),
+            leaf: &[],
+        }
+    }
+
+    /// Iterates over the values in unspecified (but deterministic) order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+impl<K: Hash + Eq, V> PersistentMap<K, V> {
+    /// The value stored under `key`, if any. Like `HashMap::get`, the probe
+    /// may be any borrowed form of the key type (e.g. a `&CallStack`
+    /// probing an `Arc<CallStack>`-keyed map), provided its `Hash` and `Eq`
+    /// agree with the owned form — which `Borrow` guarantees.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let hash = hash_of(key);
+        let mut node = self.root.as_deref()?;
+        let mut level = 0usize;
+        loop {
+            match node {
+                MapNode::Leaf { hash: h, entries } => {
+                    return if *h == hash {
+                        entries
+                            .iter()
+                            .find(|(k, _)| k.borrow() == key)
+                            .map(|(_, v)| v)
+                    } else {
+                        None
+                    };
+                }
+                MapNode::Branch { bitmap, children } => {
+                    let bit = 1u64 << ((hash >> level) as usize & MAP_MASK);
+                    if bitmap & bit == 0 {
+                        return None;
+                    }
+                    node = &children[(bitmap & (bit - 1)).count_ones() as usize];
+                    level += MAP_BITS;
+                }
+            }
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> PersistentMap<K, V> {
+    /// Returns a map with `key` bound to `value`, plus whether the key was
+    /// new (`false` means an existing binding was replaced). The original
+    /// map is untouched.
+    #[must_use = "PersistentMap::insert returns the updated map"]
+    pub fn insert(&self, key: K, value: V) -> (Self, bool) {
+        let hash = hash_of(&key);
+        let (root, added) = match &self.root {
+            None => (
+                Arc::new(MapNode::Leaf {
+                    hash,
+                    entries: vec![(key, value)],
+                }),
+                true,
+            ),
+            Some(root) => insert_in(root, 0, hash, key, value),
+        };
+        (
+            PersistentMap {
+                len: self.len + usize::from(added),
+                root: Some(root),
+            },
+            added,
+        )
+    }
+}
+
+/// Recursive insert: path-copies the visited spine, splitting a leaf into a
+/// branch when two different hashes collide at the current level.
+fn insert_in<K: Hash + Eq + Clone, V: Clone>(
+    node: &Arc<MapNode<K, V>>,
+    level: usize,
+    hash: u64,
+    key: K,
+    value: V,
+) -> (Arc<MapNode<K, V>>, bool) {
+    match &**node {
+        MapNode::Leaf { hash: h, entries } if *h == hash => {
+            let mut entries = entries.clone();
+            if let Some(entry) = entries.iter_mut().find(|(k, _)| *k == key) {
+                entry.1 = value;
+                (Arc::new(MapNode::Leaf { hash, entries }), false)
+            } else {
+                entries.push((key, value));
+                (Arc::new(MapNode::Leaf { hash, entries }), true)
+            }
+        }
+        MapNode::Leaf { hash: h, .. } => {
+            (split(Arc::clone(node), *h, level, hash, key, value), true)
+        }
+        MapNode::Branch { bitmap, children } => {
+            let frag = (hash >> level) as usize & MAP_MASK;
+            let bit = 1u64 << frag;
+            let idx = (bitmap & (bit - 1)).count_ones() as usize;
+            let mut children = children.clone();
+            if bitmap & bit != 0 {
+                let (child, added) = insert_in(&children[idx], level + MAP_BITS, hash, key, value);
+                children[idx] = child;
+                (
+                    Arc::new(MapNode::Branch {
+                        bitmap: *bitmap,
+                        children,
+                    }),
+                    added,
+                )
+            } else {
+                children.insert(
+                    idx,
+                    Arc::new(MapNode::Leaf {
+                        hash,
+                        entries: vec![(key, value)],
+                    }),
+                );
+                (
+                    Arc::new(MapNode::Branch {
+                        bitmap: bitmap | bit,
+                        children,
+                    }),
+                    true,
+                )
+            }
+        }
+    }
+}
+
+/// Builds the branch spine separating an existing leaf (hash `old_hash`)
+/// from a new entry whose hash differs. Two distinct 64-bit hashes differ at
+/// some 4-bit fragment, so the recursion terminates before the hash runs out
+/// of bits.
+fn split<K, V>(
+    old: Arc<MapNode<K, V>>,
+    old_hash: u64,
+    level: usize,
+    hash: u64,
+    key: K,
+    value: V,
+) -> Arc<MapNode<K, V>> {
+    let old_frag = (old_hash >> level) as usize & MAP_MASK;
+    let new_frag = (hash >> level) as usize & MAP_MASK;
+    if old_frag == new_frag {
+        let child = split(old, old_hash, level + MAP_BITS, hash, key, value);
+        return Arc::new(MapNode::Branch {
+            bitmap: 1u64 << old_frag,
+            children: vec![child],
+        });
+    }
+    let new_leaf = Arc::new(MapNode::Leaf {
+        hash,
+        entries: vec![(key, value)],
+    });
+    let bitmap = (1u64 << old_frag) | (1u64 << new_frag);
+    let children = if old_frag < new_frag {
+        vec![old, new_leaf]
+    } else {
+        vec![new_leaf, old]
+    };
+    Arc::new(MapNode::Branch { bitmap, children })
+}
+
+/// Depth-first iterator over a [`PersistentMap`].
+#[derive(Debug)]
+pub struct MapIter<'a, K, V> {
+    stack: Vec<&'a MapNode<K, V>>,
+    leaf: &'a [(K, V)],
+}
+
+impl<'a, K, V> Iterator for MapIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            if let Some((entry, rest)) = self.leaf.split_first() {
+                self.leaf = rest;
+                return Some((&entry.0, &entry.1));
+            }
+            match self.stack.pop()? {
+                MapNode::Leaf { entries, .. } => self.leaf = entries,
+                MapNode::Branch { children, .. } => {
+                    self.stack.extend(children.iter().rev().map(Arc::as_ref));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_push_get_across_chunk_and_level_boundaries() {
+        let mut v: PersistentVec<usize> = PersistentVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.get(0), None);
+        // 0..1100 crosses the 32-element tail boundary, the 1024-element
+        // root-growth boundary, and leaves a partial tail.
+        for i in 0..1100 {
+            v = v.push(i);
+            assert_eq!(v.len(), i + 1);
+        }
+        for i in 0..1100 {
+            assert_eq!(v.get(i), Some(&i), "index {i}");
+        }
+        assert_eq!(v.get(1100), None);
+        let collected: Vec<usize> = v.iter().copied().collect();
+        assert_eq!(collected, (0..1100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_clone_then_diverge_shares_structure() {
+        let base: PersistentVec<u32> = (0..200).collect();
+        let a = base.push(1000);
+        let b = base.push(2000);
+        assert_eq!(base.len(), 200);
+        assert_eq!(a.get(200), Some(&1000));
+        assert_eq!(b.get(200), Some(&2000));
+        // Divergent sets never bleed into siblings or the base.
+        let c = a.set(0, 7);
+        assert_eq!(c.get(0), Some(&7));
+        assert_eq!(a.get(0), Some(&0));
+        assert_eq!(base.get(0), Some(&0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vec_set_out_of_range_panics() {
+        let v: PersistentVec<u8> = PersistentVec::new();
+        let _ = v.set(0, 1);
+    }
+
+    #[test]
+    fn map_insert_get_and_replace() {
+        let mut m: PersistentMap<u64, u64> = PersistentMap::new();
+        for i in 0..500 {
+            let (next, added) = m.insert(i, i * 10);
+            assert!(added);
+            m = next;
+        }
+        assert_eq!(m.len(), 500);
+        for i in 0..500 {
+            assert_eq!(m.get(&i), Some(&(i * 10)), "key {i}");
+        }
+        assert_eq!(m.get(&500), None);
+        let (replaced, added) = m.insert(42, 1);
+        assert!(!added);
+        assert_eq!(replaced.len(), 500);
+        assert_eq!(replaced.get(&42), Some(&1));
+        assert_eq!(m.get(&42), Some(&420), "the original is untouched");
+        assert!(m.contains_key(&0));
+        assert!(!m.contains_key(&10_000));
+    }
+
+    #[test]
+    fn map_iter_visits_every_entry_once() {
+        let mut m: PersistentMap<u32, u32> = PersistentMap::new();
+        for i in 0..300 {
+            m = m.insert(i, i).0;
+        }
+        let mut keys: Vec<u32> = m.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..300).collect::<Vec<_>>());
+        assert_eq!(m.values().count(), 300);
+    }
+}

@@ -665,6 +665,11 @@ pub(crate) fn find_instantiation_merged(
         }
         let r = instantiable_with_candidates(slots, &candidates, thread, outer);
         if let Some(blockers) = r {
+            // The one shared match point of the monolithic and sharded
+            // request paths: refresh the antibody's eviction generation so
+            // a signature that is actively steering schedules never counts
+            // as stale.
+            snapshot.note_matched(sig);
             return Some(Instantiation {
                 signature: sig,
                 blockers,

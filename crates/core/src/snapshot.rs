@@ -27,10 +27,103 @@
 use crate::avoidance::SignatureIndex;
 use crate::callstack::CallStack;
 use crate::history::History;
-use crate::position::{PositionId, PositionTable};
+use crate::position::PositionId;
+use crate::pvec::{PersistentMap, PersistentVec};
 use crate::signature::Signature;
 use crate::SignatureId;
 use std::sync::Arc;
+
+/// Canonical interning table for signature *outer* stacks, owned by the
+/// shared [`HistorySnapshot`].
+///
+/// This is the snapshot-side sibling of the engine's mutable
+/// [`PositionTable`](crate::PositionTable): same id space semantics
+/// (append-only ids, depth-truncated stacks), but with **no owner queues**
+/// (queues are shard-local state) and persistent, structurally-shared
+/// storage — cloning the table into the next snapshot is O(1), interning
+/// one more stack path-copies O(log₃₂ n) nodes. Ids are stable under
+/// [`HistorySnapshot::append`] (the table only grows), which is what lets
+/// shards cache links across epochs.
+#[derive(Debug, Clone)]
+pub struct OuterTable {
+    depth: usize,
+    /// Interned stack per [`PositionId`], in id order.
+    stacks: PersistentVec<Arc<CallStack>>,
+    /// Reverse lookup: truncated stack -> its canonical id. The keys are
+    /// the *same* `Arc`s as `stacks` (hash/eq see through the `Arc`), so
+    /// each distinct outer stack is stored once, not twice.
+    by_stack: PersistentMap<Arc<CallStack>, PositionId>,
+}
+
+impl OuterTable {
+    /// Creates an empty table interning stacks truncated to `depth` frames
+    /// (clamped to at least 1, like the engine's table).
+    pub fn new(depth: usize) -> Self {
+        OuterTable {
+            depth: depth.max(1),
+            stacks: PersistentVec::new(),
+            by_stack: PersistentMap::new(),
+        }
+    }
+
+    /// The interning depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of interned outer positions.
+    pub fn len(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+
+    /// Interns `stack` (truncated to the table depth), returning its
+    /// existing or freshly assigned canonical id.
+    pub fn intern(&mut self, stack: &CallStack) -> PositionId {
+        let key = stack.truncated(self.depth);
+        if let Some(id) = self.by_stack.get(&key) {
+            return *id;
+        }
+        let id = PositionId::new(self.stacks.len() as u32);
+        let shared = Arc::new(key);
+        self.stacks = self.stacks.push(Arc::clone(&shared));
+        self.by_stack = self.by_stack.insert(shared, id).0;
+        id
+    }
+
+    /// The canonical id of `stack` (truncated to the table depth), if
+    /// interned.
+    pub fn lookup(&self, stack: &CallStack) -> Option<PositionId> {
+        self.by_stack.get(&stack.truncated(self.depth)).copied()
+    }
+
+    /// The interned stack with the given id.
+    pub fn stack(&self, id: PositionId) -> Option<&CallStack> {
+        self.stacks.get(id.index()).map(|s| &**s)
+    }
+
+    /// Estimated resident memory of the table in bytes.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for stack in self.stacks.iter() {
+            // The reverse-lookup key is the same `Arc` as the id->stack
+            // entry, so the stack bytes are charged once and the key side
+            // only pays the extra `Arc` pointer.
+            let frames: usize = stack
+                .frames()
+                .iter()
+                .map(|f| std::mem::size_of_val(f) + f.method().len() + f.file().len())
+                .sum();
+            total += std::mem::size_of::<CallStack>() + frames;
+            total += 2 * std::mem::size_of::<Arc<CallStack>>() + std::mem::size_of::<PositionId>();
+        }
+        total
+    }
+}
 
 /// An immutable, epoch-versioned view of the deadlock history, shared by
 /// every engine shard in a process.
@@ -52,8 +145,9 @@ pub struct HistorySnapshot {
     /// [`PositionId`]s are the *shared* coordinate system: shard-local
     /// position tables link into it, never the other way around. Ids are
     /// stable under [`append`](HistorySnapshot::append) (the table only
-    /// grows), which is what lets shards cache links across epochs.
-    outers: PositionTable,
+    /// grows — eviction retires signatures, never outer ids), which is what
+    /// lets shards cache links across epochs.
+    outers: OuterTable,
     /// Inverted avoidance index, keyed by canonical outer ids.
     index: SignatureIndex,
 }
@@ -67,14 +161,14 @@ impl HistorySnapshot {
     /// one pass at the end — instead of the signature-by-signature
     /// resolve-and-index loop the engine used to run on every restart.
     pub fn build(history: History, stack_depth: usize) -> Arc<Self> {
-        let mut outers = PositionTable::new(stack_depth);
-        let resolved: Vec<Vec<PositionId>> = history
+        let mut outers = OuterTable::new(stack_depth);
+        let resolved: Vec<(SignatureId, Vec<PositionId>)> = history
             .iter()
-            .map(|(_, sig)| sig.outer_stacks().map(|o| outers.intern(o)).collect())
+            .map(|(id, sig)| (id, sig.outer_stacks().map(|o| outers.intern(o)).collect()))
             .collect();
         let mut index = SignatureIndex::new();
-        for (i, outs) in resolved.into_iter().enumerate() {
-            index.insert(SignatureId::new(i), outs);
+        for (id, outs) in resolved {
+            index.insert(id, outs);
         }
         Arc::new(HistorySnapshot {
             epoch: 0,
@@ -90,14 +184,20 @@ impl HistorySnapshot {
     /// with the epoch bumped. The current snapshot is never mutated —
     /// readers holding the old `Arc` keep a consistent view.
     pub fn append(self: &Arc<Self>, sig: Signature) -> (Arc<Self>, SignatureId, bool) {
-        if let Some(existing) = self.history.find(&sig) {
-            return (Arc::clone(self), existing, false);
-        }
+        // All three fields are persistent (structurally shared): these
+        // clones are O(1) and the mutations below path-copy O(log₃₂ n)
+        // nodes, so appending is independent of the history size.
         let mut history = self.history.clone();
+        let (id, added) = history.add(sig);
+        if !added {
+            // A re-detection of a known bug counts as a match for
+            // generation-based eviction: the antibody is demonstrably
+            // alive. The untouched clone is simply dropped.
+            self.history.note_matched(id, self.epoch);
+            return (Arc::clone(self), id, false);
+        }
         let mut outers = self.outers.clone();
         let mut index = self.index.clone();
-        let (id, added) = history.add(sig);
-        debug_assert!(added, "find() said the signature was absent");
         let outs: Vec<PositionId> = history
             .get(id)
             .expect("just appended")
@@ -105,9 +205,13 @@ impl HistorySnapshot {
             .map(|o| outers.intern(o))
             .collect();
         index.insert(id, outs);
+        let epoch = self.epoch + 1;
+        // Birth counts as a match, so a freshly learned antibody cannot be
+        // evicted before it has had a window's worth of epochs to matter.
+        history.note_matched(id, epoch);
         (
             Arc::new(HistorySnapshot {
-                epoch: self.epoch + 1,
+                epoch,
                 history,
                 outers,
                 index,
@@ -115,6 +219,53 @@ impl HistorySnapshot {
             id,
             true,
         )
+    }
+
+    /// Records that `id` matched (was instantiated against or re-detected)
+    /// at this snapshot's epoch. Interior-mutable and monotonic, so the
+    /// avoidance hot path can call it straight on the shared `Arc`.
+    pub fn note_matched(&self, id: SignatureId) {
+        self.history.note_matched(id, self.epoch);
+    }
+
+    /// The epoch at which the live signature `id` last matched, if any.
+    pub fn last_matched(&self, id: SignatureId) -> Option<u64> {
+        self.history.last_matched(id)
+    }
+
+    /// The stalest live signature that has not matched within the last
+    /// `window` epochs — the next generation-based eviction victim. Ties
+    /// break toward the lowest id (the oldest antibody among equally stale
+    /// ones). `None` when every live signature matched recently; callers
+    /// must then tolerate a soft overflow rather than evict a hot antibody.
+    pub fn eviction_candidate(&self, window: u64) -> Option<SignatureId> {
+        self.history
+            .activity_iter()
+            .filter(|(_, last)| self.epoch.saturating_sub(*last) >= window)
+            .min_by_key(|(id, last)| (*last, *id))
+            .map(|(id, _)| id)
+    }
+
+    /// Returns a snapshot with `id` retired: the signature stops matching,
+    /// its index entries are removed (leaving an id gap), and the epoch
+    /// bumps. Outer ids are untouched — the canonical namespace only grows.
+    /// Returns `None` if `id` is not live. The current snapshot is never
+    /// mutated.
+    pub fn evict(self: &Arc<Self>, id: SignatureId) -> Option<Arc<Self>> {
+        if !self.history.is_live(id) {
+            return None;
+        }
+        let mut history = self.history.clone();
+        let mut index = self.index.clone();
+        let retired = history.retire(id);
+        debug_assert!(retired, "is_live() said the id was live");
+        index.remove(id);
+        Some(Arc::new(HistorySnapshot {
+            epoch: self.epoch + 1,
+            history,
+            outers: self.outers.clone(),
+            index,
+        }))
     }
 
     /// The snapshot's version: 0 at bulk build, +1 per appended signature.
@@ -133,7 +284,7 @@ impl HistorySnapshot {
     }
 
     /// The canonical outer-position table.
-    pub fn outer_table(&self) -> &PositionTable {
+    pub fn outer_table(&self) -> &OuterTable {
         &self.outers
     }
 

@@ -47,6 +47,14 @@ pub struct Stats {
     /// Wake-ups issued on the release path (threads resumed from signature
     /// condition variables).
     pub wakeups: u64,
+    /// Antibodies retired by generation-based eviction at `max_signatures`
+    /// (never matched within the configured eviction window). Zero under
+    /// the paper-faithful `refuse_at_capacity` configuration.
+    pub signatures_evicted: u64,
+    /// New antibodies refused because the history was at `max_signatures`
+    /// under the paper-faithful `refuse_at_capacity` configuration. Zero
+    /// under the default eviction configuration.
+    pub history_full_refusals: u64,
 }
 
 impl Stats {
@@ -109,6 +117,8 @@ impl Stats {
         self.instantiation_checks += other.instantiation_checks;
         self.signatures_examined += other.signatures_examined;
         self.wakeups += other.wakeups;
+        self.signatures_evicted += other.signatures_evicted;
+        self.history_full_refusals += other.history_full_refusals;
     }
 }
 
@@ -118,7 +128,7 @@ impl fmt::Display for Stats {
             f,
             "requests={} grants={} reentrant={} acquisitions={} releases={} reentries={} \
              yields={} deadlocks={} (new sigs {}) starvations={} (new sigs {}) checks={} \
-             examined={} wakeups={}",
+             examined={} wakeups={} evicted={} refusals={}",
             self.requests,
             self.grants,
             self.reentrant_grants,
@@ -132,7 +142,9 @@ impl fmt::Display for Stats {
             self.new_starvation_signatures,
             self.instantiation_checks,
             self.signatures_examined,
-            self.wakeups
+            self.wakeups,
+            self.signatures_evicted,
+            self.history_full_refusals
         )
     }
 }
@@ -158,6 +170,8 @@ mod tests {
             instantiation_checks: 11,
             signatures_examined: 13,
             wakeups: 12,
+            signatures_evicted: 14,
+            history_full_refusals: 15,
         };
         let b = a;
         a.merge(&b);
@@ -166,6 +180,8 @@ mod tests {
         assert_eq!(a.signatures_examined, 26);
         assert_eq!(a.synchronizations(), 8);
         assert_eq!(a.nested_reentries, 2);
+        assert_eq!(a.signatures_evicted, 28);
+        assert_eq!(a.history_full_refusals, 30);
     }
 
     #[test]

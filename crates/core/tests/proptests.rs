@@ -11,8 +11,8 @@
 
 use dimmunix_core::{
     find_instantiation, AccessMode, CallStack, Config, Dimmunix, Frame, History, LockId,
-    PositionTable, RequestOutcome, ShardedDimmunix, Signature, SignatureId, SignatureIndex,
-    SignatureKind, SignaturePair, ThreadId, ThreadQueue,
+    PersistentMap, PersistentVec, PositionId, PositionTable, RequestOutcome, ShardedDimmunix,
+    Signature, SignatureId, SignatureIndex, SignatureKind, SignaturePair, ThreadId, ThreadQueue,
 };
 use dimmunix_testkit::schedule::{
     plan_mixed_step, plan_mutex_step, pretrain_history, universe_site, PlannedStep,
@@ -659,6 +659,249 @@ fn prop_sharded_engine_equals_monolithic_oracle_mixed_rwlock() {
                 "seed {seed}: snapshot epochs diverge (shards {n})"
             );
         }
+    }
+}
+
+/// **Persistent vector ≡ `Vec` oracle.** Random push/set sequences checked
+/// element-for-element against a plain `Vec`, with random point reads,
+/// out-of-range probes, and full iteration. At one random point in every
+/// sequence a clone is taken and the original keeps mutating: the clone
+/// must stay frozen at its snapshot (the structural-sharing contract the
+/// history snapshots rely on).
+#[test]
+fn prop_persistent_vec_matches_vec_oracle() {
+    const SEED_SALT: u64 = 0x0bad_5eed_0001;
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed ^ SEED_SALT);
+        let mut pv: PersistentVec<u64> = PersistentVec::new();
+        let mut model: Vec<u64> = Vec::new();
+        let mut frozen: Option<(PersistentVec<u64>, Vec<u64>)> = None;
+        // Long enough that many sequences cross the 32-element tail boundary
+        // and some push the root a level deeper.
+        let ops = g.range(1, 140);
+        let freeze_at = g.range(0, ops);
+        for op in 0..ops {
+            if op == freeze_at {
+                frozen = Some((pv.clone(), model.clone()));
+            }
+            if model.is_empty() || g.range(0, 10) < 7 {
+                let v = g.next_u64();
+                pv = pv.push(v);
+                model.push(v);
+            } else {
+                let i = g.range(0, model.len());
+                let v = g.next_u64();
+                pv = pv.set(i, v);
+                model[i] = v;
+            }
+            assert_eq!(pv.len(), model.len(), "seed {seed}");
+            assert_eq!(pv.is_empty(), model.is_empty(), "seed {seed}");
+            for _ in 0..3 {
+                let i = g.range(0, model.len());
+                assert_eq!(pv.get(i), Some(&model[i]), "seed {seed}: get({i})");
+            }
+            assert_eq!(pv.get(model.len()), None, "seed {seed}: past-end get");
+        }
+        let collected: Vec<u64> = pv.iter().copied().collect();
+        assert_eq!(collected, model, "seed {seed}: iteration diverges");
+        let (old, old_model) = frozen.expect("freeze point always within ops");
+        assert_eq!(old.len(), old_model.len(), "seed {seed}");
+        let old_collected: Vec<u64> = old.iter().copied().collect();
+        assert_eq!(
+            old_collected, old_model,
+            "seed {seed}: mid-sequence clone diverged from its snapshot"
+        );
+    }
+}
+
+/// **Persistent map ≡ `HashMap` oracle.** Random insert/replace sequences
+/// over a small key universe (so hash-fragment collisions and replacement
+/// both happen) checked against `std::collections::HashMap`, including the
+/// `(map, added)` insert contract, random probes, full iteration, and a
+/// mid-sequence clone that must stay frozen.
+type FrozenMap = (PersistentMap<u64, u64>, Vec<(u64, u64)>);
+
+#[test]
+fn prop_persistent_map_matches_hashmap_oracle() {
+    const SEED_SALT: u64 = 0x0bad_5eed_0002;
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed ^ SEED_SALT);
+        let mut pm: PersistentMap<u64, u64> = PersistentMap::new();
+        let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut frozen: Option<FrozenMap> = None;
+        let ops = g.range(1, 150);
+        let freeze_at = g.range(0, ops);
+        for op in 0..ops {
+            if op == freeze_at {
+                let mut snap: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+                snap.sort_unstable();
+                frozen = Some((pm.clone(), snap));
+            }
+            let k = g.range(0, 40) as u64;
+            let v = g.next_u64();
+            let (next, added) = pm.insert(k, v);
+            assert_eq!(added, !model.contains_key(&k), "seed {seed}: insert({k})");
+            pm = next;
+            model.insert(k, v);
+            assert_eq!(pm.len(), model.len(), "seed {seed}");
+            let probe = g.range(0, 40) as u64;
+            assert_eq!(
+                pm.get(&probe),
+                model.get(&probe),
+                "seed {seed}: get({probe})"
+            );
+            assert_eq!(
+                pm.contains_key(&probe),
+                model.contains_key(&probe),
+                "seed {seed}"
+            );
+        }
+        let mut collected: Vec<(u64, u64)> = pm.iter().map(|(k, v)| (*k, *v)).collect();
+        collected.sort_unstable();
+        let mut expected: Vec<(u64, u64)> = model.into_iter().collect();
+        expected.sort_unstable();
+        assert_eq!(collected, expected, "seed {seed}: iteration diverges");
+        let (old, old_snap) = frozen.expect("freeze point always within ops");
+        let mut old_collected: Vec<(u64, u64)> = old.iter().map(|(k, v)| (*k, *v)).collect();
+        old_collected.sort_unstable();
+        assert_eq!(
+            old_collected, old_snap,
+            "seed {seed}: mid-sequence clone diverged from its snapshot"
+        );
+    }
+}
+
+/// **Eviction soundness.** Under random `max_signatures`/`eviction_window`
+/// configurations and random streams of new and duplicate antibodies
+/// (duplicates refresh the matched generation), a signature matched within
+/// the last `eviction_window` epochs is never evicted: any signature that
+/// goes from live to retired across one insert must already have been
+/// window-stale at the post-insert epoch (staleness only grows with the
+/// epoch, so this bounds every intermediate eviction decision too).
+#[test]
+fn prop_eviction_never_retires_recently_matched() {
+    const SEED_SALT: u64 = 0x0e51_c7ed;
+    let mut total_evictions = 0u64;
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed ^ SEED_SALT);
+        let cap = g.range(2, 6);
+        let window = g.range(1, 5) as u64;
+        let mut e = Dimmunix::new(
+            Config::builder()
+                .max_signatures(cap)
+                .eviction_window(window)
+                .build(),
+        );
+        let pool: Vec<Signature> = (0..12u32)
+            .map(|i| {
+                Signature::new(
+                    SignatureKind::Deadlock,
+                    vec![SignaturePair::new(
+                        CallStack::single(Frame::new("ev.outer", "ev.rs", i * 10)),
+                        CallStack::single(Frame::new("ev.inner", "ev.rs", i * 10 + 1)),
+                    )],
+                )
+            })
+            .collect();
+        for _ in 0..g.range(10, 60) {
+            let sig = pool[g.range(0, pool.len())].clone();
+            let before: Vec<(SignatureId, u64)> = e.history().activity_iter().collect();
+            e.add_signature(sig);
+            let post_epoch = e.history_snapshot().epoch();
+            for (id, last) in before {
+                if !e.history().is_live(id) {
+                    assert!(
+                        post_epoch.saturating_sub(last) >= window,
+                        "seed {seed}: evicted {id} last matched at epoch {last}, \
+                         inside the window at post-insert epoch {post_epoch}"
+                    );
+                }
+            }
+        }
+        total_evictions += e.stats().signatures_evicted;
+        assert_eq!(e.stats().history_full_refusals, 0, "seed {seed}");
+    }
+    // The property must not hold vacuously: across the seed sweep the
+    // small capacities force real evictions.
+    assert!(total_evictions > 0, "no seed ever exercised eviction");
+}
+
+/// **Compaction ≡ fresh bulk rebuild (gap-tolerance oracle).** Random
+/// insert/remove/compact sequences over a sparse id space leave the
+/// [`SignatureIndex`] with id gaps and tombstoned positions; after every
+/// compaction (and at the end) its lookups must agree position-for-position
+/// and signature-for-signature with an index rebuilt from scratch from the
+/// surviving entries.
+#[test]
+fn prop_index_compaction_agrees_with_fresh_rebuild() {
+    const SEED_SALT: u64 = 0x00c0_53ac;
+    const MAX_ID: usize = 20;
+    const MAX_POS: usize = 12;
+
+    fn check(
+        index: &SignatureIndex,
+        model: &std::collections::HashMap<usize, Vec<PositionId>>,
+        seed: u64,
+    ) {
+        let mut fresh = SignatureIndex::new();
+        let mut ids: Vec<usize> = model.keys().copied().collect();
+        ids.sort_unstable();
+        for raw in &ids {
+            fresh.insert(SignatureId::new(*raw), model[raw].clone());
+        }
+        assert_eq!(index.len(), fresh.len(), "seed {seed}");
+        for p in 0..MAX_POS {
+            let pid = PositionId::new(p as u32);
+            assert_eq!(
+                index.signatures_at(pid),
+                fresh.signatures_at(pid),
+                "seed {seed}: position {p} diverges from fresh rebuild"
+            );
+        }
+        for raw in 0..MAX_ID {
+            let id = SignatureId::new(raw);
+            assert_eq!(
+                index.outer_positions_of(id),
+                fresh.outer_positions_of(id),
+                "seed {seed}: outer positions of {raw} diverge"
+            );
+            if !model.contains_key(&raw) {
+                assert!(index.outer_positions_of(id).is_empty(), "seed {seed}");
+            }
+        }
+    }
+
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed ^ SEED_SALT);
+        let mut index = SignatureIndex::new();
+        let mut model: std::collections::HashMap<usize, Vec<PositionId>> =
+            std::collections::HashMap::new();
+        for _ in 0..g.range(5, 80) {
+            let raw = g.range(0, MAX_ID);
+            let id = SignatureId::new(raw);
+            match g.range(0, 10) {
+                0..=5 => {
+                    if let std::collections::hash_map::Entry::Vacant(slot) = model.entry(raw) {
+                        let outer: Vec<PositionId> = (0..g.range(1, 4))
+                            .map(|_| PositionId::new(g.range(0, MAX_POS) as u32))
+                            .collect();
+                        index.insert(id, outer.clone());
+                        slot.insert(outer);
+                    }
+                }
+                6..=8 => {
+                    let removed = index.remove(id);
+                    assert_eq!(removed, model.remove(&raw).is_some(), "seed {seed}");
+                }
+                _ => {
+                    index.compact();
+                    check(&index, &model, seed);
+                }
+            }
+            assert_eq!(index.len(), model.len(), "seed {seed}");
+        }
+        index.compact();
+        check(&index, &model, seed);
     }
 }
 

@@ -401,6 +401,76 @@ pub fn writer_preference_gap() -> Scenario {
     }
 }
 
+/// A detection-heavy workload for the history's eviction machinery:
+/// `gadgets` *independent* two-task lock-order inversions, each through its
+/// own locks and its own four sites (same four scopes, unique lines — a
+/// frame's identity includes its line, so the signatures stay distinct).
+/// Every gadget that deadlocks teaches the
+/// engine a *distinct* antibody (distinct sites ⇒ distinct signature), so a
+/// single run under [`crate::sim::OnDeadlock::Refuse`] can learn up to
+/// `gadgets` signatures back to back — exactly the pressure that pushes a
+/// capped history (`max_signatures` below `gadgets`) into generation-based
+/// eviction, since a gadget's antibody is never matched again after its
+/// tasks die on the refusal path.
+pub fn signature_storm(gadgets: usize) -> Scenario {
+    assert!(gadgets >= 1);
+    let mut sites = Vec::new();
+    let mut tasks = Vec::new();
+    for g in 0..gadgets {
+        let (a, b) = (2 * g, 2 * g + 1);
+        let base = sites.len();
+        for (i, scope) in [
+            "storm.a_first",
+            "storm.a_second",
+            "storm.b_first",
+            "storm.b_second",
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            sites.push(SiteSpec {
+                scope,
+                line: (base + i + 1) as u32,
+            });
+        }
+        // Task A takes the gadget's locks in (a, b) order, task B in
+        // (b, a) order — the canonical inversion; the Work between the
+        // two acquires is the window in which the partner closes the
+        // cycle.
+        for (who, first, second, s0, s1) in
+            [("a", a, b, base, base + 1), ("b", b, a, base + 2, base + 3)]
+        {
+            tasks.push(TaskScript {
+                name: format!("storm-{g}{who}"),
+                ops: vec![
+                    SimOp::Acquire {
+                        lock: first,
+                        mode: AccessMode::Exclusive,
+                        site: s0,
+                    },
+                    SimOp::Work { cost: 1 },
+                    SimOp::Acquire {
+                        lock: second,
+                        mode: AccessMode::Exclusive,
+                        site: s1,
+                    },
+                    SimOp::Work { cost: 1 },
+                    SimOp::Release { lock: second },
+                    SimOp::Release { lock: first },
+                ],
+            });
+        }
+    }
+    Scenario {
+        name: format!("signature-storm-{gadgets}"),
+        locks: 2 * gadgets,
+        sites,
+        tasks,
+        writer_preference: false,
+        failsafe_budget: 0,
+    }
+}
+
 /// The canonical scenario instances the fuzzer, benches, and regression
 /// corpus refer to by name.
 pub fn catalog() -> Vec<Scenario> {
@@ -412,6 +482,7 @@ pub fn catalog() -> Vec<Scenario> {
         bank_transfer(3, 4, 3, 0xb0ba),
         async_server(6, 3, 3, 0xa51c),
         writer_preference_gap(),
+        signature_storm(3),
     ]
 }
 

@@ -220,7 +220,14 @@ impl MonoDriver {
     /// Builds a driver for `scenario` with `history` pre-seeded (empty for
     /// learning runs, a learned history for immune replays).
     pub fn new(scenario: &Scenario, history: History) -> Self {
-        let mut engine = Dimmunix::with_history(Config::default(), history);
+        Self::with_config(scenario, Config::default(), history)
+    }
+
+    /// [`new`](MonoDriver::new) with an explicit engine configuration —
+    /// eviction-pressure tests cap `max_signatures` far below the default
+    /// so a detection-heavy scenario overflows it in a single run.
+    pub fn with_config(scenario: &Scenario, config: Config, history: History) -> Self {
+        let mut engine = Dimmunix::with_history(config, history);
         let base = Arc::clone(engine.history_snapshot());
         let site_pos = scenario
             .site_stacks()

@@ -5,8 +5,8 @@
 //! crash recovery of the append-only history log.
 
 use dimmunix::core::{
-    CallStack, Config, Frame, History, HistoryLog, ShardedDimmunix, Signature, SignatureKind,
-    SignaturePair,
+    signature_to_log_record, CallStack, Config, Frame, History, HistoryLog, ShardedDimmunix,
+    Signature, SignatureKind, SignaturePair,
 };
 use dimmunix::vm::{ProcessBuilder, RunOutcome};
 use dimmunix::workloads::{dining_philosophers, synthetic_history};
@@ -245,6 +245,179 @@ fn corrupt_history_log_is_quarantined_and_reported() {
     assert!(!path.exists(), "fresh log can start cleanly");
     assert!(rt.history().is_empty());
     assert!(!report.is_clean());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Provokes `rounds` distinct AB-BA deadlocks through the real-thread
+/// runtime, each at its own sites so each learns a distinct antibody.
+fn provoke_deadlocks(rt: &std::sync::Arc<dimmunix::rt::DimmunixRuntime>, rounds: u32) {
+    use dimmunix::rt::{AcquisitionSite, ImmuneMutex, LockError};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    for round in 0..rounds {
+        let a = Arc::new(ImmuneMutex::new_in(rt, 0u32));
+        let b = Arc::new(ImmuneMutex::new_in(rt, 0u32));
+        let (a1, b1) = (a.clone(), b.clone());
+        let t1 = std::thread::spawn(move || -> Result<(), LockError> {
+            let _g = a1.lock_at(AcquisitionSite::new("seg.outerA", "seg.rs", round * 10))?;
+            std::thread::sleep(Duration::from_millis(60));
+            let _h = b1.lock_at(AcquisitionSite::new("seg.innerA", "seg.rs", round * 10 + 1))?;
+            Ok(())
+        });
+        let t2 = std::thread::spawn(move || -> Result<(), LockError> {
+            std::thread::sleep(Duration::from_millis(20));
+            let _g = b.lock_at(AcquisitionSite::new("seg.outerB", "seg.rs", round * 10 + 2))?;
+            std::thread::sleep(Duration::from_millis(60));
+            let _h = a.lock_at(AcquisitionSite::new("seg.innerB", "seg.rs", round * 10 + 3))?;
+            Ok(())
+        });
+        let (r1, r2) = (t1.join().unwrap(), t2.join().unwrap());
+        assert!(r1.is_err() || r2.is_err(), "round {round} must deadlock");
+    }
+}
+
+/// Crash recovery with a segmented log: a kill mid-append tears the tail of
+/// the **last** segment, and restart repairs it exactly as in the
+/// single-file case — committed records replay, the partial one is
+/// truncated away, and the chain is clean again.
+#[test]
+fn segmented_log_survives_a_kill_in_the_last_segment() {
+    use dimmunix::rt::{DeadlockPolicy, DimmunixRuntime};
+
+    let dir = std::env::temp_dir().join(format!("dimmunix-it-segkill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("history.log");
+    let cfg = Config::builder()
+        .history_path(&path)
+        .log_segment_records(2)
+        .build();
+    let builder = || {
+        DimmunixRuntime::builder()
+            .config(cfg.clone())
+            .deadlock_policy(DeadlockPolicy::Error)
+    };
+
+    // Three distinct detections at two records per segment: the third rolls
+    // into a second segment.
+    let rt = builder().build();
+    provoke_deadlocks(&rt, 3);
+    assert_eq!(rt.history().len(), 3);
+    drop(rt);
+    let seg1 = dir.join("history.log.seg1");
+    assert!(seg1.exists(), "the third detection must roll to .seg1");
+
+    // The "kill": the last segment's only record was cut short.
+    let bytes = std::fs::read(&seg1).unwrap();
+    std::fs::write(&seg1, &bytes[..bytes.len() - 9]).unwrap();
+
+    let rt = builder().build();
+    let report = rt.recovery_report().expect("a log path is configured");
+    assert_eq!(report.replayed, 2, "{report}");
+    assert!(report.truncated_tail, "{report}");
+    assert_eq!(report.quarantined_records, 0);
+    assert_eq!(rt.history().len(), 2);
+    drop(rt);
+    // The repair landed in the torn segment, so a fresh handle (even one
+    // that knows nothing of the writer's segment size) replays clean.
+    let replay = HistoryLog::new(&path).replay().unwrap();
+    assert!(!replay.truncated_tail);
+    assert_eq!(replay.history.len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corruption in an **earlier** segment is interior corruption: the whole
+/// chain is quarantined through the same [`RecoveryReport`] surface as a
+/// corrupt single-file log, preserving every segment's bytes for diagnosis.
+#[test]
+fn segmented_interior_corruption_quarantines_the_whole_chain() {
+    use dimmunix::rt::{DeadlockPolicy, DimmunixRuntime};
+
+    let dir = std::env::temp_dir().join(format!("dimmunix-it-segcorr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("history.log");
+    let good = |line: u32| {
+        signature_to_log_record(&Signature::new(
+            SignatureKind::Deadlock,
+            vec![SignaturePair::new(
+                CallStack::single(Frame::new("seg.outer", "seg.rs", line)),
+                CallStack::single(Frame::new("seg.inner", "seg.rs", line + 1)),
+            )],
+        ))
+    };
+    // Segment 0 has a garbage interior record; segment 1 is well-formed.
+    std::fs::write(&path, format!("this is not a record\n{}\n", good(10))).unwrap();
+    std::fs::write(dir.join("history.log.seg1"), format!("{}\n", good(20))).unwrap();
+
+    let rt = DimmunixRuntime::builder()
+        .deadlock_policy(DeadlockPolicy::Error)
+        .history_path(&path)
+        .build();
+    let report = rt.recovery_report().expect("a log path is configured");
+    assert_eq!(report.replayed, 0);
+    assert_eq!(
+        report.quarantined_records, 3,
+        "every raw record across the chain counts: {report}"
+    );
+    assert!(!report.is_clean());
+    let quarantine = report.quarantine_path.clone().expect("quarantined");
+    assert!(quarantine.exists(), "segment 0 bytes preserved");
+    let mut qseg1 = quarantine.clone().into_os_string();
+    qseg1.push(".seg1");
+    assert!(
+        std::path::PathBuf::from(qseg1).exists(),
+        "segment 1 moved with its chain"
+    );
+    assert!(!path.exists(), "fresh log can start cleanly");
+    assert!(!dir.join("history.log.seg1").exists());
+    assert!(rt.history().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cross-process byte-identical replay holds for a segmented writer: a
+/// second process (and a segment-size-oblivious reader) reconstruct the
+/// exact same history, record for record, in the same order.
+#[test]
+fn segmented_history_replays_byte_identically_across_processes() {
+    use dimmunix::rt::{DeadlockPolicy, DimmunixRuntime};
+
+    let dir = std::env::temp_dir().join(format!("dimmunix-it-segxproc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("history.log");
+    let cfg = Config::builder()
+        .history_path(&path)
+        .log_segment_records(1)
+        .build();
+    let builder = || {
+        DimmunixRuntime::builder()
+            .config(cfg.clone())
+            .deadlock_policy(DeadlockPolicy::Error)
+    };
+
+    // One record per segment: every detection rolls a fresh segment.
+    let rt = builder().build();
+    provoke_deadlocks(&rt, 3);
+    let text_before = rt.history().to_text();
+    assert_eq!(rt.history().len(), 3);
+    drop(rt);
+    assert!(dir.join("history.log.seg1").exists());
+    assert!(dir.join("history.log.seg2").exists());
+
+    // "Process 2" replays the chain into the identical history.
+    let rt = builder().build();
+    let report = rt.recovery_report().expect("a log path is configured");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.replayed, 3);
+    assert_eq!(
+        rt.history().to_text(),
+        text_before,
+        "replayed history must be byte-identical"
+    );
+    drop(rt);
+    // So does a bare log handle that never knew the segment size.
+    let replay = HistoryLog::new(&path).replay().unwrap();
+    assert_eq!(replay.history.to_text(), text_before);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
