@@ -20,6 +20,10 @@
 //!   for CI (≥ 100k schedules/s in virtual time), find and minimize the
 //!   catalog deadlocks, vaccinate them to completion, and replay the
 //!   checked-in regression corpus without a single hash drift.
+//! * `BENCH_exchange.json` — collaborative immunity must be sound in both
+//!   directions: every importer of an antibody pack avoids the bug on its
+//!   first encounter (acceptance 1.0), and quarantined foreign antibodies
+//!   cause zero refusals or parks before the trust gate activates them.
 //!
 //! Reports that do not exist yet are an error too: the gate only means
 //! something if the benches actually ran before it.
@@ -113,6 +117,18 @@ const GATES: &[Gate] = &[
         field: "corpus_failures",
         check: |v| v == 0.0,
         expect: "== 0 (every checked-in regression trace must replay at its hash)",
+    },
+    Gate {
+        file: "BENCH_exchange.json",
+        field: "imported_avoided_acceptance",
+        check: |v| v >= 1.0,
+        expect: ">= 1.0 (every pack importer must avoid the bug on its first encounter)",
+    },
+    Gate {
+        file: "BENCH_exchange.json",
+        field: "foreign_refusals_before_activation",
+        check: |v| v == 0.0,
+        expect: "== 0 (quarantined foreign antibodies must never park or refuse anyone)",
     },
 ];
 

@@ -10,6 +10,70 @@
 use crate::SiteId;
 use std::fmt;
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a state. FNV is used (rather than
+/// `DefaultHasher`) because site keys are *persisted* and exchanged between
+/// processes, so the hash must be stable across builds and platforms.
+pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Stable, content-derived identity of an acquisition site.
+///
+/// A `SiteKey` is an FNV-1a hash over the *normalized* content of a
+/// (truncated) call stack: each frame contributes its method name and file
+/// verbatim, but its line number only as the offset relative to the stack's
+/// **top frame** line. Absolute line numbers never enter the key, so
+/// recompiling the program with code moved up or down a file (a uniform
+/// line shift — the usual effect of an unrelated edit above the site)
+/// yields the *same* key. That is what lets persisted antibodies outlive
+/// refactors and lets antibody packs exchanged between fleets match across
+/// different binaries of the same program.
+///
+/// The key coarsens identity exactly where absolute lines were
+/// load-bearing: two depth-1 sites in the same file sharing a method name
+/// collapse to one key. This is the same flavour of trade-off as the
+/// paper's depth-1 stack truncation (§3.2) — coarser matching bought for
+/// robustness — and it is why foreign signatures are only *screened* by
+/// key and then re-anchored to a concrete local stack before activation.
+///
+/// ```
+/// use dimmunix_core::{CallStack, Frame};
+/// let v1 = CallStack::single(Frame::new("Svc.lock", "svc.rs", 100));
+/// let v2 = CallStack::single(Frame::new("Svc.lock", "svc.rs", 137)); // code moved
+/// assert_eq!(v1.site_key(), v2.site_key());
+/// assert_ne!(
+///     v1.site_key(),
+///     CallStack::single(Frame::new("Other.lock", "svc.rs", 100)).site_key(),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteKey(u64);
+
+impl SiteKey {
+    /// Creates a key from its raw hash (codecs and tests).
+    pub const fn new(raw: u64) -> Self {
+        SiteKey(raw)
+    }
+
+    /// The raw 64-bit hash.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SiteKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K{:016x}", self.0)
+    }
+}
+
 /// One program location: a method plus a source position.
 ///
 /// The Dalvik implementation stores the method and bytecode pc of the frame;
@@ -159,6 +223,24 @@ impl CallStack {
         }
     }
 
+    /// The stable content-hash identity of this stack (see [`SiteKey`]).
+    ///
+    /// Computed over the stack as-is; callers wanting position semantics
+    /// truncate first (interning tables do this before calling). The empty
+    /// stack hashes to the FNV offset basis.
+    pub fn site_key(&self) -> SiteKey {
+        let base = self.frames.first().map_or(0, |f| i64::from(f.line));
+        let mut hash = FNV_OFFSET;
+        for f in &self.frames {
+            hash = fnv1a(hash, f.method.as_bytes());
+            hash = fnv1a(hash, &[0]);
+            hash = fnv1a(hash, f.file.as_bytes());
+            hash = fnv1a(hash, &[0]);
+            hash = fnv1a(hash, &(i64::from(f.line) - base).to_le_bytes());
+        }
+        SiteKey(hash)
+    }
+
     /// Serializes the stack into the compact one-line textual form used by
     /// the persistent history file: `method@file:line;method@file:line;...`.
     pub fn to_compact(&self) -> String {
@@ -299,6 +381,67 @@ mod tests {
         assert!(!format!("{}", CallStack::new()).is_empty());
         assert!(!format!("{}", sample()).is_empty());
         assert!(format!("{}", sample()).contains("A.lock"));
+    }
+
+    /// The recompilation-survival contract: re-rendering the same stacks at
+    /// uniformly shifted line numbers (what an edit above the site does to
+    /// every frame in the file) must not change the site key.
+    #[test]
+    fn site_key_survives_uniform_line_shift() {
+        let shifted = |delta: u32| {
+            CallStack::from_frames(vec![
+                Frame::new("A.lock", "a.rs", 10 + delta),
+                Frame::new("A.outer", "a.rs", 42 + delta),
+                Frame::new("main", "main.rs", 3 + delta),
+            ])
+        };
+        let key = shifted(0).site_key();
+        for delta in [1, 7, 100, 4096] {
+            assert_eq!(shifted(delta).site_key(), key, "shift {delta}");
+        }
+        // A *relative* move of one frame is a different site.
+        let skewed = CallStack::from_frames(vec![
+            Frame::new("A.lock", "a.rs", 10),
+            Frame::new("A.outer", "a.rs", 43),
+            Frame::new("main", "main.rs", 3),
+        ]);
+        assert_ne!(skewed.site_key(), key);
+    }
+
+    #[test]
+    fn site_key_distinguishes_method_and_file() {
+        let base = CallStack::single(Frame::new("f", "x.rs", 1));
+        assert_eq!(
+            base.site_key(),
+            CallStack::single(Frame::new("f", "x.rs", 99)).site_key(),
+            "depth-1 keys ignore the absolute line"
+        );
+        assert_ne!(
+            base.site_key(),
+            CallStack::single(Frame::new("g", "x.rs", 1)).site_key()
+        );
+        assert_ne!(
+            base.site_key(),
+            CallStack::single(Frame::new("f", "y.rs", 1)).site_key()
+        );
+        // Depth matters: the truncated stack has its own key.
+        let deep = CallStack::from_frames(vec![
+            Frame::new("f", "x.rs", 1),
+            Frame::new("caller", "x.rs", 50),
+        ]);
+        assert_ne!(deep.site_key(), base.site_key());
+        assert_eq!(deep.truncated(1).site_key(), base.site_key());
+    }
+
+    #[test]
+    fn site_key_is_deterministic_and_displayable() {
+        let cs = sample();
+        assert_eq!(cs.site_key(), cs.clone().site_key());
+        let shown = cs.site_key().to_string();
+        assert!(shown.starts_with('K') && shown.len() == 17, "{shown}");
+        assert_eq!(SiteKey::new(7).raw(), 7);
+        // The empty stack has a well-defined key too.
+        assert_eq!(CallStack::new().site_key(), CallStack::new().site_key());
     }
 
     #[test]

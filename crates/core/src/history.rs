@@ -709,6 +709,15 @@ impl std::fmt::Display for RecoveryReport {
 /// The record is the element format of [`History::to_json`]'s `signatures`
 /// array, flattened to one line — JSON strings escape raw newlines, so a
 /// newline always terminates a record and the log is self-delimiting.
+///
+/// Since the exchange layer exists, each record also carries the
+/// signature's stable content fingerprint
+/// ([`Signature::stable_fingerprint`]) as an `fp` field: 16 lowercase hex
+/// digits derived from normalized site keys, not absolute lines. Legacy
+/// records without the field replay unchanged (the fingerprint is a pure
+/// function of the stacks and is recomputed); a record *with* the field
+/// must agree with the recomputation, which makes a tampered or bit-rotted
+/// record detectable instead of silently importing a wrong antibody.
 pub fn signature_to_log_record(sig: &Signature) -> String {
     let mut out = String::from("{\"kind\": ");
     json::write_escaped(&mut out, &sig.kind().to_string());
@@ -723,7 +732,9 @@ pub fn signature_to_log_record(sig: &Signature) -> String {
         json::write_escaped(&mut out, &pair.inner.to_compact());
         out.push('}');
     }
-    out.push_str("]}");
+    out.push_str("], \"fp\": ");
+    json::write_escaped(&mut out, &format!("{:016x}", sig.stable_fingerprint()));
+    out.push('}');
     out
 }
 
@@ -738,8 +749,13 @@ pub fn signature_from_log_record(line: &str) -> Result<Signature> {
 }
 
 /// Decodes one signature object (`{"kind": …, "pairs": […]}`), shared by the
-/// JSON history codec and the log record codec.
-fn signature_from_json_value(sig: &JsonValue) -> Result<Signature> {
+/// JSON history codec, the log record codec, and the antibody-pack codec in
+/// `dimmunix-exchange`.
+///
+/// # Errors
+/// Returns [`DimmunixError::Parse`] for malformed objects or records whose
+/// declared `fp` disagrees with the recomputed fingerprint.
+pub fn signature_from_json_value(sig: &JsonValue) -> Result<Signature> {
     let parse_err = |message: String| DimmunixError::Parse { line: 0, message };
     let kind = match sig.get("kind").and_then(JsonValue::as_str) {
         Some("deadlock") => SignatureKind::Deadlock,
@@ -761,7 +777,22 @@ fn signature_from_json_value(sig: &JsonValue) -> Result<Signature> {
         };
         pairs.push(SignaturePair::new(stack("outer")?, stack("inner")?));
     }
-    Ok(Signature::new(kind, pairs))
+    let parsed = Signature::new(kind, pairs);
+    // Optional stable-fingerprint field (absent in legacy records): when
+    // present it must match the recomputation from the stacks, so a record
+    // whose content and declared identity disagree is rejected as corrupt
+    // rather than replayed into the history.
+    if let Some(declared) = sig.get("fp").and_then(JsonValue::as_str) {
+        let declared = u64::from_str_radix(declared, 16)
+            .map_err(|_| parse_err("non-hex `fp` field".into()))?;
+        let actual = parsed.stable_fingerprint();
+        if declared != actual {
+            return Err(parse_err(format!(
+                "fingerprint mismatch: record declares {declared:016x}, content hashes to {actual:016x}"
+            )));
+        }
+    }
+    Ok(parsed)
 }
 
 /// Handle on an append-only signature log file — the engine's persistent
@@ -1261,6 +1292,47 @@ mod tests {
         assert!(!record.contains('\n'), "records must be single-line");
         let parsed = signature_from_log_record(&record).unwrap();
         assert!(parsed.same_bug(&original));
+    }
+
+    /// Legacy-id fallback: records written before the `fp` field existed
+    /// (the checked-in corpus, old `HistoryLog` chains) carry only
+    /// `kind`/`pairs` and must keep replaying byte-for-byte.
+    #[test]
+    fn legacy_records_without_fingerprint_still_parse() {
+        let legacy =
+            r#"{"kind": "deadlock", "pairs": [{"outer": "a@a.rs:1", "inner": "b@b.rs:2"}]}"#;
+        let parsed = signature_from_log_record(legacy).unwrap();
+        assert_eq!(parsed.kind(), SignatureKind::Deadlock);
+        assert_eq!(parsed.arity(), 1);
+        // The modern record for the same signature declares the fingerprint
+        // and parses back to the same bug.
+        let modern = signature_to_log_record(&parsed);
+        assert!(modern.contains("\"fp\""));
+        assert!(signature_from_log_record(&modern)
+            .unwrap()
+            .same_bug(&parsed));
+    }
+
+    /// A record whose declared fingerprint disagrees with its content is
+    /// corruption (or tampering) and must be rejected, not replayed.
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let good = signature_to_log_record(&sig(SignatureKind::Deadlock, 1, 2));
+        let tampered = {
+            let fp_at = good.find("\"fp\": ").expect("record carries fp") + 8;
+            let mut t = good.clone();
+            // Flip one hex digit of the declared fingerprint.
+            let old = t.as_bytes()[fp_at];
+            t.replace_range(fp_at..fp_at + 1, if old == b'0' { "1" } else { "0" });
+            t
+        };
+        assert!(signature_from_log_record(&good).is_ok());
+        let err = signature_from_log_record(&tampered).unwrap_err();
+        assert!(err.to_string().contains("fingerprint mismatch"), "{err}");
+        assert!(signature_from_log_record(
+            r#"{"kind": "deadlock", "pairs": [], "fp": "zznothex"}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,17 +1,19 @@
-//! A minimal JSON reader/writer used by the history codec.
+//! A minimal JSON reader/writer used by the history codec and the antibody
+//! pack codec in `dimmunix-exchange`.
 //!
 //! The container this reproduction builds in has no registry access, so the
-//! crate cannot depend on `serde_json`; the history's JSON surface is small
-//! (objects, arrays, strings) and is served by this self-contained module
-//! instead. The parser is a plain recursive-descent over a generic
-//! [`JsonValue`], the writer a pair of escape helpers.
+//! crate cannot depend on `serde_json`; the JSON surface of the history and
+//! of antibody packs is small (objects, arrays, strings, numbers) and is
+//! served by this self-contained module instead. The parser is a plain
+//! recursive-descent over a generic [`JsonValue`], the writer a pair of
+//! escape helpers.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum JsonValue {
+pub enum JsonValue {
     /// `null`
     Null,
     /// `true` / `false`
@@ -28,7 +30,7 @@ pub(crate) enum JsonValue {
 
 impl JsonValue {
     /// The value as a string slice, if it is a string.
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             JsonValue::String(s) => Some(s),
             _ => None,
@@ -36,15 +38,37 @@ impl JsonValue {
     }
 
     /// The value as an array slice, if it is an array.
-    pub(crate) fn as_array(&self) -> Option<&[JsonValue]> {
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
         match self {
             JsonValue::Array(v) => Some(v),
             _ => None,
         }
     }
 
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that is one
+    /// (counts and epochs in the codecs; `f64` holds integers exactly up to
+    /// 2^53, far beyond any record count).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n)
+                if *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 =>
+            {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
     /// A member of the value, if it is an object containing `key`.
-    pub(crate) fn get(&self, key: &str) -> Option<&JsonValue> {
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
             JsonValue::Object(m) => m.get(key),
             _ => None,
@@ -53,7 +77,7 @@ impl JsonValue {
 }
 
 /// Escapes `s` into a double-quoted JSON string literal appended to `out`.
-pub(crate) fn write_escaped(out: &mut String, s: &str) {
+pub fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -72,7 +96,10 @@ pub(crate) fn write_escaped(out: &mut String, s: &str) {
 }
 
 /// Parses a complete JSON document; trailing non-whitespace is an error.
-pub(crate) fn parse(text: &str) -> Result<JsonValue, String> {
+///
+/// # Errors
+/// Returns a human-readable message for malformed input.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
     let bytes = text.as_bytes();
     let mut pos = 0;
     let value = parse_value(bytes, &mut pos)?;

@@ -62,7 +62,7 @@ mod error;
 mod events;
 mod history;
 mod ids;
-mod json;
+pub mod json;
 mod position;
 mod pvec;
 mod rag;
@@ -72,7 +72,7 @@ mod snapshot;
 mod stats;
 
 pub use avoidance::{find_instantiation, signature_instantiable, Instantiation, SignatureIndex};
-pub use callstack::{CallStack, Frame};
+pub use callstack::{CallStack, Frame, SiteKey};
 pub use config::{
     Config, ConfigBuilder, DEFAULT_EVICTION_WINDOW, DEFAULT_LOG_SEGMENT_RECORDS,
     DEFAULT_MAX_SIGNATURES, DEFAULT_STACK_DEPTH,
@@ -82,8 +82,8 @@ pub use engine::{Dimmunix, RequestOutcome};
 pub use error::{DimmunixError, Result};
 pub use events::{Event, EventKind, EventLog};
 pub use history::{
-    signature_from_log_record, signature_to_log_record, History, HistoryLog, LogReplay,
-    RecoveryReport,
+    signature_from_json_value, signature_from_log_record, signature_to_log_record, History,
+    HistoryLog, LogReplay, RecoveryReport,
 };
 pub use ids::{LockId, LogicalTime, OwnerId, ProcessId, SignatureId, SiteId, TaskId, ThreadId};
 pub use position::{OwnerQueue, Position, PositionId, PositionTable, ThreadQueue};

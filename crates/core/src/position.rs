@@ -10,7 +10,7 @@
 //! [`OwnerId`] rather than raw thread ids so async tasks occupy positions
 //! exactly like OS threads.
 
-use crate::callstack::CallStack;
+use crate::callstack::{CallStack, SiteKey};
 use crate::OwnerId;
 use std::collections::HashMap;
 use std::fmt;
@@ -165,6 +165,12 @@ impl OwnerQueue {
 pub struct Position {
     id: PositionId,
     stack: CallStack,
+    /// Stable content-hash identity of `stack`, computed once at intern
+    /// time. This is the coordinate foreign antibodies are matched in: a
+    /// signature exported by a differently compiled binary carries site
+    /// keys, and activating it locally means finding positions whose keys
+    /// agree (see `dimmunix-exchange`).
+    site_key: SiteKey,
     /// The canonical id of this stack in the shared history snapshot's
     /// outer-position table, if any signature mentions it as an outer
     /// position — the successor of the paper's `inHistory` flag (§4). The
@@ -177,9 +183,11 @@ pub struct Position {
 
 impl Position {
     fn new(id: PositionId, stack: CallStack) -> Self {
+        let site_key = stack.site_key();
         Position {
             id,
             stack,
+            site_key,
             history_ref: None,
             queue: OwnerQueue::new(),
         }
@@ -193,6 +201,11 @@ impl Position {
     /// The (truncated) acquisition call stack.
     pub fn stack(&self) -> &CallStack {
         &self.stack
+    }
+
+    /// The stable content-hash identity of this position's stack.
+    pub fn site_key(&self) -> SiteKey {
+        self.site_key
     }
 
     /// Whether this position appears in a history signature.
@@ -237,6 +250,12 @@ impl Position {
 pub struct PositionTable {
     depth: usize,
     by_stack: HashMap<CallStack, PositionId>,
+    /// Stable-key index: the **first** position interned with each
+    /// [`SiteKey`]. Keys deliberately coarsen identity (absolute lines are
+    /// normalized away), so several positions may share one key; first-wins
+    /// is fine because the key lookup only answers "does a local position
+    /// prove this site exists here" for foreign-antibody screening.
+    by_key: HashMap<SiteKey, PositionId>,
     positions: Vec<Position>,
 }
 
@@ -246,6 +265,7 @@ impl PositionTable {
         PositionTable {
             depth: depth.max(1),
             by_stack: HashMap::new(),
+            by_key: HashMap::new(),
             positions: Vec::new(),
         }
     }
@@ -272,7 +292,9 @@ impl PositionTable {
             return *id;
         }
         let id = PositionId(self.positions.len() as u32);
-        self.positions.push(Position::new(id, truncated.clone()));
+        let position = Position::new(id, truncated.clone());
+        self.by_key.entry(position.site_key()).or_insert(id);
+        self.positions.push(position);
         self.by_stack.insert(truncated, id);
         id
     }
@@ -280,6 +302,14 @@ impl PositionTable {
     /// Looks up the id of an already-interned stack without inserting.
     pub fn lookup(&self, stack: &CallStack) -> Option<PositionId> {
         self.by_stack.get(&stack.truncated(self.depth)).copied()
+    }
+
+    /// The first position interned with the given stable site key, if any.
+    /// This is the foreign-antibody screening query: a hit proves that a
+    /// program location with this content-hash identity exists (and has
+    /// synchronized) in *this* process.
+    pub fn lookup_by_key(&self, key: SiteKey) -> Option<PositionId> {
+        self.by_key.get(&key).copied()
     }
 
     /// Returns the position data for `id`, if it exists.
@@ -318,6 +348,8 @@ impl PositionTable {
         // HashMap side of the interning (key stacks are clones of the stored ones).
         total += self.by_stack.len()
             * (std::mem::size_of::<CallStack>() + std::mem::size_of::<PositionId>());
+        total += self.by_key.len()
+            * (std::mem::size_of::<SiteKey>() + std::mem::size_of::<PositionId>());
         total
     }
 }
@@ -445,6 +477,45 @@ mod tests {
             ]
         );
         assert_eq!(q.distinct_owners_capped(99, |_| true).len(), 10);
+    }
+
+    /// Site keys are assigned at intern time over the *truncated* stack and
+    /// answer the foreign-antibody screening query: the same site rendered
+    /// at shifted line numbers (a recompiled binary) resolves to the local
+    /// position by key even though the stacks differ structurally.
+    #[test]
+    fn intern_assigns_stable_site_keys() {
+        let mut t = PositionTable::new(2);
+        let id = t.intern(&stack(1));
+        let p = t.get(id).unwrap();
+        assert_eq!(p.site_key(), p.stack().site_key());
+        assert_eq!(t.lookup_by_key(p.site_key()), Some(id));
+        // The same site from a "recompiled binary": every line shifted.
+        let shifted = CallStack::from_frames(vec![
+            Frame::new("lock", "wrapper.rs", 1 + 40),
+            Frame::new("caller", "app.rs", 101 + 40),
+        ]);
+        assert_eq!(t.lookup(&shifted), None, "absolute stacks differ");
+        assert_eq!(
+            t.lookup_by_key(shifted.site_key()),
+            Some(id),
+            "site keys must survive the shift"
+        );
+        assert_eq!(t.lookup_by_key(SiteKey::new(0xdead_beef)), None);
+    }
+
+    /// Colliding keys (coarsened identity) resolve to the first interned
+    /// position and never panic or churn the index.
+    #[test]
+    fn colliding_site_keys_are_first_wins() {
+        let mut t = PositionTable::new(1);
+        // Depth-1 keys ignore lines: these two distinct positions collide.
+        let a = t.intern(&CallStack::single(Frame::new("f", "x.rs", 1)));
+        let b = t.intern(&CallStack::single(Frame::new("f", "x.rs", 2)));
+        assert_ne!(a, b);
+        let key = t.get(a).unwrap().site_key();
+        assert_eq!(t.get(b).unwrap().site_key(), key);
+        assert_eq!(t.lookup_by_key(key), Some(a));
     }
 
     #[test]

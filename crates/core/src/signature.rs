@@ -8,7 +8,7 @@
 //! for diagnosis. A deadlock bug is identified by its set of outer and inner
 //! positions; occurrences at different positions are different bugs.
 
-use crate::callstack::CallStack;
+use crate::callstack::{fnv1a, CallStack, SiteKey};
 use std::fmt;
 
 /// One (outer, inner) call-stack pair of a signature: the contribution of one
@@ -124,6 +124,46 @@ impl Signature {
     pub fn same_bug(&self, other: &Signature) -> bool {
         self.kind == other.kind && self.pairs == other.pairs
     }
+
+    /// The stable site keys of the outer stacks, in pair order — the part
+    /// of the signature foreign-antibody screening matches on.
+    pub fn outer_site_keys(&self) -> impl Iterator<Item = SiteKey> + '_ {
+        self.pairs.iter().map(|p| p.outer.site_key())
+    }
+
+    /// Stable content fingerprint of the signature: an FNV-1a hash over the
+    /// kind and the **sorted** multiset of per-pair `(outer, inner)`
+    /// [`SiteKey`]s.
+    ///
+    /// Unlike the history's in-process dedup fingerprint (which hashes the
+    /// exact stacks and is never persisted), this fingerprint is built
+    /// entirely from normalized site keys, so the same bug detected by two
+    /// differently compiled binaries of the same program — absolute line
+    /// numbers shifted, pair order therefore possibly different — hashes to
+    /// the same value. It is the join key of antibody-pack merge in
+    /// `dimmunix-exchange`.
+    pub fn stable_fingerprint(&self) -> u64 {
+        let mut keyed: Vec<(u64, u64)> = self
+            .pairs
+            .iter()
+            .map(|p| (p.outer.site_key().raw(), p.inner.site_key().raw()))
+            .collect();
+        // The canonical pair order (`Signature::new` sorts by stack
+        // content) depends on absolute lines, so re-sort by key.
+        keyed.sort_unstable();
+        let mut hash = fnv1a(
+            0xcbf2_9ce4_8422_2325,
+            &[match self.kind {
+                SignatureKind::Deadlock => 0u8,
+                SignatureKind::Starvation => 1u8,
+            }],
+        );
+        for (outer, inner) in keyed {
+            hash = fnv1a(hash, &outer.to_le_bytes());
+            hash = fnv1a(hash, &inner.to_le_bytes());
+        }
+        hash
+    }
 }
 
 impl fmt::Display for Signature {
@@ -177,6 +217,45 @@ mod tests {
         assert_eq!(s.outer_stacks().count(), 2);
         assert_eq!(s.inner_stacks().count(), 2);
         assert!(format!("{s}").contains("deadlock"));
+    }
+
+    /// The exchange join key: the same bug re-rendered at shifted line
+    /// numbers (and therefore with a different canonical pair order) must
+    /// keep its stable fingerprint, while genuinely different bugs differ.
+    #[test]
+    fn stable_fingerprint_survives_recompilation() {
+        let render = |delta: u32| {
+            Signature::new(
+                SignatureKind::Deadlock,
+                vec![
+                    SignaturePair::new(
+                        CallStack::single(Frame::new("a.outer", "a.rs", 10 + delta)),
+                        CallStack::single(Frame::new("a.inner", "a.rs", 11 + delta)),
+                    ),
+                    SignaturePair::new(
+                        CallStack::single(Frame::new("b.outer", "b.rs", 20 + delta)),
+                        CallStack::single(Frame::new("b.inner", "b.rs", 21 + delta)),
+                    ),
+                ],
+            )
+        };
+        let fp = render(0).stable_fingerprint();
+        for delta in [3, 77, 1000] {
+            assert_eq!(render(delta).stable_fingerprint(), fp, "shift {delta}");
+        }
+        // Different method names are a different bug; so is the kind.
+        let other = Signature::new(
+            SignatureKind::Deadlock,
+            vec![SignaturePair::new(
+                CallStack::single(Frame::new("x.outer", "a.rs", 10)),
+                CallStack::single(Frame::new("a.inner", "a.rs", 11)),
+            )],
+        );
+        assert_ne!(other.stable_fingerprint(), fp);
+        let starved = Signature::new(SignatureKind::Starvation, render(0).pairs().to_vec());
+        assert_ne!(starved.stable_fingerprint(), fp);
+        // Outer keys are exposed per pair for screening.
+        assert_eq!(render(0).outer_site_keys().count(), 2);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   phone lifecycle);
 //! * [`workloads`] — benchmark workload generators;
 //! * [`sim`] — the deterministic schedule-exploration engine (virtual-time
-//!   deadlock fuzzer, trace shrinker, regression corpus).
+//!   deadlock fuzzer, trace shrinker, regression corpus);
+//! * [`exchange`] — collaborative immunity: antibody packs, CRDT fleet
+//!   merge, and the trust gate that quarantines foreign signatures until
+//!   local execution vouches for them.
 //!
 //! ## Which layer should I use?
 //!
@@ -44,6 +47,12 @@
 /// The Dimmunix engine (re-export of `dimmunix-core`).
 pub mod core {
     pub use ::dimmunix_core::*;
+}
+
+/// Antibody packs, fleet merge, and trust gating (re-export of
+/// `dimmunix-exchange`).
+pub mod exchange {
+    pub use ::dimmunix_exchange::*;
 }
 
 /// Deadlock-immune lock types for real threads (re-export of `dimmunix-rt`).

@@ -1,0 +1,119 @@
+//! Runtime wiring for collaborative immunity (`dimmunix-exchange`).
+//!
+//! [`ExchangeOptions`] is the builder-facing configuration: pack files to
+//! pull at startup and an optional path to push a contribution pack to on
+//! every detection. [`ExchangeState`] is the runtime-internal half: the
+//! quarantine [`PendingSet`] foreign antibodies wait in until a locally
+//! interned position vouches for each of their outer sites, plus counters.
+//!
+//! The trust model is deliberately one-sided: importing a pack never parks
+//! a thread by itself. A foreign signature only starts influencing
+//! scheduling after [`DimmunixRuntime`](crate::DimmunixRuntime) observes,
+//! via its own acquisition hooks, positions matching every outer site key
+//! the signature names — at which point it is re-anchored to those local
+//! stacks and appended to the shared history like any homegrown antibody.
+
+use dimmunix_exchange::PendingSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Configuration of the collaborative-exchange wiring, passed to
+/// [`RuntimeBuilder::exchange`](crate::RuntimeBuilder::exchange).
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeOptions {
+    /// Origin identifier stamped into exported packs (a process or host
+    /// name; free-form lineage metadata).
+    pub origin: String,
+    /// Pack files pulled at construction. Missing files are skipped
+    /// silently (a fleet peer that has not exported yet); files failing an
+    /// integrity check are rejected whole and quarantined to
+    /// `<path>.corrupt`.
+    pub import_paths: Vec<PathBuf>,
+    /// Where to write this process's contribution pack (atomically, full
+    /// replacement) after each detected deadlock. `None` disables pushing.
+    pub export_path: Option<PathBuf>,
+}
+
+impl ExchangeOptions {
+    /// Starts an empty configuration under the given origin identifier.
+    pub fn new(origin: impl Into<String>) -> Self {
+        ExchangeOptions {
+            origin: origin.into(),
+            ..ExchangeOptions::default()
+        }
+    }
+
+    /// Adds a pack file to pull at startup.
+    #[must_use]
+    pub fn import(mut self, path: impl Into<PathBuf>) -> Self {
+        self.import_paths.push(path.into());
+        self
+    }
+
+    /// Sets the contribution-pack path pushed to on every detection.
+    #[must_use]
+    pub fn export(mut self, path: impl Into<PathBuf>) -> Self {
+        self.export_path = Some(path.into());
+        self
+    }
+}
+
+/// Counters describing what the exchange wiring has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct ExchangeStats {
+    /// Foreign antibodies admitted from packs over the runtime's lifetime.
+    pub imported: u64,
+    /// Foreign antibodies still quarantined, waiting for local evidence.
+    pub pending: u64,
+    /// Foreign antibodies activated into the live history (startup
+    /// screening plus lazy activation as positions interned).
+    pub activated: u64,
+    /// Import packs rejected whole by an integrity check.
+    pub quarantined_packs: u64,
+    /// Contribution packs written to the export path.
+    pub exported: u64,
+}
+
+/// Runtime-internal exchange state: quarantine set plus counters.
+#[derive(Debug)]
+pub(crate) struct ExchangeState {
+    pub(crate) origin: String,
+    pub(crate) import_paths: Vec<PathBuf>,
+    pub(crate) export_path: Option<PathBuf>,
+    pub(crate) pending: Mutex<PendingSet>,
+    /// Fast pre-check consulted on every acquisition so the common case —
+    /// nothing quarantined — costs one relaxed load, no mutex.
+    pub(crate) pending_nonempty: AtomicBool,
+    pub(crate) imported: AtomicU64,
+    pub(crate) activated: AtomicU64,
+    pub(crate) quarantined_packs: AtomicU64,
+    pub(crate) exported: AtomicU64,
+}
+
+impl ExchangeState {
+    pub(crate) fn new(options: ExchangeOptions) -> Self {
+        ExchangeState {
+            origin: options.origin,
+            import_paths: options.import_paths,
+            export_path: options.export_path,
+            pending: Mutex::new(PendingSet::new()),
+            pending_nonempty: AtomicBool::new(false),
+            imported: AtomicU64::new(0),
+            activated: AtomicU64::new(0),
+            quarantined_packs: AtomicU64::new(0),
+            exported: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ExchangeStats {
+        ExchangeStats {
+            imported: self.imported.load(Ordering::Relaxed),
+            pending: crate::sync::lock(&self.pending).len() as u64,
+            activated: self.activated.load(Ordering::Relaxed),
+            quarantined_packs: self.quarantined_packs.load(Ordering::Relaxed),
+            exported: self.exported.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -51,6 +51,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod asyncio;
+mod exchange;
 mod monitor;
 mod mutex;
 mod runtime;
@@ -59,6 +60,7 @@ mod site;
 mod sync;
 
 pub use dimmunix_core::RecoveryReport;
+pub use exchange::{ExchangeOptions, ExchangeStats};
 pub use monitor::{ImmuneMonitor, MonitorGuard};
 pub use mutex::{ImmuneMutex, ImmuneMutexGuard};
 pub use runtime::{

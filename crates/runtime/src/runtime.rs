@@ -36,14 +36,16 @@
 //! whichever shard releases a lock acquired at one of the signature's outer
 //! positions.
 
+use crate::exchange::{ExchangeOptions, ExchangeState, ExchangeStats};
 use crate::site::AcquisitionSite;
 use crate::sync;
 use dimmunix_core::{
     broadcast_signature, fast_path_eligible, holds_mask_with, request_cross_shard,
     stale_shard_after, stale_shard_consumed, try_request_local, AccessMode, CallStack, Config,
-    Dimmunix, History, HistorySnapshot, LocalDecision, LockId, OwnerId, RecoveryReport,
+    Dimmunix, History, HistorySnapshot, LocalDecision, LockId, OwnerId, PositionId, RecoveryReport,
     RequestOutcome, ShardRouter, Signature, SignatureId, Stats, TaskId, ThreadId,
 };
+use dimmunix_exchange::{Pack, PackError};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
@@ -147,6 +149,10 @@ pub struct RuntimeOptions {
     /// [`HistorySnapshot`], so raising the shard count does not multiply
     /// history memory.
     pub shards: usize,
+    /// Collaborative-exchange wiring (see [`ExchangeOptions`]): pack files
+    /// pulled at construction, contribution pack pushed on detections.
+    /// `None` (the default) runs the paper's per-process immunity only.
+    pub exchange: Option<ExchangeOptions>,
 }
 
 impl Default for RuntimeOptions {
@@ -155,6 +161,7 @@ impl Default for RuntimeOptions {
             config: Config::default(),
             deadlock_policy: DeadlockPolicy::default(),
             shards: 1,
+            exchange: None,
         }
     }
 }
@@ -229,6 +236,15 @@ impl RuntimeBuilder {
     /// [`Config::log_sync`]).
     pub fn log_sync(mut self, sync: bool) -> Self {
         self.options.config.log_sync = sync;
+        self
+    }
+
+    /// Enables collaborative exchange: the listed packs are pulled at
+    /// [`build`](Self::build) (foreign antibodies quarantined until local
+    /// positions vouch for their sites) and a contribution pack is pushed
+    /// to the export path after every detection.
+    pub fn exchange(mut self, options: ExchangeOptions) -> Self {
+        self.options.exchange = Some(options);
         self
     }
 
@@ -376,6 +392,9 @@ pub struct DimmunixRuntime {
     /// correctness-critical notifications (starvation, cancellation,
     /// retirement) wake every entry.
     task_wakers: Mutex<HashMap<SignatureId, VecDeque<(TaskId, Waker)>>>,
+    /// Collaborative-exchange state (quarantined foreign antibodies and
+    /// counters); `None` unless [`RuntimeBuilder::exchange`] configured it.
+    exchange: Option<ExchangeState>,
 }
 
 /// Per-task routing state, mirroring [`ThreadRoute`] plus the task's spawn
@@ -491,7 +510,9 @@ impl DimmunixRuntime {
                 Arc::clone(&snapshot),
             ))));
         }
-        Self::assemble(options, router, shards)
+        let rt = Self::assemble(options, router, shards);
+        rt.startup_exchange_import();
+        rt
     }
 
     fn assemble(
@@ -499,6 +520,7 @@ impl DimmunixRuntime {
         router: ShardRouter,
         shards: Vec<Mutex<ShardCell>>,
     ) -> Arc<Self> {
+        let exchange = options.exchange.clone().map(ExchangeState::new);
         Arc::new(DimmunixRuntime {
             shards,
             gates: Mutex::new(HashMap::new()),
@@ -512,7 +534,104 @@ impl DimmunixRuntime {
             next_task: AtomicU64::new(1),
             task_routes: Mutex::new(HashMap::new()),
             task_wakers: Mutex::new(HashMap::new()),
+            exchange,
         })
+    }
+
+    /// Startup pull of the configured import packs. Each foreign signature
+    /// is quarantined, then screened against the positions the replayed
+    /// local history already proves (its outer table), so antibodies whose
+    /// sites this process is known to execute activate before the first
+    /// acquisition; the rest wait for
+    /// [`feed_exchange`](Self::feed_exchange) to see their sites interned.
+    fn startup_exchange_import(&self) {
+        let Some(ex) = &self.exchange else { return };
+        let snapshot = self.history_snapshot();
+        let mut activated = Vec::new();
+        {
+            let mut pending = sync::lock(&ex.pending);
+            for path in &ex.import_paths {
+                match Pack::load_or_quarantine(path) {
+                    Ok(pack) => {
+                        for (_, entry) in pack.entries() {
+                            activated
+                                .extend(pending.admit(entry.signature.clone(), entry.detections));
+                            ex.imported.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // A peer that has not exported yet is not an error.
+                    Err((PackError::Io(e), _)) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(_) => {
+                        ex.quarantined_packs.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            let outers = snapshot.outer_table();
+            for raw in 0..outers.len() {
+                if pending.is_empty() {
+                    break;
+                }
+                if let Some(stack) = outers.stack(PositionId::new(raw as u32)) {
+                    activated.extend(pending.observe_position(stack));
+                }
+            }
+            ex.pending_nonempty
+                .store(!pending.is_empty(), Ordering::Relaxed);
+        }
+        for antibody in activated {
+            self.add_signature(antibody.signature);
+            ex.activated.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Feeds one locally observed acquisition position to the
+    /// foreign-antibody gate. The common case — nothing quarantined —
+    /// costs one relaxed load. Activated antibodies are appended to the
+    /// shared history *after* the pending guard is dropped, keeping the
+    /// pending-before-shards lock order one-way.
+    fn feed_exchange(&self, stack: &CallStack) {
+        let Some(ex) = &self.exchange else { return };
+        if !ex.pending_nonempty.load(Ordering::Relaxed) {
+            return;
+        }
+        let activated = {
+            let mut pending = sync::lock(&ex.pending);
+            let out = pending.observe_position(stack);
+            ex.pending_nonempty
+                .store(!pending.is_empty(), Ordering::Relaxed);
+            out
+        };
+        for antibody in activated {
+            self.add_signature(antibody.signature);
+            ex.activated.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes this process's contribution pack — its full current history
+    /// under the configured origin — to the export path (atomic replace).
+    /// Called automatically after every detection; callable manually for a
+    /// shutdown flush. Returns true if a pack was written.
+    pub fn export_contribution(&self) -> bool {
+        let Some(ex) = &self.exchange else {
+            return false;
+        };
+        let Some(path) = &ex.export_path else {
+            return false;
+        };
+        let snapshot = self.history_snapshot();
+        let pack = Pack::from_snapshot(ex.origin.clone(), &snapshot);
+        if pack.save(path).is_ok() {
+            ex.exported.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Counters of the collaborative-exchange wiring; `None` when
+    /// [`RuntimeBuilder::exchange`] was not configured.
+    pub fn exchange_stats(&self) -> Option<ExchangeStats> {
+        self.exchange.as_ref().map(ExchangeState::stats)
     }
 
     /// The options this runtime was created with.
@@ -762,6 +881,11 @@ impl DimmunixRuntime {
     ) -> Result<(), LockError> {
         let thread = self.route().id;
         let stack: CallStack = site.to_call_stack();
+        // Foreign-antibody gate: this acquisition's position is local
+        // evidence that may activate quarantined imports. Runs before any
+        // shard lock is taken (activation appends under the all-shard
+        // lock), so the antibody can refuse *this very request* below.
+        self.feed_exchange(&stack);
         let home = self.router.shard_of(lock);
         loop {
             let route = self.route();
@@ -842,6 +966,9 @@ impl DimmunixRuntime {
             match outcome {
                 RequestOutcome::Granted | RequestOutcome::GrantedReentrant => return Ok(()),
                 RequestOutcome::DeadlockDetected { signature, .. } => {
+                    // Contribute-back: the new antibody is in the shared
+                    // history; push the fleet pack before surfacing.
+                    self.export_contribution();
                     return match self.options.deadlock_policy {
                         DeadlockPolicy::Error => Err(LockError::WouldDeadlock {
                             signature,
@@ -1037,6 +1164,8 @@ impl DimmunixRuntime {
     ) -> TaskAcquire {
         let owner = OwnerId::Task(task);
         let stack: CallStack = site.to_call_stack();
+        // Same foreign-antibody gate as the thread path.
+        self.feed_exchange(&stack);
         let home = self.router.shard_of(lock);
         let route = self.task_route(task);
         let task_local_ok = fast_path_eligible(route.holds_mask, route.stale_shard, false, home);
@@ -1122,6 +1251,7 @@ impl DimmunixRuntime {
             RequestOutcome::Granted | RequestOutcome::GrantedReentrant => TaskAcquire::Granted,
             RequestOutcome::Yield { signature } => TaskAcquire::Parked { signature },
             RequestOutcome::DeadlockDetected { signature, .. } => {
+                self.export_contribution();
                 match self.options.deadlock_policy {
                     DeadlockPolicy::Error => TaskAcquire::WouldDeadlock(LockError::WouldDeadlock {
                         signature,
@@ -1355,6 +1485,184 @@ mod tests {
 
     fn acquire_site_for_test(line: u32) -> AcquisitionSite {
         AcquisitionSite::new("test.site", "runtime_test.rs", line)
+    }
+
+    /// End-to-end lazy activation on real threads: process A detects (here:
+    /// is trained with) a signature and exports a pack; process B imports
+    /// it under a *different compilation* (all lines shifted), keeps it
+    /// quarantined until both outer sites have been observed locally, and
+    /// then parks the thread whose acquisition would re-instantiate the bug.
+    #[test]
+    fn imported_antibody_activates_lazily_and_parks() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-exch-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pack_path = dir.join("fleet.pack");
+
+        // Process A: same program compiled with different line numbers.
+        let a_site_a = AcquisitionSite::new("outerA", "park.rs", 901);
+        let a_site_b = AcquisitionSite::new("outerB", "park.rs", 902);
+        let rt_a = DimmunixRuntime::builder()
+            .exchange(ExchangeOptions::new("proc-a").export(&pack_path))
+            .build();
+        rt_a.add_signature(Signature::new(
+            dimmunix_core::SignatureKind::Deadlock,
+            vec![
+                dimmunix_core::SignaturePair::new(
+                    a_site_a.to_call_stack(),
+                    a_site_a.to_call_stack(),
+                ),
+                dimmunix_core::SignaturePair::new(
+                    a_site_b.to_call_stack(),
+                    a_site_b.to_call_stack(),
+                ),
+            ],
+        ));
+        assert!(rt_a.export_contribution());
+        assert_eq!(rt_a.exchange_stats().unwrap().exported, 1);
+
+        // Process B imports the pack; nothing activates at construction
+        // because B's history proves no positions yet.
+        let rt = DimmunixRuntime::builder()
+            .exchange(ExchangeOptions::new("proc-b").import(&pack_path))
+            .build();
+        let stats = rt.exchange_stats().unwrap();
+        assert_eq!(stats.imported, 1);
+        assert_eq!(stats.pending, 1);
+        assert_eq!(stats.activated, 0);
+        assert!(rt.history().is_empty(), "quarantine must not touch history");
+
+        // B's own build of the sites.
+        let site_a = AcquisitionSite::new("outerA", "park.rs", 11);
+        let site_b = AcquisitionSite::new("outerB", "park.rs", 12);
+        let la = rt.allocate_lock();
+        let lb = rt.allocate_lock();
+
+        // Main thread holds A at siteA: first outer site observed.
+        rt.before_acquire(la, site_a).unwrap();
+        rt.after_acquire(la);
+        assert_eq!(rt.exchange_stats().unwrap().pending, 1);
+
+        // Waiter requests B at siteB: the observation activates the
+        // antibody before the engine decides, so this very request parks.
+        let rt2 = rt.clone();
+        let waiter = std::thread::spawn(move || {
+            rt2.before_acquire(lb, site_b).unwrap();
+            rt2.after_acquire(lb);
+            rt2.before_release(lb);
+        });
+        std::thread::sleep(Duration::from_millis(120));
+        let stats = rt.exchange_stats().unwrap();
+        assert_eq!(stats.activated, 1);
+        assert_eq!(stats.pending, 0);
+        assert!(rt.stats().yields >= 1, "imported antibody should park");
+        assert_eq!(rt.stats().deadlocks_detected, 0);
+        rt.before_release(la);
+        waiter.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Startup screening: outer positions proven by the replayed local
+    /// history activate matching imports before the first acquisition,
+    /// while a missing import file is silently skipped.
+    #[test]
+    fn startup_import_screens_against_local_history() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-exch-boot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pack_path = dir.join("fleet.pack");
+
+        let local_a = AcquisitionSite::new("outerA", "boot.rs", 5);
+        let local_b = AcquisitionSite::new("outerB", "boot.rs", 6);
+        let local_sig = |inner: &'static str| {
+            Signature::new(
+                dimmunix_core::SignatureKind::Deadlock,
+                vec![
+                    dimmunix_core::SignaturePair::new(
+                        local_a.to_call_stack(),
+                        AcquisitionSite::new(inner, "boot.rs", 7).to_call_stack(),
+                    ),
+                    dimmunix_core::SignaturePair::new(
+                        local_b.to_call_stack(),
+                        AcquisitionSite::new(inner, "boot.rs", 8).to_call_stack(),
+                    ),
+                ],
+            )
+        };
+        // The exporter ships a *different* bug over the same outer sites,
+        // rendered at foreign line numbers.
+        let rt_a = DimmunixRuntime::builder()
+            .exchange(ExchangeOptions::new("proc-a").export(&pack_path))
+            .build();
+        let foreign_a = AcquisitionSite::new("outerA", "boot.rs", 505);
+        let foreign_b = AcquisitionSite::new("outerB", "boot.rs", 506);
+        rt_a.add_signature(Signature::new(
+            dimmunix_core::SignatureKind::Deadlock,
+            vec![
+                dimmunix_core::SignaturePair::new(
+                    foreign_a.to_call_stack(),
+                    AcquisitionSite::new("innerX", "boot.rs", 507).to_call_stack(),
+                ),
+                dimmunix_core::SignaturePair::new(
+                    foreign_b.to_call_stack(),
+                    AcquisitionSite::new("innerX", "boot.rs", 508).to_call_stack(),
+                ),
+            ],
+        ));
+        assert!(rt_a.export_contribution());
+
+        let mut history = dimmunix_core::History::new();
+        history.add(local_sig("innerLocal"));
+        let rt = DimmunixRuntime::builder()
+            .history(history)
+            .exchange(
+                ExchangeOptions::new("proc-b")
+                    .import(&pack_path)
+                    .import(dir.join("never-written.pack")),
+            )
+            .build();
+        let stats = rt.exchange_stats().unwrap();
+        assert_eq!(stats.imported, 1);
+        assert_eq!(stats.activated, 1, "local history vouches for both sites");
+        assert_eq!(stats.pending, 0);
+        assert_eq!(stats.quarantined_packs, 0, "missing file is not an error");
+        assert_eq!(rt.history().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A tampered pack is rejected whole at startup and quarantined; the
+    /// runtime keeps working with an empty pending set.
+    #[test]
+    fn tampered_import_pack_is_quarantined_at_startup() {
+        let dir = std::env::temp_dir().join(format!("dimmunix-exch-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pack_path = dir.join("fleet.pack");
+        let rt_a = DimmunixRuntime::builder()
+            .exchange(ExchangeOptions::new("proc-a").export(&pack_path))
+            .build();
+        let s = AcquisitionSite::new("outerA", "bad.rs", 1);
+        rt_a.add_signature(Signature::new(
+            dimmunix_core::SignatureKind::Deadlock,
+            vec![dimmunix_core::SignaturePair::new(
+                s.to_call_stack(),
+                s.to_call_stack(),
+            )],
+        ));
+        assert!(rt_a.export_contribution());
+        let text = std::fs::read_to_string(&pack_path).unwrap();
+        std::fs::write(
+            &pack_path,
+            text.replace("\"signature_count\": 1", "\"signature_count\": 2"),
+        )
+        .unwrap();
+
+        let rt = DimmunixRuntime::builder()
+            .exchange(ExchangeOptions::new("proc-b").import(&pack_path))
+            .build();
+        let stats = rt.exchange_stats().unwrap();
+        assert_eq!(stats.imported, 0);
+        assert_eq!(stats.quarantined_packs, 1);
+        assert!(!pack_path.exists(), "bad pack moved aside");
+        assert!(dir.join("fleet.pack.corrupt").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   schedule completes with zero detections).
 //! * [`trace`] / [`corpus`] — the persisted replay-trace format and the
 //!   checked-in regression corpus CI replays.
+//! * [`fleet`] — the collaborative-immunity experiment: N simulated
+//!   processes, one detection, antibody-pack exchange through the
+//!   `dimmunix-exchange` trust gate, fleet-wide convergence to zero
+//!   deadlocks.
 //! * [`asyncio`] — the same scenarios on the real async executor, with
 //!   textually compatible acquisition sites, for cross-substrate
 //!   confirmation.
@@ -40,12 +44,14 @@
 
 pub mod asyncio;
 pub mod corpus;
+pub mod fleet;
 pub mod fuzz;
 pub mod scenario;
 pub mod sim;
 pub mod trace;
 
 pub use dimmunix_testkit::Gen;
+pub use fleet::{fleet_convergence, FleetReport};
 pub use fuzz::{
     fuzz, fuzz_with_driver, immune_replay, vaccinate, FoundDeadlock, FuzzConfig, FuzzReport,
 };

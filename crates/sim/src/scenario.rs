@@ -471,6 +471,65 @@ pub fn signature_storm(gadgets: usize) -> Scenario {
     }
 }
 
+/// The collaborative-immunity workload: one two-task lock-order inversion
+/// whose four sites sit at lines `shift+1..=shift+4`. The `shift` models an
+/// *independent compilation of the same program* — each fleet member runs
+/// the identical code at different absolute line numbers, which is exactly
+/// the situation stable site keys exist for. [`crate::fleet`] builds one
+/// instance per simulated process and exchanges antibody packs between
+/// them; `fleet_inversion(0)` is the canonical catalog member.
+pub fn fleet_inversion(shift: u32) -> Scenario {
+    let sites: Vec<SiteSpec> = [
+        "fleet.a_first",
+        "fleet.a_second",
+        "fleet.b_first",
+        "fleet.b_second",
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, scope)| SiteSpec {
+        scope,
+        line: shift + i as u32 + 1,
+    })
+    .collect();
+    let tasks = ["a", "b"]
+        .into_iter()
+        .enumerate()
+        .map(|(t, who)| {
+            // Task a takes (0, 1) through its two sites, task b takes
+            // (1, 0) through its own — the canonical inversion.
+            let (first, second) = if t == 0 { (0, 1) } else { (1, 0) };
+            TaskScript {
+                name: format!("fleet-{who}"),
+                ops: vec![
+                    SimOp::Acquire {
+                        lock: first,
+                        mode: AccessMode::Exclusive,
+                        site: 2 * t,
+                    },
+                    SimOp::Work { cost: 1 },
+                    SimOp::Acquire {
+                        lock: second,
+                        mode: AccessMode::Exclusive,
+                        site: 2 * t + 1,
+                    },
+                    SimOp::Work { cost: 1 },
+                    SimOp::Release { lock: second },
+                    SimOp::Release { lock: first },
+                ],
+            }
+        })
+        .collect();
+    Scenario {
+        name: format!("fleet-inversion-s{shift}"),
+        locks: 2,
+        sites,
+        tasks,
+        writer_preference: false,
+        failsafe_budget: 0,
+    }
+}
+
 /// The canonical scenario instances the fuzzer, benches, and regression
 /// corpus refer to by name.
 pub fn catalog() -> Vec<Scenario> {
@@ -483,6 +542,7 @@ pub fn catalog() -> Vec<Scenario> {
         async_server(6, 3, 3, 0xa51c),
         writer_preference_gap(),
         signature_storm(3),
+        fleet_inversion(0),
     ]
 }
 

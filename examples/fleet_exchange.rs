@@ -1,0 +1,176 @@
+//! Collaborative immunity: one process pays, the whole fleet is immune.
+//!
+//! Two runtimes stand in for two processes on two machines running the same
+//! program — *compiled separately*, so the same acquisition sites live at
+//! different line numbers. Process A hits the classic AB/BA deadlock first:
+//! it is detected, refused, recorded, and the antibody pack is exported to
+//! a shared path (in a real fleet: an artifact store or config channel).
+//!
+//! Process B starts later and imports the pack. The foreign signature does
+//! **not** go straight into B's history — it is quarantined in the pending
+//! set until B's own execution proves the outer positions exist in *its*
+//! build (the trust gate). Because site identity is the content-hash
+//! `SiteKey`, not file:line, the shifted line numbers don't matter. When B
+//! then runs the very same adversarial schedule for the first time, the
+//! activated antibody parks one thread and B never deadlocks at all:
+//! first-occurrence avoidance, paid for by A's single detection.
+//!
+//! The locking here uses the hook-level protocol (`before_acquire` → block
+//! on the real mutex → `after_acquire`) with explicit sites, so the two
+//! "compilations" can be spelled out in one file; `ImmuneMutex` performs
+//! exactly this dance behind `lock()`.
+//!
+//! Run with: `cargo run --example fleet_exchange`
+
+use dimmunix::rt::{AcquisitionSite, DimmunixRuntime, ExchangeOptions, LockError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Runs the adversarial AB/BA schedule against `rt`: thread 1 takes lock A
+/// then B, thread 2 takes B then A, with holds long enough that both outer
+/// locks are taken before either inner attempt. The `sites` are the four
+/// acquisition sites *as compiled into this process* — same scopes on every
+/// machine, different lines. Returns (some acquisition was refused, both
+/// threads completed).
+fn adversarial_round(rt: &Arc<DimmunixRuntime>, sites: [AcquisitionSite; 4]) -> (bool, bool) {
+    let la = rt.allocate_lock();
+    let lb = rt.allocate_lock();
+    // The actual mutual-exclusion devices; the engine only referees.
+    let ma = Arc::new(Mutex::new(()));
+    let mb = Arc::new(Mutex::new(()));
+
+    let forward = {
+        let (rt, ma, mb) = (rt.clone(), ma.clone(), mb.clone());
+        std::thread::spawn(move || -> Result<(), LockError> {
+            rt.before_acquire(la, sites[0])?;
+            let ga = ma.lock().unwrap();
+            rt.after_acquire(la);
+            // Hold the outer lock long enough for the other thread to take
+            // its own outer lock — the adversarial interleaving.
+            std::thread::sleep(Duration::from_millis(150));
+            match rt.before_acquire(lb, sites[1]) {
+                Ok(()) => {
+                    let gb = mb.lock().unwrap();
+                    rt.after_acquire(lb);
+                    rt.before_release(lb);
+                    drop(gb);
+                    rt.before_release(la);
+                    drop(ga);
+                    Ok(())
+                }
+                Err(e) => {
+                    rt.before_release(la);
+                    drop(ga);
+                    Err(e)
+                }
+            }
+        })
+    };
+    let reverse = {
+        let (rt, ma, mb) = (rt.clone(), ma.clone(), mb.clone());
+        std::thread::spawn(move || -> Result<(), LockError> {
+            std::thread::sleep(Duration::from_millis(50));
+            rt.before_acquire(lb, sites[2])?;
+            let gb = mb.lock().unwrap();
+            rt.after_acquire(lb);
+            std::thread::sleep(Duration::from_millis(150));
+            match rt.before_acquire(la, sites[3]) {
+                Ok(()) => {
+                    let ga = ma.lock().unwrap();
+                    rt.after_acquire(la);
+                    rt.before_release(la);
+                    drop(ga);
+                    rt.before_release(lb);
+                    drop(gb);
+                    Ok(())
+                }
+                Err(e) => {
+                    rt.before_release(lb);
+                    drop(gb);
+                    Err(e)
+                }
+            }
+        })
+    };
+
+    let r1 = forward.join().unwrap();
+    let r2 = reverse.join().unwrap();
+    for r in [&r1, &r2] {
+        if let Err(e) = r {
+            println!("  refused: {e}");
+        }
+    }
+    (r1.is_err() || r2.is_err(), r1.is_ok() && r2.is_ok())
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("dimmunix-fleet-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create exchange dir");
+    let pack = dir.join("fleet.pack");
+
+    // ---- Process A: first machine, first occurrence -----------------------
+    println!("== process A: adversarial schedule, no antibodies ==");
+    let rt_a = DimmunixRuntime::builder()
+        .exchange(ExchangeOptions::new("process-a").export(&pack))
+        .build();
+    // A's build of the program: sites at lines 140..143.
+    let a_sites = [
+        AcquisitionSite::new("transfer.forward", "teller.rs", 140),
+        AcquisitionSite::new("transfer.forward.inner", "teller.rs", 141),
+        AcquisitionSite::new("transfer.reverse", "teller.rs", 142),
+        AcquisitionSite::new("transfer.reverse.inner", "teller.rs", 143),
+    ];
+    let (refused, _) = adversarial_round(&rt_a, a_sites);
+    let a_stats = rt_a.stats();
+    let a_exchange = rt_a.exchange_stats().expect("exchange configured");
+    println!(
+        "deadlock detected: {}; antibodies recorded: {}; pack exported: {}",
+        a_stats.deadlocks_detected,
+        rt_a.history().len(),
+        a_exchange.exported,
+    );
+    assert!(refused, "process A must detect the deadlock");
+    assert!(a_exchange.exported >= 1, "detection must publish the pack");
+
+    // ---- Process B: different machine, different compilation --------------
+    println!("\n== process B: imports the pack, runs the same schedule ==");
+    let rt_b = DimmunixRuntime::builder()
+        .exchange(ExchangeOptions::new("process-b").import(&pack))
+        .build();
+    let at_import = rt_b.exchange_stats().expect("exchange configured");
+    println!(
+        "imported: {} signature(s); pending behind the trust gate: {}; in history: {}",
+        at_import.imported,
+        at_import.pending,
+        rt_b.history().len(),
+    );
+    assert_eq!(at_import.imported, 1);
+    assert_eq!(at_import.pending, 1, "foreign antibody must be quarantined");
+    assert!(
+        rt_b.history().is_empty(),
+        "no activation before local proof"
+    );
+
+    // B's build: same scopes, shifted lines (simulated recompilation).
+    let b_sites = [
+        AcquisitionSite::new("transfer.forward", "teller.rs", 57),
+        AcquisitionSite::new("transfer.forward.inner", "teller.rs", 58),
+        AcquisitionSite::new("transfer.reverse", "teller.rs", 59),
+        AcquisitionSite::new("transfer.reverse.inner", "teller.rs", 60),
+    ];
+    let (_, completed) = adversarial_round(&rt_b, b_sites);
+    let b_stats = rt_b.stats();
+    let b_exchange = rt_b.exchange_stats().expect("exchange configured");
+    println!(
+        "both threads completed: {completed}; deadlocks on B: {}; \
+         antibodies activated: {}; threads parked by avoidance: {}",
+        b_stats.deadlocks_detected, b_exchange.activated, b_stats.yields,
+    );
+    assert!(completed, "process B must complete on the first occurrence");
+    assert_eq!(b_stats.deadlocks_detected, 0, "B never pays the cost");
+    assert_eq!(b_exchange.activated, 1, "trust gate released the antibody");
+    assert!(b_stats.yields >= 1, "avoidance parked a thread");
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nFleet immunity: A detected once; B avoided on its very first run.");
+}
