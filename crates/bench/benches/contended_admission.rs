@@ -1,0 +1,221 @@
+//! Lock-free admission under contention: immune vs bare `std::sync`.
+//!
+//! The acceptance bench for the epoch-read admission path (ISSUE 10): a
+//! shared pool of locks is hammered at 1, 8, and 64 threads, once through
+//! [`ImmuneMutex`]/[`ImmuneRwLock`] and once through bare
+//! `std::sync::{Mutex, RwLock}`, with the total section count held constant
+//! across thread counts so the figures compare like for like. Nothing in
+//! the workload nests and the history is empty, so every immune admission
+//! is eligible for the no-engine fast path: the **fast-admit ratio**
+//! (`fast_admits / (fast_admits + slow_fallbacks)`) must stay ≥ 0.99, and
+//! the 64-thread per-section overhead versus bare must stay within the
+//! `check_bench` ceiling — at high thread counts the bare substrate is
+//! itself convoy-contended, so a competitive admission path shows up as a
+//! small multiple, not the uncontended-hot-path gap.
+//!
+//! Reported per variant: per-section p50/p99 cost and throughput, plus the
+//! runtime's admission observability counters
+//! (`fast_admits`/`slow_fallbacks`/`degradation_scope_hits`).
+
+use dimmunix_bench::report::{percentiles, write_bench_json, BenchJson};
+use dimmunix_rt::{AcquisitionSite, DimmunixRuntime, ImmuneMutex, ImmuneRwLock};
+use std::hint::black_box;
+use std::sync::{Arc, Barrier, Mutex, RwLock};
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [1, 8, 64];
+const LOCKS: usize = 8;
+/// Total sections per run, split evenly across the thread count (divisible
+/// by every entry of [`THREAD_COUNTS`]).
+const TOTAL_SECTIONS: usize = 19_200;
+/// Wall-clock samples per (substrate, thread count) cell.
+const SAMPLES: usize = 3;
+/// In the rwlock workload every eighth section takes the write side.
+const WRITE_EVERY: usize = 8;
+
+const FILE: &str = "contended_admission.rs";
+
+/// Runs `threads` workers over the per-worker closure and returns elapsed
+/// seconds for the barrier-aligned measured region (spawns excluded).
+fn timed<F>(threads: usize, work: F) -> f64
+where
+    F: Fn(usize) + Send + Sync + 'static,
+{
+    let work = Arc::new(work);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|w| {
+            let work = Arc::clone(&work);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                work(w);
+            })
+        })
+        .collect();
+    // Stamp before releasing the barrier: on a core-starved host the main
+    // thread may not run again until the workers are done.
+    let start = Instant::now();
+    barrier.wait();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn run_immune_mutex(rt: &Arc<DimmunixRuntime>, threads: usize) -> f64 {
+    let locks: Arc<Vec<ImmuneMutex<u64>>> =
+        Arc::new((0..LOCKS).map(|_| ImmuneMutex::new_in(rt, 0)).collect());
+    let iters = TOTAL_SECTIONS / threads;
+    let rt = Arc::clone(rt);
+    timed(threads, move |w| {
+        let site = AcquisitionSite::new("Contended.mutex", FILE, w as u32);
+        for i in 0..iters {
+            *locks[(i + w) % LOCKS].lock_at(site).expect("no deadlock") += 1;
+        }
+        rt.retire_current_thread();
+    })
+}
+
+fn run_bare_mutex(threads: usize) -> f64 {
+    let locks: Arc<Vec<Mutex<u64>>> = Arc::new((0..LOCKS).map(|_| Mutex::new(0)).collect());
+    let iters = TOTAL_SECTIONS / threads;
+    timed(threads, move |w| {
+        for i in 0..iters {
+            *locks[(i + w) % LOCKS].lock().unwrap() += 1;
+        }
+    })
+}
+
+fn run_immune_rwlock(rt: &Arc<DimmunixRuntime>, threads: usize) -> f64 {
+    let locks: Arc<Vec<ImmuneRwLock<u64>>> =
+        Arc::new((0..LOCKS).map(|_| ImmuneRwLock::new_in(rt, 0)).collect());
+    let iters = TOTAL_SECTIONS / threads;
+    let rt = Arc::clone(rt);
+    timed(threads, move |w| {
+        let reader = AcquisitionSite::new("Contended.rw.reader", FILE, w as u32);
+        let writer = AcquisitionSite::new("Contended.rw.writer", FILE, w as u32);
+        let mut local = 0u64;
+        for i in 0..iters {
+            let lock = &locks[(i + w) % LOCKS];
+            if i % WRITE_EVERY == 0 {
+                *lock.write_at(writer).expect("no deadlock") += 1;
+            } else {
+                local += black_box(*lock.read_at(reader).expect("no deadlock"));
+            }
+        }
+        black_box(local);
+        rt.retire_current_thread();
+    })
+}
+
+fn run_bare_rwlock(threads: usize) -> f64 {
+    let locks: Arc<Vec<RwLock<u64>>> = Arc::new((0..LOCKS).map(|_| RwLock::new(0)).collect());
+    let iters = TOTAL_SECTIONS / threads;
+    timed(threads, move |w| {
+        let mut local = 0u64;
+        for i in 0..iters {
+            let lock = &locks[(i + w) % LOCKS];
+            if i % WRITE_EVERY == 0 {
+                *lock.write().unwrap() += 1;
+            } else {
+                local += black_box(*lock.read().unwrap());
+            }
+        }
+        black_box(local);
+    })
+}
+
+/// Samples one (substrate, thread count) cell and returns the per-section
+/// percentile block plus median throughput.
+fn cell(mut run: impl FnMut() -> f64) -> (BenchJson, f64, f64) {
+    let ns: Vec<f64> = (0..SAMPLES)
+        .map(|_| run() / TOTAL_SECTIONS as f64 * 1e9)
+        .collect();
+    let (median, p50, p99) = percentiles(&ns);
+    let throughput = 1e9 / median;
+    let obj = BenchJson::new()
+        .num("median", median)
+        .num("p50", p50)
+        .num("p99", p99)
+        .num("sections_per_sec", throughput);
+    (obj, median, throughput)
+}
+
+fn main() {
+    println!(
+        "contended_admission: {TOTAL_SECTIONS} sections over {LOCKS} shared locks at \
+         {THREAD_COUNTS:?} threads, immune vs bare ({SAMPLES} samples per cell)"
+    );
+
+    let rt = DimmunixRuntime::builder().shards(8).build();
+    let mut json = BenchJson::new()
+        .str("bench", "contended_admission")
+        .str("unit", "ns_per_section")
+        .int("total_sections", TOTAL_SECTIONS as u64)
+        .int("locks", LOCKS as u64);
+    let mut overhead_t64 = [0.0f64; 2];
+
+    for (kind_idx, kind) in ["mutex", "rwlock"].iter().enumerate() {
+        let mut kind_json = BenchJson::new();
+        for &threads in &THREAD_COUNTS {
+            let (immune, immune_median, immune_tput) = cell(|| match kind_idx {
+                0 => run_immune_mutex(&rt, threads),
+                _ => run_immune_rwlock(&rt, threads),
+            });
+            let (bare, bare_median, bare_tput) = cell(|| match kind_idx {
+                0 => run_bare_mutex(threads),
+                _ => run_bare_rwlock(threads),
+            });
+            let overhead = immune_median / bare_median.max(1e-12);
+            if threads == 64 {
+                overhead_t64[kind_idx] = overhead;
+            }
+            println!(
+                "{kind:<7} t{threads:<3} immune {immune_median:>8.0} ns/section \
+                 ({immune_tput:>10.0}/s)  bare {bare_median:>8.0} ns ({bare_tput:>10.0}/s)  \
+                 overhead {overhead:.2}x"
+            );
+            kind_json = kind_json.obj(
+                &format!("t{threads}"),
+                BenchJson::new()
+                    .obj("immune", immune)
+                    .obj("bare", bare)
+                    .num("overhead_vs_bare", overhead),
+            );
+        }
+        json = json.obj(kind, kind_json);
+    }
+
+    let stats = rt.stats();
+    let summary = rt.admission_summary();
+    let attempts = summary.fast_admits() + summary.slow_fallbacks();
+    let fast_ratio = summary.fast_admits() as f64 / attempts.max(1) as f64;
+    println!(
+        "fast-admit ratio: {fast_ratio:.4} ({}/{attempts} admissions; \
+         fallbacks {}, degradation hits {})",
+        stats.fast_admits, stats.slow_fallbacks, stats.degradation_scope_hits
+    );
+
+    let report = json
+        .num("fast_admit_ratio", fast_ratio)
+        .int("fast_admits", stats.fast_admits)
+        .int("slow_fallbacks", stats.slow_fallbacks)
+        .int("degradation_scope_hits", stats.degradation_scope_hits)
+        .num("mutex_overhead_t64", overhead_t64[0])
+        .num("rwlock_overhead_t64", overhead_t64[1])
+        .int("yields", stats.yields)
+        .int("deadlocks_detected", stats.deadlocks_detected);
+    let path = write_bench_json("contended_admission", &report).expect("write bench report");
+    println!("report: {}", path.display());
+
+    // Nothing nests and the history is empty: every admission is fast-path
+    // eligible and the engine must neither park nor detect anything.
+    assert_eq!(stats.yields, 0, "spurious park on a clean-history workload");
+    assert_eq!(stats.deadlocks_detected, 0, "spurious detection");
+    assert!(
+        fast_ratio >= 0.99,
+        "clean-history fast-admit ratio must be >= 0.99, got {fast_ratio:.4}"
+    );
+    assert_eq!(stats.acquisitions, stats.releases, "unbalanced sections");
+}

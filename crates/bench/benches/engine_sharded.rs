@@ -10,6 +10,8 @@
 //! ratio is the acceptance figure: sharded throughput at 16 threads must be
 //! at least 2x the single-lock baseline.
 
+use dimmunix_bench::report::{write_bench_json, BenchJson};
+use dimmunix_core::Config;
 use dimmunix_rt::{AcquisitionSite, DimmunixRuntime};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -23,7 +25,14 @@ const LOCKS_PER_THREAD: usize = 8;
 /// One timed run: `threads` OS threads, each hammering its own private
 /// locks through the three runtime hooks. Returns acquisitions per second.
 fn run(threads: usize, shards: usize) -> f64 {
-    let rt = DimmunixRuntime::builder().shards(shards).build();
+    // Pin the admission knob off: with the (default) lock-free path on, a
+    // clean-history workload never touches a shard lock at all and the
+    // shard count would measure nothing. This bench is about the *locked*
+    // engine — the path every doubted admission falls back to.
+    let rt = DimmunixRuntime::builder()
+        .config(Config::builder().lock_free_admission(false).build())
+        .shards(shards)
+        .build();
     let barrier = Arc::new(Barrier::new(threads + 1));
     let mut handles = Vec::with_capacity(threads);
     for t in 0..threads {
@@ -59,12 +68,20 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut ratio_at_16 = 0.0;
+    let mut rows = BenchJson::new();
     for &threads in &[1usize, 4, 16] {
         let single = run(threads, 1);
         let sharded = run(threads, 16);
         let ratio = sharded / single;
         println!(
             "threads={threads:>2}  shards=1 {single:>12.0}  shards=16 {sharded:>12.0}  ratio {ratio:>5.2}x"
+        );
+        rows = rows.obj(
+            &format!("t{threads}"),
+            BenchJson::new()
+                .num("single_acq_per_sec", single)
+                .num("sharded16_acq_per_sec", sharded)
+                .num("ratio", ratio),
         );
         if threads == 16 {
             ratio_at_16 = ratio;
@@ -87,6 +104,16 @@ fn main() {
         "memory_footprint_bytes ({SYNTHETIC_SIGNATURES}-signature synthetic history): \
          shards=1 {mem1}  shards=16 {mem16}  ratio {mem_ratio:.3}x (shared history: target <= 1.1x)"
     );
+    let report = BenchJson::new()
+        .str("bench", "engine_sharded")
+        .str("unit", "acq_per_sec")
+        .int("cpus", cpus as u64)
+        .obj("throughput", rows)
+        .num("ratio_at_16", ratio_at_16)
+        .num("mem_ratio", mem_ratio);
+    let path = write_bench_json("engine_sharded", &report).expect("write bench report");
+    println!("report: {}", path.display());
+
     assert!(
         mem_ratio <= 1.1,
         "the shared history must not be replicated per shard, got {mem_ratio:.3}x"

@@ -171,6 +171,9 @@ fn main() {
         .int("requests", stats.requests)
         .int("yields", stats.yields)
         .int("deadlocks_detected", stats.deadlocks_detected)
+        .int("fast_admits", stats.fast_admits)
+        .int("slow_fallbacks", stats.slow_fallbacks)
+        .int("degradation_scope_hits", stats.degradation_scope_hits)
         .num("overhead_vs_bare", factor)
         .obj(
             "immune",

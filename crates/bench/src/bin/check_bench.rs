@@ -24,6 +24,18 @@
 //!   directions: every importer of an antibody pack avoids the bug on its
 //!   first encounter (acceptance 1.0), and quarantined foreign antibodies
 //!   cause zero refusals or parks before the trust gate activates them.
+//! * `BENCH_contended_admission.json` — the lock-free admission path must
+//!   carry a clean-history workload almost entirely (fast-admit ratio
+//!   ≥ 0.99 — fallbacks there mean the epoch read is spuriously in doubt),
+//!   and the 64-thread immune-vs-bare per-section overhead must stay
+//!   within 5x for both mutexes and rwlocks: at high thread counts the
+//!   bare substrate is convoy-contended, so a competitive admission path
+//!   shows up as a small multiple.
+//! * `BENCH_engine_sharded.json` — sharding the locked engine (the path
+//!   the lock-free admission falls back to) must never *lose* throughput
+//!   versus one global engine lock (host-independent floor; the ≥ 2x
+//!   scaling assertion on many-core hosts lives in the bench itself), and
+//!   its memory overhead must stay within 10% of the monolithic engine.
 //!
 //! Reports that do not exist yet are an error too: the gate only means
 //! something if the benches actually ran before it.
@@ -129,6 +141,36 @@ const GATES: &[Gate] = &[
         field: "foreign_refusals_before_activation",
         check: |v| v == 0.0,
         expect: "== 0 (quarantined foreign antibodies must never park or refuse anyone)",
+    },
+    Gate {
+        file: "BENCH_contended_admission.json",
+        field: "fast_admit_ratio",
+        check: |v| v >= 0.99,
+        expect: ">= 0.99 (clean-history admissions must take the no-engine fast path)",
+    },
+    Gate {
+        file: "BENCH_contended_admission.json",
+        field: "mutex_overhead_t64",
+        check: |v| v > 0.0 && v <= 5.0,
+        expect: "<= 5.0 (64-thread immune mutex within 5x of bare std::sync::Mutex)",
+    },
+    Gate {
+        file: "BENCH_contended_admission.json",
+        field: "rwlock_overhead_t64",
+        check: |v| v > 0.0 && v <= 5.0,
+        expect: "<= 5.0 (64-thread immune rwlock within 5x of bare std::sync::RwLock)",
+    },
+    Gate {
+        file: "BENCH_engine_sharded.json",
+        field: "ratio_at_16",
+        check: |v| v >= 0.8,
+        expect: ">= 0.8 (sharding must never lose throughput vs one engine lock)",
+    },
+    Gate {
+        file: "BENCH_engine_sharded.json",
+        field: "mem_ratio",
+        check: |v| v > 0.0 && v <= 1.1,
+        expect: "<= 1.1 (sharded engine memory within 10% of monolithic)",
     },
 ];
 

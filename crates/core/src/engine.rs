@@ -15,6 +15,7 @@
 //! `dalvik-sim`). Keeping the engine free of interior locking makes it
 //! deterministic and property-testable.
 
+use crate::admission::AdmissionSummary;
 use crate::avoidance::SignatureIndex;
 use crate::callstack::CallStack;
 use crate::config::Config;
@@ -110,6 +111,14 @@ pub struct Dimmunix {
     events: EventLog,
     clock: LogicalTime,
     pending_wakeups: Vec<SignatureId>,
+    /// Shared lock-free admission summary and this engine's shard index,
+    /// attached by concurrent substrates
+    /// ([`attach_admission_summary`](Dimmunix::attach_admission_summary)).
+    /// When present, the engine mirrors its yield-record bookkeeping and
+    /// history installs into the summary as a side effect of its (locked)
+    /// transitions. `None` for stand-alone engines — the summary holds
+    /// atomics, so a cloned engine would share (and corrupt) its counts.
+    admission: Option<(Arc<AdmissionSummary>, usize)>,
     /// Diagnostics of the history-log recovery performed at construction
     /// (`None` for engines built without replaying a log: no configured
     /// path, explicit starting history, or shard stamped from a shared
@@ -192,9 +201,36 @@ impl Dimmunix {
             events: EventLog::new(config.event_log_capacity),
             clock: LogicalTime::ZERO,
             pending_wakeups: Vec::new(),
+            admission: None,
             recovery: None,
             config,
         }
+    }
+
+    /// Attaches the process-wide [`AdmissionSummary`] this engine keeps
+    /// current (as shard `shard` of a sharded deployment; pass 0 for a
+    /// monolithic engine). Absorbs the current snapshot's outer positions
+    /// into the summary's Bloom set immediately, then incrementally on
+    /// every later snapshot install.
+    ///
+    /// Cloning an engine with a summary attached shares the summary —
+    /// intended for the runtime, which never clones its shard engines.
+    pub fn attach_admission_summary(&mut self, summary: Arc<AdmissionSummary>, shard: usize) {
+        summary.absorb_snapshot(&self.snapshot);
+        self.admission = Some((summary, shard));
+    }
+
+    /// The attached admission summary, if any.
+    pub fn admission_summary(&self) -> Option<&Arc<AdmissionSummary>> {
+        self.admission.as_ref().map(|(s, _)| s)
+    }
+
+    /// Re-points this engine's position table at a shared process-wide
+    /// stack interner, so every shard resolves a given truncated stack to
+    /// one `Arc<CallStack>` allocation instead of a private copy per shard.
+    /// See [`StackInterner`](crate::StackInterner).
+    pub fn share_stack_interner(&mut self, interner: Arc<crate::StackInterner>) {
+        self.positions.set_interner(interner);
     }
 
     /// Rewinds the engine to a fresh run over `base`, keeping interned
@@ -221,6 +257,14 @@ impl Dimmunix {
             base.outer_len() <= self.snapshot.outer_len(),
             "reset target must be an ancestor snapshot"
         );
+        if let Some((summary, shard)) = &self.admission {
+            // The summary outlives the run being rewound: un-count each live
+            // yield record individually (the Bloom set is set-only and stays;
+            // stale bits only cost a conservative slow path).
+            for (_, rec) in self.rag.yield_records() {
+                summary.note_yield_cleared(rec, *shard);
+            }
+        }
         self.rag.clear();
         self.pending_wakeups.clear();
         self.stats = Stats::new();
@@ -345,7 +389,7 @@ impl Dimmunix {
     /// result of those releases.
     pub fn unregister_owner(&mut self, t: impl Into<OwnerId>) -> Vec<SignatureId> {
         let t = t.into();
-        self.rag.clear_yield(t);
+        self.clear_yield_tracked(t);
         let held = self.rag.unregister_owner(t);
         let mut wake = Vec::new();
         for entry in held {
@@ -508,7 +552,7 @@ impl Dimmunix {
         }
 
         // If the thread is retrying after a yield, it is no longer parked.
-        self.rag.clear_yield(t);
+        self.clear_yield_tracked(t);
 
         // Reentrant fast path: a thread never deadlocks against itself on a
         // lock it already owns (in any mode — a read-to-write upgrade is a
@@ -546,7 +590,7 @@ impl Dimmunix {
                     // Resume every parked participant (§2.2): clear its yield
                     // and schedule a wake-up of its signature.
                     for th in &detected.owners {
-                        if let Some(y) = self.rag.clear_yield(*th) {
+                        if let Some(y) = self.clear_yield_tracked(*th) {
                             self.pending_wakeups.push(y.signature);
                             self.stats.wakeups += 1;
                             self.events.push(
@@ -621,7 +665,7 @@ impl Dimmunix {
                 }
                 if park {
                     self.stats.yields += 1;
-                    self.rag.set_yield(
+                    self.set_yield_tracked(
                         t,
                         YieldRecord {
                             signature: inst.signature,
@@ -769,7 +813,7 @@ impl Dimmunix {
     pub fn cancel_request(&mut self, t: impl Into<OwnerId>, l: LockId) {
         let t = t.into();
         self.clock = self.clock.next();
-        self.rag.clear_yield(t);
+        self.clear_yield_tracked(t);
         if let Some((granted_lock, pos, mode)) = self.rag.take_pending_grant(t) {
             if granted_lock == l {
                 if let Some(p) = self.positions.get_mut(pos) {
@@ -781,6 +825,49 @@ impl Dimmunix {
             }
         }
         self.rag.clear_request(t);
+    }
+
+    /// Makes an acquisition the engine never saw visible: the runtime's
+    /// lock-free admission path grants hold-free, clean-history
+    /// acquisitions without consulting the engine, and publishes the hold
+    /// through here the moment the owner takes a slow-path request (so by
+    /// the time an owner holds two locks, every hold is engine-visible and
+    /// detection sees the full wait-for relation). The hold already exists
+    /// physically, so this is a forced request+grant+acquire — no detection
+    /// or avoidance runs — stamped with the caller's global acquisition
+    /// sequence number.
+    pub fn publish_acquired(
+        &mut self,
+        t: impl Into<OwnerId>,
+        l: LockId,
+        stack: &CallStack,
+        mode: AccessMode,
+        seq: u64,
+    ) {
+        let t = t.into();
+        let pos = self.intern_linked(stack);
+        self.clock = self.clock.next();
+        self.stats.requests += 1;
+        self.events.push(
+            self.clock,
+            EventKind::Request {
+                thread: t,
+                lock: l,
+                position: pos,
+            },
+        );
+        self.stats.grants += 1;
+        self.rag.register_owner(t);
+        self.rag.register_lock(l);
+        if !self.config.is_disabled() {
+            if let Some(p) = self.positions.get_mut(pos) {
+                p.queue_mut().push(t);
+            }
+        }
+        self.rag.set_pending_grant(t, l, pos, mode);
+        self.events
+            .push(self.clock, EventKind::Grant { thread: t, lock: l });
+        self.acquired_with_seq(t, l, seq);
     }
 
     /// Wake-ups scheduled outside the release path (starvation resolution).
@@ -814,6 +901,30 @@ impl Dimmunix {
     /// Mutable access to the RAG (cross-shard request orchestration).
     pub(crate) fn rag_mut(&mut self) -> &mut Rag {
         &mut self.rag
+    }
+
+    /// [`Rag::set_yield`] mirrored into the attached admission summary.
+    /// All engine-internal and cross-shard yield bookkeeping must go
+    /// through the tracked pair so the summary's blocker refcounts and park
+    /// counts stay balanced. `Rag::set_yield` replaces an existing record
+    /// without returning it, so the old record is tracked-cleared first.
+    pub(crate) fn set_yield_tracked(&mut self, t: OwnerId, record: YieldRecord) {
+        if let Some((summary, shard)) = &self.admission {
+            if let Some(old) = self.rag.clear_yield(t) {
+                summary.note_yield_cleared(&old, *shard);
+            }
+            summary.note_yield(&record, *shard);
+        }
+        self.rag.set_yield(t, record);
+    }
+
+    /// [`Rag::clear_yield`] mirrored into the attached admission summary.
+    pub(crate) fn clear_yield_tracked(&mut self, t: OwnerId) -> Option<YieldRecord> {
+        let taken = self.rag.clear_yield(t);
+        if let (Some(rec), Some((summary, shard))) = (&taken, &self.admission) {
+            summary.note_yield_cleared(rec, *shard);
+        }
+        taken
     }
 
     /// Mutable access to the position table (cross-shard orchestration).
@@ -865,6 +976,11 @@ impl Dimmunix {
             }
         }
         self.linked_outers = outers.len();
+        if let Some((summary, _)) = &self.admission {
+            // Incremental and idempotent: a broadcast install over N shards
+            // scans the new outers once and skips N-1 times.
+            summary.absorb_snapshot(&self.snapshot);
+        }
     }
 
     /// The local position (if any) interned for the snapshot's canonical

@@ -53,6 +53,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod admission;
 mod avoidance;
 mod callstack;
 mod config;
@@ -71,6 +72,7 @@ mod signature;
 mod snapshot;
 mod stats;
 
+pub use admission::{Admission, AdmissionSummary};
 pub use avoidance::{find_instantiation, signature_instantiable, Instantiation, SignatureIndex};
 pub use callstack::{CallStack, Frame, SiteKey};
 pub use config::{
@@ -86,7 +88,7 @@ pub use history::{
     HistoryLog, LogReplay, RecoveryReport,
 };
 pub use ids::{LockId, LogicalTime, OwnerId, ProcessId, SignatureId, SiteId, TaskId, ThreadId};
-pub use position::{OwnerQueue, Position, PositionId, PositionTable, ThreadQueue};
+pub use position::{OwnerQueue, Position, PositionId, PositionTable, StackInterner, ThreadQueue};
 pub use pvec::{PersistentMap, PersistentVec};
 pub use rag::{
     find_cycle_with, AccessMode, CycleStep, HeldEntry, LockOwner, Rag, WaitEdge, YieldRecord,

@@ -12,8 +12,9 @@
 
 use crate::callstack::{CallStack, SiteKey};
 use crate::OwnerId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::{Arc, RwLock};
 
 /// Dense identifier of an interned position (acquisition call stack).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -160,11 +161,84 @@ impl OwnerQueue {
     }
 }
 
+/// Number of lock stripes inside a [`StackInterner`]. Sized so that even a
+/// process running one engine shard per core rarely has two shards hashing
+/// into the same stripe at once.
+const INTERNER_STRIPES: usize = 16;
+
+/// Process-wide, thread-safe interner of truncated acquisition call stacks.
+///
+/// Without it, every engine shard keeps private `CallStack` copies of each
+/// position it interns (plus a clone as the interning key), so a site hot
+/// in many shards is resident once *per shard* — a cache-dilution tax that
+/// grows with the shard count. Sharing one interner across all shards
+/// deduplicates each truncated stack into a single `Arc<CallStack>`; the
+/// common case (site already interned) is a striped read-lock probe, and a
+/// write lock is taken only the first time a site is seen process-wide.
+#[derive(Debug)]
+pub struct StackInterner {
+    stripes: Vec<RwLock<HashSet<Arc<CallStack>>>>,
+}
+
+impl Default for StackInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StackInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        StackInterner {
+            stripes: (0..INTERNER_STRIPES)
+                .map(|_| RwLock::new(HashSet::new()))
+                .collect(),
+        }
+    }
+
+    fn stripe_of(&self, stack: &CallStack) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        stack.hash(&mut h);
+        (h.finish() % self.stripes.len() as u64) as usize
+    }
+
+    /// Returns the canonical shared copy of `stack`, inserting it on first
+    /// use. `stack` must already be truncated to the caller's depth — the
+    /// interner deduplicates exact stacks, it does not coarsen them.
+    pub fn intern(&self, stack: &CallStack) -> Arc<CallStack> {
+        let stripe = &self.stripes[self.stripe_of(stack)];
+        if let Some(found) = stripe.read().expect("interner lock poisoned").get(stack) {
+            return Arc::clone(found);
+        }
+        let mut writer = stripe.write().expect("interner lock poisoned");
+        if let Some(found) = writer.get(stack) {
+            return Arc::clone(found);
+        }
+        let shared = Arc::new(stack.clone());
+        writer.insert(Arc::clone(&shared));
+        shared
+    }
+
+    /// Number of distinct stacks interned so far (across all stripes).
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.read().expect("interner lock poisoned").len())
+            .sum()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Data stored per interned position.
 #[derive(Debug, Clone)]
 pub struct Position {
     id: PositionId,
-    stack: CallStack,
+    stack: Arc<CallStack>,
     /// Stable content-hash identity of `stack`, computed once at intern
     /// time. This is the coordinate foreign antibodies are matched in: a
     /// signature exported by a differently compiled binary carries site
@@ -182,7 +256,7 @@ pub struct Position {
 }
 
 impl Position {
-    fn new(id: PositionId, stack: CallStack) -> Self {
+    fn new(id: PositionId, stack: Arc<CallStack>) -> Self {
         let site_key = stack.site_key();
         Position {
             id,
@@ -200,6 +274,12 @@ impl Position {
 
     /// The (truncated) acquisition call stack.
     pub fn stack(&self) -> &CallStack {
+        &self.stack
+    }
+
+    /// The shared (interned) handle of the acquisition call stack. Cloning
+    /// it is a reference-count bump, not a stack copy.
+    pub fn stack_shared(&self) -> &Arc<CallStack> {
         &self.stack
     }
 
@@ -249,7 +329,12 @@ impl Position {
 #[derive(Debug, Clone)]
 pub struct PositionTable {
     depth: usize,
-    by_stack: HashMap<CallStack, PositionId>,
+    /// The process-wide stack interner this table resolves stacks through.
+    /// Tables created with [`PositionTable::new`] get a private one;
+    /// sharded engines and the runtime share a single interner across all
+    /// shards via [`PositionTable::with_interner`].
+    interner: Arc<StackInterner>,
+    by_stack: HashMap<Arc<CallStack>, PositionId>,
     /// Stable-key index: the **first** position interned with each
     /// [`SiteKey`]. Keys deliberately coarsen identity (absolute lines are
     /// normalized away), so several positions may share one key; first-wins
@@ -260,14 +345,36 @@ pub struct PositionTable {
 }
 
 impl PositionTable {
-    /// Creates an empty table that truncates interned stacks to `depth`.
+    /// Creates an empty table that truncates interned stacks to `depth`,
+    /// with a private stack interner.
     pub fn new(depth: usize) -> Self {
+        Self::with_interner(depth, Arc::new(StackInterner::new()))
+    }
+
+    /// Creates an empty table that resolves stacks through a shared
+    /// process-wide interner (one `Arc<CallStack>` per distinct truncated
+    /// stack no matter how many tables intern it).
+    pub fn with_interner(depth: usize, interner: Arc<StackInterner>) -> Self {
         PositionTable {
             depth: depth.max(1),
+            interner,
             by_stack: HashMap::new(),
             by_key: HashMap::new(),
             positions: Vec::new(),
         }
+    }
+
+    /// The interner this table resolves stacks through.
+    pub fn interner(&self) -> &Arc<StackInterner> {
+        &self.interner
+    }
+
+    /// Re-points the table at a shared interner. Safe at any time — the
+    /// interner only deduplicates future interns; stacks already interned
+    /// keep their existing allocations (the `by_stack` fast path answers
+    /// repeats before the interner is consulted).
+    pub fn set_interner(&mut self, interner: Arc<StackInterner>) {
+        self.interner = interner;
     }
 
     /// The configured truncation depth.
@@ -291,11 +398,12 @@ impl PositionTable {
         if let Some(id) = self.by_stack.get(&truncated) {
             return *id;
         }
+        let shared = self.interner.intern(&truncated);
         let id = PositionId(self.positions.len() as u32);
-        let position = Position::new(id, truncated.clone());
+        let position = Position::new(id, Arc::clone(&shared));
         self.by_key.entry(position.site_key()).or_insert(id);
         self.positions.push(position);
-        self.by_stack.insert(truncated, id);
+        self.by_stack.insert(shared, id);
         id
     }
 
@@ -345,9 +453,10 @@ impl PositionTable {
                 total += std::mem::size_of_val(f) + f.method().len() + f.file().len();
             }
         }
-        // HashMap side of the interning (key stacks are clones of the stored ones).
+        // HashMap side of the interning (keys share the stored stacks'
+        // allocations through the interner, so only the Arc handle counts).
         total += self.by_stack.len()
-            * (std::mem::size_of::<CallStack>() + std::mem::size_of::<PositionId>());
+            * (std::mem::size_of::<Arc<CallStack>>() + std::mem::size_of::<PositionId>());
         total += self.by_key.len()
             * (std::mem::size_of::<SiteKey>() + std::mem::size_of::<PositionId>());
         total
@@ -531,6 +640,37 @@ mod tests {
         assert_eq!(t.get(id).unwrap().history_ref(), Some(PositionId::new(7)));
         t.get_mut(id).unwrap().set_history_ref(None);
         assert!(!t.get(id).unwrap().in_history());
+    }
+
+    /// Two tables sharing one interner resolve the same truncated stack to
+    /// one allocation; a table's private ids stay independent.
+    #[test]
+    fn shared_interner_deduplicates_across_tables() {
+        let interner = Arc::new(StackInterner::new());
+        let mut a = PositionTable::with_interner(1, Arc::clone(&interner));
+        let mut b = PositionTable::with_interner(1, Arc::clone(&interner));
+        let ia = a.intern(&stack(7));
+        let ib = b.intern(&stack(7));
+        let sa = a.get(ia).unwrap().stack_shared();
+        let sb = b.get(ib).unwrap().stack_shared();
+        assert!(Arc::ptr_eq(sa, sb), "both tables must share one allocation");
+        assert_eq!(interner.len(), 1);
+        // A distinct site allocates once more.
+        b.intern(&stack(8));
+        assert_eq!(interner.len(), 2);
+        assert!(!interner.is_empty());
+    }
+
+    /// Interning the same stack twice through one interner returns the same
+    /// allocation (the read-probe fast path after first insertion).
+    #[test]
+    fn interner_is_idempotent() {
+        let interner = StackInterner::new();
+        let s = stack(3).truncated(1);
+        let first = interner.intern(&s);
+        let second = interner.intern(&s);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(interner.len(), 1);
     }
 
     #[test]

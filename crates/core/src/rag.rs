@@ -310,6 +310,22 @@ impl Rag {
         self.owners_map.get(&t).and_then(|n| n.yielding.as_ref())
     }
 
+    /// Live yield records, keyed by their parked owner (unordered).
+    pub fn yield_records(&self) -> impl Iterator<Item = (OwnerId, &YieldRecord)> {
+        self.owners_map
+            .iter()
+            .filter_map(|(t, n)| n.yielding.as_ref().map(|y| (*t, y)))
+    }
+
+    /// True if any live yield record names `t` among its blockers, i.e. a
+    /// yield edge points *at* `t` in the wait-for relation. Together with
+    /// "t holds no lock" (no request edge can point at it either) this
+    /// proves no cycle can run through `t` — the soundness condition of the
+    /// scoped-degradation admission gate.
+    pub fn lists_yield_blocker(&self, t: OwnerId) -> bool {
+        self.yield_records().any(|(_, y)| y.blockers.contains(&t))
+    }
+
     /// Owners currently parked by avoidance.
     pub fn yielding_owners(&self) -> Vec<OwnerId> {
         let mut v: Vec<OwnerId> = self

@@ -134,10 +134,13 @@ impl ShardRouter {
 /// A request may be decided inside its home shard alone iff the requester
 /// holds no lock on any shard (`holds_mask == 0`), any leftover request
 /// edge from an abandoned acquisition lives in the home shard itself, and
-/// no thread is parked by avoidance anywhere (`any_parked == false` — the
-/// caller must evaluate this under a lock that a parking operation would
-/// also need, e.g. the home shard's mutex, so a concurrent park cannot be
-/// missed). [`try_request_local`] documents why these conditions make the
+/// no park can involve the requester in a cycle (`any_parked == false` —
+/// the caller must evaluate this under a lock that a parking operation
+/// would also need, e.g. the home shard's mutex, so a concurrent park
+/// cannot be missed). With `lock_free_admission` enabled the caller scopes
+/// that third condition to yield records naming the requester in their
+/// blocker list; the legacy condition is "no owner parked anywhere".
+/// [`try_request_local`] documents why these conditions make the
 /// shard-local decision identical to the monolithic one.
 pub fn fast_path_eligible(
     holds_mask: u64,
@@ -214,13 +217,17 @@ pub enum LocalDecision {
 /// Precondition (enforced by the callers, [`ShardedDimmunix`] and the
 /// `dimmunix-rt` runtime): the requesting thread holds no lock on **any**
 /// shard, has no outstanding request or yield record on a *different*
-/// shard, and **no thread is currently parked by avoidance on any shard**
-/// ([`Rag::yield_count`](crate::Rag::yield_count) is zero everywhere — a
-/// yield record's blocker list is a snapshot, so a starvation cycle can run
-/// through a thread that holds no lock at all). Under that precondition no
-/// wait-for cycle can pass through the requester, so shard-local detection
-/// and an empty per-position signature list make the shard-local decision
-/// identical to the monolithic one.
+/// shard, and **no yield record on any shard names it as a blocker**
+/// ([`Rag::lists_yield_blocker`](crate::Rag::lists_yield_blocker) is false
+/// everywhere — a yield record's blocker list is a snapshot, so a
+/// starvation cycle can run through a thread that holds no lock at all,
+/// but only by traversing a yield edge that names it; the legacy gate
+/// conservatively requires [`Rag::yield_count`](crate::Rag::yield_count)
+/// to be zero everywhere instead). A hold-free requester has no other
+/// possible in-edge, so under that precondition no wait-for cycle can pass
+/// through it, and shard-local detection plus an empty per-position
+/// signature list make the shard-local decision identical to the
+/// monolithic one.
 pub fn try_request_local(
     shard: &mut Dimmunix,
     t: impl Into<OwnerId>,
@@ -289,10 +296,10 @@ pub fn request_cross_shard(
 
     // If the thread is retrying after a yield, it is no longer parked; the
     // record lives in the shard that answered the yielded request.
-    shards[home].rag_mut().clear_yield(t);
+    shards[home].clear_yield_tracked(t);
     if let Some(prev) = prev_request_shard {
         if prev != home {
-            shards[prev].rag_mut().clear_yield(t);
+            shards[prev].clear_yield_tracked(t);
         }
     }
 
@@ -415,7 +422,7 @@ pub fn request_cross_shard(
             }
             if park {
                 shards[home].stats_mut().yields += 1;
-                shards[home].rag_mut().set_yield(
+                shards[home].set_yield_tracked(
                     t,
                     YieldRecord {
                         signature: inst.signature,
@@ -493,7 +500,7 @@ fn yielding_any<'a>(shards: &'a [&Dimmunix], t: OwnerId) -> Option<(usize, &'a Y
 
 /// Clears `t`'s yield record in whichever shard carries it.
 fn clear_yield_any(shards: &mut [&mut Dimmunix], t: OwnerId) -> Option<YieldRecord> {
-    shards.iter_mut().find_map(|s| s.rag_mut().clear_yield(t))
+    shards.iter_mut().find_map(|s| s.clear_yield_tracked(t))
 }
 
 /// Latest lock held by `t` (by global acquisition sequence) whose
@@ -834,16 +841,19 @@ impl ShardedDimmunix {
 
     /// Completes construction from the first shard: the remaining shards
     /// receive clones of its snapshot `Arc`, never their own copy.
-    fn from_first(config: Config, shards: usize, first: Dimmunix) -> Self {
+    fn from_first(config: Config, shards: usize, mut first: Dimmunix) -> Self {
         let router = ShardRouter::new(shards);
         let snapshot = Arc::clone(first.history_snapshot());
+        // One stack interner serves every shard: a site hot on several
+        // shards is resident once, not once per shard.
+        let interner = Arc::new(crate::StackInterner::new());
+        first.share_stack_interner(Arc::clone(&interner));
         let mut engines = Vec::with_capacity(router.shard_count());
         engines.push(first);
         for _ in 1..router.shard_count() {
-            engines.push(Dimmunix::with_snapshot(
-                config.clone(),
-                Arc::clone(&snapshot),
-            ));
+            let mut shard = Dimmunix::with_snapshot(config.clone(), Arc::clone(&snapshot));
+            shard.share_stack_interner(Arc::clone(&interner));
+            engines.push(shard);
         }
         ShardedDimmunix {
             shards: engines,
@@ -981,7 +991,19 @@ impl ShardedDimmunix {
         let home = self.router.shard_of(l);
         let route = self.owner_routes.entry(t).or_default();
         let stale = route.stale_shard;
-        let any_parked = self.shards.iter().any(|s| s.rag().yield_count() > 0);
+        // Scoped degradation: with the lock-free admission path enabled, a
+        // parked owner only degrades requests its yield record could actually
+        // involve in a cycle — those naming `t` in a blocker list (a yield
+        // edge is the only possible in-edge to a hold-free requester, so any
+        // cycle through `t` must traverse one). Everyone else stays on the
+        // shard-local fast path. The legacy gate degrades on *any* park.
+        let any_parked = if self.shards[home].config().lock_free_admission {
+            self.shards
+                .iter()
+                .any(|s| s.rag().yield_count() > 0 && s.rag().lists_yield_blocker(t))
+        } else {
+            self.shards.iter().any(|s| s.rag().yield_count() > 0)
+        };
         let fast_ok = fast_path_eligible(route.holds_mask, stale, any_parked, home);
 
         let outcome = if fast_ok {

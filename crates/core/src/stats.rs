@@ -55,6 +55,21 @@ pub struct Stats {
     /// under the paper-faithful `refuse_at_capacity` configuration. Zero
     /// under the default eviction configuration.
     pub history_full_refusals: u64,
+    /// Acquisitions admitted by the lock-free admission path (an
+    /// epoch-validated read over the
+    /// [`AdmissionSummary`](crate::AdmissionSummary), no shard lock taken).
+    /// Always zero in the core engines — the runtime layer folds the
+    /// summary's counters into its aggregate view.
+    pub fast_admits: u64,
+    /// Fast-path-eligible attempts that failed the lock-free validation
+    /// (Bloom hit, blocker-stripe hit, or a racing history install) and
+    /// fell back to the locked engine path. Zero in the core engines.
+    pub slow_fallbacks: u64,
+    /// Fast admissions granted *while some owner was parked* elsewhere in
+    /// the process — requests the old global `parked` flag would have
+    /// degraded to the all-shard path but scoped degradation kept fast.
+    /// Zero in the core engines.
+    pub degradation_scope_hits: u64,
 }
 
 impl Stats {
@@ -119,6 +134,9 @@ impl Stats {
         self.wakeups += other.wakeups;
         self.signatures_evicted += other.signatures_evicted;
         self.history_full_refusals += other.history_full_refusals;
+        self.fast_admits += other.fast_admits;
+        self.slow_fallbacks += other.slow_fallbacks;
+        self.degradation_scope_hits += other.degradation_scope_hits;
     }
 }
 
@@ -128,7 +146,8 @@ impl fmt::Display for Stats {
             f,
             "requests={} grants={} reentrant={} acquisitions={} releases={} reentries={} \
              yields={} deadlocks={} (new sigs {}) starvations={} (new sigs {}) checks={} \
-             examined={} wakeups={} evicted={} refusals={}",
+             examined={} wakeups={} evicted={} refusals={} fast_admits={} slow_fallbacks={} \
+             degradation_scope_hits={}",
             self.requests,
             self.grants,
             self.reentrant_grants,
@@ -144,7 +163,10 @@ impl fmt::Display for Stats {
             self.signatures_examined,
             self.wakeups,
             self.signatures_evicted,
-            self.history_full_refusals
+            self.history_full_refusals,
+            self.fast_admits,
+            self.slow_fallbacks,
+            self.degradation_scope_hits
         )
     }
 }
@@ -172,6 +194,9 @@ mod tests {
             wakeups: 12,
             signatures_evicted: 14,
             history_full_refusals: 15,
+            fast_admits: 16,
+            slow_fallbacks: 17,
+            degradation_scope_hits: 18,
         };
         let b = a;
         a.merge(&b);
@@ -182,6 +207,9 @@ mod tests {
         assert_eq!(a.nested_reentries, 2);
         assert_eq!(a.signatures_evicted, 28);
         assert_eq!(a.history_full_refusals, 30);
+        assert_eq!(a.fast_admits, 32);
+        assert_eq!(a.slow_fallbacks, 34);
+        assert_eq!(a.degradation_scope_hits, 36);
     }
 
     #[test]

@@ -299,8 +299,19 @@ fn prop_engine_consistent_on_ordered_workloads() {
 /// configuration). Every hook call must produce the identical outcome, the
 /// rolled-up per-shard counters must equal the oracle's, and the history
 /// replicas must record the same antibodies.
+///
+/// Runs once per setting of [`Config::lock_free_admission`]: the knob
+/// selects between the scoped (blocker-based) and global any-park
+/// degradation predicates in the sharded fast path, and neither may ever
+/// diverge from the monolithic oracle by a single decision.
 #[test]
 fn prop_sharded_engine_equals_monolithic_oracle() {
+    for lock_free in [true, false] {
+        sharded_oracle_property(lock_free);
+    }
+}
+
+fn sharded_oracle_property(lock_free: bool) {
     /// What the simulated substrate is doing with one logical thread.
     #[derive(Clone, Copy, PartialEq)]
     enum ThreadMode {
@@ -323,11 +334,12 @@ fn prop_sharded_engine_equals_monolithic_oracle() {
         // avoidance and starvation machinery is exercised.
         let history = pretrain_history(&mut g, 6);
 
-        let mut oracle = Dimmunix::with_history(Config::default(), history.clone());
+        let cfg = Config::builder().lock_free_admission(lock_free).build();
+        let mut oracle = Dimmunix::with_history(cfg.clone(), history.clone());
         let shard_counts = [1usize, 2, 3, 8];
         let mut sharded: Vec<ShardedDimmunix> = shard_counts
             .iter()
-            .map(|&n| ShardedDimmunix::with_history(Config::default(), n, history.clone()))
+            .map(|&n| ShardedDimmunix::with_history(cfg.clone(), n, history.clone()))
             .collect();
 
         let mut mode = [ThreadMode::Running; THREADS as usize];
@@ -478,8 +490,18 @@ fn prop_sharded_engine_equals_monolithic_oracle() {
 /// sharded engines with shards ∈ {1, 2, 3, 8}, with identical rolled-up
 /// stats, histories, and shared-snapshot epochs — so the multi-owner
 /// detection/avoidance paths cannot drift between the two implementations.
+///
+/// As with the mutex-only sibling, runs once per setting of
+/// [`Config::lock_free_admission`] so both degradation-scoping predicates
+/// are pinned to the oracle.
 #[test]
 fn prop_sharded_engine_equals_monolithic_oracle_mixed_rwlock() {
+    for lock_free in [true, false] {
+        sharded_oracle_mixed_rwlock_property(lock_free);
+    }
+}
+
+fn sharded_oracle_mixed_rwlock_property(lock_free: bool) {
     /// What the simulated substrate is doing with one logical thread.
     #[derive(Clone, Copy, PartialEq)]
     enum ThreadMode {
@@ -504,11 +526,12 @@ fn prop_sharded_engine_equals_monolithic_oracle_mixed_rwlock() {
         // avoidance machinery (including the crowd-mate carve-out) runs.
         let history = pretrain_history(&mut g, 6);
 
-        let mut oracle = Dimmunix::with_history(Config::default(), history.clone());
+        let cfg = Config::builder().lock_free_admission(lock_free).build();
+        let mut oracle = Dimmunix::with_history(cfg.clone(), history.clone());
         let shard_counts = [1usize, 2, 3, 8];
         let mut sharded: Vec<ShardedDimmunix> = shard_counts
             .iter()
-            .map(|&n| ShardedDimmunix::with_history(Config::default(), n, history.clone()))
+            .map(|&n| ShardedDimmunix::with_history(cfg.clone(), n, history.clone()))
             .collect();
 
         let mut mode = [ThreadMode::Running; THREADS as usize];

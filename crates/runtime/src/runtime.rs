@@ -41,9 +41,10 @@ use crate::site::AcquisitionSite;
 use crate::sync;
 use dimmunix_core::{
     broadcast_signature, fast_path_eligible, holds_mask_with, request_cross_shard,
-    stale_shard_after, stale_shard_consumed, try_request_local, AccessMode, CallStack, Config,
-    Dimmunix, History, HistorySnapshot, LocalDecision, LockId, OwnerId, PositionId, RecoveryReport,
-    RequestOutcome, ShardRouter, Signature, SignatureId, Stats, TaskId, ThreadId,
+    stale_shard_after, stale_shard_consumed, try_request_local, AccessMode, Admission,
+    AdmissionSummary, CallStack, Config, Dimmunix, History, HistorySnapshot, LocalDecision, LockId,
+    OwnerId, PositionId, RecoveryReport, RequestOutcome, ShardRouter, Signature, SignatureId,
+    SiteKey, StackInterner, Stats, TaskId, ThreadId,
 };
 use dimmunix_exchange::{Pack, PackError};
 use std::collections::{HashMap, VecDeque};
@@ -142,12 +143,14 @@ pub struct RuntimeOptions {
     /// Behaviour on detected deadlocks.
     pub deadlock_policy: DeadlockPolicy,
     /// Number of engine shards the lock-id space is partitioned over,
-    /// clamped to `1..=`[`dimmunix_core::MAX_SHARDS`]. `1` (the default)
-    /// reproduces the paper's single global engine lock; higher values let
-    /// uncontended acquisitions on different shards run in parallel. The
+    /// clamped to `1..=`[`dimmunix_core::MAX_SHARDS`]. The default is
+    /// `min(available_parallelism, MAX_SHARDS)` — one shard per core, so
+    /// uncontended acquisitions on different shards run in parallel out of
+    /// the box; `1` reproduces the paper's single global engine lock. The
     /// history is **not** per shard: every shard reads the same shared
     /// [`HistorySnapshot`], so raising the shard count does not multiply
-    /// history memory.
+    /// history memory (and the shards share one process-wide
+    /// [`StackInterner`], so it does not multiply stack memory either).
     pub shards: usize,
     /// Collaborative-exchange wiring (see [`ExchangeOptions`]): pack files
     /// pulled at construction, contribution pack pushed on detections.
@@ -160,10 +163,20 @@ impl Default for RuntimeOptions {
         RuntimeOptions {
             config: Config::default(),
             deadlock_policy: DeadlockPolicy::default(),
-            shards: 1,
+            shards: default_shards(),
             exchange: None,
         }
     }
+}
+
+/// The default shard count: one engine shard per available core, clamped to
+/// [`dimmunix_core::MAX_SHARDS`]. With the lock-free admission path and the
+/// shared [`StackInterner`] closing the historical per-shard memory and
+/// cache-dilution costs, per-core sharding is the right default; a machine
+/// whose parallelism cannot be determined falls back to the paper's single
+/// engine lock.
+fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(dimmunix_core::MAX_SHARDS))
 }
 
 /// Fluent configuration for a [`DimmunixRuntime`] — the construction
@@ -317,9 +330,6 @@ struct ShardCell {
     /// Reused buffer for the release-path wake-up list, so steady-state
     /// releases perform no allocation.
     wake_scratch: Vec<SignatureId>,
-    /// `engine.rag().yield_count()` after the last engine call, used to keep
-    /// the runtime-wide parked counter in sync by deltas.
-    last_yield_count: usize,
 }
 
 impl ShardCell {
@@ -327,9 +337,25 @@ impl ShardCell {
         ShardCell {
             engine,
             wake_scratch: Vec::new(),
-            last_yield_count: 0,
         }
     }
+}
+
+/// A lock admitted on the no-engine fast path and still held. The engine has
+/// never seen this hold: the admission summary proved its site cannot appear
+/// in any history signature and its owner cannot be a deadlock-cycle
+/// participant, so the hold stays thread-private until either it is released
+/// (wake-free, since a bloom-clear site can de-instantiate no signature) or
+/// the same thread takes the slow path for a nested acquisition — at which
+/// point the hold is published into its home shard's RAG first, so cycle
+/// detection sees the full hold set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FastHold {
+    lock: LockId,
+    mode: AccessMode,
+    /// The acquisition site, kept so a later publish can intern the same
+    /// call stack the locked path would have recorded.
+    site: AcquisitionSite,
 }
 
 /// Per-(runtime, OS thread) routing state. Only the owning thread reads or
@@ -343,12 +369,84 @@ struct ThreadRoute {
     /// that was refused with [`LockError::WouldDeadlock`] (the substrate
     /// abandons those, so the edge survives until the next request).
     stale_shard: Option<usize>,
+    /// The one lock (if any) this thread holds via the no-engine fast path.
+    /// At most one: a second acquisition while this is `Some` takes the
+    /// cross-shard path, which publishes this hold into the engine first.
+    fast_held: Option<FastHold>,
+}
+
+/// FNV-1a hasher for the thread-local maps on the admission fast path.
+/// Their keys are tiny and fixed-size (a runtime instance id; a site's
+/// pointer triple), where the default SipHash costs more than the admission
+/// check itself; FNV is not DoS-resistant, but these maps never hold
+/// attacker-chosen keys.
+#[derive(Default)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FnvHasher>>;
+
+/// Cache key for [`SITE_STACKS`]: the site's `'static` string **pointers**
+/// stand in for their contents. For a given call site the pointers are
+/// stable, and pointer equality implies content equality; two distinct
+/// pointers with equal contents merely cache the same stack twice. This
+/// keeps per-call string hashing off the steady-state acquisition path.
+#[derive(PartialEq, Eq, Hash)]
+struct SiteCacheKey(usize, usize, u32);
+
+impl From<AcquisitionSite> for SiteCacheKey {
+    fn from(site: AcquisitionSite) -> Self {
+        SiteCacheKey(
+            site.scope.as_ptr() as usize,
+            site.file.as_ptr() as usize,
+            site.line,
+        )
+    }
 }
 
 thread_local! {
     /// Per-OS-thread routing state, keyed by runtime instance.
-    static THREAD_ROUTE: std::cell::RefCell<HashMap<u64, ThreadRoute>> =
-        std::cell::RefCell::new(HashMap::new());
+    static THREAD_ROUTE: std::cell::RefCell<FnvMap<u64, ThreadRoute>> =
+        std::cell::RefCell::new(FnvMap::default());
+
+    /// Per-thread cache of interned call stacks and site keys by acquisition
+    /// site. A site is a `'static` triple, so the cache never invalidates;
+    /// the steady-state acquisition path allocates nothing and hashes only
+    /// this one small map lookup.
+    static SITE_STACKS: std::cell::RefCell<FnvMap<SiteCacheKey, (Arc<CallStack>, SiteKey)>> =
+        std::cell::RefCell::new(FnvMap::default());
+}
+
+/// The call stack and stable site key for an acquisition site, from the
+/// thread-local cache (built once per (thread, site)).
+fn cached_site_stack(site: AcquisitionSite) -> (Arc<CallStack>, SiteKey) {
+    SITE_STACKS.with(|cell| {
+        cell.borrow_mut()
+            .entry(site.into())
+            .or_insert_with(|| {
+                let stack = Arc::new(site.to_call_stack());
+                let key = stack.site_key();
+                (stack, key)
+            })
+            .clone()
+    })
 }
 
 /// The shared, per-process deadlock-immunity runtime.
@@ -368,11 +466,12 @@ pub struct DimmunixRuntime {
     /// Global acquisition sequence, stamped into shard RAG holds so merged
     /// views can order holds across shards.
     acq_seq: AtomicU64,
-    /// Number of threads currently parked by avoidance, across all shards.
-    /// The shard-local fast path is only taken while this is zero (a yield
-    /// record's blocker list is a snapshot, so a starvation cycle can pass
-    /// through a thread that holds no lock).
-    parked: AtomicU64,
+    /// Shared lock-free admission summary: a seqlock-published digest of
+    /// every shard's history bloom, per-blocker park counts, and fast-path
+    /// counters. Each shard engine holds a clone of this `Arc` and updates
+    /// it from under its own lock; the no-engine fast path reads it with no
+    /// locks at all.
+    summary: Arc<AdmissionSummary>,
     /// Globally unique instance id; used to key the per-thread route cache so
     /// a thread interacting with several runtimes gets a route per runtime.
     instance: u64,
@@ -499,18 +598,22 @@ impl DimmunixRuntime {
     /// Completes construction from the first shard engine: the remaining
     /// shards receive clones of its snapshot `Arc` — one shared history
     /// per runtime, regardless of the shard count.
-    fn assemble_from(options: RuntimeOptions, first: Dimmunix) -> Arc<Self> {
+    fn assemble_from(options: RuntimeOptions, mut first: Dimmunix) -> Arc<Self> {
         let router = ShardRouter::new(options.shards);
         let snapshot = Arc::clone(first.history_snapshot());
+        let summary = Arc::new(AdmissionSummary::new());
+        let interner = Arc::new(StackInterner::new());
+        first.attach_admission_summary(Arc::clone(&summary), 0);
+        first.share_stack_interner(Arc::clone(&interner));
         let mut shards = Vec::with_capacity(router.shard_count());
         shards.push(Mutex::new(ShardCell::new(first)));
-        for _ in 1..router.shard_count() {
-            shards.push(Mutex::new(ShardCell::new(Dimmunix::with_snapshot(
-                options.config.clone(),
-                Arc::clone(&snapshot),
-            ))));
+        for index in 1..router.shard_count() {
+            let mut engine = Dimmunix::with_snapshot(options.config.clone(), Arc::clone(&snapshot));
+            engine.attach_admission_summary(Arc::clone(&summary), index);
+            engine.share_stack_interner(Arc::clone(&interner));
+            shards.push(Mutex::new(ShardCell::new(engine)));
         }
-        let rt = Self::assemble(options, router, shards);
+        let rt = Self::assemble(options, router, shards, summary);
         rt.startup_exchange_import();
         rt
     }
@@ -519,6 +622,7 @@ impl DimmunixRuntime {
         options: RuntimeOptions,
         router: ShardRouter,
         shards: Vec<Mutex<ShardCell>>,
+        summary: Arc<AdmissionSummary>,
     ) -> Arc<Self> {
         let exchange = options.exchange.clone().map(ExchangeState::new);
         Arc::new(DimmunixRuntime {
@@ -527,7 +631,7 @@ impl DimmunixRuntime {
             router,
             options,
             acq_seq: AtomicU64::new(1),
-            parked: AtomicU64::new(0),
+            summary,
             instance: NEXT_RUNTIME_INSTANCE.fetch_add(1, Ordering::Relaxed),
             next_thread: AtomicU64::new(1),
             next_lock: AtomicU64::new(1),
@@ -669,6 +773,7 @@ impl DimmunixRuntime {
                 id,
                 holds_mask: 0,
                 stale_shard: None,
+                fast_held: None,
             };
             cell.borrow_mut().insert(self.instance, route);
             route
@@ -681,6 +786,53 @@ impl DimmunixRuntime {
                 f(r);
             }
         });
+    }
+
+    /// One-access no-engine admission attempt: checks every thread-local
+    /// precondition, consults the summary, and records the pending fast
+    /// hold, all under a single borrow of the route map. Returns whether
+    /// the acquisition was admitted lock-free.
+    fn try_fast_admit(
+        &self,
+        lock: LockId,
+        site: AcquisitionSite,
+        mode: AccessMode,
+        site_key: SiteKey,
+    ) -> bool {
+        THREAD_ROUTE.with(|cell| {
+            let mut map = cell.borrow_mut();
+            let Some(r) = map.get_mut(&self.instance) else {
+                return false;
+            };
+            if r.holds_mask != 0 || r.stale_shard.is_some() || r.fast_held.is_some() {
+                return false;
+            }
+            if self.exchange_pending() {
+                return false;
+            }
+            if !matches!(
+                self.summary.try_admit(site_key, r.id.into()),
+                Admission::Admit { .. }
+            ) {
+                return false;
+            }
+            r.fast_held = Some(FastHold { lock, mode, site });
+            true
+        })
+    }
+
+    /// Clears this thread's pending fast hold if it is `lock`, under a
+    /// single borrow of the route map. Returns whether it was cleared.
+    fn clear_fast_held(&self, lock: LockId) -> bool {
+        THREAD_ROUTE.with(|cell| {
+            if let Some(r) = cell.borrow_mut().get_mut(&self.instance) {
+                if r.fast_held.map(|fh| fh.lock) == Some(lock) {
+                    r.fast_held = None;
+                    return true;
+                }
+            }
+            false
+        })
     }
 
     /// Allocates a lock id for a new immune lock (the analogue of inflating a
@@ -705,13 +857,37 @@ impl DimmunixRuntime {
             .cloned()
     }
 
-    /// Snapshot of the engine counters, rolled up across shards.
+    /// Snapshot of the engine counters, rolled up across shards and folded
+    /// together with the lock-free fast-path counters, so a fast-path admit
+    /// is indistinguishable from an engine grant in the totals. A fast hold
+    /// that was later published into the engine (because its owner took the
+    /// slow path for a nested acquisition) already appears in the engine
+    /// counters, so published admits are subtracted to avoid double counting.
     pub fn stats(&self) -> Stats {
         let mut total = Stats::new();
         for shard in &self.shards {
             total.merge(sync::lock(shard).engine.stats());
         }
+        let s = &self.summary;
+        let fast_admits = s.fast_admits();
+        let published = s.published();
+        let unpublished = fast_admits.saturating_sub(published);
+        total.requests += unpublished;
+        total.grants += unpublished;
+        total.acquisitions += s.fast_acquires().saturating_sub(published);
+        total.releases += s.fast_releases();
+        total.fast_admits = fast_admits;
+        total.slow_fallbacks = s.slow_fallbacks();
+        total.degradation_scope_hits = s.degradation_scope_hits();
         total
+    }
+
+    /// The shared lock-free [`AdmissionSummary`] — fast-path counters and
+    /// the history digest the no-engine admission path reads. Exposed for
+    /// benchmarks and diagnostics; all fields are monotone counters or
+    /// conservative digests, safe to read at any time.
+    pub fn admission_summary(&self) -> &Arc<AdmissionSummary> {
+        &self.summary
     }
 
     /// Snapshot of the current history (cloned out of the shared
@@ -821,24 +997,62 @@ impl DimmunixRuntime {
         }
     }
 
-    /// Folds the shard's yield-record delta into the runtime-wide parked
-    /// counter. Called after every engine call that may park or resume a
-    /// thread, while the shard lock is still held.
-    fn sync_parked(&self, cell: &mut ShardCell) {
-        let now = cell.engine.rag().yield_count();
-        let before = cell.last_yield_count;
-        match now.cmp(&before) {
-            std::cmp::Ordering::Greater => {
-                self.parked
-                    .fetch_add((now - before) as u64, Ordering::SeqCst);
-            }
-            std::cmp::Ordering::Less => {
-                self.parked
-                    .fetch_sub((before - now) as u64, Ordering::SeqCst);
-            }
-            std::cmp::Ordering::Equal => {}
+    /// The locked half of the shard-local fast-path precondition, read under
+    /// the home shard's lock. Parking or resuming a thread requires every
+    /// shard lock (including home), and the summary's park counters are
+    /// updated from under those locks, so the answer cannot be invalidated
+    /// while the home lock is held. With lock-free admission the check is
+    /// *scoped*: only a park whose yield record lists `owner` as a blocker
+    /// forces the cross-shard path (a yield record's blocker list is a
+    /// snapshot, so a starvation cycle can pass through an owner that holds
+    /// no lock — but only through owners the record actually names). With
+    /// the knob off, any park anywhere degrades every request, reproducing
+    /// the old global behaviour.
+    fn locked_gate_clear(&self, owner: OwnerId) -> bool {
+        if self.options.config.lock_free_admission {
+            !self.summary.is_blocker(owner)
+        } else {
+            self.summary.parked_total() == 0
         }
-        cell.last_yield_count = now;
+    }
+
+    /// Whether quarantined foreign antibodies await activation. The
+    /// no-engine fast path declines while any are pending, so an antibody
+    /// cannot be bypassed in the window between its import and the
+    /// history/bloom update that [`feed_exchange`](Self::feed_exchange)'s
+    /// activation performs.
+    fn exchange_pending(&self) -> bool {
+        self.exchange
+            .as_ref()
+            .is_some_and(|ex| ex.pending_nonempty.load(Ordering::Relaxed))
+    }
+
+    /// Publishes a fast-path hold into its home shard's engine, under the
+    /// all-shard locks the caller already holds. After this, the owner's
+    /// every hold is engine-visible, so the cross-shard request that follows
+    /// sees the full wait-for relation.
+    fn publish_fast_hold(
+        &self,
+        guards: &mut [MutexGuard<'_, ShardCell>],
+        thread: ThreadId,
+        fh: FastHold,
+    ) {
+        let fhome = self.router.shard_of(fh.lock);
+        let seq = self.acq_seq.fetch_add(1, Ordering::Relaxed);
+        let (fstack, _) = cached_site_stack(fh.site);
+        guards[fhome]
+            .engine
+            .publish_acquired(thread, fh.lock, &fstack, fh.mode, seq);
+        let holds = !guards[fhome]
+            .engine
+            .rag()
+            .held_locks(thread.into())
+            .is_empty();
+        self.summary.note_published();
+        self.update_route(|r| {
+            r.fast_held = None;
+            r.holds_mask = holds_mask_with(r.holds_mask, fhome, holds);
+        });
     }
 
     /// The `lockMonitor` prologue: keeps requesting until the engine grants,
@@ -880,32 +1094,49 @@ impl DimmunixRuntime {
         mode: AccessMode,
     ) -> Result<(), LockError> {
         let thread = self.route().id;
-        let stack: CallStack = site.to_call_stack();
+        let (stack, site_key) = cached_site_stack(site);
         // Foreign-antibody gate: this acquisition's position is local
         // evidence that may activate quarantined imports. Runs before any
         // shard lock is taken (activation appends under the all-shard
         // lock), so the antibody can refuse *this very request* below.
         self.feed_exchange(&stack);
         let home = self.router.shard_of(lock);
+
+        // No-engine fast path: a hold-free requester whose site provably
+        // appears in no history signature and whom no yield record names as
+        // a blocker cannot close a cycle and cannot occupy an avoidance
+        // slot, so the grant is decided by one seqlock-consistent read of
+        // the admission summary — no shard lock at all. Any doubt (seqlock
+        // retry exhaustion, bloom hit, blocker hit, relevant park) falls
+        // back to the engine paths below, which remain the oracle.
+        if self.options.config.lock_free_admission
+            && self.try_fast_admit(lock, site, mode, site_key)
+        {
+            return Ok(());
+        }
+
         loop {
             let route = self.route();
-            // Thread-local half of the eligibility predicate; the `parked`
-            // half is read *under the home shard's lock* below — parking a
-            // thread requires every shard lock (including home), so the
-            // counter cannot rise while the fast path holds it.
-            let thread_local_ok =
-                fast_path_eligible(route.holds_mask, route.stale_shard, false, home);
+            // Thread-local half of the eligibility predicate; the parked
+            // half ([`locked_gate_clear`](Self::locked_gate_clear)) is read
+            // *under the home shard's lock* below — parking a thread
+            // requires every shard lock (including home), so the answer
+            // cannot change while the fast path holds it. A pending
+            // fast-path hold forces the cross path, which publishes it into
+            // the engine before requesting.
+            let fast_pending = route.fast_held;
+            let thread_local_ok = fast_pending.is_none()
+                && fast_path_eligible(route.holds_mask, route.stale_shard, false, home);
 
             // Fast path: decide inside the home shard when neither detection
             // nor avoidance can need another shard's state.
             let mut outcome = None;
             if thread_local_ok {
                 let mut cell = sync::lock(&self.shards[home]);
-                if self.parked.load(Ordering::SeqCst) == 0 {
+                if self.locked_gate_clear(thread.into()) {
                     if let LocalDecision::Decided(o) =
                         try_request_local(&mut cell.engine, thread, lock, &stack, mode)
                     {
-                        self.sync_parked(&mut cell);
                         outcome = Some(o);
                     }
                 }
@@ -920,6 +1151,9 @@ impl DimmunixRuntime {
                 None => {
                     let mut guards: Vec<MutexGuard<'_, ShardCell>> =
                         self.shards.iter().map(sync::lock).collect();
+                    if let Some(fh) = fast_pending {
+                        self.publish_fast_hold(&mut guards, thread, fh);
+                    }
                     let o = {
                         let mut engines: Vec<&mut Dimmunix> =
                             guards.iter_mut().map(|g| &mut g.engine).collect();
@@ -935,7 +1169,6 @@ impl DimmunixRuntime {
                     };
                     let mut pending: Vec<SignatureId> = Vec::new();
                     for g in guards.iter_mut() {
-                        self.sync_parked(g);
                         pending.extend(g.engine.take_pending_wakeups());
                     }
                     if !pending.is_empty() {
@@ -1002,8 +1235,16 @@ impl DimmunixRuntime {
 
     /// The `lockMonitor` epilogue. Stamps the hold with the runtime-global
     /// acquisition sequence so merged views can order holds across shards.
+    /// A hold admitted on the no-engine fast path stays engine-invisible
+    /// here (only a counter ticks); it is published on demand if the owner
+    /// ever takes the slow path while still holding it.
     pub fn after_acquire(&self, lock: LockId) {
-        let thread = self.route().id;
+        let route = self.route();
+        if route.fast_held.map(|fh| fh.lock) == Some(lock) {
+            self.summary.note_fast_acquire();
+            return;
+        }
+        let thread = route.id;
         let home = self.router.shard_of(lock);
         let seq = self.acq_seq.fetch_add(1, Ordering::Relaxed);
         let holds = {
@@ -1019,14 +1260,19 @@ impl DimmunixRuntime {
     }
 
     /// Backs out of an approved acquisition that will not be completed
-    /// (e.g. a failed `try_lock` on the underlying mutex).
+    /// (e.g. a failed `try_lock` on the underlying mutex). Backing out of a
+    /// fast-path admission only drops the thread-local record — the engine
+    /// never saw the request.
     pub fn cancel_acquire(&self, lock: LockId) {
+        if self.clear_fast_held(lock) {
+            self.summary.note_fast_cancel();
+            return;
+        }
         let thread = self.route().id;
         let home = self.router.shard_of(lock);
         {
             let mut cell = sync::lock(&self.shards[home]);
             cell.engine.cancel_request(thread, lock);
-            self.sync_parked(&mut cell);
         }
         self.update_route(|r| {
             r.stale_shard = stale_shard_consumed(r.stale_shard, home);
@@ -1034,8 +1280,15 @@ impl DimmunixRuntime {
     }
 
     /// The `unlockMonitor` prologue: releases in the owning shard and wakes
-    /// every signature gate the engine says must be notified.
+    /// every signature gate the engine says must be notified. Releasing a
+    /// fast-path hold is wake-free: its site was bloom-clear at admission,
+    /// so no history signature mentions it and the release can
+    /// de-instantiate nothing.
     pub fn before_release(&self, lock: LockId) {
+        if self.clear_fast_held(lock) {
+            self.summary.note_fast_release();
+            return;
+        }
         let thread = self.route().id;
         let home = self.router.shard_of(lock);
         let holds = self.release_in_shard(thread, lock, home);
@@ -1070,7 +1323,6 @@ impl DimmunixRuntime {
                 self.shards.iter().map(sync::lock).collect();
             for g in guards.iter_mut() {
                 wake.extend(g.engine.unregister_owner(thread));
-                self.sync_parked(g);
             }
             if !wake.is_empty() {
                 self.notify_signatures(&wake);
@@ -1163,7 +1415,7 @@ impl DimmunixRuntime {
         waker: &Waker,
     ) -> TaskAcquire {
         let owner = OwnerId::Task(task);
-        let stack: CallStack = site.to_call_stack();
+        let (stack, _) = cached_site_stack(site);
         // Same foreign-antibody gate as the thread path.
         self.feed_exchange(&stack);
         let home = self.router.shard_of(lock);
@@ -1177,11 +1429,10 @@ impl DimmunixRuntime {
         let mut outcome = None;
         if task_local_ok {
             let mut cell = sync::lock(&self.shards[home]);
-            if self.parked.load(Ordering::SeqCst) == 0 {
+            if self.locked_gate_clear(owner) {
                 if let LocalDecision::Decided(o) =
                     try_request_local(&mut cell.engine, owner, lock, &stack, mode)
                 {
-                    self.sync_parked(&mut cell);
                     if matches!(o, RequestOutcome::Yield { .. }) {
                         // Unreachable by construction; fall through to the
                         // cross-shard path, which can register the waker
@@ -1214,7 +1465,6 @@ impl DimmunixRuntime {
                 };
                 let mut pending: Vec<SignatureId> = Vec::new();
                 for g in guards.iter_mut() {
-                    self.sync_parked(g);
                     pending.extend(g.engine.take_pending_wakeups());
                 }
                 if !pending.is_empty() {
@@ -1295,7 +1545,6 @@ impl DimmunixRuntime {
             let mut cell = sync::lock(&self.shards[home]);
             let sig = cell.engine.rag().yielding(owner).map(|y| y.signature);
             cell.engine.cancel_request(owner, lock);
-            self.sync_parked(&mut cell);
             sig
         };
         if let Some(sig) = parked_on {
@@ -1346,7 +1595,6 @@ impl DimmunixRuntime {
                 self.shards.iter().map(sync::lock).collect();
             for g in guards.iter_mut() {
                 wake.extend(g.engine.unregister_owner(owner));
-                self.sync_parked(g);
             }
             if !wake.is_empty() {
                 self.notify_signatures(&wake);

@@ -12,9 +12,13 @@
 //! `dimmunix-rt`'s [`ImmuneMutex`]: each thread loops over `iterations`
 //! synchronized sections on its own slice of a shared lock pool (no
 //! contention), burning a configurable number of busy-wait units inside and
-//! outside the critical section. The baseline uses plain `parking_lot`
-//! mutexes through the same code path with a disabled engine, so the measured
-//! difference isolates the Dimmunix hooks.
+//! outside the critical section. The baseline runs the identical loop on
+//! bare `std::sync::Mutex` — what the paper calls *vanilla* — so the
+//! measured difference is the full cost of the Dimmunix hooks. (It used to
+//! route the baseline through the hooks with a disabled engine; once the
+//! lock-free admission path landed, that "baseline" still paid a shard
+//! lock per section that the enabled runtime no longer takes, and the
+//! bench reported a negative overhead.)
 
 use crate::synthetic::synthetic_history;
 use dimmunix_core::Config;
@@ -102,7 +106,16 @@ pub fn busy_work(units: u64) -> u64 {
 pub struct MicrobenchHarness {
     config: MicrobenchConfig,
     runtime: Arc<DimmunixRuntime>,
-    pools: Vec<Arc<Vec<ImmuneMutex<u64>>>>,
+    pools: Vec<Arc<LockPool>>,
+}
+
+/// One worker's lock slice: immune when Dimmunix is enabled, bare
+/// `std::sync::Mutex` for the vanilla baseline (no hooks at all — the
+/// baseline must measure what an unprotected application pays).
+#[derive(Debug)]
+enum LockPool {
+    Immune(Vec<ImmuneMutex<u64>>),
+    Bare(Vec<std::sync::Mutex<u64>>),
 }
 
 impl MicrobenchHarness {
@@ -128,13 +141,18 @@ impl MicrobenchHarness {
         // One pool of locks per thread: uncontended by construction. The
         // benchmark keeps its own (non-global) runtime so back-to-back
         // configurations measure from a clean engine.
-        let pools: Vec<Arc<Vec<ImmuneMutex<u64>>>> = (0..config.threads)
+        let locks = config.locks_per_thread.max(1);
+        let pools: Vec<Arc<LockPool>> = (0..config.threads)
             .map(|_| {
-                Arc::new(
-                    (0..config.locks_per_thread.max(1))
-                        .map(|_| ImmuneMutex::new_in(&runtime, 0u64))
-                        .collect(),
-                )
+                Arc::new(if config.dimmunix_enabled {
+                    LockPool::Immune(
+                        (0..locks)
+                            .map(|_| ImmuneMutex::new_in(&runtime, 0u64))
+                            .collect(),
+                    )
+                } else {
+                    LockPool::Bare((0..locks).map(|_| std::sync::Mutex::new(0u64)).collect())
+                })
             })
             .collect();
 
@@ -172,24 +190,35 @@ impl MicrobenchHarness {
                     rng_state ^= rng_state << 13;
                     rng_state ^= rng_state >> 7;
                     rng_state ^= rng_state << 17;
-                    let lock = &pool[(rng_state as usize) % pool.len()];
-                    {
-                        let mut guard = lock
-                            .lock_at(AcquisitionSite::new(
-                                "Microbench.worker",
-                                "microbench.rs",
-                                1,
-                            ))
-                            .expect("benchmark never deadlocks");
-                        *guard = guard.wrapping_add(busy_work(cfg.work_inside));
+                    let pick = rng_state as usize;
+                    match &*pool {
+                        LockPool::Immune(locks) => {
+                            let mut guard = locks[pick % locks.len()]
+                                .lock_at(AcquisitionSite::new(
+                                    "Microbench.worker",
+                                    "microbench.rs",
+                                    1,
+                                ))
+                                .expect("benchmark never deadlocks");
+                            *guard = guard.wrapping_add(busy_work(cfg.work_inside));
+                        }
+                        LockPool::Bare(locks) => {
+                            let mut guard =
+                                locks[pick % locks.len()].lock().expect("never poisoned");
+                            *guard = guard.wrapping_add(busy_work(cfg.work_inside));
+                        }
                     }
                     std::hint::black_box(busy_work(cfg.work_outside));
                     completed += 1;
                 }
                 // The harness is reused across samples: retire this worker's
                 // engine registration so the per-shard RAGs do not accumulate
-                // one dead thread node per worker per run.
-                runtime.retire_current_thread();
+                // one dead thread node per worker per run. (Bare workers
+                // never registered, and retiring would needlessly create a
+                // route just to drop it.)
+                if matches!(&*pool, LockPool::Immune(_)) {
+                    runtime.retire_current_thread();
+                }
                 completed
             }));
         }
